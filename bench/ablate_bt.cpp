@@ -1,0 +1,94 @@
+// Ablation: BitTorrent swarm parameters (DESIGN.md design choices) — piece
+// size, unchoke (upload-slot) count and the per-connection throughput cap —
+// plus a cross-check of the two bandwidth-sharing models on the same swarm.
+#include "bench_common.hpp"
+#include "testbed/topologies.hpp"
+#include "transfer/bittorrent.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using namespace bitdew;
+
+double swarm_time(transfer::BtConfig config, int peers, std::int64_t bytes,
+                  net::SharingModel model) {
+  sim::Simulator sim(53);
+  net::Network net(sim);
+  net.set_sharing_model(model);
+  const auto cluster = testbed::make_cluster(net, testbed::ClusterSpec{"gdx", peers + 1});
+  transfer::BtProtocol bt(sim, net, config);
+
+  core::Data data;
+  data.uid = util::next_auid();
+  data.name = "payload";
+  data.size = bytes;
+  data.checksum = core::synthetic_content(1, bytes).checksum;
+
+  int done = 0;
+  double last = 0;
+  for (int i = 1; i <= peers; ++i) {
+    transfer::TransferJob job;
+    job.data = data;
+    job.source = cluster.hosts[0];
+    job.destination = cluster.hosts[static_cast<std::size_t>(i)];
+    bt.start(job, [&](const transfer::TransferOutcome& outcome) {
+      if (outcome.ok) {
+        ++done;
+        last = outcome.finished_at;
+      }
+    });
+  }
+  sim.run();
+  return done == peers ? last : -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bitdew::bench;
+  const bool full = has_flag(argc, argv, "--full");
+  const int peers = full ? 100 : 40;
+  const std::int64_t bytes = 100 * util::kMB;
+
+  header("Ablation — BitTorrent swarm parameters", "DESIGN.md: piece size, unchoke slots, "
+         "per-connection cap, sharing model");
+  std::printf("swarm: %d peers, %s payload\n\n", peers, util::human_bytes(bytes).c_str());
+
+  transfer::BtConfig base;
+
+  std::printf("(1) piece size\n%-14s | %10s\n", "piece", "time(s)");
+  rule(30);
+  for (const std::int64_t piece_kb : {256, 1000, 4000}) {
+    transfer::BtConfig config = base;
+    config.piece_bytes = piece_kb * util::kKB;
+    std::printf("%-14s | %10.1f\n", util::human_bytes(config.piece_bytes).c_str(),
+                swarm_time(config, peers, bytes, net::SharingModel::kCounting));
+  }
+
+  std::printf("\n(2) upload slots (unchoke set size)\n%-14s | %10s\n", "slots", "time(s)");
+  rule(30);
+  for (const int slots : {2, 4, 8}) {
+    transfer::BtConfig config = base;
+    config.upload_slots = slots;
+    std::printf("%-14d | %10.1f\n", slots,
+                swarm_time(config, peers, bytes, net::SharingModel::kCounting));
+  }
+
+  std::printf("\n(3) per-connection throughput cap\n%-14s | %10s\n", "cap", "time(s)");
+  rule(30);
+  for (const double cap : {1.5e6, 3e6, 12e6, 0.0}) {
+    transfer::BtConfig config = base;
+    config.per_connection_Bps = cap;
+    std::printf("%-14s | %10.1f\n", cap > 0 ? util::human_rate(cap).c_str() : "uncapped",
+                swarm_time(config, peers, bytes, net::SharingModel::kCounting));
+  }
+
+  std::printf("\n(4) sharing model cross-check (16 peers)\n%-14s | %10s\n", "model",
+              "time(s)");
+  rule(30);
+  std::printf("%-14s | %10.1f\n", "counting",
+              swarm_time(base, 16, bytes, net::SharingModel::kCounting));
+  std::printf("%-14s | %10.1f\n", "max-min",
+              swarm_time(base, 16, bytes, net::SharingModel::kMaxMin));
+  return 0;
+}

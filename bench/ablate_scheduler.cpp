@@ -1,0 +1,119 @@
+// Ablation: the Data Scheduler's two tuning knobs (DESIGN.md §4.4).
+//  (1) MaxDataSchedule — Algorithm 1's per-sync download cap: how fast does
+//      a batch of data spread over a cluster as the cap varies?
+//  (2) heartbeat period — the failure detector waits 3x the heartbeat, so
+//      recovery latency after a crash should track ~3x period + download.
+#include "bench_common.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "testbed/topologies.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using namespace bitdew;
+
+double spread_time(int max_schedule, int items, int nodes) {
+  sim::Simulator sim(43);
+  net::Network net(sim);
+  const auto cluster = testbed::make_cluster(net, testbed::ClusterSpec{"gdx", nodes + 1});
+  runtime::SimRuntimeConfig config;
+  config.scheduler.max_data_schedule = max_schedule;
+  runtime::SimRuntime runtime(sim, net, cluster.hosts[0], config);
+
+  runtime::SimNode& master = runtime.add_node(cluster.hosts[0], false);
+  for (int i = 1; i <= nodes; ++i) {
+    runtime.add_node(cluster.hosts[static_cast<std::size_t>(i)]);
+  }
+  const double start = sim.now();
+  std::vector<core::Data> all;
+  for (int i = 0; i < items; ++i) {
+    const core::Content content = core::synthetic_content(static_cast<std::uint64_t>(i),
+                                                          2 * util::kMB);
+    const core::Data data =
+        master.bitdew().create_data("item" + std::to_string(i), content);
+    master.bitdew().put(data, content);
+    core::DataAttributes attributes;
+    attributes.replica = 1;
+    master.active_data().schedule(data, attributes);
+    all.push_back(data);
+  }
+  // Run until every item is owned somewhere.
+  double done_at = -1;
+  while (sim.now() < 2000) {
+    sim.run_until(sim.now() + 1.0);
+    std::size_t owned = 0;
+    for (const core::Data& data : all) {
+      if (!runtime.container().ds().owners(data.uid).empty()) ++owned;
+    }
+    if (owned == all.size()) {
+      done_at = sim.now() - start;
+      break;
+    }
+  }
+  return done_at;
+}
+
+double recovery_latency(double heartbeat) {
+  sim::Simulator sim(47);
+  net::Network net(sim);
+  const auto cluster = testbed::make_cluster(net, testbed::ClusterSpec{"gdx", 6});
+  runtime::SimRuntimeConfig config;
+  config.scheduler.heartbeat_period_s = heartbeat;
+  runtime::SimRuntime runtime(sim, net, cluster.hosts[0], config);
+
+  runtime::SimNode& master = runtime.add_node(cluster.hosts[0], false);
+  std::vector<runtime::SimNode*> nodes;
+  for (int i = 1; i <= 5; ++i) {
+    nodes.push_back(&runtime.add_node(cluster.hosts[static_cast<std::size_t>(i)]));
+  }
+  const core::Content content = core::synthetic_content(5, util::kMB);
+  const core::Data data = master.bitdew().create_data("hot", content);
+  master.bitdew().put(data, content);
+  core::DataAttributes attributes;
+  attributes.replica = 1;
+  attributes.fault_tolerant = true;
+  master.active_data().schedule(data, attributes);
+  sim.run_until(20 * heartbeat + 20);
+
+  runtime::SimNode* owner = nullptr;
+  for (auto* node : nodes) {
+    if (node->has(data.uid)) owner = node;
+  }
+  if (owner == nullptr) return -1;
+  const double killed_at = sim.now();
+  runtime.kill_node(owner->host());
+  while (sim.now() < killed_at + 100 * heartbeat + 100) {
+    sim.run_until(sim.now() + heartbeat);
+    for (auto* node : nodes) {
+      if (node != owner && node->has(data.uid)) return sim.now() - killed_at;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bitdew::bench;
+  (void)argc;
+  (void)argv;
+
+  header("Ablation — scheduler knobs: MaxDataSchedule and heartbeat period",
+         "DESIGN.md design-choice ablations for Algorithm 1");
+
+  std::printf("(1) time to place 128 data items on 4 nodes vs MaxDataSchedule\n");
+  std::printf("%-18s | %12s\n", "MaxDataSchedule", "spread(s)");
+  rule(36);
+  for (const int cap : {1, 2, 4, 8, 32}) {
+    std::printf("%-18d | %12.1f\n", cap, spread_time(cap, 128, 4));
+  }
+
+  std::printf("\n(2) crash-to-recovery latency vs heartbeat period (detector = 3x)\n");
+  std::printf("%-18s | %12s | %s\n", "heartbeat(s)", "recovery(s)", "expected ~3x+download");
+  rule(56);
+  for (const double heartbeat : {0.5, 1.0, 2.0, 5.0}) {
+    std::printf("%-18.1f | %12.2f | %.1f\n", heartbeat, recovery_latency(heartbeat),
+                3 * heartbeat);
+  }
+  return 0;
+}

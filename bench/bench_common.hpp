@@ -1,0 +1,30 @@
+// Shared helpers for the benchmark harness: flag parsing and table output.
+// Every binary runs a reduced-but-shape-preserving sweep by default and the
+// full paper-scale sweep under --full.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bitdew::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+inline void header(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("reproduces: %s\n\n", paper_ref);
+}
+
+inline void rule(int width = 72) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bitdew::bench

@@ -1,0 +1,87 @@
+// Figure 3a: completion time of distributing one file to N nodes, BitDew
+// driving FTP vs BitTorrent, on the GdX cluster. Sweep: file size
+// {10..500 MB} x nodes {10..250}. The paper's result: BitTorrent clearly
+// outperforms FTP for files > 20 MB and > 10 nodes, with near-flat scaling
+// in N; FTP grows linearly once the server uplink saturates.
+#include "bench_common.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "testbed/topologies.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using namespace bitdew;
+
+/// Distributes one file of `bytes` to `nodes` reservoirs via `protocol`;
+/// returns the time from scheduling to the last completed replica.
+double distribute(std::int64_t bytes, int nodes, const std::string& protocol) {
+  sim::Simulator sim(23);
+  net::Network net(sim);
+  const auto cluster = testbed::make_cluster(net, testbed::ClusterSpec{"gdx", nodes + 1});
+  runtime::SimRuntime runtime(sim, net, cluster.hosts[0]);
+
+  // The service host doubles as FTP server / BT seeder (paper §4.3 setup).
+  runtime::SimNode& master = runtime.add_node(cluster.hosts[0], /*reservoir=*/false);
+  int completed = 0;
+  double last_done = 0;
+  for (int i = 1; i <= nodes; ++i) {
+    runtime::SimNode& node = runtime.add_node(cluster.hosts[static_cast<std::size_t>(i)]);
+    struct Done final : core::ActiveDataEventHandler {
+      int* completed;
+      double* last_done;
+      sim::Simulator* sim;
+      void on_data_copy(const core::Data&, const core::DataAttributes&) override {
+        ++*completed;
+        *last_done = sim->now();
+      }
+    };
+    auto handler = std::make_shared<Done>();
+    handler->completed = &completed;
+    handler->last_done = &last_done;
+    handler->sim = &sim;
+    node.active_data().add_callback(handler);
+  }
+
+  const core::Content content = core::synthetic_content(7, bytes);
+  const core::Data data = master.bitdew().create_data("payload", content);
+  master.bitdew().put(data, content, nullptr, protocol);
+  core::DataAttributes attributes;
+  attributes.replica = core::kReplicaAll;
+  attributes.protocol = protocol;
+  const double start = sim.now();
+  master.active_data().schedule(data, attributes);
+
+  while (completed < nodes && sim.now() < 40000) {
+    sim.run_until(sim.now() + 5.0);
+  }
+  return completed == nodes ? last_done - start : -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bitdew::bench;
+  const bool full = has_flag(argc, argv, "--full");
+  const std::vector<std::int64_t> sizes =
+      full ? std::vector<std::int64_t>{10, 50, 100, 250, 500}
+           : std::vector<std::int64_t>{10, 100, 500};
+  const std::vector<int> node_counts = full ? std::vector<int>{10, 20, 50, 100, 150, 200, 250}
+                                            : std::vector<int>{10, 50, 150};
+
+  header("Figure 3a — file distribution completion time, FTP vs BitTorrent",
+         "paper Fig. 3a: sizes 10-500 MB, 10-250 nodes, GdX cluster");
+  std::printf("%-10s %-8s | %12s %12s | %s\n", "size(MB)", "nodes", "ftp(s)", "bt(s)",
+              "winner");
+  rule();
+  for (const std::int64_t mb : sizes) {
+    for (const int nodes : node_counts) {
+      const double ftp = distribute(mb * util::kMB, nodes, "ftp");
+      const double bt = distribute(mb * util::kMB, nodes, "bittorrent");
+      std::printf("%-10lld %-8d | %12.1f %12.1f | %s\n", static_cast<long long>(mb), nodes,
+                  ftp, bt, bt < ftp ? "bittorrent" : "ftp");
+    }
+  }
+  std::printf("\nexpected shape (paper): FTP ~linear in nodes (server uplink bound);\n"
+              "BT ~flat; BT wins for size > 20MB and nodes > 10, FTP wins small/few.\n");
+  return 0;
+}

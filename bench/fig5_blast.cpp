@@ -1,0 +1,64 @@
+// Figure 5: master/worker BLAST — total execution time (distribute the
+// 2.68 GB genebase + sequences, run the searches, collect results) as the
+// number of workers grows, with FTP vs BitTorrent as the genebase transfer
+// protocol. The paper: FTP degrades sharply past ~50 workers while the
+// BitTorrent curve is nearly flat; BT is slightly worse at 10-20 workers.
+#include "bench_common.hpp"
+#include "mw/blast.hpp"
+#include "testbed/topologies.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using namespace bitdew;
+
+double run_blast(int workers, const std::string& protocol, std::int64_t genebase_bytes) {
+  sim::Simulator sim(37);
+  net::Network net(sim);
+  const auto cluster =
+      testbed::make_cluster(net, testbed::ClusterSpec{"gdx", workers + 2, 125e6, 100e-6, 2.2});
+  runtime::SimRuntime runtime(sim, net, cluster.hosts[0], mw::blast_runtime_config());
+
+  mw::BlastWorkload workload;
+  workload.genebase_bytes = genebase_bytes;
+  workload.transfer_protocol = protocol;
+
+  mw::BlastApplication app(runtime, workload);
+  std::vector<mw::BlastWorkerSpec> specs;
+  for (int i = 2; i < workers + 2; ++i) {
+    specs.push_back(
+        mw::BlastWorkerSpec{cluster.hosts[static_cast<std::size_t>(i)], 2.2, "gdx"});
+  }
+  app.deploy(cluster.hosts[1], specs, workers);
+  app.run(200000);
+  return app.done() ? app.report().total_time_s : -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bitdew::bench;
+  const bool full = has_flag(argc, argv, "--full");
+  const std::vector<int> worker_counts =
+      full ? std::vector<int>{10, 20, 50, 100, 150, 200, 250, 275}
+           : std::vector<int>{10, 50, 100};
+  // The full 2.68 GB genebase; quick mode scales it down 10x to keep the
+  // default bench run short (the curves keep their shape).
+  const std::int64_t genebase =
+      full ? std::int64_t{2'680'000'000} : std::int64_t{268'000'000};
+
+  header("Figure 5 — BLAST master/worker: total time vs workers, FTP vs BT",
+         "paper Fig. 5: 2.68 GB genebase, 10-275 workers");
+  std::printf("genebase: %s, one task per worker\n\n", util::human_bytes(genebase).c_str());
+  std::printf("%-10s | %12s %12s | %s\n", "workers", "ftp(s)", "bt(s)", "winner");
+  rule();
+  for (const int workers : worker_counts) {
+    const double ftp = run_blast(workers, "ftp", genebase);
+    const double bt = run_blast(workers, "bittorrent", genebase);
+    std::printf("%-10d | %12.1f %12.1f | %s\n", workers, ftp, bt,
+                (bt >= 0 && (ftp < 0 || bt < ftp)) ? "bittorrent" : "ftp");
+  }
+  std::printf("\nexpected shape (paper): FTP total time climbs steeply with workers;\n"
+              "BitTorrent stays nearly flat; BT slightly worse at 10-20 workers.\n");
+  return 0;
+}

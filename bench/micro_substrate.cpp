@@ -1,0 +1,126 @@
+// google-benchmark micro-benchmarks of the substrates: MD5, the binary
+// codec, DewDB operations (indexed vs scanned finds), the max-min solver
+// and DHT key hashing. These are the per-operation costs behind the
+// macro-benches.
+#include <benchmark/benchmark.h>
+
+#include "db/database.hpp"
+#include "dht/ring.hpp"
+#include "net/network.hpp"
+#include "rpc/codec.hpp"
+#include "sim/simulator.hpp"
+#include "util/md5.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bitdew;
+
+void BM_Md5Digest64K(benchmark::State& state) {
+  const std::string payload(64 * 1024, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Md5::of(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * 1024);
+}
+BENCHMARK(BM_Md5Digest64K);
+
+void BM_CodecRowRoundTrip(benchmark::State& state) {
+  db::Row row;
+  row["uid"] = std::string("00000000-0000-0000-0000-000000000001");
+  row["name"] = std::string("genome");
+  row["size"] = std::int64_t{123456};
+  row["checksum"] = std::string("00112233445566778899aabbccddeeff");
+  for (auto _ : state) {
+    rpc::Writer writer;
+    db::encode_row(writer, row);
+    rpc::Reader reader(writer.buffer());
+    benchmark::DoNotOptimize(db::decode_row(reader));
+  }
+}
+BENCHMARK(BM_CodecRowRoundTrip);
+
+void BM_DewDbInsert(benchmark::State& state) {
+  db::Database database;
+  database.create_table(db::TableSchema{"t", "uid", {"name"}});
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    db::Row row;
+    row["uid"] = std::to_string(i++);
+    row["name"] = std::string("n");
+    benchmark::DoNotOptimize(database.insert("t", std::move(row)));
+  }
+}
+BENCHMARK(BM_DewDbInsert);
+
+void BM_DewDbFind(benchmark::State& state) {
+  const bool indexed = state.range(0) != 0;
+  db::Database database;
+  database.create_table(db::TableSchema{
+      "t", "uid", indexed ? std::vector<std::string>{"name"} : std::vector<std::string>{}});
+  for (int i = 0; i < 10000; ++i) {
+    db::Row row;
+    row["uid"] = std::to_string(i);
+    row["name"] = std::string("n") + std::to_string(i % 100);
+    database.insert("t", std::move(row));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(database.find("t", "name", db::Value{std::string("n42")}));
+  }
+  state.SetLabel(indexed ? "indexed" : "scan");
+}
+BENCHMARK(BM_DewDbFind)->Arg(0)->Arg(1);
+
+void BM_MaxMinRecompute(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  net.set_sharing_model(net::SharingModel::kMaxMin);
+  const auto zone = net.add_zone("z");
+  net::HostSpec server_spec;
+  server_spec.name = "server";
+  const auto server = net.add_host(zone, server_spec);
+  std::vector<net::HostId> clients;
+  for (int i = 0; i < flows; ++i) {
+    net::HostSpec spec;
+    spec.name = "c" + std::to_string(i);
+    clients.push_back(net.add_host(zone, spec));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator fresh(1);
+    net::Network fresh_net(fresh);
+    fresh_net.set_sharing_model(net::SharingModel::kMaxMin);
+    const auto z = fresh_net.add_zone("z");
+    net::HostSpec ss;
+    ss.name = "server";
+    const auto s = fresh_net.add_host(z, ss);
+    std::vector<net::HostId> cs;
+    for (int i = 0; i < flows; ++i) {
+      net::HostSpec spec;
+      spec.name = "c" + std::to_string(i);
+      cs.push_back(fresh_net.add_host(z, spec));
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < flows; ++i) {
+      fresh_net.start_flow(s, cs[static_cast<std::size_t>(i)], 1000,
+                           [](const net::FlowResult&) {});
+    }
+    fresh.run();
+  }
+  (void)server;
+  (void)clients;
+}
+BENCHMARK(BM_MaxMinRecompute)->Arg(16)->Arg(64);
+
+void BM_RingHash(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dht::ring_hash("data-" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_RingHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// bitdew_cli — the paper's Fig. 1 "Command-line Tool": a scriptable front
+// end to a BitDew deployment. Commands (one per line, from arguments or
+// stdin) drive a simulated grid:
+//
+//   nodes N                 add N reservoir hosts
+//   create NAME SIZE        create a data slot and put SIZE of content
+//   attr NAME DSL...        schedule NAME with a DSL attribute string
+//   run SECONDS             advance virtual time
+//   status                  print scheduler/data placement state
+//   delete NAME             remove a datum everywhere
+//
+// Example:
+//   ./examples/bitdew_cli "nodes 6" "create genome 50MB" \
+//       "attr genome replica=3, ft=true, oob=ftp" "run 30" status
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "runtime/sim_runtime.hpp"
+#include "testbed/topologies.hpp"
+#include "util/bytes.hpp"
+#include "util/strings.hpp"
+
+using namespace bitdew;
+
+namespace {
+
+struct Cli {
+  Cli() : net(sim) {
+    cluster = testbed::make_cluster(net, testbed::ClusterSpec{"cli", 2});
+    runtime = std::make_unique<runtime::SimRuntime>(sim, net, cluster.hosts[0]);
+    client = &runtime->add_node(cluster.hosts[1], /*reservoir=*/false);
+  }
+
+  void add_nodes(int count) {
+    for (int i = 0; i < count; ++i) {
+      net::HostSpec spec;
+      spec.name = "node-" + std::to_string(reservoirs.size());
+      const auto host = net.add_host(cluster.zone, spec);
+      reservoirs.push_back(&runtime->add_node(host));
+    }
+    std::printf("grid: %zu reservoir node(s)\n", reservoirs.size());
+  }
+
+  void create(const std::string& name, const std::string& size_text) {
+    const std::int64_t size = util::parse_bytes(size_text);
+    if (size < 0) {
+      std::printf("error: bad size '%s'\n", size_text.c_str());
+      return;
+    }
+    const core::Content content =
+        core::synthetic_content(std::hash<std::string>{}(name), size);
+    const core::Data data = client->bitdew().create_data(name, content);
+    client->bitdew().put(data, content);
+    sim.run_until(sim.now() + 1);
+    std::printf("created %s (%s), uid %s\n", name.c_str(), util::human_bytes(size).c_str(),
+                data.uid.str().c_str());
+  }
+
+  void attr(const std::string& name, const std::string& dsl_body) {
+    const auto data = client->bitdew().known(name);
+    if (!data.has_value()) {
+      std::printf("error: unknown data '%s'\n", name.c_str());
+      return;
+    }
+    try {
+      const core::DataAttributes attributes = client->bitdew().create_attribute(
+          "attr " + name + " = {" + dsl_body + "}", sim.now());
+      client->active_data().schedule(*data, attributes);
+      std::printf("scheduled %s with {%s}\n", name.c_str(), dsl_body.c_str());
+    } catch (const core::AttributeError& error) {
+      std::printf("error: %s\n", error.what());
+    }
+  }
+
+  void remove(const std::string& name) {
+    const auto data = client->bitdew().known(name);
+    if (!data.has_value()) {
+      std::printf("error: unknown data '%s'\n", name.c_str());
+      return;
+    }
+    client->bitdew().remove(*data);
+    std::printf("deleted %s\n", name.c_str());
+  }
+
+  void run_for(double seconds) {
+    sim.run_until(sim.now() + seconds);
+    std::printf("t = %.1fs\n", sim.now());
+  }
+
+  void status() {
+    auto& ds = runtime->container().ds();
+    std::printf("t=%.1fs | scheduled=%zu | dt: %llu ok / %llu rejects\n", sim.now(),
+                ds.scheduled_count(),
+                static_cast<unsigned long long>(runtime->container().dt().stats().completed),
+                static_cast<unsigned long long>(
+                    runtime->container().dt().stats().checksum_rejects));
+    for (auto* node : reservoirs) {
+      std::printf("  %-8s:", node->name().c_str());
+      for (const auto& uid : node->cache()) {
+        const auto data = runtime->container().dc().get(uid);
+        std::printf(" %s", data.has_value() ? data->name.c_str() : uid.str().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  bool dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb.empty()) return true;
+    if (verb == "nodes") {
+      int n = 0;
+      in >> n;
+      add_nodes(n);
+    } else if (verb == "create") {
+      std::string name, size;
+      in >> name >> size;
+      create(name, size);
+    } else if (verb == "attr") {
+      std::string name;
+      in >> name;
+      std::string rest;
+      std::getline(in, rest);
+      attr(name, std::string(util::trim(rest)));
+    } else if (verb == "delete") {
+      std::string name;
+      in >> name;
+      remove(name);
+    } else if (verb == "run") {
+      double seconds = 0;
+      in >> seconds;
+      run_for(seconds);
+    } else if (verb == "status") {
+      status();
+    } else if (verb == "help") {
+      std::printf("commands: nodes N | create NAME SIZE | attr NAME DSL |"
+                  " delete NAME | run SECONDS | status\n");
+    } else {
+      std::printf("error: unknown command '%s' (try help)\n", verb.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  sim::Simulator sim{99};
+  net::Network net;
+  testbed::Cluster cluster;
+  std::unique_ptr<runtime::SimRuntime> runtime;
+  runtime::SimNode* client = nullptr;
+  std::vector<runtime::SimNode*> reservoirs;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) cli.dispatch(argv[i]);
+    return 0;
+  }
+  // Interactive / piped mode.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    cli.dispatch(line);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: create a datum, tag it with attributes through the DSL, let
+// the runtime replicate it over a small desktop grid, and watch life-cycle
+// events — the whole BitDew programming model in ~80 lines.
+//
+//   ./examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "runtime/sim_runtime.hpp"
+#include "testbed/topologies.hpp"
+#include "util/bytes.hpp"
+
+using namespace bitdew;
+
+namespace {
+
+struct PrintEvents final : core::ActiveDataEventHandler {
+  std::string host;
+  sim::Simulator* sim;
+  void on_data_copy(const core::Data& data, const core::DataAttributes& attr) override {
+    std::printf("[%7.2fs] %-8s received a replica of '%s' (%s, attr '%s')\n", sim->now(),
+                host.c_str(), data.name.c_str(), util::human_bytes(data.size).c_str(),
+                attr.name.c_str());
+  }
+  void on_data_delete(const core::Data& data, const core::DataAttributes&) override {
+    std::printf("[%7.2fs] %-8s dropped '%s' (lifetime expired)\n", sim->now(), host.c_str(),
+                data.name.c_str());
+  }
+};
+
+}  // namespace
+
+int main() {
+  // A 9-node cluster: one service host + one client + seven reservoirs.
+  sim::Simulator sim(2024);
+  net::Network net(sim);
+  const auto cluster = testbed::make_cluster(net, testbed::ClusterSpec{"lab", 9});
+  runtime::SimRuntime runtime(sim, net, cluster.hosts[0]);
+
+  runtime::SimNode& client = runtime.add_node(cluster.hosts[1], /*reservoir=*/false);
+  for (int i = 2; i < 9; ++i) {
+    runtime::SimNode& node = runtime.add_node(cluster.hosts[static_cast<std::size_t>(i)]);
+    auto events = std::make_shared<PrintEvents>();
+    events->host = node.name();
+    events->sim = &sim;
+    node.active_data().add_callback(events);
+  }
+
+  // 1. Create a slot in the data space and put 50 MB of content into it.
+  const core::Content content = core::synthetic_content(1, 50 * util::kMB);
+  const core::Data dataset = client.bitdew().create_data("dataset", content);
+  client.bitdew().put(dataset, content);
+
+  // 2. Describe the behaviour with the paper's attribute DSL: three live
+  //    replicas, crash-resilient, moved with FTP, gone after 120 s.
+  const core::DataAttributes attributes = client.bitdew().create_attribute(
+      "attr dataset = {replica=3, ft=true, oob=ftp, abstime=120}", sim.now());
+
+  // 3. Schedule it — placement, transfers, fault tolerance and deletion are
+  //    now the runtime's problem, not ours.
+  client.active_data().schedule(dataset, attributes);
+
+  sim.run_until(200);
+
+  std::printf("\nscheduler state after the run: %zu data scheduled, owners of '%s': %zu\n",
+              runtime.container().ds().scheduled_count(), dataset.name.c_str(),
+              runtime.container().ds().owners(dataset.uid).size());
+  std::printf("DT transfers completed: %llu, checksum rejects: %llu\n",
+              static_cast<unsigned long long>(runtime.container().dt().stats().completed),
+              static_cast<unsigned long long>(
+                  runtime.container().dt().stats().checksum_rejects));
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "api/active_data.hpp"
+
+namespace bitdew::api {
+
+void ActiveData::schedule(const core::Data& data, const core::DataAttributes& attributes,
+                          Reply<bool> done) {
+  if (!done) done = [](bool) {};
+  bus_.ds_schedule(data, attributes,
+                   [this, data, attributes, done = std::move(done)](bool ok) mutable {
+                     if (ok) dispatch_create(data, attributes);
+                     done(ok);
+                   });
+}
+
+void ActiveData::pin(const core::Data& data, const core::DataAttributes& attributes,
+                     Reply<bool> done) {
+  if (!done) done = [](bool) {};
+  bus_.ds_schedule(data, attributes,
+                   [this, data, attributes, done = std::move(done)](bool ok) mutable {
+                     if (!ok) {
+                       done(false);
+                       return;
+                     }
+                     dispatch_create(data, attributes);
+                     bus_.ds_pin(data.uid, host_, std::move(done));
+                   });
+}
+
+void ActiveData::unschedule(const core::Data& data, Reply<bool> done) {
+  bus_.ds_unschedule(data.uid, done ? std::move(done) : [](bool) {});
+}
+
+void ActiveData::dispatch_create(const core::Data& data,
+                                 const core::DataAttributes& attributes) {
+  for (const auto& handler : handlers_) handler->on_data_create(data, attributes);
+}
+
+void ActiveData::dispatch_copy(const core::Data& data, const core::DataAttributes& attributes) {
+  for (const auto& handler : handlers_) handler->on_data_copy(data, attributes);
+}
+
+void ActiveData::dispatch_delete(const core::Data& data,
+                                 const core::DataAttributes& attributes) {
+  for (const auto& handler : handlers_) handler->on_data_delete(data, attributes);
+}
+
+}  // namespace bitdew::api

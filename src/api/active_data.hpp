@@ -1,0 +1,52 @@
+// ActiveData (paper §3.3): binds attributes to data through the scheduler
+// and delivers data life-cycle events to installed handlers. The node
+// runtime calls dispatch_* when replicas arrive or are dropped; handlers
+// are the programming model of the paper's Updater and master/worker
+// examples.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "api/service_bus.hpp"
+#include "core/events.hpp"
+
+namespace bitdew::api {
+
+class ActiveData {
+ public:
+  explicit ActiveData(ServiceBus& bus, std::string host_name)
+      : bus_(bus), host_(std::move(host_name)) {}
+
+  /// Associates a datum with attributes and orders the Data Scheduler to
+  /// realize them (Algorithm 1). Fires on_data_create locally once acked.
+  void schedule(const core::Data& data, const core::DataAttributes& attributes,
+                Reply<bool> done = nullptr);
+
+  /// schedule + declare this node a permanent owner (the paper's pin; the
+  /// master pins the Collector so results converge on it).
+  void pin(const core::Data& data, const core::DataAttributes& attributes,
+           Reply<bool> done = nullptr);
+
+  /// Removes the datum from the scheduler.
+  void unschedule(const core::Data& data, Reply<bool> done = nullptr);
+
+  /// Installs a life-cycle event handler (kept until this object dies).
+  void add_callback(std::shared_ptr<core::ActiveDataEventHandler> handler) {
+    handlers_.push_back(std::move(handler));
+  }
+
+  // --- runtime-side dispatch ------------------------------------------------
+  void dispatch_create(const core::Data& data, const core::DataAttributes& attributes);
+  void dispatch_copy(const core::Data& data, const core::DataAttributes& attributes);
+  void dispatch_delete(const core::Data& data, const core::DataAttributes& attributes);
+
+  std::size_t handler_count() const { return handlers_.size(); }
+
+ private:
+  ServiceBus& bus_;
+  std::string host_;
+  std::vector<std::shared_ptr<core::ActiveDataEventHandler>> handlers_;
+};
+
+}  // namespace bitdew::api

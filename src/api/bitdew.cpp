@@ -1,0 +1,79 @@
+#include "api/bitdew.hpp"
+
+namespace bitdew::api {
+
+void BitDew::remember(const core::Data& data) { known_by_name_[data.name] = data; }
+
+core::Data BitDew::create_data(const std::string& name, const core::Content& content,
+                               Reply<bool> done) {
+  core::Data data;
+  data.uid = util::next_auid();
+  data.name = name;
+  data.size = content.size;
+  data.checksum = content.checksum;
+  remember(data);
+  bus_.dc_register(data, done ? std::move(done) : [](bool) {});
+  return data;
+}
+
+core::Data BitDew::create_data(const std::string& name, Reply<bool> done) {
+  return create_data(name, core::Content{0, core::synthetic_content(0, 0).checksum},
+                     std::move(done));
+}
+
+void BitDew::put(const core::Data& data, const core::Content& content, Reply<bool> done,
+                 const std::string& protocol) {
+  if (!done) done = [](bool) {};
+  bus_.dr_put(data, content, protocol,
+              [this, done = std::move(done)](core::Locator locator) mutable {
+                bus_.dc_add_locator(locator, std::move(done));
+              });
+}
+
+void BitDew::offer_local(const core::Data& data, const std::string& protocol, Reply<bool> done) {
+  core::Locator locator;
+  locator.data_uid = data.uid;
+  locator.protocol = protocol;
+  locator.host = host_;
+  locator.path = "local/" + data.uid.str();
+  bus_.dc_add_locator(locator, done ? std::move(done) : [](bool) {});
+}
+
+void BitDew::search(const std::string& name, Reply<std::optional<core::Data>> done) {
+  bus_.dc_search(name, [this, done = std::move(done)](std::vector<core::Data> found) mutable {
+    if (found.empty()) {
+      done(std::nullopt);
+      return;
+    }
+    remember(found.front());
+    done(found.front());
+  });
+}
+
+void BitDew::remove(const core::Data& data, Reply<bool> done) {
+  if (!done) done = [](bool) {};
+  bus_.ds_unschedule(data.uid, [this, uid = data.uid, done = std::move(done)](bool) mutable {
+    bus_.dr_remove(uid, [this, uid, done = std::move(done)](bool) mutable {
+      bus_.dc_remove(uid, std::move(done));
+    });
+  });
+}
+
+core::DataAttributes BitDew::create_attribute(const std::string& text, double now) const {
+  return core::parse_attributes(
+      text,
+      [this](const std::string& reference) -> std::optional<util::Auid> {
+        const auto it = known_by_name_.find(reference);
+        if (it == known_by_name_.end()) return std::nullopt;
+        return it->second.uid;
+      },
+      now);
+}
+
+std::optional<core::Data> BitDew::known(const std::string& name) const {
+  const auto it = known_by_name_.find(name);
+  if (it == known_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace bitdew::api

@@ -1,0 +1,79 @@
+// The BitDew API (paper §3.3): data-space slot creation, put/get of
+// content, search, deletion and attribute construction. All operations are
+// asynchronous with completion callbacks; the LocalRuntime layers blocking
+// wrappers on top.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "api/service_bus.hpp"
+
+namespace bitdew::api {
+
+class BitDew {
+ public:
+  /// `host_name` identifies this node towards the services.
+  BitDew(ServiceBus& bus, std::string host_name)
+      : bus_(bus), host_(std::move(host_name)) {}
+
+  /// Creates a data slot from a content descriptor and registers it in the
+  /// DC. The returned Data is immediately usable; `done` fires once the
+  /// catalog acknowledged (ok == false on duplicate).
+  core::Data create_data(const std::string& name, const core::Content& content,
+                         Reply<bool> done = nullptr);
+
+  /// Creates an empty slot (the paper's Collector is one).
+  core::Data create_data(const std::string& name, Reply<bool> done = nullptr);
+
+  /// Copies content into the data space: registers it with the Data
+  /// Repository and publishes the resulting locator.
+  void put(const core::Data& data, const core::Content& content, Reply<bool> done = nullptr,
+           const std::string& protocol = "ftp");
+
+  /// Declares that this node holds the content locally and can serve it
+  /// (used by workers producing results; publishes a locator naming this
+  /// host instead of uploading to the repository).
+  void offer_local(const core::Data& data, const std::string& protocol = "http",
+                   Reply<bool> done = nullptr);
+
+  /// Looks up the locators for a datum (transfer sources).
+  void locate(const util::Auid& uid, Reply<std::vector<core::Locator>> done) {
+    bus_.dc_locators(uid, std::move(done));
+  }
+
+  /// The paper's searchData: first datum registered under `name`.
+  void search(const std::string& name, Reply<std::optional<core::Data>> done);
+
+  /// Deletes a datum everywhere: catalog, repository and scheduler (hosts
+  /// drop their replicas at the next synchronization).
+  void remove(const core::Data& data, Reply<bool> done = nullptr);
+
+  /// Builds typed attributes from the DSL. Symbolic references resolve
+  /// against data this node has created or searched.
+  core::DataAttributes create_attribute(const std::string& text, double now = 0.0) const;
+
+  /// Generic DHT access (paper: "publish any key/value pairs").
+  void publish(const std::string& key, const std::string& value, Reply<bool> done = nullptr) {
+    bus_.ddc_publish(key, value, done ? std::move(done) : [](bool) {});
+  }
+  void lookup(const std::string& key, Reply<std::vector<std::string>> done) {
+    bus_.ddc_search(key, std::move(done));
+  }
+
+  /// Data known locally by name (created or found through search()).
+  std::optional<core::Data> known(const std::string& name) const;
+
+  const std::string& host_name() const { return host_; }
+  ServiceBus& bus() { return bus_; }
+
+ private:
+  void remember(const core::Data& data);
+
+  ServiceBus& bus_;
+  std::string host_;
+  std::map<std::string, core::Data> known_by_name_;
+};
+
+}  // namespace bitdew::api

@@ -1,0 +1,73 @@
+// ServiceBus: the asynchronous client view of the four D* services plus the
+// Distributed Data Catalog. The API classes (BitDew / ActiveData /
+// TransferManager) are written against this interface only, so the same
+// user code runs over the discrete-event runtime (SimServiceBus: every call
+// is a request/response flow on the simulated network) and the threaded
+// LocalRuntime (DirectServiceBus: a function call) — the paper's claim that
+// the service back-ends are swappable, made concrete.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/attributes.hpp"
+#include "core/data.hpp"
+#include "core/locator.hpp"
+#include "services/data_scheduler.hpp"
+#include "services/data_transfer.hpp"
+
+namespace bitdew::api {
+
+template <typename T>
+using Reply = std::function<void(T)>;
+
+class ServiceBus {
+ public:
+  virtual ~ServiceBus() = default;
+
+  // --- Data Catalog ---------------------------------------------------------
+  virtual void dc_register(const core::Data& data, Reply<bool> done) = 0;
+  virtual void dc_get(const util::Auid& uid, Reply<std::optional<core::Data>> done) = 0;
+  virtual void dc_search(const std::string& name, Reply<std::vector<core::Data>> done) = 0;
+  virtual void dc_remove(const util::Auid& uid, Reply<bool> done) = 0;
+  virtual void dc_add_locator(const core::Locator& locator, Reply<bool> done) = 0;
+  virtual void dc_locators(const util::Auid& uid, Reply<std::vector<core::Locator>> done) = 0;
+
+  // --- Data Repository --------------------------------------------------------
+  virtual void dr_put(const core::Data& data, const core::Content& content,
+                      const std::string& protocol, Reply<core::Locator> done) = 0;
+  virtual void dr_get(const util::Auid& uid, Reply<std::optional<core::Content>> done) = 0;
+  virtual void dr_remove(const util::Auid& uid, Reply<bool> done) = 0;
+
+  // --- Data Transfer ------------------------------------------------------------
+  virtual void dt_register(const core::Data& data, const std::string& source,
+                           const std::string& destination, const std::string& protocol,
+                           Reply<services::TicketId> done) = 0;
+  virtual void dt_monitor(services::TicketId ticket, std::int64_t done_bytes,
+                          Reply<bool> done) = 0;
+  virtual void dt_complete(services::TicketId ticket, const std::string& received_checksum,
+                           const std::string& expected_checksum, Reply<bool> done) = 0;
+  virtual void dt_failure(services::TicketId ticket, std::int64_t bytes_held, bool can_resume,
+                          Reply<bool> done) = 0;
+  virtual void dt_give_up(services::TicketId ticket, Reply<bool> done) = 0;
+
+  // --- Data Scheduler -------------------------------------------------------------
+  virtual void ds_schedule(const core::Data& data, const core::DataAttributes& attributes,
+                           Reply<bool> done) = 0;
+  virtual void ds_pin(const util::Auid& uid, const std::string& host, Reply<bool> done) = 0;
+  virtual void ds_unschedule(const util::Auid& uid, Reply<bool> done) = 0;
+  virtual void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
+                       const std::vector<util::Auid>& in_flight,
+                       Reply<services::SyncReply> done) = 0;
+
+  // --- Distributed Data Catalog (DHT) -----------------------------------------------
+  /// Publishes a generic key/value pair (paper §3.3: the DHT is exposed for
+  /// generic use; replica locations use key = data uid, value = host).
+  virtual void ddc_publish(const std::string& key, const std::string& value,
+                           Reply<bool> done) = 0;
+  virtual void ddc_search(const std::string& key, Reply<std::vector<std::string>> done) = 0;
+};
+
+}  // namespace bitdew::api

@@ -1,0 +1,74 @@
+#include "api/transfer_manager.hpp"
+
+namespace bitdew::api {
+
+void TransferManager::admit(std::function<void()> run) {
+  if (max_concurrent_ > 0 && active_ >= max_concurrent_) {
+    pending_.push_back(std::move(run));
+    return;
+  }
+  run();
+}
+
+void TransferManager::begin(const util::Auid& uid) {
+  ++active_;
+  states_[uid] = TransferProbe::kActive;
+}
+
+void TransferManager::finish(const util::Auid& uid, bool ok) {
+  --active_;
+  states_[uid] = ok ? TransferProbe::kDone : TransferProbe::kFailed;
+
+  const auto waiting = waiters_.find(uid);
+  if (waiting != waiters_.end()) {
+    auto callbacks = std::move(waiting->second);
+    waiters_.erase(waiting);
+    for (auto& callback : callbacks) callback(ok);
+  }
+
+  // Admit queued transfers into the freed slot.
+  while (!pending_.empty() && (max_concurrent_ == 0 || active_ < max_concurrent_)) {
+    auto next = std::move(pending_.front());
+    pending_.pop_front();
+    next();
+    // `next` is expected to call begin() synchronously; if it raised
+    // active_ to the cap, stop admitting.
+    if (max_concurrent_ > 0 && active_ >= max_concurrent_) break;
+  }
+  maybe_release_barriers();
+}
+
+TransferProbe TransferManager::probe(const util::Auid& uid) const {
+  const auto it = states_.find(uid);
+  return it != states_.end() ? it->second : TransferProbe::kUnknown;
+}
+
+void TransferManager::when_done(const util::Auid& uid, std::function<void(bool)> done) {
+  const auto state = probe(uid);
+  if (state == TransferProbe::kDone) {
+    done(true);
+    return;
+  }
+  if (state == TransferProbe::kFailed) {
+    done(false);
+    return;
+  }
+  waiters_[uid].push_back(std::move(done));
+}
+
+void TransferManager::barrier(std::function<void()> done) {
+  if (active_ == 0 && pending_.empty()) {
+    done();
+    return;
+  }
+  barriers_.push_back(std::move(done));
+}
+
+void TransferManager::maybe_release_barriers() {
+  if (active_ != 0 || !pending_.empty()) return;
+  auto ready = std::move(barriers_);
+  barriers_.clear();
+  for (auto& barrier : ready) barrier();
+}
+
+}  // namespace bitdew::api

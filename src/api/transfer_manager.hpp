@@ -1,0 +1,61 @@
+// TransferManager (paper §3.3): a non-blocking view over this node's
+// concurrent transfers — probe per datum, completion callbacks (the async
+// analogue of waitFor), barriers over everything outstanding, and a
+// tunable concurrency cap with FIFO admission.
+//
+// The node runtime (simulated or local) registers every transfer it starts
+// through begin()/finish(); user code observes them here.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/data.hpp"
+
+namespace bitdew::api {
+
+enum class TransferProbe { kUnknown, kActive, kDone, kFailed };
+
+class TransferManager {
+ public:
+  /// Limits simultaneously running transfers on this node (0 == unlimited).
+  void set_max_concurrent(int limit) { max_concurrent_ = limit; }
+  int max_concurrent() const { return max_concurrent_; }
+
+  /// Queues work under the concurrency cap; `run` is invoked when a slot is
+  /// free. The runtime wraps protocol starts with this.
+  void admit(std::function<void()> run);
+
+  /// Marks a transfer of `uid` started (runtime side).
+  void begin(const util::Auid& uid);
+
+  /// Marks it finished; releases the slot and fires waiters (runtime side).
+  void finish(const util::Auid& uid, bool ok);
+
+  /// Non-blocking probe of the paper's API.
+  TransferProbe probe(const util::Auid& uid) const;
+
+  /// The async waitFor: runs `done(ok)` when the datum's transfer
+  /// completes; immediate if it already has.
+  void when_done(const util::Auid& uid, std::function<void(bool)> done);
+
+  /// Barrier: fires once no transfer is active or queued.
+  void barrier(std::function<void()> done);
+
+  int active_count() const { return active_; }
+  int queued_count() const { return static_cast<int>(pending_.size()); }
+
+ private:
+  void maybe_release_barriers();
+
+  int max_concurrent_ = 0;
+  int active_ = 0;
+  std::deque<std::function<void()>> pending_;
+  std::map<util::Auid, TransferProbe> states_;
+  std::map<util::Auid, std::vector<std::function<void(bool)>>> waiters_;
+  std::vector<std::function<void()>> barriers_;
+};
+
+}  // namespace bitdew::api

@@ -1,0 +1,212 @@
+#include "core/attributes.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace bitdew::core {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.' ||
+         c == ':' || c == '/';
+}
+
+/// Minimal recursive-descent tokenizer for the DSL.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool eat(char c) {
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_space();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool done() {
+    skip_space();
+    return pos_ >= text_.size();
+  }
+
+  std::string identifier() {
+    skip_space();
+    std::string out;
+    while (pos_ < text_.size() && is_ident_char(text_[pos_])) out.push_back(text_[pos_++]);
+    return out;
+  }
+
+  /// Value token: quoted string, or a run of identifier chars (signed
+  /// numbers included).
+  std::string value() {
+    skip_space();
+    if (pos_ < text_.size() && (text_[pos_] == '"' || text_[pos_] == '\'')) {
+      const char quote = text_[pos_++];
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != quote) out.push_back(text_[pos_++]);
+      if (pos_ >= text_.size()) throw AttributeError("unterminated string literal");
+      ++pos_;  // closing quote
+      return out;
+    }
+    std::string out;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      out.push_back(text_[pos_++]);
+    }
+    while (pos_ < text_.size() && is_ident_char(text_[pos_])) out.push_back(text_[pos_++]);
+    return out;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+long long parse_int(const std::string& text, const std::string& key) {
+  long long value = 0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    throw AttributeError("attribute '" + key + "': expected integer, got '" + text + "'");
+  }
+  return value;
+}
+
+double parse_real(const std::string& text, const std::string& key) {
+  double value = 0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    throw AttributeError("attribute '" + key + "': expected number, got '" + text + "'");
+  }
+  return value;
+}
+
+bool parse_flag(const std::string& text, const std::string& key) {
+  if (util::iequals(text, "true") || text == "1" || util::iequals(text, "yes")) return true;
+  if (util::iequals(text, "false") || text == "0" || util::iequals(text, "no")) return false;
+  throw AttributeError("attribute '" + key + "': expected boolean, got '" + text + "'");
+}
+
+util::Auid resolve_reference(const std::string& text, const DataResolver& resolver,
+                             const std::string& key) {
+  // A literal uid wins; otherwise ask the resolver (name lookup).
+  const util::Auid literal = util::Auid::parse(text);
+  if (!literal.is_nil()) return literal;
+  if (resolver) {
+    const auto resolved = resolver(text);
+    if (resolved.has_value() && !resolved->is_nil()) return *resolved;
+  }
+  throw AttributeError("attribute '" + key + "': cannot resolve data reference '" + text + "'");
+}
+
+}  // namespace
+
+std::optional<std::string> AttributeSpec::field(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+AttributeSpec parse_attribute(std::string_view text) {
+  Scanner scanner(text);
+  AttributeSpec spec;
+
+  // Optional leading "attr"/"attribute" keyword.
+  std::string first = scanner.identifier();
+  if (util::iequals(first, "attr") || util::iequals(first, "attribute")) {
+    first = scanner.identifier();
+  }
+  if (first.empty()) throw AttributeError("missing attribute name");
+  spec.name = first;
+
+  if (!scanner.eat('=')) throw AttributeError("expected '=' after attribute name");
+  if (!scanner.eat('{')) throw AttributeError("expected '{' opening the attribute body");
+
+  if (scanner.eat('}')) {
+    if (!scanner.done()) throw AttributeError("trailing characters after '}'");
+    return spec;  // empty body, e.g. the paper's "Collector attribute {}"
+  }
+
+  while (true) {
+    const std::string key = scanner.identifier();
+    if (key.empty()) throw AttributeError("expected field name");
+    if (!scanner.eat('=')) throw AttributeError("expected '=' after field '" + key + "'");
+    const std::string value = scanner.value();
+    if (value.empty()) throw AttributeError("field '" + key + "' has an empty value");
+    spec.fields.emplace_back(util::to_lower(key), value);
+    if (scanner.eat(',')) continue;
+    if (scanner.eat('}')) break;
+    throw AttributeError("expected ',' or '}' after field '" + key + "'");
+  }
+  if (!scanner.done()) throw AttributeError("trailing characters after '}'");
+  return spec;
+}
+
+DataAttributes attributes_from_spec(const AttributeSpec& spec, const DataResolver& resolver,
+                                    double now) {
+  DataAttributes attributes;
+  attributes.name = spec.name;
+  bool replica_explicit = false;
+
+  for (const auto& [key, value] : spec.fields) {
+    if (key == "replica" || key == "replicat" || key == "replication") {
+      replica_explicit = true;
+      const long long n = parse_int(value, key);
+      if (n < -1) throw AttributeError("replica must be >= -1");
+      attributes.replica = static_cast<int>(n);
+    } else if (key == "ft" || key == "fault_tolerance" || key == "faulttolerance" ||
+               key == "fault-tolerance") {
+      attributes.fault_tolerant = parse_flag(value, key);
+    } else if (key == "oob" || key == "protocol") {
+      attributes.protocol = util::to_lower(value);
+    } else if (key == "abstime") {
+      // The paper's abstime is a duration from now (e.g. 43200 for 30 days
+      // of minutes); we treat it as seconds of virtual time.
+      const double duration = parse_real(value, key);
+      if (duration < 0) throw AttributeError("abstime must be >= 0");
+      attributes.lifetime = Lifetime::absolute(now + duration);
+    } else if (key == "lifetime" || key == "reltime") {
+      attributes.lifetime = Lifetime::relative(resolve_reference(value, resolver, key));
+    } else if (key == "affinity") {
+      // A literal uid or resolvable name binds to that datum; otherwise the
+      // value is a class-affinity on the data *name* (paper: affinity =
+      // Sequence attracts the Genebase to every host holding a Sequence).
+      const util::Auid literal = util::Auid::parse(value);
+      if (!literal.is_nil()) {
+        attributes.affinity = literal;
+      } else {
+        std::optional<util::Auid> resolved;
+        if (resolver) resolved = resolver(value);
+        if (resolved.has_value() && !resolved->is_nil()) {
+          attributes.affinity = *resolved;
+        } else {
+          attributes.affinity_name = value;
+        }
+      }
+    } else {
+      throw AttributeError("unknown attribute field '" + key + "'");
+    }
+  }
+  // Affinity without an explicit replica count means affinity-only
+  // placement: the datum follows its reference (paper: "affinity is
+  // stronger than replica") instead of also being scheduled once anywhere.
+  if (attributes.has_affinity() && !replica_explicit) attributes.replica = 0;
+  return attributes;
+}
+
+DataAttributes parse_attributes(std::string_view text, const DataResolver& resolver, double now) {
+  return attributes_from_spec(parse_attribute(text), resolver, now);
+}
+
+}  // namespace bitdew::core

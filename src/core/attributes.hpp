@@ -1,0 +1,100 @@
+// Data attributes: the five metadata knobs that drive the runtime
+// (paper §3.2) — replica, fault tolerance, lifetime (absolute or relative),
+// affinity and transfer protocol — plus the textual attribute DSL used in
+// the paper's listings:
+//
+//   attr update = {replica=-1, oob=bittorrent, abstime=43200}
+//   attr host   = {affinity=<uid>}
+//   attr Sequence = {fault_tolerance=true, oob=http, lifetime=Collector,
+//                    replica=2}
+//
+// parse_attribute() produces a raw AttributeSpec; attributes_from_spec()
+// resolves symbolic references (affinity / relative lifetime naming another
+// datum) through a caller-supplied resolver.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/auid.hpp"
+
+namespace bitdew::core {
+
+/// Broadcast marker: schedule the data to every reservoir host.
+inline constexpr int kReplicaAll = -1;
+
+struct Lifetime {
+  enum class Kind { kForever, kAbsolute, kRelative };
+
+  Kind kind = Kind::kForever;
+  double expires_at = 0;      ///< absolute: virtual-time deadline (seconds)
+  util::Auid reference;       ///< relative: obsolete when this datum dies
+
+  static Lifetime forever() { return {}; }
+  static Lifetime absolute(double expires_at) {
+    return Lifetime{Kind::kAbsolute, expires_at, util::Auid::nil()};
+  }
+  static Lifetime relative(util::Auid reference) {
+    return Lifetime{Kind::kRelative, 0, reference};
+  }
+
+  friend bool operator==(const Lifetime&, const Lifetime&) = default;
+};
+
+struct DataAttributes {
+  std::string name = "default";
+  int replica = 1;               ///< required live copies; kReplicaAll == all
+  bool fault_tolerant = false;   ///< reschedule replicas lost to crashes
+  Lifetime lifetime;
+  util::Auid affinity;           ///< nil == none; schedules next to that datum
+  /// Affinity to a *class* of data by name: the paper's BLAST listing sets
+  /// `affinity = Sequence`, meaning "wherever any Sequence datum lands".
+  /// Used when `affinity` is nil; empty == none.
+  std::string affinity_name;
+  std::string protocol = "ftp";  ///< preferred out-of-band transfer protocol
+
+  bool has_affinity() const { return !affinity.is_nil() || !affinity_name.empty(); }
+
+  friend bool operator==(const DataAttributes&, const DataAttributes&) = default;
+};
+
+/// Raw parse of "attr name = {key=value, ...}" (order preserved).
+struct AttributeSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  std::optional<std::string> field(std::string_view key) const;
+};
+
+class AttributeError : public std::runtime_error {
+ public:
+  explicit AttributeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses the attribute DSL. Accepts the paper's spellings: replica /
+/// replicat / replication, oob / protocol, ft / fault_tolerance /
+/// faulttolerance, abstime / lifetime / reltime, affinity. Values may be
+/// integers, booleans, identifiers, uids or quoted strings. Throws
+/// AttributeError on malformed input.
+AttributeSpec parse_attribute(std::string_view text);
+
+/// Resolves a symbolic data reference (name or uid string) to a uid.
+using DataResolver = std::function<std::optional<util::Auid>(const std::string&)>;
+
+/// Builds typed attributes from a parsed spec. `resolver` is consulted for
+/// affinity and relative-lifetime references; `now` anchors relative
+/// abstime values (the paper's abstime is a duration). Throws
+/// AttributeError on unknown keys, bad values or unresolvable references.
+DataAttributes attributes_from_spec(const AttributeSpec& spec, const DataResolver& resolver,
+                                    double now = 0.0);
+
+/// Convenience: parse + resolve in one step.
+DataAttributes parse_attributes(std::string_view text, const DataResolver& resolver,
+                                double now = 0.0);
+
+}  // namespace bitdew::core

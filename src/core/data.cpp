@@ -1,0 +1,41 @@
+#include "core/data.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/md5.hpp"
+#include "util/strf.hpp"
+
+namespace bitdew::core {
+
+Content synthetic_content(std::uint64_t seed, std::int64_t size) {
+  Content content;
+  content.size = size;
+  content.checksum = util::Md5::of(util::strf("synthetic:%llu:%lld",
+                                              static_cast<unsigned long long>(seed),
+                                              static_cast<long long>(size)))
+                         .hex();
+  return content;
+}
+
+Content file_content(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("file_content: cannot open " + path);
+  util::Md5 hasher;
+  char buffer[64 * 1024];
+  std::int64_t total = 0;
+  while (in) {
+    in.read(buffer, sizeof(buffer));
+    const std::streamsize got = in.gcount();
+    if (got > 0) {
+      hasher.update(buffer, static_cast<std::size_t>(got));
+      total += got;
+    }
+  }
+  Content content;
+  content.size = total;
+  content.checksum = hasher.finish().hex();
+  return content;
+}
+
+}  // namespace bitdew::core

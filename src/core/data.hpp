@@ -1,0 +1,51 @@
+// The BitDew data model (paper §3.3).
+//
+// A Data object is a slot in the virtual data space: name, MD5 checksum,
+// size and content flags. Content lives out-of-band (a real file under the
+// LocalRuntime, a synthetic descriptor under the simulator); Data carries
+// only metadata, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/auid.hpp"
+
+namespace bitdew::core {
+
+/// OR-combinable content flags (paper: "compressed, executable,
+/// architecture dependent, etc.").
+enum DataFlags : std::uint32_t {
+  kFlagNone = 0,
+  kFlagCompressed = 1u << 0,
+  kFlagExecutable = 1u << 1,
+  kFlagArchDependent = 1u << 2,
+};
+
+struct Data {
+  util::Auid uid;         ///< unique identifier (AUID)
+  std::string name;       ///< character-string label
+  std::string checksum;   ///< MD5 hex of the content
+  std::int64_t size = 0;  ///< content length in bytes
+  std::uint32_t flags = kFlagNone;
+
+  bool valid() const { return !uid.is_nil(); }
+
+  friend bool operator==(const Data&, const Data&) = default;
+};
+
+/// Content descriptor decoupled from storage: enough to transfer and verify.
+struct Content {
+  std::int64_t size = 0;
+  std::string checksum;  ///< MD5 hex
+};
+
+/// Synthetic content for simulations: the checksum is the MD5 of the
+/// descriptor string, so integrity checking exercises the real code path
+/// without materializing gigabytes.
+Content synthetic_content(std::uint64_t seed, std::int64_t size);
+
+/// Content of a real file (streams it through MD5). Throws on IO failure.
+Content file_content(const std::string& path);
+
+}  // namespace bitdew::core

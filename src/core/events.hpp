@@ -1,0 +1,35 @@
+// Data life-cycle events (paper §3.3): creation, copy (a replica landed on
+// a host) and deletion. ActiveData dispatches these to installed handlers;
+// the Updater example in the paper (Listings 1-2) is written entirely in
+// terms of these callbacks.
+#pragma once
+
+#include "core/attributes.hpp"
+#include "core/data.hpp"
+
+namespace bitdew::core {
+
+enum class DataEventKind { kCreate, kCopy, kDelete };
+
+/// Handler base class, mirroring the paper's ActiveDataEventHandler. Derive
+/// and override the events you care about; default implementations ignore.
+class ActiveDataEventHandler {
+ public:
+  virtual ~ActiveDataEventHandler() = default;
+
+  virtual void on_data_create(const Data& data, const DataAttributes& attributes) {
+    (void)data;
+    (void)attributes;
+  }
+  /// Fires on the host that just received (or produced) a replica.
+  virtual void on_data_copy(const Data& data, const DataAttributes& attributes) {
+    (void)data;
+    (void)attributes;
+  }
+  virtual void on_data_delete(const Data& data, const DataAttributes& attributes) {
+    (void)data;
+    (void)attributes;
+  }
+};
+
+}  // namespace bitdew::core

@@ -1,0 +1,26 @@
+// Locator: remote-access coordinates for a datum (paper §3.4.1: "a Locator
+// object is similar to URL"). The Data Catalog stores one or more locators
+// per datum; the Data Transfer service turns a locator into an out-of-band
+// transfer.
+#pragma once
+
+#include <string>
+
+#include "util/auid.hpp"
+
+namespace bitdew::core {
+
+struct Locator {
+  util::Auid data_uid;
+  std::string protocol;     ///< "ftp", "http", "bittorrent", "localfile", ...
+  std::string host;         ///< service host name holding the content
+  std::string path;         ///< remote reference: path, hash key or info-hash
+  std::string credentials;  ///< protocol credentials ("login:password"), may be empty
+
+  /// URL-ish rendering for logs: proto://host/path
+  std::string url() const { return protocol + "://" + host + "/" + path; }
+
+  friend bool operator==(const Locator&, const Locator&) = default;
+};
+
+}  // namespace bitdew::core

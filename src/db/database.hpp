@@ -1,0 +1,85 @@
+// DewDB database: a set of named tables with optional write-ahead-log
+// durability. When constructed with a path, every mutation is appended to
+// the WAL and replayed on the next open; compact() rewrites the log as a
+// snapshot. Thread safety is the caller's concern (the engines add it).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "db/table.hpp"
+
+namespace bitdew::db {
+
+/// Per-operation counters (exposed by the Table 2 bench).
+struct DatabaseStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t finds = 0;
+};
+
+struct TableSchema {
+  std::string name;
+  std::string primary;               // empty == none
+  std::vector<std::string> indexes;  // secondary indexes
+};
+
+class Database {
+ public:
+  /// In-memory database.
+  Database() = default;
+
+  /// Durable database: replays `wal_path` if it exists, then appends.
+  explicit Database(std::string wal_path);
+
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Table& create_table(const TableSchema& schema);
+  Table* table(std::string_view name);
+  const Table* table(std::string_view name) const;
+
+  // Mutations routed through the database so the WAL sees them.
+  std::optional<RowId> insert(std::string_view table, Row row);
+  bool update(std::string_view table, RowId id, Row row);
+  bool patch(std::string_view table, RowId id, const Row& columns);
+  bool erase(std::string_view table, RowId id);
+  const Row* get(std::string_view table, RowId id);
+  std::vector<RowId> find(std::string_view table, std::string_view column, const Value& value);
+
+  /// Rewrites the WAL as a compact snapshot of current state.
+  void compact();
+
+  const DatabaseStats& stats() const { return stats_; }
+  bool durable() const { return !wal_path_.empty(); }
+
+ private:
+  enum class WalOp : std::uint8_t {
+    kCreateTable = 1,
+    kInsert = 2,
+    kUpdate = 3,
+    kErase = 4,
+  };
+
+  void wal_append(const std::string& record);
+  void wal_create_table(const TableSchema& schema);
+  void wal_insert(std::string_view table, RowId id, const Row& row);
+  void wal_update(std::string_view table, RowId id, const Row& row);
+  void wal_erase(std::string_view table, RowId id);
+  void replay();
+
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+  DatabaseStats stats_;
+  std::string wal_path_;
+  std::ofstream wal_;
+  bool replaying_ = false;
+};
+
+}  // namespace bitdew::db

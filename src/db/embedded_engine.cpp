@@ -1,0 +1,35 @@
+#include "db/embedded_engine.hpp"
+
+#include "util/auid.hpp"
+#include "util/md5.hpp"
+
+namespace bitdew::db {
+namespace {
+
+class EmbeddedConnection final : public Connection {
+ public:
+  EmbeddedConnection(EmbeddedEngine& engine, std::string session_token)
+      : engine_(engine), session_token_(std::move(session_token)) {}
+
+  Response execute(const Command& command) override {
+    const std::lock_guard lock(engine_.mutex());
+    return apply_command(engine_.database(), command);
+  }
+
+ private:
+  EmbeddedEngine& engine_;
+  std::string session_token_;  // session identity, kept for tracing
+};
+
+}  // namespace
+
+std::unique_ptr<Connection> EmbeddedEngine::connect() {
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  // Session establishment: mint an identity and digest it, the lightweight
+  // analogue of JDBC session setup.
+  const std::string token = util::next_auid().str();
+  const util::Md5Digest digest = util::Md5::of(token);
+  return std::make_unique<EmbeddedConnection>(*this, digest.hex());
+}
+
+}  // namespace bitdew::db

@@ -1,0 +1,35 @@
+// Embedded engine (the HsqlDB role): commands execute in-process against a
+// mutex-guarded Database. Connections still perform a session handshake
+// (session-state allocation + token digest) so that pooling has a measurable
+// effect, mirroring the JDBC behaviour Table 2 reports.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "db/engine.hpp"
+
+namespace bitdew::db {
+
+class EmbeddedEngine final : public Engine {
+ public:
+  explicit EmbeddedEngine(Database& database) : database_(database) {}
+
+  std::unique_ptr<Connection> connect() override;
+  std::string name() const override { return "embedded"; }
+
+  std::uint64_t connections_opened() const {
+    return connections_opened_.load(std::memory_order_relaxed);
+  }
+
+  /// Serializes access for connections (in-process engine lock).
+  std::mutex& mutex() { return mutex_; }
+  Database& database() { return database_; }
+
+ private:
+  Database& database_;
+  std::mutex mutex_;
+  std::atomic<std::uint64_t> connections_opened_{0};
+};
+
+}  // namespace bitdew::db

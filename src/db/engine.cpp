@@ -1,0 +1,100 @@
+#include "db/engine.hpp"
+
+namespace bitdew::db {
+
+void encode_command(rpc::Writer& w, const Command& command) {
+  w.u8(static_cast<std::uint8_t>(command.op));
+  w.str(command.table);
+  w.u64(command.id);
+  encode_row(w, command.row);
+  w.str(command.column);
+  encode_value(w, command.value);
+  w.u32(command.limit);
+}
+
+Command decode_command(rpc::Reader& r) {
+  Command command;
+  command.op = static_cast<Op>(r.u8());
+  command.table = r.str();
+  command.id = r.u64();
+  command.row = decode_row(r);
+  command.column = r.str();
+  command.value = decode_value(r);
+  command.limit = r.u32();
+  return command;
+}
+
+void encode_response(rpc::Writer& w, const Response& response) {
+  w.boolean(response.ok);
+  w.u64(response.id);
+  w.u32(static_cast<std::uint32_t>(response.rows.size()));
+  for (const ResultRow& row : response.rows) {
+    w.u64(row.id);
+    encode_row(w, row.row);
+  }
+  w.str(response.error);
+}
+
+Response decode_response(rpc::Reader& r) {
+  Response response;
+  response.ok = r.boolean();
+  response.id = r.u64();
+  const std::uint32_t count = r.u32();
+  response.rows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ResultRow row;
+    row.id = r.u64();
+    row.row = decode_row(r);
+    response.rows.push_back(std::move(row));
+  }
+  response.error = r.str();
+  return response;
+}
+
+Response apply_command(Database& database, const Command& command) {
+  Response response;
+  switch (command.op) {
+    case Op::kPing:
+      response.ok = true;
+      break;
+    case Op::kInsert: {
+      const auto id = database.insert(command.table, command.row);
+      response.ok = id.has_value();
+      response.id = id.value_or(0);
+      if (!response.ok) response.error = "insert failed (conflict or unknown table)";
+      break;
+    }
+    case Op::kUpdate:
+      response.ok = database.update(command.table, command.id, command.row);
+      if (!response.ok) response.error = "update failed";
+      break;
+    case Op::kPatch:
+      response.ok = database.patch(command.table, command.id, command.row);
+      if (!response.ok) response.error = "patch failed";
+      break;
+    case Op::kErase:
+      response.ok = database.erase(command.table, command.id);
+      if (!response.ok) response.error = "erase failed";
+      break;
+    case Op::kGet: {
+      const Row* row = database.get(command.table, command.id);
+      response.ok = row != nullptr;
+      if (row != nullptr) response.rows.push_back(ResultRow{command.id, *row});
+      break;
+    }
+    case Op::kFind: {
+      const std::vector<RowId> ids = database.find(command.table, command.column, command.value);
+      response.ok = true;
+      const Table* table = database.table(command.table);
+      for (const RowId id : ids) {
+        if (command.limit != 0 && response.rows.size() >= command.limit) break;
+        const Row* row = table != nullptr ? table->get(id) : nullptr;
+        if (row != nullptr) response.rows.push_back(ResultRow{id, *row});
+      }
+      break;
+    }
+  }
+  return response;
+}
+
+}  // namespace bitdew::db

@@ -1,0 +1,79 @@
+// DewDB access engines.
+//
+// Table 2 of the paper contrasts an embedded database (HsqlDB) with a
+// networked client/server one (MySQL), each with and without connection
+// pooling (DBCP). The Engine interface reproduces that axis:
+//  * EmbeddedEngine — in-process calls guarded by a mutex (HsqlDB role);
+//  * ServerEngine   — a dedicated server thread reached over a real
+//    socketpair with a framed wire protocol and a per-connection handshake
+//    (MySQL role).
+// ConnectionPool (pool.hpp) plays the DBCP role for either engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+
+namespace bitdew::db {
+
+enum class Op : std::uint8_t {
+  kPing = 0,
+  kInsert = 1,
+  kUpdate = 2,
+  kPatch = 3,
+  kErase = 4,
+  kGet = 5,
+  kFind = 6,
+};
+
+struct Command {
+  Op op = Op::kPing;
+  std::string table;
+  RowId id = 0;
+  Row row;            // insert/update/patch payload
+  std::string column;  // find
+  Value value;         // find
+  std::uint32_t limit = 0;  // find: 0 == unlimited
+};
+
+struct ResultRow {
+  RowId id = 0;
+  Row row;
+};
+
+struct Response {
+  bool ok = false;
+  RowId id = 0;                 // insert: assigned id
+  std::vector<ResultRow> rows;  // get/find results
+  std::string error;
+};
+
+void encode_command(rpc::Writer& writer, const Command& command);
+Command decode_command(rpc::Reader& reader);
+void encode_response(rpc::Writer& writer, const Response& response);
+Response decode_response(rpc::Reader& reader);
+
+/// Executes a command against a Database (shared by both engines and by the
+/// WAL-backed CLI). Not thread-safe by itself.
+Response apply_command(Database& database, const Command& command);
+
+/// One client connection; execute() is synchronous.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+  virtual Response execute(const Command& command) = 0;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  /// Opens a new connection (performs the engine's handshake).
+  virtual std::unique_ptr<Connection> connect() = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace bitdew::db

@@ -1,0 +1,107 @@
+// Connection pool (the DBCP role in Table 2): reuses engine connections so
+// the per-operation cost excludes connection establishment. acquire() blocks
+// when `capacity` connections are all leased.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "db/engine.hpp"
+
+namespace bitdew::db {
+
+class ConnectionPool {
+ public:
+  ConnectionPool(Engine& engine, std::size_t capacity)
+      : engine_(engine), capacity_(capacity) {}
+
+  /// RAII lease; the connection returns to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ConnectionPool* pool, std::unique_ptr<Connection> connection)
+        : pool_(pool), connection_(std::move(connection)) {}
+    ~Lease() { release(); }
+
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), connection_(std::move(other.connection_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        connection_ = std::move(other.connection_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    Connection& operator*() { return *connection_; }
+    Connection* operator->() { return connection_.get(); }
+    explicit operator bool() const { return connection_ != nullptr; }
+
+   private:
+    void release() {
+      if (pool_ != nullptr && connection_ != nullptr) {
+        pool_->give_back(std::move(connection_));
+      }
+      pool_ = nullptr;
+      connection_ = nullptr;
+    }
+
+    ConnectionPool* pool_ = nullptr;
+    std::unique_ptr<Connection> connection_;
+  };
+
+  Lease acquire() {
+    std::unique_lock lock(mutex_);
+    while (true) {
+      if (!idle_.empty()) {
+        std::unique_ptr<Connection> connection = std::move(idle_.back());
+        idle_.pop_back();
+        return Lease(this, std::move(connection));
+      }
+      if (outstanding_ < capacity_) {
+        ++outstanding_;
+        lock.unlock();
+        // connect() outside the lock: it may block on the engine handshake.
+        try {
+          return Lease(this, engine_.connect());
+        } catch (...) {
+          lock.lock();
+          --outstanding_;
+          throw;
+        }
+      }
+      available_.wait(lock);
+    }
+  }
+
+  std::size_t idle_count() const {
+    const std::lock_guard lock(mutex_);
+    return idle_.size();
+  }
+
+ private:
+  void give_back(std::unique_ptr<Connection> connection) {
+    {
+      const std::lock_guard lock(mutex_);
+      idle_.push_back(std::move(connection));
+    }
+    available_.notify_one();
+  }
+
+  Engine& engine_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::size_t outstanding_ = 0;  // connections created and not yet destroyed
+  std::vector<std::unique_ptr<Connection>> idle_;
+};
+
+}  // namespace bitdew::db

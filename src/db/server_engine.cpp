@@ -1,0 +1,225 @@
+#include "db/server_engine.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/auid.hpp"
+#include "util/log.hpp"
+#include "util/md5.hpp"
+
+namespace bitdew::db {
+namespace {
+
+const util::Logger& logger() {
+  static const util::Logger instance("dewdb.server");
+  return instance;
+}
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, p, size);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF or error
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  return write_all(fd, &length, sizeof(length)) && write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::string& payload) {
+  std::uint32_t length = 0;
+  if (!read_all(fd, &length, sizeof(length))) return false;
+  payload.resize(length);
+  return length == 0 || read_all(fd, payload.data(), length);
+}
+
+/// Iterated digest: the server-side authentication work.
+std::string auth_digest(const std::string& token, int rounds) {
+  util::Md5Digest digest = util::Md5::of(token);
+  for (int i = 1; i < rounds; ++i) {
+    util::Md5 hasher;
+    hasher.update(digest.bytes.data(), digest.bytes.size());
+    digest = hasher.finish();
+  }
+  return digest.hex();
+}
+
+class ServerConnection final : public Connection {
+ public:
+  explicit ServerConnection(int fd) : fd_(fd) {}
+  ~ServerConnection() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  ServerConnection(const ServerConnection&) = delete;
+  ServerConnection& operator=(const ServerConnection&) = delete;
+
+  bool handshake(const std::string& token) {
+    if (!write_frame(fd_, token)) return false;
+    std::string reply;
+    return read_frame(fd_, reply) && !reply.empty();
+  }
+
+  Response execute(const Command& command) override {
+    rpc::Writer writer;
+    encode_command(writer, command);
+    std::string reply;
+    if (!write_frame(fd_, writer.buffer()) || !read_frame(fd_, reply)) {
+      Response response;
+      response.error = "connection lost";
+      return response;
+    }
+    rpc::Reader reader(reply);
+    return decode_response(reader);
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+ServerEngine::ServerEngine(Database& database, int auth_rounds)
+    : database_(database), auth_rounds_(auth_rounds) {
+  if (::pipe(wake_pipe_) != 0) throw std::runtime_error("ServerEngine: pipe() failed");
+  thread_ = std::thread([this] { server_loop(); });
+}
+
+ServerEngine::~ServerEngine() {
+  stopping_.store(true);
+  const char byte = 'q';
+  (void)write_all(wake_pipe_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+std::unique_ptr<Connection> ServerEngine::connect() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw std::runtime_error("ServerEngine: socketpair() failed");
+  }
+  {
+    const std::lock_guard lock(pending_mutex_);
+    pending_fds_.push_back(fds[0]);
+  }
+  const char byte = 'n';
+  if (!write_all(wake_pipe_[1], &byte, 1)) {
+    ::close(fds[1]);
+    throw std::runtime_error("ServerEngine: wake failed");
+  }
+
+  auto connection = std::make_unique<ServerConnection>(fds[1]);
+  if (!connection->handshake(util::next_auid().str())) {
+    throw std::runtime_error("ServerEngine: handshake failed");
+  }
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  return connection;
+}
+
+void ServerEngine::handle_session(Session& session) {
+  std::string payload;
+  if (!read_frame(session.fd, payload)) {
+    ::close(session.fd);
+    session.fd = -1;
+    return;
+  }
+  if (!session.authenticated) {
+    // First frame is the auth token; reply with the iterated digest.
+    const std::string digest = auth_digest(payload, auth_rounds_);
+    if (!write_frame(session.fd, digest)) {
+      ::close(session.fd);
+      session.fd = -1;
+      return;
+    }
+    session.authenticated = true;
+    return;
+  }
+
+  Response response;
+  try {
+    rpc::Reader reader(payload);
+    response = apply_command(database_, decode_command(reader));
+  } catch (const rpc::CodecError& error) {
+    response.ok = false;
+    response.error = error.what();
+  }
+  rpc::Writer writer;
+  encode_response(writer, response);
+  if (!write_frame(session.fd, writer.buffer())) {
+    ::close(session.fd);
+    session.fd = -1;
+  }
+}
+
+void ServerEngine::server_loop() {
+  std::vector<Session> sessions;
+  std::vector<pollfd> poll_set;
+
+  while (true) {
+    poll_set.clear();
+    poll_set.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    for (const Session& session : sessions) {
+      poll_set.push_back(pollfd{session.fd, POLLIN, 0});
+    }
+
+    const int ready = ::poll(poll_set.data(), poll_set.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      logger().error("poll failed: %s", std::strerror(errno));
+      break;
+    }
+
+    if ((poll_set[0].revents & POLLIN) != 0) {
+      char drain[64];
+      (void)::read(wake_pipe_[0], drain, sizeof(drain));
+      if (stopping_.load()) break;
+      const std::lock_guard lock(pending_mutex_);
+      for (const int fd : pending_fds_) sessions.push_back(Session{fd, false});
+      pending_fds_.clear();
+    }
+
+    // Only the sessions that were present when poll() ran have poll results;
+    // sessions appended above are served on the next iteration.
+    for (std::size_t i = 0; i + 1 < poll_set.size(); ++i) {
+      const short revents = poll_set[i + 1].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        handle_session(sessions[i]);
+      }
+    }
+    std::erase_if(sessions, [](const Session& s) { return s.fd < 0; });
+  }
+
+  for (Session& session : sessions) {
+    if (session.fd >= 0) ::close(session.fd);
+  }
+}
+
+}  // namespace bitdew::db

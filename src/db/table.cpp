@@ -1,0 +1,152 @@
+#include "db/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bitdew::db {
+
+void Table::set_primary(std::string column) {
+  assert(rows_.empty() && "primary must be declared before inserts");
+  primary_ = std::move(column);
+}
+
+void Table::add_index(const std::string& column) {
+  if (secondary_.contains(column)) return;
+  auto& index = secondary_[column];
+  for (const auto& [id, row] : rows_) {
+    const auto it = row.find(column);
+    if (it != row.end()) index.emplace(index_key(it->second), id);
+  }
+}
+
+std::vector<std::string> Table::index_columns() const {
+  std::vector<std::string> out;
+  out.reserve(secondary_.size());
+  for (const auto& [column, index] : secondary_) out.push_back(column);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Table::has_index(std::string_view column) const {
+  return secondary_.contains(std::string(column)) ||
+         (primary_.has_value() && *primary_ == column);
+}
+
+std::optional<RowId> Table::insert(Row row) { return insert_with_id(next_id_, std::move(row)); }
+
+std::optional<RowId> Table::insert_with_id(RowId id, Row row) {
+  if (primary_.has_value()) {
+    const auto it = row.find(*primary_);
+    if (it == row.end()) return std::nullopt;
+    const std::string key = index_key(it->second);
+    if (primary_index_.contains(key)) return std::nullopt;
+    primary_index_.emplace(key, id);
+  }
+  index_row(id, row);
+  rows_.emplace(id, std::move(row));
+  next_id_ = std::max(next_id_, id + 1);
+  return id;
+}
+
+bool Table::update(RowId id, Row row) {
+  const auto it = rows_.find(id);
+  if (it == rows_.end()) return false;
+  if (primary_.has_value()) {
+    const auto new_pk = row.find(*primary_);
+    if (new_pk == row.end()) return false;
+    const std::string new_key = index_key(new_pk->second);
+    const auto existing = primary_index_.find(new_key);
+    if (existing != primary_index_.end() && existing->second != id) return false;
+    primary_index_.erase(index_key(it->second.at(*primary_)));
+    primary_index_.emplace(new_key, id);
+  }
+  unindex_row(id, it->second);
+  index_row(id, row);
+  it->second = std::move(row);
+  return true;
+}
+
+bool Table::patch(RowId id, const Row& columns) {
+  const auto it = rows_.find(id);
+  if (it == rows_.end()) return false;
+  Row merged = it->second;
+  for (const auto& [column, value] : columns) merged[column] = value;
+  return update(id, std::move(merged));
+}
+
+bool Table::erase(RowId id) {
+  const auto it = rows_.find(id);
+  if (it == rows_.end()) return false;
+  if (primary_.has_value()) primary_index_.erase(index_key(it->second.at(*primary_)));
+  unindex_row(id, it->second);
+  rows_.erase(it);
+  return true;
+}
+
+const Row* Table::get(RowId id) const {
+  const auto it = rows_.find(id);
+  return it != rows_.end() ? &it->second : nullptr;
+}
+
+std::vector<RowId> Table::find(std::string_view column, const Value& value) const {
+  std::vector<RowId> out;
+  if (primary_.has_value() && *primary_ == column) {
+    const auto it = primary_index_.find(index_key(value));
+    if (it != primary_index_.end()) out.push_back(it->second);
+    return out;
+  }
+  const auto index_it = secondary_.find(std::string(column));
+  if (index_it != secondary_.end()) {
+    const auto [begin, end] = index_it->second.equal_range(index_key(value));
+    for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  } else {
+    for (const auto& [id, row] : rows_) {
+      const auto it = row.find(column);
+      if (it != row.end() && index_key(it->second) == index_key(value)) out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());  // deterministic order for callers/tests
+  return out;
+}
+
+std::optional<RowId> Table::find_one(std::string_view column, const Value& value) const {
+  const std::vector<RowId> ids = find(column, value);
+  if (ids.empty()) return std::nullopt;
+  return ids.front();
+}
+
+std::optional<RowId> Table::by_primary(const Value& value) const {
+  if (!primary_.has_value()) return std::nullopt;
+  const auto it = primary_index_.find(index_key(value));
+  if (it == primary_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Table::scan(const std::function<bool(RowId, const Row&)>& visit) const {
+  for (const auto& [id, row] : rows_) {
+    if (!visit(id, row)) return;
+  }
+}
+
+void Table::index_row(RowId id, const Row& row) {
+  for (auto& [column, index] : secondary_) {
+    const auto it = row.find(column);
+    if (it != row.end()) index.emplace(index_key(it->second), id);
+  }
+}
+
+void Table::unindex_row(RowId id, const Row& row) {
+  for (auto& [column, index] : secondary_) {
+    const auto it = row.find(column);
+    if (it == row.end()) continue;
+    const auto [begin, end] = index.equal_range(index_key(it->second));
+    for (auto entry = begin; entry != end; ++entry) {
+      if (entry->second == id) {
+        index.erase(entry);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace bitdew::db

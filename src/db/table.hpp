@@ -1,0 +1,77 @@
+// One DewDB table: schema-less rows with an optional unique primary column
+// and any number of non-unique secondary indexes. find() uses an index when
+// one exists and falls back to a scan otherwise (tests cover both paths).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "db/value.hpp"
+
+namespace bitdew::db {
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declares the unique primary column. Must be set before any insert.
+  void set_primary(std::string column);
+
+  /// Adds a non-unique secondary index; may be called on a populated table.
+  void add_index(const std::string& column);
+
+  /// Inserts a row; returns nullopt on primary-key conflict or missing
+  /// primary column (when a primary is declared).
+  std::optional<RowId> insert(Row row);
+
+  /// Replaces a row wholesale. Returns false for an unknown id or a primary
+  /// conflict with another row.
+  bool update(RowId id, Row row);
+
+  /// Merges columns into an existing row.
+  bool patch(RowId id, const Row& columns);
+
+  bool erase(RowId id);
+
+  const Row* get(RowId id) const;
+
+  /// Row ids whose `column` equals `value` (indexed or scanned).
+  std::vector<RowId> find(std::string_view column, const Value& value) const;
+
+  /// First matching row id, if any.
+  std::optional<RowId> find_one(std::string_view column, const Value& value) const;
+
+  /// Primary lookup (unique index).
+  std::optional<RowId> by_primary(const Value& value) const;
+
+  /// Visits every row; the visitor returns false to stop.
+  void scan(const std::function<bool(RowId, const Row&)>& visit) const;
+
+  std::size_t size() const { return rows_.size(); }
+  bool has_index(std::string_view column) const;
+  const std::optional<std::string>& primary() const { return primary_; }
+  std::vector<std::string> index_columns() const;
+
+ private:
+  void index_row(RowId id, const Row& row);
+  void unindex_row(RowId id, const Row& row);
+
+  std::string name_;
+  RowId next_id_ = 1;
+  std::unordered_map<RowId, Row> rows_;
+  std::optional<std::string> primary_;
+  std::unordered_map<std::string, RowId> primary_index_;
+  // column -> (index_key(value) -> row ids)
+  std::unordered_map<std::string, std::unordered_multimap<std::string, RowId>> secondary_;
+
+  friend class Database;  // WAL replay must re-insert with fixed row ids
+  std::optional<RowId> insert_with_id(RowId id, Row row);
+};
+
+}  // namespace bitdew::db

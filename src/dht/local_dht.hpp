@@ -1,0 +1,51 @@
+// In-process DHT stand-in with the same key/value semantics as the simulated
+// ring (multi-valued keys). The threaded LocalRuntime uses it as its
+// Distributed Data Catalog back-end; tests use it as the semantic reference
+// the ring implementation must agree with.
+#pragma once
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bitdew::dht {
+
+class LocalDht {
+ public:
+  /// Associates `value` with `key` (idempotent per pair).
+  void put(const std::string& key, const std::string& value) {
+    const std::lock_guard lock(mutex_);
+    store_[key].insert(value);
+  }
+
+  /// All values published under `key`, sorted.
+  std::vector<std::string> get(const std::string& key) const {
+    const std::lock_guard lock(mutex_);
+    const auto it = store_.find(key);
+    if (it == store_.end()) return {};
+    return {it->second.begin(), it->second.end()};
+  }
+
+  /// Removes one (key, value) pair; returns whether it existed.
+  bool remove(const std::string& key, const std::string& value) {
+    const std::lock_guard lock(mutex_);
+    const auto it = store_.find(key);
+    if (it == store_.end()) return false;
+    const bool erased = it->second.erase(value) > 0;
+    if (it->second.empty()) store_.erase(it);
+    return erased;
+  }
+
+  std::size_t key_count() const {
+    const std::lock_guard lock(mutex_);
+    return store_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::set<std::string>> store_;
+};
+
+}  // namespace bitdew::dht

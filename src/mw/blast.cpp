@@ -1,0 +1,296 @@
+#include "mw/blast.hpp"
+
+#include "util/log.hpp"
+#include "util/strf.hpp"
+
+namespace bitdew::mw {
+namespace {
+
+const util::Logger& logger() {
+  static const util::Logger instance("blast");
+  return instance;
+}
+
+}  // namespace
+
+runtime::SimRuntimeConfig blast_runtime_config() {
+  runtime::SimRuntimeConfig config;
+  config.scheduler.max_data_schedule = 1;
+  return config;
+}
+
+BlastReport::Breakdown BlastReport::overall() const {
+  Breakdown sum;
+  for (const WorkerReport& worker : workers) {
+    if (worker.tasks == 0) continue;
+    sum.transfer_s += worker.transfer_s;
+    sum.unzip_s += worker.unzip_s;
+    sum.exec_s += worker.exec_s;
+    ++sum.workers;
+  }
+  if (sum.workers > 0) {
+    sum.transfer_s /= sum.workers;
+    sum.unzip_s /= sum.workers;
+    sum.exec_s /= sum.workers;
+  }
+  return sum;
+}
+
+std::map<std::string, BlastReport::Breakdown> BlastReport::by_cluster() const {
+  std::map<std::string, Breakdown> out;
+  for (const WorkerReport& worker : workers) {
+    if (worker.tasks == 0) continue;
+    Breakdown& b = out[worker.cluster];
+    b.transfer_s += worker.transfer_s;
+    b.unzip_s += worker.unzip_s;
+    b.exec_s += worker.exec_s;
+    ++b.workers;
+  }
+  for (auto& [cluster, b] : out) {
+    if (b.workers > 0) {
+      b.transfer_s /= b.workers;
+      b.unzip_s /= b.workers;
+      b.exec_s /= b.workers;
+    }
+  }
+  return out;
+}
+
+// --- master -----------------------------------------------------------------
+
+class BlastApplication::MasterLogic final : public core::ActiveDataEventHandler {
+ public:
+  MasterLogic(BlastApplication& app) : app_(app) {}
+
+  void on_data_copy(const core::Data& data, const core::DataAttributes& attributes) override {
+    if (data.name != "Result") return;
+    (void)attributes;
+    ++app_.report_.results;
+    if (app_.report_.results >= app_.tasks_ && !app_.report_.completed) {
+      app_.report_.completed = true;
+      app_.report_.total_time_s =
+          app_.runtime_.simulator().now() - app_.deployed_at_;
+      logger().info("all %d results collected after %.1fs", app_.report_.results,
+                    app_.report_.total_time_s);
+      // End of experiment: deleting the Collector obsoletes Genebase,
+      // Sequences and Results through their relative lifetimes (paper §5).
+      app_.master_node_->bitdew().remove(app_.collector_);
+    }
+  }
+
+ private:
+  BlastApplication& app_;
+};
+
+// --- worker -----------------------------------------------------------------
+
+class BlastApplication::WorkerLogic final
+    : public core::ActiveDataEventHandler,
+      public std::enable_shared_from_this<BlastApplication::WorkerLogic> {
+ public:
+  WorkerLogic(BlastApplication& app, runtime::SimNode& node, const BlastWorkerSpec& spec)
+      : app_(app), node_(node), spec_(spec) {
+    report_.host = node.name();
+    report_.cluster = spec.cluster;
+  }
+
+  void on_data_copy(const core::Data& data, const core::DataAttributes& attributes) override {
+    (void)attributes;
+    if (data.name == "Application") {
+      have_application_ = true;
+    } else if (data.name == "Genebase") {
+      start_unzip();
+    } else if (data.name == "Sequence") {
+      pending_.push_back(data);
+    } else {
+      return;
+    }
+    note_input_arrival();
+    maybe_execute();
+  }
+
+  WorkerReport& report() { return report_; }
+
+ private:
+  void note_input_arrival() {
+    // Transfer time: deployment until the latest input arrived (unzip and
+    // execution are accounted separately).
+    report_.transfer_s = app_.runtime_.simulator().now() - app_.deployed_at_ - report_.unzip_s;
+  }
+
+  void start_unzip() {
+    if (unzip_started_) return;
+    unzip_started_ = true;
+    const double unzip_time = static_cast<double>(app_.workload_.genebase_bytes) /
+                              (app_.workload_.unzip_Bps_per_ghz * spec_.cpu_ghz);
+    report_.unzip_s = unzip_time;
+    app_.runtime_.simulator().after(unzip_time, [self = shared_from_this()] {
+      self->genebase_ready_ = true;
+      self->maybe_execute();
+    });
+  }
+
+  void maybe_execute() {
+    if (executing_ || !have_application_ || !genebase_ready_ || pending_.empty()) return;
+    executing_ = true;
+    const core::Data sequence = pending_.front();
+    pending_.erase(pending_.begin());
+    const double exec_time = app_.workload_.exec_ghz_seconds / spec_.cpu_ghz;
+    app_.runtime_.simulator().after(exec_time, [self = shared_from_this(), sequence,
+                                                exec_time] {
+      self->executing_ = false;
+      self->report_.exec_s += exec_time;
+      ++self->report_.tasks;
+      self->publish_result(sequence);
+      self->maybe_execute();
+    });
+  }
+
+  void publish_result(const core::Data& sequence) {
+    // The Result datum: served from this worker, attracted to the master by
+    // affinity on the Collector, dies with the Collector. The locator and
+    // schedule are chained on the catalog registration ack — RPCs of
+    // different sizes may otherwise overtake each other on the wire.
+    api::BitDew& bitdew = node_.bitdew();
+    const core::Content content = core::synthetic_content(
+        sequence.uid.lo ^ 0xb1a57ULL, app_.workload_.result_bytes);
+    auto result = std::make_shared<core::Data>();
+    *result = bitdew.create_data("Result", content, [this, result, self = shared_from_this()](
+                                                        bool registered) {
+      if (!registered) return;
+      node_.bitdew().offer_local(*result, app_.workload_.sequence_protocol);
+
+      core::DataAttributes attributes;
+      attributes.name = "Result";
+      attributes.replica = 0;
+      attributes.affinity = app_.collector_.uid;
+      attributes.lifetime = core::Lifetime::relative(app_.collector_.uid);
+      attributes.protocol = app_.workload_.sequence_protocol;
+      // The producing node holds a replica already; the copy event fires
+      // locally too (so a master-computed task is collected immediately).
+      node_.adopt_local(*result, attributes, /*fire_event=*/true);
+      node_.active_data().schedule(*result, attributes);
+    });
+  }
+
+  BlastApplication& app_;
+  runtime::SimNode& node_;
+  BlastWorkerSpec spec_;
+  WorkerReport report_;
+  std::vector<core::Data> pending_;
+  bool have_application_ = false;
+  bool unzip_started_ = false;
+  bool genebase_ready_ = false;
+  bool executing_ = false;
+};
+
+// --- application ------------------------------------------------------------------
+
+BlastApplication::BlastApplication(runtime::SimRuntime& runtime, BlastWorkload workload)
+    : runtime_(runtime), workload_(std::move(workload)) {}
+
+BlastApplication::~BlastApplication() = default;
+
+void BlastApplication::deploy(net::HostId master, const std::vector<BlastWorkerSpec>& workers,
+                              int tasks) {
+  tasks_ = tasks;
+  deployed_at_ = runtime_.simulator().now();
+
+  runtime::SimNode* master_node = runtime_.node_at(master);
+  if (master_node == nullptr) master_node = &runtime_.add_node(master);
+  master_node_ = master_node;
+
+  api::BitDew& bitdew = master_node->bitdew();
+
+  // Collector: empty datum born on (and pinned to) the master.
+  collector_ = bitdew.create_data("Collector");
+  master_node->adopt_local(collector_);
+  core::DataAttributes collector_attr;
+  collector_attr.name = "Collector";
+  collector_attr.replica = 0;
+  master_node->active_data().pin(collector_, collector_attr);
+
+  master_logic_ = std::make_shared<MasterLogic>(*this);
+  master_node->active_data().add_callback(master_logic_);
+
+  // Application: broadcast binary.
+  const core::Data application =
+      bitdew.create_data("Application", core::synthetic_content(1, workload_.application_bytes));
+  bitdew.put(application, core::synthetic_content(1, workload_.application_bytes), nullptr,
+             workload_.transfer_protocol);
+  core::DataAttributes application_attr;
+  application_attr.name = "Application";
+  application_attr.replica = core::kReplicaAll;
+  application_attr.protocol = workload_.transfer_protocol;
+  master_node->active_data().schedule(application, application_attr);
+
+  // Genebase: class affinity on Sequence; only task holders download it.
+  const core::Data genebase =
+      bitdew.create_data("Genebase", core::synthetic_content(2, workload_.genebase_bytes));
+  bitdew.put(genebase, core::synthetic_content(2, workload_.genebase_bytes), nullptr,
+             workload_.transfer_protocol);
+  core::DataAttributes genebase_attr;
+  genebase_attr.name = "Genebase";
+  genebase_attr.replica = 0;
+  genebase_attr.affinity_name = "Sequence";
+  genebase_attr.protocol = workload_.transfer_protocol;
+  genebase_attr.lifetime = core::Lifetime::relative(collector_.uid);
+  master_node->active_data().schedule(genebase, genebase_attr);
+
+  // Sequences: one per task.
+  for (int i = 0; i < tasks; ++i) {
+    const core::Data sequence = bitdew.create_data(
+        "Sequence", core::synthetic_content(100 + static_cast<std::uint64_t>(i),
+                                            workload_.sequence_bytes));
+    bitdew.put(sequence,
+               core::synthetic_content(100 + static_cast<std::uint64_t>(i),
+                                       workload_.sequence_bytes),
+               nullptr, workload_.sequence_protocol);
+    core::DataAttributes sequence_attr;
+    sequence_attr.name = "Sequence";
+    sequence_attr.replica = 1;
+    sequence_attr.fault_tolerant = true;
+    sequence_attr.protocol = workload_.sequence_protocol;
+    sequence_attr.lifetime = core::Lifetime::relative(collector_.uid);
+    master_node->active_data().schedule(sequence, sequence_attr);
+  }
+
+  // Workers: event handlers only.
+  for (const BlastWorkerSpec& spec : workers) {
+    runtime::SimNode* node = runtime_.node_at(spec.host);
+    if (node == nullptr) node = &runtime_.add_node(spec.host);
+    auto logic = std::make_shared<WorkerLogic>(*this, *node, spec);
+    node->active_data().add_callback(logic);
+    worker_logics_.push_back(std::move(logic));
+  }
+
+  // The master is a reservoir like any other desktop-grid node, so the
+  // scheduler may hand it Sequences too; it must be able to compute them
+  // (otherwise those tasks would starve).
+  BlastWorkerSpec master_spec;
+  master_spec.host = master;
+  master_spec.cpu_ghz = workers.empty() ? 2.0 : workers.front().cpu_ghz;
+  master_spec.cluster = "master";
+  auto master_worker = std::make_shared<WorkerLogic>(*this, *master_node, master_spec);
+  master_node->active_data().add_callback(master_worker);
+  worker_logics_.push_back(std::move(master_worker));
+}
+
+bool BlastApplication::done() const { return report_.completed; }
+
+bool BlastApplication::run(double max_virtual_s) {
+  sim::Simulator& sim = runtime_.simulator();
+  const double deadline = deployed_at_ + max_virtual_s;
+  // Periodic timers never drain the queue; step until done or deadline.
+  while (!report_.completed && sim.now() < deadline) {
+    const double before = sim.now();
+    sim.run_until(std::min(before + 5.0, deadline));
+    if (sim.queued() == 0) break;
+  }
+  // Collect worker reports.
+  report_.workers.clear();
+  for (const auto& logic : worker_logics_) report_.workers.push_back(logic->report());
+  return report_.completed;
+}
+
+}  // namespace bitdew::mw

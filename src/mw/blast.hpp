@@ -1,0 +1,111 @@
+// Master/Worker BLAST application (paper §5).
+//
+// Exactly the data-driven program of the paper's Listing 3:
+//  * Application  — the BLAST binary, replica = -1 (every node), BitTorrent;
+//  * Genebase     — 2.68 GB archive, class affinity on "Sequence" (only
+//                   hosts holding a task download it), lifetime = Collector;
+//  * Sequence     — per-task query file, replica = 1, fault-tolerant, HTTP,
+//                   lifetime = Collector;
+//  * Result       — produced by workers, affinity = Collector (uid), so it
+//                   flows to the master, lifetime = Collector;
+//  * Collector    — empty datum pinned on the master; deleting it at the
+//                   end obsoletes everything via relative lifetimes.
+//
+// Workers are pure ActiveData event handlers: when Application + unzipped
+// Genebase + a Sequence are cached, they "run BLAST" (a calibrated compute
+// delay), publish a Result served from their own host, and the scheduler
+// moves it to the master. No explicit data movement anywhere — the point
+// of the paper.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "runtime/sim_runtime.hpp"
+#include "util/bytes.hpp"
+
+namespace bitdew::mw {
+
+struct BlastWorkload {
+  std::int64_t application_bytes = 4'450'000;   ///< 4.45 MB (paper)
+  std::int64_t genebase_bytes = 2'680'000'000;  ///< 2.68 GB (paper)
+  std::int64_t sequence_bytes = 30'000;
+  std::int64_t result_bytes = 200'000;
+  /// Unzip throughput per GHz (the Fig. 6 "unzip" column).
+  double unzip_Bps_per_ghz = 6e6;
+  /// blastn search cost per task, in GHz-seconds (the "execution" column).
+  double exec_ghz_seconds = 900;
+  std::string transfer_protocol = "bittorrent";  ///< or "ftp"
+  std::string sequence_protocol = "http";        ///< small files: low latency
+};
+
+struct WorkerReport {
+  std::string host;
+  std::string cluster;
+  double transfer_s = 0;  ///< start -> all inputs present (excl. unzip)
+  double unzip_s = 0;
+  double exec_s = 0;
+  int tasks = 0;
+};
+
+struct BlastReport {
+  bool completed = false;
+  double total_time_s = 0;  ///< deploy -> last result at the master
+  int results = 0;
+  std::vector<WorkerReport> workers;
+
+  struct Breakdown {
+    double transfer_s = 0;
+    double unzip_s = 0;
+    double exec_s = 0;
+    int workers = 0;
+  };
+  /// Mean per-cluster breakdown (Fig. 6 columns).
+  std::map<std::string, Breakdown> by_cluster() const;
+  Breakdown overall() const;
+};
+
+struct BlastWorkerSpec {
+  net::HostId host = net::kNoHost;
+  double cpu_ghz = 2.0;
+  std::string cluster = "gdx";
+};
+
+/// Runtime configuration tuned for task farming: MaxDataSchedule = 1 so a
+/// fast-syncing host cannot hoard several Sequences (the paper's §5
+/// scheduling note: keep replication at 1 while tasks outnumber hosts).
+runtime::SimRuntimeConfig blast_runtime_config();
+
+/// Drives one full master/worker BLAST run on an existing SimRuntime.
+class BlastApplication {
+ public:
+  BlastApplication(runtime::SimRuntime& runtime, BlastWorkload workload);
+  ~BlastApplication();
+
+  /// Deploys master + workers and schedules all data. One task (Sequence)
+  /// per `tasks`; workers grab them through Algorithm 1.
+  void deploy(net::HostId master, const std::vector<BlastWorkerSpec>& workers, int tasks);
+
+  bool done() const;
+  const BlastReport& report() const { return report_; }
+
+  /// Runs the simulation until completion or `max_virtual_s`.
+  /// Returns done().
+  bool run(double max_virtual_s = 100000);
+
+ private:
+  class MasterLogic;
+  class WorkerLogic;
+
+  runtime::SimRuntime& runtime_;
+  BlastWorkload workload_;
+  BlastReport report_;
+  double deployed_at_ = 0;
+  int tasks_ = 0;
+  core::Data collector_;
+  std::shared_ptr<MasterLogic> master_logic_;
+  std::vector<std::shared_ptr<WorkerLogic>> worker_logics_;
+  runtime::SimNode* master_node_ = nullptr;
+};
+
+}  // namespace bitdew::mw

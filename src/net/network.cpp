@@ -1,0 +1,347 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bitdew::net {
+namespace {
+
+// Flows crossing only unconstrained (capacity 0) links get this rate.
+constexpr double kUnconstrainedRate = 1e12;
+// Remainders below this many bytes count as "done" (guards FP drift).
+constexpr double kByteEpsilon = 1e-6;
+
+std::uint64_t zone_pair_key(ZoneId a, ZoneId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+ZoneId Network::add_zone(std::string name, double egress_up_Bps, double egress_down_Bps) {
+  if (links_.empty()) links_.emplace_back();  // dummy LinkId 0
+  Zone zone;
+  zone.name = name;
+  if (egress_up_Bps > 0) zone.egress_up = add_link(name + ".egress_up", egress_up_Bps);
+  if (egress_down_Bps > 0) zone.egress_down = add_link(name + ".egress_down", egress_down_Bps);
+  zones_.push_back(std::move(zone));
+  return static_cast<ZoneId>(zones_.size() - 1);
+}
+
+HostId Network::add_host(ZoneId zone, const HostSpec& spec) {
+  assert(zone < zones_.size());
+  Host host;
+  host.name = spec.name;
+  host.zone = zone;
+  host.lan_latency = spec.lan_latency_s;
+  host.up = spec.uplink_Bps > 0 ? add_link(spec.name + ".up", spec.uplink_Bps) : 0;
+  host.down = spec.downlink_Bps > 0 ? add_link(spec.name + ".down", spec.downlink_Bps) : 0;
+  hosts_.push_back(std::move(host));
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+LinkId Network::add_link(std::string name, double capacity) {
+  if (links_.empty()) links_.emplace_back();
+  Link link;
+  link.capacity = capacity;
+  link.name = std::move(name);
+  links_.push_back(std::move(link));
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+void Network::set_zone_latency(ZoneId a, ZoneId b, double seconds) {
+  zone_latency_[zone_pair_key(a, b)] = seconds;
+}
+
+double Network::one_way_latency(HostId src, HostId dst) const {
+  const Host& s = hosts_[src];
+  const Host& d = hosts_[dst];
+  double latency = s.lan_latency + d.lan_latency;
+  if (s.zone != d.zone) {
+    const auto it = zone_latency_.find(zone_pair_key(s.zone, d.zone));
+    latency += it != zone_latency_.end() ? it->second : default_wan_latency_;
+  }
+  return latency;
+}
+
+std::vector<LinkId> Network::route(HostId src, HostId dst) const {
+  const Host& s = hosts_[src];
+  const Host& d = hosts_[dst];
+  std::vector<LinkId> links;
+  links.reserve(4);
+  if (s.up != 0) links.push_back(s.up);
+  if (s.zone != d.zone) {
+    if (zones_[s.zone].egress_up != 0) links.push_back(zones_[s.zone].egress_up);
+    if (zones_[d.zone].egress_down != 0) links.push_back(zones_[d.zone].egress_down);
+  }
+  if (d.down != 0) links.push_back(d.down);
+  return links;
+}
+
+FlowId Network::start_flow(HostId src, HostId dst, std::int64_t bytes, FlowCallback on_done) {
+  return start_flow_via(src, dst, bytes, {}, std::move(on_done));
+}
+
+FlowId Network::start_flow_via(HostId src, HostId dst, std::int64_t bytes,
+                               const std::vector<LinkId>& extra_links, FlowCallback on_done) {
+  assert(src < hosts_.size() && dst < hosts_.size());
+  const FlowId id = next_flow_id_++;
+
+  Flow flow;
+  flow.id = id;
+  flow.src = src;
+  flow.dst = dst;
+  flow.bytes = bytes;
+  flow.remaining = static_cast<double>(std::max<std::int64_t>(bytes, 0));
+  flow.started_at = sim_.now();
+  flow.on_done = std::move(on_done);
+  flow.links = route(src, dst);
+  for (const LinkId link : extra_links) {
+    if (link != 0) flow.links.push_back(link);
+  }
+  flow.state = FlowState::kLatent;
+
+  hosts_[src].touching.insert(id);
+  hosts_[dst].touching.insert(id);
+
+  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  assert(inserted);
+  Flow& stored = it->second;
+
+  if (!hosts_[src].alive || !hosts_[dst].alive) {
+    stored.event = sim_.after(0, [this, id] { finish(id, false); });
+    return id;
+  }
+
+  const double latency = one_way_latency(src, dst);
+  if (bytes <= 0) {
+    stored.event = sim_.after(latency, [this, id] { finish(id, true); });
+  } else {
+    stored.event = sim_.after(latency, [this, id] { activate(id); });
+  }
+  return id;
+}
+
+void Network::activate(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  flow.state = FlowState::kActive;
+  flow.last_update = sim_.now();
+  flow.event = 0;
+  for (const LinkId link : flow.links) {
+    links_[link].flows.insert(id);
+    ++links_[link].flow_count;
+  }
+  on_membership_change(flow.links);
+}
+
+void Network::settle(Flow& flow) {
+  if (flow.state != FlowState::kActive) return;
+  const double dt = sim_.now() - flow.last_update;
+  if (dt > 0 && flow.rate > 0) {
+    flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+  }
+  flow.last_update = sim_.now();
+}
+
+void Network::apply_rate(Flow& flow, double rate) {
+  settle(flow);
+  if (flow.event != 0) {
+    sim_.cancel(flow.event);
+    flow.event = 0;
+  }
+  flow.rate = rate;
+  // Completion events mark the exact delivery instant, so they clamp the
+  // remainder to zero: repeated settle() under changing rates accumulates
+  // floating-point drift that must not turn a completion into a failure.
+  const FlowId id = flow.id;
+  auto complete = [this, id] {
+    const auto it = flows_.find(id);
+    if (it != flows_.end()) it->second.remaining = 0;
+    finish(id, true);
+  };
+  if (flow.remaining <= kByteEpsilon) {
+    flow.event = sim_.after(0, complete);
+    return;
+  }
+  if (rate > 0) {
+    flow.event = sim_.after(flow.remaining / rate, complete);
+  }
+}
+
+double Network::counting_rate(const Flow& flow) const {
+  double rate = kUnconstrainedRate;
+  for (const LinkId link : flow.links) {
+    const Link& l = links_[link];
+    if (l.capacity > 0 && l.flow_count > 0) {
+      rate = std::min(rate, l.capacity / l.flow_count);
+    }
+  }
+  return rate;
+}
+
+void Network::recompute_affected(const std::vector<LinkId>& changed_links) {
+  for (const LinkId link_id : changed_links) {
+    Link& link = links_[link_id];
+    if (link.capacity <= 0) continue;
+    if (link.flow_count == 0) {
+      link.applied_share = -1;
+      continue;
+    }
+    const double share = link.capacity / link.flow_count;
+    // If this link's fair share barely moved since the last propagation,
+    // its flows keep their completions (bounded drift, absorbed by the
+    // completion clamp). This is what keeps control-message churn on busy
+    // links from costing O(flows) per message.
+    if (link.applied_share > 0 &&
+        std::abs(share - link.applied_share) <= rate_tolerance_ * link.applied_share) {
+      continue;
+    }
+    link.applied_share = share;
+    for (const FlowId id : link.flows) {
+      const auto it = flows_.find(id);
+      if (it == flows_.end() || it->second.state != FlowState::kActive) continue;
+      Flow& flow = it->second;
+      const double rate = counting_rate(flow);
+      const double old = flow.rate;
+      if (rate == old) continue;
+      if (old > 0 && rate > 0 && std::abs(rate - old) <= rate_tolerance_ * old) continue;
+      apply_rate(flow, rate);
+    }
+  }
+}
+
+void Network::recompute_all() {
+  // Progressive filling: repeatedly saturate the link with the smallest fair
+  // share, fixing the rate of every still-unassigned flow crossing it.
+  struct LinkScratch {
+    double remaining = 0;
+    int unassigned = 0;
+  };
+  std::vector<LinkScratch> scratch(links_.size());
+  std::vector<FlowId> unassigned;
+  unassigned.reserve(flows_.size());
+
+  for (auto& [id, flow] : flows_) {
+    if (flow.state == FlowState::kActive) unassigned.push_back(id);
+  }
+  for (std::size_t l = 1; l < links_.size(); ++l) {
+    scratch[l].remaining = links_[l].capacity;
+    scratch[l].unassigned = 0;
+  }
+  for (const FlowId id : unassigned) {
+    for (const LinkId link : flows_[id].links) {
+      if (links_[link].capacity > 0) ++scratch[link].unassigned;
+    }
+  }
+
+  std::unordered_map<FlowId, double> assigned_rate;
+  assigned_rate.reserve(unassigned.size());
+
+  while (assigned_rate.size() < unassigned.size()) {
+    double best_fair = kUnconstrainedRate;
+    LinkId best_link = 0;
+    for (std::size_t l = 1; l < links_.size(); ++l) {
+      if (links_[l].capacity > 0 && scratch[l].unassigned > 0) {
+        const double fair = std::max(0.0, scratch[l].remaining) / scratch[l].unassigned;
+        if (fair < best_fair) {
+          best_fair = fair;
+          best_link = static_cast<LinkId>(l);
+        }
+      }
+    }
+    if (best_link == 0) {
+      // Remaining flows cross no finite link: unconstrained.
+      for (const FlowId id : unassigned) {
+        if (!assigned_rate.contains(id)) assigned_rate[id] = kUnconstrainedRate;
+      }
+      break;
+    }
+    // Fix every unassigned flow crossing the bottleneck link.
+    const auto bottleneck_flows = links_[best_link].flows;  // copy: we mutate below
+    for (const FlowId id : bottleneck_flows) {
+      if (assigned_rate.contains(id)) continue;
+      const auto it = flows_.find(id);
+      if (it == flows_.end() || it->second.state != FlowState::kActive) continue;
+      assigned_rate[id] = best_fair;
+      for (const LinkId link : it->second.links) {
+        if (links_[link].capacity > 0) {
+          scratch[link].remaining -= best_fair;
+          --scratch[link].unassigned;
+        }
+      }
+    }
+  }
+
+  for (const auto& [id, rate] : assigned_rate) {
+    Flow& flow = flows_[id];
+    if (rate != flow.rate) apply_rate(flow, rate);
+  }
+}
+
+void Network::on_membership_change(const std::vector<LinkId>& changed_links) {
+  if (model_ == SharingModel::kMaxMin) {
+    recompute_all();
+  } else {
+    recompute_affected(changed_links);
+  }
+}
+
+void Network::detach_links(Flow& flow) {
+  if (flow.state != FlowState::kActive) return;
+  for (const LinkId link : flow.links) {
+    links_[link].flows.erase(flow.id);
+    --links_[link].flow_count;
+  }
+}
+
+void Network::finish(FlowId id, bool ok) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  settle(flow);
+  if (flow.event != 0) sim_.cancel(flow.event);
+
+  FlowResult result;
+  result.id = id;
+  result.ok = ok && flow.remaining <= kByteEpsilon;
+  if (ok && flow.bytes <= 0) result.ok = true;
+  result.started_at = flow.started_at;
+  result.finished_at = sim_.now();
+  result.bytes = flow.bytes;
+  const auto carried = static_cast<std::int64_t>(
+      static_cast<double>(std::max<std::int64_t>(flow.bytes, 0)) - flow.remaining);
+  result.transferred = result.ok ? std::max<std::int64_t>(flow.bytes, 0)
+                                 : std::max<std::int64_t>(carried, 0);
+  if (result.ok) delivered_bytes_ += std::max<std::int64_t>(flow.bytes, 0);
+
+  const std::vector<LinkId> links = flow.links;
+  const bool was_active = flow.state == FlowState::kActive;
+  detach_links(flow);
+  hosts_[flow.src].touching.erase(id);
+  hosts_[flow.dst].touching.erase(id);
+  FlowCallback callback = std::move(flow.on_done);
+  flows_.erase(it);
+
+  if (was_active) on_membership_change(links);
+  if (callback) callback(result);
+}
+
+void Network::cancel_flow(FlowId id) { finish(id, false); }
+
+double Network::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it != flows_.end() && it->second.state == FlowState::kActive ? it->second.rate : 0.0;
+}
+
+void Network::kill_host(HostId host) {
+  hosts_[host].alive = false;
+  const auto touching = hosts_[host].touching;  // copy: finish() mutates it
+  for (const FlowId id : touching) finish(id, false);
+}
+
+void Network::revive_host(HostId host) { hosts_[host].alive = true; }
+
+}  // namespace bitdew::net

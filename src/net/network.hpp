@@ -1,0 +1,207 @@
+// Flow-level network model (the testbed substitute).
+//
+// Hosts have asymmetric access links (uplink/downlink) and belong to zones
+// (a cluster, a DSL neighbourhood). A zone may have shared egress links (a
+// cluster's backbone). A transfer is a Flow crossing [src.up, src.egress?,
+// dst.egress?, dst.down]; concurrent flows share link capacity.
+//
+// Two sharing models are provided:
+//  * kMaxMin    — exact progressive-filling max-min fairness, recomputed
+//                 globally on every flow change. Used by tests and the small
+//                 DSL-Lab scenarios.
+//  * kCounting  — classic fair-share approximation rate = min_l cap_l/n_l
+//                 with locality: a flow change only re-rates flows sharing
+//                 one of its links. Exact whenever flows sharing a link have
+//                 a common bottleneck (our FTP star and BitTorrent meshes);
+//                 used for the large sweeps. bench/ablate_bt cross-checks
+//                 the two models.
+//
+// Control messages are flows too (paper Fig. 3b/3c attributes the BitDew
+// overhead to protocol bandwidth, so control traffic must consume capacity).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace bitdew::net {
+
+using HostId = std::uint32_t;
+using ZoneId = std::uint32_t;
+using LinkId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+inline constexpr HostId kNoHost = std::numeric_limits<HostId>::max();
+
+enum class SharingModel { kMaxMin, kCounting };
+
+/// Result handed to a flow's completion callback.
+struct FlowResult {
+  FlowId id = 0;
+  bool ok = false;           // false when an endpoint died mid-transfer
+  double started_at = 0;     // virtual time the flow was created
+  double finished_at = 0;    // delivery or failure time
+  std::int64_t bytes = 0;    // requested payload
+  std::int64_t transferred = 0;  // bytes actually carried (== bytes when ok)
+  double mean_rate() const {
+    const double span = finished_at - started_at;
+    return span > 0 ? static_cast<double>(bytes) / span : 0.0;
+  }
+};
+
+using FlowCallback = std::function<void(const FlowResult&)>;
+
+struct HostSpec {
+  std::string name;
+  double uplink_Bps = 125e6;    // 1 Gbit/s
+  double downlink_Bps = 125e6;  // 1 Gbit/s
+  double lan_latency_s = 100e-6;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology construction -------------------------------------------
+  /// Creates a zone. Egress capacity 0 means "no shared egress constraint".
+  ZoneId add_zone(std::string name, double egress_up_Bps = 0, double egress_down_Bps = 0);
+
+  HostId add_host(ZoneId zone, const HostSpec& spec);
+
+  /// One-way latency between two zones (symmetric); default applies
+  /// otherwise.
+  void set_zone_latency(ZoneId a, ZoneId b, double seconds);
+  void set_default_wan_latency(double seconds) { default_wan_latency_ = seconds; }
+
+  void set_sharing_model(SharingModel model) { model_ = model; }
+  SharingModel sharing_model() const { return model_; }
+
+  /// Counting-model optimization: rate changes smaller than this relative
+  /// tolerance do not reschedule a flow's completion (control-heavy runs
+  /// otherwise pay O(flows) updates per membership change on busy links).
+  /// 0 disables the tolerance. Max-min mode always applies exact rates.
+  void set_rate_tolerance(double tolerance) { rate_tolerance_ = tolerance; }
+
+  /// Creates a free-standing capacity constraint that flows can be routed
+  /// through in addition to their normal path. Protocols use these to model
+  /// per-connection throughput limits (e.g. BitTorrent's per-peer-pair TCP
+  /// throughput, which is what keeps BT below FTP at small node counts).
+  LinkId add_virtual_link(const std::string& name, double capacity_Bps) {
+    return add_link("virt:" + name, capacity_Bps);
+  }
+
+  // --- traffic -----------------------------------------------------------
+  /// Starts a transfer of `bytes` from src to dst. Zero-byte flows model
+  /// pure-latency control messages. The callback fires exactly once.
+  FlowId start_flow(HostId src, HostId dst, std::int64_t bytes, FlowCallback on_done);
+
+  /// As start_flow, but the flow additionally crosses `extra_links`
+  /// (virtual capacity constraints).
+  FlowId start_flow_via(HostId src, HostId dst, std::int64_t bytes,
+                        const std::vector<LinkId>& extra_links, FlowCallback on_done);
+
+  /// Cancels an in-flight flow (callback fires with ok=false).
+  void cancel_flow(FlowId id);
+
+  /// Instantaneous rate of a flow in bytes/s (0 if latent or unknown).
+  double flow_rate(FlowId id) const;
+
+  // --- host life-cycle ----------------------------------------------------
+  /// Killing a host fails every flow touching it. Reviving re-enables it.
+  void kill_host(HostId host);
+  void revive_host(HostId host);
+  bool alive(HostId host) const { return hosts_[host].alive; }
+
+  // --- introspection -------------------------------------------------------
+  std::size_t host_count() const { return hosts_.size(); }
+  std::size_t active_flow_count() const { return flows_.size(); }
+  const std::string& host_name(HostId host) const { return hosts_[host].name; }
+  ZoneId host_zone(HostId host) const { return hosts_[host].zone; }
+  double one_way_latency(HostId src, HostId dst) const;
+  /// Cumulative payload bytes ever carried to completion.
+  std::int64_t delivered_bytes() const { return delivered_bytes_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct Link {
+    double capacity = 0;  // bytes/s; 0 == unconstrained
+    int flow_count = 0;
+    // Fair share last propagated to this link's flows; rescans are skipped
+    // while the current share stays within the rate tolerance of it.
+    double applied_share = -1;
+    std::unordered_set<FlowId> flows;
+    std::string name;
+  };
+
+  struct Host {
+    std::string name;
+    ZoneId zone = 0;
+    LinkId up = 0;
+    LinkId down = 0;
+    double lan_latency = 0;
+    bool alive = true;
+    std::unordered_set<FlowId> touching;  // flows with this host as endpoint
+  };
+
+  struct Zone {
+    std::string name;
+    LinkId egress_up = 0;    // 0 == none
+    LinkId egress_down = 0;  // 0 == none
+  };
+
+  enum class FlowState { kLatent, kActive };
+
+  struct Flow {
+    FlowId id = 0;
+    HostId src = 0;
+    HostId dst = 0;
+    std::int64_t bytes = 0;
+    double remaining = 0;
+    double rate = 0;
+    double last_update = 0;
+    double started_at = 0;
+    FlowState state = FlowState::kLatent;
+    std::vector<LinkId> links;
+    FlowCallback on_done;
+    sim::EventId event = 0;  // activation (latent) or completion (active)
+  };
+
+  LinkId add_link(std::string name, double capacity);
+  std::vector<LinkId> route(HostId src, HostId dst) const;
+  void activate(FlowId id);
+  void finish(FlowId id, bool ok);
+  void detach_links(Flow& flow);
+  void on_membership_change(const std::vector<LinkId>& changed_links);
+  void recompute_all();
+  void recompute_affected(const std::vector<LinkId>& changed_links);
+  void apply_rate(Flow& flow, double rate);
+  double counting_rate(const Flow& flow) const;
+  void settle(Flow& flow);
+
+  sim::Simulator& sim_;
+  // Counting fair-share by default: exact max-min recomputes globally on
+  // every flow change, which is unaffordable at swarm scale. Small
+  // scenarios and exactness tests opt into kMaxMin explicitly.
+  SharingModel model_ = SharingModel::kCounting;
+  double rate_tolerance_ = 0.02;
+  double default_wan_latency_ = 10e-3;
+  std::vector<Host> hosts_;
+  std::vector<Zone> zones_;
+  std::vector<Link> links_;  // links_[0] is a dummy so LinkId 0 == none
+  std::unordered_map<std::uint64_t, double> zone_latency_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  std::int64_t delivered_bytes_ = 0;
+};
+
+}  // namespace bitdew::net

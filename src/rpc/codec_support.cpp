@@ -1,0 +1,2 @@
+// see codec.hpp (header-only); this TU anchors the library.
+#include "rpc/codec.hpp"

@@ -1,0 +1,228 @@
+#include "runtime/sim_service_bus.hpp"
+
+namespace bitdew::runtime {
+
+template <typename R>
+void SimServiceBus::rpc(std::int64_t extra_request_bytes, std::int64_t extra_response_bytes,
+                        std::function<R(services::ServiceContainer&)> compute, R fallback,
+                        api::Reply<R> done) {
+  ++rpcs_;
+  const std::int64_t request_bytes =
+      config_.control_traffic ? config_.request_bytes + extra_request_bytes : 0;
+  const std::int64_t response_bytes =
+      config_.control_traffic ? config_.response_bytes + extra_response_bytes : 0;
+
+  net_.start_flow(
+      self_, service_host_, request_bytes,
+      [this, response_bytes, compute = std::move(compute), fallback = std::move(fallback),
+       done = std::move(done)](const net::FlowResult& request) mutable {
+        if (!request.ok) {
+          done(std::move(fallback));
+          return;
+        }
+        queue_.submit([this, response_bytes, compute = std::move(compute),
+                       fallback = std::move(fallback), done = std::move(done)]() mutable {
+          R result = compute(container_);
+          net_.start_flow(service_host_, self_, response_bytes,
+                          [result = std::move(result), fallback = std::move(fallback),
+                           done = std::move(done)](const net::FlowResult& response) mutable {
+                            done(response.ok ? std::move(result) : std::move(fallback));
+                          });
+        });
+      });
+}
+
+void SimServiceBus::dc_register(const core::Data& data, api::Reply<bool> done) {
+  rpc<bool>(
+      160, 0, [data](services::ServiceContainer& c) { return c.dc().register_data(data); },
+      false, std::move(done));
+}
+
+void SimServiceBus::dc_get(const util::Auid& uid, api::Reply<std::optional<core::Data>> done) {
+  rpc<std::optional<core::Data>>(
+      16, 160, [uid](services::ServiceContainer& c) { return c.dc().get(uid); }, std::nullopt,
+      std::move(done));
+}
+
+void SimServiceBus::dc_search(const std::string& name,
+                              api::Reply<std::vector<core::Data>> done) {
+  rpc<std::vector<core::Data>>(
+      static_cast<std::int64_t>(name.size()), config_.per_item_bytes,
+      [name](services::ServiceContainer& c) { return c.dc().search(name); }, {},
+      std::move(done));
+}
+
+void SimServiceBus::dc_remove(const util::Auid& uid, api::Reply<bool> done) {
+  rpc<bool>(
+      16, 0, [uid](services::ServiceContainer& c) { return c.dc().remove(uid); }, false,
+      std::move(done));
+}
+
+void SimServiceBus::dc_add_locator(const core::Locator& locator, api::Reply<bool> done) {
+  rpc<bool>(
+      128, 0, [locator](services::ServiceContainer& c) { return c.dc().add_locator(locator); },
+      false, std::move(done));
+}
+
+void SimServiceBus::dc_locators(const util::Auid& uid,
+                                api::Reply<std::vector<core::Locator>> done) {
+  rpc<std::vector<core::Locator>>(
+      16, config_.per_item_bytes,
+      [uid](services::ServiceContainer& c) { return c.dc().locators(uid); }, {},
+      std::move(done));
+}
+
+void SimServiceBus::dr_put(const core::Data& data, const core::Content& content,
+                           const std::string& protocol, api::Reply<core::Locator> done) {
+  // The payload itself travels to the repository host before registration.
+  net_.start_flow(self_, service_host_, content.size,
+                  [this, data, content, protocol,
+                   done = std::move(done)](const net::FlowResult& upload) mutable {
+                    if (!upload.ok) {
+                      done(core::Locator{});
+                      return;
+                    }
+                    rpc<core::Locator>(
+                        96, 128,
+                        [data, content, protocol](services::ServiceContainer& c) {
+                          return c.dr().put(data, content, protocol);
+                        },
+                        core::Locator{}, std::move(done));
+                  });
+}
+
+void SimServiceBus::dr_get(const util::Auid& uid,
+                           api::Reply<std::optional<core::Content>> done) {
+  rpc<std::optional<core::Content>>(
+      16, 64, [uid](services::ServiceContainer& c) { return c.dr().get(uid); }, std::nullopt,
+      std::move(done));
+}
+
+void SimServiceBus::dr_remove(const util::Auid& uid, api::Reply<bool> done) {
+  rpc<bool>(
+      16, 0, [uid](services::ServiceContainer& c) { return c.dr().remove(uid); }, false,
+      std::move(done));
+}
+
+void SimServiceBus::dt_register(const core::Data& data, const std::string& source,
+                                const std::string& destination, const std::string& protocol,
+                                api::Reply<services::TicketId> done) {
+  rpc<services::TicketId>(
+      192, 16,
+      [data, source, destination, protocol](services::ServiceContainer& c) {
+        return c.dt().register_transfer(data, source, destination, protocol);
+      },
+      services::TicketId{0}, std::move(done));
+}
+
+void SimServiceBus::dt_monitor(services::TicketId ticket, std::int64_t done_bytes,
+                               api::Reply<bool> done) {
+  rpc<bool>(
+      24, 0,
+      [ticket, done_bytes](services::ServiceContainer& c) {
+        c.dt().monitor(ticket, done_bytes);
+        return true;
+      },
+      false, std::move(done));
+}
+
+void SimServiceBus::dt_complete(services::TicketId ticket, const std::string& received_checksum,
+                                const std::string& expected_checksum, api::Reply<bool> done) {
+  rpc<bool>(
+      80, 0,
+      [ticket, received_checksum, expected_checksum](services::ServiceContainer& c) {
+        return c.dt().complete(ticket, received_checksum, expected_checksum);
+      },
+      false, std::move(done));
+}
+
+void SimServiceBus::dt_failure(services::TicketId ticket, std::int64_t bytes_held,
+                               bool can_resume, api::Reply<bool> done) {
+  rpc<bool>(
+      32, 0,
+      [ticket, bytes_held, can_resume](services::ServiceContainer& c) {
+        c.dt().report_failure(ticket, bytes_held, can_resume);
+        return true;
+      },
+      false, std::move(done));
+}
+
+void SimServiceBus::dt_give_up(services::TicketId ticket, api::Reply<bool> done) {
+  rpc<bool>(
+      16, 0,
+      [ticket](services::ServiceContainer& c) {
+        c.dt().give_up(ticket);
+        return true;
+      },
+      false, std::move(done));
+}
+
+void SimServiceBus::ds_schedule(const core::Data& data, const core::DataAttributes& attributes,
+                                api::Reply<bool> done) {
+  rpc<bool>(
+      224, 0,
+      [data, attributes](services::ServiceContainer& c) {
+        c.ds().schedule(data, attributes);
+        return true;
+      },
+      false, std::move(done));
+}
+
+void SimServiceBus::ds_pin(const util::Auid& uid, const std::string& host,
+                           api::Reply<bool> done) {
+  rpc<bool>(
+      48, 0,
+      [uid, host](services::ServiceContainer& c) {
+        c.ds().pin(uid, host);
+        return true;
+      },
+      false, std::move(done));
+}
+
+void SimServiceBus::ds_unschedule(const util::Auid& uid, api::Reply<bool> done) {
+  rpc<bool>(
+      16, 0, [uid](services::ServiceContainer& c) { return c.ds().unschedule(uid); }, false,
+      std::move(done));
+}
+
+void SimServiceBus::ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
+                            const std::vector<util::Auid>& in_flight,
+                            api::Reply<services::SyncReply> done) {
+  const auto cache_bytes =
+      static_cast<std::int64_t>(cache.size() + in_flight.size()) * config_.per_item_bytes;
+  rpc<services::SyncReply>(
+      cache_bytes, config_.per_item_bytes,
+      [host, cache, in_flight](services::ServiceContainer& c) {
+        return c.ds().sync(host, cache, in_flight);
+      },
+      services::SyncReply{}, std::move(done));
+}
+
+void SimServiceBus::ddc_publish(const std::string& key, const std::string& value,
+                                api::Reply<bool> done) {
+  if (ring_ != nullptr && ring_node_ != dht::kNoNode) {
+    ring_->put(ring_node_, key, value, std::move(done));
+    return;
+  }
+  rpc<bool>(
+      static_cast<std::int64_t>(key.size() + value.size()), 0,
+      [this, key, value](services::ServiceContainer&) {
+        fallback_ddc_.put(key, value);
+        return true;
+      },
+      false, std::move(done));
+}
+
+void SimServiceBus::ddc_search(const std::string& key,
+                               api::Reply<std::vector<std::string>> done) {
+  if (ring_ != nullptr && ring_node_ != dht::kNoNode) {
+    ring_->get(ring_node_, key, std::move(done));
+    return;
+  }
+  rpc<std::vector<std::string>>(
+      static_cast<std::int64_t>(key.size()), config_.per_item_bytes,
+      [this, key](services::ServiceContainer&) { return fallback_ddc_.get(key); }, {},
+      std::move(done));
+}
+
+}  // namespace bitdew::runtime

@@ -1,0 +1,139 @@
+// SimServiceBus: the ServiceBus implementation for the discrete-event
+// runtime. Every call is a request flow to the service host, a serialized
+// service-processing slot (one server thread, FIFO — so load queues
+// honestly), the in-process core call, and a response flow back. Byte
+// counts scale with payload sizes so control traffic consumes bandwidth —
+// the mechanism behind the paper's Fig. 3b/3c overhead.
+#pragma once
+
+#include "api/service_bus.hpp"
+#include "dht/local_dht.hpp"
+#include "dht/ring.hpp"
+#include "net/network.hpp"
+#include "services/container.hpp"
+#include "sim/simulator.hpp"
+
+namespace bitdew::runtime {
+
+/// FIFO single-server queue modelling the service node's processing.
+class ServiceQueue {
+ public:
+  ServiceQueue(sim::Simulator& sim, double service_time_s)
+      : sim_(sim), service_time_(service_time_s) {}
+
+  void submit(std::function<void()> work) {
+    queue_.push_back(std::move(work));
+    if (!busy_) drain();
+  }
+
+  std::uint64_t served() const { return served_; }
+  std::size_t depth() const { return queue_.size(); }
+
+ private:
+  void drain() {
+    if (queue_.empty()) {
+      busy_ = false;
+      return;
+    }
+    busy_ = true;
+    auto work = std::move(queue_.front());
+    queue_.pop_front();
+    sim_.after(service_time_, [this, work = std::move(work)] {
+      work();
+      ++served_;
+      drain();
+    });
+  }
+
+  sim::Simulator& sim_;
+  double service_time_;
+  bool busy_ = false;
+  std::deque<std::function<void()>> queue_;
+  std::uint64_t served_ = 0;
+};
+
+struct BusConfig {
+  std::int64_t request_bytes = 256;   ///< fixed RPC envelope
+  std::int64_t response_bytes = 256;
+  std::int64_t per_item_bytes = 48;   ///< marginal bytes per list element
+  bool control_traffic = true;        ///< false: latency-only RPCs (ablation)
+};
+
+class SimServiceBus final : public api::ServiceBus {
+ public:
+  /// `fallback_ddc` is the shared catalog-local key/value store used when
+  /// no DHT ring is attached (owned by the runtime).
+  SimServiceBus(sim::Simulator& sim, net::Network& net, net::HostId self,
+                net::HostId service_host, services::ServiceContainer& container,
+                ServiceQueue& queue, dht::LocalDht& fallback_ddc, BusConfig config)
+      : sim_(sim),
+        net_(net),
+        self_(self),
+        service_host_(service_host),
+        container_(container),
+        queue_(queue),
+        fallback_ddc_(fallback_ddc),
+        config_(config) {}
+
+  /// Optional DDC ring; falls back to a catalog-local store when absent.
+  void attach_ring(dht::Ring* ring, dht::NodeIndex self_node) {
+    ring_ = ring;
+    ring_node_ = self_node;
+  }
+
+  // ServiceBus -----------------------------------------------------------------
+  void dc_register(const core::Data& data, api::Reply<bool> done) override;
+  void dc_get(const util::Auid& uid, api::Reply<std::optional<core::Data>> done) override;
+  void dc_search(const std::string& name, api::Reply<std::vector<core::Data>> done) override;
+  void dc_remove(const util::Auid& uid, api::Reply<bool> done) override;
+  void dc_add_locator(const core::Locator& locator, api::Reply<bool> done) override;
+  void dc_locators(const util::Auid& uid, api::Reply<std::vector<core::Locator>> done) override;
+  void dr_put(const core::Data& data, const core::Content& content, const std::string& protocol,
+              api::Reply<core::Locator> done) override;
+  void dr_get(const util::Auid& uid, api::Reply<std::optional<core::Content>> done) override;
+  void dr_remove(const util::Auid& uid, api::Reply<bool> done) override;
+  void dt_register(const core::Data& data, const std::string& source,
+                   const std::string& destination, const std::string& protocol,
+                   api::Reply<services::TicketId> done) override;
+  void dt_monitor(services::TicketId ticket, std::int64_t done_bytes,
+                  api::Reply<bool> done) override;
+  void dt_complete(services::TicketId ticket, const std::string& received_checksum,
+                   const std::string& expected_checksum, api::Reply<bool> done) override;
+  void dt_failure(services::TicketId ticket, std::int64_t bytes_held, bool can_resume,
+                  api::Reply<bool> done) override;
+  void dt_give_up(services::TicketId ticket, api::Reply<bool> done) override;
+  void ds_schedule(const core::Data& data, const core::DataAttributes& attributes,
+                   api::Reply<bool> done) override;
+  void ds_pin(const util::Auid& uid, const std::string& host, api::Reply<bool> done) override;
+  void ds_unschedule(const util::Auid& uid, api::Reply<bool> done) override;
+  void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
+               const std::vector<util::Auid>& in_flight,
+               api::Reply<services::SyncReply> done) override;
+  void ddc_publish(const std::string& key, const std::string& value,
+                   api::Reply<bool> done) override;
+  void ddc_search(const std::string& key, api::Reply<std::vector<std::string>> done) override;
+
+  std::uint64_t rpc_count() const { return rpcs_; }
+
+ private:
+  /// Request flow -> service queue -> compute -> response flow -> done.
+  /// On any transport failure, `fallback` is delivered instead.
+  template <typename R>
+  void rpc(std::int64_t extra_request_bytes, std::int64_t extra_response_bytes,
+           std::function<R(services::ServiceContainer&)> compute, R fallback,
+           api::Reply<R> done);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  net::HostId self_;
+  net::HostId service_host_;
+  services::ServiceContainer& container_;
+  ServiceQueue& queue_;
+  dht::LocalDht& fallback_ddc_;
+  BusConfig config_;
+  dht::Ring* ring_ = nullptr;
+  dht::NodeIndex ring_node_ = dht::kNoNode;
+  std::uint64_t rpcs_ = 0;
+};
+
+}  // namespace bitdew::runtime

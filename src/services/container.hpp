@@ -1,0 +1,60 @@
+// Service Container (paper Fig. 1): hosts the four D* services on one
+// stable node, sharing a DewDB database for persistence. Both runtimes
+// build one of these per service host; the "distributed setup" of the paper
+// (several service nodes, each running a subset) is expressed by
+// constructing several containers and wiring clients to different ones.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "db/database.hpp"
+#include "services/data_catalog.hpp"
+#include "services/data_repository.hpp"
+#include "services/data_scheduler.hpp"
+#include "services/data_transfer.hpp"
+
+namespace bitdew::services {
+
+class ServiceContainer {
+ public:
+  /// In-memory persistence (simulations, tests).
+  ServiceContainer(std::string host_name, const util::Clock& clock,
+                   SchedulerConfig scheduler_config = {})
+      : database_(std::make_unique<db::Database>()),
+        catalog_(*database_),
+        repository_(*database_, host_name),
+        transfer_(*database_, clock),
+        scheduler_(clock, scheduler_config),
+        host_name_(std::move(host_name)) {}
+
+  /// WAL-backed persistence (the LocalRuntime).
+  ServiceContainer(std::string host_name, const util::Clock& clock, const std::string& wal_path,
+                   SchedulerConfig scheduler_config = {})
+      : database_(std::make_unique<db::Database>(wal_path)),
+        catalog_(*database_),
+        repository_(*database_, host_name),
+        transfer_(*database_, clock),
+        scheduler_(clock, scheduler_config),
+        host_name_(std::move(host_name)) {}
+
+  ServiceContainer(const ServiceContainer&) = delete;
+  ServiceContainer& operator=(const ServiceContainer&) = delete;
+
+  DataCatalog& dc() { return catalog_; }
+  DataRepository& dr() { return repository_; }
+  DataTransfer& dt() { return transfer_; }
+  DataScheduler& ds() { return scheduler_; }
+  db::Database& database() { return *database_; }
+  const std::string& host_name() const { return host_name_; }
+
+ private:
+  std::unique_ptr<db::Database> database_;
+  DataCatalog catalog_;
+  DataRepository repository_;
+  DataTransfer transfer_;
+  DataScheduler scheduler_;
+  std::string host_name_;
+};
+
+}  // namespace bitdew::services

@@ -1,0 +1,87 @@
+#include "services/data_repository.hpp"
+
+namespace bitdew::services {
+namespace {
+
+constexpr const char* kObjectTable = "dr_object";
+
+}  // namespace
+
+DataRepository::DataRepository(db::Database& database, std::string host_name)
+    : database_(database), host_(std::move(host_name)) {
+  database_.create_table(db::TableSchema{kObjectTable, "uid", {}});
+}
+
+core::Locator DataRepository::put(const core::Data& data, const core::Content& content,
+                                  const std::string& protocol) {
+  db::Row row;
+  row["uid"] = data.uid.str();
+  row["size"] = content.size;
+  row["checksum"] = content.checksum;
+  row["path"] = "store/" + data.uid.str();
+
+  db::Table* table = database_.table(kObjectTable);
+  const auto existing = table->by_primary(db::Value{data.uid.str()});
+  if (existing.has_value()) {
+    database_.update(kObjectTable, *existing, row);
+  } else {
+    database_.insert(kObjectTable, std::move(row));
+  }
+
+  core::Locator locator;
+  locator.data_uid = data.uid;
+  locator.protocol = protocol;
+  locator.host = host_;
+  locator.path = "store/" + data.uid.str();
+  return locator;
+}
+
+std::optional<core::Content> DataRepository::get(const util::Auid& uid) const {
+  const db::Table* table = database_.table(kObjectTable);
+  const auto id = table->by_primary(db::Value{uid.str()});
+  if (!id.has_value()) return std::nullopt;
+  const db::Row& row = *table->get(*id);
+  core::Content content;
+  content.size = db::get_int(row, "size");
+  content.checksum = db::get_text(row, "checksum");
+  return content;
+}
+
+std::optional<core::Locator> DataRepository::locator(const util::Auid& uid,
+                                                     const std::string& protocol) const {
+  const db::Table* table = database_.table(kObjectTable);
+  const auto id = table->by_primary(db::Value{uid.str()});
+  if (!id.has_value()) return std::nullopt;
+  core::Locator locator;
+  locator.data_uid = uid;
+  locator.protocol = protocol;
+  locator.host = host_;
+  locator.path = db::get_text(*table->get(*id), "path");
+  return locator;
+}
+
+bool DataRepository::exists(const util::Auid& uid) const {
+  return database_.table(kObjectTable)->by_primary(db::Value{uid.str()}).has_value();
+}
+
+bool DataRepository::remove(const util::Auid& uid) {
+  db::Table* table = database_.table(kObjectTable);
+  const auto id = table->by_primary(db::Value{uid.str()});
+  if (!id.has_value()) return false;
+  return database_.erase(kObjectTable, *id);
+}
+
+std::int64_t DataRepository::stored_bytes() const {
+  std::int64_t total = 0;
+  database_.table(kObjectTable)->scan([&total](db::RowId, const db::Row& row) {
+    total += db::get_int(row, "size");
+    return true;
+  });
+  return total;
+}
+
+std::size_t DataRepository::object_count() const {
+  return database_.table(kObjectTable)->size();
+}
+
+}  // namespace bitdew::services

@@ -1,0 +1,46 @@
+// Data Repository (DR): the interface to persistent storage with remote
+// access (paper §3.4.2) — a wrapper around a legacy store (here DewDB
+// object descriptors; the LocalRuntime pairs it with real files on disk).
+// put() registers content for a data slot and mints the Locator that the
+// transfer protocols consume.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/data.hpp"
+#include "core/locator.hpp"
+#include "db/database.hpp"
+
+namespace bitdew::services {
+
+class DataRepository {
+ public:
+  /// `host_name` is the service host this repository is reachable at.
+  DataRepository(db::Database& database, std::string host_name);
+
+  /// Stores content for a data slot; returns the locator clients should
+  /// use with `protocol` to fetch it. Re-putting overwrites.
+  core::Locator put(const core::Data& data, const core::Content& content,
+                    const std::string& protocol);
+
+  /// Content descriptor for a slot, if stored here.
+  std::optional<core::Content> get(const util::Auid& uid) const;
+
+  /// Locator for a previously stored slot (protocol may differ per call).
+  std::optional<core::Locator> locator(const util::Auid& uid, const std::string& protocol) const;
+
+  bool exists(const util::Auid& uid) const;
+  bool remove(const util::Auid& uid);
+
+  /// Total bytes of stored content.
+  std::int64_t stored_bytes() const;
+  std::size_t object_count() const;
+  const std::string& host_name() const { return host_; }
+
+ private:
+  db::Database& database_;
+  std::string host_;
+};
+
+}  // namespace bitdew::services

@@ -1,0 +1,243 @@
+#include "services/data_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace bitdew::services {
+namespace {
+
+const util::Logger& logger() {
+  static const util::Logger instance("ds");
+  return instance;
+}
+
+}  // namespace
+
+DataScheduler::DataScheduler(const util::Clock& clock, SchedulerConfig config)
+    : clock_(clock), config_(config) {}
+
+std::size_t DataScheduler::Entry::effective_owners(double now) const {
+  std::size_t count = owners.size();
+  for (const auto& [host, deadline] : pending) {
+    if (deadline > now && !owners.contains(host)) ++count;
+  }
+  return count;
+}
+
+void DataScheduler::schedule(const core::Data& data, const core::DataAttributes& attributes) {
+  auto& entry = theta_[data.uid];
+  entry.data = data;
+  entry.attributes = attributes;
+}
+
+void DataScheduler::pin(const util::Auid& uid, const HostName& host) {
+  const auto it = theta_.find(uid);
+  if (it == theta_.end()) return;
+  it->second.pinned.insert(host);
+  it->second.owners.insert(host);
+}
+
+bool DataScheduler::unschedule(const util::Auid& uid) {
+  const bool existed = theta_.erase(uid) > 0;
+  if (existed) reap(clock_.now());  // relative lifetimes may cascade
+  return existed;
+}
+
+bool DataScheduler::lifetime_valid(const Entry& entry, double now) const {
+  const core::Lifetime& lifetime = entry.attributes.lifetime;
+  switch (lifetime.kind) {
+    case core::Lifetime::Kind::kForever: return true;
+    case core::Lifetime::Kind::kAbsolute: return lifetime.expires_at > now;
+    case core::Lifetime::Kind::kRelative: return theta_.contains(lifetime.reference);
+  }
+  return true;
+}
+
+void DataScheduler::reap(double now) {
+  // Iterate to a fixpoint: deleting a datum can invalidate others whose
+  // relative lifetime references it (the paper's Collector chain).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = theta_.begin(); it != theta_.end();) {
+      if (!lifetime_valid(it->second, now)) {
+        logger().debug("reaping expired data %s", it->second.data.name.c_str());
+        it = theta_.erase(it);
+        ++stats_.reaped;
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+SyncReply DataScheduler::sync(const HostName& host, const std::vector<util::Auid>& cache,
+                              const std::vector<util::Auid>& in_flight) {
+  const double now = clock_.now();
+  const double pending_ttl =
+      config_.heartbeat_period_s * config_.failure_timeout_factor;
+  ++stats_.syncs;
+  reap(now);
+
+  HostState& state = hosts_[host];
+  if (now - state.last_sync > 2.5 && state.last_sync > 0) {
+    logger().debug("[%.2f] sync from %s arrived %.2fs after the previous one", now,
+                   host.c_str(), now - state.last_sync);
+  }
+  state.last_sync = now;
+  state.alive = true;
+  state.cache = std::set<util::Auid>(cache.begin(), cache.end());
+
+  // Refresh provisional assignments the host is still downloading, and
+  // drop expired ones everywhere (lazy pruning).
+  for (const util::Auid& uid : in_flight) {
+    const auto it = theta_.find(uid);
+    if (it != theta_.end() && it->second.pending.contains(host)) {
+      it->second.pending[host] = now + pending_ttl;
+    }
+  }
+  for (auto& [uid, entry] : theta_) {
+    std::erase_if(entry.pending,
+                  [now](const auto& item) { return item.second <= now; });
+  }
+
+  std::set<util::Auid> psi;   // Ψk
+  std::set<util::Auid> kept;  // Step-1 survivors: the Δk the paper's
+                              // affinity test runs against
+  SyncReply reply;
+
+  // --- Step 1: keep still-valid cached data -------------------------------
+  for (const util::Auid& uid : state.cache) {
+    const auto it = theta_.find(uid);
+    if (it == theta_.end()) continue;           // D ∉ Θ
+    Entry& entry = it->second;
+    if (!lifetime_valid(entry, now)) continue;  // expired (defensive; reaped above)
+    psi.insert(uid);
+    kept.insert(uid);
+    entry.owners.insert(host);  // the host demonstrably holds it: update Ω
+    entry.pending.erase(host);  // assignment confirmed
+  }
+
+  // --- Step 2: add new data ------------------------------------------------
+  int new_downloads = 0;
+  for (auto& [uid, entry] : theta_) {
+    if (new_downloads >= config_.max_data_schedule) break;
+    if (psi.contains(uid) || state.cache.contains(uid)) continue;
+
+    bool assign = false;
+    // Affinity: placement dependency on a datum the host already caches
+    // (Algorithm 1 tests against Δk, so data assigned in this same sync
+    // does not attract dependents until the next round). Class affinity
+    // (affinity_name) matches any cached datum of that name.
+    if (!entry.attributes.affinity.is_nil() && kept.contains(entry.attributes.affinity)) {
+      assign = true;
+    } else if (!entry.attributes.affinity_name.empty()) {
+      for (const util::Auid& held : kept) {
+        const auto held_it = theta_.find(held);
+        if (held_it != theta_.end() &&
+            held_it->second.data.name == entry.attributes.affinity_name) {
+          assign = true;
+          break;
+        }
+      }
+    }
+    // Replica: fewer credible owners than requested (or broadcast).
+    if (!assign && entry.attributes.replica != 0) {
+      const auto want = entry.attributes.replica;
+      if (want == core::kReplicaAll ||
+          entry.effective_owners(now) < static_cast<std::size_t>(want)) {
+        assign = true;
+      }
+    }
+    if (!assign) continue;
+
+    psi.insert(uid);
+    // Provisional until the host's cache confirms it (or it expires).
+    entry.pending[host] = now + pending_ttl;
+    ++new_downloads;
+  }
+
+  // --- partition Ψk for the reply -----------------------------------------
+  for (const util::Auid& uid : psi) {
+    if (state.cache.contains(uid)) {
+      reply.keep.push_back(uid);
+    } else {
+      reply.download.push_back(ScheduledData{theta_[uid].data, theta_[uid].attributes});
+    }
+  }
+  for (const util::Auid& uid : state.cache) {
+    if (!psi.contains(uid)) {
+      reply.drop.push_back(uid);
+      // The host will delete it; it no longer owns a replica.
+      const auto it = theta_.find(uid);
+      if (it != theta_.end() && !it->second.pinned.contains(host)) {
+        it->second.owners.erase(host);
+        it->second.pending.erase(host);
+      }
+    }
+  }
+  if (logger().enabled(util::LogLevel::kTrace)) {
+    for (const auto& item : reply.download) {
+      logger().trace("sync %s <- download %s %s", host.c_str(), item.data.name.c_str(), item.data.uid.str().c_str());
+    }
+    for (const auto& uid : reply.drop) {
+      logger().trace("sync %s <- drop %s", host.c_str(), uid.str().c_str());
+    }
+  }
+  stats_.orders += reply.download.size();
+  stats_.drops += reply.drop.size();
+  state.cache = std::move(psi);  // what the host will hold after the reply
+  return reply;
+}
+
+std::vector<HostName> DataScheduler::detect_failures() {
+  const double now = clock_.now();
+  const double timeout = config_.heartbeat_period_s * config_.failure_timeout_factor;
+  std::vector<HostName> newly_dead;
+  for (auto& [host, state] : hosts_) {
+    if (!state.alive || now - state.last_sync <= timeout) continue;
+    state.alive = false;
+    newly_dead.push_back(host);
+    ++stats_.failures;
+    logger().debug("host %s declared dead (last sync %.2fs ago)", host.c_str(),
+                   now - state.last_sync);
+    // Fault-tolerant data forgets the dead owner so the replica rule
+    // re-schedules it; non-fault-tolerant data keeps the owner (replica
+    // unavailable until the host returns), per the paper.
+    for (auto& [uid, entry] : theta_) {
+      if (entry.attributes.fault_tolerant && !entry.pinned.contains(host)) {
+        entry.owners.erase(host);
+      }
+      entry.pending.erase(host);  // a dead host cannot complete a download
+    }
+  }
+  return newly_dead;
+}
+
+std::set<HostName> DataScheduler::owners(const util::Auid& uid) const {
+  const auto it = theta_.find(uid);
+  return it != theta_.end() ? it->second.owners : std::set<HostName>{};
+}
+
+std::optional<ScheduledData> DataScheduler::scheduled(const util::Auid& uid) const {
+  const auto it = theta_.find(uid);
+  if (it == theta_.end()) return std::nullopt;
+  return ScheduledData{it->second.data, it->second.attributes};
+}
+
+bool DataScheduler::host_alive(const HostName& host) const {
+  const auto it = hosts_.find(host);
+  return it != hosts_.end() && it->second.alive;
+}
+
+std::vector<HostName> DataScheduler::known_hosts() const {
+  std::vector<HostName> out;
+  out.reserve(hosts_.size());
+  for (const auto& [host, state] : hosts_) out.push_back(host);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bitdew::services

@@ -1,0 +1,138 @@
+// Data Scheduler (DS): implements Algorithm 1 of the paper verbatim.
+//
+// Reservoir hosts periodically synchronize their local cache Δk against the
+// scheduler's data set Θ. The reply Ψk tells the host what to keep
+// (Δk ∩ Ψk), what to download (Ψk \ Δk) and what to delete (Δk \ Ψk):
+//
+//   Step 1 keeps cached data that is still in Θ, whose absolute lifetime
+//          has not expired and whose relative lifetime reference is still
+//          in Θ; fault-tolerant data refreshes its owner set Ω.
+//   Step 2 adds missing data, first by affinity (placement dependency on a
+//          datum already cached — stronger than replica), then by replica
+//          count (|Ω(Dj)| < replica, or replica == -1 meaning every host),
+//          stopping when |Ψk \ Δk| reaches MaxDataSchedule.
+//
+// Host failures are detected by timeout on the periodic synchronizations
+// (3x the heartbeat period by default, matching the paper's Fig. 4): the
+// owner set of fault-tolerant data drops the dead host, so the replica rule
+// re-schedules the data elsewhere; non-fault-tolerant data keeps the dead
+// owner, so the replica is simply unavailable while the host is down —
+// exactly the semantics of the `fault tolerance` attribute.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/attributes.hpp"
+#include "core/data.hpp"
+#include "util/clock.hpp"
+
+namespace bitdew::services {
+
+/// Reservoir hosts are identified by name (transport-agnostic).
+using HostName = std::string;
+
+struct SchedulerConfig {
+  int max_data_schedule = 8;        ///< Algorithm 1's MaxDataSchedule
+  double heartbeat_period_s = 1.0;  ///< expected sync period
+  double failure_timeout_factor = 3.0;  ///< timeout = factor * heartbeat
+};
+
+struct ScheduledData {
+  core::Data data;
+  core::DataAttributes attributes;
+};
+
+/// Reply to one synchronization (the three Ψk partitions).
+struct SyncReply {
+  std::vector<util::Auid> keep;            ///< Δk ∩ Ψk
+  std::vector<ScheduledData> download;     ///< Ψk \ Δk, with attributes
+  std::vector<util::Auid> drop;            ///< Δk \ Ψk — safe to delete
+};
+
+struct SchedulerStats {
+  std::uint64_t syncs = 0;
+  std::uint64_t orders = 0;        ///< download orders issued
+  std::uint64_t drops = 0;         ///< deletion orders issued
+  std::uint64_t failures = 0;      ///< hosts declared dead
+  std::uint64_t reaped = 0;        ///< data expired out of Θ
+};
+
+class DataScheduler {
+ public:
+  DataScheduler(const util::Clock& clock, SchedulerConfig config = {});
+
+  // --- data set Θ -----------------------------------------------------------
+  /// Adds or updates a datum with its attributes (the ActiveData schedule
+  /// call lands here).
+  void schedule(const core::Data& data, const core::DataAttributes& attributes);
+
+  /// Pins a datum to a host: the host is recorded as a permanent owner and
+  /// the datum will never be dropped from that host's cache.
+  void pin(const util::Auid& uid, const HostName& host);
+
+  /// Removes a datum from Θ; hosts delete it at their next sync, and any
+  /// data with a relative lifetime on it expires too (paper's Collector
+  /// pattern).
+  bool unschedule(const util::Auid& uid);
+
+  // --- reservoir protocol -----------------------------------------------------
+  /// One reservoir synchronization (Algorithm 1). `cache` is Δk;
+  /// `in_flight` lists downloads the host is still running, which keeps
+  /// their provisional assignment alive. An assignment that is neither
+  /// confirmed (appearing in Δk) nor refreshed (in_flight) expires after
+  /// the failure timeout and the datum is re-scheduled — a host that failed
+  /// a download cannot permanently absorb a replica.
+  SyncReply sync(const HostName& host, const std::vector<util::Auid>& cache,
+                 const std::vector<util::Auid>& in_flight = {});
+
+  /// Scans for hosts whose last sync exceeded the failure timeout and
+  /// updates owner sets. Returns the hosts newly declared dead.
+  std::vector<HostName> detect_failures();
+
+  // --- introspection ------------------------------------------------------------
+  std::set<HostName> owners(const util::Auid& uid) const;
+  std::size_t scheduled_count() const { return theta_.size(); }
+  std::optional<ScheduledData> scheduled(const util::Auid& uid) const;
+  bool host_alive(const HostName& host) const;
+  std::vector<HostName> known_hosts() const;
+  const SchedulerStats& stats() const { return stats_; }
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct HostState {
+    double last_sync = 0;
+    bool alive = true;
+    std::set<util::Auid> cache;  // last reported Δk
+  };
+
+  struct Entry {
+    core::Data data;
+    core::DataAttributes attributes;
+    std::set<HostName> owners;  // Ω(D): hosts that confirmed holding D
+    std::map<HostName, double> pending;  // assigned, unconfirmed -> deadline
+    std::set<HostName> pinned;
+
+    /// Owners plus still-credible assignments (the replica-rule count).
+    std::size_t effective_owners(double now) const;
+  };
+
+  /// Drops data whose absolute lifetime passed or whose relative reference
+  /// left Θ (iterates to a fixpoint for chains).
+  void reap(double now);
+
+  bool lifetime_valid(const Entry& entry, double now) const;
+
+  const util::Clock& clock_;
+  SchedulerConfig config_;
+  std::map<util::Auid, Entry> theta_;  // Θ, deterministic iteration order
+  std::unordered_map<HostName, HostState> hosts_;
+  SchedulerStats stats_;
+};
+
+}  // namespace bitdew::services

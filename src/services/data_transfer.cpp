@@ -1,0 +1,135 @@
+#include "services/data_transfer.hpp"
+
+namespace bitdew::services {
+namespace {
+
+constexpr const char* kTicketTable = "dt_ticket";
+
+db::Row ticket_to_row(const Ticket& ticket) {
+  db::Row row;
+  row["ticket"] = static_cast<std::int64_t>(ticket.id);
+  row["uid"] = ticket.data_uid.str();
+  row["source"] = ticket.source;
+  row["destination"] = ticket.destination;
+  row["protocol"] = ticket.protocol;
+  row["total"] = ticket.total_bytes;
+  row["done"] = ticket.done_bytes;
+  row["attempts"] = static_cast<std::int64_t>(ticket.attempts);
+  row["state"] = static_cast<std::int64_t>(ticket.state);
+  row["created_at"] = ticket.created_at;
+  row["monitored_at"] = ticket.last_monitored_at;
+  return row;
+}
+
+Ticket row_to_ticket(const db::Row& row) {
+  Ticket ticket;
+  ticket.id = static_cast<TicketId>(db::get_int(row, "ticket"));
+  ticket.data_uid = util::Auid::parse(db::get_text(row, "uid"));
+  ticket.source = db::get_text(row, "source");
+  ticket.destination = db::get_text(row, "destination");
+  ticket.protocol = db::get_text(row, "protocol");
+  ticket.total_bytes = db::get_int(row, "total");
+  ticket.done_bytes = db::get_int(row, "done");
+  ticket.attempts = static_cast<int>(db::get_int(row, "attempts"));
+  ticket.state = static_cast<TransferState>(db::get_int(row, "state"));
+  ticket.created_at = db::get_real(row, "created_at");
+  ticket.last_monitored_at = db::get_real(row, "monitored_at");
+  return ticket;
+}
+
+}  // namespace
+
+DataTransfer::DataTransfer(db::Database& database, const util::Clock& clock)
+    : database_(database), clock_(clock) {
+  database_.create_table(db::TableSchema{kTicketTable, "ticket", {"state"}});
+}
+
+std::optional<db::RowId> DataTransfer::row_of(TicketId id) const {
+  return database_.table(kTicketTable)
+      ->by_primary(db::Value{static_cast<std::int64_t>(id)});
+}
+
+void DataTransfer::write_back(const Ticket& ticket) {
+  const auto row_id = row_of(ticket.id);
+  if (row_id.has_value()) {
+    database_.update(kTicketTable, *row_id, ticket_to_row(ticket));
+  }
+}
+
+TicketId DataTransfer::register_transfer(const core::Data& data, const std::string& source,
+                                         const std::string& destination,
+                                         const std::string& protocol) {
+  Ticket ticket;
+  ticket.id = next_id_++;
+  ticket.data_uid = data.uid;
+  ticket.source = source;
+  ticket.destination = destination;
+  ticket.protocol = protocol;
+  ticket.total_bytes = data.size;
+  ticket.created_at = clock_.now();
+  ticket.last_monitored_at = ticket.created_at;
+  database_.insert(kTicketTable, ticket_to_row(ticket));
+  ++stats_.registered;
+  return ticket.id;
+}
+
+void DataTransfer::monitor(TicketId id, std::int64_t done_bytes) {
+  ++stats_.monitor_polls;
+  auto found = ticket(id);
+  if (!found.has_value() || found->state != TransferState::kActive) return;
+  found->done_bytes = std::max(found->done_bytes, done_bytes);
+  found->last_monitored_at = clock_.now();
+  write_back(*found);
+}
+
+bool DataTransfer::complete(TicketId id, const std::string& received_checksum,
+                            const std::string& expected_checksum) {
+  auto found = ticket(id);
+  if (!found.has_value() || found->state != TransferState::kActive) return false;
+  if (received_checksum != expected_checksum) {
+    // Receiver-driven integrity check failed: keep the ticket active for a
+    // retry but restart from zero — the payload cannot be trusted.
+    ++stats_.checksum_rejects;
+    found->done_bytes = 0;
+    ++found->attempts;
+    write_back(*found);
+    return false;
+  }
+  found->state = TransferState::kDone;
+  found->done_bytes = found->total_bytes;
+  found->last_monitored_at = clock_.now();
+  write_back(*found);
+  ++stats_.completed;
+  return true;
+}
+
+void DataTransfer::report_failure(TicketId id, std::int64_t bytes_held, bool can_resume) {
+  auto found = ticket(id);
+  if (!found.has_value() || found->state != TransferState::kActive) return;
+  ++found->attempts;
+  found->done_bytes = can_resume ? std::max(found->done_bytes, bytes_held) : 0;
+  if (can_resume && bytes_held > 0) ++stats_.resumes;
+  write_back(*found);
+}
+
+void DataTransfer::give_up(TicketId id) {
+  auto found = ticket(id);
+  if (!found.has_value() || found->state != TransferState::kActive) return;
+  found->state = TransferState::kFailed;
+  write_back(*found);
+  ++stats_.failed;
+}
+
+std::optional<Ticket> DataTransfer::ticket(TicketId id) const {
+  const auto row_id = row_of(id);
+  if (!row_id.has_value()) return std::nullopt;
+  return row_to_ticket(*database_.table(kTicketTable)->get(*row_id));
+}
+
+std::size_t DataTransfer::active_count() const {
+  return database_.table(kTicketTable)
+      ->find("state", db::Value{static_cast<std::int64_t>(TransferState::kActive)})
+      .size();
+}
+
+}  // namespace bitdew::services

@@ -1,0 +1,82 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace bitdew::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::at(SimTime time, EventFn fn) {
+  const EventId id = next_seq_++;
+  handlers_.emplace(id, std::move(fn));
+  queue_.push(Entry{std::max(time, now_), id, id});
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (handlers_.erase(id) > 0) ++cancelled_count_;
+}
+
+bool Simulator::pending(EventId id) const { return handlers_.contains(id); }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    const auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) {
+      assert(cancelled_count_ > 0);
+      --cancelled_count_;
+      continue;
+    }
+    now_ = entry.time;
+    EventFn fn = std::move(it->second);
+    handlers_.erase(it);
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (!step()) break;
+  }
+  now_ = std::max(now_, t);
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, SimTime period, Simulator::EventFn fn) {
+  start(sim, period, std::move(fn));
+}
+
+void PeriodicTimer::start(Simulator& sim, SimTime period, Simulator::EventFn fn) {
+  stop();
+  sim_ = &sim;
+  period_ = period;
+  fn_ = std::move(fn);
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  if (sim_ != nullptr && pending_ != 0) sim_->cancel(pending_);
+  pending_ = 0;
+  sim_ = nullptr;
+}
+
+void PeriodicTimer::arm() {
+  pending_ = sim_->after(period_, [this] {
+    arm();   // rearm first so fn_ may stop() the timer
+    fn_();
+  });
+}
+
+}  // namespace bitdew::sim

@@ -1,0 +1,118 @@
+// Discrete-event simulation kernel.
+//
+// The kernel is a priority queue of (time, sequence) ordered events with
+// lazy cancellation. Ties break on insertion order, which together with the
+// single seeded Rng makes every simulation deterministic (DESIGN.md §4.5).
+// All large-scale experiments in the paper's evaluation (file distribution,
+// fault recovery, the BLAST application) run in virtual time on this kernel;
+// it replaces the Grid'5000 / DSL-Lab testbeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace bitdew::sim {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+/// Handle for cancelling a scheduled event; 0 is the null handle.
+using EventId = std::uint64_t;
+
+class Simulator final : public util::Clock {
+ public:
+  using EventFn = std::function<void()>;
+
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator() override = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  double now() const override { return now_; }
+
+  /// Schedules fn at absolute virtual time `time` (clamped to now()).
+  EventId at(SimTime time, EventFn fn);
+
+  /// Schedules fn `delay` seconds from now (delay clamped to >= 0).
+  EventId after(SimTime delay, EventFn fn) { return at(now_ + delay, std::move(fn)); }
+
+  /// Cancels a pending event; cancelling an executed/unknown id is a no-op.
+  void cancel(EventId id);
+
+  /// True if the event is still pending.
+  bool pending(EventId id) const;
+
+  /// Executes a single event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` fire.
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Runs events with time <= t, then sets the clock to exactly t.
+  void run_until(SimTime t);
+
+  /// Number of events currently queued (excluding cancelled ones).
+  std::size_t queued() const { return queue_.size() - cancelled_count_; }
+
+  /// Total events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+  /// The simulation's deterministic random stream.
+  util::Rng& rng() { return rng_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    // Min-heap by (time, seq): std::priority_queue is a max-heap, so invert.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t cancelled_count_ = 0;
+  std::priority_queue<Entry> queue_;
+  // Live events only: erased on execution or cancellation so memory stays
+  // proportional to in-flight events, not total events ever scheduled.
+  std::unordered_map<EventId, EventFn> handlers_;
+  util::Rng rng_;
+};
+
+/// Repeating timer bound to a Simulator. Cancelled on destruction (RAII),
+/// so actors can hold one as a member without leak or double-fire risk.
+class PeriodicTimer {
+ public:
+  PeriodicTimer() = default;
+  PeriodicTimer(Simulator& sim, SimTime period, Simulator::EventFn fn);
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start(Simulator& sim, SimTime period, Simulator::EventFn fn);
+  void stop();
+  bool running() const { return sim_ != nullptr && pending_ != 0; }
+
+ private:
+  void arm();
+
+  Simulator* sim_ = nullptr;
+  SimTime period_ = 0;
+  Simulator::EventFn fn_;
+  EventId pending_ = 0;
+};
+
+}  // namespace bitdew::sim

@@ -1,0 +1,104 @@
+#include "testbed/topologies.hpp"
+
+#include <cmath>
+
+#include "util/strf.hpp"
+
+namespace bitdew::testbed {
+
+Cluster make_cluster(net::Network& net, const ClusterSpec& spec) {
+  Cluster cluster;
+  cluster.name = spec.name;
+  cluster.cpu_ghz = spec.cpu_ghz;
+  cluster.zone = net.add_zone(spec.name);
+  cluster.hosts.reserve(static_cast<std::size_t>(spec.nodes));
+  for (int i = 0; i < spec.nodes; ++i) {
+    net::HostSpec host;
+    host.name = util::strf("%s-%d", spec.name.c_str(), i);
+    host.uplink_Bps = spec.nic_Bps;
+    host.downlink_Bps = spec.nic_Bps;
+    host.lan_latency_s = spec.lan_latency_s;
+    cluster.hosts.push_back(net.add_host(cluster.zone, host));
+  }
+  return cluster;
+}
+
+std::vector<net::HostId> Grid5000::all_hosts() const {
+  std::vector<net::HostId> out;
+  for (const Cluster& cluster : clusters) {
+    out.insert(out.end(), cluster.hosts.begin(), cluster.hosts.end());
+  }
+  return out;
+}
+
+Grid5000 make_grid5000(net::Network& net, double scale) {
+  struct SiteSpec {
+    const char* name;
+    int nodes;
+    double ghz;
+    double wan_to_orsay_s;  // one-way latency to the Orsay site
+  };
+  // Table 1 of the paper; latencies approximate RENATER paths.
+  const SiteSpec sites[] = {
+      {"gdx", 312, 2.2, 0.0},          // Orsay (mixed 2.0/2.4 -> 2.2 mean)
+      {"grelon", 120, 1.6, 5e-3},      // Nancy
+      {"grillon", 47, 2.0, 5e-3},      // Nancy
+      {"sagittaire", 65, 2.4, 4e-3},   // Lyon
+  };
+
+  Grid5000 grid;
+  const double egress = 1.25e9;  // 10 Gbit/s site egress
+  for (const SiteSpec& site : sites) {
+    const int nodes = std::max(1, static_cast<int>(std::lround(site.nodes * scale)));
+    Cluster cluster;
+    cluster.name = site.name;
+    cluster.cpu_ghz = site.ghz;
+    cluster.zone = net.add_zone(site.name, egress, egress);
+    for (int i = 0; i < nodes; ++i) {
+      net::HostSpec host;
+      host.name = util::strf("%s-%d", site.name, i);
+      host.uplink_Bps = 125e6;
+      host.downlink_Bps = 125e6;
+      host.lan_latency_s = 100e-6;
+      cluster.hosts.push_back(net.add_host(cluster.zone, host));
+    }
+    grid.clusters.push_back(std::move(cluster));
+  }
+  // Inter-site one-way latencies (symmetric matrix from per-site values).
+  for (std::size_t a = 0; a < grid.clusters.size(); ++a) {
+    for (std::size_t b = a + 1; b < grid.clusters.size(); ++b) {
+      const double latency =
+          std::max(2e-3, sites[a].wan_to_orsay_s + sites[b].wan_to_orsay_s);
+      net.set_zone_latency(grid.clusters[a].zone, grid.clusters[b].zone, latency);
+    }
+  }
+  return grid;
+}
+
+DslLab make_dsllab(net::Network& net, util::Rng& rng, int nodes) {
+  DslLab lab;
+  const net::ZoneId datacenter = net.add_zone("datacenter");
+  const net::ZoneId neighbourhood = net.add_zone("dsl");
+  net.set_zone_latency(datacenter, neighbourhood, 12e-3);
+
+  net::HostSpec server;
+  server.name = "dsl-server";
+  server.uplink_Bps = 12.5e6;  // 100 Mbit/s hosting uplink
+  server.downlink_Bps = 12.5e6;
+  server.lan_latency_s = 1e-3;
+  lab.server = net.add_host(datacenter, server);
+
+  for (int i = 0; i < nodes; ++i) {
+    net::HostSpec host;
+    host.name = util::strf("DSL%02d", i + 1);
+    // Asymmetric ADSL, jittered per host: the paper observes 53-492 KB/s
+    // effective download rates across providers.
+    host.downlink_Bps = rng.uniform(1e6, 8e6) / 8.0;    // 1-8 Mbit/s down
+    host.uplink_Bps = rng.uniform(128e3, 1024e3) / 8.0;  // 128-1024 Kbit/s up
+    host.lan_latency_s = rng.uniform(15e-3, 40e-3);
+    lab.nodes.push_back(net.add_host(neighbourhood, host));
+  }
+  return lab;
+}
+
+}  // namespace bitdew::testbed

@@ -1,0 +1,56 @@
+// Experimental-platform presets mirroring the paper's three testbeds
+// (§4.1): the GdX cluster (micro-benchmarks), the 4-cluster Grid'5000
+// deployment of Table 1 (scalability + Fig. 6), and DSL-Lab — 12 broadband
+// ADSL hosts (Fig. 4). These construct zones/hosts on a net::Network.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace bitdew::testbed {
+
+/// One homogeneous cluster: N nodes with gigabit NICs behind a switch.
+struct ClusterSpec {
+  std::string name = "gdx";
+  int nodes = 64;
+  double nic_Bps = 125e6;        // 1 Gbit/s
+  double lan_latency_s = 100e-6;
+  double cpu_ghz = 2.0;
+};
+
+struct Cluster {
+  std::string name;
+  net::ZoneId zone = 0;
+  std::vector<net::HostId> hosts;
+  double cpu_ghz = 2.0;
+};
+
+/// Builds one cluster; host names are "<name>-<i>".
+Cluster make_cluster(net::Network& net, const ClusterSpec& spec);
+
+/// The paper's Table 1 Grid'5000 slice: gdx (Orsay, 312 x Opteron 2.0/2.4),
+/// grelon (Nancy, 120 x Xeon 1.6), grillon (Nancy, 47 x Opteron 2.0),
+/// sagittaire (Lyon, 65 x Opteron 2.4). 10 Gbit/s site egress, RENATER-like
+/// inter-site latencies. `scale` in (0,1] shrinks node counts uniformly
+/// (the benches' quick mode).
+struct Grid5000 {
+  std::vector<Cluster> clusters;
+  std::vector<net::HostId> all_hosts() const;
+};
+
+Grid5000 make_grid5000(net::Network& net, double scale = 1.0);
+
+/// DSL-Lab: `nodes` broadband hosts (asymmetric ADSL: 1-8 Mbit/s down,
+/// 128-1024 Kbit/s up, 15-40 ms last-mile latency, jittered by `rng`) plus
+/// one well-provisioned service host.
+struct DslLab {
+  net::HostId server = 0;
+  std::vector<net::HostId> nodes;
+};
+
+DslLab make_dsllab(net::Network& net, util::Rng& rng, int nodes = 12);
+
+}  // namespace bitdew::testbed

@@ -1,0 +1,369 @@
+#include "transfer/bittorrent.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bitdew::transfer {
+
+BtSwarm::BtSwarm(sim::Simulator& sim, net::Network& net, const BtConfig& config,
+                 const core::Data& data, net::HostId seeder)
+    : sim_(sim), net_(net), config_(config), data_(data) {
+  piece_count_ = static_cast<int>((data.size + config_.piece_bytes - 1) / config_.piece_bytes);
+  if (piece_count_ == 0) piece_count_ = 1;  // zero-byte data still has one "piece"
+  rarity_.assign(static_cast<std::size_t>(piece_count_), 1);  // owned by the seeder
+
+  Peer seed;
+  seed.host = seeder;
+  seed.pieces.assign(static_cast<std::size_t>(piece_count_), true);
+  seed.inflight.assign(static_cast<std::size_t>(piece_count_), false);
+  seed.have = piece_count_;
+  seed.complete = true;
+  peers_.push_back(std::move(seed));
+  by_host_.emplace(seeder, 0);
+}
+
+std::int64_t BtSwarm::piece_size(int piece) const {
+  if (data_.size == 0) return 0;
+  if (piece == piece_count_ - 1) {
+    const std::int64_t tail = data_.size - static_cast<std::int64_t>(piece) * config_.piece_bytes;
+    return tail > 0 ? tail : config_.piece_bytes;
+  }
+  return config_.piece_bytes;
+}
+
+bool BtSwarm::peer_complete(net::HostId host) const {
+  const auto it = by_host_.find(host);
+  return it != by_host_.end() && peers_[it->second].complete;
+}
+
+void BtSwarm::add_peer(net::HostId host, TransferCallback done) {
+  const auto existing = by_host_.find(host);
+  if (existing != by_host_.end()) {
+    Peer& peer = peers_[existing->second];
+    if (peer.complete) {
+      TransferOutcome outcome;
+      outcome.ok = true;
+      outcome.started_at = sim_.now();
+      outcome.finished_at = sim_.now();
+      outcome.bytes_requested = data_.size;
+      outcome.bytes_transferred = data_.size;
+      outcome.checksum = data_.checksum;
+      done(outcome);
+    } else {
+      peer.done = std::move(done);  // retried transfer: replace the callback
+      if (peer.failed && net_.alive(host)) {
+        peer.failed = false;  // host came back; resume from held pieces
+        pump(existing->second);
+      }
+    }
+    return;
+  }
+
+  Peer peer;
+  peer.host = host;
+  peer.pieces.assign(static_cast<std::size_t>(piece_count_), false);
+  peer.inflight.assign(static_cast<std::size_t>(piece_count_), false);
+  peer.started_at = sim_.now();
+  peer.done = std::move(done);
+  peers_.push_back(std::move(peer));
+  const std::size_t index = peers_.size() - 1;
+  by_host_.emplace(host, index);
+  announce(index);
+}
+
+void BtSwarm::announce(std::size_t peer_index) {
+  // Announce to the tracker (colocated with the seeder), then join the mesh.
+  const net::HostId tracker = peers_[0].host;
+  const net::HostId host = peers_[peer_index].host;
+  net_.start_flow(host, tracker, config_.tracker_bytes,
+                  [this, peer_index, tracker, host](const net::FlowResult& req) {
+                    if (!req.ok) {
+                      finish_peer(peer_index, false);
+                      return;
+                    }
+                    net_.start_flow(tracker, host, config_.tracker_bytes,
+                                    [this, peer_index](const net::FlowResult& resp) {
+                                      if (!resp.ok) {
+                                        finish_peer(peer_index, false);
+                                        return;
+                                      }
+                                      connect_mesh(peer_index);
+                                      pump(peer_index);
+                                    });
+                  });
+}
+
+void BtSwarm::connect_mesh(std::size_t peer_index) {
+  // Tracker returns the seeder plus a random sample of other peers; links
+  // are bidirectional, as BT connections are.
+  std::vector<std::size_t> candidates;
+  candidates.reserve(peers_.size());
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (i != peer_index && !peers_[i].failed) candidates.push_back(i);
+  }
+  std::vector<std::size_t> chosen;
+  if (!candidates.empty()) {
+    chosen.push_back(candidates.front() == 0 ? 0 : candidates.front());
+    candidates.erase(candidates.begin());
+  }
+  while (!candidates.empty() &&
+         chosen.size() < static_cast<std::size_t>(config_.max_neighbors)) {
+    const std::size_t pick = sim_.rng().below(candidates.size());
+    chosen.push_back(candidates[pick]);
+    candidates[pick] = candidates.back();
+    candidates.pop_back();
+  }
+  Peer& peer = peers_[peer_index];
+  for (const std::size_t other : chosen) {
+    peer.neighbors.push_back(other);
+    peers_[other].neighbors.push_back(peer_index);
+  }
+}
+
+void BtSwarm::pump(std::size_t peer_index) {
+  Peer& peer = peers_[peer_index];
+  if (peer.complete || peer.failed) return;
+  while (peer.active_down < config_.download_slots) {
+    if (!issue_request(peer_index)) break;
+  }
+}
+
+int BtSwarm::pick_piece(const Peer& peer, std::size_t* provider_out) {
+  // Sample missing pieces and choose (piece, provider) preferring, in
+  // order: a provider with a free upload slot (an unchoked relationship —
+  // queueing on a saturated peer while others idle is what real choking
+  // avoids), then lower provider load, then rarer pieces. Pure global
+  // rarest-first would flood the few owners of rare pieces and leave the
+  // rest of the swarm idle.
+  // Providers saturated beyond slots + a short queue are not candidates:
+  // burying requests in one peer's FIFO (think: everyone queueing at the
+  // seeder) would strand download slots while fresh capacity elsewhere
+  // idles. Starved peers are woken when providers free up.
+  const int queue_cap = 2 * config_.upload_slots;
+  auto provider_for = [this, &peer, queue_cap](int piece) -> std::pair<std::size_t, int> {
+    std::size_t best = SIZE_MAX;
+    int best_load = INT32_MAX;
+    const auto sp = static_cast<std::size_t>(piece);
+    for (const std::size_t n : peer.neighbors) {
+      const Peer& provider = peers_[n];
+      if (provider.failed || !provider.pieces[sp]) continue;
+      const int load = provider.active_up + provider.queued_up;
+      if (load >= queue_cap) continue;
+      if (load < best_load) {
+        best_load = load;
+        best = n;
+      }
+    }
+    return {best, best_load};
+  };
+
+  auto eligible = [&peer](int piece) {
+    const auto sp = static_cast<std::size_t>(piece);
+    return !peer.pieces[sp] && !peer.inflight[sp];
+  };
+
+  int best_piece = -1;
+  std::size_t best_provider = SIZE_MAX;
+  int best_load = INT32_MAX;
+  int best_rarity = INT32_MAX;
+  auto consider = [&](int piece) {
+    if (!eligible(piece)) return;
+    const auto [provider, load] = provider_for(piece);
+    if (provider == SIZE_MAX) return;
+    const int rarity = rarity_[static_cast<std::size_t>(piece)];
+    // Lexicographic: load first (free slots win), then rarity.
+    if (load < best_load || (load == best_load && rarity < best_rarity)) {
+      best_load = load;
+      best_rarity = rarity;
+      best_piece = piece;
+      best_provider = provider;
+    }
+  };
+  for (int attempt = 0; attempt < config_.rarest_samples; ++attempt) {
+    consider(static_cast<int>(sim_.rng().below(static_cast<std::uint64_t>(piece_count_))));
+    if (best_load == 0) break;  // an idle provider: cannot do better
+  }
+  if (best_piece < 0) {
+    // Sampling found nothing: full scan fallback (rare; start/end of swarm).
+    for (int piece = 0; piece < piece_count_; ++piece) consider(piece);
+  }
+  if (best_piece >= 0) *provider_out = best_provider;
+  return best_piece;
+}
+
+bool BtSwarm::issue_request(std::size_t peer_index) {
+  Peer& peer = peers_[peer_index];
+  // Endgame guard: everything we miss is already in flight — there is
+  // nothing to request, and scanning for it would cost O(pieces x peers).
+  if (peer.have + peer.active_down >= piece_count_) return false;
+  std::size_t provider_index = SIZE_MAX;
+  const int piece = pick_piece(peer, &provider_index);
+  if (piece < 0) {
+    peer.starved = true;  // woken on piece spread or provider availability
+    return false;
+  }
+
+  peer.inflight[static_cast<std::size_t>(piece)] = true;
+  ++peer.active_down;
+  ++peers_[provider_index].queued_up;
+
+  const net::HostId me = peer.host;
+  const net::HostId provider_host = peers_[provider_index].host;
+  net_.start_flow(me, provider_host, config_.request_bytes,
+                  [this, peer_index, provider_index, piece](const net::FlowResult& req) {
+                    if (!req.ok) {
+                      --peers_[provider_index].queued_up;
+                      if (!net_.alive(peers_[provider_index].host)) {
+                        peers_[provider_index].failed = true;
+                      }
+                      request_finished(peer_index, provider_index, piece, false);
+                      return;
+                    }
+                    peers_[provider_index].upload_queue.push_back(
+                        Request{peer_index, piece});
+                    serve_next(provider_index);
+                  });
+  return true;
+}
+
+net::LinkId BtSwarm::pair_link(std::size_t provider_index, std::size_t requester_index) {
+  if (config_.per_connection_Bps <= 0) return 0;
+  const std::uint64_t key = (static_cast<std::uint64_t>(provider_index) << 32) |
+                            static_cast<std::uint64_t>(requester_index);
+  const auto it = pair_links_.find(key);
+  if (it != pair_links_.end()) return it->second;
+  const net::LinkId link =
+      net_.add_virtual_link("bt-conn", config_.per_connection_Bps);
+  pair_links_.emplace(key, link);
+  return link;
+}
+
+void BtSwarm::serve_next(std::size_t provider_index) {
+  Peer& provider = peers_[provider_index];
+  while (provider.active_up < config_.upload_slots && !provider.upload_queue.empty()) {
+    const Request request = provider.upload_queue.front();
+    provider.upload_queue.pop_front();
+    --provider.queued_up;
+    ++provider.active_up;
+    const net::HostId from = provider.host;
+    const net::HostId to = peers_[request.requester].host;
+    const net::LinkId connection = pair_link(provider_index, request.requester);
+    net_.start_flow_via(from, to, piece_size(request.piece),
+                        connection != 0 ? std::vector<net::LinkId>{connection}
+                                        : std::vector<net::LinkId>{},
+                        [this, provider_index, request](const net::FlowResult& r) {
+                          --peers_[provider_index].active_up;
+                          request_finished(request.requester, provider_index, request.piece,
+                                           r.ok);
+                          serve_next(provider_index);
+                        });
+  }
+}
+
+void BtSwarm::request_finished(std::size_t peer_index, std::size_t provider_index, int piece,
+                               bool ok) {
+  Peer& peer = peers_[peer_index];
+  peer.inflight[static_cast<std::size_t>(piece)] = false;
+  --peer.active_down;
+
+  if (!net_.alive(peer.host)) {
+    // Our own host died mid-download; report failure once requests drain.
+    if (!peer.failed) finish_peer(peer_index, false);
+    return;
+  }
+
+  if (ok) acquired_piece(peer_index, piece);
+  if (!peer.complete) pump(peer_index);
+  // The provider freed capacity: starved neighbors can enqueue there now.
+  wake_starved_neighbors(provider_index);
+}
+
+void BtSwarm::acquired_piece(std::size_t peer_index, int piece) {
+  Peer& peer = peers_[peer_index];
+  const auto sp = static_cast<std::size_t>(piece);
+  if (peer.pieces[sp]) return;
+  peer.pieces[sp] = true;
+  ++peer.have;
+  ++rarity_[sp];
+  payload_bytes_ += piece_size(piece);
+  wake_starved_neighbors(peer_index);
+  if (peer.have == piece_count_ && !peer.complete) finish_peer(peer_index, true);
+}
+
+void BtSwarm::wake_starved_neighbors(std::size_t peer_index) {
+  for (const std::size_t n : peers_[peer_index].neighbors) {
+    Peer& neighbor = peers_[n];
+    if (neighbor.starved && !neighbor.complete && !neighbor.failed) {
+      neighbor.starved = false;
+      pump(n);
+    }
+  }
+}
+
+void BtSwarm::on_host_failed(net::HostId host) {
+  const auto it = by_host_.find(host);
+  if (it == by_host_.end()) return;
+  const std::size_t index = it->second;
+  Peer& peer = peers_[index];
+  // Fail the peer itself (its in-flight flows are failed by the network;
+  // queued uploads it would have served must be handed back).
+  if (!peer.complete) finish_peer(index, false);
+  peer.failed = true;
+  std::deque<Request> orphaned;
+  orphaned.swap(peer.upload_queue);
+  peer.queued_up = 0;
+  for (const Request& request : orphaned) {
+    request_finished(request.requester, index, request.piece, false);
+  }
+}
+
+void BtSwarm::finish_peer(std::size_t peer_index, bool ok) {
+  Peer& peer = peers_[peer_index];
+  if (ok) {
+    peer.complete = true;  // keeps seeding
+  } else {
+    peer.failed = true;
+  }
+  if (!peer.done) return;
+  TransferOutcome outcome;
+  outcome.ok = ok;
+  outcome.started_at = peer.started_at;
+  outcome.finished_at = sim_.now();
+  outcome.bytes_requested = data_.size;
+  outcome.bytes_transferred =
+      ok ? data_.size : std::min<std::int64_t>(
+                            static_cast<std::int64_t>(peer.have) * config_.piece_bytes,
+                            data_.size);
+  if (ok) {
+    outcome.checksum = data_.checksum;
+  } else {
+    outcome.error = "bittorrent: peer failed";
+  }
+  TransferCallback done = std::move(peer.done);
+  peer.done = nullptr;
+  done(outcome);
+}
+
+// --- protocol wrapper ---------------------------------------------------------
+
+void BtProtocol::start(const TransferJob& job, TransferCallback done) {
+  auto it = swarms_.find(job.data.uid);
+  if (it == swarms_.end()) {
+    it = swarms_
+             .emplace(job.data.uid,
+                      std::make_unique<BtSwarm>(sim_, net_, config_, job.data, job.source))
+             .first;
+  }
+  it->second->add_peer(job.destination, std::move(done));
+}
+
+void BtProtocol::on_host_failed(net::HostId host) {
+  for (auto& [uid, swarm] : swarms_) swarm->on_host_failed(host);
+}
+
+BtSwarm* BtProtocol::swarm(const util::Auid& uid) const {
+  const auto it = swarms_.find(uid);
+  return it != swarms_.end() ? it->second.get() : nullptr;
+}
+
+}  // namespace bitdew::transfer

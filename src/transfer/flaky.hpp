@@ -1,0 +1,49 @@
+// Failure-injection decorator: wraps any Protocol and makes a configurable
+// fraction of transfers fail mid-flight or deliver a corrupted checksum.
+// Used by the reliability tests for the Data Transfer service (which must
+// retry/resume) and by the fault-injection benches.
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "transfer/protocol.hpp"
+
+namespace bitdew::transfer {
+
+struct FlakyConfig {
+  double fail_probability = 0.0;     ///< outcome.ok = false
+  double corrupt_probability = 0.0;  ///< ok but wrong checksum
+};
+
+class FlakyProtocol final : public Protocol {
+ public:
+  FlakyProtocol(std::unique_ptr<Protocol> inner, sim::Simulator& sim, FlakyConfig config)
+      : inner_(std::move(inner)), sim_(sim), config_(config) {}
+
+  void start(const TransferJob& job, TransferCallback done) override {
+    const bool fail = sim_.rng().chance(config_.fail_probability);
+    const bool corrupt = !fail && sim_.rng().chance(config_.corrupt_probability);
+    inner_->start(job, [fail, corrupt, done = std::move(done)](const TransferOutcome& real) {
+      TransferOutcome outcome = real;
+      if (fail && outcome.ok) {
+        outcome.ok = false;
+        outcome.error = "injected: transfer dropped";
+        outcome.bytes_transferred = outcome.bytes_transferred / 2;  // partial delivery
+      } else if (corrupt && outcome.ok) {
+        outcome.checksum = "0000deadbeef0000deadbeef0000dead";
+      }
+      done(outcome);
+    });
+  }
+
+  std::string name() const override { return inner_->name(); }
+  bool supports_resume() const override { return inner_->supports_resume(); }
+
+  Protocol& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<Protocol> inner_;
+  sim::Simulator& sim_;
+  FlakyConfig config_;
+};
+
+}  // namespace bitdew::transfer

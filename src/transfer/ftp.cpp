@@ -1,0 +1,97 @@
+#include "transfer/ftp.hpp"
+
+namespace bitdew::transfer {
+
+int FtpProtocol::server_load(net::HostId server) const {
+  const auto it = servers_.find(server);
+  if (it == servers_.end()) return 0;
+  return it->second.active + static_cast<int>(it->second.waiting.size());
+}
+
+void FtpProtocol::start(const TransferJob& job, TransferCallback done) {
+  control_handshake(job, config_.control_round_trips, sim_.now(), std::move(done));
+}
+
+void FtpProtocol::control_handshake(const TransferJob& job, int trips_left, double started,
+                                    TransferCallback done) {
+  if (trips_left <= 0) {
+    acquire_slot(job, started, std::move(done));
+    return;
+  }
+  // One control round-trip: request to the server, reply to the client.
+  net_.start_flow(
+      job.destination, job.source, config_.control_bytes,
+      [this, job, trips_left, started, done = std::move(done)](const net::FlowResult& out) mutable {
+        if (!out.ok) {
+          TransferOutcome outcome;
+          outcome.error = "ftp: control connection failed";
+          outcome.started_at = started;
+          outcome.finished_at = sim_.now();
+          outcome.bytes_requested = job.data.size - job.offset;
+          done(outcome);
+          return;
+        }
+        net_.start_flow(
+            job.source, job.destination, config_.control_bytes,
+            [this, job, trips_left, started, done = std::move(done)](
+                const net::FlowResult& back) mutable {
+              if (!back.ok) {
+                TransferOutcome outcome;
+                outcome.error = "ftp: control connection failed";
+                outcome.started_at = started;
+                outcome.finished_at = sim_.now();
+                outcome.bytes_requested = job.data.size - job.offset;
+                done(outcome);
+                return;
+              }
+              control_handshake(job, trips_left - 1, started, std::move(done));
+            });
+      });
+}
+
+void FtpProtocol::acquire_slot(const TransferJob& job, double started, TransferCallback done) {
+  ServerState& server = servers_[job.source];
+  if (server.active < config_.server_slots) {
+    ++server.active;
+    run_data_transfer(job, started, std::move(done));
+    return;
+  }
+  server.waiting.push_back([this, job, started, done = std::move(done)]() mutable {
+    run_data_transfer(job, started, std::move(done));
+  });
+}
+
+void FtpProtocol::release_slot(net::HostId server_host) {
+  ServerState& server = servers_[server_host];
+  if (!server.waiting.empty()) {
+    auto next = std::move(server.waiting.front());
+    server.waiting.pop_front();
+    next();  // slot stays occupied by the next transfer
+    return;
+  }
+  --server.active;
+}
+
+void FtpProtocol::run_data_transfer(const TransferJob& job, double started,
+                                    TransferCallback done) {
+  const std::int64_t remaining = std::max<std::int64_t>(job.data.size - job.offset, 0);
+  net_.start_flow(job.source, job.destination, remaining,
+                  [this, job, started, remaining,
+                   done = std::move(done)](const net::FlowResult& out) mutable {
+                    release_slot(job.source);
+                    TransferOutcome outcome;
+                    outcome.ok = out.ok;
+                    outcome.started_at = started;
+                    outcome.finished_at = sim_.now();
+                    outcome.bytes_requested = remaining;
+                    outcome.bytes_transferred = out.transferred;
+                    if (out.ok) {
+                      outcome.checksum = job.data.checksum;  // receiver verifies upstream
+                    } else {
+                      outcome.error = "ftp: data connection dropped";
+                    }
+                    done(outcome);
+                  });
+}
+
+}  // namespace bitdew::transfer

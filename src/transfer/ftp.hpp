@@ -1,0 +1,56 @@
+// Simulated FTP (the ProFTPD + commons-net pairing of the paper).
+//
+// Receiver-driven client/server: the destination opens a control connection
+// (a configurable number of round-trips modelling TCP + login), acquires one
+// of the server's data-connection slots (queueing when the server is busy)
+// and then pulls the payload as a single network flow. REST-style resume is
+// supported through TransferJob::offset. FTP is the paper's baseline
+// point-to-point protocol: completion grows linearly with the number of
+// downloaders once the server uplink saturates (Fig. 3a, Fig. 5).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sim/simulator.hpp"
+#include "transfer/protocol.hpp"
+
+namespace bitdew::transfer {
+
+struct FtpConfig {
+  int control_round_trips = 2;   ///< TCP handshake + USER/PASS
+  int server_slots = 200;        ///< concurrent data connections per server
+  std::int64_t control_bytes = 256;  ///< bytes exchanged per control trip
+};
+
+class FtpProtocol final : public Protocol {
+ public:
+  FtpProtocol(sim::Simulator& sim, net::Network& net, FtpConfig config = {})
+      : sim_(sim), net_(net), config_(config) {}
+
+  void start(const TransferJob& job, TransferCallback done) override;
+  std::string name() const override { return "ftp"; }
+  bool supports_resume() const override { return true; }
+
+  /// Queued + active transfers on a given server (introspection/tests).
+  int server_load(net::HostId server) const;
+
+ private:
+  struct ServerState {
+    int active = 0;
+    std::deque<std::function<void()>> waiting;
+  };
+
+  void control_handshake(const TransferJob& job, int trips_left, double started,
+                         TransferCallback done);
+  void acquire_slot(const TransferJob& job, double started, TransferCallback done);
+  void run_data_transfer(const TransferJob& job, double started, TransferCallback done);
+  void release_slot(net::HostId server);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  FtpConfig config_;
+  std::unordered_map<net::HostId, ServerState> servers_;
+};
+
+}  // namespace bitdew::transfer

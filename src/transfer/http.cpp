@@ -1,0 +1,44 @@
+#include "transfer/http.hpp"
+
+namespace bitdew::transfer {
+
+void HttpProtocol::start(const TransferJob& job, TransferCallback done) {
+  const double started = sim_.now();
+  const std::int64_t remaining = std::max<std::int64_t>(job.data.size - job.offset, 0);
+  // GET (with Range when resuming) ...
+  net_.start_flow(
+      job.destination, job.source, config_.request_bytes,
+      [this, job, started, remaining, done = std::move(done)](const net::FlowResult& req) mutable {
+        if (!req.ok) {
+          TransferOutcome outcome;
+          outcome.error = "http: request failed";
+          outcome.started_at = started;
+          outcome.finished_at = sim_.now();
+          outcome.bytes_requested = remaining;
+          done(outcome);
+          return;
+        }
+        // ... then the entity body.
+        net_.start_flow(job.source, job.destination, remaining + config_.response_overhead,
+                        [this, job, started, remaining,
+                         done = std::move(done)](const net::FlowResult& body) mutable {
+                          TransferOutcome outcome;
+                          outcome.ok = body.ok;
+                          outcome.started_at = started;
+                          outcome.finished_at = sim_.now();
+                          outcome.bytes_requested = remaining;
+                          outcome.bytes_transferred =
+                              std::max<std::int64_t>(body.transferred - config_.response_overhead,
+                                                     0);
+                          if (body.ok) {
+                            outcome.bytes_transferred = remaining;
+                            outcome.checksum = job.data.checksum;
+                          } else {
+                            outcome.error = "http: body truncated";
+                          }
+                          done(outcome);
+                        });
+      });
+}
+
+}  // namespace bitdew::transfer

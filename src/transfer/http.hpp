@@ -1,0 +1,31 @@
+// Simulated HTTP: one request round-trip, then the payload flow. The paper
+// uses HTTP for small per-task files (sequences, results) where FTP's login
+// handshake is wasted latency. Supports Range-style resume.
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "transfer/protocol.hpp"
+
+namespace bitdew::transfer {
+
+struct HttpConfig {
+  std::int64_t request_bytes = 256;   ///< GET + headers
+  std::int64_t response_overhead = 512;  ///< response headers
+};
+
+class HttpProtocol final : public Protocol {
+ public:
+  HttpProtocol(sim::Simulator& sim, net::Network& net, HttpConfig config = {})
+      : sim_(sim), net_(net), config_(config) {}
+
+  void start(const TransferJob& job, TransferCallback done) override;
+  std::string name() const override { return "http"; }
+  bool supports_resume() const override { return true; }
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& net_;
+  HttpConfig config_;
+};
+
+}  // namespace bitdew::transfer

@@ -1,0 +1,56 @@
+#include "transfer/local_file.hpp"
+
+#include "core/data.hpp"
+
+namespace bitdew::transfer {
+
+namespace fs = std::filesystem;
+
+fs::path LocalFileTransfer::remote_path(const OobEndpoint& endpoint) const {
+  return root_ / endpoint.host / endpoint.path;
+}
+
+void LocalFileTransfer::connect(const OobEndpoint& endpoint) {
+  fs::create_directories(root_ / endpoint.host);
+  connected_ = true;
+  done_ = false;
+}
+
+void LocalFileTransfer::disconnect() { connected_ = false; }
+
+void LocalFileTransfer::sender_send(const OobEndpoint& endpoint) {
+  if (!connected_) throw TransferError("localfile: not connected");
+  const fs::path target = remote_path(endpoint);
+  fs::create_directories(target.parent_path());
+  fs::copy_file(endpoint.local_path, target, fs::copy_options::overwrite_existing);
+  done_ = true;
+}
+
+void LocalFileTransfer::sender_receive(const OobEndpoint& endpoint) {
+  // Acknowledgement pull: verify the stored copy matches the local file.
+  if (!connected_) throw TransferError("localfile: not connected");
+  const auto sent = core::file_content(endpoint.local_path);
+  const auto stored = core::file_content(remote_path(endpoint).string());
+  if (sent.checksum != stored.checksum) {
+    throw TransferError("localfile: stored checksum mismatch for " + endpoint.path);
+  }
+}
+
+void LocalFileTransfer::receiver_send(const OobEndpoint& endpoint) {
+  // Receiver-driven request: check the remote object exists.
+  if (!connected_) throw TransferError("localfile: not connected");
+  if (!fs::exists(remote_path(endpoint))) {
+    throw TransferError("localfile: no such remote object " + endpoint.path);
+  }
+  done_ = false;
+}
+
+void LocalFileTransfer::receiver_receive(const OobEndpoint& endpoint) {
+  if (!connected_) throw TransferError("localfile: not connected");
+  const fs::path source = remote_path(endpoint);
+  fs::create_directories(fs::path(endpoint.local_path).parent_path());
+  fs::copy_file(source, endpoint.local_path, fs::copy_options::overwrite_existing);
+  done_ = true;
+}
+
+}  // namespace bitdew::transfer

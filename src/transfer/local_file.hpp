@@ -1,0 +1,37 @@
+// Blocking OOB transfer over the local filesystem (the LocalRuntime's
+// default protocol). "Remote" storage is a per-host directory under a root;
+// sending/receiving are real file copies verified by MD5 — the same
+// receiver-driven integrity check the simulated protocols model.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "transfer/oob.hpp"
+
+namespace bitdew::transfer {
+
+class LocalFileTransfer final : public BlockingOobTransfer {
+ public:
+  /// `root` is the directory playing the remote store.
+  explicit LocalFileTransfer(std::filesystem::path root) : root_(std::move(root)) {}
+
+  void connect(const OobEndpoint& endpoint) override;
+  void disconnect() override;
+  bool probe() override { return done_; }
+  void sender_send(const OobEndpoint& endpoint) override;
+  void sender_receive(const OobEndpoint& endpoint) override;
+  void receiver_send(const OobEndpoint& endpoint) override;
+  void receiver_receive(const OobEndpoint& endpoint) override;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path remote_path(const OobEndpoint& endpoint) const;
+
+  std::filesystem::path root_;
+  bool connected_ = false;
+  bool done_ = false;
+};
+
+}  // namespace bitdew::transfer

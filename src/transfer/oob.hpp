@@ -1,0 +1,70 @@
+// The paper's Figure 2 framework for integrating file-transfer protocols:
+// the OobTransfer interface with its seven methods (open/close connection,
+// probe the end of transfer, and send/receive from the sender and receiver
+// sides), the Blocking/NonBlocking split, and the DaemonConnector helper
+// for protocols shipped as background daemons rather than libraries.
+//
+// The threaded LocalRuntime drives these directly (see
+// transfer/local_file.hpp for a blocking implementation over the local
+// filesystem); the simulated runtime uses the async Protocol interface in
+// protocol.hpp instead, since a DES has no blocking calls.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bitdew::transfer {
+
+class TransferError : public std::runtime_error {
+ public:
+  explicit TransferError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// End-point descriptor handed to the seven methods.
+struct OobEndpoint {
+  std::string host;
+  std::string path;         ///< remote file reference
+  std::string local_path;   ///< local file
+  std::string credentials;  ///< "login:password" when the protocol needs it
+};
+
+/// The seven-method interface of paper Fig. 2.
+class OobTransfer {
+ public:
+  virtual ~OobTransfer() = default;
+
+  /// 1. Opens the protocol connection.
+  virtual void connect(const OobEndpoint& endpoint) = 0;
+  /// 2. Closes it.
+  virtual void disconnect() = 0;
+  /// 3. Probes whether the in-flight transfer has completed.
+  virtual bool probe() = 0;
+  /// 4-5. Sender side: push the file / pull the acknowledgement.
+  virtual void sender_send(const OobEndpoint& endpoint) = 0;
+  virtual void sender_receive(const OobEndpoint& endpoint) = 0;
+  /// 6-7. Receiver side: request the file / pull its content.
+  virtual void receiver_send(const OobEndpoint& endpoint) = 0;
+  virtual void receiver_receive(const OobEndpoint& endpoint) = 0;
+};
+
+/// Marker bases choosing the paper's blocking vs non-blocking flavours.
+class BlockingOobTransfer : public OobTransfer {};
+
+class NonBlockingOobTransfer : public OobTransfer {
+ public:
+  /// Non-blocking protocols must expose completion through probe(); this
+  /// helper names the convention.
+  bool transfer_pending() { return !probe(); }
+};
+
+/// Helper for protocols provided as daemons (the paper integrates the BTPD
+/// BitTorrent daemon this way): manage the external process's life cycle.
+class DaemonConnector {
+ public:
+  virtual ~DaemonConnector() = default;
+  virtual void start_daemon() = 0;
+  virtual void stop_daemon() = 0;
+  virtual bool daemon_running() const = 0;
+};
+
+}  // namespace bitdew::transfer

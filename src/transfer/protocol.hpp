@@ -1,0 +1,81 @@
+// Out-of-band transfer protocols (simulated runtime).
+//
+// BitDew never moves bytes itself: the Data Transfer service launches
+// out-of-band transfers through a pluggable protocol (paper §3.4.2). Under
+// the discrete-event runtime a protocol is an async `start(job, done)`;
+// FTP, HTTP and BitTorrent implementations live next to this header, and
+// users can register their own (paper Fig. 2's extensibility claim).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/data.hpp"
+#include "net/network.hpp"
+
+namespace bitdew::transfer {
+
+struct TransferOutcome {
+  bool ok = false;
+  std::string error;
+  double started_at = 0;
+  double finished_at = 0;
+  std::int64_t bytes_requested = 0;
+  std::int64_t bytes_transferred = 0;  ///< payload delivered (resume credit)
+  std::string checksum;                ///< checksum of received content
+
+  double elapsed() const { return finished_at - started_at; }
+  double mean_rate() const {
+    return elapsed() > 0 ? static_cast<double>(bytes_transferred) / elapsed() : 0.0;
+  }
+};
+
+struct TransferJob {
+  core::Data data;
+  net::HostId source = net::kNoHost;       ///< host serving the content
+  net::HostId destination = net::kNoHost;  ///< receiver
+  std::int64_t offset = 0;                 ///< resume offset (bytes already held)
+};
+
+using TransferCallback = std::function<void(const TransferOutcome&)>;
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Starts an asynchronous transfer; `done` fires exactly once.
+  virtual void start(const TransferJob& job, TransferCallback done) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Whether a failed transfer can be resumed from an offset (FTP REST).
+  virtual bool supports_resume() const { return false; }
+};
+
+/// Registry keyed by protocol name; the Data Transfer service resolves the
+/// `oob` attribute through one of these.
+class ProtocolRegistry {
+ public:
+  void add(std::unique_ptr<Protocol> protocol) {
+    protocols_[protocol->name()] = std::move(protocol);
+  }
+
+  Protocol* find(const std::string& name) const {
+    const auto it = protocols_.find(name);
+    return it != protocols_.end() ? it->second.get() : nullptr;
+  }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(protocols_.size());
+    for (const auto& [name, protocol] : protocols_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Protocol>> protocols_;
+};
+
+}  // namespace bitdew::transfer

@@ -1,0 +1,65 @@
+#include "util/auid.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace bitdew::util {
+namespace {
+
+std::atomic<std::uint64_t> g_prefix{0xb17d3ed0c0ffee00ULL};
+std::atomic<std::uint64_t> g_counter{1};
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Auid next_auid() {
+  return Auid{g_prefix.load(std::memory_order_relaxed),
+              g_counter.fetch_add(1, std::memory_order_relaxed)};
+}
+
+void reseed_auid(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  g_prefix.store(splitmix64(sm) | 1, std::memory_order_relaxed);
+  g_counter.store(1, std::memory_order_relaxed);
+}
+
+std::string Auid::str() const {
+  char out[37];
+  std::snprintf(out, sizeof(out), "%08x-%04x-%04x-%04x-%012llx",
+                static_cast<unsigned>(hi >> 32), static_cast<unsigned>((hi >> 16) & 0xffff),
+                static_cast<unsigned>(hi & 0xffff), static_cast<unsigned>(lo >> 48),
+                static_cast<unsigned long long>(lo & 0xffffffffffffULL));
+  return out;
+}
+
+Auid Auid::parse(std::string_view text) {
+  if (text.size() != 36 || text[8] != '-' || text[13] != '-' || text[18] != '-' ||
+      text[23] != '-') {
+    return Auid::nil();
+  }
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  int nibbles = 0;
+  for (const char c : text) {
+    if (c == '-') continue;
+    const int v = hex_value(c);
+    if (v < 0) return Auid::nil();
+    if (nibbles < 16) {
+      hi = (hi << 4) | static_cast<std::uint64_t>(v);
+    } else {
+      lo = (lo << 4) | static_cast<std::uint64_t>(v);
+    }
+    ++nibbles;
+  }
+  return nibbles == 32 ? Auid{hi, lo} : Auid::nil();
+}
+
+}  // namespace bitdew::util

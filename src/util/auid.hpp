@@ -1,0 +1,46 @@
+// AUID: the unique identifier used for every BitDew object.
+//
+// The paper (§3.5): "Each object is referenced with a unique identifier AUID,
+// a variant of the DCE UID". We reproduce that as a 128-bit id composed of a
+// per-process random prefix and a monotonically increasing counter, rendered
+// in the familiar 8-4-4-4-12 hex form.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace bitdew::util {
+
+struct Auid {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool is_nil() const { return hi == 0 && lo == 0; }
+  std::string str() const;
+
+  /// Parses the 8-4-4-4-12 form produced by str(); returns nil on failure.
+  static Auid parse(std::string_view text);
+
+  static constexpr Auid nil() { return Auid{}; }
+
+  friend bool operator==(const Auid&, const Auid&) = default;
+  auto operator<=>(const Auid&) const = default;
+};
+
+/// Thread-safe process-wide generator.
+Auid next_auid();
+
+/// Reseeds the generator prefix; tests use this for reproducible ids.
+void reseed_auid(std::uint64_t seed);
+
+}  // namespace bitdew::util
+
+template <>
+struct std::hash<bitdew::util::Auid> {
+  std::size_t operator()(const bitdew::util::Auid& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.hi ^ (id.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};

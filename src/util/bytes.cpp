@@ -1,0 +1,55 @@
+#include "util/bytes.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "util/strf.hpp"
+
+namespace bitdew::util {
+
+std::string human_bytes(std::int64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kGB) return strf("%.2f GB", b / static_cast<double>(kGB));
+  if (bytes >= kMB) return strf("%.2f MB", b / static_cast<double>(kMB));
+  if (bytes >= kKB) return strf("%.2f KB", b / static_cast<double>(kKB));
+  return strf("%lld B", static_cast<long long>(bytes));
+}
+
+std::int64_t parse_bytes(std::string_view text) {
+  double value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [rest, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || value < 0) return -1;
+
+  std::string unit;
+  for (const char* p = rest; p != end; ++p) {
+    if (!std::isspace(static_cast<unsigned char>(*p))) {
+      unit.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+    }
+  }
+  double scale = 1;
+  if (unit.empty() || unit == "b") {
+    scale = 1;
+  } else if (unit == "kb" || unit == "k") {
+    scale = static_cast<double>(kKB);
+  } else if (unit == "mb" || unit == "m") {
+    scale = static_cast<double>(kMB);
+  } else if (unit == "gb" || unit == "g") {
+    scale = static_cast<double>(kGB);
+  } else {
+    return -1;
+  }
+  return static_cast<std::int64_t>(std::llround(value * scale));
+}
+
+std::string human_rate(double bytes_per_second) {
+  const double bits = bytes_per_second * 8;
+  if (bits >= 1e9) return strf("%.2f Gbit/s", bits / 1e9);
+  if (bits >= 1e6) return strf("%.2f Mbit/s", bits / 1e6);
+  if (bits >= 1e3) return strf("%.2f Kbit/s", bits / 1e3);
+  return strf("%.0f bit/s", bits);
+}
+
+}  // namespace bitdew::util

@@ -1,0 +1,24 @@
+// Byte-size helpers shared by the network model, transfer protocols and the
+// benchmark harness (all sizes in the paper are decimal MB).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bitdew::util {
+
+inline constexpr std::int64_t kKB = 1000;
+inline constexpr std::int64_t kMB = 1000 * kKB;
+inline constexpr std::int64_t kGB = 1000 * kMB;
+
+/// "1.50 GB", "300 KB", "17 B" — for logs and bench tables.
+std::string human_bytes(std::int64_t bytes);
+
+/// Parses "500MB", "2.68GB", "512", "10 kb"; returns -1 on malformed input.
+std::int64_t parse_bytes(std::string_view text);
+
+/// Bits-per-second rendering: "100.0 Mbit/s".
+std::string human_rate(double bytes_per_second);
+
+}  // namespace bitdew::util

@@ -1,0 +1,43 @@
+// Time source abstraction.
+//
+// Service cores (DC/DR/DT/DS) never read wall time directly: they take a
+// Clock&. Under the discrete-event runtime the Clock is the simulator's
+// virtual clock; under the threaded LocalRuntime it is a monotonic system
+// clock; unit tests drive a ManualClock. Times are seconds as double.
+#pragma once
+
+#include <chrono>
+
+namespace bitdew::util {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Seconds since an arbitrary epoch; monotonic, never decreases.
+  virtual double now() const = 0;
+};
+
+/// Test clock advanced explicitly.
+class ManualClock final : public Clock {
+ public:
+  double now() const override { return now_; }
+  void advance(double seconds) { now_ += seconds; }
+  void set(double seconds) { now_ = seconds; }
+
+ private:
+  double now_ = 0;
+};
+
+/// Monotonic wall clock (seconds since construction).
+class SystemClock final : public Clock {
+ public:
+  SystemClock() : start_(std::chrono::steady_clock::now()) {}
+  double now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bitdew::util

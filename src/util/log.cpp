@@ -1,0 +1,71 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace bitdew::util {
+namespace {
+
+std::atomic<LogLevel> g_level{[] {
+  const char* env = std::getenv("BITDEW_LOG");
+  return env != nullptr ? parse_log_level(env) : LogLevel::kWarn;
+}()};
+
+std::mutex g_sink_mutex;
+
+constexpr const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view text) {
+  if (text == "trace") return LogLevel::kTrace;
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  const std::lock_guard lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] [%.*s] %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+#define BITDEW_DEFINE_LOG_METHOD(method, level)                  \
+  void Logger::method(const char* fmt, ...) const {             \
+    if (!enabled(level)) return;                                 \
+    std::va_list args;                                           \
+    va_start(args, fmt);                                         \
+    log_line(level, component_, vstrf(fmt, args));               \
+    va_end(args);                                                \
+  }
+
+BITDEW_DEFINE_LOG_METHOD(trace, LogLevel::kTrace)
+BITDEW_DEFINE_LOG_METHOD(debug, LogLevel::kDebug)
+BITDEW_DEFINE_LOG_METHOD(info, LogLevel::kInfo)
+BITDEW_DEFINE_LOG_METHOD(warn, LogLevel::kWarn)
+BITDEW_DEFINE_LOG_METHOD(error, LogLevel::kError)
+
+#undef BITDEW_DEFINE_LOG_METHOD
+
+}  // namespace bitdew::util

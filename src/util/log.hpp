@@ -1,0 +1,47 @@
+// Lightweight leveled logger used across the BitDew runtime.
+//
+// Components log through a named Logger ("dc", "ds", "bt", ...). The global
+// level is settable programmatically or through the BITDEW_LOG environment
+// variable (trace|debug|info|warn|error|off). Logging is thread-safe and
+// printf-style with compile-time format checking (see util/strf.hpp for why
+// not <format>).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/strf.hpp"
+
+namespace bitdew::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Parses a textual level; unknown strings map to kInfo.
+LogLevel parse_log_level(std::string_view text);
+
+/// Global minimum level below which messages are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line `[level] [component] message` to stderr.
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Named facade bound to one runtime component.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  void trace(const char* fmt, ...) const BITDEW_PRINTF_CHECK(2, 3);
+  void debug(const char* fmt, ...) const BITDEW_PRINTF_CHECK(2, 3);
+  void info(const char* fmt, ...) const BITDEW_PRINTF_CHECK(2, 3);
+  void warn(const char* fmt, ...) const BITDEW_PRINTF_CHECK(2, 3);
+  void error(const char* fmt, ...) const BITDEW_PRINTF_CHECK(2, 3);
+
+  bool enabled(LogLevel level) const { return level >= log_level(); }
+  const std::string& component() const { return component_; }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace bitdew::util

@@ -1,0 +1,152 @@
+#include "util/md5.hpp"
+
+#include <cstring>
+
+namespace bitdew::util {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int c) { return (x << c) | (x >> (32 - c)); }
+
+// Per-round shift amounts (RFC 1321 §3.4).
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * abs(sin(i + 1))).
+constexpr std::uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+}  // namespace
+
+void Md5::reset() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+  bit_count_ = 0;
+  buffer_len_ = 0;
+}
+
+void Md5::transform(const std::uint8_t block[64]) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[i * 4]) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 8) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 3]) << 24);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t temp = d;
+    d = c;
+    c = b;
+    b = b + rotl32(a + f + kSine[i] + m[g], kShift[i]);
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(const void* data, std::size_t length) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  bit_count_ += static_cast<std::uint64_t>(length) * 8;
+
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(length, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, bytes, take);
+    buffer_len_ += take;
+    bytes += take;
+    length -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      transform(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (length >= 64) {
+    transform(bytes);
+    bytes += 64;
+    length -= 64;
+  }
+  if (length > 0) {
+    std::memcpy(buffer_, bytes, length);
+    buffer_len_ = length;
+  }
+}
+
+Md5Digest Md5::finish() {
+  static constexpr std::uint8_t kPadding[64] = {0x80};
+  const std::uint64_t bits = bit_count_;
+
+  const std::size_t pad_len = (buffer_len_ < 56) ? 56 - buffer_len_ : 120 - buffer_len_;
+  update(kPadding, pad_len);
+
+  std::uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) length_bytes[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  update(length_bytes, sizeof(length_bytes));
+
+  Md5Digest digest;
+  for (int i = 0; i < 4; ++i) {
+    digest.bytes[i * 4] = static_cast<std::uint8_t>(state_[i]);
+    digest.bytes[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 8);
+    digest.bytes[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 16);
+    digest.bytes[i * 4 + 3] = static_cast<std::uint8_t>(state_[i] >> 24);
+  }
+  reset();
+  return digest;
+}
+
+Md5Digest Md5::of(std::string_view text) {
+  Md5 hasher;
+  hasher.update(text);
+  return hasher.finish();
+}
+
+std::string Md5Digest::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (const std::uint8_t byte : bytes) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+std::uint64_t Md5Digest::prefix64() const {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value = (value << 8) | bytes[static_cast<std::size_t>(i)];
+  return value;
+}
+
+}  // namespace bitdew::util

@@ -1,0 +1,54 @@
+// RFC 1321 MD5 implementation.
+//
+// BitDew uses MD5 as the data checksum for receiver-driven transfer integrity
+// verification and as the DHT key hash (paper §3.3: "checksum is an MD5
+// signature of the file"). This is a from-scratch, dependency-free
+// implementation; correctness is pinned to the RFC 1321 test suite in
+// tests/test_util.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bitdew::util {
+
+/// A 128-bit MD5 digest.
+struct Md5Digest {
+  std::array<std::uint8_t, 16> bytes{};
+
+  /// Lowercase hex rendering ("d41d8cd98f00b204e9800998ecf8427e").
+  std::string hex() const;
+
+  /// The first 8 bytes as a big-endian integer; used as a DHT ring key.
+  std::uint64_t prefix64() const;
+
+  friend bool operator==(const Md5Digest&, const Md5Digest&) = default;
+  auto operator<=>(const Md5Digest&) const = default;
+};
+
+/// Incremental MD5 (init / update / final), for streaming file contents.
+class Md5 {
+ public:
+  Md5() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t length);
+  void update(std::string_view text) { update(text.data(), text.size()); }
+  Md5Digest finish();
+
+  /// One-shot digest of a buffer.
+  static Md5Digest of(std::string_view text);
+
+ private:
+  void transform(const std::uint8_t block[64]);
+
+  std::uint32_t state_[4]{};
+  std::uint64_t bit_count_ = 0;
+  std::uint8_t buffer_[64]{};
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace bitdew::util

@@ -1,0 +1,35 @@
+// Streaming statistics used by the benchmark harness to report the same
+// aggregate rows the paper does (min / max / sd / mean, e.g. Table 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bitdew::util {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+/// Percentile of a sample (nearest-rank); sorts a copy.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace bitdew::util

@@ -1,0 +1,28 @@
+#include "util/strf.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace bitdew::util {
+
+std::string vstrf(const char* fmt, std::va_list args) {
+  std::va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (needed <= 0) return {};
+
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+std::string strf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::string out = vstrf(fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace bitdew::util

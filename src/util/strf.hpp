@@ -1,0 +1,26 @@
+// printf-style formatting into std::string.
+//
+// The toolchain (GCC 12) has no <format>, so the project standardizes on
+// strf(): printf semantics, compiler-checked format strings via the `format`
+// attribute, returning an owned std::string.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace bitdew::util {
+
+#if defined(__GNUC__)
+#define BITDEW_PRINTF_CHECK(fmt_index, args_index) \
+  __attribute__((format(printf, fmt_index, args_index)))
+#else
+#define BITDEW_PRINTF_CHECK(fmt_index, args_index)
+#endif
+
+/// vsnprintf into a std::string.
+std::string vstrf(const char* fmt, std::va_list args);
+
+/// snprintf into a std::string: strf("%d of %s", 3, "x").
+std::string strf(const char* fmt, ...) BITDEW_PRINTF_CHECK(1, 2);
+
+}  // namespace bitdew::util

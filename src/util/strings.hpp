@@ -1,0 +1,28 @@
+// Small string utilities used by the attribute DSL parser, the CLI tool and
+// the wire protocols. Nothing here allocates unless it must.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bitdew::util {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits on a separator; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lowercases ASCII.
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins items with a separator ("a, b, c").
+std::string join(const std::vector<std::string>& items, std::string_view separator);
+
+}  // namespace bitdew::util

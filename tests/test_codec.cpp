@@ -1,0 +1,160 @@
+// Codec tests: typed round-trips, property-style randomized round-trips and
+// malformed-input behaviour (the wire protocols rely on CodecError).
+#include <gtest/gtest.h>
+
+#include "rpc/codec.hpp"
+#include "util/rng.hpp"
+
+namespace bitdew {
+namespace {
+
+TEST(Codec, ScalarRoundTrip) {
+  rpc::Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.25);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("hello");
+  w.str("");
+
+  rpc::Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, UnderflowThrows) {
+  rpc::Writer w;
+  w.u32(7);
+  rpc::Reader r(w.buffer());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW(r.u8(), rpc::CodecError);
+}
+
+TEST(Codec, StringWithBogusLengthThrows) {
+  rpc::Writer w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8('x');
+  rpc::Reader r(w.buffer());
+  EXPECT_THROW(r.str(), rpc::CodecError);
+}
+
+TEST(Codec, EmbeddedNulBytesSurvive) {
+  rpc::Writer w;
+  const std::string payload("a\0b\0c", 5);
+  w.str(payload);
+  rpc::Reader r(w.buffer());
+  EXPECT_EQ(r.str(), payload);
+}
+
+TEST(Codec, TakeResetsWriter) {
+  rpc::Writer w;
+  w.u8(1);
+  const std::string first = w.take();
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(w.size(), 0u);
+  w.u8(2);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+// Property: a randomized sequence of typed writes reads back identically.
+class CodecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecRoundTrip, RandomSequencesRoundTrip) {
+  util::Rng rng(GetParam());
+  enum class Kind { kU8, kU32, kU64, kI64, kF64, kBool, kStr };
+  std::vector<Kind> plan;
+  std::vector<std::uint64_t> ints;
+  std::vector<double> reals;
+  std::vector<std::string> strings;
+
+  rpc::Writer w;
+  const int ops = 1 + static_cast<int>(rng.below(200));
+  for (int i = 0; i < ops; ++i) {
+    const auto kind = static_cast<Kind>(rng.below(7));
+    plan.push_back(kind);
+    switch (kind) {
+      case Kind::kU8: {
+        const auto v = rng.below(256);
+        ints.push_back(v);
+        w.u8(static_cast<std::uint8_t>(v));
+        break;
+      }
+      case Kind::kU32: {
+        const auto v = rng() & 0xffffffffu;
+        ints.push_back(v);
+        w.u32(static_cast<std::uint32_t>(v));
+        break;
+      }
+      case Kind::kU64: {
+        const auto v = rng();
+        ints.push_back(v);
+        w.u64(v);
+        break;
+      }
+      case Kind::kI64: {
+        const auto v = static_cast<std::int64_t>(rng());
+        ints.push_back(static_cast<std::uint64_t>(v));
+        w.i64(v);
+        break;
+      }
+      case Kind::kF64: {
+        const double v = rng.uniform(-1e9, 1e9);
+        reals.push_back(v);
+        w.f64(v);
+        break;
+      }
+      case Kind::kBool: {
+        const bool v = rng.chance(0.5);
+        ints.push_back(v ? 1 : 0);
+        w.boolean(v);
+        break;
+      }
+      case Kind::kStr: {
+        std::string s;
+        const auto len = rng.below(64);
+        for (std::uint64_t j = 0; j < len; ++j) {
+          s.push_back(static_cast<char>(rng.below(256)));
+        }
+        strings.push_back(s);
+        w.str(s);
+        break;
+      }
+    }
+  }
+
+  rpc::Reader r(w.buffer());
+  std::size_t ii = 0;
+  std::size_t ri = 0;
+  std::size_t si = 0;
+  for (const Kind kind : plan) {
+    switch (kind) {
+      case Kind::kU8: EXPECT_EQ(r.u8(), ints[ii++]); break;
+      case Kind::kU32: EXPECT_EQ(r.u32(), ints[ii++]); break;
+      case Kind::kU64: EXPECT_EQ(r.u64(), ints[ii++]); break;
+      case Kind::kI64: EXPECT_EQ(static_cast<std::uint64_t>(r.i64()), ints[ii++]); break;
+      case Kind::kF64: EXPECT_DOUBLE_EQ(r.f64(), reals[ri++]); break;
+      case Kind::kBool: EXPECT_EQ(r.boolean() ? 1u : 0u, ints[ii++]); break;
+      case Kind::kStr: EXPECT_EQ(r.str(), strings[si++]); break;
+    }
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace bitdew

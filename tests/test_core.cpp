@@ -1,0 +1,200 @@
+// Core model tests: the attribute DSL parser (the paper's listings must
+// parse), typed attribute resolution, lifetimes and content descriptors.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/attributes.hpp"
+#include "core/data.hpp"
+#include "core/locator.hpp"
+
+namespace bitdew {
+namespace {
+
+using core::AttributeError;
+using core::AttributeSpec;
+using core::DataAttributes;
+using core::kReplicaAll;
+using core::Lifetime;
+using core::parse_attribute;
+using core::parse_attributes;
+
+core::DataResolver no_resolver() { return nullptr; }
+
+/// Resolver mapping a fixed name to a fixed uid.
+core::DataResolver resolver_for(const std::string& name, util::Auid uid) {
+  return [name, uid](const std::string& ref) -> std::optional<util::Auid> {
+    if (ref == name) return uid;
+    return std::nullopt;
+  };
+}
+
+TEST(AttributeParser, ParsesThePaperUpdaterExample) {
+  // Listing 1: attr update = {replicat=-1, oob=bittorrent, abstime=43200}
+  const DataAttributes attributes = parse_attributes(
+      "attr update = {replicat=-1, oob=bittorrent, abstime=43200}", no_resolver(), 100.0);
+  EXPECT_EQ(attributes.name, "update");
+  EXPECT_EQ(attributes.replica, kReplicaAll);
+  EXPECT_EQ(attributes.protocol, "bittorrent");
+  EXPECT_EQ(attributes.lifetime.kind, Lifetime::Kind::kAbsolute);
+  EXPECT_DOUBLE_EQ(attributes.lifetime.expires_at, 100.0 + 43200.0);
+  EXPECT_FALSE(attributes.fault_tolerant);
+}
+
+TEST(AttributeParser, ParsesThePaperBlastAttributes) {
+  util::reseed_auid(5);
+  const util::Auid collector = util::next_auid();
+  const auto resolver = resolver_for("Collector", collector);
+
+  // Listing 3 (spellings normalized): the four attribute sets of the
+  // master/worker BLAST application.
+  const DataAttributes application = parse_attributes(
+      "attribute Application = {replication=-1, protocol=\"bittorrent\"}", resolver);
+  EXPECT_EQ(application.replica, kReplicaAll);
+  EXPECT_EQ(application.protocol, "bittorrent");
+
+  const DataAttributes genebase = parse_attributes(
+      "attribute Genebase = {protocol=\"bittorrent\", lifetime=Collector, affinity=Sequence}",
+      [&](const std::string& ref) -> std::optional<util::Auid> {
+        if (ref == "Collector") return collector;
+        if (ref == "Sequence") return util::Auid{1, 2};
+        return std::nullopt;
+      });
+  EXPECT_EQ(genebase.lifetime.kind, Lifetime::Kind::kRelative);
+  EXPECT_EQ(genebase.lifetime.reference, collector);
+  EXPECT_EQ(genebase.affinity, (util::Auid{1, 2}));
+  // Affinity-placed data without an explicit replica count is affinity-only.
+  EXPECT_EQ(genebase.replica, 0);
+
+  const DataAttributes sequence = parse_attributes(
+      "attribute Sequence = {fault_tolerance=true, protocol=\"http\", lifetime=Collector, "
+      "replication=2}",
+      resolver);
+  EXPECT_TRUE(sequence.fault_tolerant);
+  EXPECT_EQ(sequence.replica, 2);
+  EXPECT_EQ(sequence.protocol, "http");
+}
+
+TEST(AttributeParser, UnresolvedAffinityBecomesClassAffinity) {
+  // The paper's "affinity = Sequence" attracts data to hosts holding ANY
+  // datum named Sequence (class affinity), when no single datum resolves.
+  const DataAttributes attributes =
+      parse_attributes("attr Genebase = {affinity=Sequence}", no_resolver());
+  EXPECT_TRUE(attributes.affinity.is_nil());
+  EXPECT_EQ(attributes.affinity_name, "Sequence");
+  EXPECT_TRUE(attributes.has_affinity());
+  EXPECT_EQ(attributes.replica, 0);
+}
+
+TEST(AttributeParser, AffinityByLiteralUid) {
+  const util::Auid uid{0x1234, 0x5678};
+  const DataAttributes attributes = parse_attributes(
+      "attr host = {affinity=" + uid.str() + "}", no_resolver());
+  EXPECT_EQ(attributes.affinity, uid);
+}
+
+TEST(AttributeParser, EmptyBodyIsValid) {
+  // The paper's "Collector attribute {}" — an attribute with defaults.
+  const AttributeSpec spec = parse_attribute("attr Collector = {}");
+  EXPECT_EQ(spec.name, "Collector");
+  EXPECT_TRUE(spec.fields.empty());
+  const DataAttributes attributes =
+      core::attributes_from_spec(spec, no_resolver());
+  EXPECT_EQ(attributes.replica, 1);
+  EXPECT_EQ(attributes.lifetime.kind, Lifetime::Kind::kForever);
+}
+
+TEST(AttributeParser, KeywordIsOptional) {
+  const AttributeSpec spec = parse_attribute("cache = {replica=3}");
+  EXPECT_EQ(spec.name, "cache");
+  EXPECT_EQ(spec.field("replica"), "3");
+}
+
+struct BadInput {
+  const char* text;
+};
+
+class AttributeParserRejects : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(AttributeParserRejects, Throws) {
+  EXPECT_THROW(parse_attributes(GetParam().text, no_resolver()), AttributeError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, AttributeParserRejects,
+    ::testing::Values(BadInput{""}, BadInput{"attr = {}"}, BadInput{"attr a"},
+                      BadInput{"attr a = "}, BadInput{"attr a = {replica}"},
+                      BadInput{"attr a = {replica=}"}, BadInput{"attr a = {replica=1"},
+                      BadInput{"attr a = {replica=x}"}, BadInput{"attr a = {replica=-2}"},
+                      BadInput{"attr a = {abstime=-5}"}, BadInput{"attr a = {bogus=1}"},
+                      BadInput{"attr a = {ft=maybe}"}, BadInput{"attr a = {lifetime=unknown}"},
+                      BadInput{"attr a = {oob='ftp}"}, BadInput{"attr a = {} trailing"}));
+
+TEST(AttributeParser, BooleanSpellings) {
+  EXPECT_TRUE(parse_attributes("a={ft=true}", no_resolver()).fault_tolerant);
+  EXPECT_TRUE(parse_attributes("a={ft=1}", no_resolver()).fault_tolerant);
+  EXPECT_TRUE(parse_attributes("a={ft=yes}", no_resolver()).fault_tolerant);
+  EXPECT_FALSE(parse_attributes("a={ft=false}", no_resolver()).fault_tolerant);
+  EXPECT_FALSE(parse_attributes("a={ft=0}", no_resolver()).fault_tolerant);
+}
+
+TEST(AttributeParser, QuotedValuesAndSpacing) {
+  const DataAttributes attributes = parse_attributes(
+      "  attr   spaced = {  oob = \"BitTorrent\" ,replica= 4 }  ", no_resolver());
+  EXPECT_EQ(attributes.protocol, "bittorrent");  // normalized to lower case
+  EXPECT_EQ(attributes.replica, 4);
+}
+
+TEST(Lifetime, Factories) {
+  EXPECT_EQ(Lifetime::forever().kind, Lifetime::Kind::kForever);
+  const auto absolute = Lifetime::absolute(17.5);
+  EXPECT_EQ(absolute.kind, Lifetime::Kind::kAbsolute);
+  EXPECT_DOUBLE_EQ(absolute.expires_at, 17.5);
+  const auto relative = Lifetime::relative(util::Auid{1, 1});
+  EXPECT_EQ(relative.kind, Lifetime::Kind::kRelative);
+  EXPECT_EQ(relative.reference, (util::Auid{1, 1}));
+}
+
+TEST(Content, SyntheticIsDeterministic) {
+  const auto a = core::synthetic_content(7, 1000);
+  const auto b = core::synthetic_content(7, 1000);
+  const auto c = core::synthetic_content(8, 1000);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_NE(a.checksum, c.checksum);
+  EXPECT_EQ(a.size, 1000);
+  EXPECT_EQ(a.checksum.size(), 32u);
+}
+
+TEST(Content, FileContentMatchesMd5) {
+  const std::string path = "/tmp/bitdew-content-test.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "abc";
+  }
+  const auto content = core::file_content(path);
+  EXPECT_EQ(content.size, 3);
+  EXPECT_EQ(content.checksum, "900150983cd24fb0d6963f7d28e17f72");
+  std::remove(path.c_str());
+  EXPECT_THROW(core::file_content(path), std::runtime_error);
+}
+
+TEST(Locator, UrlRendering) {
+  core::Locator locator;
+  locator.protocol = "ftp";
+  locator.host = "gdx-server";
+  locator.path = "store/abc";
+  EXPECT_EQ(locator.url(), "ftp://gdx-server/store/abc");
+}
+
+TEST(Data, FlagsCombine) {
+  core::Data data;
+  data.flags = core::kFlagCompressed | core::kFlagExecutable;
+  EXPECT_TRUE(data.flags & core::kFlagCompressed);
+  EXPECT_TRUE(data.flags & core::kFlagExecutable);
+  EXPECT_FALSE(data.flags & core::kFlagArchDependent);
+  EXPECT_FALSE(data.valid());
+}
+
+}  // namespace
+}  // namespace bitdew

@@ -1,0 +1,422 @@
+// DewDB tests: table CRUD and indexing, a randomized reference-model
+// property test, WAL durability/compaction, both engines and the pool.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <thread>
+
+#include "db/database.hpp"
+#include "db/embedded_engine.hpp"
+#include "db/engine.hpp"
+#include "db/pool.hpp"
+#include "db/server_engine.hpp"
+#include "util/rng.hpp"
+
+namespace bitdew {
+namespace {
+
+using db::Command;
+using db::Database;
+using db::Op;
+using db::Response;
+using db::Row;
+using db::RowId;
+using db::Table;
+using db::TableSchema;
+using db::Value;
+
+Row make_row(std::string uid, std::string name, std::int64_t size) {
+  Row row;
+  row["uid"] = std::move(uid);
+  row["name"] = std::move(name);
+  row["size"] = size;
+  return row;
+}
+
+TEST(Table, InsertGetUpdateErase) {
+  Table table("data");
+  table.set_primary("uid");
+  const auto id = table.insert(make_row("u1", "genome", 100));
+  ASSERT_TRUE(id.has_value());
+
+  const Row* row = table.get(*id);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(db::get_text(*row, "name"), "genome");
+  EXPECT_EQ(db::get_int(*row, "size"), 100);
+
+  EXPECT_TRUE(table.update(*id, make_row("u1", "genome-v2", 200)));
+  EXPECT_EQ(db::get_text(*table.get(*id), "name"), "genome-v2");
+
+  EXPECT_TRUE(table.erase(*id));
+  EXPECT_EQ(table.get(*id), nullptr);
+  EXPECT_FALSE(table.erase(*id));
+}
+
+TEST(Table, PrimaryKeyConflictRejected) {
+  Table table("data");
+  table.set_primary("uid");
+  ASSERT_TRUE(table.insert(make_row("u1", "a", 1)).has_value());
+  EXPECT_FALSE(table.insert(make_row("u1", "b", 2)).has_value());
+  // Missing primary column is rejected too.
+  Row no_pk;
+  no_pk["name"] = std::string("x");
+  EXPECT_FALSE(table.insert(no_pk).has_value());
+}
+
+TEST(Table, PrimaryLookup) {
+  Table table("data");
+  table.set_primary("uid");
+  const auto id = table.insert(make_row("u7", "x", 1));
+  EXPECT_EQ(table.by_primary(Value{std::string("u7")}), id);
+  EXPECT_FALSE(table.by_primary(Value{std::string("nope")}).has_value());
+}
+
+TEST(Table, UpdateCannotStealAnotherPrimary) {
+  Table table("data");
+  table.set_primary("uid");
+  const auto a = table.insert(make_row("a", "x", 1));
+  ASSERT_TRUE(table.insert(make_row("b", "y", 2)).has_value());
+  EXPECT_FALSE(table.update(*a, make_row("b", "stolen", 3)));
+  EXPECT_EQ(db::get_text(*table.get(*a), "uid"), "a");
+}
+
+TEST(Table, SecondaryIndexMatchesScan) {
+  Table indexed("indexed");
+  Table scanned("scanned");
+  indexed.add_index("name");
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const std::string name = "n" + std::to_string(rng.below(20));
+    Row row;
+    row["name"] = name;
+    row["i"] = static_cast<std::int64_t>(i);
+    indexed.insert(row);
+    scanned.insert(row);
+  }
+  for (int k = 0; k < 20; ++k) {
+    const Value needle{std::string("n" + std::to_string(k))};
+    EXPECT_EQ(indexed.find("name", needle), scanned.find("name", needle)) << "key n" << k;
+  }
+}
+
+TEST(Table, IndexBuiltOnPopulatedTable) {
+  Table table("t");
+  Row row;
+  row["kind"] = std::string("x");
+  table.insert(row);
+  table.insert(row);
+  table.add_index("kind");
+  EXPECT_TRUE(table.has_index("kind"));
+  EXPECT_EQ(table.find("kind", Value{std::string("x")}).size(), 2u);
+}
+
+TEST(Table, IndexKeysAreTypeTagged) {
+  Table table("t");
+  table.add_index("v");
+  Row as_int;
+  as_int["v"] = std::int64_t{1};
+  Row as_text;
+  as_text["v"] = std::string("1");
+  table.insert(as_int);
+  table.insert(as_text);
+  EXPECT_EQ(table.find("v", Value{std::int64_t{1}}).size(), 1u);
+  EXPECT_EQ(table.find("v", Value{std::string("1")}).size(), 1u);
+}
+
+TEST(Table, PatchMergesColumns) {
+  Table table("t");
+  const auto id = table.insert(make_row("u", "name", 5));
+  Row patch;
+  patch["size"] = std::int64_t{99};
+  EXPECT_TRUE(table.patch(*id, patch));
+  EXPECT_EQ(db::get_int(*table.get(*id), "size"), 99);
+  EXPECT_EQ(db::get_text(*table.get(*id), "name"), "name");  // untouched
+}
+
+// Property: random op sequences agree with a std::map reference model.
+class TableReferenceModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TableReferenceModel, AgreesWithStdMap) {
+  util::Rng rng(GetParam());
+  Table table("t");
+  table.add_index("key");
+  std::map<RowId, Row> model;
+  std::vector<RowId> live;
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto action = rng.below(10);
+    if (action < 4 || live.empty()) {  // insert
+      Row row;
+      row["key"] = std::string("k" + std::to_string(rng.below(25)));
+      row["step"] = static_cast<std::int64_t>(step);
+      const auto id = table.insert(row);
+      ASSERT_TRUE(id.has_value());
+      model[*id] = row;
+      live.push_back(*id);
+    } else if (action < 6) {  // update
+      const RowId id = live[rng.below(live.size())];
+      Row row;
+      row["key"] = std::string("k" + std::to_string(rng.below(25)));
+      row["step"] = static_cast<std::int64_t>(-step);
+      ASSERT_TRUE(table.update(id, row));
+      model[id] = row;
+    } else if (action < 8) {  // erase
+      const std::size_t at = rng.below(live.size());
+      const RowId id = live[at];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+      EXPECT_TRUE(table.erase(id));
+      model.erase(id);
+    } else {  // find and compare against model scan
+      const Value needle{std::string("k" + std::to_string(rng.below(25)))};
+      std::vector<RowId> expected;
+      for (const auto& [id, row] : model) {
+        if (db::index_key(row.at("key")) == db::index_key(needle)) expected.push_back(id);
+      }
+      EXPECT_EQ(table.find("key", needle), expected);
+    }
+  }
+  EXPECT_EQ(table.size(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableReferenceModel, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Database + WAL -----------------------------------------------------------
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("bitdew-wal-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(WalTest, SurvivesReopen) {
+  RowId kept = 0;
+  {
+    Database database(path_.string());
+    database.create_table(TableSchema{"data", "uid", {"name"}});
+    kept = *database.insert("data", make_row("u1", "alpha", 1));
+    const RowId gone = *database.insert("data", make_row("u2", "beta", 2));
+    database.erase("data", gone);
+    database.patch("data", kept, Row{{"size", std::int64_t{42}}});
+  }
+  Database database(path_.string());
+  const Row* row = database.get("data", kept);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(db::get_text(*row, "name"), "alpha");
+  EXPECT_EQ(db::get_int(*row, "size"), 42);
+  EXPECT_EQ(database.table("data")->size(), 1u);
+  // Schema survived: primary enforced, index present.
+  EXPECT_FALSE(database.insert("data", make_row("u1", "dup", 9)).has_value());
+  EXPECT_TRUE(database.table("data")->has_index("name"));
+}
+
+TEST_F(WalTest, CompactionPreservesContentAndSchema) {
+  {
+    Database database(path_.string());
+    database.create_table(TableSchema{"data", "uid", {"name"}});
+    for (int i = 0; i < 50; ++i) {
+      database.insert("data", make_row("u" + std::to_string(i), "n", i));
+    }
+    for (int i = 0; i < 25; ++i) {
+      const auto ids = database.find("data", "uid", Value{std::string("u" + std::to_string(i))});
+      ASSERT_EQ(ids.size(), 1u);
+      database.erase("data", ids[0]);
+    }
+    const auto before = std::filesystem::file_size(path_);
+    database.compact();
+    EXPECT_LT(std::filesystem::file_size(path_), before);
+  }
+  Database database(path_.string());
+  EXPECT_EQ(database.table("data")->size(), 25u);
+  EXPECT_FALSE(database.insert("data", make_row("u30", "dup", 0)).has_value());
+  EXPECT_TRUE(database.table("data")->has_index("name"));
+}
+
+TEST_F(WalTest, TornTailRecordIsIgnored) {
+  {
+    Database database(path_.string());
+    database.create_table(TableSchema{"data", "uid", {}});
+    database.insert("data", make_row("u1", "a", 1));
+  }
+  // Append garbage simulating a torn write.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    const std::uint32_t bogus_len = 1 << 20;
+    out.write(reinterpret_cast<const char*>(&bogus_len), sizeof(bogus_len));
+    out.write("partial", 7);
+  }
+  Database database(path_.string());
+  EXPECT_EQ(database.table("data")->size(), 1u);
+}
+
+TEST(Database, InMemoryHasNoWal) {
+  Database database;
+  database.create_table(TableSchema{"t", "", {}});
+  EXPECT_FALSE(database.durable());
+  EXPECT_TRUE(database.insert("t", Row{{"x", std::int64_t{1}}}).has_value());
+}
+
+TEST(Database, StatsCount) {
+  Database database;
+  database.create_table(TableSchema{"t", "", {}});
+  const auto id = *database.insert("t", Row{{"x", std::int64_t{1}}});
+  database.get("t", id);
+  database.find("t", "x", Value{std::int64_t{1}});
+  database.erase("t", id);
+  EXPECT_EQ(database.stats().inserts, 1u);
+  EXPECT_EQ(database.stats().reads, 1u);
+  EXPECT_EQ(database.stats().finds, 1u);
+  EXPECT_EQ(database.stats().erases, 1u);
+}
+
+// --- engines ---------------------------------------------------------------
+
+Command insert_command(std::string uid) {
+  Command command;
+  command.op = Op::kInsert;
+  command.table = "data";
+  command.row = make_row(std::move(uid), "n", 1);
+  return command;
+}
+
+TEST(EmbeddedEngine, ExecutesCommands) {
+  Database database;
+  database.create_table(TableSchema{"data", "uid", {}});
+  db::EmbeddedEngine engine(database);
+  const auto connection = engine.connect();
+
+  const Response ins = connection->execute(insert_command("u1"));
+  EXPECT_TRUE(ins.ok);
+  EXPECT_NE(ins.id, 0u);
+
+  Command get;
+  get.op = Op::kGet;
+  get.table = "data";
+  get.id = ins.id;
+  const Response got = connection->execute(get);
+  ASSERT_TRUE(got.ok);
+  ASSERT_EQ(got.rows.size(), 1u);
+  EXPECT_EQ(db::get_text(got.rows[0].row, "uid"), "u1");
+}
+
+TEST(ServerEngine, ExecutesCommandsOverTheWire) {
+  Database database;
+  database.create_table(TableSchema{"data", "uid", {"name"}});
+  db::ServerEngine engine(database);
+  const auto connection = engine.connect();
+
+  const Response ins = connection->execute(insert_command("u1"));
+  EXPECT_TRUE(ins.ok);
+
+  Command find;
+  find.op = Op::kFind;
+  find.table = "data";
+  find.column = "name";
+  find.value = std::string("n");
+  const Response found = connection->execute(find);
+  ASSERT_TRUE(found.ok);
+  EXPECT_EQ(found.rows.size(), 1u);
+
+  Command erase;
+  erase.op = Op::kErase;
+  erase.table = "data";
+  erase.id = ins.id;
+  EXPECT_TRUE(connection->execute(erase).ok);
+  EXPECT_FALSE(connection->execute(erase).ok);  // already gone
+}
+
+TEST(ServerEngine, ManyConcurrentClients) {
+  Database database;
+  database.create_table(TableSchema{"data", "uid", {}});
+  db::ServerEngine engine(database);
+
+  constexpr int kThreads = 8;
+  constexpr int kOps = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, &failures, t] {
+      const auto connection = engine.connect();
+      for (int i = 0; i < kOps; ++i) {
+        const Response r =
+            connection->execute(insert_command("t" + std::to_string(t) + "-" + std::to_string(i)));
+        if (!r.ok) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(database.table("data")->size(), static_cast<std::size_t>(kThreads) * kOps);
+}
+
+TEST(ServerEngine, DuplicatePrimaryReportsError) {
+  Database database;
+  database.create_table(TableSchema{"data", "uid", {}});
+  db::ServerEngine engine(database);
+  const auto connection = engine.connect();
+  EXPECT_TRUE(connection->execute(insert_command("dup")).ok);
+  const Response second = connection->execute(insert_command("dup"));
+  EXPECT_FALSE(second.ok);
+  EXPECT_FALSE(second.error.empty());
+}
+
+TEST(ConnectionPool, ReusesConnections) {
+  Database database;
+  database.create_table(TableSchema{"data", "uid", {}});
+  db::EmbeddedEngine engine(database);
+  db::ConnectionPool pool(engine, 2);
+  for (int i = 0; i < 100; ++i) {
+    auto lease = pool.acquire();
+    EXPECT_TRUE(lease->execute(insert_command("u" + std::to_string(i))).ok);
+  }
+  EXPECT_LE(engine.connections_opened(), 2u);
+}
+
+TEST(ConnectionPool, BlocksAtCapacityUntilRelease) {
+  Database database;
+  database.create_table(TableSchema{"data", "uid", {}});
+  db::EmbeddedEngine engine(database);
+  db::ConnectionPool pool(engine, 1);
+
+  auto first = pool.acquire();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    auto second = pool.acquire();
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+  { auto release = std::move(first); }  // return to pool
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(engine.connections_opened(), 1u);
+}
+
+TEST(ConnectionPool, WorksWithServerEngine) {
+  Database database;
+  database.create_table(TableSchema{"data", "uid", {}});
+  db::ServerEngine engine(database);
+  db::ConnectionPool pool(engine, 3);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < 50; ++i) {
+        auto lease = pool.acquire();
+        lease->execute(insert_command("p" + std::to_string(t) + "-" + std::to_string(i)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(database.table("data")->size(), 300u);
+  EXPECT_LE(engine.connections_opened(), 3u);
+}
+
+}  // namespace
+}  // namespace bitdew

@@ -1,0 +1,264 @@
+// DHT tests: routing correctness against a brute-force oracle, hop bounds,
+// replication, crash resilience through stabilization, joins and the
+// in-process LocalDht reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dht/local_dht.hpp"
+#include "dht/ring.hpp"
+
+namespace bitdew {
+namespace {
+
+using dht::kNoNode;
+using dht::LocalDht;
+using dht::LookupResult;
+using dht::NodeIndex;
+using dht::Ring;
+using dht::RingConfig;
+
+struct RingRig {
+  explicit RingRig(int nodes, RingConfig config = {}) : net(sim) {
+    const auto zone = net.add_zone("lan");
+    ring = std::make_unique<Ring>(sim, net, config);
+    for (int i = 0; i < nodes; ++i) {
+      net::HostSpec spec;
+      spec.name = "host" + std::to_string(i);
+      spec.uplink_Bps = 125e6;
+      spec.downlink_Bps = 125e6;
+      spec.lan_latency_s = 100e-6;
+      hosts.push_back(net.add_host(zone, spec));
+      indices.push_back(ring->add_node(hosts.back()));
+    }
+    ring->bootstrap_all();
+  }
+
+  sim::Simulator sim{42};
+  net::Network net;
+  std::unique_ptr<Ring> ring;
+  std::vector<net::HostId> hosts;
+  std::vector<NodeIndex> indices;
+};
+
+TEST(LocalDht, PutGetRemove) {
+  LocalDht dht;
+  dht.put("k", "v1");
+  dht.put("k", "v2");
+  dht.put("k", "v1");  // idempotent
+  EXPECT_EQ(dht.get("k"), (std::vector<std::string>{"v1", "v2"}));
+  EXPECT_TRUE(dht.remove("k", "v1"));
+  EXPECT_FALSE(dht.remove("k", "v1"));
+  EXPECT_EQ(dht.get("k"), (std::vector<std::string>{"v2"}));
+  EXPECT_TRUE(dht.remove("k", "v2"));
+  EXPECT_EQ(dht.key_count(), 0u);
+  EXPECT_TRUE(dht.get("missing").empty());
+}
+
+TEST(Ring, LookupAgreesWithOracle) {
+  RingRig rig(20);
+  int checked = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "data-" + std::to_string(i);
+    const NodeIndex expected = rig.ring->oracle_owner(key);
+    rig.ring->lookup(rig.indices[static_cast<std::size_t>(i) % 20], key,
+                     [&checked, expected](LookupResult result) {
+                       EXPECT_TRUE(result.ok);
+                       EXPECT_EQ(result.owner, expected);
+                       ++checked;
+                     });
+  }
+  rig.sim.run();
+  EXPECT_EQ(checked, 50);
+}
+
+TEST(Ring, LookupHopsAreLogarithmic) {
+  RingConfig config;
+  config.arity = 4;
+  RingRig rig(64, config);
+  int max_hops = 0;
+  int done = 0;
+  for (int i = 0; i < 200; ++i) {
+    rig.ring->lookup(rig.indices[static_cast<std::size_t>(i) % 64], "key-" + std::to_string(i),
+                     [&](LookupResult result) {
+                       ASSERT_TRUE(result.ok);
+                       max_hops = std::max(max_hops, result.hops);
+                       ++done;
+                     });
+  }
+  rig.sim.run();
+  EXPECT_EQ(done, 200);
+  // k-ary fingers: expected O(log_k N) = log_4 64 = 3; allow slack for the
+  // probabilistic node placement.
+  EXPECT_LE(max_hops, 8);
+  EXPECT_GT(rig.ring->stats().mean_hops(), 0.0);
+}
+
+TEST(Ring, PutThenGetReturnsAllValues) {
+  RingRig rig(10);
+  bool put1 = false;
+  bool put2 = false;
+  rig.ring->put(rig.indices[0], "shared", "host-a", [&](bool ok) { put1 = ok; });
+  rig.ring->put(rig.indices[3], "shared", "host-b", [&](bool ok) { put2 = ok; });
+  rig.sim.run();
+  EXPECT_TRUE(put1);
+  EXPECT_TRUE(put2);
+
+  std::vector<std::string> values;
+  rig.ring->get(rig.indices[7], "shared", [&](std::vector<std::string> v) { values = v; });
+  rig.sim.run();
+  EXPECT_EQ(values, (std::vector<std::string>{"host-a", "host-b"}));
+}
+
+TEST(Ring, GetOfUnknownKeyIsEmpty) {
+  RingRig rig(5);
+  bool called = false;
+  rig.ring->get(rig.indices[1], "nope", [&](std::vector<std::string> v) {
+    called = true;
+    EXPECT_TRUE(v.empty());
+  });
+  rig.sim.run();
+  EXPECT_TRUE(called);
+}
+
+TEST(Ring, ReplicationStoresFCopies) {
+  RingConfig config;
+  config.replication = 3;
+  RingRig rig(10, config);
+  rig.ring->put(rig.indices[0], "replicated", "v", [](bool) {});
+  rig.sim.run();
+  std::size_t total = 0;
+  for (const NodeIndex node : rig.indices) total += rig.ring->stored_pairs(node);
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Ring, RemoveDeletesReplicasToo) {
+  RingRig rig(10);
+  rig.ring->put(rig.indices[0], "temp", "v", [](bool) {});
+  rig.sim.run();
+  bool removed = false;
+  rig.ring->remove(rig.indices[5], "temp", "v", [&](bool ok) { removed = ok; });
+  rig.sim.run();
+  EXPECT_TRUE(removed);
+  std::size_t total = 0;
+  for (const NodeIndex node : rig.indices) total += rig.ring->stored_pairs(node);
+  EXPECT_EQ(total, 0u);
+  std::vector<std::string> values{"sentinel"};
+  rig.ring->get(rig.indices[2], "temp", [&](std::vector<std::string> v) { values = v; });
+  rig.sim.run();
+  EXPECT_TRUE(values.empty());
+}
+
+TEST(Ring, SurvivesOwnerCrashAfterStabilization) {
+  RingConfig config;
+  config.replication = 3;
+  config.stabilize_period_s = 1.0;
+  RingRig rig(12, config);
+  rig.ring->start_maintenance();
+
+  rig.ring->put(rig.indices[0], "precious", "payload", [](bool) {});
+  rig.sim.run_until(rig.sim.now() + 5.0);
+
+  const NodeIndex owner = rig.ring->oracle_owner("precious");
+  ASSERT_NE(owner, kNoNode);
+  rig.ring->fail(owner);
+
+  // Let stabilization repair successor lists and predecessors.
+  rig.sim.run_until(rig.sim.now() + 20.0);
+
+  std::vector<std::string> values;
+  int attempts = 0;
+  std::function<void()> try_get = [&] {
+    ++attempts;
+    rig.ring->get(rig.indices[0] == owner ? rig.indices[1] : rig.indices[0], "precious",
+                  [&](std::vector<std::string> v) {
+                    if (v.empty() && attempts < 5) {
+                      try_get();
+                    } else {
+                      values = v;
+                    }
+                  });
+  };
+  try_get();
+  rig.sim.run_until(rig.sim.now() + 60.0);  // bounded: maintenance timers never drain
+  EXPECT_EQ(values, (std::vector<std::string>{"payload"}));
+}
+
+TEST(Ring, JoinHandsOverKeysAndServesLookups) {
+  RingConfig config;
+  config.stabilize_period_s = 1.0;
+  RingRig rig(8, config);
+  rig.ring->start_maintenance();
+
+  for (int i = 0; i < 30; ++i) {
+    rig.ring->put(rig.indices[static_cast<std::size_t>(i) % 8], "key-" + std::to_string(i),
+                  "v" + std::to_string(i), [](bool) {});
+  }
+  rig.sim.run_until(rig.sim.now() + 5.0);
+
+  // A ninth node arrives.
+  net::HostSpec spec;
+  spec.name = "late-host";
+  const auto host = rig.net.add_host(rig.net.host_zone(rig.hosts[0]), spec);
+  const NodeIndex late = rig.ring->add_node(host);
+  bool joined = false;
+  rig.ring->join(late, rig.indices[0], [&](bool ok) { joined = ok; });
+  rig.sim.run_until(rig.sim.now() + 30.0);
+  EXPECT_TRUE(joined);
+
+  // All keys remain resolvable and lookups agree with the oracle that now
+  // includes the new node.
+  int resolved = 0;
+  for (int i = 0; i < 30; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const std::string expected = "v" + std::to_string(i);
+    rig.ring->get(rig.indices[2], key, [&resolved, expected](std::vector<std::string> v) {
+      ASSERT_FALSE(v.empty());
+      EXPECT_EQ(v.front(), expected);
+      ++resolved;
+    });
+  }
+  rig.sim.run_until(rig.sim.now() + 60.0);  // bounded: maintenance timers never drain
+  EXPECT_EQ(resolved, 30);
+}
+
+TEST(Ring, SingleNodeRingOwnsEverything) {
+  RingRig rig(1);
+  bool ok = false;
+  rig.ring->put(rig.indices[0], "k", "v", [&](bool r) { ok = r; });
+  rig.sim.run();
+  EXPECT_TRUE(ok);
+  std::vector<std::string> values;
+  rig.ring->get(rig.indices[0], "k", [&](std::vector<std::string> v) { values = v; });
+  rig.sim.run();
+  EXPECT_EQ(values, (std::vector<std::string>{"v"}));
+}
+
+TEST(Ring, StatsCountMessagesAndLookups) {
+  RingRig rig(16);
+  for (int i = 0; i < 10; ++i) {
+    rig.ring->lookup(rig.indices[0], "k" + std::to_string(i), [](LookupResult) {});
+  }
+  rig.sim.run();
+  EXPECT_EQ(rig.ring->stats().lookups, 10u);
+  EXPECT_GT(rig.ring->stats().messages, 0u);
+}
+
+// Property: key distribution across nodes is reasonably balanced (no node
+// owns more than ~6x the fair share with 64 nodes and 2k keys).
+TEST(Ring, KeyDistributionIsBalanced) {
+  RingRig rig(64);
+  std::map<NodeIndex, int> owned;
+  for (int i = 0; i < 2000; ++i) {
+    const NodeIndex owner = rig.ring->oracle_owner("balance-key-" + std::to_string(i));
+    ASSERT_NE(owner, kNoNode);
+    ++owned[owner];
+  }
+  const double fair = 2000.0 / 64.0;
+  for (const auto& [node, count] : owned) {
+    EXPECT_LT(count, fair * 8) << "node " << node << " owns " << count;
+  }
+}
+
+}  // namespace
+}  // namespace bitdew

@@ -1,0 +1,145 @@
+// Master/worker BLAST tests: report arithmetic, fault tolerance of tasks
+// (a crashed worker's Sequence is rescheduled and the run still completes),
+// end-to-end failure injection through the flaky protocol decorator, and
+// post-run cleanup via the Collector cascade.
+#include <gtest/gtest.h>
+
+#include "mw/blast.hpp"
+#include "testbed/topologies.hpp"
+
+namespace bitdew {
+namespace {
+
+using mw::BlastApplication;
+using mw::BlastReport;
+using mw::BlastWorkerSpec;
+using mw::BlastWorkload;
+
+BlastWorkload tiny_workload(const std::string& protocol = "ftp") {
+  BlastWorkload workload;
+  workload.genebase_bytes = 20 * util::kMB;
+  workload.application_bytes = util::kMB;
+  workload.sequence_bytes = 10 * util::kKB;
+  workload.unzip_Bps_per_ghz = 50e6;
+  workload.exec_ghz_seconds = 10;
+  workload.transfer_protocol = protocol;
+  return workload;
+}
+
+struct BlastRig {
+  explicit BlastRig(int workers, BlastWorkload workload,
+                    runtime::SimRuntimeConfig config = mw::blast_runtime_config(),
+                    std::uint64_t seed = 21)
+      : sim(seed), net(sim) {
+    cluster = testbed::make_cluster(net, testbed::ClusterSpec{"gdx", workers + 2});
+    runtime = std::make_unique<runtime::SimRuntime>(sim, net, cluster.hosts[0], config);
+    app = std::make_unique<BlastApplication>(*runtime, std::move(workload));
+    for (int i = 2; i < workers + 2; ++i) {
+      specs.push_back(BlastWorkerSpec{cluster.hosts[static_cast<std::size_t>(i)], 2.0, "gdx"});
+    }
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  testbed::Cluster cluster;
+  std::unique_ptr<runtime::SimRuntime> runtime;
+  std::unique_ptr<BlastApplication> app;
+  std::vector<BlastWorkerSpec> specs;
+};
+
+TEST(BlastReportMath, BreakdownAverages) {
+  BlastReport report;
+  report.workers.push_back({"a", "c1", 10, 2, 30, 1});
+  report.workers.push_back({"b", "c1", 20, 4, 50, 2});
+  report.workers.push_back({"idle", "c2", 0, 0, 0, 0});  // no tasks: excluded
+  report.workers.push_back({"c", "c2", 40, 6, 70, 1});
+
+  const auto overall = report.overall();
+  EXPECT_EQ(overall.workers, 3);
+  EXPECT_NEAR(overall.transfer_s, (10 + 20 + 40) / 3.0, 1e-9);
+  EXPECT_NEAR(overall.exec_s, 50.0, 1e-9);
+
+  const auto by_cluster = report.by_cluster();
+  ASSERT_EQ(by_cluster.size(), 2u);
+  EXPECT_EQ(by_cluster.at("c1").workers, 2);
+  EXPECT_NEAR(by_cluster.at("c1").transfer_s, 15.0, 1e-9);
+  EXPECT_EQ(by_cluster.at("c2").workers, 1);
+  EXPECT_NEAR(by_cluster.at("c2").unzip_s, 6.0, 1e-9);
+}
+
+TEST(Blast, CompletesAndCleansUp) {
+  BlastRig rig(5, tiny_workload());
+  rig.app->deploy(rig.cluster.hosts[1], rig.specs, 5);
+  ASSERT_TRUE(rig.app->run(5000));
+  EXPECT_EQ(rig.app->report().results, 5);
+  // Collector deletion cascades: only the Application (no lifetime) stays.
+  rig.sim.run_until(rig.sim.now() + 20);
+  EXPECT_LE(rig.runtime->container().ds().scheduled_count(), 1u);
+}
+
+TEST(Blast, EveryWorkerBreakdownIsConsistent) {
+  BlastRig rig(4, tiny_workload());
+  rig.app->deploy(rig.cluster.hosts[1], rig.specs, 8);  // two tasks per node
+  ASSERT_TRUE(rig.app->run(5000));
+  int total_tasks = 0;
+  for (const auto& worker : rig.app->report().workers) {
+    total_tasks += worker.tasks;
+    if (worker.tasks > 0) {
+      EXPECT_GT(worker.transfer_s, 0) << worker.host;
+      EXPECT_GT(worker.unzip_s, 0) << worker.host;
+      EXPECT_NEAR(worker.exec_s, worker.tasks * 10 / 2.0, 1e-6) << worker.host;
+    }
+  }
+  EXPECT_EQ(total_tasks, 8);
+}
+
+TEST(Blast, WorkerCrashReschedulesItsTask) {
+  BlastRig rig(6, tiny_workload());
+  rig.app->deploy(rig.cluster.hosts[1], rig.specs, 6);
+  // Let inputs spread, then kill one worker before it can have finished
+  // (exec alone takes 5 s per task).
+  rig.sim.run_until(4.0);
+  rig.runtime->kill_node(rig.specs[0].host);
+  // The Sequences are fault-tolerant: the dead worker's task must be
+  // re-scheduled to a live node and the whole run still completes.
+  ASSERT_TRUE(rig.app->run(8000));
+  EXPECT_EQ(rig.app->report().results, 6);
+  EXPECT_GE(rig.runtime->container().ds().stats().failures, 1u);
+}
+
+TEST(Blast, SurvivesFlakyTransfers) {
+  runtime::SimRuntimeConfig config = mw::blast_runtime_config();
+  config.flaky.fail_probability = 0.3;  // 30% of ftp/http transfers drop
+  config.max_transfer_attempts = 6;
+  BlastRig rig(4, tiny_workload(), config);
+  rig.app->deploy(rig.cluster.hosts[1], rig.specs, 4);
+  ASSERT_TRUE(rig.app->run(20000));
+  EXPECT_EQ(rig.app->report().results, 4);
+  // The DT service recorded retries/resumes for the dropped transfers.
+  const auto& stats = rig.runtime->container().dt().stats();
+  EXPECT_GT(stats.resumes + stats.failed, 0u);
+}
+
+TEST(Blast, RejectsCorruptedTransfersAndRetries) {
+  runtime::SimRuntimeConfig config = mw::blast_runtime_config();
+  config.flaky.corrupt_probability = 0.3;  // wrong checksum 30% of the time
+  config.max_transfer_attempts = 6;
+  BlastRig rig(4, tiny_workload(), config, 22);
+  rig.app->deploy(rig.cluster.hosts[1], rig.specs, 4);
+  ASSERT_TRUE(rig.app->run(20000));
+  EXPECT_EQ(rig.app->report().results, 4);
+  // Receiver-driven integrity checking caught the corruptions.
+  EXPECT_GT(rig.runtime->container().dt().stats().checksum_rejects, 0u);
+}
+
+TEST(Blast, BitTorrentAndFtpProduceSameResults) {
+  for (const char* protocol : {"ftp", "bittorrent"}) {
+    BlastRig rig(5, tiny_workload(protocol));
+    rig.app->deploy(rig.cluster.hosts[1], rig.specs, 5);
+    ASSERT_TRUE(rig.app->run(5000)) << protocol;
+    EXPECT_EQ(rig.app->report().results, 5) << protocol;
+  }
+}
+
+}  // namespace
+}  // namespace bitdew

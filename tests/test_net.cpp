@@ -1,0 +1,297 @@
+// Tests for the flow-level network: latency, bandwidth sharing under both
+// models (exact max-min and counting approximation), failures and topology.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace bitdew {
+namespace {
+
+using net::FlowResult;
+using net::HostSpec;
+using net::Network;
+using net::SharingModel;
+
+struct Rig {
+  sim::Simulator sim{1};
+  Network net{sim};
+};
+
+HostSpec spec(const std::string& name, double up, double down, double latency = 1e-3) {
+  HostSpec s;
+  s.name = name;
+  s.uplink_Bps = up;
+  s.downlink_Bps = down;
+  s.lan_latency_s = latency;
+  return s;
+}
+
+TEST(Network, SingleFlowCompletionIsLatencyPlusServiceTime) {
+  Rig rig;
+  const auto zone = rig.net.add_zone("lan");
+  const auto a = rig.net.add_host(zone, spec("a", 100.0, 100.0, 0.5));
+  const auto b = rig.net.add_host(zone, spec("b", 100.0, 50.0, 0.5));
+
+  FlowResult result;
+  rig.net.start_flow(a, b, 1000, [&](const FlowResult& r) { result = r; });
+  rig.sim.run();
+  // latency = 0.5 + 0.5 = 1s; bottleneck = dst downlink 50 B/s -> 20 s.
+  EXPECT_TRUE(result.ok);
+  EXPECT_NEAR(result.finished_at, 21.0, 1e-9);
+  EXPECT_EQ(result.bytes, 1000);
+}
+
+TEST(Network, TwoFlowsShareTheServerUplink) {
+  Rig rig;
+  const auto zone = rig.net.add_zone("lan");
+  const auto server = rig.net.add_host(zone, spec("server", 100.0, 100.0, 0));
+  const auto c1 = rig.net.add_host(zone, spec("c1", 1000.0, 1000.0, 0));
+  const auto c2 = rig.net.add_host(zone, spec("c2", 1000.0, 1000.0, 0));
+
+  std::vector<double> done;
+  rig.net.start_flow(server, c1, 1000, [&](const FlowResult& r) { done.push_back(r.finished_at); });
+  rig.net.start_flow(server, c2, 1000, [&](const FlowResult& r) { done.push_back(r.finished_at); });
+  rig.sim.run();
+  // Both flows get 50 B/s while sharing; both finish at ~20 s.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 20.0, 1e-6);
+  EXPECT_NEAR(done[1], 20.0, 1e-6);
+}
+
+TEST(Network, FinishingFlowReleasesBandwidth) {
+  Rig rig;
+  const auto zone = rig.net.add_zone("lan");
+  const auto server = rig.net.add_host(zone, spec("server", 100.0, 100.0, 0));
+  const auto c1 = rig.net.add_host(zone, spec("c1", 1000.0, 1000.0, 0));
+  const auto c2 = rig.net.add_host(zone, spec("c2", 1000.0, 1000.0, 0));
+
+  double short_done = 0;
+  double long_done = 0;
+  rig.net.start_flow(server, c1, 500, [&](const FlowResult& r) { short_done = r.finished_at; });
+  rig.net.start_flow(server, c2, 1500, [&](const FlowResult& r) { long_done = r.finished_at; });
+  rig.sim.run();
+  // Shared at 50 B/s until t=10 (short done), then long runs at 100 B/s for
+  // its remaining 1000 bytes -> t = 10 + 10 = 20.
+  EXPECT_NEAR(short_done, 10.0, 1e-6);
+  EXPECT_NEAR(long_done, 20.0, 1e-6);
+}
+
+TEST(Network, MaxMinGivesUnusedShareToUnconstrainedFlow) {
+  Rig rig;
+  rig.net.set_sharing_model(SharingModel::kMaxMin);
+  const auto zone = rig.net.add_zone("lan");
+  const auto server = rig.net.add_host(zone, spec("server", 100.0, 1000.0, 0));
+  const auto slow = rig.net.add_host(zone, spec("slow", 1000.0, 10.0, 0));
+  const auto fast = rig.net.add_host(zone, spec("fast", 1000.0, 1000.0, 0));
+
+  double slow_done = 0;
+  double fast_done = 0;
+  rig.net.start_flow(server, slow, 100, [&](const FlowResult& r) { slow_done = r.finished_at; });
+  rig.net.start_flow(server, fast, 900, [&](const FlowResult& r) { fast_done = r.finished_at; });
+  rig.sim.run();
+  // Max-min: slow flow pinned at 10 B/s by its downlink; fast flow gets the
+  // remaining 90 B/s. slow: 100/10 = 10 s. fast: 900/90 = 10 s.
+  EXPECT_NEAR(slow_done, 10.0, 1e-6);
+  EXPECT_NEAR(fast_done, 10.0, 1e-6);
+}
+
+TEST(Network, CountingModelMatchesMaxMinOnSymmetricBottleneck) {
+  for (const auto model : {SharingModel::kMaxMin, SharingModel::kCounting}) {
+    Rig rig;
+    rig.net.set_sharing_model(model);
+    const auto zone = rig.net.add_zone("lan");
+    const auto server = rig.net.add_host(zone, spec("server", 100.0, 100.0, 0));
+    std::vector<net::HostId> clients;
+    for (int i = 0; i < 4; ++i) {
+      clients.push_back(rig.net.add_host(zone, spec("c", 1000.0, 1000.0, 0)));
+    }
+    std::vector<double> done;
+    for (const auto c : clients) {
+      rig.net.start_flow(server, c, 250, [&](const FlowResult& r) { done.push_back(r.finished_at); });
+    }
+    rig.sim.run();
+    ASSERT_EQ(done.size(), 4u);
+    for (const double t : done) EXPECT_NEAR(t, 10.0, 1e-6);
+  }
+}
+
+TEST(Network, ZeroByteMessageArrivesAfterLatency) {
+  Rig rig;
+  const auto zone = rig.net.add_zone("lan");
+  const auto a = rig.net.add_host(zone, spec("a", 100.0, 100.0, 0.25));
+  const auto b = rig.net.add_host(zone, spec("b", 100.0, 100.0, 0.25));
+  double at = -1;
+  rig.net.start_flow(a, b, 0, [&](const FlowResult& r) { at = r.finished_at; });
+  rig.sim.run();
+  EXPECT_NEAR(at, 0.5, 1e-9);
+}
+
+TEST(Network, InterZoneLatencyAndEgressApply) {
+  Rig rig;
+  const auto z1 = rig.net.add_zone("cluster1", 50.0, 50.0);
+  const auto z2 = rig.net.add_zone("cluster2", 50.0, 50.0);
+  rig.net.set_zone_latency(z1, z2, 0.1);
+  const auto a = rig.net.add_host(z1, spec("a", 1000.0, 1000.0, 0));
+  const auto b = rig.net.add_host(z2, spec("b", 1000.0, 1000.0, 0));
+
+  EXPECT_NEAR(rig.net.one_way_latency(a, b), 0.1, 1e-12);
+
+  double done = 0;
+  rig.net.start_flow(a, b, 500, [&](const FlowResult& r) { done = r.finished_at; });
+  rig.sim.run();
+  // Bottleneck is the egress at 50 B/s -> 10 s + 0.1 s latency.
+  EXPECT_NEAR(done, 10.1, 1e-6);
+}
+
+TEST(Network, DefaultWanLatencyUsedWithoutExplicitPair) {
+  Rig rig;
+  rig.net.set_default_wan_latency(0.42);
+  const auto z1 = rig.net.add_zone("z1");
+  const auto z2 = rig.net.add_zone("z2");
+  const auto a = rig.net.add_host(z1, spec("a", 1.0, 1.0, 0));
+  const auto b = rig.net.add_host(z2, spec("b", 1.0, 1.0, 0));
+  EXPECT_NEAR(rig.net.one_way_latency(a, b), 0.42, 1e-12);
+}
+
+TEST(Network, KillHostFailsItsFlows) {
+  Rig rig;
+  const auto zone = rig.net.add_zone("lan");
+  const auto a = rig.net.add_host(zone, spec("a", 100.0, 100.0, 0));
+  const auto b = rig.net.add_host(zone, spec("b", 100.0, 100.0, 0));
+
+  FlowResult result;
+  bool called = false;
+  rig.net.start_flow(a, b, 10000, [&](const FlowResult& r) {
+    result = r;
+    called = true;
+  });
+  rig.sim.run_until(5.0);
+  rig.net.kill_host(b);
+  rig.sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(rig.net.alive(b));
+}
+
+TEST(Network, FlowToDeadHostFailsImmediately) {
+  Rig rig;
+  const auto zone = rig.net.add_zone("lan");
+  const auto a = rig.net.add_host(zone, spec("a", 100.0, 100.0, 0));
+  const auto b = rig.net.add_host(zone, spec("b", 100.0, 100.0, 0));
+  rig.net.kill_host(b);
+  bool ok = true;
+  rig.net.start_flow(a, b, 100, [&](const FlowResult& r) { ok = r.ok; });
+  rig.sim.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST(Network, ReviveRestoresConnectivity) {
+  Rig rig;
+  const auto zone = rig.net.add_zone("lan");
+  const auto a = rig.net.add_host(zone, spec("a", 100.0, 100.0, 0));
+  const auto b = rig.net.add_host(zone, spec("b", 100.0, 100.0, 0));
+  rig.net.kill_host(b);
+  rig.net.revive_host(b);
+  bool ok = false;
+  rig.net.start_flow(a, b, 100, [&](const FlowResult& r) { ok = r.ok; });
+  rig.sim.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Network, CancelFlowReportsFailure) {
+  Rig rig;
+  const auto zone = rig.net.add_zone("lan");
+  const auto a = rig.net.add_host(zone, spec("a", 100.0, 100.0, 0));
+  const auto b = rig.net.add_host(zone, spec("b", 100.0, 100.0, 0));
+  bool ok = true;
+  const auto flow = rig.net.start_flow(a, b, 1000000, [&](const FlowResult& r) { ok = r.ok; });
+  rig.sim.run_until(1.0);
+  rig.net.cancel_flow(flow);
+  rig.sim.run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(rig.net.active_flow_count(), 0u);
+}
+
+TEST(Network, DeliveredBytesAccumulate) {
+  Rig rig;
+  const auto zone = rig.net.add_zone("lan");
+  const auto a = rig.net.add_host(zone, spec("a", 100.0, 100.0, 0));
+  const auto b = rig.net.add_host(zone, spec("b", 100.0, 100.0, 0));
+  rig.net.start_flow(a, b, 300, [](const FlowResult&) {});
+  rig.net.start_flow(b, a, 200, [](const FlowResult&) {});
+  rig.sim.run();
+  EXPECT_EQ(rig.net.delivered_bytes(), 500);
+}
+
+// Conservation property: N clients pulling from one server cannot finish
+// faster than total_bytes / server_uplink, and the fair completion is close
+// to exactly that bound. Parameterized across client counts and models.
+struct ShareCase {
+  int clients;
+  SharingModel model;
+};
+
+class ServerShareProperty : public ::testing::TestWithParam<ShareCase> {};
+
+TEST_P(ServerShareProperty, ServerUplinkBoundsCompletion) {
+  const auto [clients, model] = GetParam();
+  Rig rig;
+  rig.net.set_sharing_model(model);
+  rig.net.set_rate_tolerance(0);  // exactness property: no completion drift
+  const double uplink = 1000.0;
+  const std::int64_t bytes = 5000;
+  const auto zone = rig.net.add_zone("lan");
+  const auto server = rig.net.add_host(zone, spec("server", uplink, uplink, 0));
+  int finished = 0;
+  double last = 0;
+  for (int i = 0; i < clients; ++i) {
+    const auto c = rig.net.add_host(zone, spec("c", 1e6, 1e6, 0));
+    rig.net.start_flow(server, c, bytes, [&](const FlowResult& r) {
+      EXPECT_TRUE(r.ok);
+      ++finished;
+      last = std::max(last, r.finished_at);
+    });
+  }
+  rig.sim.run();
+  EXPECT_EQ(finished, clients);
+  const double lower_bound = static_cast<double>(bytes) * clients / uplink;
+  EXPECT_GE(last, lower_bound - 1e-6);
+  EXPECT_LE(last, lower_bound * 1.01 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fanouts, ServerShareProperty,
+    ::testing::Values(ShareCase{1, SharingModel::kMaxMin}, ShareCase{4, SharingModel::kMaxMin},
+                      ShareCase{16, SharingModel::kMaxMin}, ShareCase{1, SharingModel::kCounting},
+                      ShareCase{4, SharingModel::kCounting},
+                      ShareCase{16, SharingModel::kCounting},
+                      ShareCase{64, SharingModel::kCounting}));
+
+TEST(Network, RateToleranceKeepsCompletionErrorBounded) {
+  // With the 2% rate tolerance, staggered churn on a shared link must not
+  // move completions more than a few percent from the exact solution.
+  auto span = [](double tolerance) {
+    Rig rig;
+    rig.net.set_sharing_model(SharingModel::kCounting);
+    rig.net.set_rate_tolerance(tolerance);
+    const auto zone = rig.net.add_zone("lan");
+    const auto server = rig.net.add_host(zone, spec("server", 1000.0, 1000.0, 0));
+    double last = 0;
+    for (int i = 0; i < 24; ++i) {
+      const auto c = rig.net.add_host(zone, spec("c", 1e6, 1e6, 0));
+      rig.sim.after(i * 0.1, [&rig, server, c, &last] {
+        rig.net.start_flow(server, c, 2000,
+                           [&last](const FlowResult& r) { last = std::max(last, r.finished_at); });
+      });
+    }
+    rig.sim.run();
+    return last;
+  };
+  const double exact = span(0.0);
+  const double tolerant = span(0.02);
+  EXPECT_NEAR(tolerant, exact, exact * 0.04);
+}
+
+}  // namespace
+}  // namespace bitdew

@@ -1,0 +1,322 @@
+// Integration tests: the full simulated deployment — services + scheduler +
+// protocols + API — exercising the paper's scenarios end to end
+// (replication, broadcast, affinity, fault recovery, lifetime cascade, the
+// Updater pattern and a miniature BLAST run).
+#include <gtest/gtest.h>
+
+#include "mw/blast.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "testbed/topologies.hpp"
+
+namespace bitdew {
+namespace {
+
+using runtime::SimNode;
+using runtime::SimRuntime;
+using runtime::SimRuntimeConfig;
+
+struct Rig {
+  explicit Rig(int nodes, std::uint64_t seed = 3)
+      : sim(seed), net(sim) {
+    cluster = testbed::make_cluster(net, testbed::ClusterSpec{"gdx", nodes + 1});
+    runtime = std::make_unique<SimRuntime>(sim, net, cluster.hosts[0]);
+    for (int i = 1; i <= nodes; ++i) {
+      nodes_.push_back(&runtime->add_node(cluster.hosts[static_cast<std::size_t>(i)]));
+    }
+  }
+
+  core::Data make_scheduled(const std::string& name, std::int64_t size,
+                            const core::DataAttributes& attributes) {
+    SimNode& origin = *nodes_[0];
+    const core::Content content = core::synthetic_content(42, size);
+    const core::Data data = origin.bitdew().create_data(name, content);
+    origin.bitdew().put(data, content);
+    origin.active_data().schedule(data, attributes);
+    return data;
+  }
+
+  int holders(const core::Data& data) const {
+    int count = 0;
+    for (const SimNode* node : nodes_) count += node->has(data.uid) ? 1 : 0;
+    return count;
+  }
+
+  void run_for(double seconds) { sim.run_until(sim.now() + seconds); }
+
+  sim::Simulator sim;
+  net::Network net;
+  testbed::Cluster cluster;
+  std::unique_ptr<SimRuntime> runtime;
+  std::vector<SimNode*> nodes_;
+};
+
+TEST(SimIntegration, ReplicaRuleMaterializesCopies) {
+  Rig rig(6);
+  core::DataAttributes attributes;
+  attributes.replica = 3;
+  const core::Data data = rig.make_scheduled("payload", 5 * util::kMB, attributes);
+  rig.run_for(30);
+  EXPECT_EQ(rig.holders(data), 3);
+  EXPECT_EQ(rig.runtime->container().ds().owners(data.uid).size(), 3u);
+}
+
+TEST(SimIntegration, BroadcastReachesEveryNode) {
+  Rig rig(8);
+  core::DataAttributes attributes;
+  attributes.replica = core::kReplicaAll;
+  const core::Data data = rig.make_scheduled("everywhere", util::kMB, attributes);
+  rig.run_for(30);
+  EXPECT_EQ(rig.holders(data), 8);
+}
+
+TEST(SimIntegration, TransfersVerifyChecksumsThroughDt) {
+  Rig rig(3);
+  core::DataAttributes attributes;
+  attributes.replica = 2;
+  // Big enough that the transfer outlives the 500 ms DT monitoring period.
+  const core::Data data = rig.make_scheduled("verified", 200 * util::kMB, attributes);
+  rig.run_for(60);
+  const auto& dt_stats = rig.runtime->container().dt().stats();
+  EXPECT_GE(dt_stats.completed, 2u);
+  EXPECT_EQ(dt_stats.checksum_rejects, 0u);
+  EXPECT_GT(dt_stats.monitor_polls, 0u);  // receiver-driven monitoring ran
+  EXPECT_EQ(rig.holders(data), 2);
+}
+
+TEST(SimIntegration, AffinityPlacesDependentsTogether) {
+  Rig rig(6);
+  core::DataAttributes anchor_attr;
+  anchor_attr.replica = 2;
+  const core::Data anchor = rig.make_scheduled("anchor", util::kMB, anchor_attr);
+  rig.run_for(20);
+
+  core::DataAttributes follower_attr;
+  follower_attr.replica = 0;
+  follower_attr.affinity = anchor.uid;
+  const core::Data follower = rig.make_scheduled("follower", util::kMB, follower_attr);
+  rig.run_for(30);
+
+  EXPECT_EQ(rig.holders(follower), 2);
+  for (const SimNode* node : rig.nodes_) {
+    EXPECT_EQ(node->has(follower.uid), node->has(anchor.uid)) << node->name();
+  }
+}
+
+TEST(SimIntegration, FaultTolerantDataRecoversAfterCrash) {
+  Rig rig(5);
+  core::DataAttributes attributes;
+  attributes.replica = 1;
+  attributes.fault_tolerant = true;
+  const core::Data data = rig.make_scheduled("precious", 2 * util::kMB, attributes);
+  rig.run_for(20);
+  ASSERT_EQ(rig.holders(data), 1);
+
+  SimNode* owner = nullptr;
+  for (SimNode* node : rig.nodes_) {
+    if (node->has(data.uid)) owner = node;
+  }
+  ASSERT_NE(owner, nullptr);
+  rig.runtime->kill_node(owner->host());
+  // 3x heartbeat timeout + resync + download: well within 30 s.
+  rig.run_for(30);
+  int live_holders = 0;
+  for (const SimNode* node : rig.nodes_) {
+    if (node != owner && node->has(data.uid)) ++live_holders;
+  }
+  EXPECT_EQ(live_holders, 1);
+}
+
+TEST(SimIntegration, NonFaultTolerantDataStaysLost) {
+  Rig rig(5);
+  core::DataAttributes attributes;
+  attributes.replica = 1;
+  attributes.fault_tolerant = false;
+  const core::Data data = rig.make_scheduled("fragile", 2 * util::kMB, attributes);
+  rig.run_for(20);
+  SimNode* owner = nullptr;
+  for (SimNode* node : rig.nodes_) {
+    if (node->has(data.uid)) owner = node;
+  }
+  ASSERT_NE(owner, nullptr);
+  rig.runtime->kill_node(owner->host());
+  rig.run_for(30);
+  int live_holders = 0;
+  for (const SimNode* node : rig.nodes_) {
+    if (node != owner && node->has(data.uid)) ++live_holders;
+  }
+  EXPECT_EQ(live_holders, 0);
+}
+
+TEST(SimIntegration, AbsoluteLifetimeExpiresAndDeletes) {
+  Rig rig(3);
+  core::DataAttributes attributes;
+  attributes.replica = 2;
+  attributes.lifetime = core::Lifetime::absolute(15.0);
+  const core::Data data = rig.make_scheduled("mortal", util::kMB, attributes);
+  rig.run_for(10);
+  EXPECT_EQ(rig.holders(data), 2);
+  rig.run_for(10);  // now past 15 s
+  EXPECT_EQ(rig.holders(data), 0);
+}
+
+TEST(SimIntegration, CollectorDeletionCascades) {
+  Rig rig(4);
+  SimNode& origin = *rig.nodes_[0];
+  const core::Data collector = origin.bitdew().create_data("Collector");
+  origin.adopt_local(collector);
+  core::DataAttributes collector_attr;
+  collector_attr.replica = 0;
+  origin.active_data().pin(collector, collector_attr);
+
+  core::DataAttributes dependent_attr;
+  dependent_attr.replica = 2;
+  dependent_attr.lifetime = core::Lifetime::relative(collector.uid);
+  const core::Data dependent = rig.make_scheduled("dependent", util::kMB, dependent_attr);
+  rig.run_for(20);
+  EXPECT_EQ(rig.holders(dependent), 2);
+
+  origin.bitdew().remove(collector);
+  rig.run_for(10);
+  EXPECT_EQ(rig.holders(dependent), 0);
+}
+
+TEST(SimIntegration, EventsFireOnCopyAndDelete) {
+  Rig rig(2);
+
+  struct Recorder final : core::ActiveDataEventHandler {
+    int copies = 0;
+    int deletes = 0;
+    void on_data_copy(const core::Data&, const core::DataAttributes&) override { ++copies; }
+    void on_data_delete(const core::Data&, const core::DataAttributes&) override { ++deletes; }
+  };
+  auto recorder = std::make_shared<Recorder>();
+  rig.nodes_[1]->active_data().add_callback(recorder);
+
+  core::DataAttributes attributes;
+  attributes.replica = core::kReplicaAll;
+  attributes.lifetime = core::Lifetime::absolute(12.0);
+  rig.make_scheduled("observed", util::kMB, attributes);
+  rig.run_for(30);
+  EXPECT_EQ(recorder->copies, 1);
+  EXPECT_EQ(recorder->deletes, 1);
+}
+
+TEST(SimIntegration, DdcPublishesReplicaLocations) {
+  Rig rig(5);
+  std::vector<net::HostId> ring_hosts;
+  for (const SimNode* node : rig.nodes_) ring_hosts.push_back(node->host());
+  rig.runtime->enable_ddc(ring_hosts);
+
+  core::DataAttributes attributes;
+  attributes.replica = 2;
+  const core::Data data = rig.make_scheduled("published", util::kMB, attributes);
+  rig.run_for(30);
+
+  std::vector<std::string> locations;
+  rig.nodes_[0]->bitdew().lookup(data.uid.str(),
+                                 [&](std::vector<std::string> v) { locations = v; });
+  rig.run_for(10);
+  EXPECT_EQ(locations.size(), 2u);
+}
+
+TEST(SimIntegration, TransferManagerObservesDownloads) {
+  Rig rig(2);
+  core::DataAttributes attributes;
+  attributes.replica = core::kReplicaAll;
+  const core::Data data = rig.make_scheduled("tracked", 5 * util::kMB, attributes);
+
+  bool completed = false;
+  rig.nodes_[1]->transfer_manager().when_done(data.uid, [&](bool ok) { completed = ok; });
+  rig.run_for(30);
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(rig.nodes_[1]->transfer_manager().probe(data.uid), api::TransferProbe::kDone);
+}
+
+// The paper's Updater application (Listings 1-2), miniaturized: a file is
+// broadcast; every updatee reports back by scheduling a "host" datum with
+// affinity to a collector pinned on the updater.
+TEST(SimIntegration, UpdaterScenarioCollectsAcknowledgements) {
+  Rig rig(5);
+  SimNode& updater = *rig.nodes_[0];
+
+  const core::Data collector = updater.bitdew().create_data("collector");
+  updater.adopt_local(collector);
+  core::DataAttributes collector_attr;
+  collector_attr.replica = 0;
+  updater.active_data().pin(collector, collector_attr);
+
+  struct UpdaterHandler final : core::ActiveDataEventHandler {
+    int acks = 0;
+    void on_data_copy(const core::Data&, const core::DataAttributes& attr) override {
+      if (attr.name == "host") ++acks;
+    }
+  };
+  auto master_handler = std::make_shared<UpdaterHandler>();
+  updater.active_data().add_callback(master_handler);
+
+  struct UpdateeHandler final : core::ActiveDataEventHandler {
+    SimNode* node;
+    core::Data collector;
+    explicit UpdateeHandler(SimNode* n, core::Data c) : node(n), collector(std::move(c)) {}
+    void on_data_copy(const core::Data& data, const core::DataAttributes& attr) override {
+      if (attr.name != "update") return;
+      (void)data;
+      // Report our host name back through the data space.
+      const core::Data ack =
+          node->bitdew().create_data("host:" + node->name(), core::Content{0, "-"});
+      node->adopt_local(ack);
+      core::DataAttributes ack_attr;
+      ack_attr.name = "host";
+      ack_attr.replica = 0;
+      ack_attr.affinity = collector.uid;
+      node->active_data().schedule(ack, ack_attr);
+    }
+  };
+  for (std::size_t i = 1; i < rig.nodes_.size(); ++i) {
+    rig.nodes_[i]->active_data().add_callback(
+        std::make_shared<UpdateeHandler>(rig.nodes_[i], collector));
+  }
+
+  core::DataAttributes update_attr;
+  update_attr.name = "update";
+  update_attr.replica = core::kReplicaAll;
+  update_attr.protocol = "ftp";
+  rig.make_scheduled("big_update", 10 * util::kMB, update_attr);
+
+  rig.run_for(60);
+  EXPECT_EQ(master_handler->acks, 4);  // all updatees except the updater
+}
+
+TEST(SimIntegration, MiniatureBlastCompletesOnBothProtocols) {
+  for (const std::string protocol : {"ftp", "bittorrent"}) {
+    sim::Simulator sim(9);
+    net::Network net(sim);
+    const auto cluster = testbed::make_cluster(net, testbed::ClusterSpec{"gdx", 8});
+    SimRuntime runtime(sim, net, cluster.hosts[0], mw::blast_runtime_config());
+
+    mw::BlastWorkload workload;
+    workload.genebase_bytes = 50 * util::kMB;  // miniature
+    workload.application_bytes = util::kMB;
+    workload.unzip_Bps_per_ghz = 50e6;
+    workload.exec_ghz_seconds = 10;
+    workload.transfer_protocol = protocol;
+
+    mw::BlastApplication app(runtime, workload);
+    std::vector<mw::BlastWorkerSpec> workers;
+    for (int i = 2; i < 8; ++i) {
+      workers.push_back(mw::BlastWorkerSpec{cluster.hosts[static_cast<std::size_t>(i)], 2.0,
+                                            "gdx"});
+    }
+    app.deploy(cluster.hosts[1], workers, 6);
+    ASSERT_TRUE(app.run(3000)) << protocol;
+    EXPECT_EQ(app.report().results, 6) << protocol;
+    EXPECT_GT(app.report().total_time_s, 0) << protocol;
+    const auto breakdown = app.report().overall();
+    EXPECT_GT(breakdown.transfer_s, 0) << protocol;
+    EXPECT_GT(breakdown.unzip_s, 0) << protocol;
+    EXPECT_GT(breakdown.exec_s, 0) << protocol;
+  }
+}
+
+}  // namespace
+}  // namespace bitdew

@@ -1,0 +1,467 @@
+// Service-core tests: DC/DR/DT behaviour and every branch of the Data
+// Scheduler's Algorithm 1 (keep/expire/affinity/replica/broadcast/
+// MaxDataSchedule/failure detection/pinning/relative-lifetime chains).
+#include <gtest/gtest.h>
+
+#include "core/attributes.hpp"
+#include "services/container.hpp"
+#include "util/clock.hpp"
+
+namespace bitdew {
+namespace {
+
+using core::Data;
+using core::DataAttributes;
+using core::Lifetime;
+using services::DataScheduler;
+using services::SchedulerConfig;
+using services::ScheduledData;
+using services::SyncReply;
+
+Data make_data(const std::string& name, std::int64_t size = 1000) {
+  Data data;
+  data.uid = util::next_auid();
+  data.name = name;
+  data.size = size;
+  data.checksum = core::synthetic_content(data.uid.lo, size).checksum;
+  return data;
+}
+
+std::vector<util::Auid> uids_of(const std::vector<ScheduledData>& items) {
+  std::vector<util::Auid> out;
+  out.reserve(items.size());
+  for (const auto& item : items) out.push_back(item.data.uid);
+  return out;
+}
+
+// --- Data Catalog ------------------------------------------------------------
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  db::Database database_;
+  services::DataCatalog catalog_{database_};
+};
+
+TEST_F(CatalogTest, RegisterGetSearchRemove) {
+  const Data data = make_data("genome");
+  EXPECT_TRUE(catalog_.register_data(data));
+  EXPECT_FALSE(catalog_.register_data(data));  // duplicate uid
+
+  const auto got = catalog_.get(data.uid);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, data);
+
+  EXPECT_EQ(catalog_.search("genome").size(), 1u);
+  EXPECT_TRUE(catalog_.search("nope").empty());
+  EXPECT_EQ(catalog_.search_one("genome")->uid, data.uid);
+
+  EXPECT_TRUE(catalog_.remove(data.uid));
+  EXPECT_FALSE(catalog_.remove(data.uid));
+  EXPECT_FALSE(catalog_.get(data.uid).has_value());
+}
+
+TEST_F(CatalogTest, NamesAreNotUnique) {
+  const Data a = make_data("shared");
+  const Data b = make_data("shared");
+  EXPECT_TRUE(catalog_.register_data(a));
+  EXPECT_TRUE(catalog_.register_data(b));
+  EXPECT_EQ(catalog_.search("shared").size(), 2u);
+}
+
+TEST_F(CatalogTest, LocatorsAttachAndCascadeDelete) {
+  const Data data = make_data("with-locators");
+  ASSERT_TRUE(catalog_.register_data(data));
+
+  core::Locator locator;
+  locator.data_uid = data.uid;
+  locator.protocol = "ftp";
+  locator.host = "server1";
+  locator.path = "store/x";
+  EXPECT_TRUE(catalog_.add_locator(locator));
+  locator.host = "server2";
+  EXPECT_TRUE(catalog_.add_locator(locator));
+  EXPECT_EQ(catalog_.locators(data.uid).size(), 2u);
+
+  // Locator for unknown data is rejected.
+  core::Locator orphan = locator;
+  orphan.data_uid = util::next_auid();
+  EXPECT_FALSE(catalog_.add_locator(orphan));
+
+  catalog_.remove(data.uid);
+  EXPECT_TRUE(catalog_.locators(data.uid).empty());
+}
+
+// --- Data Repository -----------------------------------------------------------
+
+TEST(Repository, PutGetRemove) {
+  db::Database database;
+  services::DataRepository repository(database, "server1");
+  const Data data = make_data("blob", 4096);
+  const auto content = core::synthetic_content(1, 4096);
+
+  const core::Locator locator = repository.put(data, content, "ftp");
+  EXPECT_EQ(locator.host, "server1");
+  EXPECT_EQ(locator.protocol, "ftp");
+  EXPECT_EQ(locator.data_uid, data.uid);
+
+  ASSERT_TRUE(repository.exists(data.uid));
+  EXPECT_EQ(repository.get(data.uid)->checksum, content.checksum);
+  EXPECT_EQ(repository.stored_bytes(), 4096);
+  EXPECT_EQ(repository.object_count(), 1u);
+
+  // Re-put overwrites.
+  const auto content2 = core::synthetic_content(2, 8192);
+  repository.put(data, content2, "http");
+  EXPECT_EQ(repository.stored_bytes(), 8192);
+  EXPECT_EQ(repository.object_count(), 1u);
+
+  EXPECT_TRUE(repository.remove(data.uid));
+  EXPECT_FALSE(repository.remove(data.uid));
+  EXPECT_FALSE(repository.get(data.uid).has_value());
+}
+
+// --- Data Transfer ---------------------------------------------------------------
+
+class TransferServiceTest : public ::testing::Test {
+ protected:
+  db::Database database_;
+  util::ManualClock clock_;
+  services::DataTransfer dt_{database_, clock_};
+};
+
+TEST_F(TransferServiceTest, LifecycleCompletes) {
+  const Data data = make_data("payload", 1000);
+  const auto ticket = dt_.register_transfer(data, "server", "worker1", "ftp");
+  EXPECT_EQ(dt_.active_count(), 1u);
+
+  clock_.advance(0.5);
+  dt_.monitor(ticket, 400);
+  const auto snapshot = dt_.ticket(ticket);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->done_bytes, 400);
+  EXPECT_DOUBLE_EQ(snapshot->last_monitored_at, 0.5);
+
+  EXPECT_TRUE(dt_.complete(ticket, data.checksum, data.checksum));
+  EXPECT_EQ(dt_.ticket(ticket)->state, services::TransferState::kDone);
+  EXPECT_EQ(dt_.active_count(), 0u);
+  EXPECT_EQ(dt_.stats().completed, 1u);
+}
+
+TEST_F(TransferServiceTest, ChecksumMismatchKeepsTicketActiveAndResets) {
+  const Data data = make_data("payload", 1000);
+  const auto ticket = dt_.register_transfer(data, "server", "worker1", "ftp");
+  dt_.monitor(ticket, 1000);
+  EXPECT_FALSE(dt_.complete(ticket, "badbadbad", data.checksum));
+  const auto snapshot = dt_.ticket(ticket);
+  EXPECT_EQ(snapshot->state, services::TransferState::kActive);
+  EXPECT_EQ(snapshot->done_bytes, 0);  // distrusted payload discarded
+  EXPECT_EQ(snapshot->attempts, 2);
+  EXPECT_EQ(dt_.stats().checksum_rejects, 1u);
+}
+
+TEST_F(TransferServiceTest, FailureWithResumeKeepsOffset) {
+  const Data data = make_data("payload", 1000);
+  const auto ticket = dt_.register_transfer(data, "server", "worker1", "ftp");
+  dt_.report_failure(ticket, 600, /*can_resume=*/true);
+  EXPECT_EQ(dt_.ticket(ticket)->done_bytes, 600);
+  EXPECT_EQ(dt_.ticket(ticket)->attempts, 2);
+  EXPECT_EQ(dt_.stats().resumes, 1u);
+
+  dt_.report_failure(ticket, 0, /*can_resume=*/false);
+  EXPECT_EQ(dt_.ticket(ticket)->done_bytes, 0);  // restart from scratch
+
+  dt_.give_up(ticket);
+  EXPECT_EQ(dt_.ticket(ticket)->state, services::TransferState::kFailed);
+  EXPECT_EQ(dt_.active_count(), 0u);
+}
+
+// --- Data Scheduler: Algorithm 1 ----------------------------------------------
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : ds_(clock_, SchedulerConfig{}) {}
+
+  DataAttributes attr(int replica, bool ft = false) {
+    DataAttributes attributes;
+    attributes.replica = replica;
+    attributes.fault_tolerant = ft;
+    return attributes;
+  }
+
+  util::ManualClock clock_;
+  DataScheduler ds_;
+};
+
+TEST_F(SchedulerTest, ReplicaRuleSchedulesUpToTarget) {
+  const Data data = make_data("d");
+  ds_.schedule(data, attr(2));
+
+  // First two hosts get it, third does not.
+  EXPECT_EQ(ds_.sync("h1", {}).download.size(), 1u);
+  EXPECT_EQ(ds_.sync("h2", {}).download.size(), 1u);
+  EXPECT_TRUE(ds_.sync("h3", {}).download.empty());
+  // Ownership is confirmed once the hosts report the datum cached.
+  ds_.sync("h1", {data.uid});
+  ds_.sync("h2", {data.uid});
+  EXPECT_EQ(ds_.owners(data.uid), (std::set<std::string>{"h1", "h2"}));
+}
+
+TEST_F(SchedulerTest, UnconfirmedAssignmentExpiresAndIsRescheduled) {
+  // A host that accepts an assignment but never confirms (failed download)
+  // must not absorb the replica forever: after the 3x-heartbeat TTL the
+  // datum is offered to someone else.
+  const Data data = make_data("slippery");
+  ds_.schedule(data, attr(1));
+  ASSERT_EQ(ds_.sync("h1", {}).download.size(), 1u);
+  // Within the TTL the assignment holds: nobody else gets it.
+  clock_.set(1.0);
+  EXPECT_TRUE(ds_.sync("h2", {}).download.empty());
+  // h1 keeps syncing but never reports the datum (nor in-flight).
+  clock_.set(2.0);
+  ds_.sync("h1", {});
+  clock_.set(4.0);  // past the 3 s TTL
+  EXPECT_EQ(ds_.sync("h2", {}).download.size(), 1u);
+}
+
+TEST_F(SchedulerTest, InFlightReportKeepsAssignmentAlive) {
+  const Data data = make_data("long-download");
+  ds_.schedule(data, attr(1));
+  ASSERT_EQ(ds_.sync("h1", {}).download.size(), 1u);
+  // h1 reports the download in flight well past the original TTL.
+  for (int t = 1; t <= 10; ++t) {
+    clock_.set(t);
+    ds_.sync("h1", {}, {data.uid});
+    EXPECT_TRUE(ds_.sync("h2", {}).download.empty()) << "t=" << t;
+  }
+}
+
+TEST_F(SchedulerTest, BroadcastReplicaGoesEverywhere) {
+  const Data data = make_data("everywhere");
+  ds_.schedule(data, attr(core::kReplicaAll));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ds_.sync("host" + std::to_string(i), {}).download.size(), 1u);
+  }
+}
+
+TEST_F(SchedulerTest, CachedDataIsKeptAndOwnersUpdated) {
+  const Data data = make_data("kept");
+  ds_.schedule(data, attr(1));
+  const SyncReply first = ds_.sync("h1", {});
+  ASSERT_EQ(first.download.size(), 1u);
+
+  const SyncReply second = ds_.sync("h1", {data.uid});
+  EXPECT_EQ(second.keep, std::vector<util::Auid>{data.uid});
+  EXPECT_TRUE(second.download.empty());
+  EXPECT_TRUE(second.drop.empty());
+  EXPECT_TRUE(ds_.owners(data.uid).contains("h1"));
+}
+
+TEST_F(SchedulerTest, UnknownCachedDataIsDropped) {
+  const Data stranger = make_data("not-scheduled");
+  const SyncReply reply = ds_.sync("h1", {stranger.uid});
+  EXPECT_EQ(reply.drop, std::vector<util::Auid>{stranger.uid});
+}
+
+TEST_F(SchedulerTest, AbsoluteLifetimeExpires) {
+  const Data data = make_data("mortal");
+  DataAttributes attributes = attr(1);
+  attributes.lifetime = Lifetime::absolute(10.0);
+  ds_.schedule(data, attributes);
+
+  ASSERT_EQ(ds_.sync("h1", {}).download.size(), 1u);
+  clock_.set(11.0);
+  const SyncReply reply = ds_.sync("h1", {data.uid});
+  EXPECT_EQ(reply.drop, std::vector<util::Auid>{data.uid});
+  EXPECT_EQ(ds_.scheduled_count(), 0u);  // reaped from Θ
+}
+
+TEST_F(SchedulerTest, RelativeLifetimeCascades) {
+  // The Collector pattern: Genebase and Result die with the Collector.
+  const Data collector = make_data("collector");
+  const Data genebase = make_data("genebase");
+  const Data result = make_data("result");
+  ds_.schedule(collector, attr(1));
+
+  DataAttributes genebase_attr = attr(1);
+  genebase_attr.lifetime = Lifetime::relative(collector.uid);
+  ds_.schedule(genebase, genebase_attr);
+
+  DataAttributes result_attr = attr(1);
+  result_attr.lifetime = Lifetime::relative(genebase.uid);  // chain of two
+  ds_.schedule(result, result_attr);
+
+  EXPECT_EQ(ds_.sync("h1", {}).download.size(), 3u);
+  ds_.unschedule(collector.uid);
+  // Both dependents expire transitively.
+  EXPECT_EQ(ds_.scheduled_count(), 0u);
+  const SyncReply reply = ds_.sync("h1", {collector.uid, genebase.uid, result.uid});
+  EXPECT_EQ(reply.drop.size(), 3u);
+}
+
+TEST_F(SchedulerTest, AffinityFollowsReference) {
+  const Data sequence = make_data("sequence");
+  const Data genebase = make_data("genebase");
+  ds_.schedule(sequence, attr(1));
+
+  DataAttributes follows = attr(0);
+  follows.affinity = sequence.uid;
+  ds_.schedule(genebase, follows);
+
+  // h1 receives the sequence on its first sync; genebase only follows once
+  // the sequence is actually cached.
+  const SyncReply first = ds_.sync("h1", {});
+  EXPECT_EQ(uids_of(first.download), std::vector<util::Auid>{sequence.uid});
+
+  const SyncReply second = ds_.sync("h1", {sequence.uid});
+  EXPECT_EQ(uids_of(second.download), std::vector<util::Auid>{genebase.uid});
+
+  // A host without the sequence never receives the genebase.
+  EXPECT_TRUE(ds_.sync("h2", {}).download.empty() ||
+              uids_of(ds_.sync("h2", {}).download) == std::vector<util::Auid>{});
+}
+
+TEST_F(SchedulerTest, AffinityIsStrongerThanReplica) {
+  // Paper: if A is on rn nodes and B has affinity on A, B lands on all rn
+  // nodes regardless of B.replica.
+  const Data a = make_data("A");
+  ds_.schedule(a, attr(3));
+  DataAttributes b_attr = attr(0);
+  const Data b = make_data("B");
+  b_attr.affinity = a.uid;
+  ds_.schedule(b, b_attr);
+
+  for (const std::string host : {"h1", "h2", "h3"}) {
+    ASSERT_EQ(ds_.sync(host, {}).download.size(), 1u);
+    const SyncReply follow = ds_.sync(host, {a.uid});
+    EXPECT_EQ(uids_of(follow.download), std::vector<util::Auid>{b.uid}) << host;
+    ds_.sync(host, {a.uid, b.uid});  // confirm ownership
+  }
+  EXPECT_EQ(ds_.owners(b.uid).size(), 3u);
+}
+
+TEST_F(SchedulerTest, MaxDataScheduleCapsDownloads) {
+  SchedulerConfig config;
+  config.max_data_schedule = 3;
+  DataScheduler capped(clock_, config);
+  for (int i = 0; i < 10; ++i) capped.schedule(make_data("d" + std::to_string(i)), attr(1));
+  EXPECT_EQ(capped.sync("h1", {}).download.size(), 3u);
+  EXPECT_EQ(capped.sync("h1", {}).download.size(), 3u);  // next batch follows
+}
+
+TEST_F(SchedulerTest, FaultTolerantDataIsRescheduledAfterTimeout) {
+  const Data data = make_data("precious");
+  ds_.schedule(data, attr(1, /*ft=*/true));
+  ASSERT_EQ(ds_.sync("h1", {}).download.size(), 1u);
+  ds_.sync("h1", {data.uid});
+  EXPECT_EQ(ds_.owners(data.uid), (std::set<std::string>{"h1"}));
+
+  // h1 goes silent; h2 keeps syncing.
+  clock_.set(10.0);  // > 3x heartbeat of 1s
+  const auto dead = ds_.detect_failures();
+  EXPECT_EQ(dead, std::vector<std::string>{"h1"});
+  EXPECT_FALSE(ds_.host_alive("h1"));
+
+  const SyncReply reply = ds_.sync("h2", {});
+  EXPECT_EQ(uids_of(reply.download), std::vector<util::Auid>{data.uid});
+}
+
+TEST_F(SchedulerTest, NonFaultTolerantDataIsNotRescheduled) {
+  const Data data = make_data("fragile");
+  ds_.schedule(data, attr(1, /*ft=*/false));
+  ds_.sync("h1", {});
+  ds_.sync("h1", {data.uid});
+
+  clock_.set(10.0);
+  ds_.detect_failures();
+  // Owner list unchanged -> nothing to reschedule.
+  EXPECT_TRUE(ds_.sync("h2", {}).download.empty());
+  EXPECT_TRUE(ds_.owners(data.uid).contains("h1"));
+}
+
+TEST_F(SchedulerTest, FailureDetectionUsesThreeHeartbeats) {
+  const Data data = make_data("d");
+  ds_.schedule(data, attr(1, true));
+  ds_.sync("h1", {data.uid});
+  clock_.set(2.9);  // below 3x1s timeout
+  EXPECT_TRUE(ds_.detect_failures().empty());
+  clock_.set(3.1);
+  EXPECT_EQ(ds_.detect_failures().size(), 1u);
+}
+
+TEST_F(SchedulerTest, PinnedDataSurvivesFailureDetection) {
+  const Data data = make_data("pinned");
+  ds_.schedule(data, attr(1, true));
+  ds_.pin(data.uid, "master");
+  EXPECT_TRUE(ds_.owners(data.uid).contains("master"));
+
+  clock_.set(100.0);
+  ds_.sync("worker", {});  // triggers reap/failure bookkeeping paths
+  ds_.detect_failures();
+  EXPECT_TRUE(ds_.owners(data.uid).contains("master"));
+}
+
+TEST_F(SchedulerTest, RecoveredHostCountsAgain) {
+  const Data data = make_data("d");
+  ds_.schedule(data, attr(1, true));
+  ds_.sync("h1", {data.uid});
+  clock_.set(10.0);
+  ds_.detect_failures();
+  EXPECT_FALSE(ds_.host_alive("h1"));
+  // Host resumes syncing: alive again, replica satisfied by its cache.
+  const SyncReply reply = ds_.sync("h1", {data.uid});
+  EXPECT_EQ(reply.keep.size(), 1u);
+  EXPECT_TRUE(ds_.host_alive("h1"));
+  EXPECT_TRUE(ds_.sync("h2", {}).download.empty());
+}
+
+TEST_F(SchedulerTest, UnscheduleStopsFutureAssignment) {
+  const Data data = make_data("gone");
+  ds_.schedule(data, attr(5));
+  ds_.sync("h1", {});
+  EXPECT_TRUE(ds_.unschedule(data.uid));
+  EXPECT_FALSE(ds_.unschedule(data.uid));
+  EXPECT_TRUE(ds_.sync("h2", {}).download.empty());
+  const SyncReply reply = ds_.sync("h1", {data.uid});
+  EXPECT_EQ(reply.drop, std::vector<util::Auid>{data.uid});
+}
+
+TEST_F(SchedulerTest, ReplicaIncreaseTriggersNewAssignments) {
+  // The paper's dynamic strategy: bump replication when hosts outnumber
+  // remaining tasks.
+  const Data data = make_data("task");
+  ds_.schedule(data, attr(1));
+  ds_.sync("h1", {});
+  EXPECT_TRUE(ds_.sync("h2", {}).download.empty());
+
+  auto updated = attr(2);
+  ds_.schedule(data, updated);
+  EXPECT_EQ(ds_.sync("h2", {}).download.size(), 1u);
+}
+
+TEST_F(SchedulerTest, StatsAccumulate) {
+  const Data data = make_data("counted");
+  ds_.schedule(data, attr(1));
+  ds_.sync("h1", {});
+  ds_.sync("h1", {data.uid});
+  EXPECT_EQ(ds_.stats().syncs, 2u);
+  EXPECT_EQ(ds_.stats().orders, 1u);
+}
+
+// --- container --------------------------------------------------------------------
+
+TEST(ServiceContainer, WiresAllServices) {
+  util::ManualClock clock;
+  services::ServiceContainer container("server", clock);
+  const Data data = make_data("x");
+  EXPECT_TRUE(container.dc().register_data(data));
+  container.dr().put(data, core::synthetic_content(1, data.size), "ftp");
+  EXPECT_TRUE(container.dr().exists(data.uid));
+  container.ds().schedule(data, DataAttributes{});
+  EXPECT_EQ(container.ds().scheduled_count(), 1u);
+  const auto ticket = container.dt().register_transfer(data, "server", "w", "ftp");
+  EXPECT_TRUE(container.dt().ticket(ticket).has_value());
+  EXPECT_EQ(container.host_name(), "server");
+}
+
+}  // namespace
+}  // namespace bitdew

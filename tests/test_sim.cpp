@@ -1,0 +1,175 @@
+// Tests for the discrete-event kernel: ordering, cancellation, periodic
+// timers and determinism.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace bitdew {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  sim::Simulator sim;
+  sim.at(5.0, [] {});
+  sim.run();
+  double fired_at = -1;
+  sim.at(1.0, [&] { fired_at = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  sim::Simulator sim;
+  bool fired = false;
+  const auto id = sim.after(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.pending(id));
+  sim.cancel(id);
+  EXPECT_FALSE(sim.pending(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoop) {
+  sim::Simulator sim;
+  sim.cancel(0);
+  sim.cancel(123456);
+  sim.run();
+  SUCCEED();
+}
+
+TEST(Simulator, EventsScheduledDuringExecutionRun) {
+  sim::Simulator sim;
+  std::vector<double> times;
+  sim.after(1.0, [&] {
+    times.push_back(sim.now());
+    sim.after(1.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  sim::Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunWithEventBudgetStops) {
+  sim::Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.at(i, [&] { ++fired; });
+  sim.run(4);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Simulator, ExecutedCounterCounts) {
+  sim::Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 5u);
+}
+
+TEST(Simulator, QueuedExcludesCancelled) {
+  sim::Simulator sim;
+  const auto a = sim.at(1.0, [] {});
+  sim.at(2.0, [] {});
+  EXPECT_EQ(sim.queued(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.queued(), 1u);
+}
+
+TEST(Simulator, RngIsDeterministicPerSeed) {
+  sim::Simulator a(77);
+  sim::Simulator b(77);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.rng()(), b.rng()());
+}
+
+TEST(PeriodicTimer, FiresRepeatedly) {
+  sim::Simulator sim;
+  int fires = 0;
+  sim::PeriodicTimer timer(sim, 1.0, [&] { ++fires; });
+  sim.run_until(5.5);
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(PeriodicTimer, StopsCleanly) {
+  sim::Simulator sim;
+  int fires = 0;
+  sim::PeriodicTimer timer(sim, 1.0, [&] { ++fires; });
+  sim.run_until(2.5);
+  timer.stop();
+  sim.run_until(10.0);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimer, CanStopItselfFromCallback) {
+  sim::Simulator sim;
+  int fires = 0;
+  sim::PeriodicTimer timer;
+  timer.start(sim, 1.0, [&] {
+    if (++fires == 3) timer.stop();
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTimer, DestructionCancels) {
+  sim::Simulator sim;
+  int fires = 0;
+  {
+    sim::PeriodicTimer timer(sim, 1.0, [&] { ++fires; });
+    sim.run_until(1.5);
+  }
+  sim.run_until(10.0);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Simulator, DeterministicEventCountAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim(seed);
+    // A random cascade: each event may spawn up to 2 more, bounded depth.
+    std::function<void(int)> spawn = [&](int depth) {
+      if (depth >= 6) return;
+      const auto children = sim.rng().below(3);
+      for (std::uint64_t i = 0; i < children; ++i) {
+        sim.after(sim.rng().uniform(), [&spawn, depth] { spawn(depth + 1); });
+      }
+    };
+    sim.after(0, [&spawn] { spawn(0); });
+    sim.run();
+    return sim.executed();
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_EQ(run(6), run(6));
+}
+
+}  // namespace
+}  // namespace bitdew

@@ -1,0 +1,107 @@
+// Testbed preset tests: the cluster builder, the Table 1 Grid'5000 slice
+// and the DSL-Lab ADSL topology must produce the shapes the benches assume.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/topologies.hpp"
+
+namespace bitdew {
+namespace {
+
+TEST(Testbed, ClusterHasNamedHosts) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  const auto cluster = testbed::make_cluster(net, testbed::ClusterSpec{"gdx", 5});
+  ASSERT_EQ(cluster.hosts.size(), 5u);
+  EXPECT_EQ(net.host_name(cluster.hosts[0]), "gdx-0");
+  EXPECT_EQ(net.host_name(cluster.hosts[4]), "gdx-4");
+  EXPECT_EQ(net.host_count(), 5u);
+  // Intra-cluster latency is LAN-scale.
+  EXPECT_LT(net.one_way_latency(cluster.hosts[0], cluster.hosts[1]), 1e-3);
+}
+
+TEST(Testbed, Grid5000MatchesTable1AtFullScale) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  const auto grid = testbed::make_grid5000(net, 1.0);
+  ASSERT_EQ(grid.clusters.size(), 4u);
+  EXPECT_EQ(grid.clusters[0].name, "gdx");
+  EXPECT_EQ(grid.clusters[0].hosts.size(), 312u);  // Table 1
+  EXPECT_EQ(grid.clusters[1].name, "grelon");
+  EXPECT_EQ(grid.clusters[1].hosts.size(), 120u);
+  EXPECT_EQ(grid.clusters[2].name, "grillon");
+  EXPECT_EQ(grid.clusters[2].hosts.size(), 47u);
+  EXPECT_EQ(grid.clusters[3].name, "sagittaire");
+  EXPECT_EQ(grid.clusters[3].hosts.size(), 65u);
+  EXPECT_EQ(grid.all_hosts().size(), 544u);
+  // CPU speeds follow Table 1 (grelon is the slow Xeon cluster).
+  EXPECT_LT(grid.clusters[1].cpu_ghz, grid.clusters[3].cpu_ghz);
+}
+
+TEST(Testbed, Grid5000ScalesDown) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  const auto grid = testbed::make_grid5000(net, 0.1);
+  EXPECT_EQ(grid.clusters[0].hosts.size(), 31u);  // round(312 * 0.1)
+  EXPECT_GE(grid.clusters[2].hosts.size(), 1u);   // never empty
+}
+
+TEST(Testbed, Grid5000InterSiteLatencyIsWanScale) {
+  sim::Simulator sim(1);
+  net::Network net(sim);
+  const auto grid = testbed::make_grid5000(net, 0.05);
+  const auto gdx = grid.clusters[0].hosts[0];
+  const auto grelon = grid.clusters[1].hosts[0];
+  const auto same_site = grid.clusters[0].hosts[1];
+  EXPECT_GT(net.one_way_latency(gdx, grelon), 1e-3);   // WAN
+  EXPECT_LT(net.one_way_latency(gdx, same_site), 1e-3);  // LAN
+}
+
+TEST(Testbed, DslLabIsAsymmetricAndJittered) {
+  sim::Simulator sim(7);
+  net::Network net(sim);
+  const auto lab = testbed::make_dsllab(net, sim.rng(), 12);
+  ASSERT_EQ(lab.nodes.size(), 12u);
+  EXPECT_EQ(net.host_name(lab.nodes[0]), "DSL01");
+
+  // ADSL: the server reaches nodes across a WAN-scale last mile.
+  EXPECT_GT(net.one_way_latency(lab.server, lab.nodes[0]), 10e-3);
+
+  // Download capacity varies across providers: transfer the same payload to
+  // two nodes and require different completion times.
+  double t1 = 0;
+  double t2 = 0;
+  net.start_flow(lab.server, lab.nodes[0], 500000,
+                 [&](const net::FlowResult& r) { t1 = r.finished_at; });
+  net.start_flow(lab.server, lab.nodes[5], 500000,
+                 [&](const net::FlowResult& r) { t2 = r.finished_at; });
+  sim.run();
+  EXPECT_GT(t1, 0);
+  EXPECT_GT(t2, 0);
+  EXPECT_NE(t1, t2);
+
+  // Uplink is much thinner than downlink: pushing the same payload back
+  // takes several times longer.
+  double up = 0;
+  net.start_flow(lab.nodes[0], lab.server, 500000,
+                 [&](const net::FlowResult& r) { up = r.finished_at - r.started_at; });
+  sim.run();
+  EXPECT_GT(up, (t1 > 0 ? t1 : 1) * 1.5);
+}
+
+TEST(Testbed, DslLabDeterministicPerSeed) {
+  auto build = [](std::uint64_t seed) {
+    sim::Simulator sim(seed);
+    net::Network net(sim);
+    const auto lab = testbed::make_dsllab(net, sim.rng(), 4);
+    double total_latency = 0;
+    for (const auto node : lab.nodes) total_latency += net.one_way_latency(lab.server, node);
+    return total_latency;
+  };
+  EXPECT_DOUBLE_EQ(build(3), build(3));
+  EXPECT_NE(build(3), build(4));
+}
+
+}  // namespace
+}  // namespace bitdew
