@@ -5,6 +5,8 @@
 // min/max/sd/mean per-node publish rate and the total wall (virtual) time
 // for all 25 000 pairs — the paper measured 108.75 s for the DDC and found
 // it ~15x slower than the DC.
+#include <algorithm>
+
 #include "bench_common.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "testbed/topologies.hpp"
@@ -18,9 +20,10 @@ struct Outcome {
   util::RunningStats per_node_time;  // the paper's Table 3 rows are seconds
   util::RunningStats per_node_rate;
   double total_time = 0;
+  std::uint64_t rpcs = 0;
 };
 
-Outcome run(bool use_ddc, int nodes, int pairs_per_node) {
+Outcome run(bool use_ddc, int nodes, int pairs_per_node, int batch = 1) {
   sim::Simulator sim(17);
   net::Network net(sim);
   const auto cluster =
@@ -48,25 +51,40 @@ Outcome run(bool use_ddc, int nodes, int pairs_per_node) {
   std::vector<double> done_at(static_cast<std::size_t>(nodes), 0);
   int completed_nodes = 0;
 
-  // SPMD: every node starts at t=0 and publishes sequentially.
+  // SPMD: every node starts at t=0 and publishes sequentially — one pair at
+  // a time (the paper's protocol), or `batch` pairs per ddc_publish_batch
+  // round-trip (ServiceBus v2).
   for (int n = 0; n < nodes; ++n) {
     auto* node = publishers[static_cast<std::size_t>(n)];
     auto publish_next = std::make_shared<std::function<void(int)>>();
-    *publish_next = [&, node, n, publish_next](int i) {
+    *publish_next = [&, node, n, batch, publish_next](int i) {
       if (i >= pairs_per_node) {
         done_at[static_cast<std::size_t>(n)] = sim.now();
         ++completed_nodes;
         return;
       }
-      const std::string key = "data-" + std::to_string(n) + "-" + std::to_string(i);
-      node->bitdew().publish(key, node->name(),
-                             [publish_next, i](bool) { (*publish_next)(i + 1); });
+      if (batch <= 1) {
+        const std::string key = "data-" + std::to_string(n) + "-" + std::to_string(i);
+        node->bitdew().publish(key, node->name(),
+                               [publish_next, i](api::Status) { (*publish_next)(i + 1); });
+        return;
+      }
+      const int end = std::min(pairs_per_node, i + batch);
+      std::vector<api::KeyValue> pairs;
+      pairs.reserve(static_cast<std::size_t>(end - i));
+      for (int k = i; k < end; ++k) {
+        pairs.push_back(api::KeyValue{
+            "data-" + std::to_string(n) + "-" + std::to_string(k), node->name()});
+      }
+      node->bitdew().publish_batch(
+          pairs, [publish_next, end](api::BatchStatus) { (*publish_next)(end); });
     };
     (*publish_next)(0);
   }
 
   sim.run_until(36000);
   Outcome outcome;
+  outcome.rpcs = runtime.total_rpcs();
   for (int n = 0; n < nodes; ++n) {
     const double t = done_at[static_cast<std::size_t>(n)];
     if (t > 0) {
@@ -86,6 +104,8 @@ int main(int argc, char** argv) {
   const bool full = has_flag(argc, argv, "--full");
   const int nodes = full ? 50 : 20;
   const int pairs = full ? 500 : 100;
+  const int batch = int_flag(argc, argv, "--batch", 64);
+  JsonEmitter json("table3_publish", argc, argv);
 
   header("Table 3 — publish rate: distributed vs centralized data catalog",
          "paper Table 3: 50 nodes x 500 (dataID,hostID) pairs");
@@ -104,9 +124,35 @@ int main(int argc, char** argv) {
                 outcome.per_node_time.max(), outcome.per_node_time.stddev(),
                 outcome.per_node_time.mean(), outcome.per_node_rate.mean());
     (use_ddc ? ddc_mean : dc_mean) = outcome.per_node_time.mean();
+    json.row({{"section", "catalog"},
+              {"catalog", use_ddc ? "ddc" : "dc"},
+              {"min_s", outcome.per_node_time.min()},
+              {"max_s", outcome.per_node_time.max()},
+              {"mean_s", outcome.per_node_time.mean()},
+              {"pairs_per_s", outcome.per_node_rate.mean()},
+              {"rpcs", static_cast<double>(outcome.rpcs)}});
   }
   std::printf("\nDDC/DC ratio: %.1fx (paper: 108.75s vs 7.02s = ~15x; the DDC pays\n"
               "multi-hop routing, f-fold replication and DKS software overhead).\n",
               dc_mean > 0 ? ddc_mean / dc_mean : 0.0);
+
+  // --- ServiceBus v2: ddc_publish_batch sweep (centralized catalog) ----------
+  const double total_pairs = static_cast<double>(nodes) * pairs;
+  std::printf("\nbatched publish into the DC (ddc_publish_batch, --batch %d)\n", batch);
+  std::printf("%-10s | %10s | %12s | %14s\n", "batch", "mean s", "pairs/s", "rpcs/pair");
+  rule();
+  std::vector<int> sizes{1, 8};
+  if (batch > 1 && batch != 8) sizes.push_back(batch);
+  for (const int size : sizes) {
+    const Outcome outcome = run(/*use_ddc=*/false, nodes, pairs, size);
+    std::printf("%-10d | %10.2f | %12.2f | %14.4f\n", size, outcome.per_node_time.mean(),
+                outcome.per_node_rate.mean(),
+                static_cast<double>(outcome.rpcs) / total_pairs);
+    json.row({{"section", "batch"},
+              {"batch", size},
+              {"mean_s", outcome.per_node_time.mean()},
+              {"pairs_per_s", outcome.per_node_rate.mean()},
+              {"rpcs_per_pair", static_cast<double>(outcome.rpcs) / total_pairs}});
+  }
   return 0;
 }

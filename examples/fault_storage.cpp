@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/session.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "testbed/topologies.hpp"
 #include "util/bytes.hpp"
@@ -20,11 +21,20 @@ int main() {
   runtime::SimRuntime runtime(sim, net, lab.server);
 
   runtime::SimNode& master = runtime.add_node(lab.server, /*reservoir=*/false);
+  api::Session session(master.bitdew(), master.active_data(), [&] { return sim.step(); });
   const core::Content archive = core::synthetic_content(8, 3 * util::kMB);
-  const core::Data data = master.bitdew().create_data("family-photos", archive);
-  master.bitdew().put(data, archive);
-  master.active_data().schedule(
-      data, master.bitdew().create_attribute("attr photos = {replica=5, ft=true, oob=ftp}"));
+  const api::Expected<core::Data> slot = session.create_data("family-photos", archive);
+  if (!slot.ok() || !session.put(*slot, archive).ok()) {
+    std::fprintf(stderr, "failed to store the archive\n");
+    return 1;
+  }
+  const core::Data data = *slot;
+  if (const api::Status scheduled = session.schedule(
+          data, master.bitdew().create_attribute("attr photos = {replica=5, ft=true, oob=ftp}"));
+      !scheduled.ok()) {
+    std::fprintf(stderr, "schedule failed: %s\n", scheduled.error().to_string().c_str());
+    return 1;
+  }
 
   std::vector<runtime::SimNode*> nodes;
   std::size_t next = 0;

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "api/session.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "testbed/topologies.hpp"
 #include "util/bytes.hpp"
@@ -46,10 +47,22 @@ int main() {
     node.active_data().add_callback(events);
   }
 
+  // The blocking Session facade: each call drives the simulator until its
+  // reply arrives and returns an Expected<T> — failures carry a typed
+  // Error{code, service, message} instead of a bare bool.
+  api::Session session(client.bitdew(), client.active_data(), [&] { return sim.step(); });
+
   // 1. Create a slot in the data space and put 50 MB of content into it.
   const core::Content content = core::synthetic_content(1, 50 * util::kMB);
-  const core::Data dataset = client.bitdew().create_data("dataset", content);
-  client.bitdew().put(dataset, content);
+  const api::Expected<core::Data> dataset = session.create_data("dataset", content);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "create_data failed: %s\n", dataset.error().to_string().c_str());
+    return 1;
+  }
+  if (const api::Status put = session.put(*dataset, content); !put.ok()) {
+    std::fprintf(stderr, "put failed: %s\n", put.error().to_string().c_str());
+    return 1;
+  }
 
   // 2. Describe the behaviour with the paper's attribute DSL: three live
   //    replicas, crash-resilient, moved with FTP, gone after 120 s.
@@ -58,13 +71,16 @@ int main() {
 
   // 3. Schedule it — placement, transfers, fault tolerance and deletion are
   //    now the runtime's problem, not ours.
-  client.active_data().schedule(dataset, attributes);
+  if (const api::Status scheduled = session.schedule(*dataset, attributes); !scheduled.ok()) {
+    std::fprintf(stderr, "schedule failed: %s\n", scheduled.error().to_string().c_str());
+    return 1;
+  }
 
   sim.run_until(200);
 
   std::printf("\nscheduler state after the run: %zu data scheduled, owners of '%s': %zu\n",
-              runtime.container().ds().scheduled_count(), dataset.name.c_str(),
-              runtime.container().ds().owners(dataset.uid).size());
+              runtime.container().ds().scheduled_count(), dataset->name.c_str(),
+              runtime.container().ds().owners(dataset->uid).size());
   std::printf("DT transfers completed: %llu, checksum rejects: %llu\n",
               static_cast<unsigned long long>(runtime.container().dt().stats().completed),
               static_cast<unsigned long long>(

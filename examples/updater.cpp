@@ -8,6 +8,7 @@
 #include <memory>
 #include <set>
 
+#include "api/session.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "testbed/topologies.hpp"
 #include "util/bytes.hpp"
@@ -83,13 +84,21 @@ int main() {
   }
 
   // "attr update = {replicat=-1, oob=bittorrent, abstime=43200}" — we use a
-  // short lifetime so the example also shows the expiry path.
+  // short lifetime so the example also shows the expiry path. The blocking
+  // Session reports any failure as a typed Error.
+  api::Session session(updater.bitdew(), updater.active_data(), [&] { return sim.step(); });
   const core::Content update_file = core::synthetic_content(99, 120 * util::kMB);
-  const core::Data update = updater.bitdew().create_data("big_data_to_update", update_file);
-  updater.bitdew().put(update, update_file, nullptr, "bittorrent");
+  const api::Expected<core::Data> update = session.create_data("big_data_to_update", update_file);
+  if (!update.ok() || !session.put(*update, update_file, "bittorrent").ok()) {
+    std::fprintf(stderr, "failed to publish the update file\n");
+    return 1;
+  }
   const core::DataAttributes update_attr = updater.bitdew().create_attribute(
       "attr update = {replicat=-1, oob=bittorrent, abstime=300}", sim.now());
-  updater.active_data().schedule(update, update_attr);
+  if (const api::Status scheduled = session.schedule(*update, update_attr); !scheduled.ok()) {
+    std::fprintf(stderr, "schedule failed: %s\n", scheduled.error().to_string().c_str());
+    return 1;
+  }
 
   sim.run_until(400);
   std::printf("\n%zu/11 hosts confirmed; update expired at t=300s as scheduled.\n",

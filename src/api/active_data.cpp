@@ -3,22 +3,34 @@
 namespace bitdew::api {
 
 void ActiveData::schedule(const core::Data& data, const core::DataAttributes& attributes,
-                          Reply<bool> done) {
-  if (!done) done = [](bool) {};
+                          Reply<Status> done) {
+  if (!done) done = [](Status) {};
   bus_.ds_schedule(data, attributes,
-                   [this, data, attributes, done = std::move(done)](bool ok) mutable {
-                     if (ok) dispatch_create(data, attributes);
-                     done(ok);
+                   [this, data, attributes, done = std::move(done)](Status status) mutable {
+                     if (status.ok()) dispatch_create(data, attributes);
+                     done(std::move(status));
                    });
 }
 
+void ActiveData::schedule_batch(const std::vector<services::ScheduledData>& items,
+                                Reply<BatchStatus> done) {
+  if (!done) done = [](BatchStatus) {};
+  bus_.ds_schedule_batch(
+      items, [this, items, done = std::move(done)](BatchStatus statuses) mutable {
+        for (std::size_t i = 0; i < statuses.size() && i < items.size(); ++i) {
+          if (statuses[i].ok()) dispatch_create(items[i].data, items[i].attributes);
+        }
+        done(std::move(statuses));
+      });
+}
+
 void ActiveData::pin(const core::Data& data, const core::DataAttributes& attributes,
-                     Reply<bool> done) {
-  if (!done) done = [](bool) {};
+                     Reply<Status> done) {
+  if (!done) done = [](Status) {};
   bus_.ds_schedule(data, attributes,
-                   [this, data, attributes, done = std::move(done)](bool ok) mutable {
-                     if (!ok) {
-                       done(false);
+                   [this, data, attributes, done = std::move(done)](Status status) mutable {
+                     if (!status.ok()) {
+                       done(std::move(status));
                        return;
                      }
                      dispatch_create(data, attributes);
@@ -26,8 +38,8 @@ void ActiveData::pin(const core::Data& data, const core::DataAttributes& attribu
                    });
 }
 
-void ActiveData::unschedule(const core::Data& data, Reply<bool> done) {
-  bus_.ds_unschedule(data.uid, done ? std::move(done) : [](bool) {});
+void ActiveData::unschedule(const core::Data& data, Reply<Status> done) {
+  bus_.ds_unschedule(data.uid, done ? std::move(done) : [](Status) {});
 }
 
 void ActiveData::dispatch_create(const core::Data& data,

@@ -19,17 +19,24 @@ class ActiveData {
       : bus_(bus), host_(std::move(host_name)) {}
 
   /// Associates a datum with attributes and orders the Data Scheduler to
-  /// realize them (Algorithm 1). Fires on_data_create locally once acked.
+  /// realize them (Algorithm 1). Fires on_data_create locally once acked;
+  /// a scheduler refusal surfaces as Errc::kRejected.
   void schedule(const core::Data& data, const core::DataAttributes& attributes,
-                Reply<bool> done = nullptr);
+                Reply<Status> done = nullptr);
+
+  /// Bulk schedule: one ds_schedule_batch round-trip for N data. Per-item
+  /// outcomes are index-aligned; on_data_create fires for each accepted
+  /// item (a rejected item does not poison the rest).
+  void schedule_batch(const std::vector<services::ScheduledData>& items,
+                      Reply<BatchStatus> done = nullptr);
 
   /// schedule + declare this node a permanent owner (the paper's pin; the
   /// master pins the Collector so results converge on it).
   void pin(const core::Data& data, const core::DataAttributes& attributes,
-           Reply<bool> done = nullptr);
+           Reply<Status> done = nullptr);
 
   /// Removes the datum from the scheduler.
-  void unschedule(const core::Data& data, Reply<bool> done = nullptr);
+  void unschedule(const core::Data& data, Reply<Status> done = nullptr);
 
   /// Installs a life-cycle event handler (kept until this object dies).
   void add_callback(std::shared_ptr<core::ActiveDataEventHandler> handler) {

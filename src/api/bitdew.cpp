@@ -5,55 +5,83 @@ namespace bitdew::api {
 void BitDew::remember(const core::Data& data) { known_by_name_[data.name] = data; }
 
 core::Data BitDew::create_data(const std::string& name, const core::Content& content,
-                               Reply<bool> done) {
+                               Reply<Status> done) {
   core::Data data;
   data.uid = util::next_auid();
   data.name = name;
   data.size = content.size;
   data.checksum = content.checksum;
   remember(data);
-  bus_.dc_register(data, done ? std::move(done) : [](bool) {});
+  bus_.dc_register(data, done ? std::move(done) : [](Status) {});
   return data;
 }
 
-core::Data BitDew::create_data(const std::string& name, Reply<bool> done) {
+core::Data BitDew::create_data(const std::string& name, Reply<Status> done) {
   return create_data(name, core::Content{0, core::synthetic_content(0, 0).checksum},
                      std::move(done));
 }
 
-void BitDew::put(const core::Data& data, const core::Content& content, Reply<bool> done,
+std::vector<core::Data> BitDew::create_data_batch(
+    const std::vector<std::pair<std::string, core::Content>>& slots, Reply<BatchStatus> done) {
+  std::vector<core::Data> out;
+  out.reserve(slots.size());
+  for (const auto& [name, content] : slots) {
+    core::Data data;
+    data.uid = util::next_auid();
+    data.name = name;
+    data.size = content.size;
+    data.checksum = content.checksum;
+    remember(data);
+    out.push_back(std::move(data));
+  }
+  bus_.dc_register_batch(out, done ? std::move(done) : [](BatchStatus) {});
+  return out;
+}
+
+void BitDew::put(const core::Data& data, const core::Content& content, Reply<Status> done,
                  const std::string& protocol) {
-  if (!done) done = [](bool) {};
+  if (!done) done = [](Status) {};
   bus_.dr_put(data, content, protocol,
-              [this, done = std::move(done)](core::Locator locator) mutable {
-                bus_.dc_add_locator(locator, std::move(done));
+              [this, done = std::move(done)](Expected<core::Locator> locator) mutable {
+                if (!locator.ok()) {
+                  done(locator.propagate<Unit>());
+                  return;
+                }
+                bus_.dc_add_locator(*locator, std::move(done));
               });
 }
 
-void BitDew::offer_local(const core::Data& data, const std::string& protocol, Reply<bool> done) {
+void BitDew::offer_local(const core::Data& data, const std::string& protocol,
+                         Reply<Status> done) {
   core::Locator locator;
   locator.data_uid = data.uid;
   locator.protocol = protocol;
   locator.host = host_;
   locator.path = "local/" + data.uid.str();
-  bus_.dc_add_locator(locator, done ? std::move(done) : [](bool) {});
+  bus_.dc_add_locator(locator, done ? std::move(done) : [](Status) {});
 }
 
-void BitDew::search(const std::string& name, Reply<std::optional<core::Data>> done) {
-  bus_.dc_search(name, [this, done = std::move(done)](std::vector<core::Data> found) mutable {
-    if (found.empty()) {
-      done(std::nullopt);
-      return;
-    }
-    remember(found.front());
-    done(found.front());
-  });
+void BitDew::search(const std::string& name, Reply<Expected<core::Data>> done) {
+  bus_.dc_search(
+      name, [this, name,
+             done = std::move(done)](Expected<std::vector<core::Data>> found) mutable {
+        if (!found.ok()) {
+          done(found.propagate<core::Data>());
+          return;
+        }
+        if (found->empty()) {
+          done(Error{Errc::kNotFound, "dc", "no data named '" + name + "'"});
+          return;
+        }
+        remember(found->front());
+        done(found->front());
+      });
 }
 
-void BitDew::remove(const core::Data& data, Reply<bool> done) {
-  if (!done) done = [](bool) {};
-  bus_.ds_unschedule(data.uid, [this, uid = data.uid, done = std::move(done)](bool) mutable {
-    bus_.dr_remove(uid, [this, uid, done = std::move(done)](bool) mutable {
+void BitDew::remove(const core::Data& data, Reply<Status> done) {
+  if (!done) done = [](Status) {};
+  bus_.ds_unschedule(data.uid, [this, uid = data.uid, done = std::move(done)](Status) mutable {
+    bus_.dr_remove(uid, [this, uid, done = std::move(done)](Status) mutable {
       bus_.dc_remove(uid, std::move(done));
     });
   });

@@ -1,0 +1,166 @@
+#include "api/direct_service_bus.hpp"
+
+#include "api/service_ops.hpp"
+
+namespace bitdew::api {
+
+void DirectServiceBus::dc_register(const core::Data& data, Reply<Status> done) {
+  ++calls_;
+  done(ops::dc_register(container_, data));
+}
+
+void DirectServiceBus::dc_get(const util::Auid& uid, Reply<Expected<core::Data>> done) {
+  ++calls_;
+  done(ops::dc_get(container_, uid));
+}
+
+void DirectServiceBus::dc_search(const std::string& name,
+                                 Reply<Expected<std::vector<core::Data>>> done) {
+  ++calls_;
+  done(ops::dc_search(container_, name));
+}
+
+void DirectServiceBus::dc_remove(const util::Auid& uid, Reply<Status> done) {
+  ++calls_;
+  done(ops::dc_remove(container_, uid));
+}
+
+void DirectServiceBus::dc_add_locator(const core::Locator& locator, Reply<Status> done) {
+  ++calls_;
+  done(ops::dc_add_locator(container_, locator));
+}
+
+void DirectServiceBus::dc_locators(const util::Auid& uid,
+                                   Reply<Expected<std::vector<core::Locator>>> done) {
+  ++calls_;
+  done(ops::dc_locators(container_, uid));
+}
+
+void DirectServiceBus::dr_put(const core::Data& data, const core::Content& content,
+                              const std::string& protocol,
+                              Reply<Expected<core::Locator>> done) {
+  ++calls_;
+  done(ops::dr_put(container_, data, content, protocol));
+}
+
+void DirectServiceBus::dr_get(const util::Auid& uid, Reply<Expected<core::Content>> done) {
+  ++calls_;
+  done(ops::dr_get(container_, uid));
+}
+
+void DirectServiceBus::dr_remove(const util::Auid& uid, Reply<Status> done) {
+  ++calls_;
+  done(ops::dr_remove(container_, uid));
+}
+
+void DirectServiceBus::dt_register(const core::Data& data, const std::string& source,
+                                   const std::string& destination, const std::string& protocol,
+                                   Reply<Expected<services::TicketId>> done) {
+  ++calls_;
+  done(ops::dt_register(container_, data, source, destination, protocol));
+}
+
+void DirectServiceBus::dt_monitor(services::TicketId ticket, std::int64_t done_bytes,
+                                  Reply<Status> done) {
+  ++calls_;
+  done(ops::dt_monitor(container_, ticket, done_bytes));
+}
+
+void DirectServiceBus::dt_complete(services::TicketId ticket,
+                                   const std::string& received_checksum,
+                                   const std::string& expected_checksum, Reply<Status> done) {
+  ++calls_;
+  done(ops::dt_complete(container_, ticket, received_checksum, expected_checksum));
+}
+
+void DirectServiceBus::dt_failure(services::TicketId ticket, std::int64_t bytes_held,
+                                  bool can_resume, Reply<Status> done) {
+  ++calls_;
+  done(ops::dt_failure(container_, ticket, bytes_held, can_resume));
+}
+
+void DirectServiceBus::dt_give_up(services::TicketId ticket, Reply<Status> done) {
+  ++calls_;
+  done(ops::dt_give_up(container_, ticket));
+}
+
+void DirectServiceBus::ds_schedule(const core::Data& data,
+                                   const core::DataAttributes& attributes, Reply<Status> done) {
+  ++calls_;
+  done(ops::ds_schedule(container_, data, attributes));
+}
+
+void DirectServiceBus::ds_pin(const util::Auid& uid, const std::string& host,
+                              Reply<Status> done) {
+  ++calls_;
+  done(ops::ds_pin(container_, uid, host));
+}
+
+void DirectServiceBus::ds_unschedule(const util::Auid& uid, Reply<Status> done) {
+  ++calls_;
+  done(ops::ds_unschedule(container_, uid));
+}
+
+void DirectServiceBus::ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
+                               const std::vector<util::Auid>& in_flight,
+                               Reply<Expected<services::SyncReply>> done) {
+  ++calls_;
+  done(ops::ds_sync(container_, host, cache, in_flight));
+}
+
+void DirectServiceBus::ddc_publish(const std::string& key, const std::string& value,
+                                   Reply<Status> done) {
+  ++calls_;
+  done(ops::ddc_publish(ddc_, key, value));
+}
+
+void DirectServiceBus::ddc_search(const std::string& key,
+                                  Reply<Expected<std::vector<std::string>>> done) {
+  ++calls_;
+  done(ops::ddc_search(ddc_, key));
+}
+
+void DirectServiceBus::dc_register_batch(const std::vector<core::Data>& items,
+                                         Reply<BatchStatus> done) {
+  if (items.empty()) {
+    done({});
+    return;
+  }
+  ++calls_;
+  done(ops::dc_register_batch(container_, items));
+}
+
+void DirectServiceBus::dc_locators_batch(const std::vector<util::Auid>& uids,
+                                         Reply<BatchLocators> done) {
+  if (uids.empty()) {
+    done({});
+    return;
+  }
+  ++calls_;
+  done(ops::dc_locators_batch(container_, uids));
+}
+
+void DirectServiceBus::ds_schedule_batch(const std::vector<services::ScheduledData>& items,
+                                         Reply<BatchStatus> done) {
+  if (items.empty()) {
+    done({});
+    return;
+  }
+  ++calls_;
+  done(ops::ds_schedule_batch(container_, items));
+}
+
+void DirectServiceBus::ddc_publish_batch(const std::vector<KeyValue>& pairs,
+                                         Reply<BatchStatus> done) {
+  if (pairs.empty()) {
+    done({});
+    return;
+  }
+  ++calls_;
+  std::vector<std::pair<std::string, std::string>> kvs;
+  kvs.reserve(pairs.size());
+  for (const KeyValue& pair : pairs) kvs.emplace_back(pair.key, pair.value);
+  done(ops::ddc_publish_batch(ddc_, kvs));
+}
+
+}  // namespace bitdew::api

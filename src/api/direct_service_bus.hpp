@@ -1,0 +1,69 @@
+// DirectServiceBus: the synchronous ServiceBus implementation — every call
+// is a plain function call into a ServiceContainer (plus a LocalDht for the
+// Distributed Data Catalog), and the reply fires before the call returns.
+// This is the bus behind in-process deployments and unit tests: the same
+// user code that runs over the simulated network (SimServiceBus) runs here
+// with identical Error codes, because both route through service_ops.hpp.
+#pragma once
+
+#include "api/service_bus.hpp"
+#include "dht/local_dht.hpp"
+#include "services/container.hpp"
+
+namespace bitdew::api {
+
+class DirectServiceBus final : public ServiceBus {
+ public:
+  DirectServiceBus(services::ServiceContainer& container, dht::LocalDht& ddc)
+      : container_(container), ddc_(ddc) {}
+
+  void dc_register(const core::Data& data, Reply<Status> done) override;
+  void dc_get(const util::Auid& uid, Reply<Expected<core::Data>> done) override;
+  void dc_search(const std::string& name,
+                 Reply<Expected<std::vector<core::Data>>> done) override;
+  void dc_remove(const util::Auid& uid, Reply<Status> done) override;
+  void dc_add_locator(const core::Locator& locator, Reply<Status> done) override;
+  void dc_locators(const util::Auid& uid,
+                   Reply<Expected<std::vector<core::Locator>>> done) override;
+  void dr_put(const core::Data& data, const core::Content& content, const std::string& protocol,
+              Reply<Expected<core::Locator>> done) override;
+  void dr_get(const util::Auid& uid, Reply<Expected<core::Content>> done) override;
+  void dr_remove(const util::Auid& uid, Reply<Status> done) override;
+  void dt_register(const core::Data& data, const std::string& source,
+                   const std::string& destination, const std::string& protocol,
+                   Reply<Expected<services::TicketId>> done) override;
+  void dt_monitor(services::TicketId ticket, std::int64_t done_bytes,
+                  Reply<Status> done) override;
+  void dt_complete(services::TicketId ticket, const std::string& received_checksum,
+                   const std::string& expected_checksum, Reply<Status> done) override;
+  void dt_failure(services::TicketId ticket, std::int64_t bytes_held, bool can_resume,
+                  Reply<Status> done) override;
+  void dt_give_up(services::TicketId ticket, Reply<Status> done) override;
+  void ds_schedule(const core::Data& data, const core::DataAttributes& attributes,
+                   Reply<Status> done) override;
+  void ds_pin(const util::Auid& uid, const std::string& host, Reply<Status> done) override;
+  void ds_unschedule(const util::Auid& uid, Reply<Status> done) override;
+  void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
+               const std::vector<util::Auid>& in_flight,
+               Reply<Expected<services::SyncReply>> done) override;
+  void ddc_publish(const std::string& key, const std::string& value,
+                   Reply<Status> done) override;
+  void ddc_search(const std::string& key,
+                  Reply<Expected<std::vector<std::string>>> done) override;
+
+  // Native bulk endpoints: one container call for the whole batch.
+  void dc_register_batch(const std::vector<core::Data>& items, Reply<BatchStatus> done) override;
+  void dc_locators_batch(const std::vector<util::Auid>& uids, Reply<BatchLocators> done) override;
+  void ds_schedule_batch(const std::vector<services::ScheduledData>& items,
+                         Reply<BatchStatus> done) override;
+  void ddc_publish_batch(const std::vector<KeyValue>& pairs, Reply<BatchStatus> done) override;
+
+  std::uint64_t call_count() const { return calls_; }
+
+ private:
+  services::ServiceContainer& container_;
+  dht::LocalDht& ddc_;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace bitdew::api

@@ -1,0 +1,119 @@
+// The API's typed error channel (ServiceBus v2). Every reply carries an
+// Expected<T>: either the value or an Error{code, service, message} saying
+// *why* the operation failed — duplicate registration, unknown uid,
+// scheduler rejection, checksum mismatch, transport loss — instead of the
+// bare bool of the v1 bus. Both ServiceBus implementations (SimServiceBus,
+// DirectServiceBus) map service outcomes through the same helpers in
+// service_ops.hpp, so user code sees identical codes regardless of backend.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace bitdew::api {
+
+/// Failure categories an operation can report. Stable across backends and
+/// serializable on the wire (rpc/wire.hpp).
+enum class Errc : std::uint8_t {
+  kOk = 0,
+  kDuplicate = 1,         ///< registering an already-registered uid
+  kNotFound = 2,          ///< unknown uid / name / ticket
+  kRejected = 3,          ///< the service refused the request (validation)
+  kChecksumMismatch = 4,  ///< DT integrity verification failed
+  kTransport = 5,         ///< request or response lost on the network
+  kUnavailable = 6,       ///< backend unreachable / no source / stalled
+  kInvalidArgument = 7,   ///< malformed input (nil uid, empty batch item)
+};
+
+inline const char* errc_name(Errc code) {
+  switch (code) {
+    case Errc::kOk: return "ok";
+    case Errc::kDuplicate: return "duplicate";
+    case Errc::kNotFound: return "not_found";
+    case Errc::kRejected: return "rejected";
+    case Errc::kChecksumMismatch: return "checksum_mismatch";
+    case Errc::kTransport: return "transport";
+    case Errc::kUnavailable: return "unavailable";
+    case Errc::kInvalidArgument: return "invalid_argument";
+  }
+  return "unknown";
+}
+
+/// Why an operation failed: the category, the service that signalled it
+/// ("dc", "dr", "dt", "ds", "ddc", or "bus" for transport-level failures)
+/// and a human-readable detail.
+struct Error {
+  Errc code = Errc::kOk;
+  std::string service;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(errc_name(code)) + " (" + service +
+           (message.empty() ? ")" : "): " + message);
+  }
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// The empty success value: Expected<Unit> (aka Status) is the typed
+/// replacement for the v1 bus's Reply<bool>.
+struct Unit {
+  friend bool operator==(const Unit&, const Unit&) = default;
+};
+
+/// Value-or-Error. T must be default-constructible (all reply payloads are).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : ok_(true), value_(std::move(value)) {}  // NOLINT(implicit)
+  Expected(Error error) : ok_(false), error_(std::move(error)) {  // NOLINT(implicit)
+    assert(error_.code != Errc::kOk);
+  }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  T& value() {
+    assert(ok_);
+    return value_;
+  }
+  const T& value() const {
+    assert(ok_);
+    return value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const {
+    assert(!ok_);
+    return error_;
+  }
+
+  Errc code() const { return ok_ ? Errc::kOk : error_.code; }
+
+  T value_or(T fallback) const { return ok_ ? value_ : std::move(fallback); }
+
+  /// Propagates this error under a different payload type.
+  template <typename U>
+  Expected<U> propagate() const {
+    assert(!ok_);
+    return Expected<U>(error_);
+  }
+
+  friend bool operator==(const Expected&, const Expected&) = default;
+
+ private:
+  bool ok_;
+  T value_{};
+  Error error_{};
+};
+
+using Status = Expected<Unit>;
+
+inline Status ok_status() { return Status(Unit{}); }
+
+}  // namespace bitdew::api

@@ -1,17 +1,25 @@
-// ServiceBus: the asynchronous client view of the four D* services plus the
-// Distributed Data Catalog. The API classes (BitDew / ActiveData /
-// TransferManager) are written against this interface only, so the same
-// user code runs over the discrete-event runtime (SimServiceBus: every call
-// is a request/response flow on the simulated network) and the threaded
-// LocalRuntime (DirectServiceBus: a function call) — the paper's claim that
-// the service back-ends are swappable, made concrete.
+// ServiceBus v2: the asynchronous client view of the four D* services plus
+// the Distributed Data Catalog. The API classes (BitDew / ActiveData /
+// TransferManager / Session) are written against this interface only, so
+// the same user code runs over the discrete-event runtime (SimServiceBus:
+// every call is a request/response flow on the simulated network) and the
+// synchronous DirectServiceBus (a function call into the container) — the
+// paper's claim that the service back-ends are swappable, made concrete.
+//
+// v2 changes over the seed bus:
+//  * every reply is an Expected<T> (value or Error{code, service, message})
+//    instead of a bare bool — callers learn *why* an operation failed;
+//  * bulk endpoints (dc_register_batch, dc_locators_batch,
+//    ds_schedule_batch, ddc_publish_batch) amortize one request/response
+//    flow and one service-queue event over N items. Partial failure is
+//    per-item: one bad datum does not poison the batch.
 #pragma once
 
 #include <functional>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "api/expected.hpp"
 #include "core/attributes.hpp"
 #include "core/data.hpp"
 #include "core/locator.hpp"
@@ -23,51 +31,83 @@ namespace bitdew::api {
 template <typename T>
 using Reply = std::function<void(T)>;
 
+/// A generic DHT pair for ddc_publish_batch.
+struct KeyValue {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const KeyValue&, const KeyValue&) = default;
+};
+
+/// Per-item outcomes of a batched call, index-aligned with the request.
+using BatchStatus = std::vector<Status>;
+using BatchLocators = std::vector<Expected<std::vector<core::Locator>>>;
+
 class ServiceBus {
  public:
   virtual ~ServiceBus() = default;
 
   // --- Data Catalog ---------------------------------------------------------
-  virtual void dc_register(const core::Data& data, Reply<bool> done) = 0;
-  virtual void dc_get(const util::Auid& uid, Reply<std::optional<core::Data>> done) = 0;
-  virtual void dc_search(const std::string& name, Reply<std::vector<core::Data>> done) = 0;
-  virtual void dc_remove(const util::Auid& uid, Reply<bool> done) = 0;
-  virtual void dc_add_locator(const core::Locator& locator, Reply<bool> done) = 0;
-  virtual void dc_locators(const util::Auid& uid, Reply<std::vector<core::Locator>> done) = 0;
+  virtual void dc_register(const core::Data& data, Reply<Status> done) = 0;
+  virtual void dc_get(const util::Auid& uid, Reply<Expected<core::Data>> done) = 0;
+  virtual void dc_search(const std::string& name,
+                         Reply<Expected<std::vector<core::Data>>> done) = 0;
+  virtual void dc_remove(const util::Auid& uid, Reply<Status> done) = 0;
+  virtual void dc_add_locator(const core::Locator& locator, Reply<Status> done) = 0;
+  virtual void dc_locators(const util::Auid& uid,
+                           Reply<Expected<std::vector<core::Locator>>> done) = 0;
 
   // --- Data Repository --------------------------------------------------------
   virtual void dr_put(const core::Data& data, const core::Content& content,
-                      const std::string& protocol, Reply<core::Locator> done) = 0;
-  virtual void dr_get(const util::Auid& uid, Reply<std::optional<core::Content>> done) = 0;
-  virtual void dr_remove(const util::Auid& uid, Reply<bool> done) = 0;
+                      const std::string& protocol, Reply<Expected<core::Locator>> done) = 0;
+  virtual void dr_get(const util::Auid& uid, Reply<Expected<core::Content>> done) = 0;
+  virtual void dr_remove(const util::Auid& uid, Reply<Status> done) = 0;
 
   // --- Data Transfer ------------------------------------------------------------
   virtual void dt_register(const core::Data& data, const std::string& source,
                            const std::string& destination, const std::string& protocol,
-                           Reply<services::TicketId> done) = 0;
+                           Reply<Expected<services::TicketId>> done) = 0;
   virtual void dt_monitor(services::TicketId ticket, std::int64_t done_bytes,
-                          Reply<bool> done) = 0;
+                          Reply<Status> done) = 0;
+  /// Fails with Errc::kChecksumMismatch when the received checksum differs
+  /// from the expected one (the ticket stays active for a retry).
   virtual void dt_complete(services::TicketId ticket, const std::string& received_checksum,
-                           const std::string& expected_checksum, Reply<bool> done) = 0;
+                           const std::string& expected_checksum, Reply<Status> done) = 0;
   virtual void dt_failure(services::TicketId ticket, std::int64_t bytes_held, bool can_resume,
-                          Reply<bool> done) = 0;
-  virtual void dt_give_up(services::TicketId ticket, Reply<bool> done) = 0;
+                          Reply<Status> done) = 0;
+  virtual void dt_give_up(services::TicketId ticket, Reply<Status> done) = 0;
 
   // --- Data Scheduler -------------------------------------------------------------
+  /// Fails with Errc::kRejected when the scheduler refuses the attributes
+  /// (invalid replica count, self-referential affinity or lifetime).
   virtual void ds_schedule(const core::Data& data, const core::DataAttributes& attributes,
-                           Reply<bool> done) = 0;
-  virtual void ds_pin(const util::Auid& uid, const std::string& host, Reply<bool> done) = 0;
-  virtual void ds_unschedule(const util::Auid& uid, Reply<bool> done) = 0;
+                           Reply<Status> done) = 0;
+  virtual void ds_pin(const util::Auid& uid, const std::string& host, Reply<Status> done) = 0;
+  virtual void ds_unschedule(const util::Auid& uid, Reply<Status> done) = 0;
   virtual void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
                        const std::vector<util::Auid>& in_flight,
-                       Reply<services::SyncReply> done) = 0;
+                       Reply<Expected<services::SyncReply>> done) = 0;
 
   // --- Distributed Data Catalog (DHT) -----------------------------------------------
   /// Publishes a generic key/value pair (paper §3.3: the DHT is exposed for
   /// generic use; replica locations use key = data uid, value = host).
   virtual void ddc_publish(const std::string& key, const std::string& value,
-                           Reply<bool> done) = 0;
-  virtual void ddc_search(const std::string& key, Reply<std::vector<std::string>> done) = 0;
+                           Reply<Status> done) = 0;
+  virtual void ddc_search(const std::string& key,
+                          Reply<Expected<std::vector<std::string>>> done) = 0;
+
+  // --- Bulk endpoints ---------------------------------------------------------------
+  // One request/response flow and one service event amortized over N items;
+  // the reply is index-aligned with the request and reports per-item
+  // outcomes. An empty batch is a no-op: the reply fires with an empty
+  // vector and no traffic is generated. The defaults below fan out to the
+  // scalar endpoints (correct for any bus); SimServiceBus and
+  // DirectServiceBus override them with native single-flow implementations.
+  virtual void dc_register_batch(const std::vector<core::Data>& items, Reply<BatchStatus> done);
+  virtual void dc_locators_batch(const std::vector<util::Auid>& uids, Reply<BatchLocators> done);
+  virtual void ds_schedule_batch(const std::vector<services::ScheduledData>& items,
+                                 Reply<BatchStatus> done);
+  virtual void ddc_publish_batch(const std::vector<KeyValue>& pairs, Reply<BatchStatus> done);
 };
 
 }  // namespace bitdew::api

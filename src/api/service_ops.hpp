@@ -1,0 +1,237 @@
+// The single source of truth for mapping D* service outcomes to the typed
+// error channel. Both ServiceBus implementations route their compute step
+// through these helpers, so an operation fails with the *same* Error::code
+// whether it travelled the simulated network (SimServiceBus) or a function
+// call (DirectServiceBus) — only transport-level kTransport errors are
+// backend-specific.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/expected.hpp"
+#include "dht/local_dht.hpp"
+#include "services/container.hpp"
+
+namespace bitdew::api::ops {
+
+// --- Data Catalog -----------------------------------------------------------
+
+inline Status dc_register(services::ServiceContainer& c, const core::Data& data) {
+  if (!data.valid()) return Error{Errc::kInvalidArgument, "dc", "nil uid"};
+  if (!c.dc().register_data(data)) {
+    return Error{Errc::kDuplicate, "dc", "uid " + data.uid.str() + " already registered"};
+  }
+  return ok_status();
+}
+
+inline Expected<core::Data> dc_get(services::ServiceContainer& c, const util::Auid& uid) {
+  auto found = c.dc().get(uid);
+  if (!found.has_value()) return Error{Errc::kNotFound, "dc", "unknown uid " + uid.str()};
+  return std::move(*found);
+}
+
+inline Expected<std::vector<core::Data>> dc_search(services::ServiceContainer& c,
+                                                   const std::string& name) {
+  return c.dc().search(name);
+}
+
+inline Status dc_remove(services::ServiceContainer& c, const util::Auid& uid) {
+  if (!c.dc().remove(uid)) return Error{Errc::kNotFound, "dc", "unknown uid " + uid.str()};
+  return ok_status();
+}
+
+inline Status dc_add_locator(services::ServiceContainer& c, const core::Locator& locator) {
+  if (!c.dc().add_locator(locator)) {
+    return Error{Errc::kNotFound, "dc",
+                 "locator for unregistered uid " + locator.data_uid.str()};
+  }
+  return ok_status();
+}
+
+inline Expected<std::vector<core::Locator>> dc_locators(services::ServiceContainer& c,
+                                                        const util::Auid& uid) {
+  if (!c.dc().get(uid).has_value()) {
+    return Error{Errc::kNotFound, "dc", "unknown uid " + uid.str()};
+  }
+  return c.dc().locators(uid);
+}
+
+inline std::vector<Status> dc_register_batch(services::ServiceContainer& c,
+                                             const std::vector<core::Data>& items) {
+  std::vector<Status> out;
+  out.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!items[i].valid()) {
+      out.push_back(Error{Errc::kInvalidArgument, "dc", "nil uid"});
+    } else {
+      out.push_back(ok_status());
+    }
+  }
+  // The catalog's native bulk insert; invalid items were pre-screened.
+  std::vector<core::Data> valid;
+  valid.reserve(items.size());
+  for (const core::Data& data : items) {
+    if (data.valid()) valid.push_back(data);
+  }
+  const std::vector<bool> registered = c.dc().register_batch(valid);
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!items[i].valid()) continue;
+    if (!registered[next++]) {
+      out[i] = Error{Errc::kDuplicate, "dc",
+                     "uid " + items[i].uid.str() + " already registered"};
+    }
+  }
+  return out;
+}
+
+inline std::vector<Expected<std::vector<core::Locator>>> dc_locators_batch(
+    services::ServiceContainer& c, const std::vector<util::Auid>& uids) {
+  std::vector<Expected<std::vector<core::Locator>>> out;
+  out.reserve(uids.size());
+  for (auto& locators : c.dc().locators_batch(uids)) out.push_back(std::move(locators));
+  for (std::size_t i = 0; i < uids.size(); ++i) {
+    if (out[i].ok() && out[i]->empty() && !c.dc().get(uids[i]).has_value()) {
+      out[i] = Error{Errc::kNotFound, "dc", "unknown uid " + uids[i].str()};
+    }
+  }
+  return out;
+}
+
+// --- Data Repository ----------------------------------------------------------
+
+inline Expected<core::Locator> dr_put(services::ServiceContainer& c, const core::Data& data,
+                                      const core::Content& content,
+                                      const std::string& protocol) {
+  if (!data.valid()) return Error{Errc::kInvalidArgument, "dr", "nil uid"};
+  return c.dr().put(data, content, protocol);
+}
+
+inline Expected<core::Content> dr_get(services::ServiceContainer& c, const util::Auid& uid) {
+  auto found = c.dr().get(uid);
+  if (!found.has_value()) return Error{Errc::kNotFound, "dr", "no content for " + uid.str()};
+  return std::move(*found);
+}
+
+inline Status dr_remove(services::ServiceContainer& c, const util::Auid& uid) {
+  if (!c.dr().remove(uid)) return Error{Errc::kNotFound, "dr", "no content for " + uid.str()};
+  return ok_status();
+}
+
+// --- Data Transfer --------------------------------------------------------------
+
+inline Expected<services::TicketId> dt_register(services::ServiceContainer& c,
+                                                const core::Data& data,
+                                                const std::string& source,
+                                                const std::string& destination,
+                                                const std::string& protocol) {
+  return c.dt().register_transfer(data, source, destination, protocol);
+}
+
+inline Status dt_monitor(services::ServiceContainer& c, services::TicketId ticket,
+                         std::int64_t done_bytes) {
+  c.dt().monitor(ticket, done_bytes);
+  return ok_status();
+}
+
+inline Status dt_complete(services::ServiceContainer& c, services::TicketId ticket,
+                          const std::string& received, const std::string& expected) {
+  if (!c.dt().complete(ticket, received, expected)) {
+    return Error{Errc::kChecksumMismatch, "dt",
+                 "ticket " + std::to_string(ticket) + ": received checksum differs"};
+  }
+  return ok_status();
+}
+
+inline Status dt_failure(services::ServiceContainer& c, services::TicketId ticket,
+                         std::int64_t bytes_held, bool can_resume) {
+  c.dt().report_failure(ticket, bytes_held, can_resume);
+  return ok_status();
+}
+
+inline Status dt_give_up(services::ServiceContainer& c, services::TicketId ticket) {
+  c.dt().give_up(ticket);
+  return ok_status();
+}
+
+// --- Data Scheduler ---------------------------------------------------------------
+
+inline Status ds_schedule(services::ServiceContainer& c, const core::Data& data,
+                          const core::DataAttributes& attributes) {
+  if (!c.ds().schedule(data, attributes)) {
+    return Error{Errc::kRejected, "ds", "invalid attributes for " + data.name};
+  }
+  return ok_status();
+}
+
+inline std::vector<Status> ds_schedule_batch(services::ServiceContainer& c,
+                                             const std::vector<services::ScheduledData>& items) {
+  std::vector<Status> out;
+  out.reserve(items.size());
+  for (const bool accepted : c.ds().schedule_batch(items)) {
+    if (accepted) {
+      out.push_back(ok_status());
+    } else {
+      out.push_back(Error{Errc::kRejected, "ds", "invalid attributes"});
+    }
+  }
+  return out;
+}
+
+inline Status ds_pin(services::ServiceContainer& c, const util::Auid& uid,
+                     const std::string& host) {
+  if (!c.ds().pin(uid, host)) {
+    return Error{Errc::kNotFound, "ds", "uid " + uid.str() + " not scheduled"};
+  }
+  return ok_status();
+}
+
+inline Status ds_unschedule(services::ServiceContainer& c, const util::Auid& uid) {
+  if (!c.ds().unschedule(uid)) {
+    return Error{Errc::kNotFound, "ds", "uid " + uid.str() + " not scheduled"};
+  }
+  return ok_status();
+}
+
+inline Expected<services::SyncReply> ds_sync(services::ServiceContainer& c,
+                                             const std::string& host,
+                                             const std::vector<util::Auid>& cache,
+                                             const std::vector<util::Auid>& in_flight) {
+  return c.ds().sync(host, cache, in_flight);
+}
+
+// --- Distributed Data Catalog (fallback store) --------------------------------------
+
+inline Status ddc_publish(dht::LocalDht& ddc, const std::string& key,
+                          const std::string& value) {
+  if (key.empty()) return Error{Errc::kInvalidArgument, "ddc", "empty key"};
+  ddc.put(key, value);
+  return ok_status();
+}
+
+inline Expected<std::vector<std::string>> ddc_search(dht::LocalDht& ddc,
+                                                     const std::string& key) {
+  return ddc.get(key);
+}
+
+inline std::vector<Status> ddc_publish_batch(
+    dht::LocalDht& ddc, const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::vector<Status> out;
+  out.reserve(pairs.size());
+  std::vector<std::pair<std::string, std::string>> valid;
+  valid.reserve(pairs.size());
+  for (const auto& pair : pairs) {
+    if (pair.first.empty()) {
+      out.push_back(Error{Errc::kInvalidArgument, "ddc", "empty key"});
+    } else {
+      out.push_back(ok_status());
+      valid.push_back(pair);
+    }
+  }
+  ddc.put_batch(valid);
+  return out;
+}
+
+}  // namespace bitdew::api::ops

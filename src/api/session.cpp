@@ -1,0 +1,73 @@
+#include "api/session.hpp"
+
+namespace bitdew::api {
+namespace {
+
+BatchStatus stalled_batch(std::size_t count) {
+  return BatchStatus(
+      count, Status(Error{Errc::kUnavailable, "session", "stalled waiting for a reply"}));
+}
+
+}  // namespace
+
+Status Session::wait_transfer(const util::Auid& uid) {
+  if (tm_ == nullptr) {
+    return Error{Errc::kInvalidArgument, "session", "no TransferManager attached"};
+  }
+  auto slot = std::make_shared<std::optional<Status>>();
+  tm_->when_done(uid, [slot](Status outcome) { *slot = std::move(outcome); });
+  auto result = wait_slot(slot);
+  if (!result.has_value()) {
+    return Error{Errc::kUnavailable, "session", "stalled waiting for transfer"};
+  }
+  return *result;
+}
+
+std::pair<std::vector<core::Data>, BatchStatus> Session::create_data_batch(
+    const std::vector<std::pair<std::string, core::Content>>& slots) {
+  auto slot = std::make_shared<std::optional<BatchStatus>>();
+  std::vector<core::Data> data =
+      bitdew_.create_data_batch(slots, [slot](BatchStatus statuses) {
+        *slot = std::move(statuses);
+      });
+  auto statuses = wait_slot(slot);
+  return {std::move(data), statuses.has_value() ? std::move(*statuses)
+                                                : stalled_batch(slots.size())};
+}
+
+BatchStatus Session::register_batch(const std::vector<core::Data>& items) {
+  auto slot = std::make_shared<std::optional<BatchStatus>>();
+  bitdew_.bus().dc_register_batch(
+      items, [slot](BatchStatus statuses) { *slot = std::move(statuses); });
+  auto statuses = wait_slot(slot);
+  return statuses.has_value() ? std::move(*statuses) : stalled_batch(items.size());
+}
+
+BatchLocators Session::locate_batch(const std::vector<util::Auid>& uids) {
+  auto slot = std::make_shared<std::optional<BatchLocators>>();
+  bitdew_.bus().dc_locators_batch(
+      uids, [slot](BatchLocators locators) { *slot = std::move(locators); });
+  auto locators = wait_slot(slot);
+  if (locators.has_value()) return std::move(*locators);
+  return BatchLocators(uids.size(),
+                       Expected<std::vector<core::Locator>>(Error{
+                           Errc::kUnavailable, "session", "stalled waiting for a reply"}));
+}
+
+BatchStatus Session::schedule_batch(const std::vector<services::ScheduledData>& items) {
+  auto slot = std::make_shared<std::optional<BatchStatus>>();
+  active_data_.schedule_batch(items,
+                              [slot](BatchStatus statuses) { *slot = std::move(statuses); });
+  auto statuses = wait_slot(slot);
+  return statuses.has_value() ? std::move(*statuses) : stalled_batch(items.size());
+}
+
+BatchStatus Session::publish_batch(const std::vector<KeyValue>& pairs) {
+  auto slot = std::make_shared<std::optional<BatchStatus>>();
+  bitdew_.publish_batch(pairs,
+                        [slot](BatchStatus statuses) { *slot = std::move(statuses); });
+  auto statuses = wait_slot(slot);
+  return statuses.has_value() ? std::move(*statuses) : stalled_batch(pairs.size());
+}
+
+}  // namespace bitdew::api

@@ -1,0 +1,214 @@
+// Session: the blocking facade over the asynchronous API (future /
+// wait_all style). It replaces the ad-hoc blocking wrappers the runtimes
+// and examples used to improvise: issue operations (optionally as futures),
+// then wait for them while a caller-supplied Pump advances the underlying
+// engine — `[&] { return sim.step(); }` for the discrete-event runtime, or
+// nothing at all for the synchronous DirectServiceBus, whose replies
+// resolve before the call returns.
+//
+//   api::Session session(node.bitdew(), node.active_data(),
+//                        [&] { return sim.step(); });
+//   auto data = session.create_data("dataset", content);   // Expected<Data>
+//   session.put(*data, content);                           // Status
+//   session.schedule(*data, attributes);                   // Status
+//
+// A wait on a future that can no longer make progress (the pump is
+// exhausted or absent) fails with Errc::kUnavailable instead of hanging.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "api/active_data.hpp"
+#include "api/bitdew.hpp"
+#include "api/transfer_manager.hpp"
+
+namespace bitdew::api {
+
+/// A one-shot slot resolved by a Reply callback; created by Session.
+template <typename T>
+class SessionFuture {
+ public:
+  SessionFuture() : state_(std::make_shared<std::optional<Expected<T>>>()) {}
+
+  bool ready() const { return state_->has_value(); }
+
+  /// The resolved value; only valid once ready().
+  const Expected<T>& get() const { return **state_; }
+
+  /// The Reply callback that resolves this future.
+  Reply<Expected<T>> resolver() const {
+    auto state = state_;
+    return [state](Expected<T> value) { *state = std::move(value); };
+  }
+
+ private:
+  friend class Session;
+  std::shared_ptr<std::optional<Expected<T>>> state_;
+};
+
+using StatusFuture = SessionFuture<Unit>;
+
+class Session {
+ public:
+  /// `pump` makes the underlying engine progress (one simulator step, one
+  /// event-loop turn); it returns false when nothing further can happen.
+  /// May be null for synchronous buses. `tm` enables wait_transfer().
+  using Pump = std::function<bool()>;
+
+  Session(BitDew& bitdew, ActiveData& active_data, Pump pump = nullptr,
+          TransferManager* tm = nullptr)
+      : bitdew_(bitdew), active_data_(active_data), pump_(std::move(pump)), tm_(tm) {}
+
+  // --- waiting ---------------------------------------------------------------
+  /// Pumps until the future resolves; Errc::kUnavailable when the engine
+  /// stalls first.
+  template <typename T>
+  Expected<T> wait(const SessionFuture<T>& future) {
+    auto result = wait_slot(future.state_);
+    if (!result.has_value()) {
+      return Error{Errc::kUnavailable, "session", "stalled waiting for a reply"};
+    }
+    return std::move(*result);
+  }
+
+  /// Waits for every future; returns ok only if all succeeded (the first
+  /// failure otherwise).
+  Status wait_all(const std::vector<StatusFuture>& futures) {
+    Status result = ok_status();
+    for (const StatusFuture& future : futures) {
+      const Status status = wait(future);
+      if (result.ok() && !status.ok()) result = status;
+    }
+    return result;
+  }
+
+  // --- asynchronous issue, blocking wait later -------------------------------
+  std::pair<core::Data, StatusFuture> create_data_async(const std::string& name,
+                                                        const core::Content& content) {
+    StatusFuture future;
+    core::Data data = bitdew_.create_data(name, content, future.resolver());
+    return {std::move(data), std::move(future)};
+  }
+
+  StatusFuture put_async(const core::Data& data, const core::Content& content,
+                         const std::string& protocol = "ftp") {
+    StatusFuture future;
+    bitdew_.put(data, content, future.resolver(), protocol);
+    return future;
+  }
+
+  StatusFuture schedule_async(const core::Data& data, const core::DataAttributes& attributes) {
+    StatusFuture future;
+    active_data_.schedule(data, attributes, future.resolver());
+    return future;
+  }
+
+  StatusFuture publish_async(const std::string& key, const std::string& value) {
+    StatusFuture future;
+    bitdew_.publish(key, value, future.resolver());
+    return future;
+  }
+
+  // --- blocking operations ---------------------------------------------------
+  Expected<core::Data> create_data(const std::string& name, const core::Content& content) {
+    auto [data, future] = create_data_async(name, content);
+    const Status status = wait(future);
+    if (!status.ok()) return status.propagate<core::Data>();
+    return data;
+  }
+
+  Expected<core::Data> create_data(const std::string& name) {
+    return create_data(name, core::Content{0, core::synthetic_content(0, 0).checksum});
+  }
+
+  Status put(const core::Data& data, const core::Content& content,
+             const std::string& protocol = "ftp") {
+    return wait(put_async(data, content, protocol));
+  }
+
+  Status offer_local(const core::Data& data, const std::string& protocol = "http") {
+    StatusFuture future;
+    bitdew_.offer_local(data, protocol, future.resolver());
+    return wait(future);
+  }
+
+  Expected<std::vector<core::Locator>> locate(const util::Auid& uid) {
+    SessionFuture<std::vector<core::Locator>> future;
+    bitdew_.locate(uid, future.resolver());
+    return wait(future);
+  }
+
+  Expected<core::Data> search(const std::string& name) {
+    SessionFuture<core::Data> future;
+    bitdew_.search(name, future.resolver());
+    return wait(future);
+  }
+
+  Status remove(const core::Data& data) {
+    StatusFuture future;
+    bitdew_.remove(data, future.resolver());
+    return wait(future);
+  }
+
+  Status schedule(const core::Data& data, const core::DataAttributes& attributes) {
+    return wait(schedule_async(data, attributes));
+  }
+
+  Status pin(const core::Data& data, const core::DataAttributes& attributes) {
+    StatusFuture future;
+    active_data_.pin(data, attributes, future.resolver());
+    return wait(future);
+  }
+
+  Status unschedule(const core::Data& data) {
+    StatusFuture future;
+    active_data_.unschedule(data, future.resolver());
+    return wait(future);
+  }
+
+  Status publish(const std::string& key, const std::string& value) {
+    return wait(publish_async(key, value));
+  }
+
+  Expected<std::vector<std::string>> lookup(const std::string& key) {
+    SessionFuture<std::vector<std::string>> future;
+    bitdew_.lookup(key, future.resolver());
+    return wait(future);
+  }
+
+  /// Blocks until the datum's transfer on this node completes (requires a
+  /// TransferManager at construction).
+  Status wait_transfer(const util::Auid& uid);
+
+  // --- blocking bulk operations ----------------------------------------------
+  /// One round-trip each, regardless of batch size; per-item outcomes.
+  std::pair<std::vector<core::Data>, BatchStatus> create_data_batch(
+      const std::vector<std::pair<std::string, core::Content>>& slots);
+  BatchStatus register_batch(const std::vector<core::Data>& items);
+  BatchLocators locate_batch(const std::vector<util::Auid>& uids);
+  BatchStatus schedule_batch(const std::vector<services::ScheduledData>& items);
+  BatchStatus publish_batch(const std::vector<KeyValue>& pairs);
+
+  BitDew& bitdew() { return bitdew_; }
+  ActiveData& active_data() { return active_data_; }
+
+ private:
+  /// Pumps until `slot` holds a value; nullopt when the engine stalls. The
+  /// slot keeps its value (a future can be waited on more than once).
+  template <typename V>
+  std::optional<V> wait_slot(const std::shared_ptr<std::optional<V>>& slot) {
+    while (!slot->has_value()) {
+      if (!pump_ || !pump_()) return std::nullopt;
+    }
+    return **slot;
+  }
+
+  BitDew& bitdew_;
+  ActiveData& active_data_;
+  Pump pump_;
+  TransferManager* tm_;
+};
+
+}  // namespace bitdew::api

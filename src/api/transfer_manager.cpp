@@ -15,15 +15,16 @@ void TransferManager::begin(const util::Auid& uid) {
   states_[uid] = TransferProbe::kActive;
 }
 
-void TransferManager::finish(const util::Auid& uid, bool ok) {
+void TransferManager::finish(const util::Auid& uid, Status outcome) {
   --active_;
-  states_[uid] = ok ? TransferProbe::kDone : TransferProbe::kFailed;
+  states_[uid] = outcome.ok() ? TransferProbe::kDone : TransferProbe::kFailed;
+  outcomes_.insert_or_assign(uid, outcome);
 
   const auto waiting = waiters_.find(uid);
   if (waiting != waiters_.end()) {
     auto callbacks = std::move(waiting->second);
     waiters_.erase(waiting);
-    for (auto& callback : callbacks) callback(ok);
+    for (auto& callback : callbacks) callback(outcome);
   }
 
   // Admit queued transfers into the freed slot.
@@ -43,14 +44,18 @@ TransferProbe TransferManager::probe(const util::Auid& uid) const {
   return it != states_.end() ? it->second : TransferProbe::kUnknown;
 }
 
-void TransferManager::when_done(const util::Auid& uid, std::function<void(bool)> done) {
-  const auto state = probe(uid);
-  if (state == TransferProbe::kDone) {
-    done(true);
-    return;
+Status TransferManager::outcome(const util::Auid& uid) const {
+  const auto it = outcomes_.find(uid);
+  if (it == outcomes_.end()) {
+    return Error{Errc::kUnavailable, "tm", "no finished transfer for " + uid.str()};
   }
-  if (state == TransferProbe::kFailed) {
-    done(false);
+  return it->second;
+}
+
+void TransferManager::when_done(const util::Auid& uid, std::function<void(Status)> done) {
+  const auto state = probe(uid);
+  if (state == TransferProbe::kDone || state == TransferProbe::kFailed) {
+    done(outcome(uid));
     return;
   }
   waiters_[uid].push_back(std::move(done));

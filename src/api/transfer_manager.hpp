@@ -12,6 +12,7 @@
 #include <map>
 #include <vector>
 
+#include "api/expected.hpp"
 #include "core/data.hpp"
 
 namespace bitdew::api {
@@ -31,15 +32,21 @@ class TransferManager {
   /// Marks a transfer of `uid` started (runtime side).
   void begin(const util::Auid& uid);
 
-  /// Marks it finished; releases the slot and fires waiters (runtime side).
-  void finish(const util::Auid& uid, bool ok);
+  /// Marks it finished with its outcome — ok, or the Error saying why the
+  /// download died (no source, transport loss, checksum exhaustion).
+  /// Releases the slot and fires waiters (runtime side).
+  void finish(const util::Auid& uid, Status outcome);
 
   /// Non-blocking probe of the paper's API.
   TransferProbe probe(const util::Auid& uid) const;
 
-  /// The async waitFor: runs `done(ok)` when the datum's transfer
+  /// Outcome of a finished transfer (Errc::kUnavailable while unknown or
+  /// still active).
+  Status outcome(const util::Auid& uid) const;
+
+  /// The async waitFor: runs `done(outcome)` when the datum's transfer
   /// completes; immediate if it already has.
-  void when_done(const util::Auid& uid, std::function<void(bool)> done);
+  void when_done(const util::Auid& uid, std::function<void(Status)> done);
 
   /// Barrier: fires once no transfer is active or queued.
   void barrier(std::function<void()> done);
@@ -54,7 +61,8 @@ class TransferManager {
   int active_ = 0;
   std::deque<std::function<void()>> pending_;
   std::map<util::Auid, TransferProbe> states_;
-  std::map<util::Auid, std::vector<std::function<void(bool)>>> waiters_;
+  std::map<util::Auid, Status> outcomes_;
+  std::map<util::Auid, std::vector<std::function<void(Status)>>> waiters_;
   std::vector<std::function<void()>> barriers_;
 };
 

@@ -8,6 +8,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace bitdew::dht {
@@ -18,6 +19,13 @@ class LocalDht {
   void put(const std::string& key, const std::string& value) {
     const std::lock_guard lock(mutex_);
     store_[key].insert(value);
+  }
+
+  /// Bulk publish: one lock acquisition for N pairs (the fallback back-end
+  /// of the bus's ddc_publish_batch endpoint).
+  void put_batch(const std::vector<std::pair<std::string, std::string>>& pairs) {
+    const std::lock_guard lock(mutex_);
+    for (const auto& [key, value] : pairs) store_[key].insert(value);
   }
 
   /// All values published under `key`, sorted.

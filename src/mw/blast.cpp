@@ -156,8 +156,8 @@ class BlastApplication::WorkerLogic final
         sequence.uid.lo ^ 0xb1a57ULL, app_.workload_.result_bytes);
     auto result = std::make_shared<core::Data>();
     *result = bitdew.create_data("Result", content, [this, result, self = shared_from_this()](
-                                                        bool registered) {
-      if (!registered) return;
+                                                        api::Status registered) {
+      if (!registered.ok()) return;
       node_.bitdew().offer_local(*result, app_.workload_.sequence_protocol);
 
       core::DataAttributes attributes;

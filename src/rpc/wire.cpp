@@ -1,0 +1,237 @@
+#include "rpc/wire.hpp"
+
+namespace bitdew::rpc::wire {
+
+void write_auid(Writer& w, const util::Auid& uid) {
+  w.u64(uid.hi);
+  w.u64(uid.lo);
+}
+
+util::Auid read_auid(Reader& r) {
+  util::Auid uid;
+  uid.hi = r.u64();
+  uid.lo = r.u64();
+  return uid;
+}
+
+void write_data(Writer& w, const core::Data& data) {
+  write_auid(w, data.uid);
+  w.str(data.name);
+  w.str(data.checksum);
+  w.i64(data.size);
+  w.u32(data.flags);
+}
+
+core::Data read_data(Reader& r) {
+  core::Data data;
+  data.uid = read_auid(r);
+  data.name = r.str();
+  data.checksum = r.str();
+  data.size = r.i64();
+  data.flags = r.u32();
+  return data;
+}
+
+void write_locator(Writer& w, const core::Locator& locator) {
+  write_auid(w, locator.data_uid);
+  w.str(locator.protocol);
+  w.str(locator.host);
+  w.str(locator.path);
+  w.str(locator.credentials);
+}
+
+core::Locator read_locator(Reader& r) {
+  core::Locator locator;
+  locator.data_uid = read_auid(r);
+  locator.protocol = r.str();
+  locator.host = r.str();
+  locator.path = r.str();
+  locator.credentials = r.str();
+  return locator;
+}
+
+void write_attributes(Writer& w, const core::DataAttributes& attributes) {
+  w.str(attributes.name);
+  w.i64(attributes.replica);
+  w.boolean(attributes.fault_tolerant);
+  w.u8(static_cast<std::uint8_t>(attributes.lifetime.kind));
+  w.f64(attributes.lifetime.expires_at);
+  write_auid(w, attributes.lifetime.reference);
+  write_auid(w, attributes.affinity);
+  w.str(attributes.affinity_name);
+  w.str(attributes.protocol);
+}
+
+core::DataAttributes read_attributes(Reader& r) {
+  core::DataAttributes attributes;
+  attributes.name = r.str();
+  attributes.replica = static_cast<int>(r.i64());
+  attributes.fault_tolerant = r.boolean();
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(core::Lifetime::Kind::kRelative)) {
+    throw CodecError("bad lifetime kind " + std::to_string(kind));
+  }
+  attributes.lifetime.kind = static_cast<core::Lifetime::Kind>(kind);
+  attributes.lifetime.expires_at = r.f64();
+  attributes.lifetime.reference = read_auid(r);
+  attributes.affinity = read_auid(r);
+  attributes.affinity_name = r.str();
+  attributes.protocol = r.str();
+  return attributes;
+}
+
+void write_error(Writer& w, const api::Error& error) {
+  w.u8(static_cast<std::uint8_t>(error.code));
+  w.str(error.service);
+  w.str(error.message);
+}
+
+api::Error read_error(Reader& r) {
+  api::Error error;
+  const std::uint8_t code = r.u8();
+  if (code > static_cast<std::uint8_t>(api::Errc::kInvalidArgument)) {
+    throw CodecError("bad error code " + std::to_string(code));
+  }
+  error.code = static_cast<api::Errc>(code);
+  error.service = r.str();
+  error.message = r.str();
+  return error;
+}
+
+void write_status(Writer& w, const api::Status& status) {
+  w.boolean(status.ok());
+  if (!status.ok()) write_error(w, status.error());
+}
+
+api::Status read_status(Reader& r) {
+  if (r.boolean()) return api::ok_status();
+  api::Error error = read_error(r);
+  if (error.code == api::Errc::kOk) throw CodecError("failed status with ok code");
+  return error;
+}
+
+namespace {
+
+template <typename T, typename WriteItem>
+void write_list(Writer& w, const std::vector<T>& items, WriteItem write_item) {
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const T& item : items) write_item(w, item);
+}
+
+template <typename T, typename ReadItem>
+std::vector<T> read_list(Reader& r, ReadItem read_item) {
+  const std::uint32_t count = r.u32();
+  std::vector<T> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(read_item(r));
+  return out;
+}
+
+}  // namespace
+
+void write_register_batch(Writer& w, const std::vector<core::Data>& items) {
+  write_list(w, items, write_data);
+}
+
+std::vector<core::Data> read_register_batch(Reader& r) {
+  return read_list<core::Data>(r, read_data);
+}
+
+void write_locators_batch_request(Writer& w, const std::vector<util::Auid>& uids) {
+  write_list(w, uids, write_auid);
+}
+
+std::vector<util::Auid> read_locators_batch_request(Reader& r) {
+  return read_list<util::Auid>(r, read_auid);
+}
+
+void write_locators_batch_reply(
+    Writer& w, const std::vector<api::Expected<std::vector<core::Locator>>>& reply) {
+  write_list(w, reply, [](Writer& wr, const api::Expected<std::vector<core::Locator>>& item) {
+    wr.boolean(item.ok());
+    if (item.ok()) {
+      write_list(wr, item.value(), write_locator);
+    } else {
+      write_error(wr, item.error());
+    }
+  });
+}
+
+std::vector<api::Expected<std::vector<core::Locator>>> read_locators_batch_reply(Reader& r) {
+  return read_list<api::Expected<std::vector<core::Locator>>>(
+      r, [](Reader& rd) -> api::Expected<std::vector<core::Locator>> {
+        if (rd.boolean()) return read_list<core::Locator>(rd, read_locator);
+        api::Error error = read_error(rd);
+        if (error.code == api::Errc::kOk) throw CodecError("failed reply with ok code");
+        return error;
+      });
+}
+
+void write_schedule_batch(
+    Writer& w, const std::vector<std::pair<core::Data, core::DataAttributes>>& items) {
+  write_list(w, items,
+             [](Writer& wr, const std::pair<core::Data, core::DataAttributes>& item) {
+               write_data(wr, item.first);
+               write_attributes(wr, item.second);
+             });
+}
+
+std::vector<std::pair<core::Data, core::DataAttributes>> read_schedule_batch(Reader& r) {
+  return read_list<std::pair<core::Data, core::DataAttributes>>(r, [](Reader& rd) {
+    core::Data data = read_data(rd);
+    core::DataAttributes attributes = read_attributes(rd);
+    return std::make_pair(std::move(data), std::move(attributes));
+  });
+}
+
+void write_publish_batch(Writer& w,
+                         const std::vector<std::pair<std::string, std::string>>& pairs) {
+  write_list(w, pairs, [](Writer& wr, const std::pair<std::string, std::string>& pair) {
+    wr.str(pair.first);
+    wr.str(pair.second);
+  });
+}
+
+std::vector<std::pair<std::string, std::string>> read_publish_batch(Reader& r) {
+  return read_list<std::pair<std::string, std::string>>(r, [](Reader& rd) {
+    std::string key = rd.str();
+    std::string value = rd.str();
+    return std::make_pair(std::move(key), std::move(value));
+  });
+}
+
+void write_status_batch(Writer& w, const std::vector<api::Status>& statuses) {
+  write_list(w, statuses, write_status);
+}
+
+std::vector<api::Status> read_status_batch(Reader& r) {
+  return read_list<api::Status>(r, read_status);
+}
+
+std::int64_t register_batch_bytes(const std::vector<core::Data>& items) {
+  Writer w;
+  write_register_batch(w, items);
+  return static_cast<std::int64_t>(w.size());
+}
+
+std::int64_t locators_batch_request_bytes(const std::vector<util::Auid>& uids) {
+  Writer w;
+  write_locators_batch_request(w, uids);
+  return static_cast<std::int64_t>(w.size());
+}
+
+std::int64_t schedule_batch_bytes(
+    const std::vector<std::pair<core::Data, core::DataAttributes>>& items) {
+  Writer w;
+  write_schedule_batch(w, items);
+  return static_cast<std::int64_t>(w.size());
+}
+
+std::int64_t publish_batch_bytes(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  Writer w;
+  write_publish_batch(w, pairs);
+  return static_cast<std::int64_t>(w.size());
+}
+
+}  // namespace bitdew::rpc::wire

@@ -1,0 +1,73 @@
+// Wire shapes for the ServiceBus v2 messages: binary encode/decode of the
+// core model types (Auid, Data, Locator, DataAttributes), the typed Error
+// channel, and the four batch request/reply messages. SimServiceBus sizes
+// batched RPCs by actually encoding them — the amortization the bulk
+// endpoints claim (one envelope over N items) is measured on real bytes,
+// not a hand-tuned constant. test_codec round-trips every shape.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "api/expected.hpp"
+#include "core/attributes.hpp"
+#include "core/data.hpp"
+#include "core/locator.hpp"
+#include "rpc/codec.hpp"
+
+namespace bitdew::rpc::wire {
+
+// --- model types -------------------------------------------------------------
+void write_auid(Writer& w, const util::Auid& uid);
+util::Auid read_auid(Reader& r);
+
+void write_data(Writer& w, const core::Data& data);
+core::Data read_data(Reader& r);
+
+void write_locator(Writer& w, const core::Locator& locator);
+core::Locator read_locator(Reader& r);
+
+void write_attributes(Writer& w, const core::DataAttributes& attributes);
+core::DataAttributes read_attributes(Reader& r);
+
+// --- error channel -----------------------------------------------------------
+void write_error(Writer& w, const api::Error& error);
+api::Error read_error(Reader& r);
+
+void write_status(Writer& w, const api::Status& status);
+api::Status read_status(Reader& r);
+
+// --- batch messages ----------------------------------------------------------
+// Requests are a u32 count followed by the items; replies are index-aligned
+// per-item payloads. decode throws CodecError on malformed input.
+void write_register_batch(Writer& w, const std::vector<core::Data>& items);
+std::vector<core::Data> read_register_batch(Reader& r);
+
+void write_locators_batch_request(Writer& w, const std::vector<util::Auid>& uids);
+std::vector<util::Auid> read_locators_batch_request(Reader& r);
+
+void write_locators_batch_reply(
+    Writer& w, const std::vector<api::Expected<std::vector<core::Locator>>>& reply);
+std::vector<api::Expected<std::vector<core::Locator>>> read_locators_batch_reply(Reader& r);
+
+void write_schedule_batch(Writer& w,
+                          const std::vector<std::pair<core::Data, core::DataAttributes>>& items);
+std::vector<std::pair<core::Data, core::DataAttributes>> read_schedule_batch(Reader& r);
+
+void write_publish_batch(Writer& w,
+                         const std::vector<std::pair<std::string, std::string>>& pairs);
+std::vector<std::pair<std::string, std::string>> read_publish_batch(Reader& r);
+
+void write_status_batch(Writer& w, const std::vector<api::Status>& statuses);
+std::vector<api::Status> read_status_batch(Reader& r);
+
+// --- sizing helpers ----------------------------------------------------------
+// Encoded byte counts, used by SimServiceBus to charge batch RPCs for the
+// bytes they would really occupy.
+std::int64_t register_batch_bytes(const std::vector<core::Data>& items);
+std::int64_t locators_batch_request_bytes(const std::vector<util::Auid>& uids);
+std::int64_t schedule_batch_bytes(
+    const std::vector<std::pair<core::Data, core::DataAttributes>>& items);
+std::int64_t publish_batch_bytes(const std::vector<std::pair<std::string, std::string>>& pairs);
+
+}  // namespace bitdew::rpc::wire

@@ -60,10 +60,11 @@ void SimNode::do_sync() {
                  name().c_str(), cache_.size(), downloading_.size());
   const std::vector<util::Auid> cache(cache_.begin(), cache_.end());
   const std::vector<util::Auid> in_flight(downloading_.begin(), downloading_.end());
-  bus_.ds_sync(name(), cache, in_flight, [this](services::SyncReply reply) {
-    if (stopped_) return;
-    apply_reply(reply);
-  });
+  bus_.ds_sync(name(), cache, in_flight,
+               [this](api::Expected<services::SyncReply> reply) {
+                 if (stopped_ || !reply.ok()) return;  // lost sync: next beat retries
+                 apply_reply(*reply);
+               });
 }
 
 void SimNode::apply_reply(const services::SyncReply& reply) {
@@ -105,14 +106,17 @@ void SimNode::start_download(const services::ScheduledData& item) {
     // Protocol setup, as in the paper's overhead experiment: locate the
     // source (DC), then register the transfer (DT), then go out-of-band.
     bus_.dc_locators(item.data.uid, [this, item, assigned_at](
-                                        std::vector<core::Locator> locators) {
+                                        api::Expected<std::vector<core::Locator>> reply) {
       if (stopped_) return;
-      if (locators.empty()) {
+      if (!reply.ok() || reply->empty()) {
         // Nothing serves this datum yet (e.g. producer still uploading):
         // fail this round; the next sync retries.
-        download_failed(item);
+        download_failed(item, reply.ok()
+                                  ? api::Error{api::Errc::kUnavailable, "dc", "no locators"}
+                                  : reply.error());
         return;
       }
+      const std::vector<core::Locator>& locators = *reply;
       // Prefer a locator matching the requested protocol.
       core::Locator chosen = locators.front();
       for (const core::Locator& locator : locators) {
@@ -128,10 +132,15 @@ void SimNode::start_download(const services::ScheduledData& item) {
                      chosen.url().c_str(), protocol_name.c_str());
       bus_.dt_register(
           item.data, chosen.host, name(), protocol_name,
-          [this, item, chosen, protocol_name, assigned_at](services::TicketId ticket) {
+          [this, item, chosen, protocol_name,
+           assigned_at](api::Expected<services::TicketId> ticket) {
             if (stopped_) return;
+            if (!ticket.ok()) {
+              download_failed(item, ticket.error());
+              return;
+            }
             last_assigned_at_ = assigned_at;
-            attempt_fetch_with_source(item, ticket, chosen, protocol_name, 1, 0);
+            attempt_fetch_with_source(item, *ticket, chosen, protocol_name, 1, 0);
           });
     });
   });
@@ -141,12 +150,17 @@ void SimNode::attempt_fetch(const services::ScheduledData& item, services::Ticke
                             int attempt, std::int64_t offset) {
   // Re-resolve the locator on retries (the original source may be gone).
   bus_.dc_locators(item.data.uid,
-                   [this, item, ticket, attempt, offset](std::vector<core::Locator> locators) {
+                   [this, item, ticket, attempt,
+                    offset](api::Expected<std::vector<core::Locator>> reply) {
                      if (stopped_) return;
-                     if (locators.empty()) {
-                       download_failed(item);
+                     if (!reply.ok() || reply->empty()) {
+                       download_failed(
+                           item, reply.ok() ? api::Error{api::Errc::kUnavailable, "dc",
+                                                         "no locators"}
+                                            : reply.error());
                        return;
                      }
+                     const std::vector<core::Locator>& locators = *reply;
                      core::Locator chosen = locators.front();
                      for (const core::Locator& locator : locators) {
                        if (locator.protocol == item.attributes.protocol) {
@@ -176,7 +190,8 @@ void SimNode::attempt_fetch_with_source(const services::ScheduledData& item,
   job.offset = offset;
 
   if (job.source == net::kNoHost) {
-    download_failed(item);
+    download_failed(item,
+                    api::Error{api::Errc::kNotFound, "net", "unknown source host " + source.host});
     return;
   }
 
@@ -184,7 +199,7 @@ void SimNode::attempt_fetch_with_source(const services::ScheduledData& item,
   auto monitor = std::make_shared<sim::PeriodicTimer>();
   monitor->start(runtime_.simulator(), runtime_.config().dt_monitor_period_s,
                  [this, ticket, offset] {
-                   if (!stopped_) bus_.dt_monitor(ticket, offset, [](bool) {});
+                   if (!stopped_) bus_.dt_monitor(ticket, offset, [](api::Status) {});
                  });
 
   logger().trace("%s: fetch %s attempt %d offset %lld", name().c_str(),
@@ -198,15 +213,15 @@ void SimNode::attempt_fetch_with_source(const services::ScheduledData& item,
 
     if (outcome.ok) {
       bus_.dt_complete(ticket, outcome.checksum, item.data.checksum,
-                       [this, item, ticket, attempt, offset](bool verified) {
+                       [this, item, ticket, attempt, offset](api::Status verified) {
                          if (stopped_) return;
-                         if (verified) {
+                         if (verified.ok()) {
                            download_succeeded(item, last_assigned_at_);
                          } else if (attempt < runtime_.config().max_transfer_attempts) {
                            attempt_fetch(item, ticket, attempt + 1, 0);
                          } else {
-                           bus_.dt_give_up(ticket, [](bool) {});
-                           download_failed(item);
+                           bus_.dt_give_up(ticket, [](api::Status) {});
+                           download_failed(item, verified.error());
                          }
                        });
       return;
@@ -214,12 +229,13 @@ void SimNode::attempt_fetch_with_source(const services::ScheduledData& item,
 
     const bool can_resume = protocol->supports_resume();
     const std::int64_t held = offset + (can_resume ? outcome.bytes_transferred : 0);
-    bus_.dt_failure(ticket, held, can_resume, [](bool) {});
+    bus_.dt_failure(ticket, held, can_resume, [](api::Status) {});
     if (attempt < runtime_.config().max_transfer_attempts) {
       attempt_fetch(item, ticket, attempt + 1, can_resume ? held : 0);
     } else {
-      bus_.dt_give_up(ticket, [](bool) {});
-      download_failed(item);
+      bus_.dt_give_up(ticket, [](api::Status) {});
+      download_failed(item,
+                      api::Error{api::Errc::kTransport, "dt", "transfer attempts exhausted"});
     }
   });
 }
@@ -232,17 +248,18 @@ void SimNode::download_succeeded(const services::ScheduledData& item, double ass
   last_download_rate_ = last_download_duration_ > 0
                             ? static_cast<double>(item.data.size) / last_download_duration_
                             : 0;
-  tm_.finish(uid, true);
+  tm_.finish(uid, api::ok_status());
   active_data_.dispatch_copy(item.data, item.attributes);
   // Publish the replica location in the distributed catalog (paper §3.4.1).
-  bus_.ddc_publish(uid.str(), name(), [](bool) {});
+  bus_.ddc_publish(uid.str(), name(), [](api::Status) {});
 }
 
-void SimNode::download_failed(const services::ScheduledData& item) {
+void SimNode::download_failed(const services::ScheduledData& item, const api::Error& why) {
   const util::Auid uid = item.data.uid;
   downloading_.erase(uid);
-  tm_.finish(uid, false);
-  logger().debug("%s: download of %s failed", name().c_str(), item.data.name.c_str());
+  tm_.finish(uid, api::Status(why));
+  logger().debug("%s: download of %s failed: %s", name().c_str(), item.data.name.c_str(),
+                 why.to_string().c_str());
 }
 
 // --- SimRuntime ------------------------------------------------------------------

@@ -85,7 +85,7 @@ class SimNode {
                                  const std::string& protocol_name, int attempt,
                                  std::int64_t offset);
   void download_succeeded(const services::ScheduledData& item, double assigned_at);
-  void download_failed(const services::ScheduledData& item);
+  void download_failed(const services::ScheduledData& item, const api::Error& why);
 
   SimRuntime& runtime_;
   net::HostId host_;

@@ -1,11 +1,29 @@
 #include "runtime/sim_service_bus.hpp"
 
+#include "api/service_ops.hpp"
+#include "rpc/wire.hpp"
+
 namespace bitdew::runtime {
+namespace {
+
+using api::Errc;
+using api::Error;
+using api::Expected;
+using api::Status;
+
+Error transport_error(const char* what) { return Error{Errc::kTransport, "bus", what}; }
+
+/// Transport fallback for a batch: every item reports the same loss.
+api::BatchStatus batch_transport_fallback(std::size_t count) {
+  return api::BatchStatus(count, Status(transport_error("batch flow failed")));
+}
+
+}  // namespace
 
 template <typename R>
 void SimServiceBus::rpc(std::int64_t extra_request_bytes, std::int64_t extra_response_bytes,
                         std::function<R(services::ServiceContainer&)> compute, R fallback,
-                        api::Reply<R> done) {
+                        api::Reply<R> done, std::size_t items) {
   ++rpcs_;
   const std::int64_t request_bytes =
       config_.control_traffic ? config_.request_bytes + extra_request_bytes : 0;
@@ -14,215 +32,290 @@ void SimServiceBus::rpc(std::int64_t extra_request_bytes, std::int64_t extra_res
 
   net_.start_flow(
       self_, service_host_, request_bytes,
-      [this, response_bytes, compute = std::move(compute), fallback = std::move(fallback),
+      [this, response_bytes, items, compute = std::move(compute),
+       fallback = std::move(fallback),
        done = std::move(done)](const net::FlowResult& request) mutable {
         if (!request.ok) {
           done(std::move(fallback));
           return;
         }
-        queue_.submit([this, response_bytes, compute = std::move(compute),
-                       fallback = std::move(fallback), done = std::move(done)]() mutable {
-          R result = compute(container_);
-          net_.start_flow(service_host_, self_, response_bytes,
-                          [result = std::move(result), fallback = std::move(fallback),
-                           done = std::move(done)](const net::FlowResult& response) mutable {
-                            done(response.ok ? std::move(result) : std::move(fallback));
-                          });
-        });
+        queue_.submit(
+            [this, response_bytes, compute = std::move(compute),
+             fallback = std::move(fallback), done = std::move(done)]() mutable {
+              R result = compute(container_);
+              net_.start_flow(service_host_, self_, response_bytes,
+                              [result = std::move(result), fallback = std::move(fallback),
+                               done = std::move(done)](const net::FlowResult& response) mutable {
+                                done(response.ok ? std::move(result) : std::move(fallback));
+                              });
+            },
+            items);
       });
 }
 
-void SimServiceBus::dc_register(const core::Data& data, api::Reply<bool> done) {
-  rpc<bool>(
-      160, 0, [data](services::ServiceContainer& c) { return c.dc().register_data(data); },
-      false, std::move(done));
+void SimServiceBus::dc_register(const core::Data& data, api::Reply<Status> done) {
+  rpc<Status>(
+      160, 0, [data](services::ServiceContainer& c) { return api::ops::dc_register(c, data); },
+      transport_error("dc_register flow failed"), std::move(done));
 }
 
-void SimServiceBus::dc_get(const util::Auid& uid, api::Reply<std::optional<core::Data>> done) {
-  rpc<std::optional<core::Data>>(
-      16, 160, [uid](services::ServiceContainer& c) { return c.dc().get(uid); }, std::nullopt,
-      std::move(done));
+void SimServiceBus::dc_get(const util::Auid& uid, api::Reply<Expected<core::Data>> done) {
+  rpc<Expected<core::Data>>(
+      16, 160, [uid](services::ServiceContainer& c) { return api::ops::dc_get(c, uid); },
+      transport_error("dc_get flow failed"), std::move(done));
 }
 
 void SimServiceBus::dc_search(const std::string& name,
-                              api::Reply<std::vector<core::Data>> done) {
-  rpc<std::vector<core::Data>>(
+                              api::Reply<Expected<std::vector<core::Data>>> done) {
+  rpc<Expected<std::vector<core::Data>>>(
       static_cast<std::int64_t>(name.size()), config_.per_item_bytes,
-      [name](services::ServiceContainer& c) { return c.dc().search(name); }, {},
-      std::move(done));
+      [name](services::ServiceContainer& c) { return api::ops::dc_search(c, name); },
+      transport_error("dc_search flow failed"), std::move(done));
 }
 
-void SimServiceBus::dc_remove(const util::Auid& uid, api::Reply<bool> done) {
-  rpc<bool>(
-      16, 0, [uid](services::ServiceContainer& c) { return c.dc().remove(uid); }, false,
-      std::move(done));
+void SimServiceBus::dc_remove(const util::Auid& uid, api::Reply<Status> done) {
+  rpc<Status>(
+      16, 0, [uid](services::ServiceContainer& c) { return api::ops::dc_remove(c, uid); },
+      transport_error("dc_remove flow failed"), std::move(done));
 }
 
-void SimServiceBus::dc_add_locator(const core::Locator& locator, api::Reply<bool> done) {
-  rpc<bool>(
-      128, 0, [locator](services::ServiceContainer& c) { return c.dc().add_locator(locator); },
-      false, std::move(done));
+void SimServiceBus::dc_add_locator(const core::Locator& locator, api::Reply<Status> done) {
+  rpc<Status>(
+      128, 0,
+      [locator](services::ServiceContainer& c) { return api::ops::dc_add_locator(c, locator); },
+      transport_error("dc_add_locator flow failed"), std::move(done));
 }
 
 void SimServiceBus::dc_locators(const util::Auid& uid,
-                                api::Reply<std::vector<core::Locator>> done) {
-  rpc<std::vector<core::Locator>>(
+                                api::Reply<Expected<std::vector<core::Locator>>> done) {
+  rpc<Expected<std::vector<core::Locator>>>(
       16, config_.per_item_bytes,
-      [uid](services::ServiceContainer& c) { return c.dc().locators(uid); }, {},
-      std::move(done));
+      [uid](services::ServiceContainer& c) { return api::ops::dc_locators(c, uid); },
+      transport_error("dc_locators flow failed"), std::move(done));
 }
 
 void SimServiceBus::dr_put(const core::Data& data, const core::Content& content,
-                           const std::string& protocol, api::Reply<core::Locator> done) {
+                           const std::string& protocol,
+                           api::Reply<Expected<core::Locator>> done) {
   // The payload itself travels to the repository host before registration.
   net_.start_flow(self_, service_host_, content.size,
                   [this, data, content, protocol,
                    done = std::move(done)](const net::FlowResult& upload) mutable {
                     if (!upload.ok) {
-                      done(core::Locator{});
+                      done(Error{Errc::kTransport, "dr", "content upload failed"});
                       return;
                     }
-                    rpc<core::Locator>(
+                    rpc<Expected<core::Locator>>(
                         96, 128,
                         [data, content, protocol](services::ServiceContainer& c) {
-                          return c.dr().put(data, content, protocol);
+                          return api::ops::dr_put(c, data, content, protocol);
                         },
-                        core::Locator{}, std::move(done));
+                        transport_error("dr_put flow failed"), std::move(done));
                   });
 }
 
-void SimServiceBus::dr_get(const util::Auid& uid,
-                           api::Reply<std::optional<core::Content>> done) {
-  rpc<std::optional<core::Content>>(
-      16, 64, [uid](services::ServiceContainer& c) { return c.dr().get(uid); }, std::nullopt,
-      std::move(done));
+void SimServiceBus::dr_get(const util::Auid& uid, api::Reply<Expected<core::Content>> done) {
+  rpc<Expected<core::Content>>(
+      16, 64, [uid](services::ServiceContainer& c) { return api::ops::dr_get(c, uid); },
+      transport_error("dr_get flow failed"), std::move(done));
 }
 
-void SimServiceBus::dr_remove(const util::Auid& uid, api::Reply<bool> done) {
-  rpc<bool>(
-      16, 0, [uid](services::ServiceContainer& c) { return c.dr().remove(uid); }, false,
-      std::move(done));
+void SimServiceBus::dr_remove(const util::Auid& uid, api::Reply<Status> done) {
+  rpc<Status>(
+      16, 0, [uid](services::ServiceContainer& c) { return api::ops::dr_remove(c, uid); },
+      transport_error("dr_remove flow failed"), std::move(done));
 }
 
 void SimServiceBus::dt_register(const core::Data& data, const std::string& source,
                                 const std::string& destination, const std::string& protocol,
-                                api::Reply<services::TicketId> done) {
-  rpc<services::TicketId>(
+                                api::Reply<Expected<services::TicketId>> done) {
+  rpc<Expected<services::TicketId>>(
       192, 16,
       [data, source, destination, protocol](services::ServiceContainer& c) {
-        return c.dt().register_transfer(data, source, destination, protocol);
+        return api::ops::dt_register(c, data, source, destination, protocol);
       },
-      services::TicketId{0}, std::move(done));
+      transport_error("dt_register flow failed"), std::move(done));
 }
 
 void SimServiceBus::dt_monitor(services::TicketId ticket, std::int64_t done_bytes,
-                               api::Reply<bool> done) {
-  rpc<bool>(
+                               api::Reply<Status> done) {
+  rpc<Status>(
       24, 0,
       [ticket, done_bytes](services::ServiceContainer& c) {
-        c.dt().monitor(ticket, done_bytes);
-        return true;
+        return api::ops::dt_monitor(c, ticket, done_bytes);
       },
-      false, std::move(done));
+      transport_error("dt_monitor flow failed"), std::move(done));
 }
 
 void SimServiceBus::dt_complete(services::TicketId ticket, const std::string& received_checksum,
-                                const std::string& expected_checksum, api::Reply<bool> done) {
-  rpc<bool>(
+                                const std::string& expected_checksum,
+                                api::Reply<Status> done) {
+  rpc<Status>(
       80, 0,
       [ticket, received_checksum, expected_checksum](services::ServiceContainer& c) {
-        return c.dt().complete(ticket, received_checksum, expected_checksum);
+        return api::ops::dt_complete(c, ticket, received_checksum, expected_checksum);
       },
-      false, std::move(done));
+      transport_error("dt_complete flow failed"), std::move(done));
 }
 
 void SimServiceBus::dt_failure(services::TicketId ticket, std::int64_t bytes_held,
-                               bool can_resume, api::Reply<bool> done) {
-  rpc<bool>(
+                               bool can_resume, api::Reply<Status> done) {
+  rpc<Status>(
       32, 0,
       [ticket, bytes_held, can_resume](services::ServiceContainer& c) {
-        c.dt().report_failure(ticket, bytes_held, can_resume);
-        return true;
+        return api::ops::dt_failure(c, ticket, bytes_held, can_resume);
       },
-      false, std::move(done));
+      transport_error("dt_failure flow failed"), std::move(done));
 }
 
-void SimServiceBus::dt_give_up(services::TicketId ticket, api::Reply<bool> done) {
-  rpc<bool>(
+void SimServiceBus::dt_give_up(services::TicketId ticket, api::Reply<Status> done) {
+  rpc<Status>(
       16, 0,
-      [ticket](services::ServiceContainer& c) {
-        c.dt().give_up(ticket);
-        return true;
-      },
-      false, std::move(done));
+      [ticket](services::ServiceContainer& c) { return api::ops::dt_give_up(c, ticket); },
+      transport_error("dt_give_up flow failed"), std::move(done));
 }
 
 void SimServiceBus::ds_schedule(const core::Data& data, const core::DataAttributes& attributes,
-                                api::Reply<bool> done) {
-  rpc<bool>(
+                                api::Reply<Status> done) {
+  rpc<Status>(
       224, 0,
       [data, attributes](services::ServiceContainer& c) {
-        c.ds().schedule(data, attributes);
-        return true;
+        return api::ops::ds_schedule(c, data, attributes);
       },
-      false, std::move(done));
+      transport_error("ds_schedule flow failed"), std::move(done));
 }
 
 void SimServiceBus::ds_pin(const util::Auid& uid, const std::string& host,
-                           api::Reply<bool> done) {
-  rpc<bool>(
+                           api::Reply<Status> done) {
+  rpc<Status>(
       48, 0,
-      [uid, host](services::ServiceContainer& c) {
-        c.ds().pin(uid, host);
-        return true;
-      },
-      false, std::move(done));
+      [uid, host](services::ServiceContainer& c) { return api::ops::ds_pin(c, uid, host); },
+      transport_error("ds_pin flow failed"), std::move(done));
 }
 
-void SimServiceBus::ds_unschedule(const util::Auid& uid, api::Reply<bool> done) {
-  rpc<bool>(
-      16, 0, [uid](services::ServiceContainer& c) { return c.ds().unschedule(uid); }, false,
-      std::move(done));
+void SimServiceBus::ds_unschedule(const util::Auid& uid, api::Reply<Status> done) {
+  rpc<Status>(
+      16, 0,
+      [uid](services::ServiceContainer& c) { return api::ops::ds_unschedule(c, uid); },
+      transport_error("ds_unschedule flow failed"), std::move(done));
 }
 
 void SimServiceBus::ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
                             const std::vector<util::Auid>& in_flight,
-                            api::Reply<services::SyncReply> done) {
+                            api::Reply<Expected<services::SyncReply>> done) {
   const auto cache_bytes =
       static_cast<std::int64_t>(cache.size() + in_flight.size()) * config_.per_item_bytes;
-  rpc<services::SyncReply>(
+  rpc<Expected<services::SyncReply>>(
       cache_bytes, config_.per_item_bytes,
       [host, cache, in_flight](services::ServiceContainer& c) {
-        return c.ds().sync(host, cache, in_flight);
+        return api::ops::ds_sync(c, host, cache, in_flight);
       },
-      services::SyncReply{}, std::move(done));
+      transport_error("ds_sync flow failed"), std::move(done));
 }
 
 void SimServiceBus::ddc_publish(const std::string& key, const std::string& value,
-                                api::Reply<bool> done) {
+                                api::Reply<Status> done) {
   if (ring_ != nullptr && ring_node_ != dht::kNoNode) {
-    ring_->put(ring_node_, key, value, std::move(done));
+    ring_->put(ring_node_, key, value, [done = std::move(done)](bool ok) {
+      done(ok ? api::ok_status()
+              : Status(Error{Errc::kUnavailable, "ddc", "ring put failed"}));
+    });
     return;
   }
-  rpc<bool>(
+  rpc<Status>(
       static_cast<std::int64_t>(key.size() + value.size()), 0,
       [this, key, value](services::ServiceContainer&) {
-        fallback_ddc_.put(key, value);
-        return true;
+        return api::ops::ddc_publish(fallback_ddc_, key, value);
       },
-      false, std::move(done));
+      transport_error("ddc_publish flow failed"), std::move(done));
 }
 
 void SimServiceBus::ddc_search(const std::string& key,
-                               api::Reply<std::vector<std::string>> done) {
+                               api::Reply<Expected<std::vector<std::string>>> done) {
   if (ring_ != nullptr && ring_node_ != dht::kNoNode) {
-    ring_->get(ring_node_, key, std::move(done));
+    ring_->get(ring_node_, key, [done = std::move(done)](std::vector<std::string> values) {
+      done(std::move(values));
+    });
     return;
   }
-  rpc<std::vector<std::string>>(
+  rpc<Expected<std::vector<std::string>>>(
       static_cast<std::int64_t>(key.size()), config_.per_item_bytes,
-      [this, key](services::ServiceContainer&) { return fallback_ddc_.get(key); }, {},
-      std::move(done));
+      [this, key](services::ServiceContainer&) {
+        return api::ops::ddc_search(fallback_ddc_, key);
+      },
+      transport_error("ddc_search flow failed"), std::move(done));
+}
+
+// --- bulk endpoints ----------------------------------------------------------
+
+void SimServiceBus::dc_register_batch(const std::vector<core::Data>& items,
+                                      api::Reply<api::BatchStatus> done) {
+  if (items.empty()) {
+    done({});
+    return;
+  }
+  rpc<api::BatchStatus>(
+      rpc::wire::register_batch_bytes(items),
+      static_cast<std::int64_t>(items.size()) * config_.per_item_bytes,
+      [items](services::ServiceContainer& c) { return api::ops::dc_register_batch(c, items); },
+      batch_transport_fallback(items.size()), std::move(done), items.size());
+}
+
+void SimServiceBus::dc_locators_batch(const std::vector<util::Auid>& uids,
+                                      api::Reply<api::BatchLocators> done) {
+  if (uids.empty()) {
+    done({});
+    return;
+  }
+  rpc<api::BatchLocators>(
+      rpc::wire::locators_batch_request_bytes(uids),
+      static_cast<std::int64_t>(uids.size()) * config_.per_item_bytes,
+      [uids](services::ServiceContainer& c) { return api::ops::dc_locators_batch(c, uids); },
+      api::BatchLocators(
+          uids.size(),
+          Expected<std::vector<core::Locator>>(transport_error("batch flow failed"))),
+      std::move(done), uids.size());
+}
+
+void SimServiceBus::ds_schedule_batch(const std::vector<services::ScheduledData>& items,
+                                      api::Reply<api::BatchStatus> done) {
+  if (items.empty()) {
+    done({});
+    return;
+  }
+  std::vector<std::pair<core::Data, core::DataAttributes>> encoded;
+  encoded.reserve(items.size());
+  for (const services::ScheduledData& item : items) {
+    encoded.emplace_back(item.data, item.attributes);
+  }
+  rpc<api::BatchStatus>(
+      rpc::wire::schedule_batch_bytes(encoded),
+      static_cast<std::int64_t>(items.size()) * config_.per_item_bytes,
+      [items](services::ServiceContainer& c) { return api::ops::ds_schedule_batch(c, items); },
+      batch_transport_fallback(items.size()), std::move(done), items.size());
+}
+
+void SimServiceBus::ddc_publish_batch(const std::vector<api::KeyValue>& pairs,
+                                      api::Reply<api::BatchStatus> done) {
+  if (pairs.empty()) {
+    done({});
+    return;
+  }
+  if (ring_ != nullptr && ring_node_ != dht::kNoNode) {
+    // The ring routes per key; fall back to the scalar fan-out.
+    ServiceBus::ddc_publish_batch(pairs, std::move(done));
+    return;
+  }
+  std::vector<std::pair<std::string, std::string>> kvs;
+  kvs.reserve(pairs.size());
+  for (const api::KeyValue& pair : pairs) kvs.emplace_back(pair.key, pair.value);
+  rpc<api::BatchStatus>(
+      rpc::wire::publish_batch_bytes(kvs),
+      static_cast<std::int64_t>(pairs.size()) * config_.per_item_bytes,
+      [this, kvs](services::ServiceContainer&) {
+        return api::ops::ddc_publish_batch(fallback_ddc_, kvs);
+      },
+      batch_transport_fallback(pairs.size()), std::move(done), pairs.size());
 }
 
 }  // namespace bitdew::runtime

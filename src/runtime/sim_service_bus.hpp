@@ -4,6 +4,13 @@
 // honestly), the in-process core call, and a response flow back. Byte
 // counts scale with payload sizes so control traffic consumes bandwidth —
 // the mechanism behind the paper's Fig. 3b/3c overhead.
+//
+// v2: replies carry Expected<T> (transport losses surface as
+// Errc::kTransport; service-level failures come out of service_ops.hpp with
+// the same codes as the DirectServiceBus), and the four bulk endpoints are
+// native: one request flow, one FIFO slot charged N * service_time_s, and
+// one response flow amortize the RPC envelope over the whole batch. Batch
+// requests are sized by actually encoding them through rpc/wire.hpp.
 #pragma once
 
 #include "api/service_bus.hpp"
@@ -15,41 +22,54 @@
 
 namespace bitdew::runtime {
 
-/// FIFO single-server queue modelling the service node's processing.
+/// FIFO single-server queue modelling the service node's processing. A
+/// batched submission occupies the server for `items` service times — the
+/// per-item processing cost is preserved; only the envelope is amortized.
 class ServiceQueue {
  public:
   ServiceQueue(sim::Simulator& sim, double service_time_s)
       : sim_(sim), service_time_(service_time_s) {}
 
-  void submit(std::function<void()> work) {
-    queue_.push_back(std::move(work));
+  void submit(std::function<void()> work, std::size_t items = 1) {
+    queue_.push_back(Job{std::move(work), items == 0 ? 1 : items});
     if (!busy_) drain();
   }
 
+  /// Service events processed (one per submission, batched or not).
   std::uint64_t served() const { return served_; }
+  /// Items processed across all submissions.
+  std::uint64_t items_served() const { return items_served_; }
   std::size_t depth() const { return queue_.size(); }
 
  private:
+  struct Job {
+    std::function<void()> work;
+    std::size_t items;
+  };
+
   void drain() {
     if (queue_.empty()) {
       busy_ = false;
       return;
     }
     busy_ = true;
-    auto work = std::move(queue_.front());
+    Job job = std::move(queue_.front());
     queue_.pop_front();
-    sim_.after(service_time_, [this, work = std::move(work)] {
-      work();
-      ++served_;
-      drain();
-    });
+    sim_.after(service_time_ * static_cast<double>(job.items),
+               [this, job = std::move(job)] {
+                 job.work();
+                 ++served_;
+                 items_served_ += job.items;
+                 drain();
+               });
   }
 
   sim::Simulator& sim_;
   double service_time_;
   bool busy_ = false;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   std::uint64_t served_ = 0;
+  std::uint64_t items_served_ = 0;
 };
 
 struct BusConfig {
@@ -82,46 +102,61 @@ class SimServiceBus final : public api::ServiceBus {
   }
 
   // ServiceBus -----------------------------------------------------------------
-  void dc_register(const core::Data& data, api::Reply<bool> done) override;
-  void dc_get(const util::Auid& uid, api::Reply<std::optional<core::Data>> done) override;
-  void dc_search(const std::string& name, api::Reply<std::vector<core::Data>> done) override;
-  void dc_remove(const util::Auid& uid, api::Reply<bool> done) override;
-  void dc_add_locator(const core::Locator& locator, api::Reply<bool> done) override;
-  void dc_locators(const util::Auid& uid, api::Reply<std::vector<core::Locator>> done) override;
+  void dc_register(const core::Data& data, api::Reply<api::Status> done) override;
+  void dc_get(const util::Auid& uid, api::Reply<api::Expected<core::Data>> done) override;
+  void dc_search(const std::string& name,
+                 api::Reply<api::Expected<std::vector<core::Data>>> done) override;
+  void dc_remove(const util::Auid& uid, api::Reply<api::Status> done) override;
+  void dc_add_locator(const core::Locator& locator, api::Reply<api::Status> done) override;
+  void dc_locators(const util::Auid& uid,
+                   api::Reply<api::Expected<std::vector<core::Locator>>> done) override;
   void dr_put(const core::Data& data, const core::Content& content, const std::string& protocol,
-              api::Reply<core::Locator> done) override;
-  void dr_get(const util::Auid& uid, api::Reply<std::optional<core::Content>> done) override;
-  void dr_remove(const util::Auid& uid, api::Reply<bool> done) override;
+              api::Reply<api::Expected<core::Locator>> done) override;
+  void dr_get(const util::Auid& uid, api::Reply<api::Expected<core::Content>> done) override;
+  void dr_remove(const util::Auid& uid, api::Reply<api::Status> done) override;
   void dt_register(const core::Data& data, const std::string& source,
                    const std::string& destination, const std::string& protocol,
-                   api::Reply<services::TicketId> done) override;
+                   api::Reply<api::Expected<services::TicketId>> done) override;
   void dt_monitor(services::TicketId ticket, std::int64_t done_bytes,
-                  api::Reply<bool> done) override;
+                  api::Reply<api::Status> done) override;
   void dt_complete(services::TicketId ticket, const std::string& received_checksum,
-                   const std::string& expected_checksum, api::Reply<bool> done) override;
+                   const std::string& expected_checksum, api::Reply<api::Status> done) override;
   void dt_failure(services::TicketId ticket, std::int64_t bytes_held, bool can_resume,
-                  api::Reply<bool> done) override;
-  void dt_give_up(services::TicketId ticket, api::Reply<bool> done) override;
+                  api::Reply<api::Status> done) override;
+  void dt_give_up(services::TicketId ticket, api::Reply<api::Status> done) override;
   void ds_schedule(const core::Data& data, const core::DataAttributes& attributes,
-                   api::Reply<bool> done) override;
-  void ds_pin(const util::Auid& uid, const std::string& host, api::Reply<bool> done) override;
-  void ds_unschedule(const util::Auid& uid, api::Reply<bool> done) override;
+                   api::Reply<api::Status> done) override;
+  void ds_pin(const util::Auid& uid, const std::string& host,
+              api::Reply<api::Status> done) override;
+  void ds_unschedule(const util::Auid& uid, api::Reply<api::Status> done) override;
   void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
                const std::vector<util::Auid>& in_flight,
-               api::Reply<services::SyncReply> done) override;
+               api::Reply<api::Expected<services::SyncReply>> done) override;
   void ddc_publish(const std::string& key, const std::string& value,
-                   api::Reply<bool> done) override;
-  void ddc_search(const std::string& key, api::Reply<std::vector<std::string>> done) override;
+                   api::Reply<api::Status> done) override;
+  void ddc_search(const std::string& key,
+                  api::Reply<api::Expected<std::vector<std::string>>> done) override;
+
+  // Native bulk endpoints: one request/response flow for the whole batch.
+  void dc_register_batch(const std::vector<core::Data>& items,
+                         api::Reply<api::BatchStatus> done) override;
+  void dc_locators_batch(const std::vector<util::Auid>& uids,
+                         api::Reply<api::BatchLocators> done) override;
+  void ds_schedule_batch(const std::vector<services::ScheduledData>& items,
+                         api::Reply<api::BatchStatus> done) override;
+  void ddc_publish_batch(const std::vector<api::KeyValue>& pairs,
+                         api::Reply<api::BatchStatus> done) override;
 
   std::uint64_t rpc_count() const { return rpcs_; }
 
  private:
-  /// Request flow -> service queue -> compute -> response flow -> done.
-  /// On any transport failure, `fallback` is delivered instead.
+  /// Request flow -> service queue (items service slots) -> compute ->
+  /// response flow -> done. On any transport failure, `fallback` is
+  /// delivered instead.
   template <typename R>
   void rpc(std::int64_t extra_request_bytes, std::int64_t extra_response_bytes,
            std::function<R(services::ServiceContainer&)> compute, R fallback,
-           api::Reply<R> done);
+           api::Reply<R> done, std::size_t items = 1);
 
   sim::Simulator& sim_;
   net::Network& net_;

@@ -3,6 +3,11 @@
 // build one of these per service host; the "distributed setup" of the paper
 // (several service nodes, each running a subset) is expressed by
 // constructing several containers and wiring clients to different ones.
+//
+// The services expose native bulk operations (DataCatalog::register_batch /
+// locators_batch, DataScheduler::schedule_batch) so a ServiceBus batch
+// endpoint resolves in one container call — the back-end of the v2 bus's
+// amortized dc_register_batch / dc_locators_batch / ds_schedule_batch.
 #pragma once
 
 #include <memory>

@@ -57,6 +57,13 @@ bool DataCatalog::register_data(const core::Data& data) {
   return database_.insert(kDataTable, data_to_row(data)).has_value();
 }
 
+std::vector<bool> DataCatalog::register_batch(const std::vector<core::Data>& items) {
+  std::vector<bool> out;
+  out.reserve(items.size());
+  for (const core::Data& data : items) out.push_back(register_data(data));
+  return out;
+}
+
 std::optional<core::Data> DataCatalog::get(const util::Auid& uid) const {
   const db::Table* table = database_.table(kDataTable);
   const auto id = table->by_primary(db::Value{uid.str()});
@@ -102,6 +109,14 @@ std::vector<core::Locator> DataCatalog::locators(const util::Auid& uid) const {
   for (const db::RowId id : table->find("data_uid", db::Value{uid.str()})) {
     out.push_back(row_to_locator(*table->get(id)));
   }
+  return out;
+}
+
+std::vector<std::vector<core::Locator>> DataCatalog::locators_batch(
+    const std::vector<util::Auid>& uids) const {
+  std::vector<std::vector<core::Locator>> out;
+  out.reserve(uids.size());
+  for (const util::Auid& uid : uids) out.push_back(locators(uid));
   return out;
 }
 

@@ -23,6 +23,11 @@ class DataCatalog {
   /// Registers a datum; fails (returns false) on duplicate uid.
   bool register_data(const core::Data& data);
 
+  /// Bulk registration: one call for N data, per-item outcomes aligned with
+  /// the input (a duplicate does not poison the rest of the batch). The
+  /// native back-end of the bus's dc_register_batch endpoint.
+  std::vector<bool> register_batch(const std::vector<core::Data>& items);
+
   /// Full metadata for a uid.
   std::optional<core::Data> get(const util::Auid& uid) const;
 
@@ -40,6 +45,10 @@ class DataCatalog {
 
   /// Locators registered for a datum.
   std::vector<core::Locator> locators(const util::Auid& uid) const;
+
+  /// Bulk locator lookup, index-aligned with `uids`.
+  std::vector<std::vector<core::Locator>> locators_batch(
+      const std::vector<util::Auid>& uids) const;
 
   std::size_t size() const;
 

@@ -25,17 +25,33 @@ std::size_t DataScheduler::Entry::effective_owners(double now) const {
   return count;
 }
 
-void DataScheduler::schedule(const core::Data& data, const core::DataAttributes& attributes) {
+bool DataScheduler::schedule(const core::Data& data, const core::DataAttributes& attributes) {
+  if (data.uid.is_nil() || attributes.replica < core::kReplicaAll ||
+      attributes.affinity == data.uid ||
+      (attributes.lifetime.kind == core::Lifetime::Kind::kRelative &&
+       attributes.lifetime.reference == data.uid)) {
+    logger().debug("rejecting schedule of %s (invalid attributes)", data.name.c_str());
+    return false;
+  }
   auto& entry = theta_[data.uid];
   entry.data = data;
   entry.attributes = attributes;
+  return true;
 }
 
-void DataScheduler::pin(const util::Auid& uid, const HostName& host) {
+std::vector<bool> DataScheduler::schedule_batch(const std::vector<ScheduledData>& items) {
+  std::vector<bool> out;
+  out.reserve(items.size());
+  for (const ScheduledData& item : items) out.push_back(schedule(item.data, item.attributes));
+  return out;
+}
+
+bool DataScheduler::pin(const util::Auid& uid, const HostName& host) {
   const auto it = theta_.find(uid);
-  if (it == theta_.end()) return;
+  if (it == theta_.end()) return false;
   it->second.pinned.insert(host);
   it->second.owners.insert(host);
+  return true;
 }
 
 bool DataScheduler::unschedule(const util::Auid& uid) {

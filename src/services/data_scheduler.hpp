@@ -69,12 +69,19 @@ class DataScheduler {
 
   // --- data set Θ -----------------------------------------------------------
   /// Adds or updates a datum with its attributes (the ActiveData schedule
-  /// call lands here).
-  void schedule(const core::Data& data, const core::DataAttributes& attributes);
+  /// call lands here). Returns false (rejection) when the request is
+  /// invalid: nil uid, replica below the broadcast marker, or a
+  /// self-referential affinity / relative lifetime — Θ is untouched then.
+  bool schedule(const core::Data& data, const core::DataAttributes& attributes);
+
+  /// Bulk schedule: per-item accept/reject outcomes aligned with the input.
+  /// The native back-end of the bus's ds_schedule_batch endpoint.
+  std::vector<bool> schedule_batch(const std::vector<ScheduledData>& items);
 
   /// Pins a datum to a host: the host is recorded as a permanent owner and
-  /// the datum will never be dropped from that host's cache.
-  void pin(const util::Auid& uid, const HostName& host);
+  /// the datum will never be dropped from that host's cache. Returns false
+  /// when the datum is not scheduled.
+  bool pin(const util::Auid& uid, const HostName& host);
 
   /// Removes a datum from Θ; hosts delete it at their next sync, and any
   /// data with a relative lifetime on it expires too (paper's Collector

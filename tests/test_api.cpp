@@ -1,0 +1,380 @@
+// ServiceBus v2 tests: the typed Expected<T> error channel (distinct
+// Error::codes for duplicate registration, unknown uids, scheduler
+// rejection, checksum mismatch), the bulk endpoints (batch-of-1 scalar
+// equivalence, partial failure, empty-batch no-op) and the blocking Session
+// facade — all through BOTH implementations: the synchronous
+// DirectServiceBus and the discrete-event SimServiceBus.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "api/direct_service_bus.hpp"
+#include "api/session.hpp"
+#include "runtime/sim_service_bus.hpp"
+#include "testbed/topologies.hpp"
+
+namespace bitdew {
+namespace {
+
+using api::BatchStatus;
+using api::Errc;
+using api::Expected;
+using api::Status;
+
+core::Data make_data(const std::string& name, std::int64_t size = 1000) {
+  core::Data data;
+  data.uid = util::next_auid();
+  data.name = name;
+  data.size = size;
+  data.checksum = core::synthetic_content(data.uid.lo, size).checksum;
+  return data;
+}
+
+core::DataAttributes attr(int replica) {
+  core::DataAttributes attributes;
+  attributes.replica = replica;
+  return attributes;
+}
+
+/// The synchronous rig: replies resolve before the call returns.
+struct DirectRig {
+  DirectRig() : container("server", clock), bus(container, ddc) {}
+
+  void settle() {}
+  std::uint64_t traffic() const { return bus.call_count(); }
+  api::Session::Pump pump() { return nullptr; }
+
+  util::ManualClock clock;
+  services::ServiceContainer container;
+  dht::LocalDht ddc;
+  api::DirectServiceBus bus;
+};
+
+/// The discrete-event rig: every call crosses the simulated network and the
+/// FIFO service queue; settle() drains the event queue.
+struct SimRig {
+  SimRig()
+      : net(sim),
+        cluster(testbed::make_cluster(net, testbed::ClusterSpec{"gdx", 2})),
+        container(net.host_name(cluster.hosts[0]), sim),
+        queue(sim, 500e-6),
+        bus(sim, net, cluster.hosts[1], cluster.hosts[0], container, queue, ddc,
+            runtime::BusConfig{}) {}
+
+  void settle() { sim.run(); }
+  std::uint64_t traffic() const { return bus.rpc_count(); }
+  api::Session::Pump pump() {
+    return [this] { return sim.step(); };
+  }
+
+  sim::Simulator sim{5};
+  net::Network net;
+  testbed::Cluster cluster;
+  services::ServiceContainer container;
+  runtime::ServiceQueue queue;
+  dht::LocalDht ddc;
+  runtime::SimServiceBus bus;
+};
+
+template <typename T>
+std::optional<T> capture(std::optional<T>& slot) {
+  return slot;
+}
+
+// --- the typed error channel ------------------------------------------------
+
+template <typename Rig>
+void check_error_codes() {
+  Rig rig;
+  const core::Data data = make_data("genome");
+
+  // Concurrent RPCs may overtake each other on the simulated network, so
+  // assert the pair of outcomes, not their order: exactly one registration
+  // wins and the other reports kDuplicate.
+  std::optional<Status> first;
+  std::optional<Status> second;
+  rig.bus.dc_register(data, [&](Status s) { first = s; });
+  rig.bus.dc_register(data, [&](Status s) { second = s; });
+  rig.settle();
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  const Status& winner = first->ok() ? *first : *second;
+  const Status& loser = first->ok() ? *second : *first;
+  EXPECT_TRUE(winner.ok());
+  EXPECT_EQ(loser.code(), Errc::kDuplicate);
+  EXPECT_EQ(loser.error().service, "dc");
+
+  // Unknown-uid locate is kNotFound — distinct from a registered datum
+  // that merely has no locators yet (ok + empty).
+  std::optional<Expected<std::vector<core::Locator>>> unknown;
+  std::optional<Expected<std::vector<core::Locator>>> empty;
+  rig.bus.dc_locators(util::next_auid(), [&](auto v) { unknown = v; });
+  rig.bus.dc_locators(data.uid, [&](auto v) { empty = v; });
+  rig.settle();
+  ASSERT_TRUE(unknown.has_value() && empty.has_value());
+  EXPECT_EQ(unknown->code(), Errc::kNotFound);
+  ASSERT_TRUE(empty->ok());
+  EXPECT_TRUE((*empty)->empty());
+
+  // Scheduler rejection: invalid replica count and self-affinity.
+  std::optional<Status> rejected;
+  std::optional<Status> self_affine;
+  rig.bus.ds_schedule(data, attr(-5), [&](Status s) { rejected = s; });
+  core::DataAttributes loop_attr = attr(1);
+  loop_attr.affinity = data.uid;
+  rig.bus.ds_schedule(data, loop_attr, [&](Status s) { self_affine = s; });
+  rig.settle();
+  EXPECT_EQ(rejected->code(), Errc::kRejected);
+  EXPECT_EQ(rejected->error().service, "ds");
+  EXPECT_EQ(self_affine->code(), Errc::kRejected);
+  EXPECT_EQ(rig.container.ds().scheduled_count(), 0u);
+
+  // Pinning an unscheduled datum is kNotFound.
+  std::optional<Status> pin;
+  rig.bus.ds_pin(data.uid, "host", [&](Status s) { pin = s; });
+  rig.settle();
+  EXPECT_EQ(pin->code(), Errc::kNotFound);
+
+  // DT checksum verification failure is kChecksumMismatch.
+  std::optional<Expected<services::TicketId>> ticket;
+  rig.bus.dt_register(data, "server", "worker", "ftp", [&](auto t) { ticket = t; });
+  rig.settle();
+  ASSERT_TRUE(ticket.has_value() && ticket->ok());
+  std::optional<Status> verify;
+  rig.bus.dt_complete(ticket->value(), "badbadbad", data.checksum,
+                      [&](Status s) { verify = s; });
+  rig.settle();
+  EXPECT_EQ(verify->code(), Errc::kChecksumMismatch);
+  EXPECT_EQ(verify->error().service, "dt");
+}
+
+TEST(ErrorChannel, DirectBusSurfacesDistinctCodes) { check_error_codes<DirectRig>(); }
+TEST(ErrorChannel, SimBusSurfacesDistinctCodes) { check_error_codes<SimRig>(); }
+
+// --- bulk endpoints ----------------------------------------------------------
+
+template <typename Rig>
+void check_batch_of_one_equivalence() {
+  Rig rig;
+  const core::Data scalar_data = make_data("scalar");
+  const core::Data batch_data = make_data("batched");
+
+  std::optional<Status> scalar;
+  std::optional<BatchStatus> batch;
+  rig.bus.dc_register(scalar_data, [&](Status s) { scalar = s; });
+  rig.bus.dc_register_batch({batch_data}, [&](BatchStatus s) { batch = s; });
+  rig.settle();
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_EQ(scalar->ok(), (*batch)[0].ok());
+
+  // Both really registered — and re-running either path reports the same
+  // duplicate code.
+  std::optional<Status> scalar_dup;
+  std::optional<BatchStatus> batch_dup;
+  rig.bus.dc_register(scalar_data, [&](Status s) { scalar_dup = s; });
+  rig.bus.dc_register_batch({batch_data}, [&](BatchStatus s) { batch_dup = s; });
+  rig.settle();
+  EXPECT_EQ(scalar_dup->code(), Errc::kDuplicate);
+  EXPECT_EQ((*batch_dup)[0].code(), Errc::kDuplicate);
+  EXPECT_EQ(scalar_dup->error().service, (*batch_dup)[0].error().service);
+}
+
+TEST(BatchEndpoints, DirectBatchOfOneMatchesScalar) {
+  check_batch_of_one_equivalence<DirectRig>();
+}
+TEST(BatchEndpoints, SimBatchOfOneMatchesScalar) { check_batch_of_one_equivalence<SimRig>(); }
+
+template <typename Rig>
+void check_partial_failure() {
+  Rig rig;
+  const core::Data poison = make_data("poison");
+  std::optional<Status> seeded;
+  rig.bus.dc_register(poison, [&](Status s) { seeded = s; });
+  rig.settle();
+  ASSERT_TRUE(seeded->ok());
+
+  const core::Data before = make_data("before");
+  const core::Data after = make_data("after");
+  std::optional<BatchStatus> statuses;
+  rig.bus.dc_register_batch({before, poison, after}, [&](BatchStatus s) { statuses = s; });
+  rig.settle();
+  ASSERT_EQ(statuses->size(), 3u);
+  EXPECT_TRUE((*statuses)[0].ok());
+  EXPECT_EQ((*statuses)[1].code(), Errc::kDuplicate);
+  EXPECT_TRUE((*statuses)[2].ok());
+
+  // The good items really landed despite the bad one.
+  std::optional<Expected<core::Data>> got_before;
+  std::optional<Expected<core::Data>> got_after;
+  rig.bus.dc_get(before.uid, [&](auto d) { got_before = d; });
+  rig.bus.dc_get(after.uid, [&](auto d) { got_after = d; });
+  rig.settle();
+  EXPECT_TRUE(got_before->ok());
+  EXPECT_TRUE(got_after->ok());
+
+  // Scheduler batches report per-item rejection the same way.
+  std::optional<BatchStatus> schedule_statuses;
+  rig.bus.ds_schedule_batch(
+      {services::ScheduledData{before, attr(1)}, services::ScheduledData{poison, attr(-7)},
+       services::ScheduledData{after, attr(2)}},
+      [&](BatchStatus s) { schedule_statuses = s; });
+  rig.settle();
+  ASSERT_EQ(schedule_statuses->size(), 3u);
+  EXPECT_TRUE((*schedule_statuses)[0].ok());
+  EXPECT_EQ((*schedule_statuses)[1].code(), Errc::kRejected);
+  EXPECT_TRUE((*schedule_statuses)[2].ok());
+  EXPECT_EQ(rig.container.ds().scheduled_count(), 2u);
+}
+
+TEST(BatchEndpoints, DirectPartialFailureDoesNotPoison) { check_partial_failure<DirectRig>(); }
+TEST(BatchEndpoints, SimPartialFailureDoesNotPoison) { check_partial_failure<SimRig>(); }
+
+template <typename Rig>
+void check_empty_batch_noop() {
+  Rig rig;
+  const std::uint64_t traffic_before = rig.traffic();
+  std::optional<BatchStatus> registered;
+  std::optional<api::BatchLocators> located;
+  std::optional<BatchStatus> scheduled;
+  std::optional<BatchStatus> published;
+  rig.bus.dc_register_batch({}, [&](BatchStatus s) { registered = s; });
+  rig.bus.dc_locators_batch({}, [&](api::BatchLocators l) { located = l; });
+  rig.bus.ds_schedule_batch({}, [&](BatchStatus s) { scheduled = s; });
+  rig.bus.ddc_publish_batch({}, [&](BatchStatus s) { published = s; });
+  rig.settle();
+  EXPECT_TRUE(registered->empty());
+  EXPECT_TRUE(located->empty());
+  EXPECT_TRUE(scheduled->empty());
+  EXPECT_TRUE(published->empty());
+  EXPECT_EQ(rig.traffic(), traffic_before);  // no RPC / service call issued
+}
+
+TEST(BatchEndpoints, DirectEmptyBatchIsNoop) { check_empty_batch_noop<DirectRig>(); }
+TEST(BatchEndpoints, SimEmptyBatchIsNoop) { check_empty_batch_noop<SimRig>(); }
+
+template <typename Rig>
+void check_ddc_and_locator_batches() {
+  Rig rig;
+  std::optional<BatchStatus> published;
+  rig.bus.ddc_publish_batch({{"k1", "host-a"}, {"", "bad"}, {"k1", "host-b"}},
+                            [&](BatchStatus s) { published = s; });
+  rig.settle();
+  ASSERT_EQ(published->size(), 3u);
+  EXPECT_TRUE((*published)[0].ok());
+  EXPECT_EQ((*published)[1].code(), Errc::kInvalidArgument);
+  EXPECT_TRUE((*published)[2].ok());
+
+  std::optional<Expected<std::vector<std::string>>> found;
+  rig.bus.ddc_search("k1", [&](auto v) { found = v; });
+  rig.settle();
+  ASSERT_TRUE(found->ok());
+  EXPECT_EQ((*found)->size(), 2u);
+
+  // Locator batch: per-item kNotFound for unknown uids.
+  const core::Data known = make_data("known");
+  std::optional<Status> seeded;
+  rig.bus.dc_register(known, [&](Status s) { seeded = s; });
+  rig.settle();
+  core::Locator locator;
+  locator.data_uid = known.uid;
+  locator.protocol = "ftp";
+  locator.host = "server";
+  locator.path = "x";
+  std::optional<Status> added;
+  rig.bus.dc_add_locator(locator, [&](Status s) { added = s; });
+  rig.settle();
+  ASSERT_TRUE(added->ok());
+
+  std::optional<api::BatchLocators> located;
+  rig.bus.dc_locators_batch({known.uid, util::next_auid()},
+                            [&](api::BatchLocators l) { located = l; });
+  rig.settle();
+  ASSERT_EQ(located->size(), 2u);
+  ASSERT_TRUE((*located)[0].ok());
+  EXPECT_EQ((*located)[0]->size(), 1u);
+  EXPECT_EQ((*located)[1].code(), Errc::kNotFound);
+}
+
+TEST(BatchEndpoints, DirectDdcAndLocatorBatches) { check_ddc_and_locator_batches<DirectRig>(); }
+TEST(BatchEndpoints, SimDdcAndLocatorBatches) { check_ddc_and_locator_batches<SimRig>(); }
+
+/// The bulk endpoint's whole point: one service event per batch, not per
+/// item, with per-item service time preserved.
+TEST(BatchEndpoints, SimBatchAmortizesServiceEvents) {
+  SimRig scalar_rig;
+  std::vector<core::Data> items;
+  for (int i = 0; i < 64; ++i) items.push_back(make_data("d" + std::to_string(i)));
+
+  for (const core::Data& data : items) scalar_rig.bus.dc_register(data, [](Status) {});
+  scalar_rig.settle();
+  EXPECT_EQ(scalar_rig.bus.rpc_count(), 64u);
+  EXPECT_EQ(scalar_rig.queue.served(), 64u);
+
+  SimRig batch_rig;
+  std::optional<BatchStatus> statuses;
+  batch_rig.bus.dc_register_batch(items, [&](BatchStatus s) { statuses = s; });
+  batch_rig.settle();
+  ASSERT_EQ(statuses->size(), 64u);
+  for (const Status& status : *statuses) EXPECT_TRUE(status.ok());
+  EXPECT_EQ(batch_rig.bus.rpc_count(), 1u);
+  EXPECT_EQ(batch_rig.queue.served(), 1u);           // one service event...
+  EXPECT_EQ(batch_rig.queue.items_served(), 64u);    // ...charged for 64 items
+  EXPECT_EQ(batch_rig.container.dc().size(), 64u);
+}
+
+// --- the Session facade ------------------------------------------------------
+
+template <typename Rig>
+void check_session() {
+  Rig rig;
+  api::BitDew bitdew(rig.bus, "client");
+  api::ActiveData active_data(rig.bus, "client");
+  api::Session session(bitdew, active_data, rig.pump());
+
+  const Expected<core::Data> data = session.create_data("dataset", {4096, "cafe"});
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(session.offer_local(*data, "http").ok());
+  const auto locators = session.locate(data->uid);
+  ASSERT_TRUE(locators.ok());
+  EXPECT_EQ(locators->size(), 1u);
+
+  // Blocking search: found and not-found.
+  const Expected<core::Data> found = session.search("dataset");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->uid, data->uid);
+  EXPECT_EQ(session.search("nope").code(), Errc::kNotFound);
+
+  // Typed rejection through the blocking path.
+  EXPECT_TRUE(session.schedule(*data, attr(2)).ok());
+  EXPECT_EQ(session.schedule(*data, attr(-9)).code(), Errc::kRejected);
+
+  // wait_all over futures: all ok, then one duplicate poisoning the join.
+  std::vector<api::StatusFuture> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(session.publish_async("key" + std::to_string(i), "value"));
+  }
+  EXPECT_TRUE(session.wait_all(futures).ok());
+
+  const Expected<std::vector<std::string>> values = session.lookup("key1");
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values->size(), 1u);
+
+  // Bulk through the session: one round-trip, per-item statuses.
+  auto [slots, statuses] = session.create_data_batch(
+      {{"bulk-a", {10, "aa"}}, {"bulk-b", {20, "bb"}}});
+  ASSERT_EQ(slots.size(), 2u);
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_TRUE(statuses[0].ok() && statuses[1].ok());
+  const BatchStatus again = session.register_batch(slots);
+  EXPECT_EQ(again[0].code(), Errc::kDuplicate);
+  EXPECT_EQ(again[1].code(), Errc::kDuplicate);
+
+  // A wait that can never resolve fails typed instead of hanging.
+  api::StatusFuture orphan;
+  EXPECT_EQ(session.wait(orphan).code(), Errc::kUnavailable);
+}
+
+TEST(Session, BlocksOverDirectBus) { check_session<DirectRig>(); }
+TEST(Session, BlocksOverSimBus) { check_session<SimRig>(); }
+
+}  // namespace
+}  // namespace bitdew

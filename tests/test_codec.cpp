@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "rpc/codec.hpp"
+#include "rpc/wire.hpp"
 #include "util/rng.hpp"
 
 namespace bitdew {
@@ -155,6 +156,138 @@ TEST_P(CodecRoundTrip, RandomSequencesRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// --- ServiceBus v2 wire shapes ----------------------------------------------
+
+core::Data wire_data(int i) {
+  core::Data data;
+  data.uid = util::Auid{0x1111, static_cast<std::uint64_t>(i)};
+  data.name = "datum-" + std::to_string(i);
+  data.checksum = "00112233445566778899aabbccddeeff";
+  data.size = 1024 * i;
+  data.flags = core::kFlagCompressed;
+  return data;
+}
+
+TEST(Wire, ModelTypesRoundTrip) {
+  rpc::Writer w;
+  const core::Data data = wire_data(7);
+  core::Locator locator;
+  locator.data_uid = data.uid;
+  locator.protocol = "ftp";
+  locator.host = "server1";
+  locator.path = "store/x";
+  locator.credentials = "user:pass";
+  core::DataAttributes attributes;
+  attributes.name = "hot";
+  attributes.replica = core::kReplicaAll;
+  attributes.fault_tolerant = true;
+  attributes.lifetime = core::Lifetime::relative(util::Auid{3, 4});
+  attributes.affinity = util::Auid{5, 6};
+  attributes.affinity_name = "Sequence";
+  attributes.protocol = "bittorrent";
+
+  rpc::wire::write_data(w, data);
+  rpc::wire::write_locator(w, locator);
+  rpc::wire::write_attributes(w, attributes);
+
+  rpc::Reader r(w.buffer());
+  EXPECT_EQ(rpc::wire::read_data(r), data);
+  EXPECT_EQ(rpc::wire::read_locator(r), locator);
+  EXPECT_EQ(rpc::wire::read_attributes(r), attributes);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, StatusAndErrorRoundTrip) {
+  rpc::Writer w;
+  rpc::wire::write_status(w, api::ok_status());
+  rpc::wire::write_status(
+      w, api::Status(api::Error{api::Errc::kDuplicate, "dc", "already there"}));
+
+  rpc::Reader r(w.buffer());
+  const api::Status ok = rpc::wire::read_status(r);
+  const api::Status failed = rpc::wire::read_status(r);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(failed.code(), api::Errc::kDuplicate);
+  EXPECT_EQ(failed.error().service, "dc");
+  EXPECT_EQ(failed.error().message, "already there");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, BatchMessagesRoundTrip) {
+  std::vector<core::Data> items{wire_data(1), wire_data(2), wire_data(3)};
+  std::vector<util::Auid> uids{items[0].uid, items[1].uid};
+  std::vector<std::pair<std::string, std::string>> pairs{{"k1", "v1"}, {"k2", "v2"}};
+
+  rpc::Writer w;
+  rpc::wire::write_register_batch(w, items);
+  rpc::wire::write_locators_batch_request(w, uids);
+  rpc::wire::write_publish_batch(w, pairs);
+  rpc::wire::write_status_batch(
+      w, {api::ok_status(), api::Status(api::Error{api::Errc::kRejected, "ds", "bad"})});
+
+  rpc::Reader r(w.buffer());
+  EXPECT_EQ(rpc::wire::read_register_batch(r), items);
+  EXPECT_EQ(rpc::wire::read_locators_batch_request(r), uids);
+  EXPECT_EQ(rpc::wire::read_publish_batch(r), pairs);
+  const auto statuses = rpc::wire::read_status_batch(r);
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_EQ(statuses[1].code(), api::Errc::kRejected);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, LocatorsBatchReplyRoundTrip) {
+  core::Locator locator;
+  locator.data_uid = util::Auid{1, 2};
+  locator.protocol = "http";
+  locator.host = "h";
+  locator.path = "p";
+  std::vector<api::Expected<std::vector<core::Locator>>> reply;
+  reply.push_back(std::vector<core::Locator>{locator});
+  reply.push_back(api::Error{api::Errc::kNotFound, "dc", "unknown"});
+
+  rpc::Writer w;
+  rpc::wire::write_locators_batch_reply(w, reply);
+  rpc::Reader r(w.buffer());
+  const auto decoded = rpc::wire::read_locators_batch_reply(r);
+  ASSERT_EQ(decoded.size(), 2u);
+  ASSERT_TRUE(decoded[0].ok());
+  EXPECT_EQ(decoded[0]->front(), locator);
+  EXPECT_EQ(decoded[1].code(), api::Errc::kNotFound);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, ScheduleBatchRoundTripAndSizing) {
+  std::vector<std::pair<core::Data, core::DataAttributes>> items;
+  core::DataAttributes attributes;
+  attributes.replica = 2;
+  items.emplace_back(wire_data(1), attributes);
+  items.emplace_back(wire_data(2), attributes);
+
+  rpc::Writer w;
+  rpc::wire::write_schedule_batch(w, items);
+  rpc::Reader r(w.buffer());
+  EXPECT_EQ(rpc::wire::read_schedule_batch(r), items);
+  EXPECT_TRUE(r.exhausted());
+  // The sizing helper agrees with the actual encoding.
+  EXPECT_EQ(rpc::wire::schedule_batch_bytes(items), static_cast<std::int64_t>(w.size()));
+}
+
+TEST(Wire, MalformedBatchThrows) {
+  rpc::Writer w;
+  w.u32(1000);  // claims 1000 items, provides none
+  rpc::Reader r(w.buffer());
+  EXPECT_THROW(rpc::wire::read_register_batch(r), rpc::CodecError);
+
+  rpc::Writer bad_code;
+  bad_code.boolean(false);
+  bad_code.u8(250);  // out-of-range Errc
+  bad_code.str("dc");
+  bad_code.str("msg");
+  rpc::Reader r2(bad_code.buffer());
+  EXPECT_THROW(rpc::wire::read_status(r2), rpc::CodecError);
+}
 
 }  // namespace
 }  // namespace bitdew

@@ -214,7 +214,9 @@ TEST(SimIntegration, DdcPublishesReplicaLocations) {
 
   std::vector<std::string> locations;
   rig.nodes_[0]->bitdew().lookup(data.uid.str(),
-                                 [&](std::vector<std::string> v) { locations = v; });
+                                 [&](api::Expected<std::vector<std::string>> v) {
+                                   if (v.ok()) locations = *v;
+                                 });
   rig.run_for(10);
   EXPECT_EQ(locations.size(), 2u);
 }
@@ -226,7 +228,8 @@ TEST(SimIntegration, TransferManagerObservesDownloads) {
   const core::Data data = rig.make_scheduled("tracked", 5 * util::kMB, attributes);
 
   bool completed = false;
-  rig.nodes_[1]->transfer_manager().when_done(data.uid, [&](bool ok) { completed = ok; });
+  rig.nodes_[1]->transfer_manager().when_done(
+      data.uid, [&](api::Status outcome) { completed = outcome.ok(); });
   rig.run_for(30);
   EXPECT_TRUE(completed);
   EXPECT_EQ(rig.nodes_[1]->transfer_manager().probe(data.uid), api::TransferProbe::kDone);
