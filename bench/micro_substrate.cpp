@@ -1,13 +1,14 @@
 // google-benchmark micro-benchmarks of the substrates: MD5, the binary
-// codec, DewDB operations (indexed vs scanned finds), the max-min solver
-// and DHT key hashing. These are the per-operation costs behind the
-// macro-benches.
+// codec, RPC frame encode/decode (scalar vs batch envelopes), DewDB
+// operations (indexed vs scanned finds), the max-min solver and DHT key
+// hashing. These are the per-operation costs behind the macro-benches.
 #include <benchmark/benchmark.h>
 
 #include "db/database.hpp"
 #include "dht/ring.hpp"
 #include "net/network.hpp"
 #include "rpc/codec.hpp"
+#include "rpc/wire.hpp"
 #include "sim/simulator.hpp"
 #include "util/md5.hpp"
 #include "util/rng.hpp"
@@ -39,6 +40,60 @@ void BM_CodecRowRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CodecRowRoundTrip);
+
+core::Data frame_datum(int i) {
+  core::Data data;
+  data.uid = util::Auid{0xbead, static_cast<std::uint64_t>(i)};
+  data.name = "datum-" + std::to_string(i);
+  data.checksum = "00112233445566778899aabbccddeeff";
+  data.size = 1 << 20;
+  return data;
+}
+
+// One dc_register RPC frame (header + body) encoded and decoded per
+// iteration — the per-call framing cost RemoteServiceBus/ServiceHost pay on
+// the scalar path.
+void BM_WireFrameScalarRegister(benchmark::State& state) {
+  const core::Data data = frame_datum(1);
+  std::int64_t frame_bytes = 0;
+  for (auto _ : state) {
+    rpc::Writer w;
+    rpc::wire::write_frame_header(w, {rpc::wire::Endpoint::kDcRegister, 42});
+    rpc::wire::write_data(w, data);
+    frame_bytes = static_cast<std::int64_t>(w.size());
+    rpc::Reader r(w.buffer());
+    benchmark::DoNotOptimize(rpc::wire::read_frame_header(r));
+    benchmark::DoNotOptimize(rpc::wire::read_data(r));
+  }
+  state.SetBytesProcessed(state.iterations() * frame_bytes);
+  state.counters["bytes_per_item"] = static_cast<double>(frame_bytes);
+}
+BENCHMARK(BM_WireFrameScalarRegister);
+
+// One dc_register_batch frame carrying N data per iteration: the envelope
+// (frame header + list count) amortizes over the batch, so bytes_per_item
+// approaches the raw payload size as N grows — the wire-level half of the
+// bulk endpoints' claim, measured on real encoded bytes.
+void BM_WireFrameBatchRegister(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<core::Data> items;
+  items.reserve(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) items.push_back(frame_datum(i));
+  std::int64_t frame_bytes = 0;
+  for (auto _ : state) {
+    rpc::Writer w;
+    rpc::wire::write_frame_header(w, {rpc::wire::Endpoint::kDcRegisterBatch, 42});
+    rpc::wire::write_register_batch(w, items);
+    frame_bytes = static_cast<std::int64_t>(w.size());
+    rpc::Reader r(w.buffer());
+    benchmark::DoNotOptimize(rpc::wire::read_frame_header(r));
+    benchmark::DoNotOptimize(rpc::wire::read_register_batch(r));
+  }
+  state.SetBytesProcessed(state.iterations() * frame_bytes);
+  state.counters["bytes_per_item"] = static_cast<double>(frame_bytes) / batch;
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_WireFrameBatchRegister)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_DewDbInsert(benchmark::State& state) {
   db::Database database;

@@ -12,10 +12,23 @@
 // Example:
 //   ./examples/bitdew_cli "nodes 6" "create genome 50MB" \
 //       "attr genome replica=3, ft=true, oob=ftp" "run 30" status
+//
+// With `connect HOST:PORT` as the first argument the same tool drives a
+// live bitdewd deployment over TCP instead of the simulator:
+//
+//   ./examples/bitdewd --port 9328 --wal /var/lib/bitdew &
+//   ./examples/bitdew_cli connect 127.0.0.1:9328 \
+//       "create genome 50MB" "attr genome replica=3, ft=true" \
+//       "locate genome" "delete genome"
+//
+// Remote commands: create NAME SIZE | attr NAME DSL | search NAME |
+// locate NAME | delete NAME | publish KEY VALUE | lookup KEY
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 
+#include "api/remote_service_bus.hpp"
+#include "api/session.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "testbed/topologies.hpp"
 #include "util/bytes.hpp"
@@ -152,19 +165,228 @@ struct Cli {
   std::vector<runtime::SimNode*> reservoirs;
 };
 
-}  // namespace
+/// The same command set against a live bitdewd over RemoteServiceBus: every
+/// operation is a blocking RPC through the Session facade, and transport
+/// failures print the typed error instead of hanging.
+struct RemoteCli {
+  RemoteCli(const std::string& host, std::uint16_t port)
+      : bus(host, port), bitdew(bus, "cli"), active_data(bus, "cli"),
+        session(bitdew, active_data) {}
 
-int main(int argc, char** argv) {
-  Cli cli;
-  if (argc > 1) {
-    for (int i = 1; i < argc; ++i) cli.dispatch(argv[i]);
-    return 0;
+  bool connect() {
+    const api::Status up = bus.ping();
+    if (!up.ok()) {
+      std::fprintf(stderr, "error: %s\n", up.error().to_string().c_str());
+      return false;
+    }
+    std::printf("connected\n");
+    return true;
+  }
+
+  /// Data known to this CLI run, or searched from the daemon (so `delete`
+  /// works on data created by a previous invocation).
+  std::optional<core::Data> resolve(const std::string& name) {
+    if (const auto known = bitdew.known(name); known.has_value()) return known;
+    const api::Expected<core::Data> found = session.search(name);
+    if (found.ok()) return *found;
+    std::fprintf(stderr, "error: %s: %s\n", name.c_str(), found.error().to_string().c_str());
+    return std::nullopt;
+  }
+
+  bool create(const std::string& name, const std::string& size_text) {
+    const std::int64_t size = util::parse_bytes(size_text);
+    if (size < 0) {
+      std::fprintf(stderr, "error: bad size '%s'\n", size_text.c_str());
+      return false;
+    }
+    const core::Content content =
+        core::synthetic_content(std::hash<std::string>{}(name), size);
+    const api::Expected<core::Data> data = session.create_data(name, content);
+    if (!data.ok()) {
+      std::fprintf(stderr, "error: %s\n", data.error().to_string().c_str());
+      return false;
+    }
+    const api::Status put = session.put(*data, content);
+    if (!put.ok()) {
+      std::fprintf(stderr, "error: put: %s\n", put.error().to_string().c_str());
+      return false;
+    }
+    std::printf("created %s (%s), uid %s\n", name.c_str(), util::human_bytes(size).c_str(),
+                data->uid.str().c_str());
+    return true;
+  }
+
+  bool attr(const std::string& name, const std::string& dsl_body) {
+    const auto data = resolve(name);
+    if (!data.has_value()) return false;
+    try {
+      const core::DataAttributes attributes =
+          bitdew.create_attribute("attr " + name + " = {" + dsl_body + "}");
+      const api::Status scheduled = session.schedule(*data, attributes);
+      if (!scheduled.ok()) {
+        std::fprintf(stderr, "error: %s\n", scheduled.error().to_string().c_str());
+        return false;
+      }
+      std::printf("scheduled %s with {%s}\n", name.c_str(), dsl_body.c_str());
+      return true;
+    } catch (const core::AttributeError& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return false;
+    }
+  }
+
+  bool search(const std::string& name) {
+    const api::Expected<core::Data> found = session.search(name);
+    if (!found.ok()) {
+      std::fprintf(stderr, "error: %s\n", found.error().to_string().c_str());
+      return false;
+    }
+    std::printf("%s: uid %s, %s\n", found->name.c_str(), found->uid.str().c_str(),
+                util::human_bytes(found->size).c_str());
+    return true;
+  }
+
+  bool locate(const std::string& name) {
+    const auto data = resolve(name);
+    if (!data.has_value()) return false;
+    const auto locators = session.locate(data->uid);
+    if (!locators.ok()) {
+      std::fprintf(stderr, "error: %s\n", locators.error().to_string().c_str());
+      return false;
+    }
+    std::printf("%s: %zu locator(s)\n", name.c_str(), locators->size());
+    for (const core::Locator& locator : *locators) {
+      std::printf("  %s://%s/%s\n", locator.protocol.c_str(), locator.host.c_str(),
+                  locator.path.c_str());
+    }
+    return true;
+  }
+
+  bool remove(const std::string& name) {
+    const auto data = resolve(name);
+    if (!data.has_value()) return false;
+    const api::Status removed = session.remove(*data);
+    if (!removed.ok()) {
+      std::fprintf(stderr, "error: %s\n", removed.error().to_string().c_str());
+      return false;
+    }
+    std::printf("deleted %s\n", name.c_str());
+    return true;
+  }
+
+  bool publish(const std::string& key, const std::string& value) {
+    const api::Status published = session.publish(key, value);
+    if (!published.ok()) {
+      std::fprintf(stderr, "error: %s\n", published.error().to_string().c_str());
+      return false;
+    }
+    std::printf("published %s\n", key.c_str());
+    return true;
+  }
+
+  bool lookup(const std::string& key) {
+    const auto values = session.lookup(key);
+    if (!values.ok()) {
+      std::fprintf(stderr, "error: %s\n", values.error().to_string().c_str());
+      return false;
+    }
+    std::printf("%s: %zu value(s)\n", key.c_str(), values->size());
+    for (const std::string& value : *values) std::printf("  %s\n", value.c_str());
+    return true;
+  }
+
+  bool dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    if (verb.empty()) return true;
+    if (verb == "create") {
+      std::string name, size;
+      in >> name >> size;
+      return create(name, size);
+    } else if (verb == "attr") {
+      std::string name;
+      in >> name;
+      std::string rest;
+      std::getline(in, rest);
+      return attr(name, std::string(util::trim(rest)));
+    } else if (verb == "search") {
+      std::string name;
+      in >> name;
+      return search(name);
+    } else if (verb == "locate") {
+      std::string name;
+      in >> name;
+      return locate(name);
+    } else if (verb == "delete") {
+      std::string name;
+      in >> name;
+      return remove(name);
+    } else if (verb == "publish") {
+      std::string key, value;
+      in >> key >> value;
+      return publish(key, value);
+    } else if (verb == "lookup") {
+      std::string key;
+      in >> key;
+      return lookup(key);
+    } else if (verb == "help") {
+      std::printf("commands: create NAME SIZE | attr NAME DSL | search NAME |"
+                  " locate NAME | delete NAME | publish KEY VALUE | lookup KEY\n");
+    } else {
+      std::fprintf(stderr, "error: unknown command '%s' (try help)\n", verb.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  api::RemoteServiceBus bus;
+  api::BitDew bitdew;
+  api::ActiveData active_data;
+  api::Session session;
+};
+
+template <typename AnyCli>
+int run_commands(AnyCli& cli, int argc, char** argv, int first) {
+  bool ok = true;
+  if (first < argc) {
+    for (int i = first; i < argc; ++i) ok = cli.dispatch(argv[i]) && ok;
+    return ok ? 0 : 1;
   }
   // Interactive / piped mode.
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line == "quit" || line == "exit") break;
-    cli.dispatch(line);
+    ok = cli.dispatch(line) && ok;
   }
-  return 0;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "connect") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s connect HOST:PORT [COMMAND...]\n", argv[0]);
+      return 2;
+    }
+    const std::string target = argv[2];
+    const std::size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "error: expected HOST:PORT, got '%s'\n", target.c_str());
+      return 2;
+    }
+    const std::string host = target.substr(0, colon);
+    const int port = std::atoi(target.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) {
+      std::fprintf(stderr, "error: bad port in '%s'\n", target.c_str());
+      return 2;
+    }
+    RemoteCli cli(host, static_cast<std::uint16_t>(port));
+    if (!cli.connect()) return 1;
+    return run_commands(cli, argc, argv, 3);
+  }
+
+  Cli cli;
+  return run_commands(cli, argc, argv, 1);
 }

@@ -1,0 +1,130 @@
+// bitdewd — the BitDew service daemon (paper Fig. 1's stable node, deployed
+// for real): one ServiceContainer hosting the four D* services plus a DHT
+// back-end, served over TCP by rpc::ServiceHost. Clients are
+// api::RemoteServiceBus (or `bitdew_cli connect HOST:PORT`).
+//
+//   bitdewd [--port P] [--wal DIR] [--host NAME] [--compact-bytes N]
+//           [--loopback]
+//
+//   --port P           TCP port to listen on (default 9328; 0 = ephemeral)
+//   --wal DIR          durable mode: persist state to DIR/bitdewd.wal and
+//                      recover it on restart (default: in-memory)
+//   --host NAME        service host name announced in locators (default
+//                      "bitdewd")
+//   --compact-bytes N  auto-compact the WAL when it grows past N bytes
+//                      (default 8388608; 0 disables)
+//   --loopback         bind 127.0.0.1 only instead of all interfaces
+//
+// The daemon prints "serving on port P" once ready (scripts parse this for
+// ephemeral ports) and exits cleanly on SIGINT/SIGTERM.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "rpc/server.hpp"
+#include "util/clock.hpp"
+
+using namespace bitdew;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--wal DIR] [--host NAME] [--compact-bytes N]"
+               " [--loopback]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 9328;
+  std::string wal_dir;
+  std::string host_name = "bitdewd";
+  std::uint64_t compact_bytes = 8u << 20;
+  bool loopback = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--port") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      char* end = nullptr;
+      const long parsed = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || parsed < 0 || parsed > 65535) {
+        std::fprintf(stderr, "bitdewd: bad port '%s' (expected 0-65535)\n", value);
+        return 2;
+      }
+      port = static_cast<std::uint16_t>(parsed);
+    } else if (arg == "--wal") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      wal_dir = value;
+    } else if (arg == "--host") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      host_name = value;
+    } else if (arg == "--compact-bytes") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      compact_bytes = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--loopback") {
+      loopback = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  static util::SystemClock clock;
+  std::unique_ptr<services::ServiceContainer> container;
+  if (wal_dir.empty()) {
+    container = std::make_unique<services::ServiceContainer>(host_name, clock);
+  } else {
+    std::filesystem::create_directories(wal_dir);
+    const std::string wal_path = (std::filesystem::path(wal_dir) / "bitdewd.wal").string();
+    container = std::make_unique<services::ServiceContainer>(host_name, clock, wal_path);
+    container->database().set_auto_compact(compact_bytes);
+    std::printf("bitdewd: durable state at %s (%llu bytes replayed, %zu data scheduled)\n",
+                wal_path.c_str(),
+                static_cast<unsigned long long>(container->database().wal_bytes()),
+                container->ds().scheduled_count());
+  }
+
+  dht::LocalDht ddc;
+  rpc::ServiceHostConfig config;
+  config.port = port;
+  config.loopback_only = loopback;
+  rpc::ServiceHost host(*container, ddc, config);
+  const api::Status started = host.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "bitdewd: %s\n", started.error().to_string().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::printf("bitdewd: serving on port %u (host %s, %s)\n",
+              static_cast<unsigned>(host.port()), host_name.c_str(),
+              wal_dir.empty() ? "in-memory" : "durable");
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  host.stop();
+  std::printf("bitdewd: stopped after %llu request(s) on %llu connection(s)\n",
+              static_cast<unsigned long long>(host.requests_served()),
+              static_cast<unsigned long long>(host.connections_accepted()));
+  return 0;
+}

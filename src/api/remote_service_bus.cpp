@@ -1,0 +1,308 @@
+#include "api/remote_service_bus.hpp"
+
+#include <utility>
+
+namespace bitdew::api {
+
+namespace wire = rpc::wire;
+using wire::Endpoint;
+
+template <typename T, typename EncodeBody, typename ReadValue>
+void RemoteServiceBus::invoke(Endpoint endpoint, EncodeBody&& encode_body,
+                              Reply<Expected<T>> done, ReadValue&& read_value) {
+  ++rpcs_;
+  Expected<std::string> reply = channel_.call(endpoint, encode_body);
+  if (!reply.ok()) {
+    done(reply.error());
+    return;
+  }
+  try {
+    rpc::Reader r(*reply);
+    Expected<T> value = wire::read_expected<T>(r, read_value);
+    if (!r.exhausted()) throw rpc::CodecError("trailing bytes in reply");
+    done(std::move(value));
+  } catch (const rpc::CodecError& error) {
+    channel_.close();
+    done(Error{Errc::kTransport, "bus",
+               std::string(wire::endpoint_name(endpoint)) + " reply decode: " + error.what()});
+  }
+}
+
+template <typename Item, typename EncodeBody, typename ReadReply>
+void RemoteServiceBus::invoke_batch(Endpoint endpoint, std::size_t count,
+                                    EncodeBody&& encode_body, Reply<std::vector<Item>> done,
+                                    ReadReply&& read_reply) {
+  ++rpcs_;
+  Expected<std::string> reply = channel_.call(endpoint, encode_body);
+  if (!reply.ok()) {
+    done(std::vector<Item>(count, Item(reply.error())));
+    return;
+  }
+  try {
+    rpc::Reader r(*reply);
+    std::vector<Item> items = read_reply(r);
+    if (!r.exhausted()) throw rpc::CodecError("trailing bytes in reply");
+    if (items.size() != count) throw rpc::CodecError("reply not index-aligned with request");
+    done(std::move(items));
+  } catch (const rpc::CodecError& error) {
+    channel_.close();
+    const Error failure{Errc::kTransport, "bus",
+                        std::string(wire::endpoint_name(endpoint)) +
+                            " reply decode: " + error.what()};
+    done(std::vector<Item>(count, Item(failure)));
+  }
+}
+
+Status RemoteServiceBus::ping() {
+  ++rpcs_;
+  Expected<std::string> reply = channel_.call(Endpoint::kPing, [](rpc::Writer&) {});
+  if (!reply.ok()) return reply.error();
+  return ok_status();
+}
+
+// --- Data Catalog ------------------------------------------------------------
+
+void RemoteServiceBus::dc_register(const core::Data& data, Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDcRegister, [&](rpc::Writer& w) { wire::write_data(w, data); },
+      std::move(done), [](rpc::Reader&) { return Unit{}; });
+}
+
+void RemoteServiceBus::dc_get(const util::Auid& uid, Reply<Expected<core::Data>> done) {
+  invoke<core::Data>(
+      Endpoint::kDcGet, [&](rpc::Writer& w) { wire::write_auid(w, uid); }, std::move(done),
+      wire::read_data);
+}
+
+void RemoteServiceBus::dc_search(const std::string& name,
+                                 Reply<Expected<std::vector<core::Data>>> done) {
+  invoke<std::vector<core::Data>>(
+      Endpoint::kDcSearch, [&](rpc::Writer& w) { w.str(name); }, std::move(done),
+      wire::read_data_list);
+}
+
+void RemoteServiceBus::dc_remove(const util::Auid& uid, Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDcRemove, [&](rpc::Writer& w) { wire::write_auid(w, uid); }, std::move(done),
+      [](rpc::Reader&) { return Unit{}; });
+}
+
+void RemoteServiceBus::dc_add_locator(const core::Locator& locator, Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDcAddLocator, [&](rpc::Writer& w) { wire::write_locator(w, locator); },
+      std::move(done), [](rpc::Reader&) { return Unit{}; });
+}
+
+void RemoteServiceBus::dc_locators(const util::Auid& uid,
+                                   Reply<Expected<std::vector<core::Locator>>> done) {
+  invoke<std::vector<core::Locator>>(
+      Endpoint::kDcLocators, [&](rpc::Writer& w) { wire::write_auid(w, uid); },
+      std::move(done), wire::read_locator_list);
+}
+
+// --- Data Repository ---------------------------------------------------------
+
+void RemoteServiceBus::dr_put(const core::Data& data, const core::Content& content,
+                              const std::string& protocol, Reply<Expected<core::Locator>> done) {
+  invoke<core::Locator>(
+      Endpoint::kDrPut,
+      [&](rpc::Writer& w) {
+        wire::write_data(w, data);
+        wire::write_content(w, content);
+        w.str(protocol);
+      },
+      std::move(done), wire::read_locator);
+}
+
+void RemoteServiceBus::dr_get(const util::Auid& uid, Reply<Expected<core::Content>> done) {
+  invoke<core::Content>(
+      Endpoint::kDrGet, [&](rpc::Writer& w) { wire::write_auid(w, uid); }, std::move(done),
+      wire::read_content);
+}
+
+void RemoteServiceBus::dr_remove(const util::Auid& uid, Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDrRemove, [&](rpc::Writer& w) { wire::write_auid(w, uid); }, std::move(done),
+      [](rpc::Reader&) { return Unit{}; });
+}
+
+// --- Data Transfer -----------------------------------------------------------
+
+void RemoteServiceBus::dt_register(const core::Data& data, const std::string& source,
+                                   const std::string& destination, const std::string& protocol,
+                                   Reply<Expected<services::TicketId>> done) {
+  invoke<services::TicketId>(
+      Endpoint::kDtRegister,
+      [&](rpc::Writer& w) {
+        wire::write_data(w, data);
+        w.str(source);
+        w.str(destination);
+        w.str(protocol);
+      },
+      std::move(done), [](rpc::Reader& r) { return services::TicketId{r.u64()}; });
+}
+
+void RemoteServiceBus::dt_monitor(services::TicketId ticket, std::int64_t done_bytes,
+                                  Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDtMonitor,
+      [&](rpc::Writer& w) {
+        w.u64(ticket);
+        w.i64(done_bytes);
+      },
+      std::move(done), [](rpc::Reader&) { return Unit{}; });
+}
+
+void RemoteServiceBus::dt_complete(services::TicketId ticket,
+                                   const std::string& received_checksum,
+                                   const std::string& expected_checksum, Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDtComplete,
+      [&](rpc::Writer& w) {
+        w.u64(ticket);
+        w.str(received_checksum);
+        w.str(expected_checksum);
+      },
+      std::move(done), [](rpc::Reader&) { return Unit{}; });
+}
+
+void RemoteServiceBus::dt_failure(services::TicketId ticket, std::int64_t bytes_held,
+                                  bool can_resume, Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDtFailure,
+      [&](rpc::Writer& w) {
+        w.u64(ticket);
+        w.i64(bytes_held);
+        w.boolean(can_resume);
+      },
+      std::move(done), [](rpc::Reader&) { return Unit{}; });
+}
+
+void RemoteServiceBus::dt_give_up(services::TicketId ticket, Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDtGiveUp, [&](rpc::Writer& w) { w.u64(ticket); }, std::move(done),
+      [](rpc::Reader&) { return Unit{}; });
+}
+
+// --- Data Scheduler ----------------------------------------------------------
+
+void RemoteServiceBus::ds_schedule(const core::Data& data,
+                                   const core::DataAttributes& attributes, Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDsSchedule,
+      [&](rpc::Writer& w) {
+        wire::write_data(w, data);
+        wire::write_attributes(w, attributes);
+      },
+      std::move(done), [](rpc::Reader&) { return Unit{}; });
+}
+
+void RemoteServiceBus::ds_pin(const util::Auid& uid, const std::string& host,
+                              Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDsPin,
+      [&](rpc::Writer& w) {
+        wire::write_auid(w, uid);
+        w.str(host);
+      },
+      std::move(done), [](rpc::Reader&) { return Unit{}; });
+}
+
+void RemoteServiceBus::ds_unschedule(const util::Auid& uid, Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDsUnschedule, [&](rpc::Writer& w) { wire::write_auid(w, uid); },
+      std::move(done), [](rpc::Reader&) { return Unit{}; });
+}
+
+void RemoteServiceBus::ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
+                               const std::vector<util::Auid>& in_flight,
+                               Reply<Expected<services::SyncReply>> done) {
+  invoke<services::SyncReply>(
+      Endpoint::kDsSync,
+      [&](rpc::Writer& w) {
+        w.str(host);
+        wire::write_auid_list(w, cache);
+        wire::write_auid_list(w, in_flight);
+      },
+      std::move(done), wire::read_sync_reply);
+}
+
+// --- Distributed Data Catalog ------------------------------------------------
+
+void RemoteServiceBus::ddc_publish(const std::string& key, const std::string& value,
+                                   Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDdcPublish,
+      [&](rpc::Writer& w) {
+        w.str(key);
+        w.str(value);
+      },
+      std::move(done), [](rpc::Reader&) { return Unit{}; });
+}
+
+void RemoteServiceBus::ddc_search(const std::string& key,
+                                  Reply<Expected<std::vector<std::string>>> done) {
+  invoke<std::vector<std::string>>(
+      Endpoint::kDdcSearch, [&](rpc::Writer& w) { w.str(key); }, std::move(done),
+      wire::read_string_list);
+}
+
+// --- bulk endpoints ----------------------------------------------------------
+
+void RemoteServiceBus::dc_register_batch(const std::vector<core::Data>& items,
+                                         Reply<BatchStatus> done) {
+  if (items.empty()) {
+    done({});
+    return;
+  }
+  invoke_batch<Status>(
+      Endpoint::kDcRegisterBatch,
+      items.size(), [&](rpc::Writer& w) { wire::write_register_batch(w, items); },
+      std::move(done), wire::read_status_batch);
+}
+
+void RemoteServiceBus::dc_locators_batch(const std::vector<util::Auid>& uids,
+                                         Reply<BatchLocators> done) {
+  if (uids.empty()) {
+    done({});
+    return;
+  }
+  invoke_batch<Expected<std::vector<core::Locator>>>(
+      Endpoint::kDcLocatorsBatch,
+      uids.size(), [&](rpc::Writer& w) { wire::write_locators_batch_request(w, uids); },
+      std::move(done), wire::read_locators_batch_reply);
+}
+
+void RemoteServiceBus::ds_schedule_batch(const std::vector<services::ScheduledData>& items,
+                                         Reply<BatchStatus> done) {
+  if (items.empty()) {
+    done({});
+    return;
+  }
+  std::vector<std::pair<core::Data, core::DataAttributes>> pairs;
+  pairs.reserve(items.size());
+  for (const services::ScheduledData& item : items) {
+    pairs.emplace_back(item.data, item.attributes);
+  }
+  invoke_batch<Status>(
+      Endpoint::kDsScheduleBatch,
+      items.size(), [&](rpc::Writer& w) { wire::write_schedule_batch(w, pairs); },
+      std::move(done), wire::read_status_batch);
+}
+
+void RemoteServiceBus::ddc_publish_batch(const std::vector<KeyValue>& pairs,
+                                         Reply<BatchStatus> done) {
+  if (pairs.empty()) {
+    done({});
+    return;
+  }
+  std::vector<std::pair<std::string, std::string>> kvs;
+  kvs.reserve(pairs.size());
+  for (const KeyValue& pair : pairs) kvs.emplace_back(pair.key, pair.value);
+  invoke_batch<Status>(
+      Endpoint::kDdcPublishBatch,
+      pairs.size(), [&](rpc::Writer& w) { wire::write_publish_batch(w, kvs); },
+      std::move(done), wire::read_status_batch);
+}
+
+}  // namespace bitdew::api

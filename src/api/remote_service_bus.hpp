@@ -1,0 +1,93 @@
+// RemoteServiceBus: the third ServiceBus implementation — every call is a
+// framed RPC over a real TCP connection to a ServiceHost (bitdewd). Replies
+// resolve synchronously before the call returns, like DirectServiceBus, so
+// the Session facade needs no pump. Socket loss, connection refusal, a
+// missed deadline or a malformed reply all surface as Errc::kTransport —
+// user code fails typed instead of hanging, and the next call transparently
+// reconnects. Batch endpoints are native: one frame carries the whole
+// batch, and an empty batch generates no traffic at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/service_bus.hpp"
+#include "rpc/transport.hpp"
+
+namespace bitdew::api {
+
+struct RemoteBusConfig {
+  double connect_timeout_s = 5.0;  ///< TCP connect budget
+  double call_deadline_s = 5.0;    ///< per-request reply deadline
+};
+
+class RemoteServiceBus final : public ServiceBus {
+ public:
+  RemoteServiceBus(std::string host, std::uint16_t port, RemoteBusConfig config = {})
+      : channel_(std::move(host), port, config.connect_timeout_s, config.call_deadline_s) {}
+
+  /// Liveness probe: one kPing round-trip.
+  Status ping();
+
+  void dc_register(const core::Data& data, Reply<Status> done) override;
+  void dc_get(const util::Auid& uid, Reply<Expected<core::Data>> done) override;
+  void dc_search(const std::string& name,
+                 Reply<Expected<std::vector<core::Data>>> done) override;
+  void dc_remove(const util::Auid& uid, Reply<Status> done) override;
+  void dc_add_locator(const core::Locator& locator, Reply<Status> done) override;
+  void dc_locators(const util::Auid& uid,
+                   Reply<Expected<std::vector<core::Locator>>> done) override;
+  void dr_put(const core::Data& data, const core::Content& content, const std::string& protocol,
+              Reply<Expected<core::Locator>> done) override;
+  void dr_get(const util::Auid& uid, Reply<Expected<core::Content>> done) override;
+  void dr_remove(const util::Auid& uid, Reply<Status> done) override;
+  void dt_register(const core::Data& data, const std::string& source,
+                   const std::string& destination, const std::string& protocol,
+                   Reply<Expected<services::TicketId>> done) override;
+  void dt_monitor(services::TicketId ticket, std::int64_t done_bytes,
+                  Reply<Status> done) override;
+  void dt_complete(services::TicketId ticket, const std::string& received_checksum,
+                   const std::string& expected_checksum, Reply<Status> done) override;
+  void dt_failure(services::TicketId ticket, std::int64_t bytes_held, bool can_resume,
+                  Reply<Status> done) override;
+  void dt_give_up(services::TicketId ticket, Reply<Status> done) override;
+  void ds_schedule(const core::Data& data, const core::DataAttributes& attributes,
+                   Reply<Status> done) override;
+  void ds_pin(const util::Auid& uid, const std::string& host, Reply<Status> done) override;
+  void ds_unschedule(const util::Auid& uid, Reply<Status> done) override;
+  void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
+               const std::vector<util::Auid>& in_flight,
+               Reply<Expected<services::SyncReply>> done) override;
+  void ddc_publish(const std::string& key, const std::string& value,
+                   Reply<Status> done) override;
+  void ddc_search(const std::string& key,
+                  Reply<Expected<std::vector<std::string>>> done) override;
+
+  // Native bulk endpoints: one frame for the whole batch.
+  void dc_register_batch(const std::vector<core::Data>& items, Reply<BatchStatus> done) override;
+  void dc_locators_batch(const std::vector<util::Auid>& uids, Reply<BatchLocators> done) override;
+  void ds_schedule_batch(const std::vector<services::ScheduledData>& items,
+                         Reply<BatchStatus> done) override;
+  void ddc_publish_batch(const std::vector<KeyValue>& pairs, Reply<BatchStatus> done) override;
+
+  std::uint64_t rpc_count() const { return rpcs_; }
+  bool connected() const { return channel_.connected(); }
+
+ private:
+  /// One round-trip whose reply body is a single Expected<T>; transport
+  /// failures become Error{kTransport} under the same T.
+  template <typename T, typename EncodeBody, typename ReadValue>
+  void invoke(rpc::wire::Endpoint endpoint, EncodeBody&& encode_body, Reply<Expected<T>> done,
+              ReadValue&& read_value);
+
+  /// One round-trip whose reply body is a list; transport failures fill the
+  /// index-aligned reply with one kTransport error per request item.
+  template <typename Item, typename EncodeBody, typename ReadReply>
+  void invoke_batch(rpc::wire::Endpoint endpoint, std::size_t count, EncodeBody&& encode_body,
+                    Reply<std::vector<Item>> done, ReadReply&& read_reply);
+
+  rpc::ClientChannel channel_;
+  std::uint64_t rpcs_ = 0;
+};
+
+}  // namespace bitdew::api

@@ -158,9 +158,11 @@ inline Status dt_give_up(services::ServiceContainer& c, services::TicketId ticke
 
 // --- Data Scheduler ---------------------------------------------------------------
 
+// DS mutations go through the container wrappers (not c.ds() directly) so a
+// WAL-backed container persists Θ across restarts.
 inline Status ds_schedule(services::ServiceContainer& c, const core::Data& data,
                           const core::DataAttributes& attributes) {
-  if (!c.ds().schedule(data, attributes)) {
+  if (!c.schedule_data(data, attributes)) {
     return Error{Errc::kRejected, "ds", "invalid attributes for " + data.name};
   }
   return ok_status();
@@ -170,7 +172,7 @@ inline std::vector<Status> ds_schedule_batch(services::ServiceContainer& c,
                                              const std::vector<services::ScheduledData>& items) {
   std::vector<Status> out;
   out.reserve(items.size());
-  for (const bool accepted : c.ds().schedule_batch(items)) {
+  for (const bool accepted : c.schedule_data_batch(items)) {
     if (accepted) {
       out.push_back(ok_status());
     } else {
@@ -189,7 +191,7 @@ inline Status ds_pin(services::ServiceContainer& c, const util::Auid& uid,
 }
 
 inline Status ds_unschedule(services::ServiceContainer& c, const util::Auid& uid) {
-  if (!c.ds().unschedule(uid)) {
+  if (!c.unschedule_data(uid)) {
     return Error{Errc::kNotFound, "ds", "uid " + uid.str() + " not scheduled"};
   }
   return ok_status();

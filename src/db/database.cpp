@@ -16,7 +16,10 @@ const util::Logger& logger() {
 }  // namespace
 
 Database::Database(std::string wal_path) : wal_path_(std::move(wal_path)) {
-  if (std::filesystem::exists(wal_path_)) replay();
+  if (std::filesystem::exists(wal_path_)) {
+    replay();
+    wal_bytes_ = std::filesystem::file_size(wal_path_);
+  }
   wal_.open(wal_path_, std::ios::binary | std::ios::app);
   if (!wal_) throw std::runtime_error("cannot open WAL: " + wal_path_);
 }
@@ -108,6 +111,10 @@ void Database::wal_append(const std::string& record) {
   wal_.write(frame.buffer().data(), static_cast<std::streamsize>(frame.size()));
   wal_.write(record.data(), static_cast<std::streamsize>(record.size()));
   wal_.flush();
+  wal_bytes_ += frame.size() + record.size();
+  // The record above is already durable and reflected in the tables, so
+  // compacting here rewrites a state that includes it.
+  if (compact_threshold_ > 0 && wal_bytes_ >= compact_threshold_) compact();
 }
 
 void Database::wal_create_table(const TableSchema& schema) {
@@ -243,6 +250,8 @@ void Database::compact() {
   }
   std::filesystem::rename(temp_path, wal_path_);
   wal_.open(wal_path_, std::ios::binary | std::ios::app);
+  wal_bytes_ = std::filesystem::file_size(wal_path_);
+  ++compactions_;
 }
 
 }  // namespace bitdew::db

@@ -57,6 +57,13 @@ class Database {
   /// Rewrites the WAL as a compact snapshot of current state.
   void compact();
 
+  /// Auto-compacts whenever the WAL grows past `threshold_bytes` (0
+  /// disables, the default). Long-running daemons set this so the log's
+  /// size tracks live state instead of total history.
+  void set_auto_compact(std::uint64_t threshold_bytes) { compact_threshold_ = threshold_bytes; }
+  std::uint64_t wal_bytes() const { return wal_bytes_; }
+  std::uint64_t compactions() const { return compactions_; }
+
   const DatabaseStats& stats() const { return stats_; }
   bool durable() const { return !wal_path_.empty(); }
 
@@ -80,6 +87,9 @@ class Database {
   std::string wal_path_;
   std::ofstream wal_;
   bool replaying_ = false;
+  std::uint64_t wal_bytes_ = 0;
+  std::uint64_t compact_threshold_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace bitdew::db

@@ -31,6 +31,9 @@ class Writer {
     u32(static_cast<std::uint32_t>(v.size()));
     raw(v.data(), v.size());
   }
+  /// Appends bytes verbatim (no length prefix) — used to splice an
+  /// already-encoded message body behind a frame header.
+  void append_raw(std::string_view v) { raw(v.data(), v.size()); }
 
   const std::string& buffer() const { return buffer_; }
   std::string take() { return std::move(buffer_); }
@@ -64,6 +67,7 @@ class Reader {
 
   bool exhausted() const { return offset_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - offset_; }
+  std::size_t offset() const { return offset_; }
 
  private:
   template <typename T>

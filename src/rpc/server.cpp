@@ -1,0 +1,281 @@
+#include "rpc/server.hpp"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+#include "api/service_ops.hpp"
+#include "util/log.hpp"
+
+namespace bitdew::rpc {
+namespace {
+
+const util::Logger& logger() {
+  static const util::Logger instance("servicehost");
+  return instance;
+}
+
+}  // namespace
+
+ServiceHost::ServiceHost(services::ServiceContainer& container, dht::LocalDht& ddc,
+                         ServiceHostConfig config)
+    : container_(container), ddc_(ddc), config_(config) {}
+
+ServiceHost::~ServiceHost() { stop(); }
+
+api::Status ServiceHost::start() {
+  if (running_.load()) return api::ok_status();
+  auto listener = tcp_listen(config_.port, config_.loopback_only);
+  if (!listener.ok()) return listener.error();
+  listener_ = std::move(listener->fd);
+  port_ = listener->port;
+  running_.store(true);
+  acceptor_ = std::thread(&ServiceHost::accept_loop, this);
+  logger().debug("listening on port %u", static_cast<unsigned>(port_));
+  return api::ok_status();
+}
+
+void ServiceHost::stop() {
+  if (!running_.exchange(false)) return;
+  // Wake the acceptor out of poll() and the workers out of recv().
+  if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
+  {
+    const std::lock_guard lock(connections_mutex_);
+    for (const auto& [id, fd] : live_connections_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::unordered_map<std::uint64_t, std::thread> workers;
+  {
+    const std::lock_guard lock(connections_mutex_);
+    workers.swap(workers_);
+    finished_workers_.clear();
+  }
+  for (auto& [id, worker] : workers) {
+    if (worker.joinable()) worker.join();
+  }
+  listener_.reset();
+}
+
+void ServiceHost::reap_finished_workers() {
+  std::vector<std::thread> finished;
+  {
+    const std::lock_guard lock(connections_mutex_);
+    for (const std::uint64_t id : finished_workers_) {
+      const auto it = workers_.find(id);
+      if (it == workers_.end()) continue;
+      finished.push_back(std::move(it->second));
+      workers_.erase(it);
+    }
+    finished_workers_.clear();
+  }
+  // Join outside the lock: the worker announced itself finished as its
+  // last statement, so these joins return immediately.
+  for (std::thread& worker : finished) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ServiceHost::accept_loop() {
+  while (running_.load()) {
+    Fd accepted = tcp_accept(listener_.get(), 0.2);
+    reap_finished_workers();  // keep a long-lived daemon's thread set bounded
+    if (!accepted.valid()) continue;
+    // Register the fd and spawn the worker under the same lock stop() uses
+    // to sweep live connections, so a connection racing shutdown is either
+    // dropped here or reliably woken by stop().
+    const std::lock_guard lock(connections_mutex_);
+    if (!running_.load()) break;
+    ++connections_accepted_;
+    const std::uint64_t id = next_connection_id_++;
+    live_connections_.emplace(id, accepted.get());
+    workers_.emplace(id,
+                     std::thread(&ServiceHost::serve_connection, this, id, std::move(accepted)));
+  }
+}
+
+void ServiceHost::serve_connection(std::uint64_t id, Fd socket) {
+  while (running_.load()) {
+    RecvResult request = recv_frame(socket.get(), config_.idle_timeout_s);
+    if (request.status != IoStatus::kOk) {
+      if (request.status == IoStatus::kOversize || request.status == IoStatus::kError) {
+        ++frames_rejected_;
+      }
+      break;
+    }
+
+    Writer reply;
+    try {
+      Reader r(request.payload);
+      const wire::FrameHeader header = wire::read_frame_header(r);
+      const std::string body = dispatch(header.endpoint, r);
+      if (!r.exhausted()) {
+        ++frames_rejected_;
+        break;  // trailing garbage behind the request: drop the connection
+      }
+      wire::write_frame_header(reply, header);
+      reply.append_raw(body);
+    } catch (const CodecError& error) {
+      ++frames_rejected_;
+      logger().debug("connection %llu: malformed frame (%s), dropping",
+                     static_cast<unsigned long long>(id), error.what());
+      break;
+    } catch (const std::exception& error) {
+      ++frames_rejected_;
+      logger().warn("connection %llu: dispatch failed (%s), dropping",
+                    static_cast<unsigned long long>(id), error.what());
+      break;
+    }
+
+    if (!send_frame(socket.get(), reply.buffer(), config_.write_timeout_s)) break;
+    ++requests_served_;
+  }
+
+  socket.reset();
+  const std::lock_guard lock(connections_mutex_);
+  live_connections_.erase(id);
+  finished_workers_.push_back(id);  // reaped by the acceptor (or stop())
+}
+
+std::string ServiceHost::dispatch(wire::Endpoint endpoint, Reader& r) {
+  namespace ops = api::ops;
+  using wire::Endpoint;
+
+  Writer w;
+  const std::lock_guard lock(container_mutex_);
+  switch (endpoint) {
+    case Endpoint::kPing:
+      break;  // empty reply body: liveness only
+
+    // --- Data Catalog --------------------------------------------------------
+    case Endpoint::kDcRegister:
+      wire::write_status(w, ops::dc_register(container_, wire::read_data(r)));
+      break;
+    case Endpoint::kDcGet:
+      wire::write_expected(w, ops::dc_get(container_, wire::read_auid(r)), wire::write_data);
+      break;
+    case Endpoint::kDcSearch:
+      wire::write_expected(w, ops::dc_search(container_, r.str()), wire::write_data_list);
+      break;
+    case Endpoint::kDcRemove:
+      wire::write_status(w, ops::dc_remove(container_, wire::read_auid(r)));
+      break;
+    case Endpoint::kDcAddLocator:
+      wire::write_status(w, ops::dc_add_locator(container_, wire::read_locator(r)));
+      break;
+    case Endpoint::kDcLocators:
+      wire::write_expected(w, ops::dc_locators(container_, wire::read_auid(r)),
+                           wire::write_locator_list);
+      break;
+
+    // --- Data Repository -----------------------------------------------------
+    case Endpoint::kDrPut: {
+      const core::Data data = wire::read_data(r);
+      const core::Content content = wire::read_content(r);
+      const std::string protocol = r.str();
+      wire::write_expected(w, ops::dr_put(container_, data, content, protocol),
+                           wire::write_locator);
+      break;
+    }
+    case Endpoint::kDrGet:
+      wire::write_expected(w, ops::dr_get(container_, wire::read_auid(r)),
+                           wire::write_content);
+      break;
+    case Endpoint::kDrRemove:
+      wire::write_status(w, ops::dr_remove(container_, wire::read_auid(r)));
+      break;
+
+    // --- Data Transfer -------------------------------------------------------
+    case Endpoint::kDtRegister: {
+      const core::Data data = wire::read_data(r);
+      const std::string source = r.str();
+      const std::string destination = r.str();
+      const std::string protocol = r.str();
+      wire::write_expected(w, ops::dt_register(container_, data, source, destination, protocol),
+                           [](Writer& wr, services::TicketId ticket) { wr.u64(ticket); });
+      break;
+    }
+    case Endpoint::kDtMonitor: {
+      const services::TicketId ticket = r.u64();
+      const std::int64_t done_bytes = r.i64();
+      wire::write_status(w, ops::dt_monitor(container_, ticket, done_bytes));
+      break;
+    }
+    case Endpoint::kDtComplete: {
+      const services::TicketId ticket = r.u64();
+      const std::string received = r.str();
+      const std::string expected = r.str();
+      wire::write_status(w, ops::dt_complete(container_, ticket, received, expected));
+      break;
+    }
+    case Endpoint::kDtFailure: {
+      const services::TicketId ticket = r.u64();
+      const std::int64_t bytes_held = r.i64();
+      const bool can_resume = r.boolean();
+      wire::write_status(w, ops::dt_failure(container_, ticket, bytes_held, can_resume));
+      break;
+    }
+    case Endpoint::kDtGiveUp:
+      wire::write_status(w, ops::dt_give_up(container_, r.u64()));
+      break;
+
+    // --- Data Scheduler ------------------------------------------------------
+    case Endpoint::kDsSchedule: {
+      const core::Data data = wire::read_data(r);
+      const core::DataAttributes attributes = wire::read_attributes(r);
+      wire::write_status(w, ops::ds_schedule(container_, data, attributes));
+      break;
+    }
+    case Endpoint::kDsPin: {
+      const util::Auid uid = wire::read_auid(r);
+      const std::string host = r.str();
+      wire::write_status(w, ops::ds_pin(container_, uid, host));
+      break;
+    }
+    case Endpoint::kDsUnschedule:
+      wire::write_status(w, ops::ds_unschedule(container_, wire::read_auid(r)));
+      break;
+    case Endpoint::kDsSync: {
+      const std::string host = r.str();
+      const std::vector<util::Auid> cache = wire::read_auid_list(r);
+      const std::vector<util::Auid> in_flight = wire::read_auid_list(r);
+      wire::write_expected(w, ops::ds_sync(container_, host, cache, in_flight),
+                           wire::write_sync_reply);
+      break;
+    }
+
+    // --- Distributed Data Catalog --------------------------------------------
+    case Endpoint::kDdcPublish: {
+      const std::string key = r.str();
+      const std::string value = r.str();
+      wire::write_status(w, ops::ddc_publish(ddc_, key, value));
+      break;
+    }
+    case Endpoint::kDdcSearch:
+      wire::write_expected(w, ops::ddc_search(ddc_, r.str()), wire::write_string_list);
+      break;
+
+    // --- bulk endpoints ------------------------------------------------------
+    case Endpoint::kDcRegisterBatch:
+      wire::write_status_batch(
+          w, ops::dc_register_batch(container_, wire::read_register_batch(r)));
+      break;
+    case Endpoint::kDcLocatorsBatch:
+      wire::write_locators_batch_reply(
+          w, ops::dc_locators_batch(container_, wire::read_locators_batch_request(r)));
+      break;
+    case Endpoint::kDsScheduleBatch: {
+      std::vector<services::ScheduledData> items;
+      for (auto& [data, attributes] : wire::read_schedule_batch(r)) {
+        items.push_back({std::move(data), std::move(attributes)});
+      }
+      wire::write_status_batch(w, ops::ds_schedule_batch(container_, items));
+      break;
+    }
+    case Endpoint::kDdcPublishBatch:
+      wire::write_status_batch(w, ops::ddc_publish_batch(ddc_, wire::read_publish_batch(r)));
+      break;
+  }
+  return w.take();
+}
+
+}  // namespace bitdew::rpc

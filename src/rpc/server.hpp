@@ -1,0 +1,92 @@
+// ServiceHost: the networked deployment of a ServiceContainer (paper
+// Fig. 1's stable service node, for real this time). It accepts TCP
+// connections on an accept thread, decodes rpc::wire frames, dispatches
+// scalar and batch endpoints into the container through the shared
+// api/service_ops.hpp outcome→Errc mapping — the same helpers
+// DirectServiceBus and SimServiceBus use, so every error code is identical
+// over the network — and encodes typed replies. A malformed or truncated
+// frame produces a typed decode failure and drops that connection; it never
+// crashes or wedges the server. bitdewd wraps one of these in a daemon;
+// RemoteServiceBus is the matching client.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/expected.hpp"
+#include "dht/local_dht.hpp"
+#include "rpc/transport.hpp"
+#include "services/container.hpp"
+
+namespace bitdew::rpc {
+
+struct ServiceHostConfig {
+  std::uint16_t port = 0;       ///< 0 = ephemeral (read back via port())
+  bool loopback_only = false;   ///< bind 127.0.0.1 instead of INADDR_ANY
+  double idle_timeout_s = -1;   ///< per-connection read timeout (<0 = none)
+  double write_timeout_s = 30;  ///< reply send budget: a client that stops
+                                ///< reading cannot park a worker forever
+};
+
+class ServiceHost {
+ public:
+  ServiceHost(services::ServiceContainer& container, dht::LocalDht& ddc,
+              ServiceHostConfig config = {});
+  ~ServiceHost();
+  ServiceHost(const ServiceHost&) = delete;
+  ServiceHost& operator=(const ServiceHost&) = delete;
+
+  /// Binds, listens and spawns the accept thread. Errc::kTransport when the
+  /// port cannot be bound.
+  api::Status start();
+
+  /// Stops accepting, tears down every live connection and joins all
+  /// threads. Idempotent; also called by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t requests_served() const { return requests_served_.load(); }
+  std::uint64_t connections_accepted() const { return connections_accepted_.load(); }
+  /// Connections dropped because a frame failed to decode.
+  std::uint64_t frames_rejected() const { return frames_rejected_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(std::uint64_t id, Fd socket);
+  /// Joins and discards workers whose connections have ended.
+  void reap_finished_workers();
+  /// Decodes `body`, runs the operation, and returns the encoded reply
+  /// body. Malformed requests throw CodecError (the caller drops the
+  /// connection).
+  std::string dispatch(wire::Endpoint endpoint, Reader& body);
+
+  services::ServiceContainer& container_;
+  dht::LocalDht& ddc_;
+  ServiceHostConfig config_;
+
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+
+  std::mutex container_mutex_;  ///< serializes container/ddc access
+
+  std::mutex connections_mutex_;
+  std::unordered_map<std::uint64_t, int> live_connections_;  ///< id -> raw fd
+  std::unordered_map<std::uint64_t, std::thread> workers_;   ///< id -> thread
+  std::vector<std::uint64_t> finished_workers_;  ///< ended, awaiting join
+  std::uint64_t next_connection_id_ = 0;
+
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> frames_rejected_{0};
+};
+
+}  // namespace bitdew::rpc

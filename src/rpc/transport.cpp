@@ -1,0 +1,269 @@
+#include "rpc/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace bitdew::rpc {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_until(SteadyClock::time_point deadline) {
+  return std::chrono::duration<double>(deadline - SteadyClock::now()).count();
+}
+
+/// Polls `fd` for `events` until the deadline; timeout_s < 0 blocks.
+/// Returns 1 ready, 0 timeout, -1 error.
+int poll_fd(int fd, short events, double timeout_s) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  const int timeout_ms =
+      timeout_s < 0 ? -1 : static_cast<int>(timeout_s * 1000.0) + 1;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc >= 0) return rc > 0 ? 1 : 0;
+    if (errno != EINTR) return -1;
+  }
+}
+
+bool set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+api::Error transport_error(std::string message) {
+  return api::Error{api::Errc::kTransport, "bus", std::move(message)};
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+const char* io_status_name(IoStatus status) {
+  switch (status) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kClosed: return "closed";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kOversize: return "oversize";
+    case IoStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool send_frame(int fd, std::string_view payload, double timeout_s) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  Writer prefix;
+  prefix.u32(static_cast<std::uint32_t>(payload.size()));
+  std::string buffer = prefix.take();
+  buffer.append(payload);
+
+  const bool forever = timeout_s < 0;
+  const auto deadline =
+      SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(
+                               std::chrono::duration<double>(forever ? 0 : timeout_s));
+  std::size_t sent = 0;
+  while (sent < buffer.size()) {
+    // MSG_DONTWAIT so a peer that stops reading cannot park us in a
+    // blocking send past the deadline.
+    const ssize_t n = ::send(fd, buffer.data() + sent, buffer.size() - sent,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        const double budget = forever ? -1.0 : seconds_until(deadline);
+        if (!forever && budget <= 0) return false;
+        if (poll_fd(fd, POLLOUT, budget) <= 0) return false;
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+namespace {
+
+/// Reads exactly `size` bytes into `out` before the deadline.
+IoStatus recv_exact(int fd, char* out, std::size_t size,
+                    SteadyClock::time_point deadline, bool blocking_forever) {
+  std::size_t received = 0;
+  while (received < size) {
+    const double budget = blocking_forever ? -1.0 : seconds_until(deadline);
+    if (!blocking_forever && budget <= 0) return IoStatus::kTimeout;
+    const int ready = poll_fd(fd, POLLIN, budget);
+    if (ready < 0) return IoStatus::kError;
+    if (ready == 0) return IoStatus::kTimeout;
+    const ssize_t n = ::recv(fd, out + received, size - received, 0);
+    if (n == 0) return IoStatus::kClosed;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return IoStatus::kError;
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace
+
+RecvResult recv_frame(int fd, double timeout_s) {
+  const bool forever = timeout_s < 0;
+  const auto deadline =
+      SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(
+                               std::chrono::duration<double>(forever ? 0 : timeout_s));
+  char prefix[4];
+  RecvResult result;
+  result.status = recv_exact(fd, prefix, sizeof(prefix), deadline, forever);
+  if (result.status != IoStatus::kOk) return result;
+
+  std::uint32_t length = 0;
+  std::memcpy(&length, prefix, sizeof(length));
+  if (length > kMaxFrameBytes) {
+    result.status = IoStatus::kOversize;
+    return result;
+  }
+  result.payload.resize(length);
+  result.status = recv_exact(fd, result.payload.data(), length, deadline, forever);
+  if (result.status == IoStatus::kClosed && length > 0) {
+    result.status = IoStatus::kError;  // torn frame: prefix without body
+  }
+  if (result.status != IoStatus::kOk) result.payload.clear();
+  return result;
+}
+
+api::Expected<Fd> tcp_connect(const std::string& host, std::uint16_t port, double timeout_s) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const std::string service = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &found); rc != 0) {
+    return transport_error("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+
+  std::string last_error = "no addresses";
+  for (addrinfo* it = found; it != nullptr; it = it->ai_next) {
+    Fd fd(::socket(it->ai_family, it->ai_socktype, it->ai_protocol));
+    if (!fd.valid()) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    set_nonblocking(fd.get(), true);
+    if (::connect(fd.get(), it->ai_addr, it->ai_addrlen) != 0) {
+      if (errno != EINPROGRESS) {
+        last_error = std::strerror(errno);
+        continue;
+      }
+      if (poll_fd(fd.get(), POLLOUT, timeout_s) <= 0) {
+        last_error = "connect timeout";
+        continue;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        last_error = std::strerror(so_error != 0 ? so_error : errno);
+        continue;
+      }
+    }
+    set_nonblocking(fd.get(), false);
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(found);
+    return fd;
+  }
+  ::freeaddrinfo(found);
+  return transport_error("connect " + host + ":" + service + ": " + last_error);
+}
+
+api::Expected<ListenerResult> tcp_listen(std::uint16_t port, bool loopback_only) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return transport_error(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return transport_error("bind port " + std::to_string(port) + ": " + std::strerror(errno));
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    return transport_error(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return transport_error(std::string("getsockname: ") + std::strerror(errno));
+  }
+  ListenerResult result;
+  result.fd = std::move(fd);
+  result.port = ntohs(addr.sin_port);
+  return result;
+}
+
+Fd tcp_accept(int listen_fd, double timeout_s) {
+  if (poll_fd(listen_fd, POLLIN, timeout_s) <= 0) return Fd();
+  Fd fd(::accept(listen_fd, nullptr, nullptr));
+  if (fd.valid()) {
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+api::Status ClientChannel::ensure_connected() {
+  if (socket_.valid()) return api::ok_status();
+  auto connected = tcp_connect(host_, port_, connect_timeout_s_);
+  if (!connected.ok()) return connected.error();
+  socket_ = std::move(*connected);
+  return api::ok_status();
+}
+
+api::Expected<std::string> ClientChannel::round_trip(wire::Endpoint endpoint,
+                                                     std::uint64_t request_id,
+                                                     std::string_view frame) {
+  const api::Status up = ensure_connected();
+  if (!up.ok()) return up.error();
+
+  if (!send_frame(socket_.get(), frame, call_deadline_s_)) {
+    close();
+    return transport_error(std::string("send ") + wire::endpoint_name(endpoint) + " failed");
+  }
+  RecvResult reply = recv_frame(socket_.get(), call_deadline_s_);
+  if (reply.status != IoStatus::kOk) {
+    close();
+    return transport_error(std::string(wire::endpoint_name(endpoint)) + " reply: " +
+                           io_status_name(reply.status));
+  }
+  try {
+    Reader r(reply.payload);
+    const wire::FrameHeader header = wire::read_frame_header(r);
+    if (header.endpoint != endpoint || header.request_id != request_id) {
+      throw CodecError("reply frame does not match request");
+    }
+    return reply.payload.substr(r.offset());
+  } catch (const CodecError& error) {
+    close();
+    return transport_error(std::string("malformed reply: ") + error.what());
+  }
+}
+
+}  // namespace bitdew::rpc

@@ -1,0 +1,137 @@
+// TCP transport for the BitDew RPC protocol: length-prefixed frames over
+// POSIX sockets. A frame on the socket is a u32 little-endian byte count
+// followed by payload bytes (frame header + message body, see rpc/wire.hpp).
+// The helpers here are deliberately low-level — connect/listen/accept,
+// send_frame/recv_frame with deadlines — plus ClientChannel, the blocking
+// one-call-at-a-time client connection RemoteServiceBus is built on. All
+// failures are surfaced as values (IoStatus / Expected with Errc::kTransport),
+// never as hangs: every receive takes a deadline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/expected.hpp"
+#include "rpc/wire.hpp"
+
+namespace bitdew::rpc {
+
+/// Frames larger than this are rejected before allocation — a garbage or
+/// hostile length prefix must not let a peer OOM the process.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Move-only owner of a POSIX file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+enum class IoStatus : std::uint8_t {
+  kOk = 0,
+  kClosed,    ///< peer closed the connection cleanly
+  kTimeout,   ///< deadline expired before a full frame arrived
+  kOversize,  ///< length prefix exceeds kMaxFrameBytes
+  kError,     ///< socket error
+};
+
+const char* io_status_name(IoStatus status);
+
+struct RecvResult {
+  IoStatus status = IoStatus::kError;
+  std::string payload;  ///< valid only when status == kOk
+};
+
+/// Writes one length-prefixed frame; handles partial writes. Returns false
+/// on any socket error or when the peer's receive window stays full past
+/// the deadline (`timeout_s < 0` blocks) — the connection should be
+/// dropped then.
+bool send_frame(int fd, std::string_view payload, double timeout_s = -1);
+
+/// Reads one length-prefixed frame. `timeout_s < 0` blocks indefinitely;
+/// otherwise the whole frame must arrive within the deadline.
+RecvResult recv_frame(int fd, double timeout_s);
+
+/// Connects to host:port within `timeout_s`. Errors are Errc::kTransport.
+api::Expected<Fd> tcp_connect(const std::string& host, std::uint16_t port, double timeout_s);
+
+/// A listening socket bound to 127.0.0.1-or-any on `port` (0 = ephemeral).
+struct ListenerResult {
+  Fd fd;
+  std::uint16_t port = 0;  ///< actual bound port
+};
+
+/// Binds and listens; Errc::kTransport on failure. `loopback_only` binds
+/// 127.0.0.1 (tests), otherwise INADDR_ANY (the daemon).
+api::Expected<ListenerResult> tcp_listen(std::uint16_t port, bool loopback_only = false);
+
+/// Accepts one connection; invalid Fd on timeout or error.
+Fd tcp_accept(int listen_fd, double timeout_s);
+
+/// The client side of one RPC connection: connects lazily, sends
+/// header+body frames with fresh request ids, and receives the matching
+/// reply within a per-call deadline. Strictly one outstanding call at a
+/// time (RemoteServiceBus is synchronous); any failure closes the socket so
+/// the next call reconnects.
+class ClientChannel {
+ public:
+  ClientChannel(std::string host, std::uint16_t port, double connect_timeout_s,
+                double call_deadline_s)
+      : host_(std::move(host)),
+        port_(port),
+        connect_timeout_s_(connect_timeout_s),
+        call_deadline_s_(call_deadline_s) {}
+
+  /// One round-trip: encodes header || body (via `encode_body`), sends,
+  /// and returns the reply body bytes. Every failure mode — connect
+  /// refused, send error, deadline, peer close, malformed reply header,
+  /// request-id mismatch — is an Error{Errc::kTransport}.
+  template <typename EncodeBody>
+  api::Expected<std::string> call(wire::Endpoint endpoint, EncodeBody&& encode_body) {
+    Writer frame;
+    wire::write_frame_header(frame, {endpoint, ++next_request_id_});
+    encode_body(frame);
+    return round_trip(endpoint, next_request_id_, frame.buffer());
+  }
+
+  bool connected() const { return socket_.valid(); }
+  void close() { socket_.reset(); }
+
+ private:
+  api::Status ensure_connected();
+  api::Expected<std::string> round_trip(wire::Endpoint endpoint, std::uint64_t request_id,
+                                        std::string_view frame);
+
+  std::string host_;
+  std::uint16_t port_;
+  double connect_timeout_s_;
+  double call_deadline_s_;
+  std::uint64_t next_request_id_ = 0;
+  Fd socket_;
+};
+
+}  // namespace bitdew::rpc

@@ -1,6 +1,55 @@
 #include "rpc/wire.hpp"
 
+#include <algorithm>
+
 namespace bitdew::rpc::wire {
+
+const char* endpoint_name(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::kPing: return "ping";
+    case Endpoint::kDcRegister: return "dc_register";
+    case Endpoint::kDcGet: return "dc_get";
+    case Endpoint::kDcSearch: return "dc_search";
+    case Endpoint::kDcRemove: return "dc_remove";
+    case Endpoint::kDcAddLocator: return "dc_add_locator";
+    case Endpoint::kDcLocators: return "dc_locators";
+    case Endpoint::kDrPut: return "dr_put";
+    case Endpoint::kDrGet: return "dr_get";
+    case Endpoint::kDrRemove: return "dr_remove";
+    case Endpoint::kDtRegister: return "dt_register";
+    case Endpoint::kDtMonitor: return "dt_monitor";
+    case Endpoint::kDtComplete: return "dt_complete";
+    case Endpoint::kDtFailure: return "dt_failure";
+    case Endpoint::kDtGiveUp: return "dt_give_up";
+    case Endpoint::kDsSchedule: return "ds_schedule";
+    case Endpoint::kDsPin: return "ds_pin";
+    case Endpoint::kDsUnschedule: return "ds_unschedule";
+    case Endpoint::kDsSync: return "ds_sync";
+    case Endpoint::kDdcPublish: return "ddc_publish";
+    case Endpoint::kDdcSearch: return "ddc_search";
+    case Endpoint::kDcRegisterBatch: return "dc_register_batch";
+    case Endpoint::kDcLocatorsBatch: return "dc_locators_batch";
+    case Endpoint::kDsScheduleBatch: return "ds_schedule_batch";
+    case Endpoint::kDdcPublishBatch: return "ddc_publish_batch";
+  }
+  return "unknown";
+}
+
+void write_frame_header(Writer& w, const FrameHeader& header) {
+  w.u16(static_cast<std::uint16_t>(header.endpoint));
+  w.u64(header.request_id);
+}
+
+FrameHeader read_frame_header(Reader& r) {
+  const std::uint16_t endpoint = r.u16();
+  if (endpoint > kMaxEndpoint) {
+    throw CodecError("unknown endpoint id " + std::to_string(endpoint));
+  }
+  FrameHeader header;
+  header.endpoint = static_cast<Endpoint>(endpoint);
+  header.request_id = r.u64();
+  return header;
+}
 
 void write_auid(Writer& w, const util::Auid& uid) {
   w.u64(uid.hi);
@@ -80,6 +129,30 @@ core::DataAttributes read_attributes(Reader& r) {
   return attributes;
 }
 
+void write_content(Writer& w, const core::Content& content) {
+  w.i64(content.size);
+  w.str(content.checksum);
+}
+
+core::Content read_content(Reader& r) {
+  core::Content content;
+  content.size = r.i64();
+  content.checksum = r.str();
+  return content;
+}
+
+void write_scheduled_data(Writer& w, const services::ScheduledData& item) {
+  write_data(w, item.data);
+  write_attributes(w, item.attributes);
+}
+
+services::ScheduledData read_scheduled_data(Reader& r) {
+  services::ScheduledData item;
+  item.data = read_data(r);
+  item.attributes = read_attributes(r);
+  return item;
+}
+
 void write_error(Writer& w, const api::Error& error) {
   w.u8(static_cast<std::uint8_t>(error.code));
   w.str(error.service);
@@ -121,13 +194,66 @@ void write_list(Writer& w, const std::vector<T>& items, WriteItem write_item) {
 template <typename T, typename ReadItem>
 std::vector<T> read_list(Reader& r, ReadItem read_item) {
   const std::uint32_t count = r.u32();
+  // Every encoded item occupies at least one byte, so a count beyond the
+  // remaining bytes is malformed — reject it as a typed decode error
+  // before reserving anything (a garbage count must not OOM the decoder).
+  if (count > r.remaining()) {
+    throw CodecError("list count " + std::to_string(count) + " exceeds remaining " +
+                     std::to_string(r.remaining()) + " bytes");
+  }
   std::vector<T> out;
-  out.reserve(count);
+  out.reserve(std::min<std::size_t>(count, 4096));
   for (std::uint32_t i = 0; i < count; ++i) out.push_back(read_item(r));
   return out;
 }
 
 }  // namespace
+
+void write_auid_list(Writer& w, const std::vector<util::Auid>& uids) {
+  write_list(w, uids, write_auid);
+}
+
+std::vector<util::Auid> read_auid_list(Reader& r) {
+  return read_list<util::Auid>(r, read_auid);
+}
+
+void write_data_list(Writer& w, const std::vector<core::Data>& items) {
+  write_list(w, items, write_data);
+}
+
+std::vector<core::Data> read_data_list(Reader& r) {
+  return read_list<core::Data>(r, read_data);
+}
+
+void write_locator_list(Writer& w, const std::vector<core::Locator>& locators) {
+  write_list(w, locators, write_locator);
+}
+
+std::vector<core::Locator> read_locator_list(Reader& r) {
+  return read_list<core::Locator>(r, read_locator);
+}
+
+void write_string_list(Writer& w, const std::vector<std::string>& values) {
+  write_list(w, values, [](Writer& wr, const std::string& value) { wr.str(value); });
+}
+
+std::vector<std::string> read_string_list(Reader& r) {
+  return read_list<std::string>(r, [](Reader& rd) { return rd.str(); });
+}
+
+void write_sync_reply(Writer& w, const services::SyncReply& reply) {
+  write_auid_list(w, reply.keep);
+  write_list(w, reply.download, write_scheduled_data);
+  write_auid_list(w, reply.drop);
+}
+
+services::SyncReply read_sync_reply(Reader& r) {
+  services::SyncReply reply;
+  reply.keep = read_auid_list(r);
+  reply.download = read_list<services::ScheduledData>(r, read_scheduled_data);
+  reply.drop = read_auid_list(r);
+  return reply;
+}
 
 void write_register_batch(Writer& w, const std::vector<core::Data>& items) {
   write_list(w, items, write_data);

@@ -1,9 +1,12 @@
 // Wire shapes for the ServiceBus v2 messages: binary encode/decode of the
 // core model types (Auid, Data, Locator, DataAttributes), the typed Error
-// channel, and the four batch request/reply messages. SimServiceBus sizes
-// batched RPCs by actually encoding them — the amortization the bulk
-// endpoints claim (one envelope over N items) is measured on real bytes,
-// not a hand-tuned constant. test_codec round-trips every shape.
+// channel, the scalar request/reply payloads, the four batch request/reply
+// messages, and the frame header (endpoint id + request id) that the TCP
+// transport (rpc/transport.hpp, rpc/server.hpp) puts in front of every
+// payload. SimServiceBus sizes batched RPCs by actually encoding them — the
+// amortization the bulk endpoints claim (one envelope over N items) is
+// measured on real bytes, not a hand-tuned constant. test_codec round-trips
+// every shape.
 #pragma once
 
 #include <utility>
@@ -14,8 +17,62 @@
 #include "core/data.hpp"
 #include "core/locator.hpp"
 #include "rpc/codec.hpp"
+#include "services/data_scheduler.hpp"
 
 namespace bitdew::rpc::wire {
+
+// --- frame header ------------------------------------------------------------
+// Every frame the TCP transport carries is header || body. Requests and
+// replies share the shape: the server echoes the request id so a client can
+// match a reply to the call it made.
+
+/// RPC endpoints a ServiceHost serves. Values are wire-stable.
+enum class Endpoint : std::uint16_t {
+  kPing = 0,
+  kDcRegister = 1,
+  kDcGet = 2,
+  kDcSearch = 3,
+  kDcRemove = 4,
+  kDcAddLocator = 5,
+  kDcLocators = 6,
+  kDrPut = 7,
+  kDrGet = 8,
+  kDrRemove = 9,
+  kDtRegister = 10,
+  kDtMonitor = 11,
+  kDtComplete = 12,
+  kDtFailure = 13,
+  kDtGiveUp = 14,
+  kDsSchedule = 15,
+  kDsPin = 16,
+  kDsUnschedule = 17,
+  kDsSync = 18,
+  kDdcPublish = 19,
+  kDdcSearch = 20,
+  kDcRegisterBatch = 21,
+  kDcLocatorsBatch = 22,
+  kDsScheduleBatch = 23,
+  kDdcPublishBatch = 24,
+};
+
+inline constexpr std::uint16_t kMaxEndpoint =
+    static_cast<std::uint16_t>(Endpoint::kDdcPublishBatch);
+
+const char* endpoint_name(Endpoint endpoint);
+
+struct FrameHeader {
+  Endpoint endpoint = Endpoint::kPing;
+  std::uint64_t request_id = 0;
+
+  friend bool operator==(const FrameHeader&, const FrameHeader&) = default;
+};
+
+/// Encoded size of a frame header (u16 endpoint + u64 request id).
+inline constexpr std::size_t kFrameHeaderBytes = 2 + 8;
+
+void write_frame_header(Writer& w, const FrameHeader& header);
+/// Throws CodecError on an unknown endpoint id.
+FrameHeader read_frame_header(Reader& r);
 
 // --- model types -------------------------------------------------------------
 void write_auid(Writer& w, const util::Auid& uid);
@@ -30,12 +87,55 @@ core::Locator read_locator(Reader& r);
 void write_attributes(Writer& w, const core::DataAttributes& attributes);
 core::DataAttributes read_attributes(Reader& r);
 
+void write_content(Writer& w, const core::Content& content);
+core::Content read_content(Reader& r);
+
+void write_scheduled_data(Writer& w, const services::ScheduledData& item);
+services::ScheduledData read_scheduled_data(Reader& r);
+
+void write_sync_reply(Writer& w, const services::SyncReply& reply);
+services::SyncReply read_sync_reply(Reader& r);
+
 // --- error channel -----------------------------------------------------------
 void write_error(Writer& w, const api::Error& error);
 api::Error read_error(Reader& r);
 
 void write_status(Writer& w, const api::Status& status);
 api::Status read_status(Reader& r);
+
+// --- scalar reply payloads ---------------------------------------------------
+// Expected<T> on the wire: a success flag, then the value or the Error.
+// `write_value` / `read_value` encode the payload type.
+template <typename T, typename WriteValue>
+void write_expected(Writer& w, const api::Expected<T>& value, WriteValue&& write_value) {
+  w.boolean(value.ok());
+  if (value.ok()) {
+    write_value(w, value.value());
+  } else {
+    write_error(w, value.error());
+  }
+}
+
+template <typename T, typename ReadValue>
+api::Expected<T> read_expected(Reader& r, ReadValue&& read_value) {
+  if (r.boolean()) return api::Expected<T>(read_value(r));
+  api::Error error = read_error(r);
+  if (error.code == api::Errc::kOk) throw CodecError("failed reply with ok code");
+  return api::Expected<T>(std::move(error));
+}
+
+// List payloads shared by several scalar replies.
+void write_auid_list(Writer& w, const std::vector<util::Auid>& uids);
+std::vector<util::Auid> read_auid_list(Reader& r);
+
+void write_data_list(Writer& w, const std::vector<core::Data>& items);
+std::vector<core::Data> read_data_list(Reader& r);
+
+void write_locator_list(Writer& w, const std::vector<core::Locator>& locators);
+std::vector<core::Locator> read_locator_list(Reader& r);
+
+void write_string_list(Writer& w, const std::vector<std::string>& values);
+std::vector<std::string> read_string_list(Reader& r);
 
 // --- batch messages ----------------------------------------------------------
 // Requests are a u32 count followed by the items; replies are index-aligned

@@ -8,12 +8,23 @@
 // locators_batch, DataScheduler::schedule_batch) so a ServiceBus batch
 // endpoint resolves in one container call — the back-end of the v2 bus's
 // amortized dc_register_batch / dc_locators_batch / ds_schedule_batch.
+//
+// WAL-backed containers also persist the scheduler's data set Θ (the
+// catalog and repository already live in DewDB tables): schedule_data /
+// unschedule_data mirror every accepted entry into the "ds_theta" table,
+// and construction replays it, so a restarted bitdewd resumes scheduling
+// the same data. Owner sets and host liveness are deliberately NOT
+// persisted — they are soft state the reservoir hosts rebuild through
+// their periodic synchronizations (Algorithm 1).
 #pragma once
 
 #include <memory>
 #include <string>
+#include <variant>
+#include <vector>
 
 #include "db/database.hpp"
+#include "rpc/wire.hpp"
 #include "services/data_catalog.hpp"
 #include "services/data_repository.hpp"
 #include "services/data_scheduler.hpp"
@@ -33,7 +44,8 @@ class ServiceContainer {
         scheduler_(clock, scheduler_config),
         host_name_(std::move(host_name)) {}
 
-  /// WAL-backed persistence (the LocalRuntime).
+  /// WAL-backed persistence (the LocalRuntime, bitdewd). Replays the WAL
+  /// and restores the scheduler's Θ from the previous run.
   ServiceContainer(std::string host_name, const util::Clock& clock, const std::string& wal_path,
                    SchedulerConfig scheduler_config = {})
       : database_(std::make_unique<db::Database>(wal_path)),
@@ -41,10 +53,45 @@ class ServiceContainer {
         repository_(*database_, host_name),
         transfer_(*database_, clock),
         scheduler_(clock, scheduler_config),
-        host_name_(std::move(host_name)) {}
+        host_name_(std::move(host_name)) {
+    restore_scheduled_state();
+  }
 
   ServiceContainer(const ServiceContainer&) = delete;
   ServiceContainer& operator=(const ServiceContainer&) = delete;
+
+  // --- durable scheduler mutations ------------------------------------------
+  // The ServiceBus ops route DS mutations through these instead of ds()
+  // directly, so a WAL-backed container keeps Θ across restarts. With an
+  // in-memory database they are plain pass-throughs.
+
+  bool schedule_data(const core::Data& data, const core::DataAttributes& attributes) {
+    if (!scheduler_.schedule(data, attributes)) return false;
+    persist_schedule(data, attributes);
+    return true;
+  }
+
+  std::vector<bool> schedule_data_batch(const std::vector<ScheduledData>& items) {
+    std::vector<bool> accepted = scheduler_.schedule_batch(items);
+    if (database_->durable()) {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (accepted[i]) persist_schedule(items[i].data, items[i].attributes);
+      }
+    }
+    return accepted;
+  }
+
+  bool unschedule_data(const util::Auid& uid) {
+    if (!scheduler_.unschedule(uid)) return false;
+    if (database_->durable()) {
+      if (db::Table* table = database_->table(kThetaTable)) {
+        if (const auto row = table->by_primary(db::Value(uid.str()))) {
+          database_->erase(kThetaTable, *row);
+        }
+      }
+    }
+    return true;
+  }
 
   DataCatalog& dc() { return catalog_; }
   DataRepository& dr() { return repository_; }
@@ -54,6 +101,42 @@ class ServiceContainer {
   const std::string& host_name() const { return host_name_; }
 
  private:
+  static constexpr const char* kThetaTable = "ds_theta";
+
+  void persist_schedule(const core::Data& data, const core::DataAttributes& attributes) {
+    if (!database_->durable()) return;
+    db::Table& table = database_->create_table({kThetaTable, "uid", {}});
+    rpc::Writer w;
+    rpc::wire::write_data(w, data);
+    rpc::wire::write_attributes(w, attributes);
+    db::Row row;
+    row["uid"] = data.uid.str();
+    row["blob"] = w.take();
+    if (const auto existing = table.by_primary(db::Value(data.uid.str()))) {
+      database_->update(kThetaTable, *existing, std::move(row));
+    } else {
+      database_->insert(kThetaTable, std::move(row));
+    }
+  }
+
+  void restore_scheduled_state() {
+    const db::Table* table = database_->table(kThetaTable);
+    if (table == nullptr) return;
+    table->scan([this](db::RowId, const db::Row& row) {
+      const auto blob = row.find("blob");
+      if (blob == row.end() || !std::holds_alternative<std::string>(blob->second)) return true;
+      try {
+        rpc::Reader r(std::get<std::string>(blob->second));
+        const core::Data data = rpc::wire::read_data(r);
+        const core::DataAttributes attributes = rpc::wire::read_attributes(r);
+        scheduler_.schedule(data, attributes);
+      } catch (const rpc::CodecError&) {
+        // A corrupt Θ entry loses that datum's scheduling, nothing else.
+      }
+      return true;
+    });
+  }
+
   std::unique_ptr<db::Database> database_;
   DataCatalog catalog_;
   DataRepository repository_;

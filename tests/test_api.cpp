@@ -2,14 +2,20 @@
 // Error::codes for duplicate registration, unknown uids, scheduler
 // rejection, checksum mismatch), the bulk endpoints (batch-of-1 scalar
 // equivalence, partial failure, empty-batch no-op) and the blocking Session
-// facade — all through BOTH implementations: the synchronous
-// DirectServiceBus and the discrete-event SimServiceBus.
+// facade — all through EVERY implementation: the synchronous
+// DirectServiceBus, the discrete-event SimServiceBus, and the networked
+// RemoteServiceBus (a loopback ServiceHost, i.e. an in-process bitdewd).
+// The remote rig also covers the failure contract: killing the host makes
+// calls fail Errc::kTransport within the deadline instead of hanging.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <optional>
 
 #include "api/direct_service_bus.hpp"
+#include "api/remote_service_bus.hpp"
 #include "api/session.hpp"
+#include "rpc/server.hpp"
 #include "runtime/sim_service_bus.hpp"
 #include "testbed/topologies.hpp"
 
@@ -74,6 +80,32 @@ struct SimRig {
   runtime::ServiceQueue queue;
   dht::LocalDht ddc;
   runtime::SimServiceBus bus;
+};
+
+/// The networked rig: a loopback ServiceHost (bitdewd-equivalent) on an
+/// ephemeral port, driven through RemoteServiceBus over real TCP. Replies
+/// resolve synchronously like the direct bus, so settle() is a no-op.
+struct RemoteRig {
+  RemoteRig()
+      : container("server", clock),
+        host(container, ddc, rpc::ServiceHostConfig{0, /*loopback_only=*/true, -1}),
+        bus("127.0.0.1", start_host(), api::RemoteBusConfig{1.0, 2.0}) {}
+
+  std::uint16_t start_host() {
+    const api::Status started = host.start();
+    if (!started.ok()) throw std::runtime_error(started.error().to_string());
+    return host.port();
+  }
+
+  void settle() {}
+  std::uint64_t traffic() const { return bus.rpc_count(); }
+  api::Session::Pump pump() { return nullptr; }
+
+  util::ManualClock clock;
+  services::ServiceContainer container;
+  dht::LocalDht ddc;
+  rpc::ServiceHost host;
+  api::RemoteServiceBus bus;
 };
 
 template <typename T>
@@ -149,6 +181,7 @@ void check_error_codes() {
 
 TEST(ErrorChannel, DirectBusSurfacesDistinctCodes) { check_error_codes<DirectRig>(); }
 TEST(ErrorChannel, SimBusSurfacesDistinctCodes) { check_error_codes<SimRig>(); }
+TEST(ErrorChannel, RemoteBusSurfacesDistinctCodes) { check_error_codes<RemoteRig>(); }
 
 // --- bulk endpoints ----------------------------------------------------------
 
@@ -182,6 +215,9 @@ TEST(BatchEndpoints, DirectBatchOfOneMatchesScalar) {
   check_batch_of_one_equivalence<DirectRig>();
 }
 TEST(BatchEndpoints, SimBatchOfOneMatchesScalar) { check_batch_of_one_equivalence<SimRig>(); }
+TEST(BatchEndpoints, RemoteBatchOfOneMatchesScalar) {
+  check_batch_of_one_equivalence<RemoteRig>();
+}
 
 template <typename Rig>
 void check_partial_failure() {
@@ -227,6 +263,7 @@ void check_partial_failure() {
 
 TEST(BatchEndpoints, DirectPartialFailureDoesNotPoison) { check_partial_failure<DirectRig>(); }
 TEST(BatchEndpoints, SimPartialFailureDoesNotPoison) { check_partial_failure<SimRig>(); }
+TEST(BatchEndpoints, RemotePartialFailureDoesNotPoison) { check_partial_failure<RemoteRig>(); }
 
 template <typename Rig>
 void check_empty_batch_noop() {
@@ -250,6 +287,7 @@ void check_empty_batch_noop() {
 
 TEST(BatchEndpoints, DirectEmptyBatchIsNoop) { check_empty_batch_noop<DirectRig>(); }
 TEST(BatchEndpoints, SimEmptyBatchIsNoop) { check_empty_batch_noop<SimRig>(); }
+TEST(BatchEndpoints, RemoteEmptyBatchIsNoop) { check_empty_batch_noop<RemoteRig>(); }
 
 template <typename Rig>
 void check_ddc_and_locator_batches() {
@@ -296,6 +334,7 @@ void check_ddc_and_locator_batches() {
 
 TEST(BatchEndpoints, DirectDdcAndLocatorBatches) { check_ddc_and_locator_batches<DirectRig>(); }
 TEST(BatchEndpoints, SimDdcAndLocatorBatches) { check_ddc_and_locator_batches<SimRig>(); }
+TEST(BatchEndpoints, RemoteDdcAndLocatorBatches) { check_ddc_and_locator_batches<RemoteRig>(); }
 
 /// The bulk endpoint's whole point: one service event per batch, not per
 /// item, with per-item service time preserved.
@@ -375,6 +414,88 @@ void check_session() {
 
 TEST(Session, BlocksOverDirectBus) { check_session<DirectRig>(); }
 TEST(Session, BlocksOverSimBus) { check_session<SimRig>(); }
+TEST(Session, BlocksOverRemoteBus) { check_session<RemoteRig>(); }
+
+// --- transport failure contract ----------------------------------------------
+
+/// Killing the daemon must surface Errc::kTransport within the call
+/// deadline — never hang, never crash.
+TEST(RemoteTransport, DaemonKillSurfacesTransportError) {
+  RemoteRig rig;
+  const core::Data data = make_data("survivor");
+  std::optional<Status> before;
+  rig.bus.dc_register(data, [&](Status s) { before = s; });
+  ASSERT_TRUE(before.has_value() && before->ok());
+
+  rig.host.stop();  // the daemon dies with a call-ready client attached
+
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<Status> after;
+  rig.bus.dc_register(make_data("orphan"), [&](Status s) { after = s; });
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->code(), Errc::kTransport);
+  EXPECT_EQ(after->error().service, "bus");
+  EXPECT_LT(elapsed, 5.0);  // bounded by connect timeout + deadline, no hang
+
+  // A batch against the dead daemon fails per-item, index-aligned.
+  std::optional<BatchStatus> batch;
+  rig.bus.dc_register_batch({make_data("a"), make_data("b")}, [&](BatchStatus s) { batch = s; });
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_EQ((*batch)[0].code(), Errc::kTransport);
+  EXPECT_EQ((*batch)[1].code(), Errc::kTransport);
+}
+
+TEST(RemoteTransport, ConnectionRefusedIsTransportNotHang) {
+  // Grab an ephemeral port, then close the listener: nothing serves it.
+  auto listener = rpc::tcp_listen(0, /*loopback_only=*/true);
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t dead_port = listener->port;
+  listener->fd.reset();
+
+  api::RemoteServiceBus bus("127.0.0.1", dead_port, api::RemoteBusConfig{0.5, 0.5});
+  std::optional<Expected<core::Data>> reply;
+  bus.dc_get(util::next_auid(), [&](auto d) { reply = d; });
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->code(), Errc::kTransport);
+}
+
+/// The daemon restarting under a live client: the first call after the
+/// restart may fail (the old socket is dead), but the bus reconnects and
+/// the next call lands on the fresh host.
+TEST(RemoteTransport, ClientReconnectsAfterRestart) {
+  util::ManualClock clock;
+  dht::LocalDht ddc;
+  services::ServiceContainer container("server", clock);
+  rpc::ServiceHostConfig config{0, /*loopback_only=*/true, -1};
+
+  auto first = std::make_unique<rpc::ServiceHost>(container, ddc, config);
+  ASSERT_TRUE(first->start().ok());
+  const std::uint16_t port = first->port();
+
+  api::RemoteServiceBus bus("127.0.0.1", port, api::RemoteBusConfig{1.0, 2.0});
+  std::optional<Status> seeded;
+  bus.dc_register(make_data("pre-restart"), [&](Status s) { seeded = s; });
+  ASSERT_TRUE(seeded.has_value() && seeded->ok());
+
+  first.reset();  // kill
+  config.port = port;
+  rpc::ServiceHost second(container, ddc, config);  // resurrect on the same port
+  ASSERT_TRUE(second.start().ok());
+
+  // The stale connection fails typed, then the bus dials the new host.
+  std::optional<Status> stale;
+  bus.dc_register(make_data("during-restart"), [&](Status s) { stale = s; });
+  ASSERT_TRUE(stale.has_value());
+  std::optional<Status> fresh;
+  bus.dc_register(make_data("post-restart"), [&](Status s) { fresh = s; });
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_TRUE(fresh->ok());
+  EXPECT_EQ(container.dc().size(), stale->ok() ? 3u : 2u);
+}
 
 }  // namespace
 }  // namespace bitdew

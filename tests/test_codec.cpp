@@ -274,6 +274,103 @@ TEST(Wire, ScheduleBatchRoundTripAndSizing) {
   EXPECT_EQ(rpc::wire::schedule_batch_bytes(items), static_cast<std::int64_t>(w.size()));
 }
 
+TEST(Wire, FrameHeaderRoundTrip) {
+  rpc::Writer w;
+  rpc::wire::write_frame_header(w, {rpc::wire::Endpoint::kDsScheduleBatch, 0xfeedfacecafe});
+  EXPECT_EQ(w.size(), rpc::wire::kFrameHeaderBytes);
+  rpc::Reader r(w.buffer());
+  const rpc::wire::FrameHeader header = rpc::wire::read_frame_header(r);
+  EXPECT_EQ(header.endpoint, rpc::wire::Endpoint::kDsScheduleBatch);
+  EXPECT_EQ(header.request_id, 0xfeedfacecafeULL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, UnknownEndpointThrows) {
+  rpc::Writer w;
+  w.u16(rpc::wire::kMaxEndpoint + 1);
+  w.u64(1);
+  rpc::Reader r(w.buffer());
+  EXPECT_THROW(rpc::wire::read_frame_header(r), rpc::CodecError);
+}
+
+TEST(Wire, ScalarShapesRoundTrip) {
+  const core::Content content{123456, "00112233445566778899aabbccddeeff"};
+  services::ScheduledData scheduled;
+  scheduled.data = wire_data(9);
+  scheduled.attributes.replica = 3;
+  scheduled.attributes.fault_tolerant = true;
+  services::SyncReply sync;
+  sync.keep = {util::Auid{1, 2}, util::Auid{3, 4}};
+  sync.download = {scheduled};
+  sync.drop = {util::Auid{5, 6}};
+
+  rpc::Writer w;
+  rpc::wire::write_content(w, content);
+  rpc::wire::write_scheduled_data(w, scheduled);
+  rpc::wire::write_sync_reply(w, sync);
+  rpc::wire::write_string_list(w, {"alpha", "", "beta"});
+
+  rpc::Reader r(w.buffer());
+  const core::Content decoded_content = rpc::wire::read_content(r);
+  EXPECT_EQ(decoded_content.size, content.size);
+  EXPECT_EQ(decoded_content.checksum, content.checksum);
+  const services::ScheduledData decoded_scheduled = rpc::wire::read_scheduled_data(r);
+  EXPECT_EQ(decoded_scheduled.data, scheduled.data);
+  EXPECT_EQ(decoded_scheduled.attributes, scheduled.attributes);
+  const services::SyncReply decoded_sync = rpc::wire::read_sync_reply(r);
+  EXPECT_EQ(decoded_sync.keep, sync.keep);
+  ASSERT_EQ(decoded_sync.download.size(), 1u);
+  EXPECT_EQ(decoded_sync.download[0].data, scheduled.data);
+  EXPECT_EQ(decoded_sync.drop, sync.drop);
+  const std::vector<std::string> strings = rpc::wire::read_string_list(r);
+  EXPECT_EQ(strings, (std::vector<std::string>{"alpha", "", "beta"}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, ExpectedPayloadRoundTrip) {
+  rpc::Writer w;
+  rpc::wire::write_expected(w, api::Expected<core::Data>(wire_data(3)), rpc::wire::write_data);
+  rpc::wire::write_expected(
+      w, api::Expected<core::Data>(api::Error{api::Errc::kNotFound, "dc", "gone"}),
+      rpc::wire::write_data);
+
+  rpc::Reader r(w.buffer());
+  const auto ok = rpc::wire::read_expected<core::Data>(r, rpc::wire::read_data);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, wire_data(3));
+  const auto failed = rpc::wire::read_expected<core::Data>(r, rpc::wire::read_data);
+  EXPECT_EQ(failed.code(), api::Errc::kNotFound);
+  EXPECT_TRUE(r.exhausted());
+}
+
+/// Fuzz the frame decoders the ServiceHost relies on: random garbage must
+/// either decode or throw CodecError — never crash, never hang.
+TEST(Wire, FuzzedGarbageEitherDecodesOrThrowsTyped) {
+  util::Rng rng(0xdec0de);
+  for (int round = 0; round < 500; ++round) {
+    std::string garbage;
+    const std::uint64_t length = rng.below(128);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      garbage.push_back(static_cast<char>(rng.below(256)));
+    }
+    const auto probe = [&](auto&& decode) {
+      rpc::Reader r(garbage);
+      try {
+        decode(r);
+      } catch (const rpc::CodecError&) {
+        // typed failure is the expected outcome for most inputs
+      }
+    };
+    probe([](rpc::Reader& r) { rpc::wire::read_frame_header(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_attributes(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_status(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_sync_reply(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_register_batch(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_locators_batch_reply(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_status_batch(r); });
+  }
+}
+
 TEST(Wire, MalformedBatchThrows) {
   rpc::Writer w;
   w.u32(1000);  // claims 1000 items, provides none

@@ -239,6 +239,29 @@ TEST_F(WalTest, CompactionPreservesContentAndSchema) {
   EXPECT_TRUE(database.table("data")->has_index("name"));
 }
 
+TEST_F(WalTest, AutoCompactBoundsWalGrowth) {
+  {
+    Database database(path_.string());
+    database.set_auto_compact(4096);
+    database.create_table(TableSchema{"data", "uid", {}});
+    // One hot row updated thousands of times: without auto-compaction the
+    // log would grow with history; with it, the WAL tracks live state.
+    const RowId id = *database.insert("data", make_row("hot", "n", 0));
+    for (int i = 0; i < 2000; ++i) {
+      database.update("data", id, make_row("hot", "n", i));
+    }
+    EXPECT_GT(database.compactions(), 0u);
+    EXPECT_LT(database.wal_bytes(), 4096u + 512u);  // threshold + one snapshot worth
+    EXPECT_LT(std::filesystem::file_size(path_), 4096u + 512u);
+  }
+  // The compacted log still recovers the final state.
+  Database database(path_.string());
+  ASSERT_EQ(database.table("data")->size(), 1u);
+  const auto ids = database.find("data", "uid", Value{std::string("hot")});
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(db::get_int(*database.get("data", ids[0]), "size"), 1999);
+}
+
 TEST_F(WalTest, TornTailRecordIsIgnored) {
   {
     Database database(path_.string());

@@ -3,6 +3,10 @@
 // MaxDataSchedule/failure detection/pinning/relative-lifetime chains).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "core/attributes.hpp"
 #include "services/container.hpp"
 #include "util/clock.hpp"
@@ -461,6 +465,56 @@ TEST(ServiceContainer, WiresAllServices) {
   const auto ticket = container.dt().register_transfer(data, "server", "w", "ftp");
   EXPECT_TRUE(container.dt().ticket(ticket).has_value());
   EXPECT_EQ(container.host_name(), "server");
+}
+
+/// Crash recovery: a WAL-backed container reopened from its log restores
+/// both the catalog (DewDB tables) and the scheduler's Θ (the ds_theta
+/// mirror), so a restarted bitdewd keeps realizing the same attributes.
+TEST(ServiceContainer, CatalogAndSchedulerSurviveRestart) {
+  const auto wal = std::filesystem::temp_directory_path() /
+                   ("bitdew-container-wal-" + std::to_string(::getpid()));
+  std::filesystem::remove(wal);
+  util::ManualClock clock;
+  const Data genome = make_data("genome");
+  const Data index = make_data("index");
+  const Data transient = make_data("transient");
+  const auto attr = [](int replica) {
+    DataAttributes attributes;
+    attributes.replica = replica;
+    return attributes;
+  };
+
+  {
+    services::ServiceContainer container("server", clock, wal.string());
+    ASSERT_TRUE(container.dc().register_data(genome));
+    ASSERT_TRUE(container.dc().register_data(index));
+
+    DataAttributes replicated = attr(3);
+    replicated.fault_tolerant = true;
+    ASSERT_TRUE(container.schedule_data(genome, replicated));
+    ASSERT_TRUE(container.schedule_data(index, attr(1)));
+    ASSERT_TRUE(container.schedule_data(transient, attr(1)));
+    ASSERT_TRUE(container.unschedule_data(transient.uid));  // erased from Θ
+    ASSERT_EQ(container.ds().scheduled_count(), 2u);
+  }  // "crash": the container dies; only the WAL remains
+
+  services::ServiceContainer reopened("server", clock, wal.string());
+  // Catalog state came back...
+  EXPECT_TRUE(reopened.dc().get(genome.uid).has_value());
+  EXPECT_TRUE(reopened.dc().get(index.uid).has_value());
+  // ...and so did Θ, attributes included, minus the unscheduled datum.
+  EXPECT_EQ(reopened.ds().scheduled_count(), 2u);
+  const auto restored = reopened.ds().scheduled(genome.uid);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->attributes.replica, 3);
+  EXPECT_TRUE(restored->attributes.fault_tolerant);
+  EXPECT_FALSE(reopened.ds().scheduled(transient.uid).has_value());
+
+  // The restored scheduler still runs Algorithm 1: a fresh reservoir host
+  // gets the surviving data on its first synchronization.
+  const SyncReply reply = reopened.ds().sync("worker-1", {});
+  EXPECT_EQ(reply.download.size(), 2u);
+  std::filesystem::remove(wal);
 }
 
 }  // namespace
