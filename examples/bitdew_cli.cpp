@@ -22,9 +22,18 @@
 //       "locate genome" "delete genome"
 //
 // Remote commands: create NAME SIZE | attr NAME DSL | search NAME |
-// locate NAME | delete NAME | publish KEY VALUE | lookup KEY
+// locate NAME | delete NAME | publish KEY VALUE | lookup KEY |
+// put NAME PATH | get NAME PATH | chunk BYTES
+//
+// `put`/`get` move real file content in chunks (the out-of-band data
+// plane): `put` uploads PATH into the daemon's Data Repository (resuming a
+// previous interrupted upload of the same content), `get` downloads it
+// MD5-verified, and `chunk` sets the chunk size for subsequent transfers
+// (e.g. "chunk 1MB").
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <random>
 #include <sstream>
 
 #include "api/remote_service_bus.hpp"
@@ -171,7 +180,17 @@ struct Cli {
 struct RemoteCli {
   RemoteCli(const std::string& host, std::uint16_t port)
       : bus(host, port), bitdew(bus, "cli"), active_data(bus, "cli"),
-        session(bitdew, active_data) {}
+        session(bitdew, active_data) {
+    // Unlike the deterministic simulator, a live deployment has many CLI
+    // processes minting AUIDs against one daemon: give this process a
+    // unique prefix so ids never collide across invocations.
+    std::random_device entropy;
+    util::reseed_auid(
+        (static_cast<std::uint64_t>(entropy()) << 32) ^ entropy() ^
+        static_cast<std::uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count()) ^
+        (static_cast<std::uint64_t>(::getpid()) << 16));
+  }
 
   bool connect() {
     const api::Status up = bus.ping();
@@ -274,6 +293,42 @@ struct RemoteCli {
     return true;
   }
 
+  bool put(const std::string& name, const std::string& path) {
+    const api::Expected<core::Data> data = session.put_file(name, path);
+    if (!data.ok()) {
+      std::fprintf(stderr, "error: put: %s\n", data.error().to_string().c_str());
+      return false;
+    }
+    std::printf("put %s (%s, md5 %s), uid %s\n", name.c_str(),
+                util::human_bytes(data->size).c_str(), data->checksum.c_str(),
+                data->uid.str().c_str());
+    return true;
+  }
+
+  bool get(const std::string& name, const std::string& path) {
+    const auto data = resolve(name);
+    if (!data.has_value()) return false;
+    const api::Status fetched = session.get_file(*data, path);
+    if (!fetched.ok()) {
+      std::fprintf(stderr, "error: get: %s\n", fetched.error().to_string().c_str());
+      return false;
+    }
+    std::printf("got %s -> %s (%s, md5 %s verified)\n", name.c_str(), path.c_str(),
+                util::human_bytes(data->size).c_str(), data->checksum.c_str());
+    return true;
+  }
+
+  bool chunk(const std::string& size_text) {
+    const std::int64_t bytes = util::parse_bytes(size_text);
+    if (bytes <= 0) {
+      std::fprintf(stderr, "error: bad chunk size '%s'\n", size_text.c_str());
+      return false;
+    }
+    session.set_chunk_bytes(bytes);
+    std::printf("chunk size %s\n", util::human_bytes(bytes).c_str());
+    return true;
+  }
+
   bool publish(const std::string& key, const std::string& value) {
     const api::Status published = session.publish(key, value);
     if (!published.ok()) {
@@ -322,6 +377,18 @@ struct RemoteCli {
       std::string name;
       in >> name;
       return remove(name);
+    } else if (verb == "put") {
+      std::string name, path;
+      in >> name >> path;
+      return put(name, path);
+    } else if (verb == "get") {
+      std::string name, path;
+      in >> name >> path;
+      return get(name, path);
+    } else if (verb == "chunk") {
+      std::string size;
+      in >> size;
+      return chunk(size);
     } else if (verb == "publish") {
       std::string key, value;
       in >> key >> value;
@@ -332,7 +399,8 @@ struct RemoteCli {
       return lookup(key);
     } else if (verb == "help") {
       std::printf("commands: create NAME SIZE | attr NAME DSL | search NAME |"
-                  " locate NAME | delete NAME | publish KEY VALUE | lookup KEY\n");
+                  " locate NAME | delete NAME | put NAME PATH | get NAME PATH |"
+                  " chunk BYTES | publish KEY VALUE | lookup KEY\n");
     } else {
       std::fprintf(stderr, "error: unknown command '%s' (try help)\n", verb.c_str());
       return false;

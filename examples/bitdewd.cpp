@@ -77,7 +77,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--compact-bytes") {
       const char* value = next();
       if (value == nullptr) return usage(argv[0]);
-      compact_bytes = std::strtoull(value, nullptr, 10);
+      char* end = nullptr;
+      compact_bytes = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "bitdewd: bad --compact-bytes '%s' (expected a byte count)\n",
+                     value);
+        return 2;
+      }
     } else if (arg == "--loopback") {
       loopback = true;
     } else {

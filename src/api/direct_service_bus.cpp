@@ -53,6 +53,30 @@ void DirectServiceBus::dr_remove(const util::Auid& uid, Reply<Status> done) {
   done(ops::dr_remove(container_, uid));
 }
 
+void DirectServiceBus::dr_put_start(const core::Data& data,
+                                    Reply<Expected<std::int64_t>> done) {
+  ++calls_;
+  done(ops::dr_put_start(container_, data));
+}
+
+void DirectServiceBus::dr_put_chunk(const util::Auid& uid, std::int64_t offset,
+                                    const std::string& bytes, Reply<Status> done) {
+  ++calls_;
+  done(ops::dr_put_chunk(container_, uid, offset, bytes));
+}
+
+void DirectServiceBus::dr_put_commit(const util::Auid& uid, const std::string& protocol,
+                                     Reply<Expected<core::Locator>> done) {
+  ++calls_;
+  done(ops::dr_put_commit(container_, uid, protocol));
+}
+
+void DirectServiceBus::dr_get_chunk(const util::Auid& uid, std::int64_t offset,
+                                    std::int64_t max_bytes, Reply<Expected<std::string>> done) {
+  ++calls_;
+  done(ops::dr_get_chunk(container_, uid, offset, max_bytes));
+}
+
 void DirectServiceBus::dt_register(const core::Data& data, const std::string& source,
                                    const std::string& destination, const std::string& protocol,
                                    Reply<Expected<services::TicketId>> done) {

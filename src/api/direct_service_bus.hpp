@@ -29,6 +29,13 @@ class DirectServiceBus final : public ServiceBus {
               Reply<Expected<core::Locator>> done) override;
   void dr_get(const util::Auid& uid, Reply<Expected<core::Content>> done) override;
   void dr_remove(const util::Auid& uid, Reply<Status> done) override;
+  void dr_put_start(const core::Data& data, Reply<Expected<std::int64_t>> done) override;
+  void dr_put_chunk(const util::Auid& uid, std::int64_t offset, const std::string& bytes,
+                    Reply<Status> done) override;
+  void dr_put_commit(const util::Auid& uid, const std::string& protocol,
+                     Reply<Expected<core::Locator>> done) override;
+  void dr_get_chunk(const util::Auid& uid, std::int64_t offset, std::int64_t max_bytes,
+                    Reply<Expected<std::string>> done) override;
   void dt_register(const core::Data& data, const std::string& source,
                    const std::string& destination, const std::string& protocol,
                    Reply<Expected<services::TicketId>> done) override;

@@ -126,6 +126,52 @@ void RemoteServiceBus::dr_remove(const util::Auid& uid, Reply<Status> done) {
       [](rpc::Reader&) { return Unit{}; });
 }
 
+// Data plane: each chunk ships as one frame over the same framed transport
+// the control calls use — an out-of-band endpoint family, not a second
+// protocol. transfer::TcpTransfer typically drives these over a dedicated
+// connection so data streams do not head-of-line-block control traffic.
+void RemoteServiceBus::dr_put_start(const core::Data& data,
+                                    Reply<Expected<std::int64_t>> done) {
+  invoke<std::int64_t>(
+      Endpoint::kDrPutStart, [&](rpc::Writer& w) { wire::write_data(w, data); },
+      std::move(done), [](rpc::Reader& r) { return r.i64(); });
+}
+
+void RemoteServiceBus::dr_put_chunk(const util::Auid& uid, std::int64_t offset,
+                                    const std::string& bytes, Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kDrPutChunk,
+      [&](rpc::Writer& w) {
+        wire::write_auid(w, uid);
+        w.i64(offset);
+        w.str(bytes);
+      },
+      std::move(done), [](rpc::Reader&) { return Unit{}; });
+}
+
+void RemoteServiceBus::dr_put_commit(const util::Auid& uid, const std::string& protocol,
+                                     Reply<Expected<core::Locator>> done) {
+  invoke<core::Locator>(
+      Endpoint::kDrPutCommit,
+      [&](rpc::Writer& w) {
+        wire::write_auid(w, uid);
+        w.str(protocol);
+      },
+      std::move(done), wire::read_locator);
+}
+
+void RemoteServiceBus::dr_get_chunk(const util::Auid& uid, std::int64_t offset,
+                                    std::int64_t max_bytes, Reply<Expected<std::string>> done) {
+  invoke<std::string>(
+      Endpoint::kDrGetChunk,
+      [&](rpc::Writer& w) {
+        wire::write_auid(w, uid);
+        w.i64(offset);
+        w.i64(max_bytes);
+      },
+      std::move(done), [](rpc::Reader& r) { return r.str(); });
+}
+
 // --- Data Transfer -----------------------------------------------------------
 
 void RemoteServiceBus::dt_register(const core::Data& data, const std::string& source,

@@ -63,6 +63,30 @@ class ServiceBus {
   virtual void dr_get(const util::Auid& uid, Reply<Expected<core::Content>> done) = 0;
   virtual void dr_remove(const util::Auid& uid, Reply<Status> done) = 0;
 
+  // --- Data Repository: chunked out-of-band data plane -------------------------
+  // The real-byte path (PR 3): a sender streams content to the repository in
+  // fixed-size chunks, resumable at the offset dr_put_start returns; the
+  // repository verifies the assembled MD5 against the datum's registered
+  // checksum at commit (Errc::kChecksumMismatch on divergence) and only then
+  // serves it through dr_get_chunk. transfer::TcpTransfer is the client
+  // engine driving these; Session::put_file/get_file is the blocking facade.
+
+  /// Opens (or resumes) a chunked upload; the reply is the byte offset the
+  /// sender must continue from (0 for a fresh upload).
+  virtual void dr_put_start(const core::Data& data, Reply<Expected<std::int64_t>> done) = 0;
+  /// Appends one chunk at `offset` (must equal the bytes received so far;
+  /// Errc::kRejected on a mismatch — re-sync via dr_put_start).
+  virtual void dr_put_chunk(const util::Auid& uid, std::int64_t offset,
+                            const std::string& bytes, Reply<Status> done) = 0;
+  /// Verifies and publishes the staged bytes; replies with the minted
+  /// locator, or Errc::kChecksumMismatch (the stage is discarded).
+  virtual void dr_put_commit(const util::Auid& uid, const std::string& protocol,
+                             Reply<Expected<core::Locator>> done) = 0;
+  /// Reads up to `max_bytes` of published content at `offset`; an empty
+  /// reply means end of content.
+  virtual void dr_get_chunk(const util::Auid& uid, std::int64_t offset, std::int64_t max_bytes,
+                            Reply<Expected<std::string>> done) = 0;
+
   // --- Data Transfer ------------------------------------------------------------
   virtual void dt_register(const core::Data& data, const std::string& source,
                            const std::string& destination, const std::string& protocol,

@@ -120,6 +120,70 @@ inline Status dr_remove(services::ServiceContainer& c, const util::Auid& uid) {
   return ok_status();
 }
 
+// --- Data Repository: chunked out-of-band data plane ---------------------------
+
+inline Expected<std::int64_t> dr_put_start(services::ServiceContainer& c,
+                                           const core::Data& data) {
+  if (!data.valid()) return Error{Errc::kInvalidArgument, "dr", "nil uid"};
+  if (data.checksum.empty() || data.size < 0) {
+    return Error{Errc::kInvalidArgument, "dr",
+                 "content descriptor required (size + md5) for " + data.uid.str()};
+  }
+  return c.dr().stage_begin(data);
+}
+
+inline Status dr_put_chunk(services::ServiceContainer& c, const util::Auid& uid,
+                           std::int64_t offset, const std::string& bytes) {
+  if (bytes.empty()) return Error{Errc::kInvalidArgument, "dr", "empty chunk"};
+  switch (c.dr().stage_chunk(uid, offset, bytes)) {
+    case services::ChunkResult::kOk:
+      return ok_status();
+    case services::ChunkResult::kNoStage:
+      return Error{Errc::kNotFound, "dr", "no staged upload for " + uid.str()};
+    case services::ChunkResult::kBadOffset:
+      return Error{Errc::kRejected, "dr",
+                   "chunk offset " + std::to_string(offset) + " != bytes received (" +
+                       std::to_string(c.dr().stage_received(uid)) + ") for " + uid.str()};
+    case services::ChunkResult::kOversize:
+      return Error{Errc::kInvalidArgument, "dr",
+                   "chunk exceeds the per-chunk limit or the declared content size"};
+  }
+  return Error{Errc::kUnavailable, "dr", "unreachable"};
+}
+
+inline Expected<core::Locator> dr_put_commit(services::ServiceContainer& c,
+                                             const util::Auid& uid,
+                                             const std::string& protocol) {
+  core::Locator locator;
+  switch (c.dr().stage_commit(uid, protocol, &locator)) {
+    case services::CommitResult::kOk:
+      return locator;
+    case services::CommitResult::kNoStage:
+      return Error{Errc::kNotFound, "dr", "no staged upload for " + uid.str()};
+    case services::CommitResult::kIncomplete:
+      return Error{Errc::kRejected, "dr",
+                   "staged upload incomplete for " + uid.str() + " (resume and finish first)"};
+    case services::CommitResult::kChecksumMismatch:
+      return Error{Errc::kChecksumMismatch, "dr",
+                   "staged content MD5 differs from the registered checksum for " + uid.str() +
+                       " (stage discarded)"};
+  }
+  return Error{Errc::kUnavailable, "dr", "unreachable"};
+}
+
+inline Expected<std::string> dr_get_chunk(services::ServiceContainer& c, const util::Auid& uid,
+                                          std::int64_t offset, std::int64_t max_bytes) {
+  if (max_bytes <= 0 || max_bytes > services::kMaxChunkBytes) {
+    return Error{Errc::kInvalidArgument, "dr", "bad chunk size " + std::to_string(max_bytes)};
+  }
+  auto bytes = c.dr().read_bytes(uid, offset, max_bytes);
+  if (!bytes.has_value()) {
+    return Error{Errc::kNotFound, "dr",
+                 "no content bytes for " + uid.str() + " (metadata-only or unknown)"};
+  }
+  return std::move(*bytes);
+}
+
 // --- Data Transfer --------------------------------------------------------------
 
 inline Expected<services::TicketId> dt_register(services::ServiceContainer& c,

@@ -1,5 +1,7 @@
 #include "api/session.hpp"
 
+#include "transfer/tcp.hpp"
+
 namespace bitdew::api {
 namespace {
 
@@ -21,6 +23,67 @@ Status Session::wait_transfer(const util::Auid& uid) {
     return Error{Errc::kUnavailable, "session", "stalled waiting for transfer"};
   }
   return *result;
+}
+
+// --- real-byte data plane ------------------------------------------------------
+
+Expected<core::Data> Session::put_file(const std::string& name, const std::string& path) {
+  core::Content content;
+  try {
+    content = core::file_content(path);
+  } catch (const std::exception& error) {
+    return Error{Errc::kInvalidArgument, "session", error.what()};
+  }
+  // Reuse an already-registered slot whose descriptor matches the file —
+  // this is what lets a re-run of `bitdew_cli put` resume the staged upload
+  // of a previous, interrupted invocation. A name registered with
+  // *different* content is a typed error: names are not unique keys in the
+  // catalog, so registering a second datum here would leave later
+  // lookups-by-name resolving to the stale first one.
+  core::Data data;
+  const Expected<core::Data> existing = search(name);
+  if (existing.ok()) {
+    if (existing->size != content.size || existing->checksum != content.checksum) {
+      return Error{Errc::kDuplicate, "session",
+                   "'" + name + "' is already registered with different content (size " +
+                       std::to_string(existing->size) + ", md5 " + existing->checksum +
+                       ") — delete it first"};
+    }
+    data = *existing;
+  } else {
+    const Expected<core::Data> created = create_data(name, content);
+    if (!created.ok()) return created;
+    data = *created;
+  }
+  const Status uploaded = put_file(data, path);
+  if (!uploaded.ok()) return uploaded.propagate<core::Data>();
+  return data;
+}
+
+Status Session::put_file(const core::Data& data, const std::string& path) {
+  transfer::TcpTransfer engine(
+      bitdew_.bus(), transfer::TcpConfig{chunk_bytes_, transfer_attempts_, true}, pump_);
+  if (tm_ != nullptr) tm_->begin(data.uid);
+  const Status outcome = engine.put_file(data, path);
+  if (tm_ != nullptr) tm_->finish(data.uid, outcome);
+  return outcome;
+}
+
+Status Session::get_file(const core::Data& data, const std::string& path) {
+  transfer::TcpTransfer engine(
+      bitdew_.bus(), transfer::TcpConfig{chunk_bytes_, transfer_attempts_, true}, pump_);
+  if (tm_ != nullptr) tm_->begin(data.uid);
+  const Status outcome = engine.get_file(data, path);
+  if (tm_ != nullptr) tm_->finish(data.uid, outcome);
+  return outcome;
+}
+
+Status Session::get_file(const util::Auid& uid, const std::string& path) {
+  SessionFuture<core::Data> future;
+  bitdew_.bus().dc_get(uid, future.resolver());
+  const Expected<core::Data> data = wait(future);
+  if (!data.ok()) return Status(data.error());
+  return get_file(*data, path);
 }
 
 std::pair<std::vector<core::Data>, BatchStatus> Session::create_data_batch(

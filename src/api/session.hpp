@@ -182,6 +182,31 @@ class Session {
   /// TransferManager at construction).
   Status wait_transfer(const util::Auid& uid);
 
+  // --- real-byte data plane (PR 3) --------------------------------------------
+  // Chunked out-of-band content transfer through the bus's dr_put_start /
+  // dr_put_chunk / dr_put_commit / dr_get_chunk endpoints (the
+  // transfer::TcpTransfer engine): Sim/Direct land in the in-process
+  // repository, Remote streams over TCP. Uploads resume at the offset the
+  // repository reports; downloads resume from `path`.part; both are
+  // MD5-verified (Errc::kChecksumMismatch on divergence).
+
+  /// Creates a data slot named `name` from the file at `path` — or reuses
+  /// the registered slot of that name when its descriptor matches the file,
+  /// so a re-run resumes an interrupted upload — then uploads the content.
+  Expected<core::Data> put_file(const std::string& name, const std::string& path);
+
+  /// Uploads the file at `path` as the content of an existing slot.
+  Status put_file(const core::Data& data, const std::string& path);
+
+  /// Downloads a datum's content into `path`.
+  Status get_file(const core::Data& data, const std::string& path);
+  Status get_file(const util::Auid& uid, const std::string& path);
+
+  /// Data-plane knobs (see transfer::TcpConfig for semantics/bounds).
+  void set_chunk_bytes(std::int64_t bytes) { chunk_bytes_ = bytes; }
+  std::int64_t chunk_bytes() const { return chunk_bytes_; }
+  void set_transfer_attempts(int attempts) { transfer_attempts_ = attempts; }
+
   // --- blocking bulk operations ----------------------------------------------
   /// One round-trip each, regardless of batch size; per-item outcomes.
   std::pair<std::vector<core::Data>, BatchStatus> create_data_batch(
@@ -209,6 +234,8 @@ class Session {
   ActiveData& active_data_;
   Pump pump_;
   TransferManager* tm_;
+  std::int64_t chunk_bytes_ = 256 * 1024;
+  int transfer_attempts_ = 3;
 };
 
 }  // namespace bitdew::api

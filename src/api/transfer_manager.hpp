@@ -4,12 +4,19 @@
 // tunable concurrency cap with FIFO admission.
 //
 // The node runtime (simulated or local) registers every transfer it starts
-// through begin()/finish(); user code observes them here.
+// through begin()/finish(); user code observes them here. All methods are
+// thread-safe (PR 3: real TcpTransfer streams call begin()/finish() from
+// worker threads), and every callback — admitted jobs, when_done waiters,
+// barriers — is invoked with the manager's lock released, so an admitted
+// job may be a blocking transfer and callbacks may call back in freely.
+// admit() reserves the concurrency slot before the job runs; the job's
+// begin() converts the reservation into an active transfer.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "api/expected.hpp"
@@ -22,8 +29,14 @@ enum class TransferProbe { kUnknown, kActive, kDone, kFailed };
 class TransferManager {
  public:
   /// Limits simultaneously running transfers on this node (0 == unlimited).
-  void set_max_concurrent(int limit) { max_concurrent_ = limit; }
-  int max_concurrent() const { return max_concurrent_; }
+  void set_max_concurrent(int limit) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    max_concurrent_ = limit;
+  }
+  int max_concurrent() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return max_concurrent_;
+  }
 
   /// Queues work under the concurrency cap; `run` is invoked when a slot is
   /// free. The runtime wraps protocol starts with this.
@@ -51,13 +64,21 @@ class TransferManager {
   /// Barrier: fires once no transfer is active or queued.
   void barrier(std::function<void()> done);
 
-  int active_count() const { return active_; }
-  int queued_count() const { return static_cast<int>(pending_.size()); }
+  int active_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return active_;
+  }
+  int queued_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(pending_.size());
+  }
 
  private:
   void maybe_release_barriers();
 
+  mutable std::mutex mutex_;
   int max_concurrent_ = 0;
+  int admitting_ = 0;  ///< slots reserved by admit(), not yet begin()-ed
   int active_ = 0;
   std::deque<std::function<void()>> pending_;
   std::map<util::Auid, TransferProbe> states_;

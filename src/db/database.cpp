@@ -1,5 +1,6 @@
 #include "db/database.hpp"
 
+#include <algorithm>
 #include <filesystem>
 
 #include "rpc/codec.hpp"
@@ -113,8 +114,14 @@ void Database::wal_append(const std::string& record) {
   wal_.flush();
   wal_bytes_ += frame.size() + record.size();
   // The record above is already durable and reflected in the tables, so
-  // compacting here rewrites a state that includes it.
-  if (compact_threshold_ > 0 && wal_bytes_ >= compact_threshold_) compact();
+  // compacting here rewrites a state that includes it. Trigger on growth
+  // past the last snapshot, not absolute size: once live state itself
+  // exceeds the threshold (content blobs can — PR 3 stores staged chunks
+  // in the WAL), an absolute check would compact on every append.
+  if (compact_threshold_ > 0 &&
+      wal_bytes_ >= std::max(compact_threshold_, 2 * snapshot_bytes_)) {
+    compact();
+  }
 }
 
 void Database::wal_create_table(const TableSchema& schema) {
@@ -251,6 +258,7 @@ void Database::compact() {
   std::filesystem::rename(temp_path, wal_path_);
   wal_.open(wal_path_, std::ios::binary | std::ios::app);
   wal_bytes_ = std::filesystem::file_size(wal_path_);
+  snapshot_bytes_ = wal_bytes_;
   ++compactions_;
 }
 

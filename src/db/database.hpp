@@ -57,7 +57,9 @@ class Database {
   /// Rewrites the WAL as a compact snapshot of current state.
   void compact();
 
-  /// Auto-compacts whenever the WAL grows past `threshold_bytes` (0
+  /// Auto-compacts whenever the WAL grows past `threshold_bytes` — or, once
+  /// live state itself exceeds the threshold, past twice the last snapshot's
+  /// size, so big stored blobs don't force a rewrite on every append (0
   /// disables, the default). Long-running daemons set this so the log's
   /// size tracks live state instead of total history.
   void set_auto_compact(std::uint64_t threshold_bytes) { compact_threshold_ = threshold_bytes; }
@@ -88,6 +90,7 @@ class Database {
   std::ofstream wal_;
   bool replaying_ = false;
   std::uint64_t wal_bytes_ = 0;
+  std::uint64_t snapshot_bytes_ = 0;  ///< WAL size right after the last compact()
   std::uint64_t compact_threshold_ = 0;
   std::uint64_t compactions_ = 0;
 };

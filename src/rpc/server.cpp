@@ -183,6 +183,32 @@ std::string ServiceHost::dispatch(wire::Endpoint endpoint, Reader& r) {
     case Endpoint::kDrRemove:
       wire::write_status(w, ops::dr_remove(container_, wire::read_auid(r)));
       break;
+    case Endpoint::kDrPutStart:
+      wire::write_expected(w, ops::dr_put_start(container_, wire::read_data(r)),
+                           [](Writer& wr, std::int64_t offset) { wr.i64(offset); });
+      break;
+    case Endpoint::kDrPutChunk: {
+      const util::Auid uid = wire::read_auid(r);
+      const std::int64_t offset = r.i64();
+      const std::string bytes = r.str();
+      wire::write_status(w, ops::dr_put_chunk(container_, uid, offset, bytes));
+      break;
+    }
+    case Endpoint::kDrPutCommit: {
+      const util::Auid uid = wire::read_auid(r);
+      const std::string protocol = r.str();
+      wire::write_expected(w, ops::dr_put_commit(container_, uid, protocol),
+                           wire::write_locator);
+      break;
+    }
+    case Endpoint::kDrGetChunk: {
+      const util::Auid uid = wire::read_auid(r);
+      const std::int64_t offset = r.i64();
+      const std::int64_t max_bytes = r.i64();
+      wire::write_expected(w, ops::dr_get_chunk(container_, uid, offset, max_bytes),
+                           [](Writer& wr, const std::string& bytes) { wr.str(bytes); });
+      break;
+    }
 
     // --- Data Transfer -------------------------------------------------------
     case Endpoint::kDtRegister: {

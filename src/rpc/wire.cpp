@@ -31,6 +31,10 @@ const char* endpoint_name(Endpoint endpoint) {
     case Endpoint::kDcLocatorsBatch: return "dc_locators_batch";
     case Endpoint::kDsScheduleBatch: return "ds_schedule_batch";
     case Endpoint::kDdcPublishBatch: return "ddc_publish_batch";
+    case Endpoint::kDrPutStart: return "dr_put_start";
+    case Endpoint::kDrPutChunk: return "dr_put_chunk";
+    case Endpoint::kDrPutCommit: return "dr_put_commit";
+    case Endpoint::kDrGetChunk: return "dr_get_chunk";
   }
   return "unknown";
 }

@@ -53,10 +53,17 @@ enum class Endpoint : std::uint16_t {
   kDcLocatorsBatch = 22,
   kDsScheduleBatch = 23,
   kDdcPublishBatch = 24,
+  // Data plane (PR 3): chunked out-of-band content transfer. Chunk frames
+  // carry real payload bytes; their size is bounded by
+  // services::kMaxChunkBytes, well under kMaxFrameBytes.
+  kDrPutStart = 25,   ///< Data → Expected<i64 resume offset>
+  kDrPutChunk = 26,   ///< Auid, i64 offset, bytes → Status
+  kDrPutCommit = 27,  ///< Auid, protocol → Expected<Locator>
+  kDrGetChunk = 28,   ///< Auid, i64 offset, i64 max → Expected<bytes>
 };
 
 inline constexpr std::uint16_t kMaxEndpoint =
-    static_cast<std::uint16_t>(Endpoint::kDdcPublishBatch);
+    static_cast<std::uint16_t>(Endpoint::kDrGetChunk);
 
 const char* endpoint_name(Endpoint endpoint);
 

@@ -126,6 +126,48 @@ void SimServiceBus::dr_remove(const util::Auid& uid, api::Reply<Status> done) {
       transport_error("dr_remove flow failed"), std::move(done));
 }
 
+// Data-plane RPCs: chunk payloads are charged to the simulated network at
+// their real size, so out-of-band content consumes bandwidth exactly like
+// the paper's Fig. 3b/3c accounting expects.
+void SimServiceBus::dr_put_start(const core::Data& data,
+                                 api::Reply<Expected<std::int64_t>> done) {
+  rpc<Expected<std::int64_t>>(
+      176, 8,
+      [data](services::ServiceContainer& c) { return api::ops::dr_put_start(c, data); },
+      transport_error("dr_put_start flow failed"), std::move(done));
+}
+
+void SimServiceBus::dr_put_chunk(const util::Auid& uid, std::int64_t offset,
+                                 const std::string& bytes, api::Reply<Status> done) {
+  rpc<Status>(
+      24 + static_cast<std::int64_t>(bytes.size()), 0,
+      [uid, offset, bytes](services::ServiceContainer& c) {
+        return api::ops::dr_put_chunk(c, uid, offset, bytes);
+      },
+      transport_error("dr_put_chunk flow failed"), std::move(done));
+}
+
+void SimServiceBus::dr_put_commit(const util::Auid& uid, const std::string& protocol,
+                                  api::Reply<Expected<core::Locator>> done) {
+  rpc<Expected<core::Locator>>(
+      16 + static_cast<std::int64_t>(protocol.size()), 128,
+      [uid, protocol](services::ServiceContainer& c) {
+        return api::ops::dr_put_commit(c, uid, protocol);
+      },
+      transport_error("dr_put_commit flow failed"), std::move(done));
+}
+
+void SimServiceBus::dr_get_chunk(const util::Auid& uid, std::int64_t offset,
+                                 std::int64_t max_bytes,
+                                 api::Reply<Expected<std::string>> done) {
+  rpc<Expected<std::string>>(
+      28, max_bytes,
+      [uid, offset, max_bytes](services::ServiceContainer& c) {
+        return api::ops::dr_get_chunk(c, uid, offset, max_bytes);
+      },
+      transport_error("dr_get_chunk flow failed"), std::move(done));
+}
+
 void SimServiceBus::dt_register(const core::Data& data, const std::string& source,
                                 const std::string& destination, const std::string& protocol,
                                 api::Reply<Expected<services::TicketId>> done) {

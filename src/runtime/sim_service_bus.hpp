@@ -114,6 +114,14 @@ class SimServiceBus final : public api::ServiceBus {
               api::Reply<api::Expected<core::Locator>> done) override;
   void dr_get(const util::Auid& uid, api::Reply<api::Expected<core::Content>> done) override;
   void dr_remove(const util::Auid& uid, api::Reply<api::Status> done) override;
+  void dr_put_start(const core::Data& data,
+                    api::Reply<api::Expected<std::int64_t>> done) override;
+  void dr_put_chunk(const util::Auid& uid, std::int64_t offset, const std::string& bytes,
+                    api::Reply<api::Status> done) override;
+  void dr_put_commit(const util::Auid& uid, const std::string& protocol,
+                     api::Reply<api::Expected<core::Locator>> done) override;
+  void dr_get_chunk(const util::Auid& uid, std::int64_t offset, std::int64_t max_bytes,
+                    api::Reply<api::Expected<std::string>> done) override;
   void dt_register(const core::Data& data, const std::string& source,
                    const std::string& destination, const std::string& protocol,
                    api::Reply<api::Expected<services::TicketId>> done) override;

@@ -1,15 +1,30 @@
 #include "services/data_repository.hpp"
 
+#include <algorithm>
+#include <variant>
+
+#include "util/md5.hpp"
+
 namespace bitdew::services {
 namespace {
 
-constexpr const char* kObjectTable = "dr_object";
+constexpr const char* kObjectTable = "dr_object";    // published descriptors
+constexpr const char* kContentTable = "dr_content";  // published content blobs
+constexpr const char* kStageTable = "dr_stage";      // in-flight upload state
+constexpr const char* kChunkTable = "dr_chunk";      // in-flight upload chunks
+
+std::string chunk_key(const std::string& uid_key, std::int64_t index) {
+  return uid_key + "#" + std::to_string(index);
+}
 
 }  // namespace
 
 DataRepository::DataRepository(db::Database& database, std::string host_name)
     : database_(database), host_(std::move(host_name)) {
   database_.create_table(db::TableSchema{kObjectTable, "uid", {}});
+  database_.create_table(db::TableSchema{kContentTable, "uid", {}});
+  database_.create_table(db::TableSchema{kStageTable, "uid", {}});
+  database_.create_table(db::TableSchema{kChunkTable, "key", {}});
 }
 
 core::Locator DataRepository::put(const core::Data& data, const core::Content& content,
@@ -65,10 +80,167 @@ bool DataRepository::exists(const util::Auid& uid) const {
 }
 
 bool DataRepository::remove(const util::Auid& uid) {
+  stage_discard(uid);
+  if (db::Table* content = database_.table(kContentTable)) {
+    if (const auto id = content->by_primary(db::Value{uid.str()})) {
+      database_.erase(kContentTable, *id);
+    }
+  }
   db::Table* table = database_.table(kObjectTable);
   const auto id = table->by_primary(db::Value{uid.str()});
   if (!id.has_value()) return false;
   return database_.erase(kObjectTable, *id);
+}
+
+// --- chunked out-of-band uploads ---------------------------------------------
+
+std::int64_t DataRepository::stage_begin(const core::Data& data) {
+  db::Table* table = database_.table(kStageTable);
+  const std::string uid_key = data.uid.str();
+  if (const auto id = table->by_primary(db::Value{uid_key})) {
+    const db::Row& row = *table->get(*id);
+    if (db::get_int(row, "size") == data.size &&
+        db::get_text(row, "checksum") == data.checksum) {
+      return db::get_int(row, "received");  // resume
+    }
+    // The datum's content changed under the stage: restart from scratch.
+    drop_stage_rows(uid_key, db::get_int(row, "chunks"));
+    database_.erase(kStageTable, *id);
+  }
+  db::Row row;
+  row["uid"] = uid_key;
+  row["received"] = std::int64_t{0};
+  row["chunks"] = std::int64_t{0};
+  row["size"] = data.size;
+  row["checksum"] = data.checksum;
+  database_.insert(kStageTable, std::move(row));
+  return 0;
+}
+
+ChunkResult DataRepository::stage_chunk(const util::Auid& uid, std::int64_t offset,
+                                        const std::string& bytes) {
+  if (static_cast<std::int64_t>(bytes.size()) > kMaxChunkBytes) return ChunkResult::kOversize;
+  db::Table* table = database_.table(kStageTable);
+  const std::string uid_key = uid.str();
+  const auto id = table->by_primary(db::Value{uid_key});
+  if (!id.has_value()) return ChunkResult::kNoStage;
+  const db::Row stage = *table->get(*id);
+  const std::int64_t received = db::get_int(stage, "received");
+  const std::int64_t chunks = db::get_int(stage, "chunks");
+  if (offset != received) return ChunkResult::kBadOffset;
+  if (received + static_cast<std::int64_t>(bytes.size()) > db::get_int(stage, "size")) {
+    return ChunkResult::kOversize;
+  }
+
+  db::Row chunk;
+  chunk["key"] = chunk_key(uid_key, chunks);
+  chunk["bytes"] = bytes;
+  database_.insert(kChunkTable, std::move(chunk));
+
+  db::Row updated = stage;
+  updated["received"] = received + static_cast<std::int64_t>(bytes.size());
+  updated["chunks"] = chunks + 1;
+  database_.update(kStageTable, *id, std::move(updated));
+  return ChunkResult::kOk;
+}
+
+CommitResult DataRepository::stage_commit(const util::Auid& uid, const std::string& protocol,
+                                          core::Locator* locator_out) {
+  db::Table* table = database_.table(kStageTable);
+  const std::string uid_key = uid.str();
+  const auto id = table->by_primary(db::Value{uid_key});
+  if (!id.has_value()) return CommitResult::kNoStage;
+  const db::Row stage = *table->get(*id);
+  const std::int64_t size = db::get_int(stage, "size");
+  const std::int64_t chunks = db::get_int(stage, "chunks");
+  if (db::get_int(stage, "received") < size) return CommitResult::kIncomplete;
+
+  // Assemble in arrival order, accumulating the MD5 over the whole content.
+  const db::Table* chunk_table = database_.table(kChunkTable);
+  util::Md5 hasher;
+  std::string content_bytes;
+  content_bytes.reserve(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < chunks; ++i) {
+    const auto chunk_id = chunk_table->by_primary(db::Value{chunk_key(uid_key, i)});
+    if (!chunk_id.has_value()) continue;  // lost chunk row surfaces as a bad MD5
+    const std::string bytes = db::get_text(*chunk_table->get(*chunk_id), "bytes");
+    hasher.update(bytes);
+    content_bytes += bytes;
+  }
+
+  // The stage is consumed either way: a mismatch must not leave poisoned
+  // bytes behind for the next attempt to resume onto.
+  drop_stage_rows(uid_key, chunks);
+  database_.erase(kStageTable, *id);
+
+  if (hasher.finish().hex() != db::get_text(stage, "checksum")) {
+    return CommitResult::kChecksumMismatch;
+  }
+
+  core::Data data;
+  data.uid = uid;
+  data.size = size;
+  data.checksum = db::get_text(stage, "checksum");
+  const core::Locator locator = put(data, core::Content{data.size, data.checksum}, protocol);
+  if (locator_out != nullptr) *locator_out = locator;
+
+  db::Table* content_table = database_.table(kContentTable);
+  db::Row content;
+  content["uid"] = uid_key;
+  content["bytes"] = std::move(content_bytes);
+  if (const auto existing = content_table->by_primary(db::Value{uid_key})) {
+    database_.update(kContentTable, *existing, std::move(content));
+  } else {
+    database_.insert(kContentTable, std::move(content));
+  }
+  return CommitResult::kOk;
+}
+
+void DataRepository::stage_discard(const util::Auid& uid) {
+  db::Table* table = database_.table(kStageTable);
+  const std::string uid_key = uid.str();
+  const auto id = table->by_primary(db::Value{uid_key});
+  if (!id.has_value()) return;
+  drop_stage_rows(uid_key, db::get_int(*table->get(*id), "chunks"));
+  database_.erase(kStageTable, *id);
+}
+
+std::int64_t DataRepository::stage_received(const util::Auid& uid) const {
+  const db::Table* table = database_.table(kStageTable);
+  const auto id = table->by_primary(db::Value{uid.str()});
+  return id.has_value() ? db::get_int(*table->get(*id), "received") : 0;
+}
+
+void DataRepository::drop_stage_rows(const std::string& uid_key, std::int64_t chunk_count) {
+  const db::Table* chunk_table = database_.table(kChunkTable);
+  for (std::int64_t i = 0; i < chunk_count; ++i) {
+    if (const auto id = chunk_table->by_primary(db::Value{chunk_key(uid_key, i)})) {
+      database_.erase(kChunkTable, *id);
+    }
+  }
+}
+
+// --- chunked reads ------------------------------------------------------------
+
+std::optional<std::string> DataRepository::read_bytes(const util::Auid& uid,
+                                                      std::int64_t offset,
+                                                      std::int64_t max_bytes) const {
+  const db::Table* table = database_.table(kContentTable);
+  const auto id = table->by_primary(db::Value{uid.str()});
+  if (!id.has_value()) return std::nullopt;
+  const db::Row& row = *table->get(*id);
+  const auto it = row.find("bytes");
+  if (it == row.end()) return std::nullopt;
+  const std::string* bytes = std::get_if<std::string>(&it->second);
+  if (bytes == nullptr) return std::nullopt;
+  if (offset < 0 || offset >= static_cast<std::int64_t>(bytes->size())) return std::string{};
+  const std::int64_t take =
+      std::min<std::int64_t>(max_bytes, static_cast<std::int64_t>(bytes->size()) - offset);
+  return bytes->substr(static_cast<std::size_t>(offset), static_cast<std::size_t>(take));
+}
+
+bool DataRepository::has_bytes(const util::Auid& uid) const {
+  return database_.table(kContentTable)->by_primary(db::Value{uid.str()}).has_value();
 }
 
 std::int64_t DataRepository::stored_bytes() const {

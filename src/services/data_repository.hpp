@@ -1,8 +1,17 @@
 // Data Repository (DR): the interface to persistent storage with remote
 // access (paper §3.4.2) — a wrapper around a legacy store (here DewDB
-// object descriptors; the LocalRuntime pairs it with real files on disk).
-// put() registers content for a data slot and mints the Locator that the
-// transfer protocols consume.
+// object descriptors plus content blobs).
+//
+// Two planes feed it:
+//  * the metadata path: put() registers a content *descriptor* for a data
+//    slot and mints the Locator that the transfer protocols consume (the
+//    simulated runtime stops here — no bytes move);
+//  * the data path (PR 3): chunked out-of-band uploads. stage_begin /
+//    stage_chunk / stage_commit accept a file in fixed-size chunks, persist
+//    every chunk through the WAL-backed Database (so a partial upload
+//    survives a daemon restart and resumes at the returned offset), verify
+//    the assembled bytes' MD5 against the datum's registered checksum at
+//    commit, and only then publish the content for read_bytes() to serve.
 #pragma once
 
 #include <optional>
@@ -14,13 +23,33 @@
 
 namespace bitdew::services {
 
+/// Largest chunk the repository accepts in one stage_chunk/read_bytes call.
+/// Kept well under rpc::kMaxFrameBytes so a chunk frame always fits.
+inline constexpr std::int64_t kMaxChunkBytes = 8ll << 20;
+
+/// Outcome of stage_chunk().
+enum class ChunkResult {
+  kOk = 0,
+  kNoStage,    ///< no staged upload for this uid (stage_begin first)
+  kBadOffset,  ///< offset != bytes received so far (resync via stage_begin)
+  kOversize,   ///< chunk exceeds kMaxChunkBytes or overruns the declared size
+};
+
+/// Outcome of stage_commit().
+enum class CommitResult {
+  kOk = 0,
+  kNoStage,           ///< nothing staged for this uid
+  kIncomplete,        ///< fewer bytes staged than the declared size
+  kChecksumMismatch,  ///< assembled MD5 differs from the registered checksum
+};
+
 class DataRepository {
  public:
   /// `host_name` is the service host this repository is reachable at.
   DataRepository(db::Database& database, std::string host_name);
 
-  /// Stores content for a data slot; returns the locator clients should
-  /// use with `protocol` to fetch it. Re-putting overwrites.
+  /// Stores a content descriptor for a data slot; returns the locator
+  /// clients should use with `protocol` to fetch it. Re-putting overwrites.
   core::Locator put(const core::Data& data, const core::Content& content,
                     const std::string& protocol);
 
@@ -31,14 +60,49 @@ class DataRepository {
   std::optional<core::Locator> locator(const util::Auid& uid, const std::string& protocol) const;
 
   bool exists(const util::Auid& uid) const;
+  /// Removes descriptor, published bytes and any staged upload.
   bool remove(const util::Auid& uid);
 
-  /// Total bytes of stored content.
+  // --- chunked out-of-band uploads -------------------------------------------
+  /// Opens (or resumes) a staged upload for `data` and returns the number of
+  /// bytes already durably held — the offset the sender must continue from.
+  /// A stage whose declared size/checksum no longer match `data` is reset.
+  std::int64_t stage_begin(const core::Data& data);
+
+  /// Appends one chunk at `offset` (must equal the bytes received so far).
+  ChunkResult stage_chunk(const util::Auid& uid, std::int64_t offset, const std::string& bytes);
+
+  /// Verifies the staged bytes' MD5 against the checksum declared at
+  /// stage_begin and, on success, publishes them (descriptor + content blob,
+  /// locator minted with `protocol`). The stage is consumed either way: a
+  /// mismatch discards the staged bytes so the next put starts clean.
+  CommitResult stage_commit(const util::Auid& uid, const std::string& protocol,
+                            core::Locator* locator_out = nullptr);
+
+  /// Drops a staged upload (if any) without publishing.
+  void stage_discard(const util::Auid& uid);
+
+  /// Bytes received so far for a staged upload (0 when none).
+  std::int64_t stage_received(const util::Auid& uid) const;
+
+  // --- chunked reads ----------------------------------------------------------
+  /// Up to `max_bytes` of published content starting at `offset`; an empty
+  /// string at/after end of content; nullopt when no bytes are stored here
+  /// (metadata-only datum or unknown uid).
+  std::optional<std::string> read_bytes(const util::Auid& uid, std::int64_t offset,
+                                        std::int64_t max_bytes) const;
+
+  /// Whether real content bytes (not just a descriptor) are stored.
+  bool has_bytes(const util::Auid& uid) const;
+
+  /// Total bytes of stored content (descriptor sizes).
   std::int64_t stored_bytes() const;
   std::size_t object_count() const;
   const std::string& host_name() const { return host_; }
 
  private:
+  void drop_stage_rows(const std::string& uid_key, std::int64_t chunk_count);
+
   db::Database& database_;
   std::string host_;
 };

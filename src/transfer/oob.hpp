@@ -4,10 +4,11 @@
 // sides), the Blocking/NonBlocking split, and the DaemonConnector helper
 // for protocols shipped as background daemons rather than libraries.
 //
-// The threaded LocalRuntime drives these directly (see
-// transfer/local_file.hpp for a blocking implementation over the local
-// filesystem); the simulated runtime uses the async Protocol interface in
-// protocol.hpp instead, since a DES has no blocking calls.
+// This is one of the three protocol flavours the registry in
+// transfer/protocol.hpp documents: transfer/local_file.hpp implements this
+// blocking interface over the local filesystem, the simulated runtime uses
+// the async Protocol interface (a DES has no blocking calls), and the real
+// data plane is transfer/tcp.hpp's chunked TcpTransfer engine ("tcp").
 #pragma once
 
 #include <stdexcept>

@@ -1,10 +1,26 @@
-// Out-of-band transfer protocols (simulated runtime).
+// Out-of-band transfer protocols: the one protocol registry.
 //
-// BitDew never moves bytes itself: the Data Transfer service launches
-// out-of-band transfers through a pluggable protocol (paper §3.4.2). Under
-// the discrete-event runtime a protocol is an async `start(job, done)`;
-// FTP, HTTP and BitTorrent implementations live next to this header, and
-// users can register their own (paper Fig. 2's extensibility claim).
+// BitDew's control plane never moves bytes itself: the Data Transfer
+// service launches out-of-band transfers through a pluggable protocol
+// (paper §3.4.2), looked up by name in the ProtocolRegistry below — the
+// name the `oob` attribute and every minted Locator carry. The registry
+// spans both planes of this reproduction:
+//
+//  * simulated protocols ("ftp", "http", "bittorrent" — implemented next
+//    to this header as async `start(job, done)` against the discrete-event
+//    network) model transfer *timing* for the paper's figures; their
+//    TransferOutcome carries a checksum so integrity checking exercises
+//    the real code path without materializing bytes;
+//  * the real protocol ("tcp", transfer/tcp.hpp's kTcpProtocol) moves
+//    actual file content in chunks through the ServiceBus data-plane
+//    endpoints — resumable, MD5-verified, and measured over live sockets
+//    (`fig3a_transfer --real`);
+//  * transfer/oob.hpp keeps the paper's Fig. 2 seven-method blocking
+//    interface (LocalFileTransfer implements it over the filesystem) for
+//    protocols shipped as external tools/daemons.
+//
+// Users can register their own under a new name (paper Fig. 2's
+// extensibility claim); docs/architecture.md maps the planes.
 #pragma once
 
 #include <functional>

@@ -1,14 +1,22 @@
 // Transfer-protocol tests: FTP slots/handshake/resume, HTTP, the BitTorrent
 // swarm (completion, scaling shape, piece accounting, crash handling), the
-// flaky decorator and the blocking local-file OOB implementation.
+// flaky decorator, the blocking local-file OOB implementation, and the real
+// data plane — transfer::TcpTransfer's chunked, resumable, MD5-verified
+// put/get through the bus's dr_put_*/dr_get_chunk endpoints (exercised here
+// over DirectServiceBus; tests/test_transport.cpp drives the same engine
+// over live sockets).
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
 
+#include "api/direct_service_bus.hpp"
+#include "api/session.hpp"
 #include "transfer/bittorrent.hpp"
 #include "transfer/flaky.hpp"
+#include "transfer/tcp.hpp"
 #include "util/bytes.hpp"
+#include "util/clock.hpp"
 #include "transfer/ftp.hpp"
 #include "transfer/http.hpp"
 #include "transfer/local_file.hpp"
@@ -404,6 +412,276 @@ TEST_F(LocalFileTest, ErrorsOnMissingRemoteAndWhenDisconnected) {
   EXPECT_THROW(oob.sender_send(endpoint), transfer::TransferError);  // not connected
   oob.connect(endpoint);
   EXPECT_THROW(oob.receiver_send(endpoint), transfer::TransferError);  // missing remote
+}
+
+// --- TcpTransfer: the real chunked data plane ----------------------------------
+
+using api::Errc;
+using api::Status;
+
+class TcpTransferTest : public ::testing::Test {
+ protected:
+  TcpTransferTest() : container_("dr", clock_), bus_(container_, ddc_) {}
+
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bitdew-tcp-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string make_payload(std::size_t size) {
+    std::string payload(size, '\0');
+    for (std::size_t i = 0; i < size; ++i) payload[i] = static_cast<char>((i * 131 + 7) & 0xff);
+    return payload;
+  }
+
+  std::string write_file(const std::string& name, const std::string& bytes) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream(path, std::ios::binary) << bytes;
+    return path;
+  }
+
+  std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+
+  /// A registered data slot whose descriptor matches the file at `path`.
+  core::Data register_data(const std::string& name, const std::string& path) {
+    core::Data data;
+    data.uid = util::next_auid();
+    data.name = name;
+    const core::Content content = core::file_content(path);
+    data.size = content.size;
+    data.checksum = content.checksum;
+    std::optional<Status> registered;
+    bus_.dc_register(data, [&](Status s) { registered = s; });
+    EXPECT_TRUE(registered.has_value() && registered->ok());
+    return data;
+  }
+
+  transfer::TcpTransfer engine(std::int64_t chunk_bytes) {
+    return transfer::TcpTransfer(bus_, transfer::TcpConfig{chunk_bytes, 3, true});
+  }
+
+  util::ManualClock clock_;
+  services::ServiceContainer container_;
+  dht::LocalDht ddc_;
+  api::DirectServiceBus bus_;
+  std::filesystem::path dir_;
+};
+
+TEST_F(TcpTransferTest, MultiChunkRoundTripIsByteIdentical) {
+  const std::string payload = make_payload(10000);
+  const std::string in_path = write_file("in.bin", payload);
+  const core::Data data = register_data("payload", in_path);
+
+  auto tcp = engine(1024);
+  const Status put = tcp.put_file(data, in_path);
+  ASSERT_TRUE(put.ok()) << put.error().to_string();
+  EXPECT_EQ(tcp.stats().chunks_sent, 10);
+  EXPECT_EQ(tcp.stats().bytes_sent, 10000);
+
+  const std::string out_path = (dir_ / "out.bin").string();
+  const Status got = tcp.get_file(data, out_path);
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  EXPECT_EQ(slurp(out_path), payload);
+  EXPECT_EQ(tcp.stats().chunks_received, 10);
+  EXPECT_FALSE(std::filesystem::exists(out_path + ".part"));
+
+  // The put published a "tcp" locator, and both transfers ran through DT
+  // tickets the control plane can observe.
+  std::optional<api::Expected<std::vector<core::Locator>>> locators;
+  bus_.dc_locators(data.uid, [&](auto reply) { locators = std::move(reply); });
+  ASSERT_TRUE(locators.has_value() && locators->ok());
+  ASSERT_EQ((*locators)->size(), 1u);
+  EXPECT_EQ((**locators)[0].protocol, transfer::kTcpProtocol);
+  EXPECT_EQ(container_.dt().stats().completed, 2u);
+}
+
+TEST_F(TcpTransferTest, ZeroByteFileRoundTrips) {
+  const std::string in_path = write_file("empty.bin", "");
+  const core::Data data = register_data("empty", in_path);
+
+  auto tcp = engine(4096);
+  ASSERT_TRUE(tcp.put_file(data, in_path).ok());
+  EXPECT_EQ(tcp.stats().chunks_sent, 0);
+
+  const std::string out_path = (dir_ / "empty-out.bin").string();
+  ASSERT_TRUE(tcp.get_file(data, out_path).ok());
+  EXPECT_TRUE(std::filesystem::exists(out_path));
+  EXPECT_EQ(std::filesystem::file_size(out_path), 0u);
+}
+
+TEST_F(TcpTransferTest, MidStreamCorruptionFailsCommitWithChecksumMismatch) {
+  const std::string payload = make_payload(8192);
+  const std::string in_path = write_file("in.bin", payload);
+  const core::Data data = register_data("payload", in_path);
+
+  // Stage the upload by hand, flipping one byte in the second chunk.
+  std::optional<api::Expected<std::int64_t>> offset;
+  bus_.dr_put_start(data, [&](auto reply) { offset = std::move(reply); });
+  ASSERT_TRUE(offset.has_value() && offset->ok());
+  std::string corrupted = payload;
+  corrupted[5000] = static_cast<char>(corrupted[5000] ^ 0x40);
+  for (std::int64_t at = 0; at < 8192; at += 2048) {
+    std::optional<Status> sent;
+    bus_.dr_put_chunk(data.uid, at, corrupted.substr(static_cast<std::size_t>(at), 2048),
+                      [&](Status s) { sent = s; });
+    ASSERT_TRUE(sent.has_value() && sent->ok());
+  }
+  std::optional<api::Expected<core::Locator>> committed;
+  bus_.dr_put_commit(data.uid, "tcp", [&](auto reply) { committed = std::move(reply); });
+  ASSERT_TRUE(committed.has_value());
+  EXPECT_EQ(committed->code(), Errc::kChecksumMismatch);
+
+  // The poisoned stage was discarded: a clean engine put starts from zero
+  // and succeeds.
+  auto tcp = engine(2048);
+  const Status put = tcp.put_file(data, in_path);
+  ASSERT_TRUE(put.ok()) << put.error().to_string();
+  EXPECT_EQ(tcp.stats().bytes_sent, 8192);
+  EXPECT_EQ(tcp.stats().resumes, 0);
+}
+
+TEST_F(TcpTransferTest, OversizedEmptyAndMisalignedChunksAreRejectedTyped) {
+  const std::string payload = make_payload(4096);
+  const std::string in_path = write_file("in.bin", payload);
+  const core::Data data = register_data("payload", in_path);
+
+  std::optional<api::Expected<std::int64_t>> started;
+  bus_.dr_put_start(data, [&](auto reply) { started = std::move(reply); });
+  ASSERT_TRUE(started.has_value() && started->ok());
+
+  auto send = [&](std::int64_t at, const std::string& bytes) {
+    std::optional<Status> sent;
+    bus_.dr_put_chunk(data.uid, at, bytes, [&](Status s) { sent = s; });
+    return *sent;
+  };
+
+  // A chunk above the per-chunk cap is refused before any allocation grows.
+  EXPECT_EQ(send(0, std::string(static_cast<std::size_t>(services::kMaxChunkBytes) + 1, 'x'))
+                .code(),
+            Errc::kInvalidArgument);
+  // An empty chunk is meaningless.
+  EXPECT_EQ(send(0, "").code(), Errc::kInvalidArgument);
+  // A chunk overrunning the declared content size is refused.
+  EXPECT_EQ(send(0, std::string(5000, 'x')).code(), Errc::kInvalidArgument);
+  // A misaligned offset is a typed desync, not silent corruption.
+  EXPECT_EQ(send(1024, payload.substr(1024, 1024)).code(), Errc::kRejected);
+  // Committing an incomplete stage is refused.
+  std::optional<api::Expected<core::Locator>> committed;
+  bus_.dr_put_commit(data.uid, "tcp", [&](auto reply) { committed = std::move(reply); });
+  EXPECT_EQ(committed->code(), Errc::kRejected);
+}
+
+TEST_F(TcpTransferTest, ChunkWithoutStageIsNotFound) {
+  const std::string in_path = write_file("in.bin", make_payload(1024));
+  const core::Data data = register_data("payload", in_path);
+  std::optional<Status> sent;
+  bus_.dr_put_chunk(data.uid, 0, "x", [&](Status s) { sent = s; });
+  EXPECT_EQ(sent->code(), Errc::kNotFound);
+}
+
+TEST_F(TcpTransferTest, PutResumesFromStagedOffset) {
+  const std::string payload = make_payload(16384);
+  const std::string in_path = write_file("in.bin", payload);
+  const core::Data data = register_data("payload", in_path);
+
+  // A previous, interrupted sender staged the first half.
+  std::optional<api::Expected<std::int64_t>> started;
+  bus_.dr_put_start(data, [&](auto reply) { started = std::move(reply); });
+  ASSERT_TRUE(started.has_value() && started->ok());
+  for (std::int64_t at = 0; at < 8192; at += 4096) {
+    std::optional<Status> sent;
+    bus_.dr_put_chunk(data.uid, at, payload.substr(static_cast<std::size_t>(at), 4096),
+                      [&](Status s) { sent = s; });
+    ASSERT_TRUE(sent->ok());
+  }
+
+  auto tcp = engine(4096);
+  const Status put = tcp.put_file(data, in_path);
+  ASSERT_TRUE(put.ok()) << put.error().to_string();
+  EXPECT_EQ(tcp.stats().resumes, 1);
+  EXPECT_EQ(tcp.stats().bytes_sent, 16384 - 8192);  // only the missing half moved
+
+  const std::string out_path = (dir_ / "out.bin").string();
+  ASSERT_TRUE(tcp.get_file(data, out_path).ok());
+  EXPECT_EQ(slurp(out_path), payload);
+}
+
+TEST_F(TcpTransferTest, GetResumesFromPartFile) {
+  const std::string payload = make_payload(12288);
+  const std::string in_path = write_file("in.bin", payload);
+  const core::Data data = register_data("payload", in_path);
+  auto tcp = engine(4096);
+  ASSERT_TRUE(tcp.put_file(data, in_path).ok());
+
+  // A previous, interrupted download left the first third on disk.
+  const std::string out_path = (dir_ / "out.bin").string();
+  write_file("out.bin.part", payload.substr(0, 4096));
+
+  const Status got = tcp.get_file(data, out_path);
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  EXPECT_EQ(tcp.stats().resumes, 1);
+  EXPECT_EQ(tcp.stats().bytes_received, 12288 - 4096);
+  EXPECT_EQ(slurp(out_path), payload);
+}
+
+TEST_F(TcpTransferTest, GetOfMetadataOnlyDatumFailsNotFound) {
+  // A datum put through the descriptor-only path (simulated content) has no
+  // real bytes to serve.
+  const std::string in_path = write_file("in.bin", make_payload(2048));
+  const core::Data data = register_data("synthetic", in_path);
+  std::optional<api::Expected<core::Locator>> put;
+  bus_.dr_put(data, core::Content{data.size, data.checksum}, "ftp",
+              [&](auto reply) { put = std::move(reply); });
+  ASSERT_TRUE(put.has_value() && put->ok());
+
+  auto tcp = engine(1024);
+  const Status got = tcp.get_file(data, (dir_ / "out.bin").string());
+  EXPECT_EQ(got.code(), Errc::kNotFound);
+}
+
+TEST_F(TcpTransferTest, SessionPutFileRefusesChangedContentUnderSameName) {
+  api::BitDew bitdew(bus_, "client");
+  api::ActiveData active_data(bus_, "client");
+  api::Session session(bitdew, active_data);
+  session.set_chunk_bytes(1024);
+
+  const std::string path = write_file("f.bin", make_payload(3000));
+  const auto first = session.put_file("dataset", path);
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+
+  // Identical content re-put reuses the registered slot (resume semantics).
+  const auto again = session.put_file("dataset", path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->uid, first->uid);
+
+  // Changed content under the same name must fail typed, not register a
+  // second datum that name lookups would shadow.
+  const std::string changed = write_file("f.bin", make_payload(4000));
+  const auto conflict = session.put_file("dataset", changed);
+  EXPECT_EQ(conflict.code(), Errc::kDuplicate);
+
+  // Deleting the datum frees the name.
+  ASSERT_TRUE(session.remove(*first).ok());
+  const auto replaced = session.put_file("dataset", changed);
+  ASSERT_TRUE(replaced.ok()) << replaced.error().to_string();
+  EXPECT_NE(replaced->uid, first->uid);
+}
+
+TEST_F(TcpTransferTest, PutOfFileThatDiffersFromDescriptorFailsTyped) {
+  const std::string in_path = write_file("in.bin", make_payload(4096));
+  const core::Data data = register_data("payload", in_path);
+  const std::string other_path = write_file("other.bin", make_payload(5000));
+
+  auto tcp = engine(1024);
+  EXPECT_EQ(tcp.put_file(data, other_path).code(), Errc::kInvalidArgument);
+  EXPECT_EQ(tcp.put_file(data, (dir_ / "missing.bin").string()).code(),
+            Errc::kInvalidArgument);
 }
 
 }  // namespace
