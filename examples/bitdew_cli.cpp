@@ -23,7 +23,11 @@
 //
 // Remote commands: create NAME SIZE | attr NAME DSL | search NAME |
 // locate NAME | delete NAME | publish KEY VALUE | lookup KEY |
-// put NAME PATH | get NAME PATH | chunk BYTES
+// put NAME PATH | get NAME PATH | chunk BYTES | status
+//
+// `status` prints the scheduler's host table (worker name, seconds since
+// the last ds_sync, alive/DEAD, cached count) — the failure detector's
+// live view of the worker tier.
 //
 // `put`/`get` move real file content in chunks (the out-of-band data
 // plane): `put` uploads PATH into the daemon's Data Repository (resuming a
@@ -329,6 +333,28 @@ struct RemoteCli {
     return true;
   }
 
+  /// The scheduler's host table: the failure detector made visible, so an
+  /// operator (or the live-fault-tolerance CI job) can see a worker declared
+  /// dead instead of inferring it from replica movement.
+  bool status() {
+    std::optional<api::Expected<std::vector<services::HostInfo>>> table;
+    bus.ds_hosts([&](api::Expected<std::vector<services::HostInfo>> reply) {
+      table = std::move(reply);
+    });
+    if (!table.has_value() || !table->ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   table.has_value() ? (*table).error().to_string().c_str()
+                                     : "no reply");
+      return false;
+    }
+    std::printf("%zu worker(s) known to the scheduler\n", (*table)->size());
+    for (const services::HostInfo& info : **table) {
+      std::printf("  %-16s %-5s last sync %6.1fs ago, %u cached\n", info.name.c_str(),
+                  info.alive ? "alive" : "DEAD", info.last_sync_age_s, info.cached);
+    }
+    return true;
+  }
+
   bool publish(const std::string& key, const std::string& value) {
     const api::Status published = session.publish(key, value);
     if (!published.ok()) {
@@ -397,10 +423,12 @@ struct RemoteCli {
       std::string key;
       in >> key;
       return lookup(key);
+    } else if (verb == "status") {
+      return status();
     } else if (verb == "help") {
       std::printf("commands: create NAME SIZE | attr NAME DSL | search NAME |"
                   " locate NAME | delete NAME | put NAME PATH | get NAME PATH |"
-                  " chunk BYTES | publish KEY VALUE | lookup KEY\n");
+                  " chunk BYTES | publish KEY VALUE | lookup KEY | status\n");
     } else {
       std::fprintf(stderr, "error: unknown command '%s' (try help)\n", verb.c_str());
       return false;

@@ -1,0 +1,141 @@
+// bitdew_worker — a live reservoir node (paper §3.1's volatile worker,
+// deployed for real): joins a bitdewd deployment, heartbeats ds_sync, pulls
+// newly assigned data over the chunked TCP data plane into a WAL-backed
+// local cache, and lets the scheduler re-place its replicas when it dies.
+//
+//   bitdew_worker --connect HOST:PORT --name N --cache DIR
+//                 [--heartbeat S] [--chunk BYTES] [--max-transfers N]
+//
+//   --connect HOST:PORT  the bitdewd daemon to join (required)
+//   --name N             host name announced in ds_sync (required; the
+//                        scheduler tracks liveness under this name)
+//   --cache DIR          replica files + cache.wal manifest (required).
+//                        Restart with the same DIR: intact replicas are
+//                        re-verified (MD5) and re-announced, not re-downloaded.
+//   --heartbeat S        sync period in seconds (default 1, the paper's)
+//   --chunk BYTES        transfer chunk size (default 256KB, e.g. "1MB")
+//   --max-transfers N    concurrent download cap (default 4; 0 = unlimited)
+//
+// The worker prints one line per life-cycle event (joined / downloading /
+// replica verified / dropped) — the live-fault-tolerance CI job and humans
+// tail these — and exits cleanly on SIGINT/SIGTERM. kill -9 it to play the
+// paper's Fig. 4 experiment: within 3 heartbeats the scheduler declares the
+// node dead and re-schedules its fault-tolerant replicas onto survivors.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "runtime/node_runtime.hpp"
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+using namespace bitdew;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect HOST:PORT --name N --cache DIR"
+               " [--heartbeat S] [--chunk BYTES] [--max-transfers N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target;
+  runtime::NodeRuntimeConfig config;
+  config.name.clear();
+  config.cache_dir.clear();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--connect") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      target = value;
+    } else if (arg == "--name") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.name = value;
+    } else if (arg == "--cache") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.cache_dir = value;
+    } else if (arg == "--heartbeat") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.heartbeat_period_s = std::atof(value);
+      if (config.heartbeat_period_s <= 0) {
+        std::fprintf(stderr, "bitdew_worker: bad --heartbeat '%s' (expected seconds > 0)\n",
+                     value);
+        return 2;
+      }
+    } else if (arg == "--chunk") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.chunk_bytes = util::parse_bytes(value);
+      if (config.chunk_bytes <= 0) {
+        std::fprintf(stderr, "bitdew_worker: bad --chunk '%s'\n", value);
+        return 2;
+      }
+    } else if (arg == "--max-transfers") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.max_concurrent_transfers = std::atoi(value);
+      if (config.max_concurrent_transfers < 0) {
+        std::fprintf(stderr, "bitdew_worker: bad --max-transfers '%s'\n", value);
+        return 2;
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (target.empty() || config.name.empty() || config.cache_dir.empty()) {
+    return usage(argv[0]);
+  }
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "bitdew_worker: expected HOST:PORT, got '%s'\n", target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bitdew_worker: bad port in '%s'\n", target.c_str());
+    return 2;
+  }
+
+  // Life-cycle events on stdout: the CI job greps these, humans tail them.
+  util::set_log_level(util::LogLevel::kInfo);
+
+  runtime::NodeRuntime node(host, static_cast<std::uint16_t>(port), config);
+  const api::Status started = node.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "bitdew_worker: %s\n", started.error().to_string().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  node.stop();
+  const runtime::NodeRuntimeStats stats = node.stats();
+  std::printf("bitdew_worker: %s left after %llu sync(s), %llu download(s), %llu drop(s)\n",
+              config.name.c_str(), static_cast<unsigned long long>(stats.syncs_ok),
+              static_cast<unsigned long long>(stats.downloads_completed),
+              static_cast<unsigned long long>(stats.drops));
+  return 0;
+}

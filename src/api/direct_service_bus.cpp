@@ -132,6 +132,11 @@ void DirectServiceBus::ds_sync(const std::string& host, const std::vector<util::
   done(ops::ds_sync(container_, host, cache, in_flight));
 }
 
+void DirectServiceBus::ds_hosts(Reply<Expected<std::vector<services::HostInfo>>> done) {
+  ++calls_;
+  done(ops::ds_hosts(container_));
+}
+
 void DirectServiceBus::ddc_publish(const std::string& key, const std::string& value,
                                    Reply<Status> done) {
   ++calls_;

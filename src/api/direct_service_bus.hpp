@@ -53,6 +53,7 @@ class DirectServiceBus final : public ServiceBus {
   void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
                const std::vector<util::Auid>& in_flight,
                Reply<Expected<services::SyncReply>> done) override;
+  void ds_hosts(Reply<Expected<std::vector<services::HostInfo>>> done) override;
   void ddc_publish(const std::string& key, const std::string& value,
                    Reply<Status> done) override;
   void ddc_search(const std::string& key,

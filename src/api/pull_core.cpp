@@ -1,0 +1,60 @@
+#include "api/pull_core.hpp"
+
+namespace bitdew::api {
+
+std::vector<services::ScheduledData> PullCore::apply_drops(const services::SyncReply& reply) {
+  std::vector<services::ScheduledData> dropped;
+  for (const util::Auid& uid : reply.drop) {
+    if (cache_.erase(uid) == 0) continue;
+    const auto it = registry_.find(uid);
+    if (it == registry_.end()) continue;
+    events_.dispatch_delete(it->second.data, it->second.attributes);
+    dropped.push_back(std::move(it->second));
+    registry_.erase(it);
+  }
+  return dropped;
+}
+
+PullCore::Admission PullCore::begin_download(const services::ScheduledData& item) {
+  const util::Auid uid = item.data.uid;
+  if (cache_.contains(uid) || downloading_.contains(uid)) return Admission::kAlreadyHeld;
+  registry_[uid] = item;
+  // Zero-size data (e.g. the Collector token) needs no transfer.
+  if (item.data.size <= 0) {
+    cache_.insert(uid);
+    events_.dispatch_copy(item.data, item.attributes);
+    return Admission::kInstant;
+  }
+  downloading_.insert(uid);
+  return Admission::kStarted;
+}
+
+std::optional<services::ScheduledData> PullCore::complete_download(const util::Auid& uid) {
+  if (downloading_.erase(uid) == 0) return std::nullopt;
+  cache_.insert(uid);
+  const auto it = registry_.find(uid);
+  if (it == registry_.end()) return std::nullopt;
+  events_.dispatch_copy(it->second.data, it->second.attributes);
+  return it->second;
+}
+
+void PullCore::fail_download(const util::Auid& uid) { downloading_.erase(uid); }
+
+void PullCore::adopt_local(const core::Data& data, const core::DataAttributes& attributes,
+                           bool fire_event) {
+  cache_.insert(data.uid);
+  downloading_.erase(data.uid);
+  services::ScheduledData item;
+  item.data = data;
+  item.attributes = attributes;
+  registry_[data.uid] = std::move(item);
+  if (fire_event) events_.dispatch_copy(data, attributes);
+}
+
+std::optional<services::ScheduledData> PullCore::info(const util::Auid& uid) const {
+  const auto it = registry_.find(uid);
+  if (it == registry_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace bitdew::api

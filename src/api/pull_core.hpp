@@ -1,0 +1,94 @@
+// PullCore: the client half of the paper's reservoir pull protocol
+// (Algorithm 1 as seen from a volatile node), extracted so both runtimes
+// run ONE implementation:
+//
+//  * SimRuntime's SimNode drives it from discrete-event callbacks;
+//  * runtime::NodeRuntime drives it from a real heartbeat thread over
+//    RemoteServiceBus + transfer::TcpTransfer.
+//
+// It owns the node-side state of the protocol — the local replica set Δk,
+// the in-flight download set (reported back through ds_sync so the
+// scheduler keeps provisional assignments alive), and the ScheduledData
+// registry (data + attributes as last announced) — and fires the ActiveData
+// life-cycle events at the protocol's transition points: on_data_copy when
+// a replica arrives (downloaded, zero-size, or locally adopted with
+// fire_event), on_data_delete when the scheduler drops it. What it does NOT
+// own is the transfer mechanics (locator selection, DT tickets, retries):
+// those stay backend-specific, behind begin/complete/fail.
+//
+// PullCore itself is not synchronized: SimNode is single-threaded by
+// construction, and NodeRuntime serializes access under its own lock (the
+// heartbeat thread and the transfer threads both mutate this state).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "api/active_data.hpp"
+#include "services/data_scheduler.hpp"
+
+namespace bitdew::api {
+
+class PullCore {
+ public:
+  /// Events are dispatched through `events` (the node's ActiveData).
+  explicit PullCore(ActiveData& events) : events_(events) {}
+
+  /// Outcome of offering one newly assigned datum to the cache.
+  enum class Admission {
+    kAlreadyHeld,  ///< cached or already downloading: nothing to do
+    kInstant,      ///< zero-size datum adopted without a transfer
+                   ///< (on_data_copy fired)
+    kStarted,      ///< marked in-flight: the runtime must run the transfer
+  };
+
+  /// Δk \ Ψk of one sync reply: erases dropped data from the cache, fires
+  /// on_data_delete for each, and returns their descriptors so the runtime
+  /// can reclaim backing storage. Data this node never held is ignored.
+  std::vector<services::ScheduledData> apply_drops(const services::SyncReply& reply);
+
+  /// Ψk \ Δk, one datum at a time: records the descriptor and classifies
+  /// the admission (see Admission).
+  Admission begin_download(const services::ScheduledData& item);
+
+  /// A download finished verified: moves the datum from in-flight to the
+  /// cache and fires on_data_copy. Returns the descriptor (nullopt when the
+  /// datum was not in flight — e.g. dropped while downloading).
+  std::optional<services::ScheduledData> complete_download(const util::Auid& uid);
+
+  /// A download died (no source, transport loss, checksum exhaustion):
+  /// clears the in-flight mark so the next sync re-requests the datum.
+  void fail_download(const util::Auid& uid);
+
+  /// Seeds the cache without a transfer — data born on this node, or
+  /// replicas re-verified from a restarted node's local store. With
+  /// `fire_event`, on_data_copy is dispatched (a locally produced replica
+  /// "arrives" too).
+  void adopt_local(const core::Data& data, const core::DataAttributes& attributes,
+                   bool fire_event);
+
+  // --- introspection ---------------------------------------------------------
+  bool has(const util::Auid& uid) const { return cache_.contains(uid); }
+  bool downloading(const util::Auid& uid) const { return downloading_.contains(uid); }
+  const std::set<util::Auid>& cache() const { return cache_; }
+  const std::set<util::Auid>& downloading_set() const { return downloading_; }
+  /// Δk and the in-flight set as the ds_sync request wants them.
+  std::vector<util::Auid> cache_list() const {
+    return {cache_.begin(), cache_.end()};
+  }
+  std::vector<util::Auid> downloading_list() const {
+    return {downloading_.begin(), downloading_.end()};
+  }
+  /// The last announced descriptor of a datum this node has seen.
+  std::optional<services::ScheduledData> info(const util::Auid& uid) const;
+
+ private:
+  ActiveData& events_;
+  std::set<util::Auid> cache_;        // Δk: verified local replicas
+  std::set<util::Auid> downloading_;  // in flight, reported via ds_sync
+  std::map<util::Auid, services::ScheduledData> registry_;  // data+attrs we saw
+};
+
+}  // namespace bitdew::api

@@ -273,6 +273,11 @@ void RemoteServiceBus::ds_sync(const std::string& host, const std::vector<util::
       std::move(done), wire::read_sync_reply);
 }
 
+void RemoteServiceBus::ds_hosts(Reply<Expected<std::vector<services::HostInfo>>> done) {
+  invoke<std::vector<services::HostInfo>>(
+      Endpoint::kDsHosts, [](rpc::Writer&) {}, std::move(done), wire::read_host_list);
+}
+
 // --- Distributed Data Catalog ------------------------------------------------
 
 void RemoteServiceBus::ddc_publish(const std::string& key, const std::string& value,

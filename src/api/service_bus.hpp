@@ -111,6 +111,10 @@ class ServiceBus {
   virtual void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
                        const std::vector<util::Auid>& in_flight,
                        Reply<Expected<services::SyncReply>> done) = 0;
+  /// The scheduler's host table (name, seconds since last sync, alive/dead,
+  /// cached count) — the failure detector made observable, so operators and
+  /// CI watch liveness instead of inferring it from replica movement.
+  virtual void ds_hosts(Reply<Expected<std::vector<services::HostInfo>>> done) = 0;
 
   // --- Distributed Data Catalog (DHT) -----------------------------------------------
   /// Publishes a generic key/value pair (paper §3.3: the DHT is exposed for

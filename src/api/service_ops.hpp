@@ -261,6 +261,10 @@ inline Status ds_unschedule(services::ServiceContainer& c, const util::Auid& uid
   return ok_status();
 }
 
+inline Expected<std::vector<services::HostInfo>> ds_hosts(services::ServiceContainer& c) {
+  return c.ds().host_table();
+}
+
 inline Expected<services::SyncReply> ds_sync(services::ServiceContainer& c,
                                              const std::string& host,
                                              const std::vector<util::Auid>& cache,

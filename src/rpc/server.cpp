@@ -31,12 +31,40 @@ api::Status ServiceHost::start() {
   port_ = listener->port;
   running_.store(true);
   acceptor_ = std::thread(&ServiceHost::accept_loop, this);
+  if (config_.failure_sweep_period_s > 0) {
+    sweeper_ = std::thread(&ServiceHost::sweep_loop, this);
+  }
   logger().debug("listening on port %u", static_cast<unsigned>(port_));
   return api::ok_status();
 }
 
+void ServiceHost::sweep_loop() {
+  const auto period = std::chrono::duration<double>(config_.failure_sweep_period_s);
+  std::unique_lock lock(sweep_mutex_);
+  while (running_.load()) {
+    sweep_cv_.wait_for(lock, period, [this] { return !running_.load(); });
+    if (!running_.load()) break;
+    std::vector<services::HostName> dead;
+    {
+      const std::lock_guard container_lock(container_mutex_);
+      dead = container_.ds().detect_failures();
+    }
+    for (const services::HostName& host : dead) {
+      logger().info("failure sweep: host %s declared dead", host.c_str());
+    }
+  }
+}
+
 void ServiceHost::stop() {
   if (!running_.exchange(false)) return;
+  {
+    // Pair with the sweeper's CV wait: without this the notify can land
+    // between its predicate check and the park, costing a full sweep
+    // period of shutdown latency.
+    const std::lock_guard lock(sweep_mutex_);
+  }
+  sweep_cv_.notify_all();
+  if (sweeper_.joinable()) sweeper_.join();
   // Wake the acceptor out of poll() and the workers out of recv().
   if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
   {
@@ -268,6 +296,9 @@ std::string ServiceHost::dispatch(wire::Endpoint endpoint, Reader& r) {
                            wire::write_sync_reply);
       break;
     }
+    case Endpoint::kDsHosts:
+      wire::write_expected(w, ops::ds_hosts(container_), wire::write_host_list);
+      break;
 
     // --- Distributed Data Catalog --------------------------------------------
     case Endpoint::kDdcPublish: {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -31,6 +32,11 @@ struct ServiceHostConfig {
   double idle_timeout_s = -1;   ///< per-connection read timeout (<0 = none)
   double write_timeout_s = 30;  ///< reply send budget: a client that stops
                                 ///< reading cannot park a worker forever
+  /// Period of the Data Scheduler failure-detector sweep (<= 0 disables).
+  /// On the real path nobody pumps a simulator, so the host itself drives
+  /// detect_failures() off the wall clock — dead workers are declared on
+  /// time even when no surviving client happens to call in.
+  double failure_sweep_period_s = 1.0;
 };
 
 class ServiceHost {
@@ -59,6 +65,7 @@ class ServiceHost {
 
  private:
   void accept_loop();
+  void sweep_loop();
   void serve_connection(std::uint64_t id, Fd socket);
   /// Joins and discards workers whose connections have ended.
   void reap_finished_workers();
@@ -75,6 +82,9 @@ class ServiceHost {
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread acceptor_;
+  std::thread sweeper_;
+  std::mutex sweep_mutex_;
+  std::condition_variable sweep_cv_;
 
   std::mutex container_mutex_;  ///< serializes container/ddc access
 

@@ -35,6 +35,7 @@ const char* endpoint_name(Endpoint endpoint) {
     case Endpoint::kDrPutChunk: return "dr_put_chunk";
     case Endpoint::kDrPutCommit: return "dr_put_commit";
     case Endpoint::kDrGetChunk: return "dr_get_chunk";
+    case Endpoint::kDsHosts: return "ds_hosts";
   }
   return "unknown";
 }
@@ -257,6 +258,30 @@ services::SyncReply read_sync_reply(Reader& r) {
   reply.download = read_list<services::ScheduledData>(r, read_scheduled_data);
   reply.drop = read_auid_list(r);
   return reply;
+}
+
+void write_host_info(Writer& w, const services::HostInfo& info) {
+  w.str(info.name);
+  w.f64(info.last_sync_age_s);
+  w.boolean(info.alive);
+  w.u32(info.cached);
+}
+
+services::HostInfo read_host_info(Reader& r) {
+  services::HostInfo info;
+  info.name = r.str();
+  info.last_sync_age_s = r.f64();
+  info.alive = r.boolean();
+  info.cached = r.u32();
+  return info;
+}
+
+void write_host_list(Writer& w, const std::vector<services::HostInfo>& hosts) {
+  write_list(w, hosts, write_host_info);
+}
+
+std::vector<services::HostInfo> read_host_list(Reader& r) {
+  return read_list<services::HostInfo>(r, read_host_info);
 }
 
 void write_register_batch(Writer& w, const std::vector<core::Data>& items) {

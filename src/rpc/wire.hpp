@@ -60,10 +60,12 @@ enum class Endpoint : std::uint16_t {
   kDrPutChunk = 26,   ///< Auid, i64 offset, bytes → Status
   kDrPutCommit = 27,  ///< Auid, protocol → Expected<Locator>
   kDrGetChunk = 28,   ///< Auid, i64 offset, i64 max → Expected<bytes>
+  // Worker tier (PR 4): failure-detector introspection.
+  kDsHosts = 29,      ///< (empty) → Expected<vector<HostInfo>>
 };
 
 inline constexpr std::uint16_t kMaxEndpoint =
-    static_cast<std::uint16_t>(Endpoint::kDrGetChunk);
+    static_cast<std::uint16_t>(Endpoint::kDsHosts);
 
 const char* endpoint_name(Endpoint endpoint);
 
@@ -102,6 +104,12 @@ services::ScheduledData read_scheduled_data(Reader& r);
 
 void write_sync_reply(Writer& w, const services::SyncReply& reply);
 services::SyncReply read_sync_reply(Reader& r);
+
+void write_host_info(Writer& w, const services::HostInfo& info);
+services::HostInfo read_host_info(Reader& r);
+
+void write_host_list(Writer& w, const std::vector<services::HostInfo>& hosts);
+std::vector<services::HostInfo> read_host_list(Reader& r);
 
 // --- error channel -----------------------------------------------------------
 void write_error(Writer& w, const api::Error& error);

@@ -1,0 +1,379 @@
+#include "runtime/node_runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <variant>
+
+#include "rpc/wire.hpp"
+#include "transfer/tcp.hpp"
+#include "util/log.hpp"
+
+namespace bitdew::runtime {
+namespace {
+
+const util::Logger& logger() {
+  static const util::Logger instance("worker");
+  return instance;
+}
+
+}  // namespace
+
+NodeRuntime::NodeRuntime(std::string service_host, std::uint16_t service_port,
+                         NodeRuntimeConfig config)
+    : service_host_(std::move(service_host)),
+      service_port_(service_port),
+      config_(std::move(config)),
+      control_bus_(service_host_, service_port_, config_.bus),
+      active_data_(control_bus_, config_.name),
+      core_(active_data_) {
+  tm_.set_max_concurrent(config_.max_concurrent_transfers);
+}
+
+NodeRuntime::~NodeRuntime() { stop(); }
+
+std::string NodeRuntime::replica_path(const util::Auid& uid) const {
+  return (std::filesystem::path(config_.cache_dir) / uid.str()).string();
+}
+
+api::Status NodeRuntime::start() {
+  if (running_.load()) return api::ok_status();
+  std::error_code ec;
+  std::filesystem::create_directories(config_.cache_dir, ec);
+  if (ec) {
+    return api::Error{api::Errc::kUnavailable, "worker",
+                      "cannot create cache dir " + config_.cache_dir + ": " + ec.message()};
+  }
+  restore_cache();
+  {
+    // Fail fast (typed) when the daemon is unreachable instead of silently
+    // heartbeating into the void.
+    const std::lock_guard control(control_mutex_);
+    const api::Status up = control_bus_.ping();
+    if (!up.ok()) return up;
+  }
+  {
+    const std::lock_guard lock(transfers_mutex_);
+    accepting_transfers_ = true;
+  }
+  running_.store(true);
+  heartbeat_ = std::thread(&NodeRuntime::heartbeat_loop, this);
+  logger().info("%s: joined %s:%u (heartbeat %.2fs, cache %s, %llu replica(s) restored)",
+                config_.name.c_str(), service_host_.c_str(),
+                static_cast<unsigned>(service_port_), config_.heartbeat_period_s,
+                config_.cache_dir.c_str(),
+                static_cast<unsigned long long>(stats().restored));
+  return api::ok_status();
+}
+
+void NodeRuntime::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    const std::lock_guard beat(beat_mutex_);
+    beat_requested_ = true;
+  }
+  beat_cv_.notify_all();
+  {
+    // Pair with wait_for's predicate check: running_ is not mutated under
+    // state_mutex_, so without this a waiter can park right after checking
+    // it and miss the wakeup until its full deadline.
+    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+  }
+  arrival_cv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  std::vector<std::thread> transfers;
+  {
+    const std::lock_guard lock(transfers_mutex_);
+    accepting_transfers_ = false;  // late admit jobs become no-ops
+    transfers.swap(transfers_);
+    finished_transfers_.clear();
+  }
+  for (std::thread& transfer : transfers) {
+    if (transfer.joinable()) transfer.join();
+  }
+}
+
+void NodeRuntime::sync_now() {
+  {
+    const std::lock_guard beat(beat_mutex_);
+    beat_requested_ = true;
+  }
+  beat_cv_.notify_all();
+}
+
+bool NodeRuntime::has(const util::Auid& uid) const {
+  const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+  return core_.has(uid);
+}
+
+std::vector<util::Auid> NodeRuntime::cache_list() const {
+  const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+  return core_.cache_list();
+}
+
+NodeRuntimeStats NodeRuntime::stats() const {
+  const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+  return stats_;
+}
+
+bool NodeRuntime::wait_for(const util::Auid& uid, double timeout_s) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_s));
+  std::unique_lock<std::recursive_mutex> lock(state_mutex_);
+  while (!core_.has(uid)) {
+    if (!running_.load()) return false;
+    if (arrival_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return core_.has(uid);
+    }
+  }
+  return true;
+}
+
+// --- durable replica manifest -------------------------------------------------
+
+void NodeRuntime::restore_cache() {
+  const std::string wal_path =
+      (std::filesystem::path(config_.cache_dir) / "cache.wal").string();
+  manifest_ = std::make_unique<db::Database>(wal_path);
+  db::Table& table = manifest_->create_table({kReplicaTable, "uid", {}});
+
+  // Collect first: adopting mutates nothing, but forgetting erases rows and
+  // scan() must not observe its own deletions. Corrupt rows are keyed by
+  // their raw primary-key string — an unparseable uid must still erase the
+  // row, or the dead entry would be replayed on every restart.
+  std::vector<services::ScheduledData> intact;
+  std::vector<std::string> corrupt_keys;
+  table.scan([&](db::RowId, const db::Row& row) {
+    const auto key = row.find("uid");
+    if (key == row.end() || !std::holds_alternative<std::string>(key->second)) return true;
+    const std::string& uid_key = std::get<std::string>(key->second);
+    const auto blob = row.find("blob");
+    try {
+      if (blob == row.end() || !std::holds_alternative<std::string>(blob->second)) {
+        throw rpc::CodecError("manifest row without a blob");
+      }
+      rpc::Reader r(std::get<std::string>(blob->second));
+      services::ScheduledData item;
+      item.data = rpc::wire::read_data(r);
+      item.attributes = rpc::wire::read_attributes(r);
+      if (item.data.size <= 0) {
+        intact.push_back(std::move(item));  // zero-size: nothing on disk to verify
+        return true;
+      }
+      // Re-hash the replica file: only verified bytes rejoin Δk. A corrupt
+      // or missing file is forgotten so the scheduler re-sends the datum.
+      const core::Content on_disk = core::file_content(replica_path(item.data.uid));
+      if (on_disk.size == item.data.size && on_disk.checksum == item.data.checksum) {
+        intact.push_back(std::move(item));
+      } else {
+        corrupt_keys.push_back(uid_key);
+      }
+    } catch (const std::exception&) {
+      // Unreadable manifest row or replica file: treat as not cached.
+      corrupt_keys.push_back(uid_key);
+    }
+    return true;
+  });
+
+  const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+  for (const services::ScheduledData& item : intact) {
+    core_.adopt_local(item.data, item.attributes, /*fire_event=*/false);
+    ++stats_.restored;
+  }
+  for (const std::string& key : corrupt_keys) {
+    logger().warn("%s: replica %s failed restart verification, forgetting it",
+                  config_.name.c_str(), key.c_str());
+    if (const auto row = table.by_primary(db::Value(key))) {
+      manifest_->erase(kReplicaTable, *row);
+    }
+    const util::Auid uid = util::Auid::parse(key);
+    if (!uid.is_nil()) {
+      std::error_code ec;
+      std::filesystem::remove(replica_path(uid), ec);
+    }
+  }
+}
+
+void NodeRuntime::persist_replica(const services::ScheduledData& item) {
+  db::Table& table = manifest_->create_table({kReplicaTable, "uid", {}});
+  rpc::Writer w;
+  rpc::wire::write_data(w, item.data);
+  rpc::wire::write_attributes(w, item.attributes);
+  db::Row row;
+  row["uid"] = item.data.uid.str();
+  row["blob"] = w.take();
+  if (const auto existing = table.by_primary(db::Value(item.data.uid.str()))) {
+    manifest_->update(kReplicaTable, *existing, std::move(row));
+  } else {
+    manifest_->insert(kReplicaTable, std::move(row));
+  }
+}
+
+void NodeRuntime::forget_replica(const util::Auid& uid) {
+  if (db::Table* table = manifest_->table(kReplicaTable)) {
+    if (const auto row = table->by_primary(db::Value(uid.str()))) {
+      manifest_->erase(kReplicaTable, *row);
+    }
+  }
+}
+
+// --- the pull loop ------------------------------------------------------------
+
+void NodeRuntime::heartbeat_loop() {
+  const auto period = std::chrono::duration<double>(config_.heartbeat_period_s);
+  while (running_.load()) {
+    do_sync();
+    reap_finished_transfers();
+    std::unique_lock beat(beat_mutex_);
+    beat_cv_.wait_for(beat, period, [this] { return beat_requested_ || !running_.load(); });
+    beat_requested_ = false;
+  }
+}
+
+void NodeRuntime::do_sync() {
+  std::vector<util::Auid> cache;
+  std::vector<util::Auid> in_flight;
+  {
+    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    cache = core_.cache_list();
+    in_flight = core_.downloading_list();
+  }
+  api::Expected<services::SyncReply> reply =
+      api::Error{api::Errc::kUnavailable, "worker", "no reply"};
+  {
+    const std::lock_guard control(control_mutex_);
+    control_bus_.ds_sync(config_.name, cache, in_flight,
+                         [&](api::Expected<services::SyncReply> r) { reply = std::move(r); });
+  }
+  if (!reply.ok()) {
+    // Lost sync (daemon restarting, network blip): the next beat retries,
+    // and RemoteServiceBus reconnects transparently.
+    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    ++stats_.syncs_failed;
+    logger().debug("%s: sync failed: %s", config_.name.c_str(),
+                   reply.error().to_string().c_str());
+    return;
+  }
+  {
+    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    ++stats_.syncs_ok;
+  }
+  apply_reply(*reply);
+}
+
+void NodeRuntime::apply_reply(const services::SyncReply& reply) {
+  std::vector<services::ScheduledData> dropped;
+  {
+    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    dropped = core_.apply_drops(reply);  // fires on_data_delete
+    for (const services::ScheduledData& item : dropped) {
+      forget_replica(item.data.uid);
+      ++stats_.drops;
+    }
+  }
+  for (const services::ScheduledData& item : dropped) {
+    std::error_code ec;
+    std::filesystem::remove(replica_path(item.data.uid), ec);
+    std::filesystem::remove(replica_path(item.data.uid) + ".part", ec);
+    logger().info("%s: dropped %s (%s)", config_.name.c_str(), item.data.name.c_str(),
+                  item.data.uid.str().c_str());
+  }
+  for (const services::ScheduledData& item : reply.download) {
+    start_download(item);
+  }
+}
+
+void NodeRuntime::start_download(const services::ScheduledData& item) {
+  api::PullCore::Admission admission;
+  {
+    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    admission = core_.begin_download(item);  // kInstant fires on_data_copy
+    if (admission == api::PullCore::Admission::kInstant) persist_replica(item);
+  }
+  if (admission == api::PullCore::Admission::kInstant) {
+    arrival_cv_.notify_all();
+    const std::lock_guard control(control_mutex_);
+    control_bus_.ddc_publish(item.data.uid.str(), config_.name, [](api::Status) {});
+    return;
+  }
+  if (admission != api::PullCore::Admission::kStarted) return;
+  logger().info("%s: downloading %s (%s, %lld bytes)", config_.name.c_str(),
+                item.data.name.c_str(), item.data.uid.str().c_str(),
+                static_cast<long long>(item.data.size));
+  // The admitted job only spawns the transfer thread: admission order
+  // respects the concurrency cap, the heartbeat thread never blocks on a
+  // byte stream.
+  tm_.admit([this, item] {
+    const std::lock_guard lock(transfers_mutex_);
+    // A queued job can fire from tm_.finish() on a transfer thread while
+    // stop() is joining; once accepting_transfers_ is off, spawning would
+    // leak a thread past the join loop.
+    if (!accepting_transfers_) return;
+    transfers_.emplace_back(&NodeRuntime::run_download, this, item);
+  });
+}
+
+void NodeRuntime::run_download(const services::ScheduledData& item) {
+  const util::Auid uid = item.data.uid;
+  tm_.begin(uid);
+
+  // A dedicated connection per transfer: chunk frames never head-of-line
+  // block the heartbeat's control connection.
+  api::RemoteServiceBus data_bus(service_host_, service_port_, config_.bus);
+  transfer::TcpConfig tcp;
+  tcp.chunk_bytes = config_.chunk_bytes;
+  tcp.max_attempts = config_.transfer_attempts;
+  tcp.local_name = config_.name;
+  transfer::TcpTransfer engine(data_bus, tcp);
+  const api::Status outcome = engine.get_file(item.data, replica_path(uid));
+
+  if (outcome.ok()) {
+    {
+      const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+      core_.complete_download(uid);  // fires on_data_copy
+      persist_replica(item);
+      ++stats_.downloads_completed;
+    }
+    tm_.finish(uid, api::ok_status());
+    arrival_cv_.notify_all();
+    logger().info("%s: replica %s verified (md5 %s)", config_.name.c_str(),
+                  item.data.name.c_str(), item.data.checksum.c_str());
+    const std::lock_guard control(control_mutex_);
+    control_bus_.ddc_publish(uid.str(), config_.name, [](api::Status) {});
+  } else {
+    {
+      const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+      core_.fail_download(uid);
+      ++stats_.downloads_failed;
+    }
+    tm_.finish(uid, outcome);
+    logger().warn("%s: download of %s failed: %s", config_.name.c_str(),
+                  item.data.name.c_str(), outcome.error().to_string().c_str());
+  }
+
+  const std::lock_guard lock(transfers_mutex_);
+  finished_transfers_.push_back(std::this_thread::get_id());
+}
+
+void NodeRuntime::reap_finished_transfers() {
+  std::vector<std::thread> finished;
+  {
+    const std::lock_guard lock(transfers_mutex_);
+    for (const std::thread::id id : finished_transfers_) {
+      const auto it = std::find_if(transfers_.begin(), transfers_.end(),
+                                   [id](const std::thread& t) { return t.get_id() == id; });
+      if (it == transfers_.end()) continue;
+      finished.push_back(std::move(*it));
+      transfers_.erase(it);
+    }
+    finished_transfers_.clear();
+  }
+  // Join outside the lock; the thread announced itself finished as its last
+  // statement, so these joins return immediately.
+  for (std::thread& transfer : finished) {
+    if (transfer.joinable()) transfer.join();
+  }
+}
+
+}  // namespace bitdew::runtime

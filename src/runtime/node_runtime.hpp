@@ -1,0 +1,148 @@
+// NodeRuntime: the live worker tier — the paper's reservoir pull protocol
+// (§3.1, Fig. 1/4) running over real sockets against a bitdewd daemon. It
+// is the deployed sibling of SimRuntime's SimNode: both drive the SAME
+// api::PullCore state machine; only the substrate differs.
+//
+//  * A heartbeat thread issues ds_sync every `heartbeat_period_s` over a
+//    dedicated RemoteServiceBus connection (the control bus). A missed
+//    sync is retried on the next beat; the scheduler's 3x-heartbeat
+//    timeout declaring this node dead is exactly the paper's failure model.
+//  * Newly assigned data is downloaded through transfer::TcpTransfer on its
+//    own thread and its own TCP connection (data streams never head-of-line
+//    block the heartbeat), with the full DT ticket flow — register, monitor,
+//    complete-with-checksum, resume after a dropped connection — and the
+//    TransferManager concurrency cap the API promises.
+//  * Verified replicas land in `cache_dir` as `<uid>` files next to a
+//    WAL-backed manifest (DewDB at <cache_dir>/cache.wal). On restart the
+//    manifest is replayed and every file is re-hashed: intact replicas are
+//    adopted without a transfer and re-announced through ds_sync; corrupt
+//    or missing ones are forgotten so the scheduler re-sends them.
+//  * Scheduler drops delete the local file and fire on_data_delete; arrivals
+//    fire on_data_copy — the ActiveData programming model on live events.
+//
+// examples/bitdew_worker.cpp wraps one of these in a daemon; the
+// live-fault-tolerance CI job kills -9 such a worker and watches a survivor
+// re-download its replicas.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/active_data.hpp"
+#include "api/pull_core.hpp"
+#include "api/remote_service_bus.hpp"
+#include "api/transfer_manager.hpp"
+#include "db/database.hpp"
+
+namespace bitdew::runtime {
+
+struct NodeRuntimeConfig {
+  std::string name = "worker";      ///< host name announced in ds_sync
+  std::string cache_dir = "cache";  ///< replica files + WAL manifest
+  double heartbeat_period_s = 1.0;  ///< paper: 1 s
+  std::int64_t chunk_bytes = 256 * 1024;
+  int transfer_attempts = 3;        ///< TcpTransfer reconnect+resume rounds
+  int max_concurrent_transfers = 4; ///< 0 == unlimited
+  api::RemoteBusConfig bus;         ///< connect/call deadlines
+};
+
+struct NodeRuntimeStats {
+  std::uint64_t syncs_ok = 0;
+  std::uint64_t syncs_failed = 0;
+  std::uint64_t downloads_completed = 0;
+  std::uint64_t downloads_failed = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t restored = 0;  ///< replicas re-verified from disk at start()
+};
+
+class NodeRuntime {
+ public:
+  NodeRuntime(std::string service_host, std::uint16_t service_port,
+              NodeRuntimeConfig config = {});
+  ~NodeRuntime();
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  /// Restores the replica cache from disk (manifest replay + MD5
+  /// re-verification), then starts the heartbeat thread. Errc::kTransport
+  /// when the daemon is unreachable, Errc::kUnavailable when the cache
+  /// directory cannot be prepared.
+  api::Status start();
+
+  /// Stops the heartbeat and joins every transfer thread. Idempotent; also
+  /// called by the destructor. The replica cache stays on disk.
+  void stop();
+  bool running() const { return running_.load(); }
+
+  /// Wakes the heartbeat thread for an immediate sync (tests, benches).
+  void sync_now();
+
+  // --- the API objects user code programs against ---------------------------
+  api::ActiveData& active_data() { return active_data_; }
+  api::TransferManager& transfer_manager() { return tm_; }
+
+  // --- introspection ---------------------------------------------------------
+  const std::string& name() const { return config_.name; }
+  bool has(const util::Auid& uid) const;
+  std::vector<util::Auid> cache_list() const;
+  /// Path of a cached replica file (whether or not it currently exists).
+  std::string replica_path(const util::Auid& uid) const;
+  NodeRuntimeStats stats() const;
+
+  /// Blocks until the datum is cached and verified, the deadline passes
+  /// (false), or the runtime stops (false).
+  bool wait_for(const util::Auid& uid, double timeout_s) const;
+
+ private:
+  static constexpr const char* kReplicaTable = "replicas";
+
+  void heartbeat_loop();
+  void do_sync();
+  void apply_reply(const services::SyncReply& reply);
+  void start_download(const services::ScheduledData& item);
+  void run_download(const services::ScheduledData& item);
+  void restore_cache();
+  void persist_replica(const services::ScheduledData& item);
+  void forget_replica(const util::Auid& uid);
+  void reap_finished_transfers();
+
+  std::string service_host_;
+  std::uint16_t service_port_;
+  NodeRuntimeConfig config_;
+
+  api::RemoteServiceBus control_bus_;  ///< heartbeat + bookkeeping RPCs
+  std::mutex control_mutex_;           ///< one control call at a time
+  api::ActiveData active_data_;
+  api::TransferManager tm_;
+
+  /// Guards core_, manifest_, stats_. Recursive because PullCore fires
+  /// ActiveData callbacks at its transition points, and user handlers may
+  /// call back into has()/cache_list().
+  mutable std::recursive_mutex state_mutex_;
+  api::PullCore core_;
+  std::unique_ptr<db::Database> manifest_;
+  NodeRuntimeStats stats_;
+
+  std::atomic<bool> running_{false};
+  std::thread heartbeat_;
+  std::mutex beat_mutex_;
+  std::condition_variable beat_cv_;
+  bool beat_requested_ = false;
+  mutable std::condition_variable_any arrival_cv_;  ///< signaled on cache change
+
+  std::mutex transfers_mutex_;
+  /// Cleared (under transfers_mutex_) before stop() swaps transfers_ out:
+  /// a queued admit job pumped by a finishing transfer's tm_.finish() must
+  /// not spawn a thread the join loop will never see.
+  bool accepting_transfers_ = false;
+  std::vector<std::thread> transfers_;
+  std::vector<std::thread::id> finished_transfers_;
+};
+
+}  // namespace bitdew::runtime

@@ -22,18 +22,14 @@ SimNode::SimNode(SimRuntime& runtime, net::HostId host)
            runtime.config().bus),
       bitdew_(bus_, runtime.network().host_name(host)),
       active_data_(bus_, runtime.network().host_name(host)),
-      tm_() {}
+      tm_(),
+      core_(active_data_) {}
 
 const std::string& SimNode::name() const { return runtime_.network().host_name(host_); }
 
 void SimNode::adopt_local(const core::Data& data, const core::DataAttributes& attributes,
                           bool fire_event) {
-  cache_.insert(data.uid);
-  services::ScheduledData item;
-  item.data = data;
-  item.attributes = attributes;
-  registry_[data.uid] = item;
-  if (fire_event) active_data_.dispatch_copy(data, attributes);
+  core_.adopt_local(data, attributes, fire_event);
 }
 
 void SimNode::start_reservoir() {
@@ -57,10 +53,8 @@ void SimNode::stop() {
 void SimNode::do_sync() {
   if (stopped_ || !runtime_.network().alive(host_)) return;
   logger().trace("[%.2f] %s: sync (cache=%zu, inflight=%zu)", runtime_.simulator().now(),
-                 name().c_str(), cache_.size(), downloading_.size());
-  const std::vector<util::Auid> cache(cache_.begin(), cache_.end());
-  const std::vector<util::Auid> in_flight(downloading_.begin(), downloading_.end());
-  bus_.ds_sync(name(), cache, in_flight,
+                 name().c_str(), core_.cache().size(), core_.downloading_set().size());
+  bus_.ds_sync(name(), core_.cache_list(), core_.downloading_list(),
                [this](api::Expected<services::SyncReply> reply) {
                  if (stopped_ || !reply.ok()) return;  // lost sync: next beat retries
                  apply_reply(*reply);
@@ -68,16 +62,8 @@ void SimNode::do_sync() {
 }
 
 void SimNode::apply_reply(const services::SyncReply& reply) {
-  // Δk \ Ψk: safe to delete.
-  for (const util::Auid& uid : reply.drop) {
-    if (cache_.erase(uid) > 0) {
-      const auto it = registry_.find(uid);
-      if (it != registry_.end()) {
-        active_data_.dispatch_delete(it->second.data, it->second.attributes);
-        registry_.erase(it);
-      }
-    }
-  }
+  // Δk \ Ψk: safe to delete (PullCore fires on_data_delete).
+  core_.apply_drops(reply);
   // Ψk \ Δk: download newly assigned data.
   for (const services::ScheduledData& item : reply.download) {
     start_download(item);
@@ -85,20 +71,11 @@ void SimNode::apply_reply(const services::SyncReply& reply) {
 }
 
 void SimNode::start_download(const services::ScheduledData& item) {
-  const util::Auid uid = item.data.uid;
-  if (cache_.contains(uid) || downloading_.contains(uid)) return;
-  downloading_.insert(uid);
-  registry_[uid] = item;
+  // kInstant adopted a zero-size datum without a transfer; kAlreadyHeld is
+  // a duplicate assignment. Only kStarted needs the protocol machinery.
+  if (core_.begin_download(item) != api::PullCore::Admission::kStarted) return;
   logger().debug("%s: downloading %s (%s)", name().c_str(), item.data.name.c_str(),
                  item.attributes.protocol.c_str());
-
-  // Zero-size data (e.g. the Collector token) needs no transfer.
-  if (item.data.size <= 0) {
-    downloading_.erase(uid);
-    cache_.insert(uid);
-    active_data_.dispatch_copy(item.data, item.attributes);
-    return;
-  }
 
   tm_.admit([this, item] {
     tm_.begin(item.data.uid);
@@ -242,21 +219,19 @@ void SimNode::attempt_fetch_with_source(const services::ScheduledData& item,
 
 void SimNode::download_succeeded(const services::ScheduledData& item, double assigned_at) {
   const util::Auid uid = item.data.uid;
-  downloading_.erase(uid);
-  cache_.insert(uid);
   last_download_duration_ = runtime_.simulator().now() - assigned_at;
   last_download_rate_ = last_download_duration_ > 0
                             ? static_cast<double>(item.data.size) / last_download_duration_
                             : 0;
+  core_.complete_download(uid);  // fires on_data_copy
   tm_.finish(uid, api::ok_status());
-  active_data_.dispatch_copy(item.data, item.attributes);
   // Publish the replica location in the distributed catalog (paper §3.4.1).
   bus_.ddc_publish(uid.str(), name(), [](api::Status) {});
 }
 
 void SimNode::download_failed(const services::ScheduledData& item, const api::Error& why) {
   const util::Auid uid = item.data.uid;
-  downloading_.erase(uid);
+  core_.fail_download(uid);
   tm_.finish(uid, api::Status(why));
   logger().debug("%s: download of %s failed: %s", name().c_str(), item.data.name.c_str(),
                  why.to_string().c_str());

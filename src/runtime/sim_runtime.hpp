@@ -17,6 +17,7 @@
 
 #include "api/active_data.hpp"
 #include "api/bitdew.hpp"
+#include "api/pull_core.hpp"
 #include "api/transfer_manager.hpp"
 #include "runtime/sim_service_bus.hpp"
 #include "transfer/bittorrent.hpp"
@@ -59,8 +60,8 @@ class SimNode {
 
   net::HostId host() const { return host_; }
   const std::string& name() const;
-  bool has(const util::Auid& uid) const { return cache_.contains(uid); }
-  const std::set<util::Auid>& cache() const { return cache_; }
+  bool has(const util::Auid& uid) const { return core_.has(uid); }
+  const std::set<util::Auid>& cache() const { return core_.cache(); }
   /// Seconds between a datum being assigned and its download completing,
   /// for the most recent completed download (Fig. 4's instrumentation).
   double last_download_duration() const { return last_download_duration_; }
@@ -93,9 +94,7 @@ class SimNode {
   api::BitDew bitdew_;
   api::ActiveData active_data_;
   api::TransferManager tm_;
-  std::set<util::Auid> cache_;
-  std::map<util::Auid, services::ScheduledData> registry_;  // data+attrs we saw
-  std::set<util::Auid> downloading_;
+  api::PullCore core_;  ///< shared reservoir pull state (also NodeRuntime's)
   sim::PeriodicTimer sync_timer_;
   bool reservoir_ = false;
   bool stopped_ = false;

@@ -255,6 +255,13 @@ void SimServiceBus::ds_sync(const std::string& host, const std::vector<util::Aui
       transport_error("ds_sync flow failed"), std::move(done));
 }
 
+void SimServiceBus::ds_hosts(api::Reply<Expected<std::vector<services::HostInfo>>> done) {
+  rpc<Expected<std::vector<services::HostInfo>>>(
+      0, config_.per_item_bytes,
+      [](services::ServiceContainer& c) { return api::ops::ds_hosts(c); },
+      transport_error("ds_hosts flow failed"), std::move(done));
+}
+
 void SimServiceBus::ddc_publish(const std::string& key, const std::string& value,
                                 api::Reply<Status> done) {
   if (ring_ != nullptr && ring_node_ != dht::kNoNode) {

@@ -140,6 +140,7 @@ class SimServiceBus final : public api::ServiceBus {
   void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
                const std::vector<util::Auid>& in_flight,
                api::Reply<api::Expected<services::SyncReply>> done) override;
+  void ds_hosts(api::Reply<api::Expected<std::vector<services::HostInfo>>> done) override;
   void ddc_publish(const std::string& key, const std::string& value,
                    api::Reply<api::Status> done) override;
   void ddc_search(const std::string& key,

@@ -105,6 +105,7 @@ SyncReply DataScheduler::sync(const HostName& host, const std::vector<util::Auid
   state.last_sync = now;
   state.alive = true;
   state.cache = std::set<util::Auid>(cache.begin(), cache.end());
+  state.reported = state.cache.size();
 
   // Refresh provisional assignments the host is still downloading, and
   // drop expired ones everywhere (lazy pruning).
@@ -134,6 +135,23 @@ SyncReply DataScheduler::sync(const HostName& host, const std::vector<util::Auid
     kept.insert(uid);
     entry.owners.insert(host);  // the host demonstrably holds it: update Ω
     entry.pending.erase(host);  // assignment confirmed
+  }
+
+  // Ω reconciliation: the report is authoritative for what the host holds.
+  // A restarted worker whose replica failed verification (or a rejoining
+  // host that lost its disk) reports Δk without the datum — it must stop
+  // counting as an owner, or the replica rule would never re-send the data.
+  // In-flight downloads are not ownership claims (they never entered Ω) and
+  // pinned hosts are permanent owners by definition.
+  const std::set<util::Auid> in_flight_set(in_flight.begin(), in_flight.end());
+  for (auto& [uid, entry] : theta_) {
+    if (!entry.owners.contains(host) || state.cache.contains(uid) ||
+        entry.pinned.contains(host) || in_flight_set.contains(uid)) {
+      continue;
+    }
+    logger().debug("host %s no longer reports %s: revoking ownership", host.c_str(),
+                   entry.data.name.c_str());
+    entry.owners.erase(host);
   }
 
   // --- Step 2: add new data ------------------------------------------------
@@ -246,6 +264,23 @@ std::optional<ScheduledData> DataScheduler::scheduled(const util::Auid& uid) con
 bool DataScheduler::host_alive(const HostName& host) const {
   const auto it = hosts_.find(host);
   return it != hosts_.end() && it->second.alive;
+}
+
+std::vector<HostInfo> DataScheduler::host_table() const {
+  const double now = clock_.now();
+  std::vector<HostInfo> out;
+  out.reserve(hosts_.size());
+  for (const auto& [host, state] : hosts_) {
+    HostInfo info;
+    info.name = host;
+    info.last_sync_age_s = now - state.last_sync;
+    info.alive = state.alive;
+    info.cached = static_cast<std::uint32_t>(state.reported);
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HostInfo& a, const HostInfo& b) { return a.name < b.name; });
+  return out;
 }
 
 std::vector<HostName> DataScheduler::known_hosts() const {

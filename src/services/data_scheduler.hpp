@@ -55,6 +55,18 @@ struct SyncReply {
   std::vector<util::Auid> drop;            ///< Δk \ Ψk — safe to delete
 };
 
+/// One row of the scheduler's host table (the failure detector's view of a
+/// reservoir node), served over the bus as the ds_hosts endpoint so CLIs and
+/// CI can observe liveness instead of inferring it.
+struct HostInfo {
+  HostName name;
+  double last_sync_age_s = 0;  ///< seconds since the last ds_sync
+  bool alive = true;
+  std::uint32_t cached = 0;    ///< size of the last reported Δk
+
+  friend bool operator==(const HostInfo&, const HostInfo&) = default;
+};
+
 struct SchedulerStats {
   std::uint64_t syncs = 0;
   std::uint64_t orders = 0;        ///< download orders issued
@@ -108,6 +120,8 @@ class DataScheduler {
   std::optional<ScheduledData> scheduled(const util::Auid& uid) const;
   bool host_alive(const HostName& host) const;
   std::vector<HostName> known_hosts() const;
+  /// The failure detector's host table, sorted by name.
+  std::vector<HostInfo> host_table() const;
   const SchedulerStats& stats() const { return stats_; }
   const SchedulerConfig& config() const { return config_; }
 
@@ -115,7 +129,8 @@ class DataScheduler {
   struct HostState {
     double last_sync = 0;
     bool alive = true;
-    std::set<util::Auid> cache;  // last reported Δk
+    std::set<util::Auid> cache;   // post-sync Ψk (what the host will hold)
+    std::size_t reported = 0;     // size of the last reported Δk (host_table)
   };
 
   struct Entry {

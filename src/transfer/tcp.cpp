@@ -52,8 +52,8 @@ Expected<T> TcpTransfer::wait(std::function<void(api::Reply<Expected<T>>)> issue
 services::TicketId TcpTransfer::open_ticket(const core::Data& data, bool upload) {
   if (!config_.track_ticket) return 0;
   auto ticket = wait<services::TicketId>([&](api::Reply<Expected<services::TicketId>> done) {
-    bus_.dt_register(data, upload ? "local" : "dr", upload ? "dr" : "local", kTcpProtocol,
-                     std::move(done));
+    bus_.dt_register(data, upload ? config_.local_name : "dr",
+                     upload ? "dr" : config_.local_name, kTcpProtocol, std::move(done));
   });
   return ticket.ok() ? *ticket : 0;
 }

@@ -38,6 +38,9 @@ struct TcpConfig {
   std::int64_t chunk_bytes = 256 * 1024;  ///< clamped to [1, services::kMaxChunkBytes]
   int max_attempts = 3;   ///< (re)connect + resume rounds before giving up
   bool track_ticket = true;  ///< register the transfer with the DT service
+  /// Endpoint name this engine reports in DT tickets (workers pass their
+  /// host name so the control plane attributes transfers to the node).
+  std::string local_name = "local";
 };
 
 struct TcpStats {

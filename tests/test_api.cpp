@@ -183,6 +183,42 @@ TEST(ErrorChannel, DirectBusSurfacesDistinctCodes) { check_error_codes<DirectRig
 TEST(ErrorChannel, SimBusSurfacesDistinctCodes) { check_error_codes<SimRig>(); }
 TEST(ErrorChannel, RemoteBusSurfacesDistinctCodes) { check_error_codes<RemoteRig>(); }
 
+// --- the failure detector's host table ---------------------------------------
+
+template <typename Rig>
+void check_ds_hosts() {
+  Rig rig;
+  std::optional<api::Expected<std::vector<services::HostInfo>>> empty;
+  rig.bus.ds_hosts(
+      [&](api::Expected<std::vector<services::HostInfo>> reply) { empty = std::move(reply); });
+  rig.settle();
+  ASSERT_TRUE(empty.has_value());
+  ASSERT_TRUE(empty->ok());
+  EXPECT_TRUE((*empty)->empty());  // no worker has ever synced
+
+  std::optional<api::Expected<services::SyncReply>> synced;
+  rig.bus.ds_sync("w1", {}, {},
+                  [&](api::Expected<services::SyncReply> reply) { synced = std::move(reply); });
+  rig.settle();
+  ASSERT_TRUE(synced.has_value());
+  ASSERT_TRUE(synced->ok());
+
+  std::optional<api::Expected<std::vector<services::HostInfo>>> table;
+  rig.bus.ds_hosts(
+      [&](api::Expected<std::vector<services::HostInfo>> reply) { table = std::move(reply); });
+  rig.settle();
+  ASSERT_TRUE(table.has_value());
+  ASSERT_TRUE(table->ok());
+  ASSERT_EQ((*table)->size(), 1u);
+  EXPECT_EQ((**table)[0].name, "w1");
+  EXPECT_TRUE((**table)[0].alive);
+  EXPECT_EQ((**table)[0].cached, 0u);
+}
+
+TEST(HostTable, DirectBusServesIt) { check_ds_hosts<DirectRig>(); }
+TEST(HostTable, SimBusServesIt) { check_ds_hosts<SimRig>(); }
+TEST(HostTable, RemoteBusServesIt) { check_ds_hosts<RemoteRig>(); }
+
 // --- bulk endpoints ----------------------------------------------------------
 
 template <typename Rig>

@@ -327,6 +327,19 @@ TEST(Wire, ScalarShapesRoundTrip) {
   EXPECT_TRUE(r.exhausted());
 }
 
+TEST(Wire, HostListRoundTrip) {
+  const std::vector<services::HostInfo> hosts = {
+      {"w0", 0.25, true, 3},
+      {"w1", 7.5, false, 0},
+      {"", 0.0, true, 42},  // degenerate name survives the wire
+  };
+  rpc::Writer w;
+  rpc::wire::write_host_list(w, hosts);
+  rpc::Reader r(w.buffer());
+  EXPECT_EQ(rpc::wire::read_host_list(r), hosts);
+  EXPECT_TRUE(r.exhausted());
+}
+
 TEST(Wire, ExpectedPayloadRoundTrip) {
   rpc::Writer w;
   rpc::wire::write_expected(w, api::Expected<core::Data>(wire_data(3)), rpc::wire::write_data);

@@ -1,0 +1,322 @@
+// NodeRuntime: the live worker tier over real sockets. An in-process
+// ServiceHost (bitdewd-equivalent, wall-clock failure sweep) on loopback,
+// NodeRuntime workers heartbeating against it: scheduled data is pulled
+// through the chunked TCP data plane and MD5-verified, ActiveData events
+// fire on real arrivals/drops, the WAL-backed replica cache survives a
+// worker restart (intact replicas re-verified, corrupt ones re-downloaded),
+// and a killed worker's fault-tolerant replicas move to a survivor within
+// the 3x-heartbeat failure timeout — the paper's Fig. 4 loop on live
+// processes. Heartbeats are shortened (150 ms) to keep the suite fast.
+//
+// All scheduler introspection goes through the RPC surface (ds_hosts,
+// ddc_search) rather than poking the container directly: the container is
+// owned by the ServiceHost's threads, and this suite runs under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <thread>
+
+#include "api/remote_service_bus.hpp"
+#include "api/session.hpp"
+#include "rpc/server.hpp"
+#include "runtime/node_runtime.hpp"
+
+namespace bitdew {
+namespace {
+
+using api::Status;
+
+constexpr double kHeartbeat = 0.15;
+
+/// Counts life-cycle events (thread-safe: they fire on worker threads).
+struct Recorder final : core::ActiveDataEventHandler {
+  std::atomic<int> copies{0};
+  std::atomic<int> deletes{0};
+  void on_data_copy(const core::Data&, const core::DataAttributes&) override { ++copies; }
+  void on_data_delete(const core::Data&, const core::DataAttributes&) override { ++deletes; }
+};
+
+bool wait_until(const std::function<bool()>& condition, double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_s));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return condition();
+}
+
+struct WorkerRig {
+  WorkerRig() {
+    services::SchedulerConfig scheduler;
+    scheduler.heartbeat_period_s = kHeartbeat;
+    scheduler.failure_timeout_factor = 3.0;
+    container = std::make_unique<services::ServiceContainer>("bitdewd", clock, scheduler);
+    rpc::ServiceHostConfig config;
+    config.loopback_only = true;
+    config.failure_sweep_period_s = 0.05;
+    host = std::make_unique<rpc::ServiceHost>(*container, ddc, config);
+    const Status started = host->start();
+    if (!started.ok()) throw std::runtime_error(started.error().to_string());
+
+    dir = std::filesystem::temp_directory_path() /
+          ("bitdew-noderuntime-" + std::to_string(::getpid()) + "-" +
+           std::to_string(counter()++));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    client_bus = std::make_unique<api::RemoteServiceBus>(std::string("127.0.0.1"),
+                                                         host->port());
+    bitdew = std::make_unique<api::BitDew>(*client_bus, "master");
+    active_data = std::make_unique<api::ActiveData>(*client_bus, "master");
+    session = std::make_unique<api::Session>(*bitdew, *active_data);
+  }
+
+  ~WorkerRig() {
+    host->stop();
+    std::filesystem::remove_all(dir);
+  }
+
+  static int& counter() {
+    static int value = 0;
+    return value;
+  }
+
+  std::unique_ptr<runtime::NodeRuntime> make_worker(const std::string& name) {
+    runtime::NodeRuntimeConfig config;
+    config.name = name;
+    config.cache_dir = (dir / name).string();
+    config.heartbeat_period_s = kHeartbeat;
+    config.chunk_bytes = 64 * 1024;
+    return std::make_unique<runtime::NodeRuntime>("127.0.0.1", host->port(), config);
+  }
+
+  /// Registers + uploads a deterministic payload and schedules it.
+  core::Data publish(const std::string& name, std::size_t size, int replica,
+                     bool fault_tolerant) {
+    std::string bytes(size, '\0');
+    for (std::size_t i = 0; i < size; ++i) {
+      bytes[i] = static_cast<char>((i * 197 + 31) & 0xff);
+    }
+    const std::string path = (dir / (name + ".src")).string();
+    std::ofstream(path, std::ios::binary) << bytes;
+    const api::Expected<core::Data> data = session->put_file(name, path);
+    EXPECT_TRUE(data.ok()) << (data.ok() ? "" : data.error().to_string());
+    core::DataAttributes attributes;
+    attributes.replica = replica;
+    attributes.fault_tolerant = fault_tolerant;
+    attributes.protocol = "tcp";
+    const Status scheduled = session->schedule(*data, attributes);
+    EXPECT_TRUE(scheduled.ok());
+    return *data;
+  }
+
+  /// The scheduler's view of one worker, over the RPC surface.
+  std::optional<services::HostInfo> host_row(const std::string& name) {
+    std::optional<api::Expected<std::vector<services::HostInfo>>> table;
+    client_bus->ds_hosts([&](api::Expected<std::vector<services::HostInfo>> reply) {
+      table = std::move(reply);
+    });
+    if (!table.has_value() || !table->ok()) return std::nullopt;
+    for (const services::HostInfo& info : **table) {
+      if (info.name == name) return info;
+    }
+    return std::nullopt;
+  }
+
+  /// Replica locations published in the DDC by workers after verification.
+  std::vector<std::string> ddc_locations(const util::Auid& uid) {
+    std::optional<api::Expected<std::vector<std::string>>> values;
+    client_bus->ddc_search(uid.str(), [&](api::Expected<std::vector<std::string>> reply) {
+      values = std::move(reply);
+    });
+    if (!values.has_value() || !values->ok()) return {};
+    return **values;
+  }
+
+  std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+
+  util::SystemClock clock;
+  std::unique_ptr<services::ServiceContainer> container;
+  dht::LocalDht ddc;
+  std::unique_ptr<rpc::ServiceHost> host;
+  std::filesystem::path dir;
+  std::unique_ptr<api::RemoteServiceBus> client_bus;
+  std::unique_ptr<api::BitDew> bitdew;
+  std::unique_ptr<api::ActiveData> active_data;
+  std::unique_ptr<api::Session> session;
+};
+
+TEST(NodeRuntime, PullsScheduledDataVerifiedAndFiresCopyEvent) {
+  WorkerRig rig;
+  auto worker = rig.make_worker("w0");
+  auto recorder = std::make_shared<Recorder>();
+  worker->active_data().add_callback(recorder);
+  ASSERT_TRUE(worker->start().ok());
+
+  // Multi-chunk payload (3.5 chunks at the worker's 64 KB chunk size).
+  const core::Data data = rig.publish("genome", 224 * 1024, 1, true);
+  ASSERT_TRUE(worker->wait_for(data.uid, 15.0));
+
+  // The replica on disk is byte-identical to the published content.
+  const core::Content replica = core::file_content(worker->replica_path(data.uid));
+  EXPECT_EQ(replica.checksum, data.checksum);
+  EXPECT_EQ(replica.size, data.size);
+  EXPECT_EQ(recorder->copies.load(), 1);
+  EXPECT_EQ(worker->stats().downloads_completed, 1u);
+
+  // The control plane observed the arrival: the worker published its
+  // replica location in the DDC, and the host table reports it alive with
+  // one cached datum once the next sync confirms Δk.
+  EXPECT_TRUE(wait_until(
+      [&] {
+        const auto locations = rig.ddc_locations(data.uid);
+        return std::find(locations.begin(), locations.end(), "w0") != locations.end();
+      },
+      5.0));
+  EXPECT_TRUE(wait_until(
+      [&] {
+        const auto row = rig.host_row("w0");
+        return row.has_value() && row->alive && row->cached == 1;
+      },
+      5.0));
+
+  worker->stop();
+}
+
+TEST(NodeRuntime, ZeroSizeDatumArrivesWithoutTransfer) {
+  WorkerRig rig;
+  auto worker = rig.make_worker("w0");
+  ASSERT_TRUE(worker->start().ok());
+
+  // A zero-size slot (the paper's Collector token): no bytes to move.
+  const api::Expected<core::Data> token = rig.session->create_data("token");
+  ASSERT_TRUE(token.ok());
+  core::DataAttributes attributes;
+  attributes.replica = 1;
+  ASSERT_TRUE(rig.session->schedule(*token, attributes).ok());
+
+  ASSERT_TRUE(worker->wait_for(token->uid, 15.0));
+  EXPECT_EQ(worker->stats().downloads_completed, 0u);  // no transfer ran
+  worker->stop();
+}
+
+TEST(NodeRuntime, SchedulerDropDeletesReplicaAndFiresDeleteEvent) {
+  WorkerRig rig;
+  auto worker = rig.make_worker("w0");
+  auto recorder = std::make_shared<Recorder>();
+  worker->active_data().add_callback(recorder);
+  ASSERT_TRUE(worker->start().ok());
+
+  const core::Data data = rig.publish("ephemeral", 64 * 1024, 1, false);
+  ASSERT_TRUE(worker->wait_for(data.uid, 15.0));
+  ASSERT_TRUE(std::filesystem::exists(worker->replica_path(data.uid)));
+
+  ASSERT_TRUE(rig.session->unschedule(data).ok());
+  EXPECT_TRUE(wait_until([&] { return !worker->has(data.uid); }, 15.0));
+  EXPECT_TRUE(wait_until(
+      [&] { return !std::filesystem::exists(worker->replica_path(data.uid)); }, 5.0));
+  EXPECT_EQ(recorder->deletes.load(), 1);
+  worker->stop();
+}
+
+TEST(NodeRuntime, CacheSurvivesRestartWithoutRedownload) {
+  WorkerRig rig;
+  const core::Data data = [&] {
+    auto worker = rig.make_worker("w0");
+    EXPECT_TRUE(worker->start().ok());
+    const core::Data published = rig.publish("durable", 96 * 1024, 1, true);
+    EXPECT_TRUE(worker->wait_for(published.uid, 15.0));
+    worker->stop();  // clean exit; cache + manifest stay on disk
+    return published;
+  }();
+
+  // Same name, same cache dir: the manifest replays, the replica re-hashes
+  // clean, and NO transfer runs — the worker re-announces it via ds_sync.
+  auto restarted = rig.make_worker("w0");
+  ASSERT_TRUE(restarted->start().ok());
+  EXPECT_TRUE(restarted->has(data.uid));  // before any sync
+  EXPECT_EQ(restarted->stats().restored, 1u);
+
+  EXPECT_TRUE(wait_until(
+      [&] {
+        const auto row = rig.host_row("w0");
+        return row.has_value() && row->alive && row->cached == 1;
+      },
+      10.0));
+  EXPECT_EQ(restarted->stats().downloads_completed, 0u);
+  restarted->stop();
+}
+
+TEST(NodeRuntime, CorruptCachedReplicaIsForgottenAndRedownloaded) {
+  WorkerRig rig;
+  const core::Data data = [&] {
+    auto worker = rig.make_worker("w0");
+    EXPECT_TRUE(worker->start().ok());
+    const core::Data published = rig.publish("fragile", 96 * 1024, 1, true);
+    EXPECT_TRUE(worker->wait_for(published.uid, 15.0));
+    worker->stop();
+    return published;
+  }();
+
+  // Flip bytes in the cached replica behind the worker's back.
+  const std::string path = (rig.dir / "w0" / data.uid.str()).string();
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(1000);
+    file.write("XXXX", 4);
+  }
+
+  auto restarted = rig.make_worker("w0");
+  ASSERT_TRUE(restarted->start().ok());
+  EXPECT_FALSE(restarted->has(data.uid));  // failed restart verification
+  EXPECT_EQ(restarted->stats().restored, 0u);
+
+  // The scheduler re-sends it; the worker re-downloads verified bytes.
+  ASSERT_TRUE(restarted->wait_for(data.uid, 15.0));
+  EXPECT_EQ(core::file_content(restarted->replica_path(data.uid)).checksum, data.checksum);
+  EXPECT_EQ(restarted->stats().downloads_completed, 1u);
+  restarted->stop();
+}
+
+TEST(NodeRuntime, DeadWorkerReplicasMoveToSurvivor) {
+  WorkerRig rig;
+  auto w0 = rig.make_worker("w0");
+  auto w1 = rig.make_worker("w1");
+  ASSERT_TRUE(w0->start().ok());
+  ASSERT_TRUE(w1->start().ok());
+
+  const core::Data data = rig.publish("precious", 128 * 1024, 1, true);
+  ASSERT_TRUE(wait_until([&] { return w0->has(data.uid) || w1->has(data.uid); }, 15.0));
+
+  runtime::NodeRuntime* victim = w0->has(data.uid) ? w0.get() : w1.get();
+  runtime::NodeRuntime* survivor = victim == w0.get() ? w1.get() : w0.get();
+  ASSERT_FALSE(survivor->has(data.uid));  // replica=1: exactly one holder
+
+  // kill -9 equivalent: the victim stops heartbeating without a goodbye.
+  // Within 3 heartbeats the sweep declares it dead, the replica rule
+  // re-places the datum, and the survivor downloads verified bytes.
+  victim->stop();
+  ASSERT_TRUE(survivor->wait_for(data.uid, 30.0));
+  EXPECT_EQ(core::file_content(survivor->replica_path(data.uid)).checksum, data.checksum);
+
+  // The host table records the death.
+  EXPECT_TRUE(wait_until(
+      [&] {
+        const auto row = rig.host_row(victim->name());
+        return row.has_value() && !row->alive;
+      },
+      10.0));
+  survivor->stop();
+}
+
+}  // namespace
+}  // namespace bitdew

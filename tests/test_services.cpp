@@ -418,6 +418,111 @@ TEST_F(SchedulerTest, RecoveredHostCountsAgain) {
   EXPECT_TRUE(ds_.sync("h2", {}).download.empty());
 }
 
+TEST_F(SchedulerTest, RejoinAfterReplacementDoesNotResurrectAssignments) {
+  // A host that times out, is declared dead, and later syncs again (e.g. a
+  // restarted worker with an empty cache) must be readmitted — but the
+  // assignment it lost, already re-placed on a survivor, must NOT be
+  // resurrected: neither its stale in_flight claim nor its reappearance may
+  // pull the replica back or double-assign it.
+  const Data data = make_data("precious");
+  ds_.schedule(data, attr(1, /*ft=*/true));
+  ASSERT_EQ(ds_.sync("h1", {}).download.size(), 1u);  // assigned to h1
+  ds_.sync("h1", {data.uid});                         // h1 confirms ownership
+  ASSERT_EQ(ds_.owners(data.uid), (std::set<std::string>{"h1"}));
+
+  // h1 goes silent past the 3x-heartbeat timeout and is declared dead.
+  clock_.set(10.0);
+  ds_.sync("h2", {});  // h2 is alive and empty
+  ASSERT_EQ(ds_.detect_failures(), std::vector<std::string>{"h1"});
+
+  // The replica is re-placed on h2 and confirmed there.
+  ASSERT_EQ(ds_.sync("h2", {}).download.size(), 1u);
+  ds_.sync("h2", {data.uid});
+  ASSERT_EQ(ds_.owners(data.uid), (std::set<std::string>{"h2"}));
+
+  // h1 rejoins, restarted with an empty cache but a stale in_flight claim.
+  const SyncReply rejoin = ds_.sync("h1", {}, {data.uid});
+  EXPECT_TRUE(ds_.host_alive("h1"));        // readmitted
+  EXPECT_TRUE(rejoin.download.empty());     // replica satisfied by h2
+  EXPECT_TRUE(rejoin.drop.empty());
+  // The stale claim must not have re-entered the credible-owner count, nor
+  // displaced h2.
+  EXPECT_EQ(ds_.owners(data.uid), (std::set<std::string>{"h2"}));
+
+  // And future placement decisions see exactly one credible owner: a third
+  // host is not assigned the datum either.
+  EXPECT_TRUE(ds_.sync("h3", {}).download.empty());
+}
+
+TEST_F(SchedulerTest, RejoinWithSurvivingCacheIsReconfirmedNotReassigned) {
+  // Variant: the partitioned host kept its replica on disk. On rejoin the
+  // cache report re-confirms ownership (the host demonstrably holds the
+  // bytes) without issuing any new download order.
+  const Data data = make_data("kept");
+  ds_.schedule(data, attr(1, /*ft=*/true));
+  ds_.sync("h1", {});
+  ds_.sync("h1", {data.uid});
+
+  clock_.set(10.0);
+  ds_.detect_failures();
+  ASSERT_FALSE(ds_.host_alive("h1"));
+
+  const SyncReply rejoin = ds_.sync("h1", {data.uid});
+  EXPECT_TRUE(ds_.host_alive("h1"));
+  EXPECT_EQ(rejoin.keep, std::vector<util::Auid>{data.uid});
+  EXPECT_TRUE(rejoin.download.empty());
+  EXPECT_TRUE(ds_.owners(data.uid).contains("h1"));
+}
+
+TEST_F(SchedulerTest, EmptyCacheReportRevokesOwnershipAndResends) {
+  // A worker that restarts with a lost/corrupt replica reports Δk without
+  // the datum. Its sync report is authoritative: ownership is revoked and
+  // the replica rule re-sends the data — in the same sync.
+  const Data data = make_data("lost");
+  ds_.schedule(data, attr(1, /*ft=*/true));
+  ds_.sync("h1", {});
+  ds_.sync("h1", {data.uid});
+  ASSERT_EQ(ds_.owners(data.uid), (std::set<std::string>{"h1"}));
+
+  const SyncReply resent = ds_.sync("h1", {});
+  EXPECT_EQ(uids_of(resent.download), std::vector<util::Auid>{data.uid});
+  EXPECT_FALSE(ds_.owners(data.uid).contains("h1"));
+
+  // An in-flight claim is not an ownership claim, but it does keep the
+  // provisional assignment alive instead of re-revoking it.
+  const SyncReply downloading = ds_.sync("h1", {}, {data.uid});
+  EXPECT_TRUE(downloading.download.empty());
+
+  // Pinned owners are permanent: an empty report never unpins the master.
+  const Data pinned = make_data("pinned");
+  ds_.schedule(pinned, attr(1, /*ft=*/true));
+  ds_.pin(pinned.uid, "master");
+  ds_.sync("master", {});
+  EXPECT_TRUE(ds_.owners(pinned.uid).contains("master"));
+}
+
+TEST_F(SchedulerTest, HostTableReportsLivenessAndCacheSizes) {
+  const Data data = make_data("d");
+  ds_.schedule(data, attr(1, /*ft=*/true));
+  ds_.sync("h1", {});
+  ds_.sync("h1", {data.uid});
+  clock_.set(2.0);
+  ds_.sync("h2", {});
+  clock_.set(4.0);  // h1 last synced at 0 -> dead; h2 at 2.0 -> alive
+  ds_.detect_failures();
+
+  const std::vector<services::HostInfo> table = ds_.host_table();
+  ASSERT_EQ(table.size(), 2u);  // sorted by name
+  EXPECT_EQ(table[0].name, "h1");
+  EXPECT_FALSE(table[0].alive);
+  EXPECT_DOUBLE_EQ(table[0].last_sync_age_s, 4.0);
+  EXPECT_EQ(table[0].cached, 1u);
+  EXPECT_EQ(table[1].name, "h2");
+  EXPECT_TRUE(table[1].alive);
+  EXPECT_DOUBLE_EQ(table[1].last_sync_age_s, 2.0);
+  EXPECT_EQ(table[1].cached, 0u);
+}
+
 TEST_F(SchedulerTest, UnscheduleStopsFutureAssignment) {
   const Data data = make_data("gone");
   ds_.schedule(data, attr(5));
