@@ -91,7 +91,7 @@ struct Cli {
     }
     try {
       const core::DataAttributes attributes = client->bitdew().create_attribute(
-          "attr " + name + " = {" + dsl_body + "}", sim.now());
+          "attr " + name + " = {" + dsl_body + "}");
       client->active_data().schedule(*data, attributes);
       std::printf("scheduled %s with {%s}\n", name.c_str(), dsl_body.c_str());
     } catch (const core::AttributeError& error) {
@@ -349,8 +349,22 @@ struct RemoteCli {
     }
     std::printf("%zu worker(s) known to the scheduler\n", (*table)->size());
     for (const services::HostInfo& info : **table) {
-      std::printf("  %-16s %-5s last sync %6.1fs ago, %u cached\n", info.name.c_str(),
-                  info.alive ? "alive" : "DEAD", info.last_sync_age_s, info.cached);
+      std::printf("  %-16s %-5s last sync %6.1fs ago, %u cached, peer %s\n",
+                  info.name.c_str(), info.alive ? "alive" : "DEAD", info.last_sync_age_s,
+                  info.cached, info.endpoint.empty() ? "-" : info.endpoint.c_str());
+    }
+    // Repository egress: how many content bytes the central store actually
+    // shipped. The live-collective CI job asserts this stays ~one file copy
+    // when a swarm distributes over the peer plane.
+    std::optional<api::Expected<services::RepoStats>> repo;
+    bus.dr_stats([&](api::Expected<services::RepoStats> reply) { repo = std::move(reply); });
+    if (repo.has_value() && repo->ok()) {
+      std::printf("repository: %llu object(s), %lld bytes stored, %llu chunk read(s), "
+                  "%lld bytes served\n",
+                  static_cast<unsigned long long>((*repo)->objects),
+                  static_cast<long long>((*repo)->stored_bytes),
+                  static_cast<unsigned long long>((*repo)->chunk_reads),
+                  static_cast<long long>((*repo)->chunk_read_bytes));
     }
     return true;
   }

@@ -5,6 +5,8 @@
 //
 //   bitdew_worker --connect HOST:PORT --name N --cache DIR
 //                 [--heartbeat S] [--chunk BYTES] [--max-transfers N]
+//                 [--peer-port P] [--advertise HOST] [--no-peer]
+//                 [--peer-rate BYTES]
 //
 //   --connect HOST:PORT  the bitdewd daemon to join (required)
 //   --name N             host name announced in ds_sync (required; the
@@ -15,6 +17,15 @@
 //   --heartbeat S        sync period in seconds (default 1, the paper's)
 //   --chunk BYTES        transfer chunk size (default 256KB, e.g. "1MB")
 //   --max-transfers N    concurrent download cap (default 4; 0 = unlimited)
+//   --peer-port P        chunk-server port for the peer data plane
+//                        (default 0 = ephemeral)
+//   --advertise HOST     host other workers dial to reach this chunk server
+//                        (default 127.0.0.1; set to this machine's address
+//                        on a real network)
+//   --no-peer            do not serve replicas to other workers (the node
+//                        still downloads FROM peers when a datum is p2p)
+//   --peer-rate BYTES    cap the chunk server's upload at BYTES/s, e.g.
+//                        "8MB" (default 0 = unlimited)
 //
 // The worker prints one line per life-cycle event (joined / downloading /
 // replica verified / dropped) — the live-fault-tolerance CI job and humans
@@ -43,7 +54,8 @@ void handle_signal(int) { g_stop = 1; }
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --connect HOST:PORT --name N --cache DIR"
-               " [--heartbeat S] [--chunk BYTES] [--max-transfers N]\n",
+               " [--heartbeat S] [--chunk BYTES] [--max-transfers N]"
+               " [--peer-port P] [--advertise HOST] [--no-peer] [--peer-rate BYTES]\n",
                argv0);
   return 2;
 }
@@ -96,6 +108,30 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bitdew_worker: bad --max-transfers '%s'\n", value);
         return 2;
       }
+    } else if (arg == "--peer-port") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      const int peer_port = std::atoi(value);
+      if (peer_port < 0 || peer_port > 65535) {
+        std::fprintf(stderr, "bitdew_worker: bad --peer-port '%s'\n", value);
+        return 2;
+      }
+      config.peer_port = static_cast<std::uint16_t>(peer_port);
+    } else if (arg == "--advertise") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      config.advertise_host = value;
+    } else if (arg == "--no-peer") {
+      config.serve_peers = false;
+    } else if (arg == "--peer-rate") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      const std::int64_t rate = util::parse_bytes(value);
+      if (rate < 0) {
+        std::fprintf(stderr, "bitdew_worker: bad --peer-rate '%s'\n", value);
+        return 2;
+      }
+      config.peer_upload_Bps = static_cast<double>(rate);
     } else {
       return usage(argv[0]);
     }
@@ -131,11 +167,14 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
+  const runtime::NodeRuntimeStats stats = node.stats();  // before stop(): peer counters live
   node.stop();
-  const runtime::NodeRuntimeStats stats = node.stats();
-  std::printf("bitdew_worker: %s left after %llu sync(s), %llu download(s), %llu drop(s)\n",
-              config.name.c_str(), static_cast<unsigned long long>(stats.syncs_ok),
-              static_cast<unsigned long long>(stats.downloads_completed),
-              static_cast<unsigned long long>(stats.drops));
+  std::printf(
+      "bitdew_worker: %s left after %llu sync(s), %llu download(s), %llu drop(s), "
+      "%llu peer chunk(s) served\n",
+      config.name.c_str(), static_cast<unsigned long long>(stats.syncs_ok),
+      static_cast<unsigned long long>(stats.downloads_completed),
+      static_cast<unsigned long long>(stats.drops),
+      static_cast<unsigned long long>(stats.peer_chunks_served));
   return 0;
 }

@@ -4,7 +4,7 @@
 // api::RemoteServiceBus (or `bitdew_cli connect HOST:PORT`).
 //
 //   bitdewd [--port P] [--wal DIR] [--host NAME] [--compact-bytes N]
-//           [--loopback]
+//           [--loopback] [--data-rate BYTES]
 //
 //   --port P           TCP port to listen on (default 9328; 0 = ephemeral)
 //   --wal DIR          durable mode: persist state to DIR/bitdewd.wal and
@@ -14,6 +14,9 @@
 //   --compact-bytes N  auto-compact the WAL when it grows past N bytes
 //                      (default 8388608; 0 disables)
 //   --loopback         bind 127.0.0.1 only instead of all interfaces
+//   --data-rate BYTES  cap data-plane egress (dr_get_chunk replies) at
+//                      BYTES/s, e.g. "64MB" (default 0 = unlimited);
+//                      control traffic is never shaped
 //
 // The daemon prints "serving on port P" once ready (scripts parse this for
 // ephemeral ports) and exits cleanly on SIGINT/SIGTERM.
@@ -26,6 +29,7 @@
 #include <thread>
 
 #include "rpc/server.hpp"
+#include "util/bytes.hpp"
 #include "util/clock.hpp"
 
 using namespace bitdew;
@@ -39,7 +43,7 @@ void handle_signal(int) { g_stop = 1; }
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port P] [--wal DIR] [--host NAME] [--compact-bytes N]"
-               " [--loopback]\n",
+               " [--loopback] [--data-rate BYTES]\n",
                argv0);
   return 2;
 }
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
   std::string host_name = "bitdewd";
   std::uint64_t compact_bytes = 8u << 20;
   bool loopback = false;
+  double data_rate_Bps = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,12 +91,25 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--loopback") {
       loopback = true;
+    } else if (arg == "--data-rate") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      const std::int64_t parsed = util::parse_bytes(value);
+      if (parsed < 0) {
+        std::fprintf(stderr, "bitdewd: bad --data-rate '%s' (expected bytes/s)\n", value);
+        return 2;
+      }
+      data_rate_Bps = static_cast<double>(parsed);
     } else {
       return usage(argv[0]);
     }
   }
 
-  static util::SystemClock clock;
+  // Restart-stable epoch: anchored lifetimes land in the WAL as clock
+  // readings, so a reopened daemon must read the SAME clock — a
+  // seconds-since-construction epoch would shift every replayed deadline
+  // by the previous uptime.
+  static util::WallClock clock;
   std::unique_ptr<services::ServiceContainer> container;
   if (wal_dir.empty()) {
     container = std::make_unique<services::ServiceContainer>(host_name, clock);
@@ -110,6 +128,7 @@ int main(int argc, char** argv) {
   rpc::ServiceHostConfig config;
   config.port = port;
   config.loopback_only = loopback;
+  config.data_plane_upload_Bps = data_rate_Bps;
   rpc::ServiceHost host(*container, ddc, config);
   const api::Status started = host.start();
   if (!started.ok()) {

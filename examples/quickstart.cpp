@@ -67,7 +67,7 @@ int main() {
   // 2. Describe the behaviour with the paper's attribute DSL: three live
   //    replicas, crash-resilient, moved with FTP, gone after 120 s.
   const core::DataAttributes attributes = client.bitdew().create_attribute(
-      "attr dataset = {replica=3, ft=true, oob=ftp, abstime=120}", sim.now());
+      "attr dataset = {replica=3, ft=true, oob=ftp, abstime=120}");
 
   // 3. Schedule it — placement, transfers, fault tolerance and deletion are
   //    now the runtime's problem, not ours.

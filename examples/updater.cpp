@@ -94,7 +94,7 @@ int main() {
     return 1;
   }
   const core::DataAttributes update_attr = updater.bitdew().create_attribute(
-      "attr update = {replicat=-1, oob=bittorrent, abstime=300}", sim.now());
+      "attr update = {replicat=-1, oob=bittorrent, abstime=300}");
   if (const api::Status scheduled = session.schedule(*update, update_attr); !scheduled.ok()) {
     std::fprintf(stderr, "schedule failed: %s\n", scheduled.error().to_string().c_str());
     return 1;

@@ -87,15 +87,13 @@ void BitDew::remove(const core::Data& data, Reply<Status> done) {
   });
 }
 
-core::DataAttributes BitDew::create_attribute(const std::string& text, double now) const {
+core::DataAttributes BitDew::create_attribute(const std::string& text) const {
   return core::parse_attributes(
-      text,
-      [this](const std::string& reference) -> std::optional<util::Auid> {
+      text, [this](const std::string& reference) -> std::optional<util::Auid> {
         const auto it = known_by_name_.find(reference);
         if (it == known_by_name_.end()) return std::nullopt;
         return it->second.uid;
-      },
-      now);
+      });
 }
 
 std::optional<core::Data> BitDew::known(const std::string& name) const {

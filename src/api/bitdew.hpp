@@ -65,8 +65,10 @@ class BitDew {
   void remove(const core::Data& data, Reply<Status> done = nullptr);
 
   /// Builds typed attributes from the DSL. Symbolic references resolve
-  /// against data this node has created or searched.
-  core::DataAttributes create_attribute(const std::string& text, double now = 0.0) const;
+  /// against data this node has created or searched. An `abstime` lifetime
+  /// stays a duration here; the Data Scheduler anchors it against its own
+  /// clock when the schedule request arrives.
+  core::DataAttributes create_attribute(const std::string& text) const;
 
   /// Generic DHT access (paper: "publish any key/value pairs").
   void publish(const std::string& key, const std::string& value, Reply<Status> done = nullptr) {

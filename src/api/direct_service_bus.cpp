@@ -77,6 +77,11 @@ void DirectServiceBus::dr_get_chunk(const util::Auid& uid, std::int64_t offset,
   done(ops::dr_get_chunk(container_, uid, offset, max_bytes));
 }
 
+void DirectServiceBus::dr_stats(Reply<Expected<services::RepoStats>> done) {
+  ++calls_;
+  done(ops::dr_stats(container_));
+}
+
 void DirectServiceBus::dt_register(const core::Data& data, const std::string& source,
                                    const std::string& destination, const std::string& protocol,
                                    Reply<Expected<services::TicketId>> done) {
@@ -127,9 +132,10 @@ void DirectServiceBus::ds_unschedule(const util::Auid& uid, Reply<Status> done) 
 
 void DirectServiceBus::ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
                                const std::vector<util::Auid>& in_flight,
+                               const std::string& endpoint,
                                Reply<Expected<services::SyncReply>> done) {
   ++calls_;
-  done(ops::ds_sync(container_, host, cache, in_flight));
+  done(ops::ds_sync(container_, host, cache, in_flight, endpoint));
 }
 
 void DirectServiceBus::ds_hosts(Reply<Expected<std::vector<services::HostInfo>>> done) {

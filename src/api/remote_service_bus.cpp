@@ -172,6 +172,11 @@ void RemoteServiceBus::dr_get_chunk(const util::Auid& uid, std::int64_t offset,
       std::move(done), [](rpc::Reader& r) { return r.str(); });
 }
 
+void RemoteServiceBus::dr_stats(Reply<Expected<services::RepoStats>> done) {
+  invoke<services::RepoStats>(
+      Endpoint::kDrStats, [](rpc::Writer&) {}, std::move(done), wire::read_repo_stats);
+}
+
 // --- Data Transfer -----------------------------------------------------------
 
 void RemoteServiceBus::dt_register(const core::Data& data, const std::string& source,
@@ -262,6 +267,7 @@ void RemoteServiceBus::ds_unschedule(const util::Auid& uid, Reply<Status> done) 
 
 void RemoteServiceBus::ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
                                const std::vector<util::Auid>& in_flight,
+                               const std::string& endpoint,
                                Reply<Expected<services::SyncReply>> done) {
   invoke<services::SyncReply>(
       Endpoint::kDsSync,
@@ -269,6 +275,7 @@ void RemoteServiceBus::ds_sync(const std::string& host, const std::vector<util::
         w.str(host);
         wire::write_auid_list(w, cache);
         wire::write_auid_list(w, in_flight);
+        w.str(endpoint);
       },
       std::move(done), wire::read_sync_reply);
 }

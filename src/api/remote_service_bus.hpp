@@ -48,6 +48,7 @@ class RemoteServiceBus final : public ServiceBus {
                      Reply<Expected<core::Locator>> done) override;
   void dr_get_chunk(const util::Auid& uid, std::int64_t offset, std::int64_t max_bytes,
                     Reply<Expected<std::string>> done) override;
+  void dr_stats(Reply<Expected<services::RepoStats>> done) override;
   void dt_register(const core::Data& data, const std::string& source,
                    const std::string& destination, const std::string& protocol,
                    Reply<Expected<services::TicketId>> done) override;
@@ -63,7 +64,7 @@ class RemoteServiceBus final : public ServiceBus {
   void ds_pin(const util::Auid& uid, const std::string& host, Reply<Status> done) override;
   void ds_unschedule(const util::Auid& uid, Reply<Status> done) override;
   void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
-               const std::vector<util::Auid>& in_flight,
+               const std::vector<util::Auid>& in_flight, const std::string& endpoint,
                Reply<Expected<services::SyncReply>> done) override;
   void ds_hosts(Reply<Expected<std::vector<services::HostInfo>>> done) override;
   void ddc_publish(const std::string& key, const std::string& value,

@@ -23,6 +23,7 @@
 #include "core/attributes.hpp"
 #include "core/data.hpp"
 #include "core/locator.hpp"
+#include "services/data_repository.hpp"
 #include "services/data_scheduler.hpp"
 #include "services/data_transfer.hpp"
 
@@ -86,6 +87,10 @@ class ServiceBus {
   /// reply means end of content.
   virtual void dr_get_chunk(const util::Auid& uid, std::int64_t offset, std::int64_t max_bytes,
                             Reply<Expected<std::string>> done) = 0;
+  /// Repository serving counters (object count, stored bytes, chunk reads
+  /// served). Benches and CI use the chunk-read counters to assert the peer
+  /// data plane really bounded repository egress.
+  virtual void dr_stats(Reply<Expected<services::RepoStats>> done) = 0;
 
   // --- Data Transfer ------------------------------------------------------------
   virtual void dt_register(const core::Data& data, const std::string& source,
@@ -108,8 +113,12 @@ class ServiceBus {
                            Reply<Status> done) = 0;
   virtual void ds_pin(const util::Auid& uid, const std::string& host, Reply<Status> done) = 0;
   virtual void ds_unschedule(const util::Auid& uid, Reply<Status> done) = 0;
+  /// One reservoir synchronization. `endpoint` is the host's peer chunk
+  /// server address ("host:port", empty when the node does not serve): the
+  /// scheduler records it and mints it into the peer locators that ride
+  /// back in other hosts' SyncReply.sources.
   virtual void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
-                       const std::vector<util::Auid>& in_flight,
+                       const std::vector<util::Auid>& in_flight, const std::string& endpoint,
                        Reply<Expected<services::SyncReply>> done) = 0;
   /// The scheduler's host table (name, seconds since last sync, alive/dead,
   /// cached count) — the failure detector made observable, so operators and

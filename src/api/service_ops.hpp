@@ -171,6 +171,10 @@ inline Expected<core::Locator> dr_put_commit(services::ServiceContainer& c,
   return Error{Errc::kUnavailable, "dr", "unreachable"};
 }
 
+inline Expected<services::RepoStats> dr_stats(services::ServiceContainer& c) {
+  return c.dr().stats();
+}
+
 inline Expected<std::string> dr_get_chunk(services::ServiceContainer& c, const util::Auid& uid,
                                           std::int64_t offset, std::int64_t max_bytes) {
   if (max_bytes <= 0 || max_bytes > services::kMaxChunkBytes) {
@@ -268,8 +272,9 @@ inline Expected<std::vector<services::HostInfo>> ds_hosts(services::ServiceConta
 inline Expected<services::SyncReply> ds_sync(services::ServiceContainer& c,
                                              const std::string& host,
                                              const std::vector<util::Auid>& cache,
-                                             const std::vector<util::Auid>& in_flight) {
-  return c.ds().sync(host, cache, in_flight);
+                                             const std::vector<util::Auid>& in_flight,
+                                             const std::string& endpoint) {
+  return c.ds().sync(host, cache, in_flight, endpoint);
 }
 
 // --- Distributed Data Catalog (fallback store) --------------------------------------

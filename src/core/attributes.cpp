@@ -153,8 +153,7 @@ AttributeSpec parse_attribute(std::string_view text) {
   return spec;
 }
 
-DataAttributes attributes_from_spec(const AttributeSpec& spec, const DataResolver& resolver,
-                                    double now) {
+DataAttributes attributes_from_spec(const AttributeSpec& spec, const DataResolver& resolver) {
   DataAttributes attributes;
   attributes.name = spec.name;
   bool replica_explicit = false;
@@ -171,11 +170,13 @@ DataAttributes attributes_from_spec(const AttributeSpec& spec, const DataResolve
     } else if (key == "oob" || key == "protocol") {
       attributes.protocol = util::to_lower(value);
     } else if (key == "abstime") {
-      // The paper's abstime is a duration from now (e.g. 43200 for 30 days
-      // of minutes); we treat it as seconds of virtual time.
+      // The paper's abstime is a duration (e.g. 43200); it stays a duration
+      // here and the Data Scheduler anchors it against its own clock when
+      // the schedule request arrives (client clocks are not comparable to
+      // the daemon's on the live path).
       const double duration = parse_real(value, key);
       if (duration < 0) throw AttributeError("abstime must be >= 0");
-      attributes.lifetime = Lifetime::absolute(now + duration);
+      attributes.lifetime = Lifetime::duration(duration);
     } else if (key == "lifetime" || key == "reltime") {
       attributes.lifetime = Lifetime::relative(resolve_reference(value, resolver, key));
     } else if (key == "affinity") {
@@ -205,8 +206,8 @@ DataAttributes attributes_from_spec(const AttributeSpec& spec, const DataResolve
   return attributes;
 }
 
-DataAttributes parse_attributes(std::string_view text, const DataResolver& resolver, double now) {
-  return attributes_from_spec(parse_attribute(text), resolver, now);
+DataAttributes parse_attributes(std::string_view text, const DataResolver& resolver) {
+  return attributes_from_spec(parse_attribute(text), resolver);
 }
 
 }  // namespace bitdew::core

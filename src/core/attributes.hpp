@@ -29,10 +29,15 @@ namespace bitdew::core {
 inline constexpr int kReplicaAll = -1;
 
 struct Lifetime {
-  enum class Kind { kForever, kAbsolute, kRelative };
+  // kDuration is the unanchored form the DSL produces ("abstime=43200" is a
+  // duration, paper §3.2): the Data Scheduler anchors it against ITS clock
+  // when the schedule request arrives, turning it into kAbsolute. Anchoring
+  // client-side is wrong on the live path — the client's clock epoch (often
+  // 0, or a different process start) has no relation to the daemon's.
+  enum class Kind { kForever, kAbsolute, kRelative, kDuration };
 
   Kind kind = Kind::kForever;
-  double expires_at = 0;      ///< absolute: virtual-time deadline (seconds)
+  double expires_at = 0;      ///< absolute: deadline; duration: seconds to live
   util::Auid reference;       ///< relative: obsolete when this datum dies
 
   static Lifetime forever() { return {}; }
@@ -41,6 +46,9 @@ struct Lifetime {
   }
   static Lifetime relative(util::Auid reference) {
     return Lifetime{Kind::kRelative, 0, reference};
+  }
+  static Lifetime duration(double seconds) {
+    return Lifetime{Kind::kDuration, seconds, util::Auid::nil()};
   }
 
   friend bool operator==(const Lifetime&, const Lifetime&) = default;
@@ -87,14 +95,15 @@ AttributeSpec parse_attribute(std::string_view text);
 using DataResolver = std::function<std::optional<util::Auid>(const std::string&)>;
 
 /// Builds typed attributes from a parsed spec. `resolver` is consulted for
-/// affinity and relative-lifetime references; `now` anchors relative
-/// abstime values (the paper's abstime is a duration). Throws
-/// AttributeError on unknown keys, bad values or unresolvable references.
-DataAttributes attributes_from_spec(const AttributeSpec& spec, const DataResolver& resolver,
-                                    double now = 0.0);
+/// affinity and relative-lifetime references. The paper's abstime is a
+/// duration: it becomes Lifetime::Kind::kDuration, anchored by the Data
+/// Scheduler at the moment the schedule request is received (so a lifetime
+/// written on one machine means the same thing on the daemon's clock).
+/// Throws AttributeError on unknown keys, bad values or unresolvable
+/// references.
+DataAttributes attributes_from_spec(const AttributeSpec& spec, const DataResolver& resolver);
 
 /// Convenience: parse + resolve in one step.
-DataAttributes parse_attributes(std::string_view text, const DataResolver& resolver,
-                                double now = 0.0);
+DataAttributes parse_attributes(std::string_view text, const DataResolver& resolver);
 
 }  // namespace bitdew::core

@@ -1,0 +1,95 @@
+// ChunkServer: the worker-side half of the peer data plane (paper §4.2's
+// collective distribution, deployed for real). Every live worker embeds one
+// of these next to its replica cache: it speaks the SAME length-prefixed
+// frame protocol as a full ServiceHost but serves exactly two endpoints —
+// kPing (liveness) and kDrGetChunk (read `max_bytes` of a verified replica
+// at `offset`) — through a caller-supplied read callback. Anything else,
+// malformed frames included, drops the connection; a worker must never be
+// wedged or crashed by a hostile peer.
+//
+// transfer::PeerTransfer is the matching client: it stripes chunk ranges
+// across several of these (locators minted by the Data Scheduler from the
+// endpoints workers announce via ds_sync) and falls back to the central
+// Data Repository when no peer can serve.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/expected.hpp"
+#include "rpc/transport.hpp"
+#include "util/auid.hpp"
+#include "util/shaper.hpp"
+
+namespace bitdew::rpc {
+
+struct ChunkServerConfig {
+  std::uint16_t port = 0;      ///< 0 = ephemeral (read back via port())
+  bool loopback_only = false;  ///< bind 127.0.0.1 instead of INADDR_ANY
+  double idle_timeout_s = 30;  ///< per-connection read timeout (<0 = none)
+  double write_timeout_s = 30; ///< reply send budget
+  /// Upload cap in bytes/s shared across all connections (0 = unlimited).
+  /// Models a worker's real uplink; fig3b_collective uses it to reproduce
+  /// the paper's bandwidth-bound testbed on loopback.
+  double upload_Bps = 0;
+};
+
+class ChunkServer {
+ public:
+  /// Serves one chunk read: up to `max_bytes` of the datum's verified
+  /// content at `offset` (empty string at/after end of content), or a typed
+  /// error (kNotFound when this node does not hold the datum). Called from
+  /// connection threads — must be thread-safe.
+  using ReadFn = std::function<api::Expected<std::string>(
+      const util::Auid& uid, std::int64_t offset, std::int64_t max_bytes)>;
+
+  ChunkServer(ReadFn read, ChunkServerConfig config = {});
+  ~ChunkServer();
+  ChunkServer(const ChunkServer&) = delete;
+  ChunkServer& operator=(const ChunkServer&) = delete;
+
+  /// Binds, listens and spawns the accept thread. Errc::kTransport when the
+  /// port cannot be bound.
+  api::Status start();
+
+  /// Stops accepting, tears down live connections, joins all threads.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t chunks_served() const { return chunks_served_.load(); }
+  std::int64_t bytes_served() const { return bytes_served_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(std::uint64_t id, Fd socket);
+  void reap_finished_workers();
+
+  ReadFn read_;
+  ChunkServerConfig config_;
+
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+
+  std::mutex connections_mutex_;
+  std::unordered_map<std::uint64_t, int> live_connections_;  ///< id -> raw fd
+  std::unordered_map<std::uint64_t, std::thread> workers_;   ///< id -> thread
+  std::vector<std::uint64_t> finished_workers_;              ///< ended, awaiting join
+  std::uint64_t next_connection_id_ = 0;
+
+  std::atomic<std::uint64_t> chunks_served_{0};
+  std::atomic<std::int64_t> bytes_served_{0};
+  util::RateShaper shaper_{0};
+};
+
+}  // namespace bitdew::rpc

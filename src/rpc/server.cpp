@@ -19,7 +19,8 @@ const util::Logger& logger() {
 
 ServiceHost::ServiceHost(services::ServiceContainer& container, dht::LocalDht& ddc,
                          ServiceHostConfig config)
-    : container_(container), ddc_(ddc), config_(config) {}
+    : container_(container), ddc_(ddc), config_(config),
+      data_shaper_(config.data_plane_upload_Bps) {}
 
 ServiceHost::~ServiceHost() { stop(); }
 
@@ -142,6 +143,11 @@ void ServiceHost::serve_connection(std::uint64_t id, Fd socket) {
       }
       wire::write_frame_header(reply, header);
       reply.append_raw(body);
+      if (header.endpoint == wire::Endpoint::kDrGetChunk) {
+        // Shape OUTSIDE dispatch (the container lock is released): only the
+        // data plane pays the uplink, control replies are never delayed.
+        data_shaper_.consume(static_cast<std::int64_t>(body.size()));
+      }
     } catch (const CodecError& error) {
       ++frames_rejected_;
       logger().debug("connection %llu: malformed frame (%s), dropping",
@@ -237,6 +243,9 @@ std::string ServiceHost::dispatch(wire::Endpoint endpoint, Reader& r) {
                            [](Writer& wr, const std::string& bytes) { wr.str(bytes); });
       break;
     }
+    case Endpoint::kDrStats:
+      wire::write_expected(w, ops::dr_stats(container_), wire::write_repo_stats);
+      break;
 
     // --- Data Transfer -------------------------------------------------------
     case Endpoint::kDtRegister: {
@@ -292,7 +301,8 @@ std::string ServiceHost::dispatch(wire::Endpoint endpoint, Reader& r) {
       const std::string host = r.str();
       const std::vector<util::Auid> cache = wire::read_auid_list(r);
       const std::vector<util::Auid> in_flight = wire::read_auid_list(r);
-      wire::write_expected(w, ops::ds_sync(container_, host, cache, in_flight),
+      const std::string endpoint = r.str();
+      wire::write_expected(w, ops::ds_sync(container_, host, cache, in_flight, endpoint),
                            wire::write_sync_reply);
       break;
     }

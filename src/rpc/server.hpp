@@ -23,6 +23,7 @@
 #include "dht/local_dht.hpp"
 #include "rpc/transport.hpp"
 #include "services/container.hpp"
+#include "util/shaper.hpp"
 
 namespace bitdew::rpc {
 
@@ -37,6 +38,10 @@ struct ServiceHostConfig {
   /// detect_failures() off the wall clock — dead workers are declared on
   /// time even when no surviving client happens to call in.
   double failure_sweep_period_s = 1.0;
+  /// Data-plane egress cap in bytes/s, shared across every connection's
+  /// dr_get_chunk replies (0 = unlimited). Bounds what the repository
+  /// ships, like a deployment's uplink; control traffic is never shaped.
+  double data_plane_upload_Bps = 0;
 };
 
 class ServiceHost {
@@ -97,6 +102,7 @@ class ServiceHost {
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> frames_rejected_{0};
+  util::RateShaper data_shaper_{0};
 };
 
 }  // namespace bitdew::rpc

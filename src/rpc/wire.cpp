@@ -36,6 +36,7 @@ const char* endpoint_name(Endpoint endpoint) {
     case Endpoint::kDrPutCommit: return "dr_put_commit";
     case Endpoint::kDrGetChunk: return "dr_get_chunk";
     case Endpoint::kDsHosts: return "ds_hosts";
+    case Endpoint::kDrStats: return "dr_stats";
   }
   return "unknown";
 }
@@ -122,7 +123,7 @@ core::DataAttributes read_attributes(Reader& r) {
   attributes.replica = static_cast<int>(r.i64());
   attributes.fault_tolerant = r.boolean();
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(core::Lifetime::Kind::kRelative)) {
+  if (kind > static_cast<std::uint8_t>(core::Lifetime::Kind::kDuration)) {
     throw CodecError("bad lifetime kind " + std::to_string(kind));
   }
   attributes.lifetime.kind = static_cast<core::Lifetime::Kind>(kind);
@@ -246,10 +247,21 @@ std::vector<std::string> read_string_list(Reader& r) {
   return read_list<std::string>(r, [](Reader& rd) { return rd.str(); });
 }
 
+void write_source_lists(Writer& w, const std::vector<std::vector<core::Locator>>& sources) {
+  write_list(w, sources, [](Writer& wr, const std::vector<core::Locator>& list) {
+    write_locator_list(wr, list);
+  });
+}
+
+std::vector<std::vector<core::Locator>> read_source_lists(Reader& r) {
+  return read_list<std::vector<core::Locator>>(r, read_locator_list);
+}
+
 void write_sync_reply(Writer& w, const services::SyncReply& reply) {
   write_auid_list(w, reply.keep);
   write_list(w, reply.download, write_scheduled_data);
   write_auid_list(w, reply.drop);
+  write_source_lists(w, reply.sources);
 }
 
 services::SyncReply read_sync_reply(Reader& r) {
@@ -257,6 +269,12 @@ services::SyncReply read_sync_reply(Reader& r) {
   reply.keep = read_auid_list(r);
   reply.download = read_list<services::ScheduledData>(r, read_scheduled_data);
   reply.drop = read_auid_list(r);
+  reply.sources = read_source_lists(r);
+  // The locator lists are per-download-item; a count that disagrees with
+  // the download partition is a malformed reply, not a recoverable state.
+  if (reply.sources.size() != reply.download.size()) {
+    throw CodecError("sync reply sources not aligned with downloads");
+  }
   return reply;
 }
 
@@ -265,6 +283,7 @@ void write_host_info(Writer& w, const services::HostInfo& info) {
   w.f64(info.last_sync_age_s);
   w.boolean(info.alive);
   w.u32(info.cached);
+  w.str(info.endpoint);
 }
 
 services::HostInfo read_host_info(Reader& r) {
@@ -273,6 +292,7 @@ services::HostInfo read_host_info(Reader& r) {
   info.last_sync_age_s = r.f64();
   info.alive = r.boolean();
   info.cached = r.u32();
+  info.endpoint = r.str();
   return info;
 }
 
@@ -282,6 +302,22 @@ void write_host_list(Writer& w, const std::vector<services::HostInfo>& hosts) {
 
 std::vector<services::HostInfo> read_host_list(Reader& r) {
   return read_list<services::HostInfo>(r, read_host_info);
+}
+
+void write_repo_stats(Writer& w, const services::RepoStats& stats) {
+  w.u64(stats.objects);
+  w.i64(stats.stored_bytes);
+  w.u64(stats.chunk_reads);
+  w.i64(stats.chunk_read_bytes);
+}
+
+services::RepoStats read_repo_stats(Reader& r) {
+  services::RepoStats stats;
+  stats.objects = r.u64();
+  stats.stored_bytes = r.i64();
+  stats.chunk_reads = r.u64();
+  stats.chunk_read_bytes = r.i64();
+  return stats;
 }
 
 void write_register_batch(Writer& w, const std::vector<core::Data>& items) {

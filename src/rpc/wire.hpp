@@ -17,6 +17,7 @@
 #include "core/data.hpp"
 #include "core/locator.hpp"
 #include "rpc/codec.hpp"
+#include "services/data_repository.hpp"
 #include "services/data_scheduler.hpp"
 
 namespace bitdew::rpc::wire {
@@ -62,10 +63,14 @@ enum class Endpoint : std::uint16_t {
   kDrGetChunk = 28,   ///< Auid, i64 offset, i64 max → Expected<bytes>
   // Worker tier (PR 4): failure-detector introspection.
   kDsHosts = 29,      ///< (empty) → Expected<vector<HostInfo>>
+  // Peer data plane (PR 5): repository egress counters, so benches and CI
+  // can assert collective distribution really bounded the central store's
+  // outbound bytes.
+  kDrStats = 30,      ///< (empty) → Expected<RepoStats>
 };
 
 inline constexpr std::uint16_t kMaxEndpoint =
-    static_cast<std::uint16_t>(Endpoint::kDsHosts);
+    static_cast<std::uint16_t>(Endpoint::kDrStats);
 
 const char* endpoint_name(Endpoint endpoint);
 
@@ -110,6 +115,14 @@ services::HostInfo read_host_info(Reader& r);
 
 void write_host_list(Writer& w, const std::vector<services::HostInfo>& hosts);
 std::vector<services::HostInfo> read_host_list(Reader& r);
+
+void write_repo_stats(Writer& w, const services::RepoStats& stats);
+services::RepoStats read_repo_stats(Reader& r);
+
+/// The per-download peer locator lists of a SyncReply (list of lists,
+/// index-aligned with the download partition).
+void write_source_lists(Writer& w, const std::vector<std::vector<core::Locator>>& sources);
+std::vector<std::vector<core::Locator>> read_source_lists(Reader& r);
 
 // --- error channel -----------------------------------------------------------
 void write_error(Writer& w, const api::Error& error);

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <variant>
 
 #include "rpc/wire.hpp"
-#include "transfer/tcp.hpp"
+#include "transfer/protocol.hpp"
 #include "util/log.hpp"
 
 namespace bitdew::runtime {
@@ -45,6 +46,7 @@ api::Status NodeRuntime::start() {
                       "cannot create cache dir " + config_.cache_dir + ": " + ec.message()};
   }
   restore_cache();
+  sweep_orphans();
   {
     // Fail fast (typed) when the daemon is unreachable instead of silently
     // heartbeating into the void.
@@ -52,17 +54,35 @@ api::Status NodeRuntime::start() {
     const api::Status up = control_bus_.ping();
     if (!up.ok()) return up;
   }
+  endpoint_.clear();
+  if (config_.serve_peers) {
+    rpc::ChunkServerConfig peer_config;
+    peer_config.port = config_.peer_port;
+    peer_config.upload_Bps = config_.peer_upload_Bps;
+    peer_server_ = std::make_unique<rpc::ChunkServer>(
+        [this](const util::Auid& uid, std::int64_t offset, std::int64_t max_bytes) {
+          return read_replica_chunk(uid, offset, max_bytes);
+        },
+        peer_config);
+    const api::Status serving = peer_server_->start();
+    if (!serving.ok()) {
+      peer_server_.reset();
+      return serving;  // the operator asked for a chunk server; fail typed
+    }
+    endpoint_ = config_.advertise_host + ":" + std::to_string(peer_server_->port());
+  }
   {
     const std::lock_guard lock(transfers_mutex_);
     accepting_transfers_ = true;
   }
   running_.store(true);
   heartbeat_ = std::thread(&NodeRuntime::heartbeat_loop, this);
-  logger().info("%s: joined %s:%u (heartbeat %.2fs, cache %s, %llu replica(s) restored)",
-                config_.name.c_str(), service_host_.c_str(),
-                static_cast<unsigned>(service_port_), config_.heartbeat_period_s,
-                config_.cache_dir.c_str(),
-                static_cast<unsigned long long>(stats().restored));
+  logger().info(
+      "%s: joined %s:%u (heartbeat %.2fs, cache %s, %llu replica(s) restored, peer %s)",
+      config_.name.c_str(), service_host_.c_str(), static_cast<unsigned>(service_port_),
+      config_.heartbeat_period_s, config_.cache_dir.c_str(),
+      static_cast<unsigned long long>(stats().restored),
+      endpoint_.empty() ? "off" : endpoint_.c_str());
   return api::ok_status();
 }
 
@@ -91,6 +111,7 @@ void NodeRuntime::stop() {
   for (std::thread& transfer : transfers) {
     if (transfer.joinable()) transfer.join();
   }
+  if (peer_server_) peer_server_->stop();
 }
 
 void NodeRuntime::sync_now() {
@@ -112,8 +133,16 @@ std::vector<util::Auid> NodeRuntime::cache_list() const {
 }
 
 NodeRuntimeStats NodeRuntime::stats() const {
-  const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
-  return stats_;
+  NodeRuntimeStats out;
+  {
+    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    out = stats_;
+  }
+  if (peer_server_) {
+    out.peer_chunks_served = peer_server_->chunks_served();
+    out.peer_bytes_served = peer_server_->bytes_served();
+  }
+  return out;
 }
 
 bool NodeRuntime::wait_for(const util::Auid& uid, double timeout_s) const {
@@ -195,6 +224,76 @@ void NodeRuntime::restore_cache() {
   }
 }
 
+void NodeRuntime::sweep_orphans() {
+  // A crash in the window between the verified `.part` rename and
+  // persist_replica() leaves a cache file with no manifest row: it is never
+  // adopted (restore walks manifest rows only), never deleted, and its
+  // stale bytes sit exactly where a re-assigned uid will land. Remove every
+  // file (and `.part`) whose uid is not in the restored manifest.
+  std::error_code ec;
+  std::filesystem::directory_iterator dir(config_.cache_dir, ec);
+  if (ec) return;
+  std::vector<std::filesystem::path> orphans;
+  try {
+    for (const auto& entry : dir) {
+      if (!entry.is_regular_file(ec)) continue;
+      std::string base = entry.path().filename().string();
+      if (base.rfind("cache.wal", 0) == 0) continue;  // the manifest + its temps
+      if (base.size() > 5 && base.ends_with(".part")) base.resize(base.size() - 5);
+      const util::Auid uid = util::Auid::parse(base);
+      bool held = false;
+      if (!uid.is_nil()) {
+        const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+        held = core_.has(uid);
+      }
+      if (!held) orphans.push_back(entry.path());
+    }
+  } catch (const std::filesystem::filesystem_error&) {
+    // A directory racing the sweep must not abort start(); whatever was
+    // collected so far still gets cleaned, the rest waits for next restart.
+  }
+  for (const std::filesystem::path& orphan : orphans) {
+    logger().warn("%s: removing orphaned cache file %s (no manifest row)",
+                  config_.name.c_str(), orphan.filename().string().c_str());
+    std::filesystem::remove(orphan, ec);
+    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    ++stats_.orphans_swept;
+  }
+}
+
+api::Expected<std::string> NodeRuntime::read_replica_chunk(const util::Auid& uid,
+                                                           std::int64_t offset,
+                                                           std::int64_t max_bytes) const {
+  if (offset < 0) {
+    return api::Error{api::Errc::kInvalidArgument, "peer", "negative offset"};
+  }
+  std::int64_t size = 0;
+  {
+    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    if (!core_.has(uid)) {
+      return api::Error{api::Errc::kNotFound, "peer",
+                        "no verified replica of " + uid.str() + " on " + config_.name};
+    }
+    const auto info = core_.info(uid);
+    size = info.has_value() ? info->data.size : 0;
+  }
+  if (offset >= size) return std::string{};  // end of content
+  // File IO outside the state lock: a concurrent drop turns into a read
+  // failure (typed), never a stalled heartbeat.
+  std::ifstream in(replica_path(uid), std::ios::binary);
+  if (!in) {
+    return api::Error{api::Errc::kNotFound, "peer", "replica file unreadable on " + config_.name};
+  }
+  in.seekg(offset);
+  const std::int64_t want = std::min(max_bytes, size - offset);
+  std::string buffer(static_cast<std::size_t>(want), '\0');
+  in.read(buffer.data(), want);
+  if (in.gcount() != want) {
+    return api::Error{api::Errc::kUnavailable, "peer", "replica truncated on " + config_.name};
+  }
+  return buffer;
+}
+
 void NodeRuntime::persist_replica(const services::ScheduledData& item) {
   db::Table& table = manifest_->create_table({kReplicaTable, "uid", {}});
   rpc::Writer w;
@@ -243,7 +342,7 @@ void NodeRuntime::do_sync() {
       api::Error{api::Errc::kUnavailable, "worker", "no reply"};
   {
     const std::lock_guard control(control_mutex_);
-    control_bus_.ds_sync(config_.name, cache, in_flight,
+    control_bus_.ds_sync(config_.name, cache, in_flight, endpoint_,
                          [&](api::Expected<services::SyncReply> r) { reply = std::move(r); });
   }
   if (!reply.ok()) {
@@ -279,12 +378,17 @@ void NodeRuntime::apply_reply(const services::SyncReply& reply) {
     logger().info("%s: dropped %s (%s)", config_.name.c_str(), item.data.name.c_str(),
                   item.data.uid.str().c_str());
   }
-  for (const services::ScheduledData& item : reply.download) {
-    start_download(item);
+  for (std::size_t i = 0; i < reply.download.size(); ++i) {
+    // Peer locators ride index-aligned with the download partition; an
+    // older daemon (or a decode guard) may omit them — empty means
+    // repository-only, never a failure.
+    start_download(reply.download[i],
+                   i < reply.sources.size() ? reply.sources[i] : std::vector<core::Locator>{});
   }
 }
 
-void NodeRuntime::start_download(const services::ScheduledData& item) {
+void NodeRuntime::start_download(const services::ScheduledData& item,
+                                 std::vector<core::Locator> sources) {
   api::PullCore::Admission admission;
   {
     const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
@@ -298,35 +402,49 @@ void NodeRuntime::start_download(const services::ScheduledData& item) {
     return;
   }
   if (admission != api::PullCore::Admission::kStarted) return;
-  logger().info("%s: downloading %s (%s, %lld bytes)", config_.name.c_str(),
-                item.data.name.c_str(), item.data.uid.str().c_str(),
-                static_cast<long long>(item.data.size));
+  logger().info("%s: downloading %s (%s, %lld bytes, oob=%s, %zu peer source(s))",
+                config_.name.c_str(), item.data.name.c_str(), item.data.uid.str().c_str(),
+                static_cast<long long>(item.data.size), item.attributes.protocol.c_str(),
+                sources.size());
   // The admitted job only spawns the transfer thread: admission order
   // respects the concurrency cap, the heartbeat thread never blocks on a
   // byte stream.
-  tm_.admit([this, item] {
+  tm_.admit([this, item, sources = std::move(sources)] {
     const std::lock_guard lock(transfers_mutex_);
     // A queued job can fire from tm_.finish() on a transfer thread while
     // stop() is joining; once accepting_transfers_ is off, spawning would
     // leak a thread past the join loop.
     if (!accepting_transfers_) return;
-    transfers_.emplace_back(&NodeRuntime::run_download, this, item);
+    transfers_.emplace_back(&NodeRuntime::run_download, this, item, sources);
   });
 }
 
-void NodeRuntime::run_download(const services::ScheduledData& item) {
+void NodeRuntime::run_download(const services::ScheduledData& item,
+                               const std::vector<core::Locator>& sources) {
   const util::Auid uid = item.data.uid;
   tm_.begin(uid);
 
-  // A dedicated connection per transfer: chunk frames never head-of-line
-  // block the heartbeat's control connection.
-  api::RemoteServiceBus data_bus(service_host_, service_port_, config_.bus);
-  transfer::TcpConfig tcp;
-  tcp.chunk_bytes = config_.chunk_bytes;
-  tcp.max_attempts = config_.transfer_attempts;
-  tcp.local_name = config_.name;
-  transfer::TcpTransfer engine(data_bus, tcp);
-  const api::Status outcome = engine.get_file(item.data, replica_path(uid));
+  api::Status outcome = api::ok_status();
+  // The datum's oob attribute names the engine; resolution goes through the
+  // live protocol registry, never a hardcoded default. The scheduler's
+  // known_protocols gate rejects unknown names at schedule time, so this
+  // failure only fires against a permissively-configured daemon — and then
+  // it fails TYPED instead of silently substituting tcp.
+  transfer::LiveProtocol* engine =
+      transfer::live_registry().find_live(item.attributes.protocol);
+  if (engine == nullptr) {
+    outcome = api::Error{api::Errc::kRejected, "worker",
+                         "no live engine for oob protocol '" + item.attributes.protocol + "'"};
+  } else {
+    // A dedicated connection per transfer: chunk frames never head-of-line
+    // block the heartbeat's control connection.
+    api::RemoteServiceBus data_bus(service_host_, service_port_, config_.bus);
+    transfer::LiveTransferConfig engine_config;
+    engine_config.chunk_bytes = config_.chunk_bytes;
+    engine_config.max_attempts = config_.transfer_attempts;
+    engine_config.local_name = config_.name;
+    outcome = engine->get_file(data_bus, item.data, replica_path(uid), sources, engine_config);
+  }
 
   if (outcome.ok()) {
     {
@@ -339,8 +457,14 @@ void NodeRuntime::run_download(const services::ScheduledData& item) {
     arrival_cv_.notify_all();
     logger().info("%s: replica %s verified (md5 %s)", config_.name.c_str(),
                   item.data.name.c_str(), item.data.checksum.c_str());
-    const std::lock_guard control(control_mutex_);
-    control_bus_.ddc_publish(uid.str(), config_.name, [](api::Status) {});
+    {
+      const std::lock_guard control(control_mutex_);
+      control_bus_.ddc_publish(uid.str(), config_.name, [](api::Status) {});
+    }
+    // Confirm the new replica to the scheduler NOW instead of up to a full
+    // heartbeat later: Ω grows a beat earlier, so a waiting swarm's next
+    // generation (and the fault detector's replica count) see it sooner.
+    sync_now();
   } else {
     {
       const std::lock_guard<std::recursive_mutex> lock(state_mutex_);

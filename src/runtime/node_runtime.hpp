@@ -7,11 +7,18 @@
 //    dedicated RemoteServiceBus connection (the control bus). A missed
 //    sync is retried on the next beat; the scheduler's 3x-heartbeat
 //    timeout declaring this node dead is exactly the paper's failure model.
-//  * Newly assigned data is downloaded through transfer::TcpTransfer on its
-//    own thread and its own TCP connection (data streams never head-of-line
-//    block the heartbeat), with the full DT ticket flow — register, monitor,
-//    complete-with-checksum, resume after a dropped connection — and the
-//    TransferManager concurrency cap the API promises.
+//  * Newly assigned data is downloaded on its own thread and its own TCP
+//    connection (data streams never head-of-line block the heartbeat),
+//    through the live engine the datum's `oob` attribute names in the
+//    protocol registry — "tcp" pulls every chunk from the Data Repository,
+//    "p2p" stripes chunks across the peer locators that rode in with the
+//    download order (repository fallback) — with the full DT ticket flow
+//    and the TransferManager concurrency cap the API promises. A protocol
+//    with no live engine fails typed; the scheduler already rejects such
+//    data at schedule time.
+//  * An embedded rpc::ChunkServer serves MD5-verified replicas straight
+//    from the cache to other workers (the peer data plane); its endpoint is
+//    announced with every ds_sync so the scheduler can mint peer locators.
 //  * Verified replicas land in `cache_dir` as `<uid>` files next to a
 //    WAL-backed manifest (DewDB at <cache_dir>/cache.wal). On restart the
 //    manifest is replayed and every file is re-hashed: intact replicas are
@@ -39,6 +46,7 @@
 #include "api/remote_service_bus.hpp"
 #include "api/transfer_manager.hpp"
 #include "db/database.hpp"
+#include "rpc/chunk_server.hpp"
 
 namespace bitdew::runtime {
 
@@ -47,9 +55,18 @@ struct NodeRuntimeConfig {
   std::string cache_dir = "cache";  ///< replica files + WAL manifest
   double heartbeat_period_s = 1.0;  ///< paper: 1 s
   std::int64_t chunk_bytes = 256 * 1024;
-  int transfer_attempts = 3;        ///< TcpTransfer reconnect+resume rounds
+  int transfer_attempts = 3;        ///< engine reconnect+resume rounds
   int max_concurrent_transfers = 4; ///< 0 == unlimited
   api::RemoteBusConfig bus;         ///< connect/call deadlines
+  // --- peer data plane -------------------------------------------------------
+  bool serve_peers = true;          ///< run the embedded chunk server
+  std::uint16_t peer_port = 0;      ///< chunk-server port (0 = ephemeral)
+  /// Host other workers dial to reach this node's chunk server; combined
+  /// with the bound port into the "host:port" endpoint ds_sync announces.
+  std::string advertise_host = "127.0.0.1";
+  /// Chunk-server upload cap in bytes/s (0 = unlimited); models this
+  /// node's uplink.
+  double peer_upload_Bps = 0;
 };
 
 struct NodeRuntimeStats {
@@ -59,6 +76,9 @@ struct NodeRuntimeStats {
   std::uint64_t downloads_failed = 0;
   std::uint64_t drops = 0;
   std::uint64_t restored = 0;  ///< replicas re-verified from disk at start()
+  std::uint64_t orphans_swept = 0;  ///< manifest-less cache files removed at start()
+  std::uint64_t peer_chunks_served = 0;  ///< chunk reads served to other workers
+  std::int64_t peer_bytes_served = 0;
 };
 
 class NodeRuntime {
@@ -89,6 +109,8 @@ class NodeRuntime {
 
   // --- introspection ---------------------------------------------------------
   const std::string& name() const { return config_.name; }
+  /// Chunk-server endpoint announced via ds_sync ("" when not serving).
+  const std::string& peer_endpoint() const { return endpoint_; }
   bool has(const util::Auid& uid) const;
   std::vector<util::Auid> cache_list() const;
   /// Path of a cached replica file (whether or not it currently exists).
@@ -105,9 +127,18 @@ class NodeRuntime {
   void heartbeat_loop();
   void do_sync();
   void apply_reply(const services::SyncReply& reply);
-  void start_download(const services::ScheduledData& item);
-  void run_download(const services::ScheduledData& item);
+  void start_download(const services::ScheduledData& item,
+                      std::vector<core::Locator> sources);
+  void run_download(const services::ScheduledData& item,
+                    const std::vector<core::Locator>& sources);
   void restore_cache();
+  /// Removes cache files (and `.part`s) whose uid has no manifest row — a
+  /// crash between the verified rename and persist_replica() must not leak
+  /// disk or leave stale bytes where a re-assigned uid will land.
+  void sweep_orphans();
+  /// The chunk server's read callback: verified replicas only.
+  api::Expected<std::string> read_replica_chunk(const util::Auid& uid, std::int64_t offset,
+                                                std::int64_t max_bytes) const;
   void persist_replica(const services::ScheduledData& item);
   void forget_replica(const util::Auid& uid);
   void reap_finished_transfers();
@@ -120,6 +151,8 @@ class NodeRuntime {
   std::mutex control_mutex_;           ///< one control call at a time
   api::ActiveData active_data_;
   api::TransferManager tm_;
+  std::unique_ptr<rpc::ChunkServer> peer_server_;  ///< the peer data plane
+  std::string endpoint_;  ///< advertised "host:port" ("" = not serving)
 
   /// Guards core_, manifest_, stats_. Recursive because PullCore fires
   /// ActiveData callbacks at its transition points, and user handlers may

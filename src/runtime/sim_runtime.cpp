@@ -54,7 +54,9 @@ void SimNode::do_sync() {
   if (stopped_ || !runtime_.network().alive(host_)) return;
   logger().trace("[%.2f] %s: sync (cache=%zu, inflight=%zu)", runtime_.simulator().now(),
                  name().c_str(), core_.cache().size(), core_.downloading_set().size());
-  bus_.ds_sync(name(), core_.cache_list(), core_.downloading_list(),
+  // Sim nodes announce no chunk-server endpoint: the simulated swarm moves
+  // through the modeled protocols (bittorrent.*), not the live peer plane.
+  bus_.ds_sync(name(), core_.cache_list(), core_.downloading_list(), /*endpoint=*/{},
                [this](api::Expected<services::SyncReply> reply) {
                  if (stopped_ || !reply.ok()) return;  // lost sync: next beat retries
                  apply_reply(*reply);

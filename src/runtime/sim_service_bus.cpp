@@ -168,6 +168,12 @@ void SimServiceBus::dr_get_chunk(const util::Auid& uid, std::int64_t offset,
       transport_error("dr_get_chunk flow failed"), std::move(done));
 }
 
+void SimServiceBus::dr_stats(api::Reply<Expected<services::RepoStats>> done) {
+  rpc<Expected<services::RepoStats>>(
+      0, 32, [](services::ServiceContainer& c) { return api::ops::dr_stats(c); },
+      transport_error("dr_stats flow failed"), std::move(done));
+}
+
 void SimServiceBus::dt_register(const core::Data& data, const std::string& source,
                                 const std::string& destination, const std::string& protocol,
                                 api::Reply<Expected<services::TicketId>> done) {
@@ -244,13 +250,15 @@ void SimServiceBus::ds_unschedule(const util::Auid& uid, api::Reply<Status> done
 
 void SimServiceBus::ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
                             const std::vector<util::Auid>& in_flight,
+                            const std::string& endpoint,
                             api::Reply<Expected<services::SyncReply>> done) {
   const auto cache_bytes =
-      static_cast<std::int64_t>(cache.size() + in_flight.size()) * config_.per_item_bytes;
+      static_cast<std::int64_t>(cache.size() + in_flight.size()) * config_.per_item_bytes +
+      static_cast<std::int64_t>(endpoint.size());
   rpc<Expected<services::SyncReply>>(
       cache_bytes, config_.per_item_bytes,
-      [host, cache, in_flight](services::ServiceContainer& c) {
-        return api::ops::ds_sync(c, host, cache, in_flight);
+      [host, cache, in_flight, endpoint](services::ServiceContainer& c) {
+        return api::ops::ds_sync(c, host, cache, in_flight, endpoint);
       },
       transport_error("ds_sync flow failed"), std::move(done));
 }

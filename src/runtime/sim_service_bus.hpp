@@ -122,6 +122,7 @@ class SimServiceBus final : public api::ServiceBus {
                      api::Reply<api::Expected<core::Locator>> done) override;
   void dr_get_chunk(const util::Auid& uid, std::int64_t offset, std::int64_t max_bytes,
                     api::Reply<api::Expected<std::string>> done) override;
+  void dr_stats(api::Reply<api::Expected<services::RepoStats>> done) override;
   void dt_register(const core::Data& data, const std::string& source,
                    const std::string& destination, const std::string& protocol,
                    api::Reply<api::Expected<services::TicketId>> done) override;
@@ -138,7 +139,7 @@ class SimServiceBus final : public api::ServiceBus {
               api::Reply<api::Status> done) override;
   void ds_unschedule(const util::Auid& uid, api::Reply<api::Status> done) override;
   void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
-               const std::vector<util::Auid>& in_flight,
+               const std::vector<util::Auid>& in_flight, const std::string& endpoint,
                api::Reply<api::Expected<services::SyncReply>> done) override;
   void ds_hosts(api::Reply<api::Expected<std::vector<services::HostInfo>>> done) override;
   void ddc_publish(const std::string& key, const std::string& value,

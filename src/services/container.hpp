@@ -67,7 +67,7 @@ class ServiceContainer {
 
   bool schedule_data(const core::Data& data, const core::DataAttributes& attributes) {
     if (!scheduler_.schedule(data, attributes)) return false;
-    persist_schedule(data, attributes);
+    persist_accepted(data);
     return true;
   }
 
@@ -75,7 +75,7 @@ class ServiceContainer {
     std::vector<bool> accepted = scheduler_.schedule_batch(items);
     if (database_->durable()) {
       for (std::size_t i = 0; i < items.size(); ++i) {
-        if (accepted[i]) persist_schedule(items[i].data, items[i].attributes);
+        if (accepted[i]) persist_accepted(items[i].data);
       }
     }
     return accepted;
@@ -102,6 +102,16 @@ class ServiceContainer {
 
  private:
   static constexpr const char* kThetaTable = "ds_theta";
+
+  /// Mirrors an accepted entry into the WAL as the scheduler NORMALIZED it
+  /// (a duration lifetime is anchored at receipt): replaying the raw request
+  /// on restart would re-anchor the lifetime and silently extend it.
+  void persist_accepted(const core::Data& data) {
+    if (!database_->durable()) return;
+    if (const auto entry = scheduler_.scheduled(data.uid)) {
+      persist_schedule(entry->data, entry->attributes);
+    }
+  }
 
   void persist_schedule(const core::Data& data, const core::DataAttributes& attributes) {
     if (!database_->durable()) return;

@@ -236,6 +236,8 @@ std::optional<std::string> DataRepository::read_bytes(const util::Auid& uid,
   if (offset < 0 || offset >= static_cast<std::int64_t>(bytes->size())) return std::string{};
   const std::int64_t take =
       std::min<std::int64_t>(max_bytes, static_cast<std::int64_t>(bytes->size()) - offset);
+  chunk_reads_.fetch_add(1, std::memory_order_relaxed);
+  chunk_read_bytes_.fetch_add(take, std::memory_order_relaxed);
   return bytes->substr(static_cast<std::size_t>(offset), static_cast<std::size_t>(take));
 }
 
@@ -254,6 +256,15 @@ std::int64_t DataRepository::stored_bytes() const {
 
 std::size_t DataRepository::object_count() const {
   return database_.table(kObjectTable)->size();
+}
+
+RepoStats DataRepository::stats() const {
+  RepoStats out;
+  out.objects = object_count();
+  out.stored_bytes = stored_bytes();
+  out.chunk_reads = chunk_reads_.load(std::memory_order_relaxed);
+  out.chunk_read_bytes = chunk_read_bytes_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace bitdew::services

@@ -14,6 +14,8 @@
 //    commit, and only then publish the content for read_bytes() to serve.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -22,6 +24,20 @@
 #include "db/database.hpp"
 
 namespace bitdew::services {
+
+/// Repository data-plane counters, served over the bus as dr_stats so
+/// benches and CI measure repository EGRESS (how many bytes the central
+/// store actually shipped) without poking daemon internals. The collective
+/// distribution claim (paper Fig. 3a/5) is exactly "egress stays O(1 file
+/// copy) while N workers fill their caches".
+struct RepoStats {
+  std::uint64_t objects = 0;          ///< stored content descriptors
+  std::int64_t stored_bytes = 0;      ///< sum of descriptor sizes
+  std::uint64_t chunk_reads = 0;      ///< read_bytes() calls that served payload
+  std::int64_t chunk_read_bytes = 0;  ///< total content bytes served
+
+  friend bool operator==(const RepoStats&, const RepoStats&) = default;
+};
 
 /// Largest chunk the repository accepts in one stage_chunk/read_bytes call.
 /// Kept well under rpc::kMaxFrameBytes so a chunk frame always fits.
@@ -98,6 +114,8 @@ class DataRepository {
   /// Total bytes of stored content (descriptor sizes).
   std::int64_t stored_bytes() const;
   std::size_t object_count() const;
+  /// Serving counters + store size (the dr_stats endpoint's back-end).
+  RepoStats stats() const;
   const std::string& host_name() const { return host_; }
 
  private:
@@ -105,6 +123,9 @@ class DataRepository {
 
   db::Database& database_;
   std::string host_;
+  // Counted in const read paths from concurrent ServiceHost workers.
+  mutable std::atomic<std::uint64_t> chunk_reads_{0};
+  mutable std::atomic<std::int64_t> chunk_read_bytes_{0};
 };
 
 }  // namespace bitdew::services

@@ -26,16 +26,28 @@ std::size_t DataScheduler::Entry::effective_owners(double now) const {
 }
 
 bool DataScheduler::schedule(const core::Data& data, const core::DataAttributes& attributes) {
-  if (data.uid.is_nil() || attributes.replica < core::kReplicaAll ||
+  // An unknown out-of-band protocol is rejected HERE, typed, instead of a
+  // worker silently substituting another engine at download time.
+  const bool unknown_protocol = !config_.known_protocols.empty() &&
+                                !config_.known_protocols.contains(attributes.protocol);
+  if (data.uid.is_nil() || attributes.replica < core::kReplicaAll || unknown_protocol ||
       attributes.affinity == data.uid ||
       (attributes.lifetime.kind == core::Lifetime::Kind::kRelative &&
        attributes.lifetime.reference == data.uid)) {
-    logger().debug("rejecting schedule of %s (invalid attributes)", data.name.c_str());
+    logger().debug("rejecting schedule of %s (%s)", data.name.c_str(),
+                   unknown_protocol ? "unknown oob protocol" : "invalid attributes");
     return false;
   }
   auto& entry = theta_[data.uid];
   entry.data = data;
   entry.attributes = attributes;
+  if (entry.attributes.lifetime.kind == core::Lifetime::Kind::kDuration) {
+    // The DSL's abstime is a duration; anchor it on THIS clock at receipt.
+    // Client-side anchoring is meaningless on the live path, where the
+    // caller's clock epoch has no relation to the daemon's.
+    entry.attributes.lifetime =
+        core::Lifetime::absolute(clock_.now() + entry.attributes.lifetime.expires_at);
+  }
   return true;
 }
 
@@ -66,6 +78,7 @@ bool DataScheduler::lifetime_valid(const Entry& entry, double now) const {
     case core::Lifetime::Kind::kForever: return true;
     case core::Lifetime::Kind::kAbsolute: return lifetime.expires_at > now;
     case core::Lifetime::Kind::kRelative: return theta_.contains(lifetime.reference);
+    case core::Lifetime::Kind::kDuration: return true;  // anchored at schedule()
   }
   return true;
 }
@@ -90,7 +103,8 @@ void DataScheduler::reap(double now) {
 }
 
 SyncReply DataScheduler::sync(const HostName& host, const std::vector<util::Auid>& cache,
-                              const std::vector<util::Auid>& in_flight) {
+                              const std::vector<util::Auid>& in_flight,
+                              const std::string& endpoint) {
   const double now = clock_.now();
   const double pending_ttl =
       config_.heartbeat_period_s * config_.failure_timeout_factor;
@@ -106,6 +120,7 @@ SyncReply DataScheduler::sync(const HostName& host, const std::vector<util::Auid
   state.alive = true;
   state.cache = std::set<util::Auid>(cache.begin(), cache.end());
   state.reported = state.cache.size();
+  state.endpoint = endpoint;
 
   // Refresh provisional assignments the host is still downloading, and
   // drop expired ones everywhere (lazy pruning).
@@ -187,6 +202,23 @@ SyncReply DataScheduler::sync(const HostName& host, const std::vector<util::Auid
     }
     if (!assign) continue;
 
+    // Collective-distribution gate (paper Fig. 3a/5): a p2p datum fans out
+    // like a swarm — at most swarm_factor * |owners| downloads in flight,
+    // minimum one (the seed pulls from the repository). Each generation of
+    // verified replicas doubles the serving capacity; without the gate
+    // every host of a replica=-1 broadcast would stampede the repository in
+    // the very first heartbeat and no peer would ever have bytes to serve.
+    if (config_.swarm_factor > 0 && entry.data.size > 0 &&
+        entry.attributes.protocol == kPeerLocatorProtocol) {
+      std::size_t in_progress = 0;
+      for (const auto& [assignee, deadline] : entry.pending) {
+        if (deadline > now && !entry.owners.contains(assignee)) ++in_progress;
+      }
+      const std::size_t allowed = std::max<std::size_t>(
+          1, entry.owners.size() * static_cast<std::size_t>(config_.swarm_factor));
+      if (in_progress >= allowed) continue;  // wait for the current generation
+    }
+
     psi.insert(uid);
     // Provisional until the host's cache confirms it (or it expires).
     entry.pending[host] = now + pending_ttl;
@@ -198,7 +230,9 @@ SyncReply DataScheduler::sync(const HostName& host, const std::vector<util::Auid
     if (state.cache.contains(uid)) {
       reply.keep.push_back(uid);
     } else {
-      reply.download.push_back(ScheduledData{theta_[uid].data, theta_[uid].attributes});
+      const Entry& entry = theta_[uid];
+      reply.download.push_back(ScheduledData{entry.data, entry.attributes});
+      reply.sources.push_back(peer_sources(uid, entry, host));
     }
   }
   for (const util::Auid& uid : state.cache) {
@@ -224,6 +258,30 @@ SyncReply DataScheduler::sync(const HostName& host, const std::vector<util::Auid
   stats_.drops += reply.drop.size();
   state.cache = std::move(psi);  // what the host will hold after the reply
   return reply;
+}
+
+std::vector<core::Locator> DataScheduler::peer_sources(const util::Auid& uid,
+                                                       const Entry& entry,
+                                                       const HostName& requester) const {
+  std::vector<core::Locator> out;
+  for (const HostName& owner : entry.owners) {
+    if (config_.max_peer_sources > 0 &&
+        out.size() >= static_cast<std::size_t>(config_.max_peer_sources)) {
+      break;
+    }
+    if (owner == requester) continue;
+    // Dead hosts are filtered: a locator pointing at a crashed worker would
+    // cost the downloader a connect timeout before it rotates away.
+    const auto it = hosts_.find(owner);
+    if (it == hosts_.end() || !it->second.alive || it->second.endpoint.empty()) continue;
+    core::Locator locator;
+    locator.data_uid = uid;
+    locator.protocol = kPeerLocatorProtocol;
+    locator.host = it->second.endpoint;
+    locator.path = owner;  // the serving host's name, for logs and the DT ticket
+    out.push_back(std::move(locator));
+  }
+  return out;
 }
 
 std::vector<HostName> DataScheduler::detect_failures() {
@@ -276,6 +334,7 @@ std::vector<HostInfo> DataScheduler::host_table() const {
     info.last_sync_age_s = now - state.last_sync;
     info.alive = state.alive;
     info.cached = static_cast<std::uint32_t>(state.reported);
+    info.endpoint = state.endpoint;
     out.push_back(std::move(info));
   }
   std::sort(out.begin(), out.end(),

@@ -30,6 +30,7 @@
 
 #include "core/attributes.hpp"
 #include "core/data.hpp"
+#include "core/locator.hpp"
 #include "util/clock.hpp"
 
 namespace bitdew::services {
@@ -37,10 +38,28 @@ namespace bitdew::services {
 /// Reservoir hosts are identified by name (transport-agnostic).
 using HostName = std::string;
 
+/// Protocol name of the locators minted for worker chunk servers (the peer
+/// data plane). Matches transfer::kPeerProtocol; duplicated here because
+/// the service tier does not depend on the transfer engines.
+inline constexpr const char* kPeerLocatorProtocol = "p2p";
+
 struct SchedulerConfig {
   int max_data_schedule = 8;        ///< Algorithm 1's MaxDataSchedule
   double heartbeat_period_s = 1.0;  ///< expected sync period
   double failure_timeout_factor = 3.0;  ///< timeout = factor * heartbeat
+  /// Out-of-band protocols schedule() accepts in `attributes.protocol`; an
+  /// unknown name is a typed rejection at schedule time, not a silent
+  /// fallback at download time. Empty = accept anything (simulation
+  /// experiments plug arbitrary protocols into the registry).
+  std::set<std::string> known_protocols = {"ftp", "http", "bittorrent",
+                                           "localfile", "tcp", "p2p"};
+  /// Peer locators attached to one download order (wire-size bound).
+  int max_peer_sources = 8;
+  /// Collective-distribution gate for p2p data: at most
+  /// swarm_factor * |owners| assignments may be in flight at once (minimum
+  /// one — the seed pulls from the repository). The swarm doubles each
+  /// generation instead of stampeding the repository; <= 0 disables.
+  int swarm_factor = 2;
 };
 
 struct ScheduledData {
@@ -53,6 +72,11 @@ struct SyncReply {
   std::vector<util::Auid> keep;            ///< Δk ∩ Ψk
   std::vector<ScheduledData> download;     ///< Ψk \ Δk, with attributes
   std::vector<util::Auid> drop;            ///< Δk \ Ψk — safe to delete
+  /// Peer locators for each download item (index-aligned with `download`):
+  /// live hosts that confirmed holding the datum and announced a chunk
+  /// server endpoint. Dead hosts and the requesting host are filtered; an
+  /// empty list means "repository only" (e.g. the first copy of a swarm).
+  std::vector<std::vector<core::Locator>> sources;
 };
 
 /// One row of the scheduler's host table (the failure detector's view of a
@@ -63,6 +87,9 @@ struct HostInfo {
   double last_sync_age_s = 0;  ///< seconds since the last ds_sync
   bool alive = true;
   std::uint32_t cached = 0;    ///< size of the last reported Δk
+  /// Chunk-server endpoint ("host:port") the node announced via ds_sync;
+  /// empty when the node does not serve peers.
+  std::string endpoint;
 
   friend bool operator==(const HostInfo&, const HostInfo&) = default;
 };
@@ -82,8 +109,11 @@ class DataScheduler {
   // --- data set Θ -----------------------------------------------------------
   /// Adds or updates a datum with its attributes (the ActiveData schedule
   /// call lands here). Returns false (rejection) when the request is
-  /// invalid: nil uid, replica below the broadcast marker, or a
-  /// self-referential affinity / relative lifetime — Θ is untouched then.
+  /// invalid: nil uid, replica below the broadcast marker, an `oob`
+  /// protocol outside config.known_protocols, or a self-referential
+  /// affinity / relative lifetime — Θ is untouched then. A duration
+  /// lifetime (the DSL's abstime) is anchored HERE, on this scheduler's
+  /// clock: the stored entry becomes kAbsolute at now + duration.
   bool schedule(const core::Data& data, const core::DataAttributes& attributes);
 
   /// Bulk schedule: per-item accept/reject outcomes aligned with the input.
@@ -106,9 +136,13 @@ class DataScheduler {
   /// their provisional assignment alive. An assignment that is neither
   /// confirmed (appearing in Δk) nor refreshed (in_flight) expires after
   /// the failure timeout and the datum is re-scheduled — a host that failed
-  /// a download cannot permanently absorb a replica.
+  /// a download cannot permanently absorb a replica. `endpoint` is the
+  /// host's chunk-server address ("host:port", empty = not serving): it is
+  /// recorded in the host table and minted into the peer locators other
+  /// hosts receive with their download orders.
   SyncReply sync(const HostName& host, const std::vector<util::Auid>& cache,
-                 const std::vector<util::Auid>& in_flight = {});
+                 const std::vector<util::Auid>& in_flight = {},
+                 const std::string& endpoint = {});
 
   /// Scans for hosts whose last sync exceeded the failure timeout and
   /// updates owner sets. Returns the hosts newly declared dead.
@@ -131,6 +165,7 @@ class DataScheduler {
     bool alive = true;
     std::set<util::Auid> cache;   // post-sync Ψk (what the host will hold)
     std::size_t reported = 0;     // size of the last reported Δk (host_table)
+    std::string endpoint;         // announced chunk-server address ("" = none)
   };
 
   struct Entry {
@@ -149,6 +184,11 @@ class DataScheduler {
   void reap(double now);
 
   bool lifetime_valid(const Entry& entry, double now) const;
+
+  /// Live peer locators for a datum, excluding `requester` (at most
+  /// config_.max_peer_sources, deterministic order).
+  std::vector<core::Locator> peer_sources(const util::Auid& uid, const Entry& entry,
+                                          const HostName& requester) const;
 
   const util::Clock& clock_;
   SchedulerConfig config_;

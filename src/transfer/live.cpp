@@ -1,0 +1,78 @@
+// The process-wide live protocol registry: "tcp" (repository-only chunk
+// pull) and "p2p" (multi-source peer stripe with repository fallback) are
+// registered here, adapting the two engines to the LiveProtocol dispatch
+// surface runtime::NodeRuntime routes downloads through. Embedders may
+// add_live further engines under new names before starting a worker — the
+// scheduler's known_protocols set is the matching admission gate.
+#include <memory>
+
+#include "transfer/peer.hpp"
+#include "transfer/protocol.hpp"
+#include "transfer/tcp.hpp"
+
+namespace bitdew::transfer {
+namespace {
+
+class TcpLiveProtocol final : public LiveProtocol {
+ public:
+  explicit TcpLiveProtocol(std::string name = kTcpProtocol) : name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+
+  api::Status get_file(api::ServiceBus& bus, const core::Data& data, const std::string& path,
+                       const std::vector<core::Locator>& /*sources*/,
+                       const LiveTransferConfig& config) override {
+    TcpConfig tcp;
+    tcp.chunk_bytes = config.chunk_bytes;
+    tcp.max_attempts = config.max_attempts;
+    tcp.local_name = config.local_name;
+    return TcpTransfer(bus, tcp).get_file(data, path);
+  }
+
+ private:
+  std::string name_;
+};
+
+class PeerLiveProtocol final : public LiveProtocol {
+ public:
+  explicit PeerLiveProtocol(std::string name = kPeerProtocol) : name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+
+  api::Status get_file(api::ServiceBus& bus, const core::Data& data, const std::string& path,
+                       const std::vector<core::Locator>& sources,
+                       const LiveTransferConfig& config) override {
+    PeerConfig peer;
+    peer.chunk_bytes = config.chunk_bytes;
+    peer.max_attempts = config.max_attempts;
+    peer.local_name = config.local_name;
+    return PeerTransfer(bus, peer).get_file(data, path, sources);
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace
+
+ProtocolRegistry& live_registry() {
+  static ProtocolRegistry* registry = [] {
+    auto* instance = new ProtocolRegistry();
+    instance->add_live(std::make_unique<TcpLiveProtocol>());
+    instance->add_live(std::make_unique<PeerLiveProtocol>());
+    // Every name the scheduler admits must be DELIVERABLE live, or a datum
+    // scheduled with a simulator protocol (the default oob is "ftp") would
+    // fail its download forever. The sim-only names map onto their live
+    // morale equivalents: ftp/http/localfile are central server pulls →
+    // the repository chunk engine; bittorrent is swarm exchange → the peer
+    // engine (it degrades to the repository when no sources ride along).
+    instance->add_live(std::make_unique<TcpLiveProtocol>("ftp"));
+    instance->add_live(std::make_unique<TcpLiveProtocol>("http"));
+    instance->add_live(std::make_unique<TcpLiveProtocol>("localfile"));
+    instance->add_live(std::make_unique<PeerLiveProtocol>("bittorrent"));
+    return instance;
+  }();
+  return *registry;
+}
+
+}  // namespace bitdew::transfer

@@ -1,0 +1,242 @@
+#include "transfer/peer.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "rpc/transport.hpp"
+#include "services/data_repository.hpp"
+#include "util/log.hpp"
+#include "util/md5.hpp"
+
+namespace bitdew::transfer {
+namespace {
+
+using api::Errc;
+using api::Error;
+using api::Expected;
+using api::ok_status;
+using api::Status;
+
+const util::Logger& logger() {
+  static const util::Logger instance("p2p");
+  return instance;
+}
+
+bool retryable(const Status& status) {
+  // Repository-side failures that another round can survive: kTransport is
+  // a dropped daemon connection (reconnect + resume), kRejected an offset
+  // desync. Peer failures never surface here — they only rotate the stripe.
+  return !status.ok() &&
+         (status.error().code == Errc::kTransport || status.error().code == Errc::kRejected);
+}
+
+/// Splits a locator's "host:port" endpoint. Nullopt on garbage — a
+/// malformed locator is skipped, not fatal.
+std::optional<std::pair<std::string, std::uint16_t>> parse_endpoint(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return std::nullopt;
+  const int port = std::atoi(text.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return std::nullopt;
+  return std::make_pair(text.substr(0, colon), static_cast<std::uint16_t>(port));
+}
+
+}  // namespace
+
+/// One live peer in the stripe: a lazily-connected channel speaking
+/// kDrGetChunk frames at a worker's chunk server.
+struct PeerTransfer::Source {
+  std::string label;  ///< serving host's name (locator path), for logs
+  std::unique_ptr<rpc::ClientChannel> channel;
+  bool dead = false;
+};
+
+PeerTransfer::PeerTransfer(api::ServiceBus& bus, PeerConfig config)
+    : bus_(bus), config_(config) {
+  config_.chunk_bytes = std::clamp<std::int64_t>(config_.chunk_bytes, 1, services::kMaxChunkBytes);
+  config_.max_attempts = std::max(config_.max_attempts, 1);
+}
+
+Status PeerTransfer::get_file(const core::Data& data, const std::string& path,
+                              const std::vector<core::Locator>& sources) {
+  if (data.checksum.empty() || data.size < 0) {
+    return Error{Errc::kInvalidArgument, "p2p",
+                 "datum " + data.uid.str() + " has no content descriptor to verify against"};
+  }
+
+  std::vector<Source> peers;
+  for (const core::Locator& locator : sources) {
+    if (locator.protocol != kPeerProtocol || locator.data_uid != data.uid) continue;
+    const auto endpoint = parse_endpoint(locator.host);
+    if (!endpoint.has_value()) continue;
+    Source source;
+    source.label = locator.path.empty() ? locator.host : locator.path;
+    source.channel = std::make_unique<rpc::ClientChannel>(
+        endpoint->first, endpoint->second, config_.peer_connect_timeout_s,
+        config_.peer_call_deadline_s);
+    peers.push_back(std::move(source));
+  }
+
+  services::TicketId ticket = 0;
+  if (config_.track_ticket) {
+    auto registered = std::make_shared<std::optional<Expected<services::TicketId>>>();
+    bus_.dt_register(data, peers.empty() ? "dr" : "peers", config_.local_name, kPeerProtocol,
+                     [registered](Expected<services::TicketId> reply) {
+                       *registered = std::move(reply);
+                     });
+    if (registered->has_value() && (*registered)->ok()) ticket = ***registered;
+  }
+
+  const std::string part = path + ".part";
+  Status outcome = ok_status();
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      // A dropped peer may have been a restarting worker: give every source
+      // another chance this round (its channel reconnects on the next call).
+      for (Source& peer : peers) peer.dead = false;
+    }
+    outcome = get_round(data, part, peers, ticket);
+    if (!retryable(outcome)) break;
+  }
+  if (outcome.ok()) {
+    std::error_code ec;
+    std::filesystem::rename(part, path, ec);
+    if (ec) outcome = Error{Errc::kUnavailable, "p2p", "cannot move " + part + ": " + ec.message()};
+  }
+
+  if (ticket != 0) {
+    if (outcome.ok()) {
+      bus_.dt_complete(ticket, data.checksum, data.checksum, [](Status) {});
+    } else if (outcome.error().code == Errc::kChecksumMismatch) {
+      bus_.dt_complete(ticket, "(corrupt)", data.checksum, [](Status) {});
+    } else {
+      bus_.dt_failure(ticket, 0, /*can_resume=*/true, [](Status) {});
+    }
+  }
+  return outcome;
+}
+
+Status PeerTransfer::get_round(const core::Data& data, const std::string& part,
+                               std::vector<Source>& peers, services::TicketId ticket) {
+  // Resume from whatever prefix of the .part file survived, re-hashing it
+  // so the final MD5 covers every byte on disk (same policy as TcpTransfer).
+  std::int64_t offset = 0;
+  util::Md5 hasher;
+  std::error_code ec;
+  if (std::filesystem::exists(part, ec)) {
+    const std::int64_t held = static_cast<std::int64_t>(std::filesystem::file_size(part, ec));
+    if (!ec && held > 0 && held <= data.size) {
+      std::ifstream existing(part, std::ios::binary);
+      char buffer[64 * 1024];
+      while (existing) {
+        existing.read(buffer, sizeof(buffer));
+        if (existing.gcount() > 0) hasher.update(buffer, static_cast<std::size_t>(existing.gcount()));
+      }
+      offset = held;
+      ++stats_.resumes;
+    } else {
+      std::filesystem::remove(part, ec);  // oversized/unreadable partial: restart
+    }
+  }
+
+  std::ofstream out(part, offset > 0 ? std::ios::binary | std::ios::app : std::ios::binary);
+  if (!out) return Error{Errc::kInvalidArgument, "p2p", "cannot write " + part};
+
+  // Start the stripe at a name-dependent slot so concurrent downloaders
+  // spread across the swarm instead of all hammering the first peer.
+  std::size_t stripe = peers.empty()
+                           ? 0
+                           : std::hash<std::string>{}(config_.local_name) % peers.size();
+  std::int64_t chunk_index = offset / config_.chunk_bytes;
+
+  while (offset < data.size) {
+    const std::int64_t want = std::min(config_.chunk_bytes, data.size - offset);
+    std::optional<std::string> chunk;
+
+    // --- the stripe: consecutive chunks rotate across live peers ----------
+    for (std::size_t tried = 0; tried < peers.size() && !chunk.has_value(); ++tried) {
+      Source& peer = peers[(stripe + chunk_index + tried) % peers.size()];
+      if (peer.dead) continue;
+      Expected<std::string> frame = peer.channel->call(
+          rpc::wire::Endpoint::kDrGetChunk, [&](rpc::Writer& w) {
+            rpc::wire::write_auid(w, data.uid);
+            w.i64(offset);
+            w.i64(want);
+          });
+      if (frame.ok()) {
+        try {
+          rpc::Reader r(*frame);
+          Expected<std::string> bytes = rpc::wire::read_expected<std::string>(
+              r, [](rpc::Reader& rd) { return rd.str(); });
+          if (!r.exhausted()) throw rpc::CodecError("trailing bytes in peer reply");
+          // A verified replica can always serve inside [0, size): an empty
+          // or failed reply means the peer no longer holds the datum.
+          if (bytes.ok() && !bytes->empty()) {
+            chunk = std::move(*bytes);
+            break;
+          }
+        } catch (const rpc::CodecError&) {
+          peer.channel->close();
+        }
+      }
+      peer.dead = true;  // refused, deadline, typed error or garbage: rotate away
+      ++stats_.peers_dropped;
+      logger().debug("peer %s dropped from the stripe for %s", peer.label.c_str(),
+                     data.name.c_str());
+    }
+
+    bool from_peer = chunk.has_value();
+    if (!from_peer) {
+      // --- repository fallback: always a correct source --------------------
+      auto slot = std::make_shared<std::optional<Expected<std::string>>>();
+      bus_.dr_get_chunk(data.uid, offset, want,
+                        [slot](Expected<std::string> reply) { *slot = std::move(reply); });
+      if (!slot->has_value()) {
+        return Error{Errc::kUnavailable, "p2p", "stalled waiting for a repository reply"};
+      }
+      if (!(*slot)->ok()) {
+        out.flush();
+        return Status((*slot)->error());
+      }
+      if ((**slot)->empty()) {
+        return Error{Errc::kUnavailable, "p2p",
+                     "repository holds fewer bytes than the descriptor declares"};
+      }
+      chunk = std::move(***slot);
+    }
+
+    out.write(chunk->data(), static_cast<std::streamsize>(chunk->size()));
+    if (!out.good()) {
+      return Error{Errc::kUnavailable, "p2p", "short write to " + part};
+    }
+    hasher.update(*chunk);
+    const auto got = static_cast<std::int64_t>(chunk->size());
+    offset += got;
+    ++chunk_index;
+    if (from_peer) {
+      stats_.bytes_from_peers += got;
+      ++stats_.chunks_from_peers;
+    } else {
+      stats_.bytes_from_repository += got;
+      ++stats_.chunks_from_repository;
+    }
+    if (ticket != 0) bus_.dt_monitor(ticket, offset, [](Status) {});
+  }
+  out.close();
+  if (!out.good()) return Error{Errc::kUnavailable, "p2p", "flush failed for " + part};
+
+  if (hasher.finish().hex() != data.checksum) {
+    std::filesystem::remove(part, ec);  // poisoned partials must not resume
+    return Error{Errc::kChecksumMismatch, "p2p",
+                 "downloaded content MD5 differs from the registered checksum of " +
+                     data.uid.str()};
+  }
+  return ok_status();
+}
+
+}  // namespace bitdew::transfer

@@ -28,7 +28,9 @@
 #include <memory>
 #include <string>
 
+#include "api/service_bus.hpp"
 #include "core/data.hpp"
+#include "core/locator.hpp"
 #include "net/network.hpp"
 
 namespace bitdew::transfer {
@@ -70,17 +72,59 @@ class Protocol {
   virtual bool supports_resume() const { return false; }
 };
 
+// --- live engines (real bytes) -----------------------------------------------
+// The deployed worker tier resolves the `oob` attribute through the same
+// registry, but against LiveProtocol entries: blocking engines that move
+// actual file content on a transfer thread. "tcp" (transfer/tcp.hpp) pulls
+// every byte from the central Data Repository; "p2p" (transfer/peer.hpp)
+// stripes chunk ranges across the peer locators the scheduler attached to
+// the download order, falling back to the repository.
+
+/// Per-download knobs a live engine receives from its runtime.
+struct LiveTransferConfig {
+  std::int64_t chunk_bytes = 256 * 1024;
+  int max_attempts = 3;            ///< reconnect + resume rounds
+  std::string local_name = "local";  ///< worker name for DT tickets
+};
+
+class LiveProtocol {
+ public:
+  virtual ~LiveProtocol() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Downloads `data` into `path`, MD5-verified end to end. `sources` are
+  /// the peer locators that rode in with the download order (engines that
+  /// do not understand peers ignore them); `bus` reaches the central
+  /// repository and the DT service. Blocking; runs on a transfer thread
+  /// with a dedicated bus connection.
+  virtual api::Status get_file(api::ServiceBus& bus, const core::Data& data,
+                               const std::string& path,
+                               const std::vector<core::Locator>& sources,
+                               const LiveTransferConfig& config) = 0;
+};
+
 /// Registry keyed by protocol name; the Data Transfer service resolves the
-/// `oob` attribute through one of these.
+/// `oob` attribute through one of these. Simulated protocols and live
+/// engines live side by side under the same names.
 class ProtocolRegistry {
  public:
   void add(std::unique_ptr<Protocol> protocol) {
     protocols_[protocol->name()] = std::move(protocol);
   }
 
+  void add_live(std::unique_ptr<LiveProtocol> protocol) {
+    live_[protocol->name()] = std::move(protocol);
+  }
+
   Protocol* find(const std::string& name) const {
     const auto it = protocols_.find(name);
     return it != protocols_.end() ? it->second.get() : nullptr;
+  }
+
+  LiveProtocol* find_live(const std::string& name) const {
+    const auto it = live_.find(name);
+    return it != live_.end() ? it->second.get() : nullptr;
   }
 
   std::vector<std::string> names() const {
@@ -92,6 +136,12 @@ class ProtocolRegistry {
 
  private:
   std::map<std::string, std::unique_ptr<Protocol>> protocols_;
+  std::map<std::string, std::unique_ptr<LiveProtocol>> live_;
 };
+
+/// The process-wide registry live workers dispatch through: "tcp" and "p2p"
+/// are pre-registered (transfer/live.cpp); embedders may add_live their
+/// own engines under new names before starting a NodeRuntime.
+ProtocolRegistry& live_registry();
 
 }  // namespace bitdew::transfer

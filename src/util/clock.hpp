@@ -40,4 +40,20 @@ class SystemClock final : public Clock {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Wall clock with a RESTART-STABLE epoch (seconds since the Unix epoch).
+/// A durable daemon must use this, not SystemClock: anchored absolute
+/// lifetimes are persisted to the WAL as clock readings, and a
+/// seconds-since-construction epoch resets on restart — every replayed
+/// deadline would silently shift by the previous uptime. NTP steps can
+/// nudge this clock; lifetime precision is seconds-to-minutes, so that is
+/// an accepted trade for restart stability.
+class WallClock final : public Clock {
+ public:
+  double now() const override {
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
 }  // namespace bitdew::util

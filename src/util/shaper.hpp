@@ -1,0 +1,48 @@
+// RateShaper: a virtual-clock egress shaper. Serving nodes (the bitdewd
+// data plane, worker chunk servers) can bound their outbound bytes/s the
+// way a real deployment's uplink does — on loopback the "network" is
+// infinitely fast, which flatters a central store: without a per-node cap
+// the collective-distribution experiment (paper Fig. 3a/5, DSL-Lab's
+// per-provider uplinks) cannot reproduce its bandwidth-bound regime.
+//
+// The shaper serializes transmissions on one virtual link: each consume(B)
+// reserves the link for B/rate seconds after all previously reserved bytes,
+// and blocks until its own reservation has drained. Threads share the link
+// fairly in arrival order. A rate of 0 disables shaping entirely.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace bitdew::util {
+
+class RateShaper {
+ public:
+  explicit RateShaper(double bytes_per_s = 0) : rate_(bytes_per_s) {}
+
+  double rate() const { return rate_; }
+
+  /// Blocks until `bytes` may leave the link. No-op when unshaped.
+  void consume(std::int64_t bytes) {
+    if (rate_ <= 0 || bytes <= 0) return;
+    std::chrono::steady_clock::time_point drained;
+    {
+      const std::lock_guard lock(mutex_);
+      const auto now = std::chrono::steady_clock::now();
+      const auto start = next_free_ > now ? next_free_ : now;
+      next_free_ = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(bytes / rate_));
+      drained = next_free_;
+    }
+    std::this_thread::sleep_until(drained);
+  }
+
+ private:
+  std::mutex mutex_;
+  double rate_;  ///< bytes per second; <= 0 disables
+  std::chrono::steady_clock::time_point next_free_{};
+};
+
+}  // namespace bitdew::util

@@ -197,7 +197,7 @@ void check_ds_hosts() {
   EXPECT_TRUE((*empty)->empty());  // no worker has ever synced
 
   std::optional<api::Expected<services::SyncReply>> synced;
-  rig.bus.ds_sync("w1", {}, {},
+  rig.bus.ds_sync("w1", {}, {}, "10.0.0.7:9000",
                   [&](api::Expected<services::SyncReply> reply) { synced = std::move(reply); });
   rig.settle();
   ASSERT_TRUE(synced.has_value());
@@ -213,6 +213,8 @@ void check_ds_hosts() {
   EXPECT_EQ((**table)[0].name, "w1");
   EXPECT_TRUE((**table)[0].alive);
   EXPECT_EQ((**table)[0].cached, 0u);
+  // The announced chunk-server endpoint survives the round trip on every bus.
+  EXPECT_EQ((**table)[0].endpoint, "10.0.0.7:9000");
 }
 
 TEST(HostTable, DirectBusServesIt) { check_ds_hosts<DirectRig>(); }

@@ -303,6 +303,12 @@ TEST(Wire, ScalarShapesRoundTrip) {
   sync.keep = {util::Auid{1, 2}, util::Auid{3, 4}};
   sync.download = {scheduled};
   sync.drop = {util::Auid{5, 6}};
+  core::Locator peer;
+  peer.data_uid = scheduled.data.uid;
+  peer.protocol = "p2p";
+  peer.host = "10.0.0.9:7100";
+  peer.path = "w3";
+  sync.sources = {{peer}};
 
   rpc::Writer w;
   rpc::wire::write_content(w, content);
@@ -322,6 +328,9 @@ TEST(Wire, ScalarShapesRoundTrip) {
   ASSERT_EQ(decoded_sync.download.size(), 1u);
   EXPECT_EQ(decoded_sync.download[0].data, scheduled.data);
   EXPECT_EQ(decoded_sync.drop, sync.drop);
+  ASSERT_EQ(decoded_sync.sources.size(), 1u);
+  ASSERT_EQ(decoded_sync.sources[0].size(), 1u);
+  EXPECT_EQ(decoded_sync.sources[0][0], peer);
   const std::vector<std::string> strings = rpc::wire::read_string_list(r);
   EXPECT_EQ(strings, (std::vector<std::string>{"alpha", "", "beta"}));
   EXPECT_TRUE(r.exhausted());
@@ -329,14 +338,67 @@ TEST(Wire, ScalarShapesRoundTrip) {
 
 TEST(Wire, HostListRoundTrip) {
   const std::vector<services::HostInfo> hosts = {
-      {"w0", 0.25, true, 3},
-      {"w1", 7.5, false, 0},
-      {"", 0.0, true, 42},  // degenerate name survives the wire
+      {"w0", 0.25, true, 3, "10.0.0.2:7100"},
+      {"w1", 7.5, false, 0, ""},  // dead, never served peers
+      {"", 0.0, true, 42, "e"},   // degenerate fields survive the wire
   };
   rpc::Writer w;
   rpc::wire::write_host_list(w, hosts);
   rpc::Reader r(w.buffer());
   EXPECT_EQ(rpc::wire::read_host_list(r), hosts);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, MisalignedSyncSourcesAreATypedDecodeError) {
+  // sources is per-download-item; a count that disagrees with the download
+  // partition must be rejected as malformed, not silently accepted.
+  services::SyncReply sync;
+  sync.download = {services::ScheduledData{wire_data(1), {}}};
+  rpc::Writer w;
+  rpc::wire::write_auid_list(w, sync.keep);
+  rpc::Writer downloads;
+  rpc::wire::write_scheduled_data(downloads, sync.download[0]);
+  w.u32(1);
+  w.append_raw(downloads.buffer());
+  rpc::wire::write_auid_list(w, sync.drop);
+  rpc::wire::write_source_lists(w, {});  // 0 lists for 1 download
+  rpc::Reader r(w.buffer());
+  EXPECT_THROW(rpc::wire::read_sync_reply(r), rpc::CodecError);
+}
+
+TEST(Wire, DurationLifetimeRoundTrip) {
+  // The DSL's abstime travels as an UNANCHORED duration (kind=kDuration);
+  // the scheduler anchors it at receipt. The kind must survive the wire.
+  core::DataAttributes attributes;
+  attributes.name = "update";
+  attributes.replica = core::kReplicaAll;
+  attributes.lifetime = core::Lifetime::duration(43200.0);
+  rpc::Writer w;
+  rpc::wire::write_attributes(w, attributes);
+  rpc::Reader r(w.buffer());
+  EXPECT_EQ(rpc::wire::read_attributes(r), attributes);
+  EXPECT_TRUE(r.exhausted());
+
+  // One past kDuration is still a typed decode error.
+  rpc::Writer bad;
+  bad.str("x");
+  bad.i64(1);
+  bad.boolean(false);
+  bad.u8(static_cast<std::uint8_t>(core::Lifetime::Kind::kDuration) + 1);
+  rpc::Reader br(bad.buffer());
+  EXPECT_THROW(rpc::wire::read_attributes(br), rpc::CodecError);
+}
+
+TEST(Wire, RepoStatsRoundTrip) {
+  services::RepoStats stats;
+  stats.objects = 12;
+  stats.stored_bytes = 1234567;
+  stats.chunk_reads = 987;
+  stats.chunk_read_bytes = 7654321;
+  rpc::Writer w;
+  rpc::wire::write_repo_stats(w, stats);
+  rpc::Reader r(w.buffer());
+  EXPECT_EQ(rpc::wire::read_repo_stats(r), stats);
   EXPECT_TRUE(r.exhausted());
 }
 

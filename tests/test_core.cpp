@@ -31,14 +31,17 @@ core::DataResolver resolver_for(const std::string& name, util::Auid uid) {
 }
 
 TEST(AttributeParser, ParsesThePaperUpdaterExample) {
-  // Listing 1: attr update = {replicat=-1, oob=bittorrent, abstime=43200}
+  // Listing 1: attr update = {replicat=-1, oob=bittorrent, abstime=43200}.
+  // abstime stays a DURATION at parse time: the Data Scheduler anchors it
+  // against its own clock when the schedule request arrives, so a lifetime
+  // written on one machine means the same thing on the daemon's clock.
   const DataAttributes attributes = parse_attributes(
-      "attr update = {replicat=-1, oob=bittorrent, abstime=43200}", no_resolver(), 100.0);
+      "attr update = {replicat=-1, oob=bittorrent, abstime=43200}", no_resolver());
   EXPECT_EQ(attributes.name, "update");
   EXPECT_EQ(attributes.replica, kReplicaAll);
   EXPECT_EQ(attributes.protocol, "bittorrent");
-  EXPECT_EQ(attributes.lifetime.kind, Lifetime::Kind::kAbsolute);
-  EXPECT_DOUBLE_EQ(attributes.lifetime.expires_at, 100.0 + 43200.0);
+  EXPECT_EQ(attributes.lifetime.kind, Lifetime::Kind::kDuration);
+  EXPECT_DOUBLE_EQ(attributes.lifetime.expires_at, 43200.0);
   EXPECT_FALSE(attributes.fault_tolerant);
 }
 

@@ -98,7 +98,7 @@ struct WorkerRig {
 
   /// Registers + uploads a deterministic payload and schedules it.
   core::Data publish(const std::string& name, std::size_t size, int replica,
-                     bool fault_tolerant) {
+                     bool fault_tolerant, const std::string& protocol = "tcp") {
     std::string bytes(size, '\0');
     for (std::size_t i = 0; i < size; ++i) {
       bytes[i] = static_cast<char>((i * 197 + 31) & 0xff);
@@ -110,10 +110,19 @@ struct WorkerRig {
     core::DataAttributes attributes;
     attributes.replica = replica;
     attributes.fault_tolerant = fault_tolerant;
-    attributes.protocol = "tcp";
+    attributes.protocol = protocol;
     const Status scheduled = session->schedule(*data, attributes);
     EXPECT_TRUE(scheduled.ok());
     return *data;
+  }
+
+  /// Repository egress counters over the RPC surface.
+  services::RepoStats repo_stats() {
+    std::optional<api::Expected<services::RepoStats>> stats;
+    client_bus->dr_stats(
+        [&](api::Expected<services::RepoStats> reply) { stats = std::move(reply); });
+    EXPECT_TRUE(stats.has_value() && stats->ok());
+    return stats.has_value() && stats->ok() ? **stats : services::RepoStats{};
   }
 
   /// The scheduler's view of one worker, over the RPC surface.
@@ -285,6 +294,140 @@ TEST(NodeRuntime, CorruptCachedReplicaIsForgottenAndRedownloaded) {
   EXPECT_EQ(core::file_content(restarted->replica_path(data.uid)).checksum, data.checksum);
   EXPECT_EQ(restarted->stats().downloads_completed, 1u);
   restarted->stop();
+}
+
+// --- the peer data plane ------------------------------------------------------
+
+TEST(NodeRuntime, PeerServesSecondWorkerWithZeroExtraRepositoryEgress) {
+  WorkerRig rig;
+  auto w0 = rig.make_worker("w0");
+  ASSERT_TRUE(w0->start().ok());
+  EXPECT_FALSE(w0->peer_endpoint().empty());
+
+  // oob=p2p, replica=2: the swarm gate seeds ONE copy from the repository.
+  const core::Data data = rig.publish("shared", 192 * 1024, 2, true, "p2p");
+  ASSERT_TRUE(w0->wait_for(data.uid, 15.0));
+  const services::RepoStats after_seed = rig.repo_stats();
+  EXPECT_EQ(after_seed.chunk_read_bytes, data.size);  // exactly one file copy
+
+  // The second worker's download order carries w0's locator; every byte of
+  // its replica comes from w0's chunk server, none from the repository.
+  auto w1 = rig.make_worker("w1");
+  ASSERT_TRUE(w1->start().ok());
+  ASSERT_TRUE(w1->wait_for(data.uid, 20.0));
+  EXPECT_EQ(core::file_content(w1->replica_path(data.uid)).checksum, data.checksum);
+  EXPECT_EQ(rig.repo_stats().chunk_read_bytes, after_seed.chunk_read_bytes);
+  EXPECT_GT(w0->stats().peer_chunks_served, 0u);
+  EXPECT_EQ(w0->stats().peer_bytes_served, data.size);
+  w0->stop();
+  w1->stop();
+}
+
+TEST(NodeRuntime, DeadPeerLocatorFallsBackToRepository) {
+  WorkerRig rig;
+  auto w0 = rig.make_worker("w0");
+  ASSERT_TRUE(w0->start().ok());
+  const core::Data data = rig.publish("risky", 128 * 1024, 2, true, "p2p");
+  ASSERT_TRUE(w0->wait_for(data.uid, 15.0));
+
+  // w0 dies AFTER confirming its replica but BEFORE the failure detector
+  // notices: the next order still carries its (now dead) locator. The
+  // second worker must rotate to the repository and verify cleanly.
+  w0->stop();
+  auto w1 = rig.make_worker("w1");
+  ASSERT_TRUE(w1->start().ok());
+  ASSERT_TRUE(w1->wait_for(data.uid, 20.0));
+  EXPECT_EQ(core::file_content(w1->replica_path(data.uid)).checksum, data.checksum);
+  w1->stop();
+}
+
+// --- satellite bugfix regressions ---------------------------------------------
+
+TEST(NodeRuntime, OrphanedCacheFilesAreSweptAtRestart) {
+  WorkerRig rig;
+  const core::Data data = [&] {
+    auto worker = rig.make_worker("w0");
+    EXPECT_TRUE(worker->start().ok());
+    const core::Data published = rig.publish("kept", 64 * 1024, 1, true);
+    EXPECT_TRUE(worker->wait_for(published.uid, 15.0));
+    worker->stop();
+    return published;
+  }();
+
+  // Hand-plant the crash window's leftovers: a verified-looking replica
+  // whose manifest row never landed, and a stale .part. Before the sweep
+  // these leaked forever AND sat exactly where a re-assigned uid would land.
+  const util::Auid orphan_uid = util::next_auid();
+  const std::string orphan = (rig.dir / "w0" / orphan_uid.str()).string();
+  std::ofstream(orphan, std::ios::binary) << std::string(5000, 'x');
+  std::ofstream(orphan + ".part", std::ios::binary) << std::string(100, 'y');
+
+  auto restarted = rig.make_worker("w0");
+  ASSERT_TRUE(restarted->start().ok());
+  EXPECT_FALSE(std::filesystem::exists(orphan));
+  EXPECT_FALSE(std::filesystem::exists(orphan + ".part"));
+  EXPECT_EQ(restarted->stats().orphans_swept, 2u);
+  // The legitimate replica (manifest row present) survived the sweep.
+  EXPECT_TRUE(std::filesystem::exists(restarted->replica_path(data.uid)));
+  EXPECT_EQ(restarted->stats().restored, 1u);
+  restarted->stop();
+}
+
+TEST(NodeRuntime, LiveAbstimeLifetimeAnchorsAtDaemonReceipt) {
+  WorkerRig rig;
+  auto worker = rig.make_worker("w0");
+  ASSERT_TRUE(worker->start().ok());
+
+  // Let the daemon's clock move past the duration first: with the old
+  // client-anchored semantics (expires_at = 0 + 1.5) the datum would be
+  // born expired and NEVER scheduled.
+  std::this_thread::sleep_for(std::chrono::seconds(2));
+  const core::Data data = rig.publish("short-lived", 32 * 1024, 1, false);
+  const core::DataAttributes attributes =
+      rig.bitdew->create_attribute("attr short-lived = {replica=1, oob=tcp, abstime=1.5}");
+  ASSERT_EQ(attributes.lifetime.kind, core::Lifetime::Kind::kDuration);
+  ASSERT_TRUE(rig.session->schedule(data, attributes).ok());
+
+  // Anchored at receipt: the replica arrives...
+  ASSERT_TRUE(worker->wait_for(data.uid, 15.0));
+  // ...and expires ~1.5 s later, when the daemon reaps and the next sync
+  // orders the drop.
+  EXPECT_TRUE(wait_until([&] { return !worker->has(data.uid); }, 15.0));
+  EXPECT_TRUE(wait_until(
+      [&] { return !std::filesystem::exists(worker->replica_path(data.uid)); }, 5.0));
+  worker->stop();
+}
+
+TEST(NodeRuntime, DefaultFtpProtocolIsDeliveredLiveThroughTheTcpAlias) {
+  // DataAttributes defaults to oob=ftp (a simulator protocol). The
+  // scheduler admits it, so the live registry must deliver it — the
+  // central-pull alias — rather than leaving workers failing forever.
+  WorkerRig rig;
+  auto worker = rig.make_worker("w0");
+  ASSERT_TRUE(worker->start().ok());
+  const core::Data data = rig.publish("classic", 96 * 1024, 1, false, "ftp");
+  ASSERT_TRUE(worker->wait_for(data.uid, 15.0));
+  EXPECT_EQ(core::file_content(worker->replica_path(data.uid)).checksum, data.checksum);
+  EXPECT_EQ(worker->stats().downloads_failed, 0u);
+  worker->stop();
+}
+
+TEST(NodeRuntime, UnknownOobProtocolIsRejectedAtScheduleTimeNotSilentlyTcp) {
+  WorkerRig rig;
+  const core::Data data = [&] {
+    core::Data d;
+    std::string bytes(1024, 'z');
+    const std::string path = (rig.dir / "exotic.src").string();
+    std::ofstream(path, std::ios::binary) << bytes;
+    const api::Expected<core::Data> put = rig.session->put_file("exotic", path);
+    EXPECT_TRUE(put.ok());
+    return put.ok() ? *put : d;
+  }();
+  core::DataAttributes attributes;
+  attributes.replica = 1;
+  attributes.protocol = "gridftp";  // no engine registered under this name
+  const Status scheduled = rig.session->schedule(data, attributes);
+  EXPECT_EQ(scheduled.code(), api::Errc::kRejected);
 }
 
 TEST(NodeRuntime, DeadWorkerReplicasMoveToSurvivor) {

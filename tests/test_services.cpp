@@ -556,6 +556,145 @@ TEST_F(SchedulerTest, StatsAccumulate) {
   EXPECT_EQ(ds_.stats().orders, 1u);
 }
 
+// --- peer data plane: locators in the sync reply -------------------------------
+
+TEST_F(SchedulerTest, DownloadOrdersCarryPeerLocatorsOfLiveHolders) {
+  const Data data = make_data("swarmed");
+  auto attributes = attr(2);
+  attributes.protocol = "p2p";
+  ASSERT_TRUE(ds_.schedule(data, attributes));
+
+  // h1 is the seed: no owners yet, so no sources ride with its order.
+  const SyncReply seed = ds_.sync("h1", {}, {}, "10.0.0.1:7001");
+  ASSERT_EQ(seed.download.size(), 1u);
+  ASSERT_EQ(seed.sources.size(), 1u);
+  EXPECT_TRUE(seed.sources[0].empty());
+  ds_.sync("h1", {data.uid}, {}, "10.0.0.1:7001");  // verified: h1 ∈ Ω
+
+  // h2's order now names h1's chunk server.
+  const SyncReply second = ds_.sync("h2", {}, {}, "10.0.0.2:7002");
+  ASSERT_EQ(second.download.size(), 1u);
+  ASSERT_EQ(second.sources.size(), 1u);
+  ASSERT_EQ(second.sources[0].size(), 1u);
+  EXPECT_EQ(second.sources[0][0].protocol, services::kPeerLocatorProtocol);
+  EXPECT_EQ(second.sources[0][0].host, "10.0.0.1:7001");
+  EXPECT_EQ(second.sources[0][0].path, "h1");
+  EXPECT_EQ(second.sources[0][0].data_uid, data.uid);
+
+  // The endpoint is visible in the host table too.
+  const auto table = ds_.host_table();
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table[0].endpoint, "10.0.0.1:7001");
+}
+
+TEST_F(SchedulerTest, DeadAndEndpointlessHoldersAreFilteredFromSources) {
+  const Data data = make_data("careful");
+  auto attributes = attr(4);  // one more copy than the three holders below
+  attributes.protocol = "p2p";
+  attributes.fault_tolerant = false;  // dead owners stay in Ω — the filter
+                                      // below must still exclude them
+  ASSERT_TRUE(ds_.schedule(data, attributes));
+  // Gate admits one download per generation: h1 seeds, then h2 and h3.
+  ds_.sync("h1", {}, {}, "10.0.0.1:7001");
+  ds_.sync("h1", {data.uid}, {}, "10.0.0.1:7001");
+  ds_.sync("h2", {}, {}, "");  // h2 does not serve peers
+  ds_.sync("h2", {data.uid}, {}, "");
+  ds_.sync("h3", {}, {}, "10.0.0.3:7003");
+  ds_.sync("h3", {data.uid}, {}, "10.0.0.3:7003");
+
+  // h1 crashes: after the 3x-heartbeat timeout it is declared dead and its
+  // locator must vanish from new orders even though it still owns a replica.
+  clock_.set(10.0);
+  ds_.sync("h2", {data.uid}, {}, "");
+  ds_.sync("h3", {data.uid}, {}, "10.0.0.3:7003");
+  ASSERT_FALSE(ds_.detect_failures().empty());
+  ASSERT_TRUE(ds_.owners(data.uid).contains("h1"));  // not ft: Ω keeps h1
+
+  const SyncReply order = ds_.sync("h4", {}, {}, "10.0.0.4:7004");
+  ASSERT_EQ(order.download.size(), 1u);
+  ASSERT_EQ(order.sources.size(), 1u);
+  ASSERT_EQ(order.sources[0].size(), 1u);  // h1 dead, h2 endpoint-less
+  EXPECT_EQ(order.sources[0][0].path, "h3");
+}
+
+TEST_F(SchedulerTest, SwarmGateDoublesP2pFanOutPerGeneration) {
+  // Collective distribution: a replica=-1 p2p datum must not stampede the
+  // repository — one seed first, then swarm_factor * |owners| in flight.
+  const Data data = make_data("broadcast");
+  DataAttributes attributes;
+  attributes.replica = core::kReplicaAll;
+  attributes.protocol = "p2p";
+  ASSERT_TRUE(ds_.schedule(data, attributes));
+
+  int ordered = 0;
+  for (int h = 0; h < 6; ++h) {
+    const std::string host = "h" + std::to_string(h);
+    ordered += static_cast<int>(ds_.sync(host, {}, {}, host + ":7000").download.size());
+  }
+  EXPECT_EQ(ordered, 1);  // generation 0: the seed only
+
+  ds_.sync("h0", {data.uid}, {}, "h0:7000");  // the seed verified
+  ordered = 0;
+  for (int h = 1; h < 6; ++h) {
+    const std::string host = "h" + std::to_string(h);
+    ordered += static_cast<int>(ds_.sync(host, {}, {}, host + ":7000").download.size());
+  }
+  EXPECT_EQ(ordered, 2);  // generation 1: 2 * |Ω| = 2
+
+  // An oob=tcp broadcast is NOT gated: everyone downloads at once.
+  const Data flat = make_data("flat");
+  DataAttributes tcp_attributes;
+  tcp_attributes.replica = core::kReplicaAll;
+  tcp_attributes.protocol = "tcp";
+  ASSERT_TRUE(ds_.schedule(flat, tcp_attributes));
+  ordered = 0;
+  for (int h = 0; h < 6; ++h) {
+    const std::string host = "h" + std::to_string(h);
+    for (const auto& item : ds_.sync(host, {}, {}, host + ":7000").download) {
+      if (item.data.uid == flat.uid) ++ordered;
+    }
+  }
+  EXPECT_EQ(ordered, 6);
+}
+
+// --- satellite bugfixes: abstime anchoring + protocol admission ---------------
+
+TEST_F(SchedulerTest, DurationLifetimeIsAnchoredAtReceiptTime) {
+  clock_.set(100.0);
+  const Data data = make_data("ephemeral");
+  auto attributes = attr(1);
+  attributes.lifetime = Lifetime::duration(50.0);  // the DSL's abstime=50
+  ASSERT_TRUE(ds_.schedule(data, attributes));
+
+  // The stored entry is absolute on the scheduler's OWN clock.
+  const auto stored = ds_.scheduled(data.uid);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_EQ(stored->attributes.lifetime.kind, Lifetime::Kind::kAbsolute);
+  EXPECT_DOUBLE_EQ(stored->attributes.lifetime.expires_at, 150.0);
+
+  clock_.set(149.0);
+  EXPECT_EQ(ds_.sync("h1", {}).download.size(), 1u);  // still alive
+  clock_.set(151.0);
+  const SyncReply reply = ds_.sync("h1", {data.uid});
+  EXPECT_EQ(reply.drop, std::vector<util::Auid>{data.uid});  // reaped on time
+  EXPECT_EQ(ds_.scheduled_count(), 0u);
+}
+
+TEST_F(SchedulerTest, UnknownOobProtocolIsRejectedAtScheduleTime) {
+  const Data data = make_data("exotic");
+  auto attributes = attr(1);
+  attributes.protocol = "gridftp";  // nothing registered under this name
+  EXPECT_FALSE(ds_.schedule(data, attributes));
+  EXPECT_EQ(ds_.scheduled_count(), 0u);
+
+  // An empty known_protocols set opts out (simulation experiments register
+  // arbitrary protocols).
+  SchedulerConfig permissive;
+  permissive.known_protocols.clear();
+  DataScheduler open_ds(clock_, permissive);
+  EXPECT_TRUE(open_ds.schedule(data, attributes));
+}
+
 // --- container --------------------------------------------------------------------
 
 TEST(ServiceContainer, WiresAllServices) {
@@ -619,6 +758,41 @@ TEST(ServiceContainer, CatalogAndSchedulerSurviveRestart) {
   // gets the surviving data on its first synchronization.
   const SyncReply reply = reopened.ds().sync("worker-1", {});
   EXPECT_EQ(reply.download.size(), 2u);
+  std::filesystem::remove(wal);
+}
+
+/// A duration lifetime is anchored ONCE, at first receipt: the WAL stores
+/// the anchored absolute deadline, so a daemon restart must not re-anchor
+/// and extend it. (Deployment-side requirement: bitdewd reads a
+/// restart-stable clock — util::WallClock — so persisted readings keep
+/// meaning across processes; ManualClock plays that stable clock here.)
+TEST(ServiceContainer, RestartDoesNotExtendAnchoredLifetimes) {
+  const auto wal = std::filesystem::temp_directory_path() /
+                   ("bitdew-container-life-" + std::to_string(::getpid()));
+  std::filesystem::remove(wal);
+  util::ManualClock clock;
+  clock.set(100.0);
+  const Data ephemeral = make_data("ephemeral");
+
+  {
+    services::ServiceContainer container("server", clock, wal.string());
+    DataAttributes attributes;
+    attributes.replica = 1;
+    attributes.lifetime = Lifetime::duration(50.0);  // abstime=50 at t=100
+    ASSERT_TRUE(container.schedule_data(ephemeral, attributes));
+  }
+
+  clock.set(120.0);  // restart 20 s later: 30 s of life must remain
+  {
+    services::ServiceContainer reopened("server", clock, wal.string());
+    const auto entry = reopened.ds().scheduled(ephemeral.uid);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->attributes.lifetime.kind, Lifetime::Kind::kAbsolute);
+    EXPECT_DOUBLE_EQ(entry->attributes.lifetime.expires_at, 150.0);  // NOT 170
+    clock.set(151.0);
+    reopened.ds().sync("h1", {});
+    EXPECT_EQ(reopened.ds().scheduled_count(), 0u);  // reaped on the original deadline
+  }
   std::filesystem::remove(wal);
 }
 

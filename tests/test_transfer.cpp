@@ -7,13 +7,16 @@
 // over live sockets).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 
 #include "api/direct_service_bus.hpp"
 #include "api/session.hpp"
+#include "rpc/chunk_server.hpp"
 #include "transfer/bittorrent.hpp"
 #include "transfer/flaky.hpp"
+#include "transfer/peer.hpp"
 #include "transfer/tcp.hpp"
 #include "util/bytes.hpp"
 #include "util/clock.hpp"
@@ -682,6 +685,158 @@ TEST_F(TcpTransferTest, PutOfFileThatDiffersFromDescriptorFailsTyped) {
   EXPECT_EQ(tcp.put_file(data, other_path).code(), Errc::kInvalidArgument);
   EXPECT_EQ(tcp.put_file(data, (dir_ / "missing.bin").string()).code(),
             Errc::kInvalidArgument);
+}
+
+// --- PeerTransfer: the multi-source peer data plane ---------------------------
+// Real rpc::ChunkServers on loopback sockets play the serving workers; the
+// DirectServiceBus container is the central repository fallback.
+
+/// One serving peer: a live chunk server answering from an in-memory
+/// payload. `fail_after` >= 0 makes every read past that count fail typed —
+/// the deterministic stand-in for a worker dying mid-stripe.
+class ServingPeer {
+ public:
+  explicit ServingPeer(std::string payload, int fail_after = -1)
+      : payload_(std::move(payload)),
+        fail_after_(fail_after),
+        server_(
+            [this](const util::Auid&, std::int64_t offset,
+                   std::int64_t max_bytes) -> api::Expected<std::string> {
+              if (fail_after_ >= 0 && served_.fetch_add(1) >= fail_after_) {
+                return api::Error{api::Errc::kUnavailable, "peer", "synthetic peer death"};
+              }
+              if (offset >= static_cast<std::int64_t>(payload_.size())) return std::string{};
+              return payload_.substr(static_cast<std::size_t>(offset),
+                                     static_cast<std::size_t>(max_bytes));
+            },
+            rpc::ChunkServerConfig{0, true, 5, 5}) {
+    const Status started = server_.start();
+    EXPECT_TRUE(started.ok()) << started.error().to_string();
+  }
+
+  core::Locator locator(const util::Auid& uid, const std::string& name) const {
+    core::Locator out;
+    out.data_uid = uid;
+    out.protocol = transfer::kPeerProtocol;
+    out.host = "127.0.0.1:" + std::to_string(server_.port());
+    out.path = name;
+    return out;
+  }
+
+  std::uint64_t chunks_served() const { return server_.chunks_served(); }
+  void stop() { server_.stop(); }
+
+ private:
+  std::string payload_;
+  int fail_after_;
+  std::atomic<int> served_{0};
+  rpc::ChunkServer server_;
+};
+
+class PeerTransferTest : public TcpTransferTest {
+ protected:
+  transfer::PeerTransfer peer_engine(std::int64_t chunk_bytes) {
+    transfer::PeerConfig config;
+    config.chunk_bytes = chunk_bytes;
+    config.max_attempts = 3;
+    config.local_name = "w-under-test";
+    config.peer_connect_timeout_s = 2.0;
+    config.peer_call_deadline_s = 5.0;
+    return transfer::PeerTransfer(bus_, config);
+  }
+};
+
+TEST_F(PeerTransferTest, StripesAcrossPeersWithZeroRepositoryEgress) {
+  const std::string payload = make_payload(8000);
+  const std::string in_path = write_file("in.bin", payload);
+  const core::Data data = register_data("swarmed", in_path);
+  ServingPeer alice(payload);
+  ServingPeer bob(payload);
+
+  auto p2p = peer_engine(1000);  // 8 chunks over 2 peers
+  const std::string out_path = (dir_ / "out.bin").string();
+  const Status got = p2p.get_file(data, out_path,
+                                  {alice.locator(data.uid, "alice"), bob.locator(data.uid, "bob")});
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  EXPECT_EQ(slurp(out_path), payload);
+
+  // Every byte came from the swarm: the striping hit BOTH peers and the
+  // central repository shipped nothing.
+  EXPECT_EQ(p2p.stats().chunks_from_peers, 8);
+  EXPECT_EQ(p2p.stats().bytes_from_peers, 8000);
+  EXPECT_EQ(p2p.stats().chunks_from_repository, 0);
+  EXPECT_GT(alice.chunks_served(), 0u);
+  EXPECT_GT(bob.chunks_served(), 0u);
+  EXPECT_EQ(container_.dr().stats().chunk_reads, 0u);
+  // The DT service observed the out-of-band transfer as usual.
+  EXPECT_EQ(container_.dt().stats().completed, 1u);
+}
+
+TEST_F(PeerTransferTest, PeerDeathMidStripeFallsBackAndVerifies) {
+  const std::string payload = make_payload(12000);
+  const std::string in_path = write_file("in.bin", payload);
+  const core::Data data = register_data("fragile", in_path);
+  // Seed the repository (the fallback source) through the normal data plane.
+  auto tcp = engine(1000);
+  ASSERT_TRUE(tcp.put_file(data, in_path).ok());
+
+  ServingPeer dying(payload, /*fail_after=*/3);  // dies mid-stripe
+  auto p2p = peer_engine(1000);
+  const std::string out_path = (dir_ / "out.bin").string();
+  const Status got = p2p.get_file(data, out_path, {dying.locator(data.uid, "dying")});
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  EXPECT_EQ(slurp(out_path), payload);
+
+  // Some chunks arrived before the death, the rest from the repository; the
+  // dead peer left the stripe and the final MD5 still verified.
+  EXPECT_GT(p2p.stats().chunks_from_peers, 0);
+  EXPECT_GT(p2p.stats().chunks_from_repository, 0);
+  EXPECT_GE(p2p.stats().peers_dropped, 1);
+  EXPECT_FALSE(std::filesystem::exists(out_path + ".part"));
+}
+
+TEST_F(PeerTransferTest, NoUsableSourcesMeansRepositoryOnly) {
+  const std::string payload = make_payload(5000);
+  const std::string in_path = write_file("in.bin", payload);
+  const core::Data data = register_data("lonely", in_path);
+  auto tcp = engine(1000);
+  ASSERT_TRUE(tcp.put_file(data, in_path).ok());
+
+  // A malformed locator and a refused endpoint: both must be survivable.
+  core::Locator garbage;
+  garbage.data_uid = data.uid;
+  garbage.protocol = transfer::kPeerProtocol;
+  garbage.host = "not-an-endpoint";
+  core::Locator refused;
+  refused.data_uid = data.uid;
+  refused.protocol = transfer::kPeerProtocol;
+  refused.host = "127.0.0.1:1";  // nothing listens there
+
+  auto p2p = peer_engine(1000);
+  const std::string out_path = (dir_ / "out.bin").string();
+  const Status got = p2p.get_file(data, out_path, {garbage, refused});
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  EXPECT_EQ(slurp(out_path), payload);
+  EXPECT_EQ(p2p.stats().chunks_from_peers, 0);
+  EXPECT_EQ(p2p.stats().chunks_from_repository, 5);
+}
+
+TEST_F(PeerTransferTest, CorruptPeerBytesNeverPoisonTheCache) {
+  const std::string payload = make_payload(4000);
+  const std::string in_path = write_file("in.bin", payload);
+  const core::Data data = register_data("poisoned", in_path);
+  std::string corrupt = payload;
+  corrupt[1500] ^= 0x5a;
+  ServingPeer liar(corrupt);
+
+  auto p2p = peer_engine(1000);
+  const std::string out_path = (dir_ / "out.bin").string();
+  const Status got = p2p.get_file(data, out_path, {liar.locator(data.uid, "liar")});
+  EXPECT_EQ(got.code(), Errc::kChecksumMismatch);
+  // The poisoned partial is discarded: nothing to resume from, nothing
+  // renamed into place.
+  EXPECT_FALSE(std::filesystem::exists(out_path));
+  EXPECT_FALSE(std::filesystem::exists(out_path + ".part"));
 }
 
 }  // namespace
