@@ -23,7 +23,11 @@
 //
 // Remote commands: create NAME SIZE | attr NAME DSL | search NAME |
 // locate NAME | delete NAME | publish KEY VALUE | lookup KEY |
-// put NAME PATH | get NAME PATH | chunk BYTES | status
+// put NAME PATH | get NAME PATH | chunk BYTES | status | ring
+//
+// `ring` walks the live DHT ring starting at the connected member and
+// prints every member's id, predecessor, successor list, finger health and
+// per-node key counts — the metadata plane's shard map.
 //
 // `status` prints the scheduler's host table (worker name, seconds since
 // the last ds_sync, alive/DEAD, cached count) — the failure detector's
@@ -34,10 +38,12 @@
 // previous interrupted upload of the same content), `get` downloads it
 // MD5-verified, and `chunk` sets the chunk size for subsequent transfers
 // (e.g. "chunk 1MB").
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <random>
+#include <set>
 #include <sstream>
 
 #include "api/remote_service_bus.hpp"
@@ -369,6 +375,72 @@ struct RemoteCli {
     return true;
   }
 
+  /// Walks the ring's successor pointers from the connected member,
+  /// querying each member's kRingInfo through its own short-timeout bus,
+  /// and prints the shard map. Unreachable members are reported, not fatal
+  /// (the walk continues through whatever the others point at).
+  bool ring() {
+    std::vector<rpc::wire::RingStatusInfo> members;
+    std::set<std::string> seen;
+    std::set<std::string> unreachable;
+    std::vector<std::string> frontier;
+
+    const api::Expected<rpc::wire::RingStatusInfo> home = bus.ring_info();
+    if (!home.ok()) {
+      std::fprintf(stderr, "error: %s\n", home.error().to_string().c_str());
+      return false;
+    }
+    members.push_back(*home);
+    seen.insert(home->self.endpoint);
+    for (const rpc::wire::RingNode& s : home->successors) frontier.push_back(s.endpoint);
+
+    api::RemoteBusConfig probe_config;
+    probe_config.connect_timeout_s = 2.0;
+    probe_config.call_deadline_s = 2.0;
+    while (!frontier.empty() && seen.size() < 64) {
+      const std::string endpoint = frontier.back();
+      frontier.pop_back();
+      if (!seen.insert(endpoint).second) continue;
+      const std::size_t colon = endpoint.rfind(':');
+      if (colon == std::string::npos) continue;
+      api::RemoteServiceBus probe(
+          endpoint.substr(0, colon),
+          static_cast<std::uint16_t>(std::strtol(endpoint.c_str() + colon + 1, nullptr, 10)),
+          probe_config);
+      const api::Expected<rpc::wire::RingStatusInfo> info = probe.ring_info();
+      if (!info.ok()) {
+        unreachable.insert(endpoint);
+        continue;
+      }
+      members.push_back(*info);
+      for (const rpc::wire::RingNode& s : info->successors) {
+        if (seen.count(s.endpoint) == 0) frontier.push_back(s.endpoint);
+      }
+    }
+
+    std::sort(members.begin(), members.end(),
+              [](const rpc::wire::RingStatusInfo& a, const rpc::wire::RingStatusInfo& b) {
+                return a.self.id < b.self.id;
+              });
+    std::printf("ring: %zu member(s), %zu unreachable\n", members.size(), unreachable.size());
+    for (const rpc::wire::RingStatusInfo& m : members) {
+      std::printf("  %016llx %-21s pred %-21s fingers %u/%u  dc %llu  ddc %llu\n",
+                  static_cast<unsigned long long>(m.self.id), m.self.endpoint.c_str(),
+                  m.has_pred ? m.pred.endpoint.c_str() : "-", m.fingers_resolved,
+                  m.fingers_total, static_cast<unsigned long long>(m.dc_keys),
+                  static_cast<unsigned long long>(m.ddc_keys));
+      std::string successors;
+      for (const rpc::wire::RingNode& s : m.successors) {
+        successors += (successors.empty() ? "" : " ") + s.endpoint;
+      }
+      std::printf("    successors: %s\n", successors.empty() ? "-" : successors.c_str());
+    }
+    for (const std::string& endpoint : unreachable) {
+      std::printf("  ????????????????  %-21s (no reply)\n", endpoint.c_str());
+    }
+    return true;
+  }
+
   bool publish(const std::string& key, const std::string& value) {
     const api::Status published = session.publish(key, value);
     if (!published.ok()) {
@@ -439,10 +511,12 @@ struct RemoteCli {
       return lookup(key);
     } else if (verb == "status") {
       return status();
+    } else if (verb == "ring") {
+      return ring();
     } else if (verb == "help") {
       std::printf("commands: create NAME SIZE | attr NAME DSL | search NAME |"
                   " locate NAME | delete NAME | put NAME PATH | get NAME PATH |"
-                  " chunk BYTES | publish KEY VALUE | lookup KEY | status\n");
+                  " chunk BYTES | publish KEY VALUE | lookup KEY | status | ring\n");
     } else {
       std::fprintf(stderr, "error: unknown command '%s' (try help)\n", verb.c_str());
       return false;

@@ -4,7 +4,9 @@
 // api::RemoteServiceBus (or `bitdew_cli connect HOST:PORT`).
 //
 //   bitdewd [--port P] [--wal DIR] [--host NAME] [--compact-bytes N]
-//           [--loopback] [--data-rate BYTES]
+//           [--loopback] [--data-rate BYTES] [--ring] [--ring-join HOST:PORT]
+//           [--ring-id HEX] [--replication-f N] [--ring-stabilize S]
+//           [--advertise HOST]
 //
 //   --port P           TCP port to listen on (default 9328; 0 = ephemeral)
 //   --wal DIR          durable mode: persist state to DIR/bitdewd.wal and
@@ -18,8 +20,21 @@
 //                      BYTES/s, e.g. "64MB" (default 0 = unlimited);
 //                      control traffic is never shaped
 //
+// Live DHT ring (shard the dc_*/ddc_* metadata plane across daemons):
+//   --ring             become a ring member (bootstraps a new ring unless
+//                      --ring-join names an existing member)
+//   --ring-join H:P    join the ring through the member at H:P
+//   --ring-id HEX      explicit 64-bit ring position (default: derived from
+//                      the advertised endpoint; keep it stable across
+//                      restarts of a durable member)
+//   --replication-f N  owner + (N-1) successors hold each key (default 2)
+//   --ring-stabilize S stabilization period in seconds (default 2.0)
+//   --advertise HOST   address other members/clients reach us at
+//                      (default 127.0.0.1)
+//
 // The daemon prints "serving on port P" once ready (scripts parse this for
-// ephemeral ports) and exits cleanly on SIGINT/SIGTERM.
+// ephemeral ports) and exits cleanly on SIGINT/SIGTERM — a ring member
+// hands its keys to its successor (planned leave) before stopping.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -43,7 +58,9 @@ void handle_signal(int) { g_stop = 1; }
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port P] [--wal DIR] [--host NAME] [--compact-bytes N]"
-               " [--loopback] [--data-rate BYTES]\n",
+               " [--loopback] [--data-rate BYTES] [--ring] [--ring-join HOST:PORT]"
+               " [--ring-id HEX] [--replication-f N] [--ring-stabilize S]"
+               " [--advertise HOST]\n",
                argv0);
   return 2;
 }
@@ -57,6 +74,8 @@ int main(int argc, char** argv) {
   std::uint64_t compact_bytes = 8u << 20;
   bool loopback = false;
   double data_rate_Bps = 0;
+  bool ring = false;
+  rpc::RingOptions ring_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,6 +110,47 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--loopback") {
       loopback = true;
+    } else if (arg == "--ring") {
+      ring = true;
+    } else if (arg == "--ring-join") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      ring = true;
+      ring_options.join_endpoint = value;
+    } else if (arg == "--ring-id") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      char* end = nullptr;
+      ring_options.ring_id = std::strtoull(value, &end, 16);
+      if (end == value || *end != '\0' || ring_options.ring_id == 0) {
+        std::fprintf(stderr, "bitdewd: bad --ring-id '%s' (expected nonzero hex)\n", value);
+        return 2;
+      }
+    } else if (arg == "--replication-f") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      char* end = nullptr;
+      const long parsed = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || parsed < 1 || parsed > 64) {
+        std::fprintf(stderr, "bitdewd: bad --replication-f '%s' (expected 1-64)\n", value);
+        return 2;
+      }
+      ring_options.replication_f = static_cast<int>(parsed);
+    } else if (arg == "--ring-stabilize") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      char* end = nullptr;
+      const double parsed = std::strtod(value, &end);
+      if (end == value || *end != '\0' || parsed <= 0) {
+        std::fprintf(stderr, "bitdewd: bad --ring-stabilize '%s' (expected seconds > 0)\n",
+                     value);
+        return 2;
+      }
+      ring_options.stabilize_period_s = parsed;
+    } else if (arg == "--advertise") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      ring_options.advertise_host = value;
     } else if (arg == "--data-rate") {
       const char* value = next();
       if (value == nullptr) return usage(argv[0]);
@@ -136,6 +196,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (ring) {
+    const api::Status joined = host.start_ring(ring_options);
+    if (!joined.ok()) {
+      std::fprintf(stderr, "bitdewd: ring: %s\n", joined.error().to_string().c_str());
+      host.stop();
+      return 1;
+    }
+    const std::string via = ring_options.join_endpoint.empty()
+                                ? "bootstrapped"
+                                : "joined via " + ring_options.join_endpoint;
+    std::printf("bitdewd: ring member %s (id %016llx, %s)\n",
+                host.ring()->self().endpoint.c_str(),
+                static_cast<unsigned long long>(host.ring()->self().id), via.c_str());
+  }
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   std::printf("bitdewd: serving on port %u (host %s, %s)\n",
@@ -147,6 +222,7 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
+  host.ring_leave();  // no-op unless a ring member: planned key handoff
   host.stop();
   std::printf("bitdewd: stopped after %llu request(s) on %llu connection(s)\n",
               static_cast<unsigned long long>(host.requests_served()),

@@ -25,6 +25,8 @@ enum class Errc : std::uint8_t {
   kTransport = 5,         ///< request or response lost on the network
   kUnavailable = 6,       ///< backend unreachable / no source / stalled
   kInvalidArgument = 7,   ///< malformed input (nil uid, empty batch item)
+  kRedirect = 8,          ///< ring routing: retry at the member named in
+                          ///< `message` ("host:port"); not a terminal failure
 };
 
 inline const char* errc_name(Errc code) {
@@ -37,6 +39,7 @@ inline const char* errc_name(Errc code) {
     case Errc::kTransport: return "transport";
     case Errc::kUnavailable: return "unavailable";
     case Errc::kInvalidArgument: return "invalid_argument";
+    case Errc::kRedirect: return "redirect";
   }
   return "unknown";
 }

@@ -6,25 +6,37 @@
 // user code fails typed instead of hanging, and the next call transparently
 // reconnects. Batch endpoints are native: one frame carries the whole
 // batch, and an empty batch generates no traffic at all.
+// Against a ring of bitdewd members (ServiceHost::start_ring) the bus also
+// speaks the redirect protocol: any member answers a keyed dc_*/ddc_* call
+// either by serving it or with Errc::kRedirect naming the owner, and the
+// bus transparently chases a bounded number of redirects through cached
+// per-member channels — falling back to the home member (whose tables
+// re-resolve after stabilization) when a redirect target has died.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "api/service_bus.hpp"
 #include "rpc/transport.hpp"
+#include "rpc/wire.hpp"
 
 namespace bitdew::api {
 
 struct RemoteBusConfig {
   double connect_timeout_s = 5.0;  ///< TCP connect budget
   double call_deadline_s = 5.0;    ///< per-request reply deadline
+  int max_redirects = 4;           ///< ring redirect-chase budget per call
 };
 
 class RemoteServiceBus final : public ServiceBus {
  public:
   RemoteServiceBus(std::string host, std::uint16_t port, RemoteBusConfig config = {})
-      : channel_(std::move(host), port, config.connect_timeout_s, config.call_deadline_s) {}
+      : config_(config),
+        channel_(std::move(host), port, config.connect_timeout_s, config.call_deadline_s) {}
 
   /// Liveness probe: one kPing round-trip.
   Status ping();
@@ -79,10 +91,24 @@ class RemoteServiceBus final : public ServiceBus {
                          Reply<BatchStatus> done) override;
   void ddc_publish_batch(const std::vector<KeyValue>& pairs, Reply<BatchStatus> done) override;
 
+  /// Membership/health snapshot of the connected ring member (kRingInfo).
+  /// Errc::kUnavailable when the host is not a ring member.
+  Expected<rpc::wire::RingStatusInfo> ring_info();
+
   std::uint64_t rpc_count() const { return rpcs_; }
+  /// Ring redirects chased across all calls so far.
+  std::uint64_t redirects_followed() const { return redirects_followed_; }
   bool connected() const { return channel_.connected(); }
 
  private:
+  /// One call with ring-redirect chasing: a reply whose body is the
+  /// uniform error encoding with Errc::kRedirect is retried at the member
+  /// named in the error message, through a cached peer channel, up to
+  /// max_redirects hops. An unreachable redirect target falls back to the
+  /// home member after a brief backoff (stabilization reroutes it).
+  Expected<std::string> call_routed(rpc::wire::Endpoint endpoint,
+                                    const std::function<void(rpc::Writer&)>& encode_body);
+  rpc::ClientChannel* peer_channel(const std::string& endpoint);
   /// One round-trip whose reply body is a single Expected<T>; transport
   /// failures become Error{kTransport} under the same T.
   template <typename T, typename EncodeBody, typename ReadValue>
@@ -95,8 +121,12 @@ class RemoteServiceBus final : public ServiceBus {
   void invoke_batch(rpc::wire::Endpoint endpoint, std::size_t count, EncodeBody&& encode_body,
                     Reply<std::vector<Item>> done, ReadReply&& read_reply);
 
+  RemoteBusConfig config_;
   rpc::ClientChannel channel_;
+  /// Redirect targets, keyed "host:port"; bounded, reset when full.
+  std::unordered_map<std::string, std::unique_ptr<rpc::ClientChannel>> peers_;
   std::uint64_t rpcs_ = 0;
+  std::uint64_t redirects_followed_ = 0;
 };
 
 }  // namespace bitdew::api

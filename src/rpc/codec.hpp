@@ -69,6 +69,14 @@ class Reader {
   std::size_t remaining() const { return data_.size() - offset_; }
   std::size_t offset() const { return offset_; }
 
+  /// The bytes not yet consumed, without consuming them. The ring router
+  /// uses this to splice a request body it is about to apply locally into a
+  /// replication frame for the successor list.
+  std::string_view rest() const { return data_.substr(offset_); }
+
+  /// Consumes `size` bytes without decoding them (CodecError on underflow).
+  void skip(std::size_t size) { take(size); }
+
  private:
   template <typename T>
   T scalar() {

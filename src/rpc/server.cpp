@@ -2,6 +2,8 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "api/service_ops.hpp"
@@ -40,20 +42,95 @@ api::Status ServiceHost::start() {
 }
 
 void ServiceHost::sweep_loop() {
-  const auto period = std::chrono::duration<double>(config_.failure_sweep_period_s);
+  using clock_t = std::chrono::steady_clock;
+  auto last_sweep = clock_t::now();
+  auto last_tick = last_sweep;
   std::unique_lock lock(sweep_mutex_);
   while (running_.load()) {
-    sweep_cv_.wait_for(lock, period, [this] { return !running_.load(); });
+    const bool ring = ring_active_.load(std::memory_order_acquire);
+    const double sweep_s = config_.failure_sweep_period_s;
+    const double ring_s = ring ? ring_->config().stabilize_period_s : 0;
+    double wait_s = 3600;
+    if (sweep_s > 0) wait_s = std::min(wait_s, sweep_s);
+    if (ring_s > 0) wait_s = std::min(wait_s, ring_s);
+    sweep_cv_.wait_for(lock, std::chrono::duration<double>(wait_s),
+                       [this] { return !running_.load(); });
     if (!running_.load()) break;
-    std::vector<services::HostName> dead;
-    {
-      const std::lock_guard container_lock(container_mutex_);
-      dead = container_.ds().detect_failures();
+    const auto now = clock_t::now();
+    if (sweep_s > 0 &&
+        std::chrono::duration<double>(now - last_sweep).count() + 1e-3 >= sweep_s) {
+      last_sweep = now;
+      std::vector<services::HostName> dead;
+      {
+        const std::lock_guard container_lock(container_mutex_);
+        dead = container_.ds().detect_failures();
+      }
+      for (const services::HostName& host : dead) {
+        logger().info("failure sweep: host %s declared dead", host.c_str());
+      }
     }
-    for (const services::HostName& host : dead) {
-      logger().info("failure sweep: host %s declared dead", host.c_str());
+    if (ring && std::chrono::duration<double>(now - last_tick).count() + 1e-3 >= ring_s) {
+      last_tick = now;
+      // Stabilization makes real RPCs: release sweep_mutex_ so stop() is
+      // never parked behind a ring call timing out.
+      lock.unlock();
+      ring_->tick();
+      router_->repair();
+      lock.lock();
     }
   }
+}
+
+api::Status ServiceHost::start_ring(const RingOptions& options) {
+  if (!running_.load()) {
+    return api::Error{api::Errc::kUnavailable, "ring", "host not started"};
+  }
+  if (ring_active_.load(std::memory_order_acquire)) return api::ok_status();
+
+  services::RingRouter::Hooks hooks;
+  hooks.with_store = [this](const std::function<void()>& fn) {
+    const std::lock_guard lock(container_mutex_);
+    fn();
+  };
+  hooks.apply = [this](wire::Endpoint endpoint, Reader& r) {
+    return dispatch_unlocked(endpoint, r);
+  };
+  router_ = std::make_unique<services::RingRouter>(container_, ddc_, std::move(hooks));
+
+  dht::LiveRingConfig ring_config;
+  ring_config.ring_id = options.ring_id;
+  ring_config.endpoint = options.advertise_host + ":" + std::to_string(port_);
+  ring_config.join_endpoint = options.join_endpoint;
+  ring_config.arity = options.arity;
+  ring_config.replication = options.replication_f;
+  ring_config.stabilize_period_s = options.stabilize_period_s;
+  ring_config.call_timeout_s = options.call_timeout_s;
+  ring_ = std::make_unique<dht::LiveRing>(
+      ring_config,
+      [this](std::uint64_t from, std::uint64_t to) { return router_->ops_in_range(from, to); },
+      [this](const std::vector<wire::RingOp>& ops) { router_->apply_ops(ops, false); });
+  router_->attach(*ring_);
+  router_->restore_persisted_state();
+
+  // Publish before joining: the admitting member (and its peers) start
+  // sending us lookups and stores as soon as the join is acknowledged.
+  ring_active_.store(true, std::memory_order_release);
+  const api::Status started = ring_->start();
+  if (!started.ok()) {
+    ring_active_.store(false, std::memory_order_release);
+    return started;
+  }
+  // The sweep thread drives stabilization; make sure one exists even when
+  // the failure sweep is disabled.
+  if (!sweeper_.joinable()) sweeper_ = std::thread(&ServiceHost::sweep_loop, this);
+  logger().info("ring member %s active (f=%d, k=%d)", ring_->self().endpoint.c_str(),
+                ring_config.replication, ring_config.arity);
+  return api::ok_status();
+}
+
+void ServiceHost::ring_leave() {
+  if (!ring_active_.load(std::memory_order_acquire)) return;
+  ring_->leave();
 }
 
 void ServiceHost::stop() {
@@ -171,11 +248,73 @@ void ServiceHost::serve_connection(std::uint64_t id, Fd socket) {
 }
 
 std::string ServiceHost::dispatch(wire::Endpoint endpoint, Reader& r) {
+  if (ring_active_.load(std::memory_order_acquire)) {
+    // Ring frames first — handle_join reaches back into the store through
+    // the router's hooks, so they must not run under the container lock.
+    if (auto reply = ring_dispatch(endpoint, r)) return std::move(*reply);
+    // Then hash routing for the keyed catalog plane.
+    if (auto reply = router_->route(endpoint, r)) return std::move(*reply);
+  }
+  return local_dispatch(endpoint, r);
+}
+
+std::optional<std::string> ServiceHost::ring_dispatch(wire::Endpoint endpoint, Reader& r) {
+  using wire::Endpoint;
+  Writer w;
+  switch (endpoint) {
+    case Endpoint::kRingLookup:
+      wire::write_expected(w, api::Expected<wire::RingLookupReply>(ring_->handle_lookup(r.u64())),
+                           wire::write_ring_lookup_reply);
+      break;
+    case Endpoint::kRingJoin:
+      wire::write_expected(w, ring_->handle_join(wire::read_ring_node(r)),
+                           wire::write_ring_join_reply);
+      break;
+    case Endpoint::kRingNotify:
+      ring_->handle_notify(wire::read_ring_node(r));
+      wire::write_status(w, api::ok_status());
+      break;
+    case Endpoint::kRingStabilize:
+      wire::write_expected(w,
+                           api::Expected<wire::RingStabilizeReply>(ring_->handle_stabilize()),
+                           wire::write_ring_stabilize_reply);
+      break;
+    case Endpoint::kRingStore: {
+      const wire::RingStoreRequest request = wire::read_ring_store_request(r);
+      wire::write_status_batch(w, router_->apply_ops(request.ops, request.replicate));
+      break;
+    }
+    case Endpoint::kRingLeave:
+      ring_->handle_leave(wire::read_ring_leave_request(r));
+      wire::write_status(w, api::ok_status());
+      break;
+    case Endpoint::kRingInfo: {
+      wire::RingStatusInfo info = ring_->status();
+      router_->fill_counts(info);
+      wire::write_expected(w, api::Expected<wire::RingStatusInfo>(std::move(info)),
+                           wire::write_ring_status_info);
+      break;
+    }
+    case Endpoint::kRingSearch:
+      // A peer's dc_search fan-out: answer from the local shard only —
+      // kDcSearch through dispatch() would fan out all over again.
+      return local_dispatch(Endpoint::kDcSearch, r);
+    default:
+      return std::nullopt;
+  }
+  return w.take();
+}
+
+std::string ServiceHost::local_dispatch(wire::Endpoint endpoint, Reader& r) {
+  const std::lock_guard lock(container_mutex_);
+  return dispatch_unlocked(endpoint, r);
+}
+
+std::string ServiceHost::dispatch_unlocked(wire::Endpoint endpoint, Reader& r) {
   namespace ops = api::ops;
   using wire::Endpoint;
 
   Writer w;
-  const std::lock_guard lock(container_mutex_);
   switch (endpoint) {
     case Endpoint::kPing:
       break;  // empty reply body: liveness only
@@ -341,6 +480,25 @@ std::string ServiceHost::dispatch(wire::Endpoint endpoint, Reader& r) {
     case Endpoint::kDdcPublishBatch:
       wire::write_status_batch(w, ops::ddc_publish_batch(ddc_, wire::read_publish_batch(r)));
       break;
+
+    // --- live ring ----------------------------------------------------------
+    // Reached only when this host is not a ring member (active rings peel
+    // kRing* off in ring_dispatch before the container lock is taken). The
+    // error-status encoding is a valid prefix of every reply shape.
+    case Endpoint::kRingLookup:
+    case Endpoint::kRingJoin:
+    case Endpoint::kRingNotify:
+    case Endpoint::kRingStabilize:
+    case Endpoint::kRingStore:
+    case Endpoint::kRingLeave:
+    case Endpoint::kRingInfo:
+    case Endpoint::kRingSearch:
+      r.skip(r.remaining());
+      wire::write_status(w, api::Error{api::Errc::kUnavailable, "ring", "ring mode disabled"});
+      break;
+
+    case Endpoint::kEndpointCount:
+      throw CodecError("endpoint sentinel is not dispatchable");
   }
   return w.take();
 }

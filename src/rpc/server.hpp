@@ -13,16 +13,20 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "api/expected.hpp"
+#include "dht/live_ring.hpp"
 #include "dht/local_dht.hpp"
 #include "rpc/transport.hpp"
 #include "services/container.hpp"
+#include "services/ring_router.hpp"
 #include "util/shaper.hpp"
 
 namespace bitdew::rpc {
@@ -44,6 +48,19 @@ struct ServiceHostConfig {
   double data_plane_upload_Bps = 0;
 };
 
+/// Live-ring membership knobs (start_ring). The host's bound port completes
+/// the advertised endpoint, which is why the ring starts as a second step
+/// after start() instead of through ServiceHostConfig.
+struct RingOptions {
+  std::uint64_t ring_id = 0;  ///< 0 = derive from the advertised endpoint
+  std::string advertise_host = "127.0.0.1";
+  std::string join_endpoint;  ///< "host:port" of any member; empty = bootstrap
+  int replication_f = 2;      ///< f: owner + (f-1) successors hold each key
+  int arity = 4;              ///< k: DKS search arity
+  double stabilize_period_s = 2.0;
+  double call_timeout_s = 2.0;
+};
+
 class ServiceHost {
  public:
   ServiceHost(services::ServiceContainer& container, dht::LocalDht& ddc,
@@ -63,6 +80,23 @@ class ServiceHost {
   bool running() const { return running_.load(); }
   std::uint16_t port() const { return port_; }
 
+  /// Joins (or bootstraps) the live DHT ring, sharding the dc_*/ddc_*
+  /// metadata plane across the membership. Must be called after start()
+  /// (the advertised endpoint needs the bound port). Once active, keyed
+  /// catalog requests are served, replicated or redirected by hash
+  /// ownership, and the sweep thread drives ring stabilization.
+  api::Status start_ring(const RingOptions& options);
+
+  /// Planned departure: hands every owned key to the successor and
+  /// announces the leave. The host keeps serving (and keeps answering ring
+  /// frames) until stop(); call this before stop() for a graceful exit.
+  /// A crash (stop() without ring_leave()) is survived by f-replication.
+  void ring_leave();
+
+  bool ring_active() const { return ring_active_.load(std::memory_order_acquire); }
+  /// nullptr until start_ring() succeeds.
+  dht::LiveRing* ring() { return ring_active() ? ring_.get() : nullptr; }
+
   std::uint64_t requests_served() const { return requests_served_.load(); }
   std::uint64_t connections_accepted() const { return connections_accepted_.load(); }
   /// Connections dropped because a frame failed to decode.
@@ -76,12 +110,28 @@ class ServiceHost {
   void reap_finished_workers();
   /// Decodes `body`, runs the operation, and returns the encoded reply
   /// body. Malformed requests throw CodecError (the caller drops the
-  /// connection).
+  /// connection). Layered: ring frames and ring-routed catalog ops peel
+  /// off first (they take the container lock themselves, through the
+  /// router's hooks); everything else falls through to local_dispatch.
   std::string dispatch(wire::Endpoint endpoint, Reader& body);
+  /// Ring server-side frames (kRing*). nullopt = not a ring frame.
+  std::optional<std::string> ring_dispatch(wire::Endpoint endpoint, Reader& body);
+  /// Takes the container lock and runs the plain single-node operation.
+  std::string local_dispatch(wire::Endpoint endpoint, Reader& body);
+  /// The endpoint switch itself; requires container_mutex_ held.
+  std::string dispatch_unlocked(wire::Endpoint endpoint, Reader& body);
 
   services::ServiceContainer& container_;
   dht::LocalDht& ddc_;
   ServiceHostConfig config_;
+
+  // Ring state. Constructed by start_ring(), then published through the
+  // release-store on ring_active_; dispatch/sweeper only touch ring_ and
+  // router_ after an acquire-load sees true. Never destroyed while the
+  // host runs (a failed start_ring only clears the flag).
+  std::unique_ptr<services::RingRouter> router_;
+  std::unique_ptr<dht::LiveRing> ring_;
+  std::atomic<bool> ring_active_{false};
 
   Fd listener_;
   std::uint16_t port_ = 0;

@@ -1,44 +1,68 @@
 #include "rpc/wire.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 namespace bitdew::rpc::wire {
 
+namespace {
+
+// Indexed by wire value. The static_assert ties this table to the
+// kEndpointCount sentinel: adding an endpoint without naming it (or without
+// keeping the sentinel last) fails the build instead of silently widening
+// the decode range or reporting "unknown" for a live endpoint.
+constexpr const char* kEndpointNames[] = {
+    "ping",
+    "dc_register",
+    "dc_get",
+    "dc_search",
+    "dc_remove",
+    "dc_add_locator",
+    "dc_locators",
+    "dr_put",
+    "dr_get",
+    "dr_remove",
+    "dt_register",
+    "dt_monitor",
+    "dt_complete",
+    "dt_failure",
+    "dt_give_up",
+    "ds_schedule",
+    "ds_pin",
+    "ds_unschedule",
+    "ds_sync",
+    "ddc_publish",
+    "ddc_search",
+    "dc_register_batch",
+    "dc_locators_batch",
+    "ds_schedule_batch",
+    "ddc_publish_batch",
+    "dr_put_start",
+    "dr_put_chunk",
+    "dr_put_commit",
+    "dr_get_chunk",
+    "ds_hosts",
+    "dr_stats",
+    "ring_lookup",
+    "ring_join",
+    "ring_notify",
+    "ring_stabilize",
+    "ring_store",
+    "ring_leave",
+    "ring_info",
+    "ring_search",
+};
+
+static_assert(std::size(kEndpointNames) ==
+                  static_cast<std::size_t>(Endpoint::kEndpointCount),
+              "every Endpoint value needs an entry in kEndpointNames");
+
+}  // namespace
+
 const char* endpoint_name(Endpoint endpoint) {
-  switch (endpoint) {
-    case Endpoint::kPing: return "ping";
-    case Endpoint::kDcRegister: return "dc_register";
-    case Endpoint::kDcGet: return "dc_get";
-    case Endpoint::kDcSearch: return "dc_search";
-    case Endpoint::kDcRemove: return "dc_remove";
-    case Endpoint::kDcAddLocator: return "dc_add_locator";
-    case Endpoint::kDcLocators: return "dc_locators";
-    case Endpoint::kDrPut: return "dr_put";
-    case Endpoint::kDrGet: return "dr_get";
-    case Endpoint::kDrRemove: return "dr_remove";
-    case Endpoint::kDtRegister: return "dt_register";
-    case Endpoint::kDtMonitor: return "dt_monitor";
-    case Endpoint::kDtComplete: return "dt_complete";
-    case Endpoint::kDtFailure: return "dt_failure";
-    case Endpoint::kDtGiveUp: return "dt_give_up";
-    case Endpoint::kDsSchedule: return "ds_schedule";
-    case Endpoint::kDsPin: return "ds_pin";
-    case Endpoint::kDsUnschedule: return "ds_unschedule";
-    case Endpoint::kDsSync: return "ds_sync";
-    case Endpoint::kDdcPublish: return "ddc_publish";
-    case Endpoint::kDdcSearch: return "ddc_search";
-    case Endpoint::kDcRegisterBatch: return "dc_register_batch";
-    case Endpoint::kDcLocatorsBatch: return "dc_locators_batch";
-    case Endpoint::kDsScheduleBatch: return "ds_schedule_batch";
-    case Endpoint::kDdcPublishBatch: return "ddc_publish_batch";
-    case Endpoint::kDrPutStart: return "dr_put_start";
-    case Endpoint::kDrPutChunk: return "dr_put_chunk";
-    case Endpoint::kDrPutCommit: return "dr_put_commit";
-    case Endpoint::kDrGetChunk: return "dr_get_chunk";
-    case Endpoint::kDsHosts: return "ds_hosts";
-    case Endpoint::kDrStats: return "dr_stats";
-  }
-  return "unknown";
+  const auto value = static_cast<std::size_t>(endpoint);
+  if (value >= std::size(kEndpointNames)) return "unknown";
+  return kEndpointNames[value];
 }
 
 void write_frame_header(Writer& w, const FrameHeader& header) {
@@ -168,7 +192,7 @@ void write_error(Writer& w, const api::Error& error) {
 api::Error read_error(Reader& r) {
   api::Error error;
   const std::uint8_t code = r.u8();
-  if (code > static_cast<std::uint8_t>(api::Errc::kInvalidArgument)) {
+  if (code > static_cast<std::uint8_t>(api::Errc::kRedirect)) {
     throw CodecError("bad error code " + std::to_string(code));
   }
   error.code = static_cast<api::Errc>(code);
@@ -397,6 +421,160 @@ void write_status_batch(Writer& w, const std::vector<api::Status>& statuses) {
 
 std::vector<api::Status> read_status_batch(Reader& r) {
   return read_list<api::Status>(r, read_status);
+}
+
+bool ring_op_endpoint_allowed(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::kDcRegister:
+    case Endpoint::kDcRemove:
+    case Endpoint::kDcAddLocator:
+    case Endpoint::kDdcPublish:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void write_ring_node(Writer& w, const RingNode& node) {
+  w.u64(node.id);
+  w.str(node.endpoint);
+}
+
+RingNode read_ring_node(Reader& r) {
+  RingNode node;
+  node.id = r.u64();
+  node.endpoint = r.str();
+  return node;
+}
+
+namespace {
+
+void write_ring_node_list(Writer& w, const std::vector<RingNode>& nodes) {
+  write_list(w, nodes, write_ring_node);
+}
+
+std::vector<RingNode> read_ring_node_list(Reader& r) {
+  return read_list<RingNode>(r, read_ring_node);
+}
+
+void write_ring_op_list(Writer& w, const std::vector<RingOp>& ops) {
+  write_list(w, ops, write_ring_op);
+}
+
+std::vector<RingOp> read_ring_op_list(Reader& r) {
+  return read_list<RingOp>(r, read_ring_op);
+}
+
+}  // namespace
+
+void write_ring_lookup_reply(Writer& w, const RingLookupReply& reply) {
+  w.boolean(reply.done);
+  write_ring_node(w, reply.node);
+}
+
+RingLookupReply read_ring_lookup_reply(Reader& r) {
+  RingLookupReply reply;
+  reply.done = r.boolean();
+  reply.node = read_ring_node(r);
+  return reply;
+}
+
+void write_ring_op(Writer& w, const RingOp& op) {
+  w.u16(static_cast<std::uint16_t>(op.endpoint));
+  w.str(op.body);
+}
+
+RingOp read_ring_op(Reader& r) {
+  const std::uint16_t endpoint = r.u16();
+  if (endpoint > kMaxEndpoint || !ring_op_endpoint_allowed(static_cast<Endpoint>(endpoint))) {
+    throw CodecError("illegal ring op endpoint " + std::to_string(endpoint));
+  }
+  RingOp op;
+  op.endpoint = static_cast<Endpoint>(endpoint);
+  op.body = r.str();
+  return op;
+}
+
+void write_ring_join_reply(Writer& w, const RingJoinReply& reply) {
+  write_ring_node(w, reply.self);
+  w.boolean(reply.has_pred);
+  write_ring_node(w, reply.pred);
+  write_ring_node_list(w, reply.successors);
+  write_ring_op_list(w, reply.handoff);
+}
+
+RingJoinReply read_ring_join_reply(Reader& r) {
+  RingJoinReply reply;
+  reply.self = read_ring_node(r);
+  reply.has_pred = r.boolean();
+  reply.pred = read_ring_node(r);
+  reply.successors = read_ring_node_list(r);
+  reply.handoff = read_ring_op_list(r);
+  return reply;
+}
+
+void write_ring_stabilize_reply(Writer& w, const RingStabilizeReply& reply) {
+  w.boolean(reply.has_pred);
+  write_ring_node(w, reply.pred);
+  write_ring_node_list(w, reply.successors);
+}
+
+RingStabilizeReply read_ring_stabilize_reply(Reader& r) {
+  RingStabilizeReply reply;
+  reply.has_pred = r.boolean();
+  reply.pred = read_ring_node(r);
+  reply.successors = read_ring_node_list(r);
+  return reply;
+}
+
+void write_ring_store_request(Writer& w, const RingStoreRequest& request) {
+  w.boolean(request.replicate);
+  write_ring_op_list(w, request.ops);
+}
+
+RingStoreRequest read_ring_store_request(Reader& r) {
+  RingStoreRequest request;
+  request.replicate = r.boolean();
+  request.ops = read_ring_op_list(r);
+  return request;
+}
+
+void write_ring_leave_request(Writer& w, const RingLeaveRequest& request) {
+  write_ring_node(w, request.leaver);
+  w.boolean(request.has_pred);
+  write_ring_node(w, request.pred);
+}
+
+RingLeaveRequest read_ring_leave_request(Reader& r) {
+  RingLeaveRequest request;
+  request.leaver = read_ring_node(r);
+  request.has_pred = r.boolean();
+  request.pred = read_ring_node(r);
+  return request;
+}
+
+void write_ring_status_info(Writer& w, const RingStatusInfo& info) {
+  write_ring_node(w, info.self);
+  w.boolean(info.has_pred);
+  write_ring_node(w, info.pred);
+  write_ring_node_list(w, info.successors);
+  w.u32(info.fingers_resolved);
+  w.u32(info.fingers_total);
+  w.u64(info.dc_keys);
+  w.u64(info.ddc_keys);
+}
+
+RingStatusInfo read_ring_status_info(Reader& r) {
+  RingStatusInfo info;
+  info.self = read_ring_node(r);
+  info.has_pred = r.boolean();
+  info.pred = read_ring_node(r);
+  info.successors = read_ring_node_list(r);
+  info.fingers_resolved = r.u32();
+  info.fingers_total = r.u32();
+  info.dc_keys = r.u64();
+  info.ddc_keys = r.u64();
+  return info;
 }
 
 std::int64_t register_batch_bytes(const std::vector<core::Data>& items) {

@@ -67,10 +67,25 @@ enum class Endpoint : std::uint16_t {
   // can assert collective distribution really bounded the central store's
   // outbound bytes.
   kDrStats = 30,      ///< (empty) → Expected<RepoStats>
+  // Live DHT ring (PR 6): the Distributed Data Catalog's metadata plane
+  // sharded across a ring of bitdewd members (docs/architecture.md §ring).
+  kRingLookup = 31,     ///< u64 hash → Expected<RingLookupReply>
+  kRingJoin = 32,       ///< RingNode joiner → Expected<RingJoinReply>
+  kRingNotify = 33,     ///< RingNode candidate predecessor → Status
+  kRingStabilize = 34,  ///< (empty) → Expected<RingStabilizeReply>
+  kRingStore = 35,      ///< RingStoreRequest → status batch (one per op)
+  kRingLeave = 36,      ///< RingLeaveRequest → Status
+  kRingInfo = 37,       ///< (empty) → Expected<RingStatusInfo>
+  kRingSearch = 38,     ///< name → Expected<data list>; member-local
+                        ///< dc_search, never fanned out again
+  // Sentinel: must stay last. kMaxEndpoint derives from it so the decode
+  // range in read_frame_header can never drift when endpoints are added;
+  // wire.cpp static_asserts that endpoint_name covers every value.
+  kEndpointCount,
 };
 
 inline constexpr std::uint16_t kMaxEndpoint =
-    static_cast<std::uint16_t>(Endpoint::kDrStats);
+    static_cast<std::uint16_t>(Endpoint::kEndpointCount) - 1;
 
 const char* endpoint_name(Endpoint endpoint);
 
@@ -123,6 +138,113 @@ services::RepoStats read_repo_stats(Reader& r);
 /// index-aligned with the download partition).
 void write_source_lists(Writer& w, const std::vector<std::vector<core::Locator>>& sources);
 std::vector<std::vector<core::Locator>> read_source_lists(Reader& r);
+
+// --- ring messages -----------------------------------------------------------
+// The live DHT ring (src/dht/live_ring.hpp) speaks these over the same
+// framed transport as the catalog endpoints. A RingNode is a member's ring
+// position plus the "host:port" its ServiceHost answers on.
+
+struct RingNode {
+  std::uint64_t id = 0;
+  std::string endpoint;  ///< "host:port" of the member's ServiceHost
+
+  friend bool operator==(const RingNode&, const RingNode&) = default;
+};
+
+/// One step of an iterative lookup: either the owner was resolved (`done`)
+/// or `node` is the next member to ask.
+struct RingLookupReply {
+  bool done = false;
+  RingNode node;
+
+  friend bool operator==(const RingLookupReply&, const RingLookupReply&) = default;
+};
+
+/// A replayable catalog mutation: the original request body under its
+/// endpoint. Only the keyed mutating endpoints (dc_register, dc_remove,
+/// dc_add_locator, ddc_publish) are legal here — read_ring_op rejects
+/// anything else, so a kRingStore frame can never smuggle arbitrary calls.
+struct RingOp {
+  Endpoint endpoint = Endpoint::kDcRegister;
+  std::string body;
+
+  friend bool operator==(const RingOp&, const RingOp&) = default;
+};
+
+/// True when `endpoint` may appear inside a RingOp.
+bool ring_op_endpoint_allowed(Endpoint endpoint);
+
+struct RingJoinReply {
+  RingNode self;                     ///< the successor that admitted us
+  bool has_pred = false;
+  RingNode pred;                     ///< its previous predecessor (our hint)
+  std::vector<RingNode> successors;  ///< its successor list
+  std::vector<RingOp> handoff;       ///< keys in (pred, joiner] re-encoded
+
+  friend bool operator==(const RingJoinReply&, const RingJoinReply&) = default;
+};
+
+struct RingStabilizeReply {
+  bool has_pred = false;
+  RingNode pred;
+  std::vector<RingNode> successors;
+
+  friend bool operator==(const RingStabilizeReply&, const RingStabilizeReply&) = default;
+};
+
+struct RingStoreRequest {
+  /// true: the receiver owns these ops and re-replicates them to its own
+  /// successor list; false: plain replica write, no further fan-out.
+  bool replicate = false;
+  std::vector<RingOp> ops;
+
+  friend bool operator==(const RingStoreRequest&, const RingStoreRequest&) = default;
+};
+
+struct RingLeaveRequest {
+  RingNode leaver;
+  bool has_pred = false;
+  RingNode pred;  ///< the leaver's predecessor, adopted by its successor
+
+  friend bool operator==(const RingLeaveRequest&, const RingLeaveRequest&) = default;
+};
+
+struct RingStatusInfo {
+  RingNode self;
+  bool has_pred = false;
+  RingNode pred;
+  std::vector<RingNode> successors;
+  std::uint32_t fingers_resolved = 0;
+  std::uint32_t fingers_total = 0;
+  std::uint64_t dc_keys = 0;   ///< catalog uids held (replicas included)
+  std::uint64_t ddc_keys = 0;  ///< ddc keys held (replicas included)
+
+  friend bool operator==(const RingStatusInfo&, const RingStatusInfo&) = default;
+};
+
+void write_ring_node(Writer& w, const RingNode& node);
+RingNode read_ring_node(Reader& r);
+
+void write_ring_lookup_reply(Writer& w, const RingLookupReply& reply);
+RingLookupReply read_ring_lookup_reply(Reader& r);
+
+void write_ring_op(Writer& w, const RingOp& op);
+RingOp read_ring_op(Reader& r);
+
+void write_ring_join_reply(Writer& w, const RingJoinReply& reply);
+RingJoinReply read_ring_join_reply(Reader& r);
+
+void write_ring_stabilize_reply(Writer& w, const RingStabilizeReply& reply);
+RingStabilizeReply read_ring_stabilize_reply(Reader& r);
+
+void write_ring_store_request(Writer& w, const RingStoreRequest& request);
+RingStoreRequest read_ring_store_request(Reader& r);
+
+void write_ring_leave_request(Writer& w, const RingLeaveRequest& request);
+RingLeaveRequest read_ring_leave_request(Reader& r);
+
+void write_ring_status_info(Writer& w, const RingStatusInfo& info);
+RingStatusInfo read_ring_status_info(Reader& r);
 
 // --- error channel -----------------------------------------------------------
 void write_error(Writer& w, const api::Error& error);

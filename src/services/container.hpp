@@ -93,6 +93,76 @@ class ServiceContainer {
     return true;
   }
 
+  // --- durable ring state ---------------------------------------------------
+  // The live DHT ring (services/ring_router.hpp) mirrors its key index —
+  // which dc_*/ddc_* keys this member holds — and the ddc (key, value)
+  // pairs (the LocalDht is memory-only) into the WAL, so a restarted
+  // durable member rejoins the ring re-announcing its range instead of
+  // starting empty. No-ops on an in-memory database.
+
+  void persist_ring_key(const std::string& key) {
+    if (!database_->durable()) return;
+    db::Table& table = database_->create_table({kRingKeysTable, "key", {}});
+    if (table.by_primary(db::Value(key))) return;
+    db::Row row;
+    row["key"] = key;
+    database_->insert(kRingKeysTable, std::move(row));
+  }
+
+  void forget_ring_key(const std::string& key) {
+    if (!database_->durable()) return;
+    if (db::Table* table = database_->table(kRingKeysTable)) {
+      if (const auto row = table->by_primary(db::Value(key))) {
+        database_->erase(kRingKeysTable, *row);
+      }
+    }
+  }
+
+  template <typename Fn>  // Fn(const std::string& key)
+  void for_each_ring_key(Fn fn) const {
+    const db::Table* table = database_->table(kRingKeysTable);
+    if (table == nullptr) return;
+    table->scan([&](db::RowId, const db::Row& row) {
+      const auto key = row.find("key");
+      if (key != row.end() && std::holds_alternative<std::string>(key->second)) {
+        fn(std::get<std::string>(key->second));
+      }
+      return true;
+    });
+  }
+
+  void persist_ddc_pair(const std::string& key, const std::string& value) {
+    if (!database_->durable()) return;
+    rpc::Writer w;
+    w.str(key);
+    w.str(value);
+    std::string blob = w.take();
+    db::Table& table = database_->create_table({kDdcPairsTable, "pair", {}});
+    if (table.by_primary(db::Value(blob))) return;
+    db::Row row;
+    row["pair"] = std::move(blob);
+    database_->insert(kDdcPairsTable, std::move(row));
+  }
+
+  template <typename Fn>  // Fn(const std::string& key, const std::string& value)
+  void for_each_ddc_pair(Fn fn) const {
+    const db::Table* table = database_->table(kDdcPairsTable);
+    if (table == nullptr) return;
+    table->scan([&](db::RowId, const db::Row& row) {
+      const auto blob = row.find("pair");
+      if (blob == row.end() || !std::holds_alternative<std::string>(blob->second)) return true;
+      try {
+        rpc::Reader r(std::get<std::string>(blob->second));
+        const std::string key = r.str();
+        const std::string value = r.str();
+        fn(key, value);
+      } catch (const rpc::CodecError&) {
+        // A corrupt pair loses that entry, nothing else.
+      }
+      return true;
+    });
+  }
+
   DataCatalog& dc() { return catalog_; }
   DataRepository& dr() { return repository_; }
   DataTransfer& dt() { return transfer_; }
@@ -102,6 +172,8 @@ class ServiceContainer {
 
  private:
   static constexpr const char* kThetaTable = "ds_theta";
+  static constexpr const char* kRingKeysTable = "ring_keys";
+  static constexpr const char* kDdcPairsTable = "ddc_pairs";
 
   /// Mirrors an accepted entry into the WAL as the scheduler NORMALIZED it
   /// (a duration lifetime is anchored at receipt): replaying the raw request

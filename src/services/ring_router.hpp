@@ -1,0 +1,112 @@
+// RingRouter: the catalog side of the live DHT ring. Sits between
+// ServiceHost dispatch and the ServiceContainer/LocalDht store, deciding
+// for every keyed dc_*/ddc_* request whether this member serves it (it owns
+// the key hash, or an iterative lookup resolved to us), or the client is
+// redirected (Errc::kRedirect carrying the owner's "host:port", which
+// RemoteServiceBus chases).
+//
+// The router also owns the member's key index — hash → key strings
+// ("dc:<uid>" / "ddc:<key>") — which backs join/leave handoff, incremental
+// anti-entropy repair toward the successor list, the WAL persistence of
+// per-node key ranges (a restarted durable member rejoins with its keys
+// instead of empty), and the per-node key counts the kRingInfo endpoint
+// reports.
+//
+// Locking: the router never holds its index mutex while taking the
+// container lock (Hooks::with_store) and never holds either across a ring
+// RPC — replication and forwarding happen strictly after local apply
+// releases the store.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dht/live_ring.hpp"
+#include "dht/local_dht.hpp"
+#include "rpc/wire.hpp"
+#include "services/container.hpp"
+
+namespace bitdew::services {
+
+class RingRouter {
+ public:
+  struct Hooks {
+    /// Runs `fn` with the container/ddc lock held.
+    std::function<void(const std::function<void()>&)> with_store;
+    /// Applies an encoded request body locally and returns the encoded
+    /// reply. MUST be invoked inside with_store.
+    std::function<std::string(rpc::wire::Endpoint, rpc::Reader&)> apply;
+  };
+
+  RingRouter(ServiceContainer& container, dht::LocalDht& ddc, Hooks hooks);
+  RingRouter(const RingRouter&) = delete;
+  RingRouter& operator=(const RingRouter&) = delete;
+
+  void attach(dht::LiveRing& ring) { ring_ = &ring; }
+
+  /// Rebuilds the key index from the WAL (and replays persisted ddc pairs
+  /// into the LocalDht). Call once before the ring starts serving.
+  void restore_persisted_state();
+
+  /// Routing entry from ServiceHost::dispatch. nullopt = endpoint is not
+  /// ring-routed; the caller falls through to plain local dispatch.
+  std::optional<std::string> route(rpc::wire::Endpoint endpoint, rpc::Reader& r);
+
+  /// Re-encodes locally held entries with key hash in (from, to] as
+  /// replayable ops ((from, from] = everything). Bound into the ring's
+  /// join/leave handoff.
+  std::vector<rpc::wire::RingOp> ops_in_range(std::uint64_t from_excl, std::uint64_t to_incl);
+
+  /// Applies ops locally (kRingStore server side and join handoff
+  /// ingestion); with `replicate` the ops are re-fanned to our successor
+  /// list afterwards (we are their new owner). Returns per-op statuses.
+  std::vector<api::Status> apply_ops(const std::vector<rpc::wire::RingOp>& ops, bool replicate);
+
+  /// One incremental anti-entropy round: re-sends a small window of owned
+  /// entries to the live successors, restoring f-replication after churn.
+  void repair();
+
+  /// Fills the key counters of a kRingInfo reply.
+  void fill_counts(rpc::wire::RingStatusInfo& info) const;
+
+ private:
+  static std::string dc_key(const util::Auid& uid) { return "dc:" + uid.str(); }
+  static std::string ddc_key(const std::string& key) { return "ddc:" + key; }
+
+  std::optional<std::string> route_keyed(rpc::wire::Endpoint endpoint, rpc::Reader& r,
+                                         const std::string& key);
+  std::string search_all(rpc::Reader& r);
+  std::string register_batch(rpc::Reader& r);
+  std::string publish_batch(rpc::Reader& r);
+  std::string locators_batch(rpc::Reader& r);
+
+  /// Updates index + WAL after a locally applied write. Requires the
+  /// container lock (call inside with_store).
+  void note_write_locked(rpc::wire::Endpoint endpoint, const std::string& key,
+                         const std::string& body, const std::string& reply);
+  /// True when the applied status warrants replication to successors
+  /// (success, or idempotent-echo codes like duplicate/not_found).
+  static bool should_replicate(const std::string& reply);
+  void replicate(const std::vector<rpc::wire::RingOp>& ops);
+  void index_add(const std::string& key);
+  void index_remove(const std::string& key);
+  std::vector<std::string> keys_in_range(std::uint64_t from_excl, std::uint64_t to_incl) const;
+  std::vector<rpc::wire::RingOp> assemble_ops(const std::vector<std::string>& keys);
+
+  ServiceContainer& container_;
+  dht::LocalDht& ddc_;
+  Hooks hooks_;
+  dht::LiveRing* ring_ = nullptr;
+
+  mutable std::mutex index_mutex_;
+  std::map<std::uint64_t, std::set<std::string>> index_;  ///< hash → key strings
+  std::size_t repair_cursor_ = 0;
+};
+
+}  // namespace bitdew::services

@@ -446,6 +446,195 @@ TEST(Wire, FuzzedGarbageEitherDecodesOrThrowsTyped) {
   }
 }
 
+// --- live ring frames --------------------------------------------------------
+
+rpc::wire::RingNode ring_node(std::uint64_t id, const std::string& endpoint) {
+  rpc::wire::RingNode node;
+  node.id = id;
+  node.endpoint = endpoint;
+  return node;
+}
+
+TEST(Wire, RingFramesRoundTrip) {
+  namespace wire = rpc::wire;
+
+  const wire::RingNode node = ring_node(0xfeedfacecafebeefULL, "10.0.0.7:9328");
+  {
+    rpc::Writer w;
+    wire::write_ring_node(w, node);
+    rpc::Reader r(w.buffer());
+    EXPECT_EQ(wire::read_ring_node(r), node);
+    EXPECT_TRUE(r.exhausted());
+  }
+
+  wire::RingLookupReply lookup;
+  lookup.done = true;
+  lookup.node = node;
+  {
+    rpc::Writer w;
+    wire::write_ring_lookup_reply(w, lookup);
+    rpc::Reader r(w.buffer());
+    EXPECT_EQ(wire::read_ring_lookup_reply(r), lookup);
+    EXPECT_TRUE(r.exhausted());
+  }
+
+  wire::RingOp op;
+  op.endpoint = wire::Endpoint::kDdcPublish;
+  op.body = std::string("k\0v", 3);  // bodies are opaque bytes, NULs included
+  wire::RingJoinReply join;
+  join.self = node;
+  join.has_pred = true;
+  join.pred = ring_node(1, "10.0.0.1:9328");
+  join.successors = {node, ring_node(2, "10.0.0.2:9328")};
+  join.handoff = {op, {wire::Endpoint::kDcRegister, "payload"}};
+  {
+    rpc::Writer w;
+    wire::write_ring_join_reply(w, join);
+    rpc::Reader r(w.buffer());
+    EXPECT_EQ(wire::read_ring_join_reply(r), join);
+    EXPECT_TRUE(r.exhausted());
+  }
+
+  wire::RingStabilizeReply stabilize;
+  stabilize.has_pred = false;
+  stabilize.successors = {ring_node(3, "a:1"), ring_node(4, "b:2")};
+  {
+    rpc::Writer w;
+    wire::write_ring_stabilize_reply(w, stabilize);
+    rpc::Reader r(w.buffer());
+    EXPECT_EQ(wire::read_ring_stabilize_reply(r), stabilize);
+    EXPECT_TRUE(r.exhausted());
+  }
+
+  wire::RingStoreRequest store;
+  store.replicate = true;
+  store.ops = {op};
+  {
+    rpc::Writer w;
+    wire::write_ring_store_request(w, store);
+    rpc::Reader r(w.buffer());
+    EXPECT_EQ(wire::read_ring_store_request(r), store);
+    EXPECT_TRUE(r.exhausted());
+  }
+
+  wire::RingLeaveRequest leave;
+  leave.leaver = node;
+  leave.has_pred = true;
+  leave.pred = ring_node(9, "c:3");
+  {
+    rpc::Writer w;
+    wire::write_ring_leave_request(w, leave);
+    rpc::Reader r(w.buffer());
+    EXPECT_EQ(wire::read_ring_leave_request(r), leave);
+    EXPECT_TRUE(r.exhausted());
+  }
+
+  wire::RingStatusInfo info;
+  info.self = node;
+  info.has_pred = true;
+  info.pred = ring_node(5, "d:4");
+  info.successors = {ring_node(6, "e:5")};
+  info.fingers_resolved = 12;
+  info.fingers_total = 96;
+  info.dc_keys = 1234;
+  info.ddc_keys = 99;
+  {
+    rpc::Writer w;
+    wire::write_ring_status_info(w, info);
+    rpc::Reader r(w.buffer());
+    EXPECT_EQ(wire::read_ring_status_info(r), info);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Wire, RingOpRejectsIllegalEndpoint) {
+  namespace wire = rpc::wire;
+  // Only the keyed mutating endpoints may ride inside a kRingStore frame; a
+  // handcrafted op naming anything else (here dr_put) must be rejected, not
+  // dispatched.
+  EXPECT_FALSE(wire::ring_op_endpoint_allowed(wire::Endpoint::kDrPut));
+  EXPECT_FALSE(wire::ring_op_endpoint_allowed(wire::Endpoint::kRingStore));
+  EXPECT_TRUE(wire::ring_op_endpoint_allowed(wire::Endpoint::kDcRegister));
+  EXPECT_TRUE(wire::ring_op_endpoint_allowed(wire::Endpoint::kDcRemove));
+  EXPECT_TRUE(wire::ring_op_endpoint_allowed(wire::Endpoint::kDcAddLocator));
+  EXPECT_TRUE(wire::ring_op_endpoint_allowed(wire::Endpoint::kDdcPublish));
+
+  rpc::Writer w;
+  w.u16(static_cast<std::uint16_t>(wire::Endpoint::kDrPut));
+  w.str("body");
+  rpc::Reader r(w.buffer());
+  EXPECT_THROW(wire::read_ring_op(r), rpc::CodecError);
+}
+
+TEST(Wire, RingFramesTruncationThrows) {
+  namespace wire = rpc::wire;
+  wire::RingJoinReply join;
+  join.self = ring_node(42, "10.1.2.3:9400");
+  join.has_pred = true;
+  join.pred = ring_node(41, "10.1.2.2:9400");
+  join.successors = {ring_node(43, "10.1.2.4:9400")};
+  join.handoff = {{wire::Endpoint::kDdcPublish, "kv"}};
+  rpc::Writer w;
+  wire::write_ring_join_reply(w, join);
+  const std::string full = w.buffer();
+  // Every strict prefix must fail typed — never crash, never misdecode.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    rpc::Reader r(full.substr(0, cut));
+    EXPECT_THROW(wire::read_ring_join_reply(r), rpc::CodecError) << "prefix " << cut;
+  }
+}
+
+TEST(Wire, RingFuzzedGarbageEitherDecodesOrThrowsTyped) {
+  util::Rng rng(0x516e6);
+  for (int round = 0; round < 500; ++round) {
+    std::string garbage;
+    const std::uint64_t length = rng.below(160);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      garbage.push_back(static_cast<char>(rng.below(256)));
+    }
+    const auto probe = [&](auto&& decode) {
+      rpc::Reader r(garbage);
+      try {
+        decode(r);
+      } catch (const rpc::CodecError&) {
+        // typed failure is the expected outcome for most inputs
+      }
+    };
+    probe([](rpc::Reader& r) { rpc::wire::read_ring_node(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_ring_lookup_reply(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_ring_op(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_ring_join_reply(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_ring_stabilize_reply(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_ring_store_request(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_ring_leave_request(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_ring_status_info(r); });
+  }
+}
+
+TEST(Wire, EveryEndpointHasAName) {
+  // kMaxEndpoint derives from the kEndpointCount sentinel, and wire.cpp
+  // static_asserts the name table covers the enum — this guards the other
+  // half: nothing in range answers "unknown", everything past it does.
+  for (std::uint16_t code = 0; code <= rpc::wire::kMaxEndpoint; ++code) {
+    EXPECT_STRNE(rpc::wire::endpoint_name(static_cast<rpc::wire::Endpoint>(code)), "unknown")
+        << "endpoint " << code;
+  }
+  EXPECT_STREQ(rpc::wire::endpoint_name(rpc::wire::Endpoint::kEndpointCount), "unknown");
+}
+
+TEST(Wire, RedirectErrorRoundTrip) {
+  const api::Status redirect(
+      api::Error{api::Errc::kRedirect, "ring", "10.9.8.7:9328"});
+  rpc::Writer w;
+  rpc::wire::write_status(w, redirect);
+  rpc::Reader r(w.buffer());
+  const api::Status decoded = rpc::wire::read_status(r);
+  EXPECT_TRUE(r.exhausted());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, api::Errc::kRedirect);
+  EXPECT_EQ(decoded.error().message, "10.9.8.7:9328");
+}
+
 TEST(Wire, MalformedBatchThrows) {
   rpc::Writer w;
   w.u32(1000);  // claims 1000 items, provides none
