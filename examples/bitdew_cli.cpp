@@ -23,7 +23,14 @@
 //
 // Remote commands: create NAME SIZE | attr NAME DSL | search NAME |
 // locate NAME | delete NAME | publish KEY VALUE | lookup KEY |
-// put NAME PATH | get NAME PATH | chunk BYTES | status | ring
+// put NAME PATH | get NAME PATH | chunk BYTES | status | ring |
+// job submit NAME INPUTS COLLECTOR CMD... | job status UID
+//
+// `job submit` runs CMD over every input (compute-to-data): INPUTS is a
+// comma-separated list of data names, COLLECTOR the datum results flow to,
+// and CMD may use {input}/{output} placeholders. One task per input is
+// placed on workers that already hold the input replica. `job status UID`
+// prints completion and the data-local fraction.
 //
 // `ring` walks the live DHT ring starting at the connected member and
 // prints every member's id, predecessor, successor list, finger health and
@@ -48,6 +55,7 @@
 
 #include "api/remote_service_bus.hpp"
 #include "api/session.hpp"
+#include "jobs/job_types.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "testbed/topologies.hpp"
 #include "util/bytes.hpp"
@@ -441,6 +449,106 @@ struct RemoteCli {
     return true;
   }
 
+  /// Submits one job: a command template over a comma-separated input list,
+  /// results converging on COLLECTOR. Prints the job uid for scripts.
+  bool job_submit(const std::string& name, const std::string& inputs_csv,
+                  const std::string& collector_name, const std::string& command) {
+    if (name.empty() || inputs_csv.empty() || collector_name.empty() || command.empty()) {
+      std::fprintf(stderr, "usage: job submit NAME INPUT[,INPUT...] COLLECTOR CMD...\n");
+      return false;
+    }
+    jobs::JobSpec spec;
+    spec.uid = util::next_auid();
+    spec.name = name;
+    // Shell-style split: a '...'/"..." group is ONE argv element, so
+    //   job submit count c0 coll /bin/sh -c 'wc -l < "$0" > "$1"' {input} {output}
+    // hands sh the whole script as a single -c argument.
+    {
+      std::string token;
+      bool in_token = false;
+      char quote = '\0';
+      for (char c : command) {
+        if (quote != '\0') {
+          if (c == quote) {
+            quote = '\0';
+          } else {
+            token += c;
+          }
+        } else if (c == '\'' || c == '"') {
+          quote = c;
+          in_token = true;
+        } else if (c == ' ' || c == '\t') {
+          if (in_token) spec.argv.push_back(token);
+          token.clear();
+          in_token = false;
+        } else {
+          token += c;
+          in_token = true;
+        }
+      }
+      if (quote != '\0') {
+        std::fprintf(stderr, "error: unterminated %c quote in command\n", quote);
+        return false;
+      }
+      if (in_token) spec.argv.push_back(token);
+    }
+    std::istringstream inputs(inputs_csv);
+    std::string input_name;
+    while (std::getline(inputs, input_name, ',')) {
+      const auto input = resolve(input_name);
+      if (!input.has_value()) return false;
+      spec.inputs.push_back(input->uid);
+    }
+    const auto collector = resolve(collector_name);
+    if (!collector.has_value()) return false;
+    spec.collector = collector->uid;
+    std::optional<api::Expected<util::Auid>> submitted;
+    bus.job_submit(spec, [&](api::Expected<util::Auid> reply) { submitted = std::move(reply); });
+    if (!submitted.has_value() || !submitted->ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   submitted.has_value() ? (*submitted).error().to_string().c_str()
+                                         : "no reply");
+      return false;
+    }
+    std::printf("job %s submitted, uid %s, %zu task(s)\n", name.c_str(),
+                (*submitted)->str().c_str(), spec.inputs.size());
+    return true;
+  }
+
+  bool job_status(const std::string& uid_text) {
+    const util::Auid uid = util::Auid::parse(uid_text);
+    if (uid.is_nil()) {
+      std::fprintf(stderr, "error: bad job uid '%s'\n", uid_text.c_str());
+      return false;
+    }
+    std::optional<api::Expected<jobs::JobStatusInfo>> status;
+    bus.job_status(uid, [&](api::Expected<jobs::JobStatusInfo> reply) {
+      status = std::move(reply);
+    });
+    if (!status.has_value() || !status->ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   status.has_value() ? (*status).error().to_string().c_str() : "no reply");
+      return false;
+    }
+    const jobs::JobStatusInfo& info = **status;
+    std::printf("job %s (%s): %d/%d done, %d waiting, %d running, %d failed, "
+                "%d re-placed, data-local %d/%d (%.0f%%)%s\n",
+                info.name.c_str(), info.job.str().c_str(), info.done, info.total,
+                info.waiting, info.running, info.failed, info.replaced, info.data_local,
+                info.done, 100.0 * info.data_local_fraction(),
+                info.complete() ? " COMPLETE" : "");
+    for (const jobs::TaskInfo& task : info.tasks) {
+      std::printf("  task %-3d %-8s attempt %d%s%s%s\n", task.index,
+                  jobs::task_phase_name(task.phase), task.attempts,
+                  task.runner.empty() ? "" : (" on " + task.runner).c_str(),
+                  task.phase == jobs::TaskPhase::kDone
+                      ? (task.data_local ? ", data-local" : ", fetched")
+                      : "",
+                  task.result.is_nil() ? "" : (", result " + task.result.str()).c_str());
+    }
+    return true;
+  }
+
   bool publish(const std::string& key, const std::string& value) {
     const api::Status published = session.publish(key, value);
     if (!published.ok()) {
@@ -513,10 +621,29 @@ struct RemoteCli {
       return status();
     } else if (verb == "ring") {
       return ring();
+    } else if (verb == "job") {
+      std::string sub;
+      in >> sub;
+      if (sub == "submit") {
+        std::string name, inputs_csv, collector_name;
+        in >> name >> inputs_csv >> collector_name;
+        std::string command;
+        std::getline(in, command);
+        return job_submit(name, inputs_csv, collector_name,
+                          std::string(util::trim(command)));
+      }
+      if (sub == "status") {
+        std::string uid_text;
+        in >> uid_text;
+        return job_status(uid_text);
+      }
+      std::fprintf(stderr, "usage: job submit NAME INPUTS COLLECTOR CMD... | job status UID\n");
+      return false;
     } else if (verb == "help") {
       std::printf("commands: create NAME SIZE | attr NAME DSL | search NAME |"
                   " locate NAME | delete NAME | put NAME PATH | get NAME PATH |"
-                  " chunk BYTES | publish KEY VALUE | lookup KEY | status | ring\n");
+                  " chunk BYTES | publish KEY VALUE | lookup KEY | status | ring |"
+                  " job submit NAME INPUTS COLLECTOR CMD... | job status UID\n");
     } else {
       std::fprintf(stderr, "error: unknown command '%s' (try help)\n", verb.c_str());
       return false;

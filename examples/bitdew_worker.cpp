@@ -6,7 +6,7 @@
 //   bitdew_worker --connect HOST:PORT --name N --cache DIR
 //                 [--heartbeat S] [--chunk BYTES] [--max-transfers N]
 //                 [--peer-port P] [--advertise HOST] [--no-peer]
-//                 [--peer-rate BYTES]
+//                 [--peer-rate BYTES] [--exec SLOTS] [--scratch DIR]
 //
 //   --connect HOST:PORT  the bitdewd daemon to join (required)
 //   --name N             host name announced in ds_sync (required; the
@@ -26,19 +26,31 @@
 //                        still downloads FROM peers when a datum is p2p)
 //   --peer-rate BYTES    cap the chunk server's upload at BYTES/s, e.g.
 //                        "8MB" (default 0 = unlimited)
+//   --exec SLOTS         run a TaskRunner with SLOTS concurrent executions:
+//                        the worker claims job tasks placed on its replicas
+//                        (compute-to-data) and publishes their results
+//                        (default 0 = data plane only)
+//   --scratch DIR        fetched inputs + command outputs for --exec
+//                        (default CACHE/scratch)
 //
 // The worker prints one line per life-cycle event (joined / downloading /
 // replica verified / dropped) — the live-fault-tolerance CI job and humans
 // tail these — and exits cleanly on SIGINT/SIGTERM. kill -9 it to play the
 // paper's Fig. 4 experiment: within 3 heartbeats the scheduler declares the
 // node dead and re-schedules its fault-tolerant replicas onto survivors.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
+#include <random>
 #include <string>
 #include <thread>
+#include <unistd.h>
 
+#include "jobs/task_runner.hpp"
 #include "runtime/node_runtime.hpp"
 #include "util/bytes.hpp"
 #include "util/log.hpp"
@@ -55,7 +67,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --connect HOST:PORT --name N --cache DIR"
                " [--heartbeat S] [--chunk BYTES] [--max-transfers N]"
-               " [--peer-port P] [--advertise HOST] [--no-peer] [--peer-rate BYTES]\n",
+               " [--peer-port P] [--advertise HOST] [--no-peer] [--peer-rate BYTES]"
+               " [--exec SLOTS] [--scratch DIR]\n",
                argv0);
   return 2;
 }
@@ -67,6 +80,8 @@ int main(int argc, char** argv) {
   runtime::NodeRuntimeConfig config;
   config.name.clear();
   config.cache_dir.clear();
+  int exec_slots = 0;
+  std::string scratch_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -132,6 +147,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.peer_upload_Bps = static_cast<double>(rate);
+    } else if (arg == "--exec") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      exec_slots = std::atoi(value);
+      if (exec_slots < 0) {
+        std::fprintf(stderr, "bitdew_worker: bad --exec '%s'\n", value);
+        return 2;
+      }
+    } else if (arg == "--scratch") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      scratch_dir = value;
     } else {
       return usage(argv[0]);
     }
@@ -151,6 +178,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Every worker process mints AUIDs (task results) against one shared
+  // daemon: without a unique per-process prefix all workers would mint the
+  // SAME uid sequence from the default seed and their results would clobber
+  // each other in the catalog.
+  std::random_device entropy;
+  util::reseed_auid((static_cast<std::uint64_t>(entropy()) << 32) ^ entropy() ^
+                    static_cast<std::uint64_t>(
+                        std::chrono::steady_clock::now().time_since_epoch().count()) ^
+                    (static_cast<std::uint64_t>(::getpid()) << 16) ^
+                    std::hash<std::string>{}(config.name));
+
   // Life-cycle events on stdout: the CI job greps these, humans tail them.
   util::set_log_level(util::LogLevel::kInfo);
 
@@ -161,6 +199,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::shared_ptr<jobs::TaskRunner> runner;
+  if (exec_slots > 0) {
+    jobs::TaskRunnerConfig runner_config;
+    runner_config.exec_slots = exec_slots;
+    runner_config.scratch_dir =
+        scratch_dir.empty()
+            ? (std::filesystem::path(config.cache_dir) / "scratch").string()
+            : scratch_dir;
+    runner_config.chunk_bytes = config.chunk_bytes;
+    runner = std::make_shared<jobs::TaskRunner>(node, host, static_cast<std::uint16_t>(port),
+                                                runner_config);
+    const api::Status running = runner->start();
+    if (!running.ok()) {
+      std::fprintf(stderr, "bitdew_worker: %s\n", running.error().to_string().c_str());
+      node.stop();
+      return 1;
+    }
+    node.active_data().add_callback(runner);
+  }
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   while (g_stop == 0) {
@@ -168,6 +226,14 @@ int main(int argc, char** argv) {
   }
 
   const runtime::NodeRuntimeStats stats = node.stats();  // before stop(): peer counters live
+  if (runner) {
+    const jobs::TaskRunnerStats tasks = runner->stats();
+    runner->stop();
+    std::printf("bitdew_worker: %s ran %llu task(s) (%llu data-local, %llu failed)\n",
+                config.name.c_str(), static_cast<unsigned long long>(tasks.tasks_ok),
+                static_cast<unsigned long long>(tasks.data_local),
+                static_cast<unsigned long long>(tasks.tasks_failed));
+  }
   node.stop();
   std::printf(
       "bitdew_worker: %s left after %llu sync(s), %llu download(s), %llu drop(s), "

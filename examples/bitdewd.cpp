@@ -4,7 +4,8 @@
 // api::RemoteServiceBus (or `bitdew_cli connect HOST:PORT`).
 //
 //   bitdewd [--port P] [--wal DIR] [--host NAME] [--compact-bytes N]
-//           [--loopback] [--data-rate BYTES] [--ring] [--ring-join HOST:PORT]
+//           [--loopback] [--data-rate BYTES] [--host-gc SWEEPS]
+//           [--ring] [--ring-join HOST:PORT]
 //           [--ring-id HEX] [--replication-f N] [--ring-stabilize S]
 //           [--advertise HOST]
 //
@@ -19,6 +20,9 @@
 //   --data-rate BYTES  cap data-plane egress (dr_get_chunk replies) at
 //                      BYTES/s, e.g. "64MB" (default 0 = unlimited);
 //                      control traffic is never shaped
+//   --host-gc SWEEPS   forget a dead worker from the host table after it
+//                      has missed SWEEPS failure sweeps (default 0 = list
+//                      dead hosts forever, the historical behavior)
 //
 // Live DHT ring (shard the dc_*/ddc_* metadata plane across daemons):
 //   --ring             become a ring member (bootstraps a new ring unless
@@ -58,7 +62,8 @@ void handle_signal(int) { g_stop = 1; }
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port P] [--wal DIR] [--host NAME] [--compact-bytes N]"
-               " [--loopback] [--data-rate BYTES] [--ring] [--ring-join HOST:PORT]"
+               " [--loopback] [--data-rate BYTES] [--host-gc SWEEPS]"
+               " [--ring] [--ring-join HOST:PORT]"
                " [--ring-id HEX] [--replication-f N] [--ring-stabilize S]"
                " [--advertise HOST]\n",
                argv0);
@@ -74,6 +79,7 @@ int main(int argc, char** argv) {
   std::uint64_t compact_bytes = 8u << 20;
   bool loopback = false;
   double data_rate_Bps = 0;
+  int host_gc_sweeps = 0;
   bool ring = false;
   rpc::RingOptions ring_options;
 
@@ -160,6 +166,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       data_rate_Bps = static_cast<double>(parsed);
+    } else if (arg == "--host-gc") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      char* end = nullptr;
+      const long parsed = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr, "bitdewd: bad --host-gc '%s' (expected sweeps >= 0)\n", value);
+        return 2;
+      }
+      host_gc_sweeps = static_cast<int>(parsed);
     } else {
       return usage(argv[0]);
     }
@@ -170,13 +186,16 @@ int main(int argc, char** argv) {
   // seconds-since-construction epoch would shift every replayed deadline
   // by the previous uptime.
   static util::WallClock clock;
+  services::SchedulerConfig scheduler_config;
+  scheduler_config.host_gc_sweeps = host_gc_sweeps;
   std::unique_ptr<services::ServiceContainer> container;
   if (wal_dir.empty()) {
-    container = std::make_unique<services::ServiceContainer>(host_name, clock);
+    container = std::make_unique<services::ServiceContainer>(host_name, clock, scheduler_config);
   } else {
     std::filesystem::create_directories(wal_dir);
     const std::string wal_path = (std::filesystem::path(wal_dir) / "bitdewd.wal").string();
-    container = std::make_unique<services::ServiceContainer>(host_name, clock, wal_path);
+    container =
+        std::make_unique<services::ServiceContainer>(host_name, clock, wal_path, scheduler_config);
     container->database().set_auto_compact(compact_bytes);
     std::printf("bitdewd: durable state at %s (%llu bytes replayed, %zu data scheduled)\n",
                 wal_path.c_str(),

@@ -1,0 +1,329 @@
+// distributed_grep — the compute-to-data demo (paper §5's BLAST pattern,
+// with grep standing in for BLAST): split a text file into line-aligned
+// chunks, broadcast them to every live worker (`replica = -1`, the paper's
+// data-driven master/worker corpus), then submit ONE job whose tasks ride
+// the replicas — the Job Service places each task on a host that already
+// caches its chunk, the workers' TaskRunners fork grep over the local
+// bytes, and the result datums flow back (affinity to a collector datum
+// pinned on this process's embedded reservoir node) over the peer data
+// plane, where they are merged in task order.
+//
+//   distributed_grep --connect HOST:PORT --file PATH --pattern PAT --out PATH
+//                    [--chunks N] [--workers N] [--wait S] [--timeout S]
+//                    [--task-sleep S] [--cache DIR] [--name N]
+//
+//   --connect HOST:PORT  the bitdewd daemon (required)
+//   --file PATH          local text file to grep (required)
+//   --pattern PAT        fixed `grep -e` pattern (required)
+//   --out PATH           merged result file (required)
+//   --chunks N           line-aligned corpus chunks == tasks (default 8)
+//   --workers N          wait for N live workers before submitting
+//                        (default 0 = submit immediately)
+//   --wait S             overall deadline in seconds (default 120)
+//   --timeout S          per-task execution timeout (default 60)
+//   --task-sleep S       prefix every task with `sleep S` — widens the
+//                        window for the CI gate to kill a worker mid-job
+//                        (default 0)
+//   --cache DIR          the embedded collector node's cache (default: a
+//                        fresh directory under the system temp dir)
+//   --name N             collector host name in ds_sync (default
+//                        "grep-collector")
+//
+// Exit status: 0 and a "grep complete" line with the data-local fraction on
+// success; 1 on any failure (submission rejected, task terminally failed,
+// deadline). The merged output is byte-identical to `grep -e PAT FILE` run
+// locally — the live-jobs CI gate diffs exactly that, across a kill -9.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "api/session.hpp"
+#include "jobs/job_types.hpp"
+#include "runtime/node_runtime.hpp"
+#include "util/log.hpp"
+
+using namespace bitdew;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect HOST:PORT --file PATH --pattern PAT --out PATH"
+               " [--chunks N] [--workers N] [--wait S] [--timeout S]"
+               " [--task-sleep S] [--cache DIR] [--name N]\n",
+               argv0);
+  return 2;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Splits `text` into at most `chunks` pieces, each ending on a newline
+/// (the last piece takes any unterminated tail), so every grep sees whole
+/// lines and the concatenation of all pieces is the original file.
+std::vector<std::string> split_lines(const std::string& text, int chunks) {
+  std::vector<std::string> pieces;
+  const std::size_t target = text.size() / static_cast<std::size_t>(chunks) + 1;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = begin + target;
+    if (end >= text.size()) {
+      end = text.size();
+    } else {
+      const std::size_t newline = text.find('\n', end);
+      end = newline == std::string::npos ? text.size() : newline + 1;
+    }
+    pieces.push_back(text.substr(begin, end - begin));
+    begin = end;
+  }
+  return pieces;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target, file_path, pattern, out_path, cache_dir;
+  std::string collector_name = "grep-collector";
+  int chunks = 8;
+  int workers = 0;
+  double wait_s = 120;
+  double timeout_s = 60;
+  double task_sleep_s = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* value = nullptr;
+    if (arg == "--connect" && (value = next())) target = value;
+    else if (arg == "--file" && (value = next())) file_path = value;
+    else if (arg == "--pattern" && (value = next())) pattern = value;
+    else if (arg == "--out" && (value = next())) out_path = value;
+    else if (arg == "--chunks" && (value = next())) chunks = std::atoi(value);
+    else if (arg == "--workers" && (value = next())) workers = std::atoi(value);
+    else if (arg == "--wait" && (value = next())) wait_s = std::atof(value);
+    else if (arg == "--timeout" && (value = next())) timeout_s = std::atof(value);
+    else if (arg == "--task-sleep" && (value = next())) task_sleep_s = std::atof(value);
+    else if (arg == "--cache" && (value = next())) cache_dir = value;
+    else if (arg == "--name" && (value = next())) collector_name = value;
+    else return usage(argv[0]);
+  }
+  if (target.empty() || file_path.empty() || pattern.empty() || out_path.empty() ||
+      chunks <= 0 || wait_s <= 0) {
+    return usage(argv[0]);
+  }
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "distributed_grep: expected HOST:PORT, got '%s'\n", target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "distributed_grep: bad port in '%s'\n", target.c_str());
+    return 2;
+  }
+
+  // Many processes mint AUIDs against one daemon: unique prefix per run.
+  std::random_device entropy;
+  util::reseed_auid((static_cast<std::uint64_t>(entropy()) << 32) ^ entropy() ^
+                    static_cast<std::uint64_t>(
+                        std::chrono::steady_clock::now().time_since_epoch().count()) ^
+                    (static_cast<std::uint64_t>(::getpid()) << 16));
+  util::set_log_level(util::LogLevel::kWarn);
+
+  std::string text;
+  {
+    std::ifstream in(file_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "distributed_grep: cannot read %s\n", file_path.c_str());
+      return 1;
+    }
+    text.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  const std::vector<std::string> pieces = split_lines(text, chunks);
+  if (pieces.empty()) {
+    std::fprintf(stderr, "distributed_grep: %s is empty\n", file_path.c_str());
+    return 1;
+  }
+
+  if (cache_dir.empty()) {
+    cache_dir = (std::filesystem::temp_directory_path() /
+                 ("distributed_grep_" + std::to_string(::getpid())))
+                    .string();
+  }
+
+  // The embedded reservoir node: results ride their affinity to the
+  // collector datum pinned here, so THIS process's cache receives them.
+  runtime::NodeRuntimeConfig node_config;
+  node_config.name = collector_name;
+  node_config.cache_dir = cache_dir;
+  runtime::NodeRuntime node(host, static_cast<std::uint16_t>(port), node_config);
+  const api::Status started = node.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "distributed_grep: %s\n", started.error().to_string().c_str());
+    return 1;
+  }
+
+  api::RemoteServiceBus bus(host, static_cast<std::uint16_t>(port));
+  api::BitDew bitdew(bus, collector_name);
+  api::ActiveData active_data(bus, collector_name);
+  api::Session session(bitdew, active_data);
+
+  const double deadline = now_s() + wait_s;
+  auto fail = [&](const std::string& message) {
+    std::fprintf(stderr, "distributed_grep: %s\n", message.c_str());
+    node.stop();
+    return 1;
+  };
+
+  if (workers > 0) {
+    std::printf("distributed_grep: waiting for %d live worker(s)\n", workers);
+    for (;;) {
+      int alive = 0;
+      api::Expected<std::vector<services::HostInfo>> hosts =
+          api::Error{api::Errc::kUnavailable, "cli", "pending"};
+      bus.ds_hosts([&](api::Expected<std::vector<services::HostInfo>> reply) {
+        hosts = std::move(reply);
+      });
+      if (hosts.ok()) {
+        for (const services::HostInfo& info : *hosts) {
+          if (info.alive && info.name != collector_name) ++alive;
+        }
+      }
+      if (alive >= workers) break;
+      if (now_s() > deadline) return fail("timed out waiting for workers");
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  }
+
+  // Per-run tag: the daemon outlives this process, so datum names must not
+  // collide with a previous invocation's corpus (same name, different
+  // bytes is a typed duplicate rejection).
+  const std::string run_tag = util::next_auid().str().substr(0, 8);
+
+  // The collector datum: zero-size, pinned to the embedded node. Results
+  // declare affinity to it (and a relative lifetime on it), so they are
+  // placed here and die with it — the paper's Collector pattern.
+  const api::Expected<core::Data> collector =
+      session.create_data(collector_name + "-" + run_tag);
+  if (!collector.ok()) return fail("collector: " + collector.error().to_string());
+  core::DataAttributes collector_attributes;
+  collector_attributes.name = "grep-collector";
+  collector_attributes.replica = 0;  // placement comes from the pin alone
+  const api::Status scheduled = session.schedule(*collector, collector_attributes);
+  if (!scheduled.ok()) return fail("collector: " + scheduled.error().to_string());
+  api::Status pinned = api::ok_status();
+  bus.ds_pin(collector->uid, collector_name, [&](api::Status reply) { pinned = reply; });
+  if (!pinned.ok()) return fail("pin: " + pinned.error().to_string());
+  node.sync_now();
+  if (!node.wait_for(collector->uid, wait_s)) {
+    return fail("collector datum never arrived at the embedded node");
+  }
+
+  // The corpus: each chunk uploaded for real, then broadcast — replica=-1
+  // puts a copy on every live reservoir host, fault-tolerant so crashed
+  // copies re-place, over the peer plane so workers seed each other.
+  const std::filesystem::path stage =
+      std::filesystem::path(cache_dir) / "stage";
+  std::filesystem::create_directories(stage);
+  std::vector<util::Auid> inputs;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const std::string chunk_path = (stage / ("chunk-" + std::to_string(i))).string();
+    std::ofstream out(chunk_path, std::ios::binary | std::ios::trunc);
+    out.write(pieces[i].data(), static_cast<std::streamsize>(pieces[i].size()));
+    out.close();
+    const api::Expected<core::Data> chunk = session.put_file(
+        "grep-" + run_tag + "-chunk-" + std::to_string(i), chunk_path);
+    if (!chunk.ok()) return fail("chunk upload: " + chunk.error().to_string());
+    core::DataAttributes attributes;
+    attributes.name = "grep-corpus";
+    attributes.replica = core::kReplicaAll;
+    attributes.fault_tolerant = true;
+    attributes.protocol = "p2p";
+    const api::Status broadcast = session.schedule(*chunk, attributes);
+    if (!broadcast.ok()) return fail("chunk schedule: " + broadcast.error().to_string());
+    inputs.push_back(chunk->uid);
+  }
+  std::printf("distributed_grep: %zu chunk(s) broadcast (%zu bytes)\n", pieces.size(),
+              text.size());
+
+  // One job, one task per chunk. The sh wrapper tolerates grep's exit 1
+  // ("no lines matched" is a valid empty result, not a task failure) and
+  // the optional sleep widens the kill window for the fault-injection gate.
+  jobs::JobSpec spec;
+  spec.uid = util::next_auid();
+  spec.name = "grep";
+  std::string command = "grep -e \"$0\" -- \"$1\" > \"$2\" || [ $? -eq 1 ]";
+  if (task_sleep_s > 0) {
+    command = "sleep " + std::to_string(task_sleep_s) + "; " + command;
+  }
+  spec.argv = {"/bin/sh", "-c", command, pattern, "{input}", "{output}"};
+  spec.timeout_s = timeout_s;
+  spec.inputs = inputs;
+  spec.collector = collector->uid;
+  api::Expected<util::Auid> submitted =
+      api::Error{api::Errc::kUnavailable, "cli", "pending"};
+  bus.job_submit(spec, [&](api::Expected<util::Auid> reply) { submitted = std::move(reply); });
+  if (!submitted.ok()) return fail("submit: " + submitted.error().to_string());
+  std::printf("distributed_grep: job %s submitted, %zu task(s)\n",
+              submitted->str().c_str(), inputs.size());
+
+  // Poll to completion; any terminally failed task fails the demo.
+  jobs::JobStatusInfo status;
+  std::int32_t last_done = -1;
+  for (;;) {
+    api::Expected<jobs::JobStatusInfo> reply =
+        api::Error{api::Errc::kUnavailable, "cli", "pending"};
+    bus.job_status(*submitted, [&](api::Expected<jobs::JobStatusInfo> r) { reply = std::move(r); });
+    if (reply.ok()) {
+      status = *reply;
+      if (status.done != last_done) {
+        last_done = status.done;
+        std::printf("distributed_grep: %d/%d done (%d running, %d re-placed)\n",
+                    status.done, status.total, status.running, status.replaced);
+        std::fflush(stdout);
+      }
+      if (status.failed > 0) return fail("a task failed terminally");
+      if (status.complete()) break;
+    }
+    if (now_s() > deadline) return fail("timed out waiting for the job");
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  }
+
+  // Results are scheduled with affinity to the collector datum: they land
+  // in this node's cache over the peer plane. Merge them in task order —
+  // chunking was line-aligned, so the concatenation is exactly local grep.
+  std::ofstream merged(out_path, std::ios::binary | std::ios::trunc);
+  if (!merged) return fail("cannot write " + out_path);
+  for (const jobs::TaskInfo& task : status.tasks) {
+    if (!node.wait_for(task.result, deadline - now_s())) {
+      return fail("result for task " + std::to_string(task.index) + " never arrived");
+    }
+    std::ifstream part(node.replica_path(task.result), std::ios::binary);
+    merged << part.rdbuf();
+    // An empty result (grep matched nothing in that chunk — a zero-size
+    // datum with no replica file) inserts zero characters, which sets
+    // failbit on the SINK and would silently swallow every later part.
+    merged.clear();
+  }
+  merged.close();
+
+  const double local_pct = 100.0 * status.data_local_fraction();
+  std::printf("distributed_grep: grep complete — %d task(s), %d/%d data-local (%.0f%%), "
+              "%d re-placed, merged into %s\n",
+              status.total, status.data_local, status.done, local_pct, status.replaced,
+              out_path.c_str());
+  node.stop();
+  return 0;
+}

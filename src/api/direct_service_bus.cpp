@@ -143,6 +143,29 @@ void DirectServiceBus::ds_hosts(Reply<Expected<std::vector<services::HostInfo>>>
   done(ops::ds_hosts(container_));
 }
 
+void DirectServiceBus::job_submit(const jobs::JobSpec& spec,
+                                  Reply<Expected<util::Auid>> done) {
+  ++calls_;
+  done(ops::job_submit(container_, spec));
+}
+
+void DirectServiceBus::job_status(const util::Auid& job,
+                                  Reply<Expected<jobs::JobStatusInfo>> done) {
+  ++calls_;
+  done(ops::job_status(container_, job));
+}
+
+void DirectServiceBus::job_claim(const util::Auid& task, const std::string& runner,
+                                 Reply<Expected<jobs::TaskOrder>> done) {
+  ++calls_;
+  done(ops::job_claim(container_, task, runner));
+}
+
+void DirectServiceBus::job_task_report(const jobs::TaskReport& report, Reply<Status> done) {
+  ++calls_;
+  done(ops::job_task_report(container_, report));
+}
+
 void DirectServiceBus::ddc_publish(const std::string& key, const std::string& value,
                                    Reply<Status> done) {
   ++calls_;

@@ -369,6 +369,40 @@ void RemoteServiceBus::ds_hosts(Reply<Expected<std::vector<services::HostInfo>>>
       Endpoint::kDsHosts, [](rpc::Writer&) {}, std::move(done), wire::read_host_list);
 }
 
+// --- Job service -------------------------------------------------------------
+
+void RemoteServiceBus::job_submit(const jobs::JobSpec& spec,
+                                  Reply<Expected<util::Auid>> done) {
+  invoke<util::Auid>(
+      Endpoint::kJobSubmit, [&](rpc::Writer& w) { wire::write_job_spec(w, spec); },
+      std::move(done), wire::read_auid);
+}
+
+void RemoteServiceBus::job_status(const util::Auid& job,
+                                  Reply<Expected<jobs::JobStatusInfo>> done) {
+  invoke<jobs::JobStatusInfo>(
+      Endpoint::kJobStatus, [&](rpc::Writer& w) { wire::write_auid(w, job); },
+      std::move(done), wire::read_job_status_info);
+}
+
+void RemoteServiceBus::job_claim(const util::Auid& task, const std::string& runner,
+                                 Reply<Expected<jobs::TaskOrder>> done) {
+  invoke<jobs::TaskOrder>(
+      Endpoint::kJobClaim,
+      [&](rpc::Writer& w) {
+        wire::write_auid(w, task);
+        w.str(runner);
+      },
+      std::move(done), wire::read_task_order);
+}
+
+void RemoteServiceBus::job_task_report(const jobs::TaskReport& report, Reply<Status> done) {
+  invoke<Unit>(
+      Endpoint::kJobTaskReport,
+      [&](rpc::Writer& w) { wire::write_task_report(w, report); }, std::move(done),
+      [](rpc::Reader&) { return Unit{}; });
+}
+
 // --- Distributed Data Catalog ------------------------------------------------
 
 void RemoteServiceBus::ddc_publish(const std::string& key, const std::string& value,

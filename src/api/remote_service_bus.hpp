@@ -79,6 +79,12 @@ class RemoteServiceBus final : public ServiceBus {
                const std::vector<util::Auid>& in_flight, const std::string& endpoint,
                Reply<Expected<services::SyncReply>> done) override;
   void ds_hosts(Reply<Expected<std::vector<services::HostInfo>>> done) override;
+  void job_submit(const jobs::JobSpec& spec, Reply<Expected<util::Auid>> done) override;
+  void job_status(const util::Auid& job,
+                  Reply<Expected<jobs::JobStatusInfo>> done) override;
+  void job_claim(const util::Auid& task, const std::string& runner,
+                 Reply<Expected<jobs::TaskOrder>> done) override;
+  void job_task_report(const jobs::TaskReport& report, Reply<Status> done) override;
   void ddc_publish(const std::string& key, const std::string& value,
                    Reply<Status> done) override;
   void ddc_search(const std::string& key,

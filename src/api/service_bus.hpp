@@ -23,6 +23,7 @@
 #include "core/attributes.hpp"
 #include "core/data.hpp"
 #include "core/locator.hpp"
+#include "jobs/job_types.hpp"
 #include "services/data_repository.hpp"
 #include "services/data_scheduler.hpp"
 #include "services/data_transfer.hpp"
@@ -124,6 +125,17 @@ class ServiceBus {
   /// cached count) — the failure detector made observable, so operators and
   /// CI watch liveness instead of inferring it from replica movement.
   virtual void ds_hosts(Reply<Expected<std::vector<services::HostInfo>>> done) = 0;
+
+  // --- Job service (compute-to-data) ------------------------------------------------
+  /// Decomposes the spec into one task per input and places the tasks with
+  /// replica affinity (tasks preferentially go where the input's Δk lives).
+  virtual void job_submit(const jobs::JobSpec& spec, Reply<Expected<util::Auid>> done) = 0;
+  virtual void job_status(const util::Auid& job,
+                          Reply<Expected<jobs::JobStatusInfo>> done) = 0;
+  /// First claim wins; later claimants get kRejected and stand down.
+  virtual void job_claim(const util::Auid& task, const std::string& runner,
+                         Reply<Expected<jobs::TaskOrder>> done) = 0;
+  virtual void job_task_report(const jobs::TaskReport& report, Reply<Status> done) = 0;
 
   // --- Distributed Data Catalog (DHT) -----------------------------------------------
   /// Publishes a generic key/value pair (paper §3.3: the DHT is exposed for

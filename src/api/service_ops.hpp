@@ -277,6 +277,31 @@ inline Expected<services::SyncReply> ds_sync(services::ServiceContainer& c,
   return c.ds().sync(host, cache, in_flight, endpoint);
 }
 
+// --- Job service (compute-to-data) --------------------------------------------------
+// The JobService reports its own typed errors (service "jobs"); the
+// helpers are pass-throughs so all three buses share the exact mapping.
+
+inline Expected<util::Auid> job_submit(services::ServiceContainer& c,
+                                       const jobs::JobSpec& spec) {
+  return c.jobs().submit(spec);
+}
+
+inline Expected<jobs::JobStatusInfo> job_status(services::ServiceContainer& c,
+                                                const util::Auid& job) {
+  return c.jobs().status(job);
+}
+
+inline Expected<jobs::TaskOrder> job_claim(services::ServiceContainer& c,
+                                           const util::Auid& task,
+                                           const std::string& runner) {
+  return c.jobs().claim(task, runner);
+}
+
+inline Status job_task_report(services::ServiceContainer& c,
+                              const jobs::TaskReport& report) {
+  return c.jobs().report(report);
+}
+
 // --- Distributed Data Catalog (fallback store) --------------------------------------
 
 inline Status ddc_publish(dht::LocalDht& ddc, const std::string& key,

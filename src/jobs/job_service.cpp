@@ -1,0 +1,353 @@
+#include "jobs/job_service.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "rpc/wire.hpp"
+#include "services/data_catalog.hpp"
+#include "services/data_scheduler.hpp"
+#include "util/md5.hpp"
+
+namespace bitdew::jobs {
+
+namespace {
+
+api::Error err(api::Errc code, std::string message) {
+  return api::Error{code, "jobs", std::move(message)};
+}
+
+}  // namespace
+
+core::Data JobService::make_task_datum(const Job& job, const Task& task) const {
+  core::Data datum;
+  datum.uid = task.uid;
+  datum.name = job.spec.name + "#" + std::to_string(task.index);
+  datum.size = 0;  // zero-size: Admission::kInstant, no bytes move
+  datum.checksum = util::Md5::of("").hex();
+  return datum;
+}
+
+core::DataAttributes JobService::task_attributes(const Task& task) const {
+  core::DataAttributes attributes;
+  attributes.name = kTaskAttributeName;
+  attributes.fault_tolerant = true;
+  attributes.protocol = "tcp";
+  if (task.fallback) {
+    // Anywhere: one live host via the replica rule; the claimant fetches
+    // the input from the repository itself.
+    attributes.replica = 1;
+  } else {
+    // Replica-affinity placement: replica=0 disables the replica rule, so
+    // the ONLY way the task reaches a host is Algorithm 1's affinity step —
+    // hosts whose reported Δk holds the input.
+    attributes.replica = 0;
+    attributes.affinity = task.input;
+  }
+  return attributes;
+}
+
+bool JobService::schedule_task(const Job& job, Task& task) {
+  if (!schedule_) return false;
+  task.queued_at = clock_.now();
+  return schedule_(make_task_datum(job, task), task_attributes(task));
+}
+
+api::Expected<util::Auid> JobService::submit(const JobSpec& spec) {
+  if (spec.uid.is_nil()) return err(api::Errc::kInvalidArgument, "nil job uid");
+  if (jobs_.count(spec.uid) != 0) {
+    return err(api::Errc::kDuplicate, "job " + spec.uid.str() + " already submitted");
+  }
+  if (spec.argv.empty()) return err(api::Errc::kInvalidArgument, "empty argv");
+  if (spec.inputs.empty()) return err(api::Errc::kInvalidArgument, "no input data");
+  if (spec.timeout_s < 0) return err(api::Errc::kInvalidArgument, "negative timeout");
+  for (const util::Auid& input : spec.inputs) {
+    if (!catalog_.get(input)) {
+      return err(api::Errc::kNotFound, "input " + input.str() + " not registered");
+    }
+  }
+  if (spec.collector.is_nil() || !catalog_.get(spec.collector)) {
+    return err(api::Errc::kNotFound, "collector not registered");
+  }
+  if (!scheduler_.scheduled(spec.collector)) {
+    return err(api::Errc::kRejected, "collector not scheduled — results need a home");
+  }
+
+  Job job;
+  job.spec = spec;
+  job.submitted_at = clock_.now();
+  job.tasks.reserve(spec.inputs.size());
+  for (std::size_t i = 0; i < spec.inputs.size(); ++i) {
+    // "Schedule the datum + task together": an input nobody can be affine
+    // to (absent from Θ) is scheduled alongside its task, so some worker
+    // acquires it and the affinity rule fires on that worker's next sync.
+    const util::Auid& input = spec.inputs[i];
+    if (!scheduler_.scheduled(input) && schedule_) {
+      core::DataAttributes attributes;
+      attributes.name = "job-input";
+      attributes.replica = 1;
+      attributes.fault_tolerant = true;
+      attributes.protocol = "tcp";
+      schedule_(*catalog_.get(input), attributes);
+    }
+    Task task;
+    task.uid = util::next_auid();
+    task.input = input;
+    task.index = static_cast<std::int32_t>(i);
+    if (!schedule_task(job, task)) {
+      // Roll the placements made so far back out of Θ.
+      for (const Task& placed : job.tasks) {
+        if (unschedule_) unschedule_(placed.uid);
+      }
+      return err(api::Errc::kRejected, "scheduler refused task placement");
+    }
+    job.tasks.push_back(task);
+  }
+
+  auto [it, inserted] = jobs_.emplace(spec.uid, std::move(job));
+  for (std::size_t i = 0; i < it->second.tasks.size(); ++i) {
+    task_index_[it->second.tasks[i].uid] = {spec.uid, i};
+  }
+  persist(it->second);
+  return spec.uid;
+}
+
+api::Expected<JobStatusInfo> JobService::status(const util::Auid& job_uid) const {
+  const auto it = jobs_.find(job_uid);
+  if (it == jobs_.end()) {
+    return err(api::Errc::kNotFound, "unknown job " + job_uid.str());
+  }
+  const Job& job = it->second;
+  JobStatusInfo info;
+  info.job = job.spec.uid;
+  info.name = job.spec.name;
+  info.total = static_cast<std::int32_t>(job.tasks.size());
+  info.replaced = job.replaced;
+  info.tasks.reserve(job.tasks.size());
+  for (const Task& task : job.tasks) {
+    switch (task.phase) {
+      case TaskPhase::kWaiting: ++info.waiting; break;
+      case TaskPhase::kRunning: ++info.running; break;
+      case TaskPhase::kDone:
+        ++info.done;
+        if (task.data_local) ++info.data_local;
+        break;
+      case TaskPhase::kFailed: ++info.failed; break;
+    }
+    TaskInfo row;
+    row.index = task.index;
+    row.phase = task.phase;
+    row.runner = task.runner;
+    row.attempts = task.attempts;
+    row.data_local = task.data_local;
+    row.result = task.result;
+    info.tasks.push_back(std::move(row));
+  }
+  return info;
+}
+
+api::Expected<TaskOrder> JobService::claim(const util::Auid& task_uid,
+                                           const std::string& runner) {
+  const auto at = task_index_.find(task_uid);
+  if (at == task_index_.end()) {
+    return err(api::Errc::kNotFound, "unknown task " + task_uid.str());
+  }
+  Job& job = jobs_.at(at->second.first);
+  Task& task = job.tasks[at->second.second];
+  if (task.phase != TaskPhase::kWaiting) {
+    return err(api::Errc::kRejected,
+               "task already " + std::string(task_phase_name(task.phase)) +
+                   (task.runner.empty() ? "" : " by " + task.runner));
+  }
+  const auto input = catalog_.get(task.input);
+  if (!input) {
+    return err(api::Errc::kNotFound, "input " + task.input.str() + " vanished");
+  }
+  task.phase = TaskPhase::kRunning;
+  task.runner = runner;
+  task.claimed_at = clock_.now();
+  persist(job);
+
+  TaskOrder order;
+  order.task = task.uid;
+  order.job = job.spec.uid;
+  order.index = task.index;
+  order.argv = job.spec.argv;
+  order.env = job.spec.env;
+  order.timeout_s = job.spec.timeout_s;
+  order.input = *input;
+  order.result_name = job.spec.name + "-result-" + std::to_string(task.index);
+  return order;
+}
+
+api::Status JobService::report(const TaskReport& task_report) {
+  const auto at = task_index_.find(task_report.task);
+  if (at == task_index_.end()) {
+    return err(api::Errc::kNotFound, "unknown task " + task_report.task.str());
+  }
+  Job& job = jobs_.at(at->second.first);
+  Task& task = job.tasks[at->second.second];
+  if (task.phase != TaskPhase::kRunning || task.runner != task_report.runner) {
+    return err(api::Errc::kRejected, "task not running under " + task_report.runner);
+  }
+
+  if (!task_report.ok) {
+    requeue(job, task);
+    persist(job);
+    return api::ok_status();
+  }
+
+  if (!task_report.result.valid()) {
+    return err(api::Errc::kInvalidArgument, "successful report without a result datum");
+  }
+  task.phase = TaskPhase::kDone;
+  task.data_local = task_report.data_local;
+  task.result = task_report.result.uid;
+  // The task datum has served its purpose; retire it from Θ so holders
+  // drop the placement token on their next sync.
+  if (unschedule_) unschedule_(task.uid);
+  task_index_.erase(at);
+  // The result follows the collector home and dies with it: replica=0
+  // keeps the replica rule out, affinity routes it to every holder of the
+  // collector datum, and the relative lifetime expires it when the
+  // collector is unscheduled. The worker kept a verified copy in its own
+  // cache, so the transfer rides the peer plane with the repository as
+  // fallback.
+  if (schedule_) {
+    core::DataAttributes attributes;
+    attributes.name = "job-result";
+    attributes.replica = 0;
+    attributes.fault_tolerant = true;
+    attributes.affinity = job.spec.collector;
+    attributes.lifetime = core::Lifetime::relative(job.spec.collector);
+    attributes.protocol = "p2p";
+    schedule_(task_report.result, attributes);
+  }
+  persist(job);
+  return api::ok_status();
+}
+
+void JobService::requeue(Job& job, Task& task) {
+  if (unschedule_) unschedule_(task.uid);
+  task_index_.erase(task.uid);
+  task.runner.clear();
+  if (task.attempts >= config_.max_attempts) {
+    task.phase = TaskPhase::kFailed;
+    return;
+  }
+  ++task.attempts;
+  ++job.replaced;
+  // A fresh uid re-fires on_data_copy on every holder — the claim race
+  // restarts even on hosts that already held (and declined) the old datum.
+  task.uid = util::next_auid();
+  task.phase = TaskPhase::kWaiting;
+  schedule_task(job, task);
+  task_index_[task.uid] = {job.spec.uid,
+                           static_cast<std::size_t>(&task - job.tasks.data())};
+}
+
+std::size_t JobService::sweep() {
+  std::size_t replaced = 0;
+  const double now = clock_.now();
+  std::set<std::string> alive;
+  for (const services::HostInfo& host : scheduler_.host_table()) {
+    if (host.alive) alive.insert(host.name);
+  }
+  for (auto& [uid, job] : jobs_) {
+    bool changed = false;
+    for (Task& task : job.tasks) {
+      if (task.phase == TaskPhase::kRunning) {
+        const bool runner_dead = alive.count(task.runner) == 0;
+        const bool overdue = job.spec.timeout_s > 0 &&
+                             now > task.claimed_at + job.spec.timeout_s +
+                                       config_.claim_grace_s;
+        if (runner_dead || overdue) {
+          requeue(job, task);
+          ++replaced;
+          changed = true;
+        }
+      } else if (task.phase == TaskPhase::kWaiting && !task.fallback &&
+                 config_.fallback_after_s > 0 &&
+                 now > task.queued_at + config_.fallback_after_s) {
+        // Nobody affine claimed it in time — loosen the placement to "any
+        // live host"; the claimant will fetch the input on demand.
+        task.fallback = true;
+        schedule_task(job, task);
+        ++replaced;
+        changed = true;
+      }
+    }
+    if (changed) persist(job);
+  }
+  return replaced;
+}
+
+void JobService::persist(const Job& job) const {
+  if (persist_) persist_(job.spec.uid, encode(job));
+}
+
+std::string JobService::encode(const Job& job) const {
+  rpc::Writer w;
+  rpc::wire::write_job_spec(w, job.spec);
+  w.i64(job.replaced);
+  w.f64(job.submitted_at);
+  w.u32(static_cast<std::uint32_t>(job.tasks.size()));
+  for (const Task& task : job.tasks) {
+    rpc::wire::write_auid(w, task.uid);
+    rpc::wire::write_auid(w, task.input);
+    w.i64(task.index);
+    w.u8(static_cast<std::uint8_t>(task.phase));
+    w.str(task.runner);
+    w.i64(task.attempts);
+    w.boolean(task.data_local);
+    w.boolean(task.fallback);
+    rpc::wire::write_auid(w, task.result);
+    w.f64(task.queued_at);
+    w.f64(task.claimed_at);
+  }
+  return w.take();
+}
+
+void JobService::restore(const std::string& blob) {
+  try {
+    rpc::Reader r(blob);
+    Job job;
+    job.spec = rpc::wire::read_job_spec(r);
+    job.replaced = static_cast<std::int32_t>(r.i64());
+    job.submitted_at = r.f64();
+    const std::uint32_t count = r.u32();
+    if (count > r.remaining()) throw rpc::CodecError("task count exceeds blob");
+    job.tasks.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Task task;
+      task.uid = rpc::wire::read_auid(r);
+      task.input = rpc::wire::read_auid(r);
+      task.index = static_cast<std::int32_t>(r.i64());
+      const std::uint8_t phase = r.u8();
+      if (phase > static_cast<std::uint8_t>(TaskPhase::kFailed)) {
+        throw rpc::CodecError("unknown task phase");
+      }
+      task.phase = static_cast<TaskPhase>(phase);
+      task.runner = r.str();
+      task.attempts = static_cast<std::int32_t>(r.i64());
+      task.data_local = r.boolean();
+      task.fallback = r.boolean();
+      task.result = rpc::wire::read_auid(r);
+      task.queued_at = r.f64();
+      task.claimed_at = r.f64();
+      job.tasks.push_back(std::move(task));
+    }
+    const util::Auid uid = job.spec.uid;
+    auto [it, inserted] = jobs_.emplace(uid, std::move(job));
+    if (!inserted) return;
+    for (std::size_t i = 0; i < it->second.tasks.size(); ++i) {
+      const Task& task = it->second.tasks[i];
+      if (task.phase == TaskPhase::kWaiting || task.phase == TaskPhase::kRunning) {
+        task_index_[task.uid] = {uid, i};
+      }
+    }
+  } catch (const rpc::CodecError&) {
+    // A corrupt row loses that job, nothing else.
+  }
+}
+
+}  // namespace bitdew::jobs

@@ -1,0 +1,151 @@
+// The Job service: compute-to-data on top of the D* services (paper §5,
+// generalised from the BLAST master/worker).
+//
+// Hosted inside the ServiceContainer next to DataCatalog/DataScheduler.
+// Submit decomposes a JobSpec into one task per input datum and places the
+// tasks through Algorithm 1's affinity rule: each task is a zero-size
+// datum scheduled `{replica=0, affinity=input}`, so the scheduler delivers
+// it exactly to hosts whose ds_sync-reported Δk already holds the input —
+// replica-affinity placement, no new placement machinery. Workers race to
+// claim a delivered task (first kJobClaim wins; later claimants are told
+// kRejected and stand down), run the command, and report. On success the
+// result datum is scheduled `{replica=0, affinity=collector, lifetime
+// relative collector}` so it flows to the submitter over the peer data
+// plane and dies with the collector.
+//
+// Failure semantics (docs/jobs.md):
+//  * non-zero exit / timeout reported by the worker → the task is re-queued
+//    under a FRESH task datum (a new uid re-fires every holder's ActiveData
+//    transition), up to max_attempts placements, then kFailed;
+//  * worker death → sweep() (driven by the ServiceHost's failure-detector
+//    thread, right after DataScheduler::detect_failures) re-queues every
+//    task whose runner the scheduler no longer reports alive;
+//  * a claimed task that exceeds timeout_s + claim_grace_s without a report
+//    (worker wedged, report lost) is re-queued the same way;
+//  * a task unclaimed for fallback_after_s (no live host holds its input)
+//    is re-placed ANYWHERE — its datum is re-scheduled `{replica=1}` with
+//    the affinity cleared, and the claiming worker fetches the input from
+//    the repository itself, reporting data_local=false.
+//
+// All methods are called under the container lock (ServiceHost) or from a
+// single-threaded backend (Sim/Direct); the class itself is unsynchronized
+// like the other services. Mutations are mirrored into the container's WAL
+// through the persist hook, so jobs survive a daemon restart.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/expected.hpp"
+#include "core/attributes.hpp"
+#include "jobs/job_types.hpp"
+#include "util/auid.hpp"
+#include "util/clock.hpp"
+
+namespace bitdew::services {
+class DataCatalog;
+class DataScheduler;
+}  // namespace bitdew::services
+
+namespace bitdew::jobs {
+
+struct JobServiceConfig {
+  /// Unclaimed for this long → re-place anywhere (input fetched on demand).
+  double fallback_after_s = 20.0;
+  /// Slack past timeout_s before the server re-queues a silent claimed task.
+  /// Tasks with no timeout are only re-queued when their runner dies.
+  double claim_grace_s = 15.0;
+  /// Placements per task before it is abandoned as kFailed.
+  int max_attempts = 8;
+};
+
+class JobService {
+ public:
+  /// Routes a placement into the scheduler (the container wires this to its
+  /// WAL-persisting schedule_data). Returns false when the scheduler
+  /// refuses the datum.
+  using ScheduleFn =
+      std::function<bool(const core::Data&, const core::DataAttributes&)>;
+  using UnscheduleFn = std::function<bool(const util::Auid&)>;
+  /// Mirrors one job's full state into the WAL ("" blob is never produced;
+  /// the container upserts the row keyed by the job uid).
+  using PersistFn = std::function<void(const util::Auid&, const std::string&)>;
+
+  JobService(services::DataCatalog& catalog, services::DataScheduler& scheduler,
+             const util::Clock& clock)
+      : catalog_(catalog), scheduler_(scheduler), clock_(clock) {}
+
+  /// The container wires its durable schedule/unschedule/persist paths in
+  /// after construction. Without wiring, placements are dropped — always
+  /// wire before serving.
+  void wire(ScheduleFn schedule, UnscheduleFn unschedule, PersistFn persist) {
+    schedule_ = std::move(schedule);
+    unschedule_ = std::move(unschedule);
+    persist_ = std::move(persist);
+  }
+
+  void set_config(const JobServiceConfig& config) { config_ = config; }
+  const JobServiceConfig& config() const { return config_; }
+
+  api::Expected<util::Auid> submit(const JobSpec& spec);
+  api::Expected<JobStatusInfo> status(const util::Auid& job) const;
+  api::Expected<TaskOrder> claim(const util::Auid& task, const std::string& runner);
+  api::Status report(const TaskReport& report);
+
+  /// Re-queues tasks lost to dead/wedged workers and fallback-places
+  /// stragglers; called from the ServiceHost failure sweep right after
+  /// DataScheduler::detect_failures(). Returns the number of re-placements.
+  std::size_t sweep();
+
+  std::size_t job_count() const { return jobs_.size(); }
+
+  /// Restores one WAL row written through the persist hook. Corrupt blobs
+  /// lose that job, nothing else.
+  void restore(const std::string& blob);
+
+ private:
+  struct Task {
+    util::Auid uid;      ///< current task datum (fresh per placement)
+    util::Auid input;
+    std::int32_t index = 0;
+    TaskPhase phase = TaskPhase::kWaiting;
+    std::string runner;
+    std::int32_t attempts = 1;  ///< placements so far
+    bool data_local = false;
+    bool fallback = false;  ///< re-placed anywhere after fallback_after_s
+    util::Auid result;
+    double queued_at = 0;   ///< when the current placement entered kWaiting
+    double claimed_at = 0;
+  };
+
+  struct Job {
+    JobSpec spec;
+    std::vector<Task> tasks;
+    std::int32_t replaced = 0;  ///< re-queues across the job's lifetime
+    double submitted_at = 0;
+  };
+
+  core::Data make_task_datum(const Job& job, const Task& task) const;
+  core::DataAttributes task_attributes(const Task& task) const;
+  bool schedule_task(const Job& job, Task& task);
+  /// Fresh datum + re-placement (or kFailed past max_attempts).
+  void requeue(Job& job, Task& task);
+  void persist(const Job& job) const;
+  std::string encode(const Job& job) const;
+
+  services::DataCatalog& catalog_;
+  services::DataScheduler& scheduler_;
+  const util::Clock& clock_;
+  JobServiceConfig config_;
+  ScheduleFn schedule_;
+  UnscheduleFn unschedule_;
+  PersistFn persist_;
+
+  std::map<util::Auid, Job> jobs_;
+  /// task datum uid → (job uid, task index); re-queues retire the old uid.
+  std::map<util::Auid, std::pair<util::Auid, std::size_t>> task_index_;
+};
+
+}  // namespace bitdew::jobs

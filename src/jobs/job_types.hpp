@@ -1,0 +1,129 @@
+// The job subsystem's data model (paper §5: BLAST as a data-driven
+// master/worker program, generalised).
+//
+// A JobSpec is *data plus a command template*: the job's work is defined
+// entirely by its input data — one task per input datum — and a sandboxed
+// argv in which `{input}` / `{output}` are substituted per task. The
+// JobService (services/container.hpp hosts it next to the D* services)
+// decomposes the spec into tasks and realises **replica-affinity
+// placement** through the Data Scheduler: each task is a zero-size datum
+// scheduled `{replica=0, affinity=input}`, so Algorithm 1's affinity rule
+// delivers it exactly to the hosts whose reported Δk already holds the
+// input replica — compute moves to the data. Workers race to *claim* a
+// delivered task (first kJobClaim wins); results are published as new
+// datums with affinity to the job's collector and flow back over the peer
+// data plane.
+//
+// These shapes ride the wire (codecs in rpc/wire.cpp) and depend only on
+// core/ + util/ so every layer above can include them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/data.hpp"
+#include "util/auid.hpp"
+
+namespace bitdew::jobs {
+
+/// The attribute name the JobService stamps on task datums; a worker's
+/// TaskRunner recognises arriving tasks by it.
+inline constexpr const char* kTaskAttributeName = "bitdew-task";
+
+/// What a user submits: inputs + a command template + a collector.
+struct JobSpec {
+  util::Auid uid;                  ///< job id, minted by the submitter
+  std::string name;                ///< human-readable label
+  std::vector<std::string> argv;   ///< command; `{input}`/`{output}` substituted
+  std::vector<std::string> env;    ///< extra KEY=VALUE pairs for the child
+  double timeout_s = 0;            ///< per-task wall-clock limit (0 = none)
+  std::vector<util::Auid> inputs;  ///< one task per input datum (DC-registered)
+  util::Auid collector;            ///< results get affinity to this datum
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+/// A task's position in its lifecycle.
+enum class TaskPhase : std::uint8_t {
+  kWaiting = 0,  ///< placed (or awaiting placement), unclaimed
+  kRunning = 1,  ///< claimed by `runner`
+  kDone = 2,     ///< result published
+  kFailed = 3,   ///< gave up after max_attempts placements
+};
+
+inline const char* task_phase_name(TaskPhase phase) {
+  switch (phase) {
+    case TaskPhase::kWaiting: return "waiting";
+    case TaskPhase::kRunning: return "running";
+    case TaskPhase::kDone: return "done";
+    case TaskPhase::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+/// What a successful kJobClaim hands the worker: everything needed to run
+/// one task without further catalog round-trips.
+struct TaskOrder {
+  util::Auid task;                ///< the claimed task datum
+  util::Auid job;
+  std::int32_t index = 0;         ///< task number within the job
+  std::vector<std::string> argv;  ///< template, `{input}`/`{output}` unresolved
+  std::vector<std::string> env;
+  double timeout_s = 0;
+  core::Data input;               ///< the datum `{input}` must resolve to
+  std::string result_name;        ///< name the result datum must carry
+
+  friend bool operator==(const TaskOrder&, const TaskOrder&) = default;
+};
+
+/// A worker's verdict on a claimed task (kJobTaskReport). On success the
+/// worker has already registered + uploaded `result`; the JobService
+/// schedules it with affinity to the job's collector. On failure the task
+/// is re-queued under a fresh task datum.
+struct TaskReport {
+  util::Auid task;
+  std::string runner;            ///< reporting host name
+  bool ok = false;
+  std::int32_t exit_code = 0;    ///< child exit code (or -1 on timeout/spawn)
+  bool timed_out = false;
+  bool data_local = false;       ///< input was already in Δk when claimed
+  core::Data result;             ///< valid only when ok
+
+  friend bool operator==(const TaskReport&, const TaskReport&) = default;
+};
+
+/// One task's row in a kJobStatus reply.
+struct TaskInfo {
+  std::int32_t index = 0;
+  TaskPhase phase = TaskPhase::kWaiting;
+  std::string runner;         ///< claiming/last host ("" while waiting)
+  std::int32_t attempts = 0;  ///< placements so far (>1 means re-placed)
+  bool data_local = false;    ///< meaningful once done
+  util::Auid result;          ///< result datum once done
+
+  friend bool operator==(const TaskInfo&, const TaskInfo&) = default;
+};
+
+/// Aggregate + per-task view of a job (kJobStatus).
+struct JobStatusInfo {
+  util::Auid job;
+  std::string name;
+  std::int32_t total = 0;
+  std::int32_t waiting = 0;
+  std::int32_t running = 0;
+  std::int32_t done = 0;
+  std::int32_t failed = 0;      ///< tasks abandoned after max_attempts
+  std::int32_t data_local = 0;  ///< done tasks that ran where the input lived
+  std::int32_t replaced = 0;    ///< re-queued placements (failures + lost workers)
+  std::vector<TaskInfo> tasks;
+
+  bool complete() const { return total > 0 && done == total; }
+  double data_local_fraction() const {
+    return done > 0 ? static_cast<double>(data_local) / done : 0.0;
+  }
+
+  friend bool operator==(const JobStatusInfo&, const JobStatusInfo&) = default;
+};
+
+}  // namespace bitdew::jobs

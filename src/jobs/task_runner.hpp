@@ -1,0 +1,111 @@
+// TaskRunner: the worker half of the job subsystem (paper §5, the BLAST
+// worker generalised). It is an ActiveDataEventHandler installed on a
+// NodeRuntime's public ActiveData: when a task datum (attribute name
+// "bitdew-task", placed by JobService through the scheduler's affinity
+// rule) lands in the cache, the runner races the other holders for it with
+// kJobClaim — first claim wins, later claimants are told kRejected and
+// stand down. A won claim is executed on one of `exec_slots` executor
+// threads:
+//
+//  1. the input replica is taken straight from the NodeRuntime cache when
+//     present (data_local=true — the whole point of affinity placement);
+//     a fallback-placed task fetches it from the repository instead;
+//  2. the command template is substituted ({input}/{output}), fork/exec'd
+//     in its own process group, and killed -9 past timeout_s;
+//  3. on exit 0 the output file becomes a new datum: registered in the
+//     catalog, uploaded to the repository, REPORTED (the server schedules
+//     it with affinity to the job's collector), and only then adopted into
+//     the local cache so the peer plane can serve it — report-then-adopt,
+//     because a cached datum the scheduler does not know about yet would
+//     be drop-ordered on the next sync;
+//  4. non-zero exit / timeout is reported ok=false and the server re-places
+//     the task under a fresh datum.
+//
+// The runner talks to the daemon over its own RemoteServiceBus per executor
+// thread — claims, uploads and reports never touch the runtime's heartbeat
+// connection.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/remote_service_bus.hpp"
+#include "core/events.hpp"
+#include "jobs/job_types.hpp"
+
+namespace bitdew::runtime {
+class NodeRuntime;
+}  // namespace bitdew::runtime
+
+namespace bitdew::jobs {
+
+struct TaskRunnerConfig {
+  std::string scratch_dir = "scratch";  ///< fetched inputs + command outputs
+  int exec_slots = 2;                   ///< concurrent task executions
+  std::int64_t chunk_bytes = 256 * 1024;
+  int transfer_attempts = 3;
+  api::RemoteBusConfig bus;
+};
+
+struct TaskRunnerStats {
+  std::uint64_t claims_won = 0;
+  std::uint64_t claims_lost = 0;  ///< another holder won the race
+  std::uint64_t tasks_ok = 0;
+  std::uint64_t tasks_failed = 0;  ///< non-zero exit, timeout, or IO failure
+  std::uint64_t tasks_timed_out = 0;
+  std::uint64_t data_local = 0;  ///< executions fed from the local cache
+};
+
+class TaskRunner final : public core::ActiveDataEventHandler {
+ public:
+  TaskRunner(runtime::NodeRuntime& node, std::string service_host,
+             std::uint16_t service_port, TaskRunnerConfig config = {});
+  ~TaskRunner() override;
+  TaskRunner(const TaskRunner&) = delete;
+  TaskRunner& operator=(const TaskRunner&) = delete;
+
+  /// Prepares the scratch directory and starts the executor threads.
+  api::Status start();
+  /// Stops the executors; any live child process is killed -9 (its task
+  /// will be re-placed by the server's failure sweep). Idempotent.
+  void stop();
+  bool running() const { return running_.load(); }
+
+  /// ActiveData hook: task datums enter the claim queue, everything else is
+  /// ignored.
+  void on_data_copy(const core::Data& data, const core::DataAttributes& attributes) override;
+
+  TaskRunnerStats stats() const;
+
+ private:
+  void exec_loop();
+  void run_task(api::RemoteServiceBus& bus, const util::Auid& task_uid);
+  /// fork/exec in a fresh process group; true when the child ran to
+  /// completion (exit_code/timed_out tell how it went).
+  bool run_command(const std::vector<std::string>& argv,
+                   const std::vector<std::string>& env, double timeout_s,
+                   int& exit_code, bool& timed_out);
+  void report(api::RemoteServiceBus& bus, const util::Auid& task_uid, bool ok,
+              int exit_code, bool timed_out, bool data_local, const core::Data& result);
+
+  runtime::NodeRuntime& node_;
+  std::string service_host_;
+  std::uint16_t service_port_;
+  TaskRunnerConfig config_;
+
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> executors_;
+  mutable std::mutex mutex_;  ///< guards queue_, children_, stats_
+  std::condition_variable queue_cv_;
+  std::deque<util::Auid> queue_;
+  std::vector<int> children_;  ///< live child pids (killed on stop)
+  TaskRunnerStats stats_;
+};
+
+}  // namespace bitdew::jobs

@@ -61,12 +61,20 @@ void ServiceHost::sweep_loop() {
         std::chrono::duration<double>(now - last_sweep).count() + 1e-3 >= sweep_s) {
       last_sweep = now;
       std::vector<services::HostName> dead;
+      std::size_t requeued = 0;
       {
         const std::lock_guard container_lock(container_mutex_);
         dead = container_.ds().detect_failures();
+        // Job sweep rides the same beat: tasks whose runner just died (or
+        // whose claim went overdue) are re-queued, and stale waiting tasks
+        // loosen to any-host placement.
+        requeued = container_.jobs().sweep();
       }
       for (const services::HostName& host : dead) {
         logger().info("failure sweep: host %s declared dead", host.c_str());
+      }
+      if (requeued > 0) {
+        logger().info("job sweep: %zu task(s) re-placed", requeued);
       }
     }
     if (ring && std::chrono::duration<double>(now - last_tick).count() + 1e-3 >= ring_s) {
@@ -447,6 +455,26 @@ std::string ServiceHost::dispatch_unlocked(wire::Endpoint endpoint, Reader& r) {
     }
     case Endpoint::kDsHosts:
       wire::write_expected(w, ops::ds_hosts(container_), wire::write_host_list);
+      break;
+
+    // --- Job service ---------------------------------------------------------
+    case Endpoint::kJobSubmit:
+      wire::write_expected(w, ops::job_submit(container_, wire::read_job_spec(r)),
+                           wire::write_auid);
+      break;
+    case Endpoint::kJobStatus:
+      wire::write_expected(w, ops::job_status(container_, wire::read_auid(r)),
+                           wire::write_job_status_info);
+      break;
+    case Endpoint::kJobClaim: {
+      const util::Auid task = wire::read_auid(r);
+      const std::string runner = r.str();
+      wire::write_expected(w, ops::job_claim(container_, task, runner),
+                           wire::write_task_order);
+      break;
+    }
+    case Endpoint::kJobTaskReport:
+      wire::write_status(w, ops::job_task_report(container_, wire::read_task_report(r)));
       break;
 
     // --- Distributed Data Catalog --------------------------------------------

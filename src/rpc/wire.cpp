@@ -51,6 +51,10 @@ constexpr const char* kEndpointNames[] = {
     "ring_leave",
     "ring_info",
     "ring_search",
+    "job_submit",
+    "job_status",
+    "job_claim",
+    "job_task_report",
 };
 
 static_assert(std::size(kEndpointNames) ==
@@ -342,6 +346,126 @@ services::RepoStats read_repo_stats(Reader& r) {
   stats.chunk_reads = r.u64();
   stats.chunk_read_bytes = r.i64();
   return stats;
+}
+
+void write_job_spec(Writer& w, const jobs::JobSpec& spec) {
+  write_auid(w, spec.uid);
+  w.str(spec.name);
+  write_string_list(w, spec.argv);
+  write_string_list(w, spec.env);
+  w.f64(spec.timeout_s);
+  write_auid_list(w, spec.inputs);
+  write_auid(w, spec.collector);
+}
+
+jobs::JobSpec read_job_spec(Reader& r) {
+  jobs::JobSpec spec;
+  spec.uid = read_auid(r);
+  spec.name = r.str();
+  spec.argv = read_string_list(r);
+  spec.env = read_string_list(r);
+  spec.timeout_s = r.f64();
+  spec.inputs = read_auid_list(r);
+  spec.collector = read_auid(r);
+  return spec;
+}
+
+void write_task_order(Writer& w, const jobs::TaskOrder& order) {
+  write_auid(w, order.task);
+  write_auid(w, order.job);
+  w.i64(order.index);
+  write_string_list(w, order.argv);
+  write_string_list(w, order.env);
+  w.f64(order.timeout_s);
+  write_data(w, order.input);
+  w.str(order.result_name);
+}
+
+jobs::TaskOrder read_task_order(Reader& r) {
+  jobs::TaskOrder order;
+  order.task = read_auid(r);
+  order.job = read_auid(r);
+  order.index = static_cast<std::int32_t>(r.i64());
+  order.argv = read_string_list(r);
+  order.env = read_string_list(r);
+  order.timeout_s = r.f64();
+  order.input = read_data(r);
+  order.result_name = r.str();
+  return order;
+}
+
+void write_task_report(Writer& w, const jobs::TaskReport& report) {
+  write_auid(w, report.task);
+  w.str(report.runner);
+  w.boolean(report.ok);
+  w.i64(report.exit_code);
+  w.boolean(report.timed_out);
+  w.boolean(report.data_local);
+  write_data(w, report.result);
+}
+
+jobs::TaskReport read_task_report(Reader& r) {
+  jobs::TaskReport report;
+  report.task = read_auid(r);
+  report.runner = r.str();
+  report.ok = r.boolean();
+  report.exit_code = static_cast<std::int32_t>(r.i64());
+  report.timed_out = r.boolean();
+  report.data_local = r.boolean();
+  report.result = read_data(r);
+  return report;
+}
+
+void write_task_info(Writer& w, const jobs::TaskInfo& info) {
+  w.i64(info.index);
+  w.u8(static_cast<std::uint8_t>(info.phase));
+  w.str(info.runner);
+  w.i64(info.attempts);
+  w.boolean(info.data_local);
+  write_auid(w, info.result);
+}
+
+jobs::TaskInfo read_task_info(Reader& r) {
+  jobs::TaskInfo info;
+  info.index = static_cast<std::int32_t>(r.i64());
+  const std::uint8_t phase = r.u8();
+  if (phase > static_cast<std::uint8_t>(jobs::TaskPhase::kFailed)) {
+    throw CodecError("unknown task phase " + std::to_string(phase));
+  }
+  info.phase = static_cast<jobs::TaskPhase>(phase);
+  info.runner = r.str();
+  info.attempts = static_cast<std::int32_t>(r.i64());
+  info.data_local = r.boolean();
+  info.result = read_auid(r);
+  return info;
+}
+
+void write_job_status_info(Writer& w, const jobs::JobStatusInfo& info) {
+  write_auid(w, info.job);
+  w.str(info.name);
+  w.i64(info.total);
+  w.i64(info.waiting);
+  w.i64(info.running);
+  w.i64(info.done);
+  w.i64(info.failed);
+  w.i64(info.data_local);
+  w.i64(info.replaced);
+  write_list(w, info.tasks, write_task_info);
+}
+
+jobs::JobStatusInfo read_job_status_info(Reader& r) {
+  jobs::JobStatusInfo info;
+  info.job = read_auid(r);
+  info.name = r.str();
+  info.total = static_cast<std::int32_t>(r.i64());
+  info.waiting = static_cast<std::int32_t>(r.i64());
+  info.running = static_cast<std::int32_t>(r.i64());
+  info.done = static_cast<std::int32_t>(r.i64());
+  info.failed = static_cast<std::int32_t>(r.i64());
+  info.data_local = static_cast<std::int32_t>(r.i64());
+  info.replaced = static_cast<std::int32_t>(r.i64());
+  info.tasks = read_list<jobs::TaskInfo>(r, read_task_info);
+  return info;
 }
 
 void write_register_batch(Writer& w, const std::vector<core::Data>& items) {

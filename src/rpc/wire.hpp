@@ -16,6 +16,7 @@
 #include "core/attributes.hpp"
 #include "core/data.hpp"
 #include "core/locator.hpp"
+#include "jobs/job_types.hpp"
 #include "rpc/codec.hpp"
 #include "services/data_repository.hpp"
 #include "services/data_scheduler.hpp"
@@ -78,6 +79,13 @@ enum class Endpoint : std::uint16_t {
   kRingInfo = 37,       ///< (empty) → Expected<RingStatusInfo>
   kRingSearch = 38,     ///< name → Expected<data list>; member-local
                         ///< dc_search, never fanned out again
+  // Job subsystem (PR 7): compute-to-data. Submit decomposes a JobSpec into
+  // tasks the scheduler places with replica affinity; workers claim
+  // delivered tasks (first claim wins) and report outcomes.
+  kJobSubmit = 39,      ///< JobSpec → Expected<Auid job>
+  kJobStatus = 40,      ///< Auid job → Expected<JobStatusInfo>
+  kJobClaim = 41,       ///< Auid task, host → Expected<TaskOrder>
+  kJobTaskReport = 42,  ///< TaskReport → Status
   // Sentinel: must stay last. kMaxEndpoint derives from it so the decode
   // range in read_frame_header can never drift when endpoints are added;
   // wire.cpp static_asserts that endpoint_name covers every value.
@@ -138,6 +146,22 @@ services::RepoStats read_repo_stats(Reader& r);
 /// index-aligned with the download partition).
 void write_source_lists(Writer& w, const std::vector<std::vector<core::Locator>>& sources);
 std::vector<std::vector<core::Locator>> read_source_lists(Reader& r);
+
+// --- job messages ------------------------------------------------------------
+void write_job_spec(Writer& w, const jobs::JobSpec& spec);
+jobs::JobSpec read_job_spec(Reader& r);
+
+void write_task_order(Writer& w, const jobs::TaskOrder& order);
+jobs::TaskOrder read_task_order(Reader& r);
+
+void write_task_report(Writer& w, const jobs::TaskReport& report);
+jobs::TaskReport read_task_report(Reader& r);
+
+void write_task_info(Writer& w, const jobs::TaskInfo& info);
+jobs::TaskInfo read_task_info(Reader& r);
+
+void write_job_status_info(Writer& w, const jobs::JobStatusInfo& info);
+jobs::JobStatusInfo read_job_status_info(Reader& r);
 
 // --- ring messages -----------------------------------------------------------
 // The live DHT ring (src/dht/live_ring.hpp) speaks these over the same

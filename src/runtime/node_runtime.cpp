@@ -4,6 +4,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <variant>
 
 #include "rpc/wire.hpp"
@@ -18,6 +19,27 @@ const util::Logger& logger() {
   return instance;
 }
 
+/// The single handler on the internal ActiveData: forwards every PullCore
+/// event into the runtime's executor queue.
+class ForwardingHandler final : public core::ActiveDataEventHandler {
+ public:
+  using Fn = std::function<void(core::DataEventKind, const core::Data&,
+                                const core::DataAttributes&)>;
+  explicit ForwardingHandler(Fn fn) : fn_(std::move(fn)) {}
+  void on_data_create(const core::Data& data, const core::DataAttributes& attributes) override {
+    fn_(core::DataEventKind::kCreate, data, attributes);
+  }
+  void on_data_copy(const core::Data& data, const core::DataAttributes& attributes) override {
+    fn_(core::DataEventKind::kCopy, data, attributes);
+  }
+  void on_data_delete(const core::Data& data, const core::DataAttributes& attributes) override {
+    fn_(core::DataEventKind::kDelete, data, attributes);
+  }
+
+ private:
+  Fn fn_;
+};
+
 }  // namespace
 
 NodeRuntime::NodeRuntime(std::string service_host, std::uint16_t service_port,
@@ -27,8 +49,14 @@ NodeRuntime::NodeRuntime(std::string service_host, std::uint16_t service_port,
       config_(std::move(config)),
       control_bus_(service_host_, service_port_, config_.bus),
       active_data_(control_bus_, config_.name),
-      core_(active_data_) {
+      internal_events_(control_bus_, config_.name),
+      core_(internal_events_) {
   tm_.set_max_concurrent(config_.max_concurrent_transfers);
+  internal_events_.add_callback(std::make_shared<ForwardingHandler>(
+      [this](core::DataEventKind kind, const core::Data& data,
+             const core::DataAttributes& attributes) {
+        enqueue_event(kind, data, attributes);
+      }));
 }
 
 NodeRuntime::~NodeRuntime() { stop(); }
@@ -75,7 +103,12 @@ api::Status NodeRuntime::start() {
     const std::lock_guard lock(transfers_mutex_);
     accepting_transfers_ = true;
   }
+  {
+    const std::lock_guard events(events_mutex_);
+    callbacks_open_ = true;
+  }
   running_.store(true);
+  callback_thread_ = std::thread(&NodeRuntime::callback_loop, this);
   heartbeat_ = std::thread(&NodeRuntime::heartbeat_loop, this);
   logger().info(
       "%s: joined %s:%u (heartbeat %.2fs, cache %s, %llu replica(s) restored, peer %s)",
@@ -111,7 +144,54 @@ void NodeRuntime::stop() {
   for (std::thread& transfer : transfers) {
     if (transfer.joinable()) transfer.join();
   }
+  // Close the executor after the producers are gone: events already queued
+  // are still delivered, then the thread exits.
+  {
+    const std::lock_guard events(events_mutex_);
+    callbacks_open_ = false;
+  }
+  events_cv_.notify_all();
+  if (callback_thread_.joinable()) callback_thread_.join();
   if (peer_server_) peer_server_->stop();
+}
+
+void NodeRuntime::enqueue_event(core::DataEventKind kind, const core::Data& data,
+                                const core::DataAttributes& attributes) {
+  {
+    const std::lock_guard events(events_mutex_);
+    if (!callbacks_open_) return;
+    events_.push_back(PendingEvent{kind, data, attributes});
+  }
+  events_cv_.notify_all();
+}
+
+void NodeRuntime::callback_loop() {
+  for (;;) {
+    PendingEvent event;
+    {
+      std::unique_lock events(events_mutex_);
+      events_cv_.wait(events, [this] { return !events_.empty() || !callbacks_open_; });
+      if (events_.empty()) return;  // closed and drained
+      event = std::move(events_.front());
+      events_.pop_front();
+    }
+    // No runtime lock is held here: a handler that blocks forever wedges
+    // later handlers, but heartbeats and transfers keep flowing (the
+    // regression test installs exactly such a handler).
+    switch (event.kind) {
+      case core::DataEventKind::kCreate:
+        active_data_.dispatch_create(event.data, event.attributes);
+        break;
+      case core::DataEventKind::kCopy:
+        active_data_.dispatch_copy(event.data, event.attributes);
+        break;
+      case core::DataEventKind::kDelete:
+        active_data_.dispatch_delete(event.data, event.attributes);
+        break;
+    }
+    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    ++stats_.events_dispatched;
+  }
 }
 
 void NodeRuntime::sync_now() {
@@ -157,6 +237,52 @@ bool NodeRuntime::wait_for(const util::Auid& uid, double timeout_s) const {
     }
   }
   return true;
+}
+
+api::Status NodeRuntime::adopt_replica(const core::Data& data,
+                                       const core::DataAttributes& attributes,
+                                       const std::string& source_path) {
+  if (!running_.load()) {
+    return api::Error{api::Errc::kUnavailable, "worker", "runtime not running"};
+  }
+  core::Content on_disk;
+  try {
+    on_disk = core::file_content(source_path);
+  } catch (const std::exception& e) {
+    return api::Error{api::Errc::kUnavailable, "worker",
+                      "cannot read " + source_path + ": " + e.what()};
+  }
+  if (on_disk.size != data.size || on_disk.checksum != data.checksum) {
+    return api::Error{api::Errc::kChecksumMismatch, "worker",
+                      "file at " + source_path + " does not match descriptor of " +
+                          data.name};
+  }
+  std::error_code ec;
+  std::filesystem::copy_file(source_path, replica_path(data.uid),
+                             std::filesystem::copy_options::overwrite_existing, ec);
+  if (ec) {
+    return api::Error{api::Errc::kUnavailable, "worker",
+                      "cannot place replica in cache: " + ec.message()};
+  }
+  services::ScheduledData item;
+  item.data = data;
+  item.attributes = attributes;
+  {
+    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    // The producer already knows the bytes exist — no on_data_copy.
+    core_.adopt_local(item.data, item.attributes, /*fire_event=*/false);
+    persist_replica(item);
+    ++stats_.adopted;
+  }
+  arrival_cv_.notify_all();
+  {
+    const std::lock_guard control(control_mutex_);
+    control_bus_.ddc_publish(data.uid.str(), config_.name, [](api::Status) {});
+  }
+  // Announce the replica now: the scheduler's next collector-affinity pass
+  // can mint a peer locator pointing here a beat sooner.
+  sync_now();
+  return api::ok_status();
 }
 
 // --- durable replica manifest -------------------------------------------------

@@ -26,6 +26,10 @@
 //    or missing ones are forgotten so the scheduler re-sends them.
 //  * Scheduler drops delete the local file and fire on_data_delete; arrivals
 //    fire on_data_copy — the ActiveData programming model on live events.
+//    Events are delivered from a dedicated callback executor thread, never
+//    from the heartbeat or a transfer thread: a slow (or deliberately
+//    blocking) handler delays other handlers, but can never stall ds_sync
+//    beats or transfer completion.
 //
 // examples/bitdew_worker.cpp wraps one of these in a daemon; the
 // live-fault-tolerance CI job kills -9 such a worker and watches a survivor
@@ -35,6 +39,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -79,6 +84,8 @@ struct NodeRuntimeStats {
   std::uint64_t orphans_swept = 0;  ///< manifest-less cache files removed at start()
   std::uint64_t peer_chunks_served = 0;  ///< chunk reads served to other workers
   std::int64_t peer_bytes_served = 0;
+  std::uint64_t events_dispatched = 0;  ///< ActiveData events delivered to handlers
+  std::uint64_t adopted = 0;  ///< replicas adopted via adopt_replica()
 };
 
 class NodeRuntime {
@@ -121,6 +128,15 @@ class NodeRuntime {
   /// (false), or the runtime stops (false).
   bool wait_for(const util::Auid& uid, double timeout_s) const;
 
+  /// Seeds the cache with a locally produced file (a task result): the
+  /// bytes at `source_path` are verified against `data`, copied into the
+  /// cache, recorded in the durable manifest, and announced on the next
+  /// sync — so the peer plane can serve them. No ActiveData event fires
+  /// (the producer already knows). Errc::kChecksumMismatch when the file
+  /// does not match the descriptor.
+  api::Status adopt_replica(const core::Data& data, const core::DataAttributes& attributes,
+                            const std::string& source_path);
+
  private:
   static constexpr const char* kReplicaTable = "replicas";
 
@@ -142,6 +158,12 @@ class NodeRuntime {
   void persist_replica(const services::ScheduledData& item);
   void forget_replica(const util::Auid& uid);
   void reap_finished_transfers();
+  /// Queues one life-cycle event for the callback executor.
+  void enqueue_event(core::DataEventKind kind, const core::Data& data,
+                     const core::DataAttributes& attributes);
+  /// The callback executor: drains queued events into the public
+  /// active_data() handlers, outside every runtime lock.
+  void callback_loop();
 
   std::string service_host_;
   std::uint16_t service_port_;
@@ -150,6 +172,11 @@ class NodeRuntime {
   api::RemoteServiceBus control_bus_;  ///< heartbeat + bookkeeping RPCs
   std::mutex control_mutex_;           ///< one control call at a time
   api::ActiveData active_data_;
+  /// PullCore fires into THIS ActiveData (on the heartbeat/transfer thread
+  /// that drove the transition, under state_mutex_); its only handler
+  /// forwards every event into the executor queue, so user handlers on the
+  /// public active_data_ run on the callback thread instead.
+  api::ActiveData internal_events_;
   api::TransferManager tm_;
   std::unique_ptr<rpc::ChunkServer> peer_server_;  ///< the peer data plane
   std::string endpoint_;  ///< advertised "host:port" ("" = not serving)
@@ -167,6 +194,18 @@ class NodeRuntime {
   std::mutex beat_mutex_;
   std::condition_variable beat_cv_;
   bool beat_requested_ = false;
+
+  // --- callback executor (never the heartbeat or a transfer thread) ----------
+  struct PendingEvent {
+    core::DataEventKind kind;
+    core::Data data;
+    core::DataAttributes attributes;
+  };
+  std::thread callback_thread_;
+  std::mutex events_mutex_;
+  std::condition_variable events_cv_;
+  std::deque<PendingEvent> events_;
+  bool callbacks_open_ = false;  ///< guarded by events_mutex_
   mutable std::condition_variable_any arrival_cv_;  ///< signaled on cache change
 
   std::mutex transfers_mutex_;

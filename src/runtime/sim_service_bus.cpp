@@ -270,6 +270,41 @@ void SimServiceBus::ds_hosts(api::Reply<Expected<std::vector<services::HostInfo>
       transport_error("ds_hosts flow failed"), std::move(done));
 }
 
+void SimServiceBus::job_submit(const jobs::JobSpec& spec,
+                               api::Reply<Expected<util::Auid>> done) {
+  std::size_t items = spec.inputs.size() + spec.argv.size() + spec.env.size() + 1;
+  rpc<Expected<util::Auid>>(
+      config_.per_item_bytes * static_cast<std::int64_t>(items), 0,
+      [spec](services::ServiceContainer& c) { return api::ops::job_submit(c, spec); },
+      transport_error("job_submit flow failed"), std::move(done), items);
+}
+
+void SimServiceBus::job_status(const util::Auid& job,
+                               api::Reply<Expected<jobs::JobStatusInfo>> done) {
+  rpc<Expected<jobs::JobStatusInfo>>(
+      0, config_.per_item_bytes,
+      [job](services::ServiceContainer& c) { return api::ops::job_status(c, job); },
+      transport_error("job_status flow failed"), std::move(done));
+}
+
+void SimServiceBus::job_claim(const util::Auid& task, const std::string& runner,
+                              api::Reply<Expected<jobs::TaskOrder>> done) {
+  rpc<Expected<jobs::TaskOrder>>(
+      static_cast<std::int64_t>(runner.size()), config_.per_item_bytes,
+      [task, runner](services::ServiceContainer& c) {
+        return api::ops::job_claim(c, task, runner);
+      },
+      transport_error("job_claim flow failed"), std::move(done));
+}
+
+void SimServiceBus::job_task_report(const jobs::TaskReport& report,
+                                    api::Reply<Status> done) {
+  rpc<Status>(
+      config_.per_item_bytes, 0,
+      [report](services::ServiceContainer& c) { return api::ops::job_task_report(c, report); },
+      transport_error("job_task_report flow failed"), std::move(done));
+}
+
 void SimServiceBus::ddc_publish(const std::string& key, const std::string& value,
                                 api::Reply<Status> done) {
   if (ring_ != nullptr && ring_node_ != dht::kNoNode) {

@@ -142,6 +142,13 @@ class SimServiceBus final : public api::ServiceBus {
                const std::vector<util::Auid>& in_flight, const std::string& endpoint,
                api::Reply<api::Expected<services::SyncReply>> done) override;
   void ds_hosts(api::Reply<api::Expected<std::vector<services::HostInfo>>> done) override;
+  void job_submit(const jobs::JobSpec& spec,
+                  api::Reply<api::Expected<util::Auid>> done) override;
+  void job_status(const util::Auid& job,
+                  api::Reply<api::Expected<jobs::JobStatusInfo>> done) override;
+  void job_claim(const util::Auid& task, const std::string& runner,
+                 api::Reply<api::Expected<jobs::TaskOrder>> done) override;
+  void job_task_report(const jobs::TaskReport& report, api::Reply<api::Status> done) override;
   void ddc_publish(const std::string& key, const std::string& value,
                    api::Reply<api::Status> done) override;
   void ddc_search(const std::string& key,

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "db/database.hpp"
+#include "jobs/job_service.hpp"
 #include "rpc/wire.hpp"
 #include "services/data_catalog.hpp"
 #include "services/data_repository.hpp"
@@ -42,7 +43,10 @@ class ServiceContainer {
         repository_(*database_, host_name),
         transfer_(*database_, clock),
         scheduler_(clock, scheduler_config),
-        host_name_(std::move(host_name)) {}
+        jobs_(catalog_, scheduler_, clock),
+        host_name_(std::move(host_name)) {
+    wire_jobs();
+  }
 
   /// WAL-backed persistence (the LocalRuntime, bitdewd). Replays the WAL
   /// and restores the scheduler's Θ from the previous run.
@@ -53,8 +57,11 @@ class ServiceContainer {
         repository_(*database_, host_name),
         transfer_(*database_, clock),
         scheduler_(clock, scheduler_config),
+        jobs_(catalog_, scheduler_, clock),
         host_name_(std::move(host_name)) {
+    wire_jobs();
     restore_scheduled_state();
+    restore_jobs();
   }
 
   ServiceContainer(const ServiceContainer&) = delete;
@@ -167,6 +174,7 @@ class ServiceContainer {
   DataRepository& dr() { return repository_; }
   DataTransfer& dt() { return transfer_; }
   DataScheduler& ds() { return scheduler_; }
+  jobs::JobService& jobs() { return jobs_; }
   db::Database& database() { return *database_; }
   const std::string& host_name() const { return host_name_; }
 
@@ -174,6 +182,7 @@ class ServiceContainer {
   static constexpr const char* kThetaTable = "ds_theta";
   static constexpr const char* kRingKeysTable = "ring_keys";
   static constexpr const char* kDdcPairsTable = "ddc_pairs";
+  static constexpr const char* kJobsTable = "jobs";
 
   /// Mirrors an accepted entry into the WAL as the scheduler NORMALIZED it
   /// (a duration lifetime is anchored at receipt): replaying the raw request
@@ -201,6 +210,42 @@ class ServiceContainer {
     }
   }
 
+  /// The JobService reaches the scheduler only through the container's
+  /// durable mutation paths, so task and result placements land in the
+  /// ds_theta table like every other Θ entry; its own state is mirrored
+  /// into the "jobs" table (one re-encoded row per job per mutation).
+  void wire_jobs() {
+    jobs_.wire(
+        [this](const core::Data& data, const core::DataAttributes& attributes) {
+          return schedule_data(data, attributes);
+        },
+        [this](const util::Auid& uid) { return unschedule_data(uid); },
+        [this](const util::Auid& job, const std::string& blob) {
+          if (!database_->durable()) return;
+          db::Table& table = database_->create_table({kJobsTable, "uid", {}});
+          db::Row row;
+          row["uid"] = job.str();
+          row["blob"] = blob;
+          if (const auto existing = table.by_primary(db::Value(job.str()))) {
+            database_->update(kJobsTable, *existing, std::move(row));
+          } else {
+            database_->insert(kJobsTable, std::move(row));
+          }
+        });
+  }
+
+  void restore_jobs() {
+    const db::Table* table = database_->table(kJobsTable);
+    if (table == nullptr) return;
+    table->scan([this](db::RowId, const db::Row& row) {
+      const auto blob = row.find("blob");
+      if (blob != row.end() && std::holds_alternative<std::string>(blob->second)) {
+        jobs_.restore(std::get<std::string>(blob->second));
+      }
+      return true;
+    });
+  }
+
   void restore_scheduled_state() {
     const db::Table* table = database_->table(kThetaTable);
     if (table == nullptr) return;
@@ -224,6 +269,7 @@ class ServiceContainer {
   DataRepository repository_;
   DataTransfer transfer_;
   DataScheduler scheduler_;
+  jobs::JobService jobs_;
   std::string host_name_;
 };
 

@@ -118,6 +118,7 @@ SyncReply DataScheduler::sync(const HostName& host, const std::vector<util::Auid
   }
   state.last_sync = now;
   state.alive = true;
+  state.dead_sweeps = 0;  // a returning host restarts its GC countdown
   state.cache = std::set<util::Auid>(cache.begin(), cache.end());
   state.reported = state.cache.size();
   state.endpoint = endpoint;
@@ -175,7 +176,10 @@ SyncReply DataScheduler::sync(const HostName& host, const std::vector<util::Auid
     if (new_downloads >= config_.max_data_schedule) break;
     if (psi.contains(uid) || state.cache.contains(uid)) continue;
 
-    bool assign = false;
+    // Pin: a pinned host is a permanent owner by definition, so it must be
+    // (re)sent the datum even when no other rule would place it — this is
+    // how a replica=0 collector datum reaches exactly its collector node.
+    bool assign = entry.pinned.contains(host);
     // Affinity: placement dependency on a datum the host already caches
     // (Algorithm 1 tests against Δk, so data assigned in this same sync
     // does not attract dependents until the next round). Class affinity
@@ -303,6 +307,24 @@ std::vector<HostName> DataScheduler::detect_failures() {
         entry.owners.erase(host);
       }
       entry.pending.erase(host);  // a dead host cannot complete a download
+    }
+  }
+  // Host-table GC: a host dead longer than host_gc_sweeps sweeps is
+  // forgotten, so ds_hosts (and `bitdew_cli status`) stop listing churned
+  // nodes forever. A returning host re-registers on its next sync.
+  if (config_.host_gc_sweeps > 0) {
+    for (auto it = hosts_.begin(); it != hosts_.end();) {
+      HostState& state = it->second;
+      if (state.alive) {
+        ++it;
+      } else if (++state.dead_sweeps > config_.host_gc_sweeps) {
+        logger().debug("host %s forgotten after %d sweeps dead", it->first.c_str(),
+                       state.dead_sweeps);
+        ++stats_.hosts_gcd;
+        it = hosts_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   return newly_dead;

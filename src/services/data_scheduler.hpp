@@ -60,6 +60,12 @@ struct SchedulerConfig {
   /// one — the seed pulls from the repository). The swarm doubles each
   /// generation instead of stampeding the repository; <= 0 disables.
   int swarm_factor = 2;
+  /// Host-table garbage collection: a host dead for more than this many
+  /// failure sweeps is forgotten entirely (ds_hosts stops listing it).
+  /// Owner sets in Θ are untouched — non-fault-tolerant data keeps its dead
+  /// owner, per the paper. 0 (the default) never forgets, matching the
+  /// pre-GC behavior simulations were calibrated against.
+  int host_gc_sweeps = 0;
 };
 
 struct ScheduledData {
@@ -100,6 +106,7 @@ struct SchedulerStats {
   std::uint64_t drops = 0;         ///< deletion orders issued
   std::uint64_t failures = 0;      ///< hosts declared dead
   std::uint64_t reaped = 0;        ///< data expired out of Θ
+  std::uint64_t hosts_gcd = 0;     ///< dead hosts forgotten by the table GC
 };
 
 class DataScheduler {
@@ -120,9 +127,11 @@ class DataScheduler {
   /// The native back-end of the bus's ds_schedule_batch endpoint.
   std::vector<bool> schedule_batch(const std::vector<ScheduledData>& items);
 
-  /// Pins a datum to a host: the host is recorded as a permanent owner and
-  /// the datum will never be dropped from that host's cache. Returns false
-  /// when the datum is not scheduled.
+  /// Pins a datum to a host: the host is recorded as a permanent owner, the
+  /// datum is pushed to that host at its next sync if not already cached
+  /// (even when replica/affinity would not place it), and it will never be
+  /// dropped from that host's cache. Returns false when the datum is not
+  /// scheduled.
   bool pin(const util::Auid& uid, const HostName& host);
 
   /// Removes a datum from Θ; hosts delete it at their next sync, and any
@@ -166,6 +175,7 @@ class DataScheduler {
     std::set<util::Auid> cache;   // post-sync Ψk (what the host will hold)
     std::size_t reported = 0;     // size of the last reported Δk (host_table)
     std::string endpoint;         // announced chunk-server address ("" = none)
+    int dead_sweeps = 0;          // failure sweeps survived while dead (GC)
   };
 
   struct Entry {

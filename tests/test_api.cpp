@@ -221,6 +221,122 @@ TEST(HostTable, DirectBusServesIt) { check_ds_hosts<DirectRig>(); }
 TEST(HostTable, SimBusServesIt) { check_ds_hosts<SimRig>(); }
 TEST(HostTable, RemoteBusServesIt) { check_ds_hosts<RemoteRig>(); }
 
+// --- the job endpoints -------------------------------------------------------
+
+/// The whole compute-to-data lifecycle over one bus: submit → the task datum
+/// reaches the input's holder via ds_sync → claim race → report → status
+/// complete — plus the typed rejections at each step.
+template <typename Rig>
+void check_job_endpoints() {
+  Rig rig;
+  const core::Data input = make_data("chunk");
+  const core::Data token = make_data("collector", 0);
+  std::optional<Status> status_reply;
+  rig.bus.dc_register(input, [&](Status s) { status_reply = s; });
+  rig.bus.dc_register(token, [&](Status) {});
+  core::DataAttributes replicated = attr(1);
+  replicated.fault_tolerant = true;
+  rig.bus.ds_schedule(input, replicated, [&](Status) {});
+  rig.bus.ds_schedule(token, attr(0), [&](Status) {});
+  rig.settle();
+  rig.bus.ds_pin(token.uid, "coll", [&](Status s) { status_reply = s; });
+  rig.settle();
+  ASSERT_TRUE(status_reply.has_value() && status_reply->ok());
+
+  // w1 acquires and confirms the input; the collector holds its token.
+  rig.bus.ds_sync("w1", {}, {}, "", [&](auto) {});
+  rig.bus.ds_sync("w1", {input.uid}, {}, "", [&](auto) {});
+  rig.bus.ds_sync("coll", {token.uid}, {}, "", [&](auto) {});
+  rig.settle();
+
+  // A spec with no inputs is a typed rejection, not a hang or a crash.
+  jobs::JobSpec bad;
+  bad.uid = util::next_auid();
+  bad.argv = {"/bin/true"};
+  bad.collector = token.uid;
+  std::optional<Expected<util::Auid>> rejected;
+  rig.bus.job_submit(bad, [&](Expected<util::Auid> r) { rejected = std::move(r); });
+  rig.settle();
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->code(), Errc::kInvalidArgument);
+  EXPECT_EQ(rejected->error().service, "jobs");
+
+  jobs::JobSpec spec = bad;
+  spec.uid = util::next_auid();
+  spec.name = "grep";
+  spec.inputs = {input.uid};
+  std::optional<Expected<util::Auid>> submitted;
+  rig.bus.job_submit(spec, [&](Expected<util::Auid> r) { submitted = std::move(r); });
+  rig.settle();
+  ASSERT_TRUE(submitted.has_value() && submitted->ok());
+
+  // Unknown job/task are kNotFound on the same typed channel.
+  std::optional<Expected<jobs::JobStatusInfo>> unknown_job;
+  rig.bus.job_status(util::next_auid(),
+                     [&](Expected<jobs::JobStatusInfo> r) { unknown_job = std::move(r); });
+  std::optional<Expected<jobs::TaskOrder>> unknown_task;
+  rig.bus.job_claim(util::next_auid(), "w1",
+                    [&](Expected<jobs::TaskOrder> r) { unknown_task = std::move(r); });
+  rig.settle();
+  EXPECT_EQ(unknown_job->code(), Errc::kNotFound);
+  EXPECT_EQ(unknown_task->code(), Errc::kNotFound);
+
+  // The task datum is delivered to the holder on its next sync.
+  std::optional<api::Expected<services::SyncReply>> synced;
+  rig.bus.ds_sync("w1", {input.uid}, {}, "",
+                  [&](api::Expected<services::SyncReply> r) { synced = std::move(r); });
+  rig.settle();
+  ASSERT_TRUE(synced.has_value() && synced->ok());
+  util::Auid task;
+  for (const services::ScheduledData& item : (*synced)->download) {
+    if (item.attributes.name == jobs::kTaskAttributeName) task = item.data.uid;
+  }
+  ASSERT_FALSE(task.is_nil());
+
+  // The claim race over the bus: first wins, second stands down.
+  std::optional<Expected<jobs::TaskOrder>> won;
+  std::optional<Expected<jobs::TaskOrder>> lost;
+  rig.bus.job_claim(task, "w1", [&](Expected<jobs::TaskOrder> r) { won = std::move(r); });
+  rig.bus.job_claim(task, "w2", [&](Expected<jobs::TaskOrder> r) { lost = std::move(r); });
+  rig.settle();
+  ASSERT_TRUE(won.has_value() && lost.has_value());
+  const Expected<jobs::TaskOrder>& winner = won->ok() ? *won : *lost;
+  const Expected<jobs::TaskOrder>& loser = won->ok() ? *lost : *won;
+  ASSERT_TRUE(winner.ok());
+  EXPECT_EQ(loser.code(), Errc::kRejected);
+  EXPECT_EQ(winner->input.uid, input.uid);
+  EXPECT_EQ(winner->argv, spec.argv);
+
+  jobs::TaskReport report;
+  report.task = task;
+  report.runner = won->ok() ? "w1" : "w2";
+  report.ok = true;
+  report.data_local = true;
+  report.result = make_data("grep-result-0");
+  std::optional<Status> reported;
+  rig.bus.job_task_report(report, [&](Status s) { reported = s; });
+  rig.settle();
+  ASSERT_TRUE(reported.has_value() && reported->ok());
+
+  std::optional<Expected<jobs::JobStatusInfo>> done;
+  rig.bus.job_status(submitted->value(),
+                     [&](Expected<jobs::JobStatusInfo> r) { done = std::move(r); });
+  rig.settle();
+  ASSERT_TRUE(done.has_value() && done->ok());
+  EXPECT_TRUE((*done)->complete());
+  EXPECT_EQ((*done)->data_local, 1);
+  ASSERT_EQ((*done)->tasks.size(), 1u);
+  EXPECT_EQ((*done)->tasks[0].result, report.result.uid);
+  // The result datum entered Θ with the affinity chain to the collector.
+  const auto scheduled = rig.container.ds().scheduled(report.result.uid);
+  ASSERT_TRUE(scheduled.has_value());
+  EXPECT_EQ(scheduled->attributes.affinity, token.uid);
+}
+
+TEST(JobEndpoints, DirectBusRunsTheLifecycle) { check_job_endpoints<DirectRig>(); }
+TEST(JobEndpoints, SimBusRunsTheLifecycle) { check_job_endpoints<SimRig>(); }
+TEST(JobEndpoints, RemoteBusRunsTheLifecycle) { check_job_endpoints<RemoteRig>(); }
+
 // --- bulk endpoints ----------------------------------------------------------
 
 template <typename Rig>

@@ -650,5 +650,95 @@ TEST(Wire, MalformedBatchThrows) {
   EXPECT_THROW(rpc::wire::read_status(r2), rpc::CodecError);
 }
 
+TEST(Wire, JobMessagesRoundTrip) {
+  jobs::JobSpec spec;
+  spec.uid = util::Auid{1, 2};
+  spec.name = "blast";
+  spec.argv = {"/bin/sh", "-c", "grep -c ACGT -- \"$0\" > \"$1\"", "{input}", "{output}"};
+  spec.env = {"LANG=C", "THREADS=2"};
+  spec.timeout_s = 30.5;
+  spec.inputs = {util::Auid{3, 4}, util::Auid{5, 6}};
+  spec.collector = util::Auid{7, 8};
+
+  jobs::TaskOrder order;
+  order.task = util::Auid{9, 10};
+  order.job = spec.uid;
+  order.index = 1;
+  order.argv = spec.argv;
+  order.env = spec.env;
+  order.timeout_s = spec.timeout_s;
+  order.input = wire_data(11);
+  order.result_name = "blast-result-1";
+
+  jobs::TaskReport report;
+  report.task = order.task;
+  report.runner = "w3";
+  report.ok = true;
+  report.exit_code = 0;
+  report.timed_out = false;
+  report.data_local = true;
+  report.result = wire_data(12);
+
+  rpc::Writer w;
+  rpc::wire::write_job_spec(w, spec);
+  rpc::wire::write_task_order(w, order);
+  rpc::wire::write_task_report(w, report);
+
+  rpc::Reader r(w.buffer());
+  EXPECT_EQ(rpc::wire::read_job_spec(r), spec);
+  EXPECT_EQ(rpc::wire::read_task_order(r), order);
+  EXPECT_EQ(rpc::wire::read_task_report(r), report);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, JobStatusInfoRoundTrip) {
+  jobs::JobStatusInfo info;
+  info.job = util::Auid{21, 22};
+  info.name = "grep";
+  info.total = 3;
+  info.waiting = 1;
+  info.running = 1;
+  info.done = 1;
+  info.failed = 0;
+  info.data_local = 1;
+  info.replaced = 2;
+  jobs::TaskInfo done;
+  done.index = 0;
+  done.phase = jobs::TaskPhase::kDone;
+  done.runner = "w1";
+  done.attempts = 3;
+  done.data_local = true;
+  done.result = util::Auid{23, 24};
+  jobs::TaskInfo running;
+  running.index = 1;
+  running.phase = jobs::TaskPhase::kRunning;
+  running.runner = "w2";
+  running.attempts = 1;
+  jobs::TaskInfo waiting;
+  waiting.index = 2;
+  waiting.attempts = 1;
+  info.tasks = {done, running, waiting};
+
+  rpc::Writer w;
+  rpc::wire::write_job_status_info(w, info);
+  rpc::Reader r(w.buffer());
+  const jobs::JobStatusInfo decoded = rpc::wire::read_job_status_info(r);
+  EXPECT_EQ(decoded, info);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(decoded.done, 1);
+  EXPECT_TRUE(decoded.tasks[0].data_local);
+
+  // A task row with an out-of-range phase is a typed decode error, not UB.
+  rpc::Writer bad;
+  rpc::wire::write_auid(bad, info.job);
+  bad.str("grep");
+  for (int i = 0; i < 7; ++i) bad.i64(0);
+  bad.u32(1);
+  bad.i64(0);
+  bad.u8(9);  // no such TaskPhase
+  rpc::Reader r2(bad.buffer());
+  EXPECT_THROW(rpc::wire::read_job_status_info(r2), rpc::CodecError);
+}
+
 }  // namespace
 }  // namespace bitdew

@@ -17,11 +17,13 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <memory>
 #include <thread>
 
 #include "api/remote_service_bus.hpp"
 #include "api/session.hpp"
+#include "jobs/task_runner.hpp"
 #include "rpc/server.hpp"
 #include "runtime/node_runtime.hpp"
 
@@ -179,7 +181,9 @@ TEST(NodeRuntime, PullsScheduledDataVerifiedAndFiresCopyEvent) {
   const core::Content replica = core::file_content(worker->replica_path(data.uid));
   EXPECT_EQ(replica.checksum, data.checksum);
   EXPECT_EQ(replica.size, data.size);
-  EXPECT_EQ(recorder->copies.load(), 1);
+  // Events are delivered from the runtime's executor thread, so the copy
+  // callback may land a beat after the replica does.
+  EXPECT_TRUE(wait_until([&] { return recorder->copies.load() == 1; }, 5.0));
   EXPECT_EQ(worker->stats().downloads_completed, 1u);
 
   // The control plane observed the arrival: the worker published its
@@ -233,7 +237,7 @@ TEST(NodeRuntime, SchedulerDropDeletesReplicaAndFiresDeleteEvent) {
   EXPECT_TRUE(wait_until([&] { return !worker->has(data.uid); }, 15.0));
   EXPECT_TRUE(wait_until(
       [&] { return !std::filesystem::exists(worker->replica_path(data.uid)); }, 5.0));
-  EXPECT_EQ(recorder->deletes.load(), 1);
+  EXPECT_TRUE(wait_until([&] { return recorder->deletes.load() == 1; }, 5.0));
   worker->stop();
 }
 
@@ -459,6 +463,128 @@ TEST(NodeRuntime, DeadWorkerReplicasMoveToSurvivor) {
       },
       10.0));
   survivor->stop();
+}
+
+/// A handler that parks its thread inside the first on_data_copy until the
+/// test releases it — the adversarial ActiveData subscriber.
+struct BlockingHandler final : core::ActiveDataEventHandler {
+  std::atomic<int> copies{0};
+  std::promise<void> gate;
+  std::shared_future<void> released{gate.get_future().share()};
+  void on_data_copy(const core::Data&, const core::DataAttributes&) override {
+    if (++copies == 1) released.wait_for(std::chrono::seconds(30));
+  }
+  void on_data_delete(const core::Data&, const core::DataAttributes&) override {}
+};
+
+/// The callback-executor contract: ActiveData events are delivered from a
+/// dedicated thread, so a handler that BLOCKS (a task runner forking a long
+/// child, a slow user hook) must not stall heartbeats or transfers — later
+/// data keeps arriving and the scheduler keeps seeing the node alive; the
+/// blocked event queue just drains late.
+TEST(NodeRuntime, BlockingEventHandlerDoesNotStallHeartbeatsOrTransfers) {
+  WorkerRig rig;
+  auto worker = rig.make_worker("w0");
+  auto blocker = std::make_shared<BlockingHandler>();
+  worker->active_data().add_callback(blocker);
+  ASSERT_TRUE(worker->start().ok());
+
+  const core::Data first = rig.publish("first", 64 * 1024, 1, true);
+  ASSERT_TRUE(worker->wait_for(first.uid, 15.0));
+  ASSERT_TRUE(wait_until([&] { return blocker->copies.load() == 1; }, 10.0));
+  // The handler is now parked inside on_data_copy.
+
+  // A second datum still arrives — the transfer threads are not the event
+  // thread — and the heartbeat keeps confirming both replicas to the
+  // scheduler, so the failure detector never fires.
+  const core::Data second = rig.publish("second", 64 * 1024, 1, true);
+  ASSERT_TRUE(worker->wait_for(second.uid, 15.0));
+  EXPECT_EQ(blocker->copies.load(), 1);  // its event is queued behind the block
+  ASSERT_TRUE(wait_until(
+      [&] {
+        const auto row = rig.host_row("w0");
+        return row.has_value() && row->alive && row->cached == 2;
+      },
+      10.0));
+
+  // Released, the queue drains and the second copy event is delivered.
+  blocker->gate.set_value();
+  EXPECT_TRUE(wait_until([&] { return blocker->copies.load() == 2; }, 10.0));
+  EXPECT_TRUE(wait_until([&] { return worker->stats().events_dispatched >= 2; }, 5.0));
+  worker->stop();
+}
+
+/// Compute-to-data end to end inside one test: a TaskRunner claims the task
+/// placed on its input replica, runs a real child process, and the result
+/// datum flows to the collector node over the affinity chain, byte-correct.
+TEST(NodeRuntime, TaskRunnerExecutesJobAndResultReachesCollector) {
+  WorkerRig rig;
+  auto worker = rig.make_worker("w0");
+  jobs::TaskRunnerConfig runner_config;
+  runner_config.exec_slots = 1;
+  runner_config.scratch_dir = (rig.dir / "w0-scratch").string();
+  auto runner = std::make_shared<jobs::TaskRunner>(*worker, "127.0.0.1",
+                                                   rig.host->port(), runner_config);
+  ASSERT_TRUE(worker->start().ok());
+  ASSERT_TRUE(runner->start().ok());
+  worker->active_data().add_callback(runner);
+
+  auto collector = rig.make_worker("coll");
+  ASSERT_TRUE(collector->start().ok());
+
+  // The collector token, pinned on the collector node (the demo pattern).
+  const api::Expected<core::Data> token = rig.session->create_data("token");
+  ASSERT_TRUE(token.ok());
+  core::DataAttributes token_attributes;
+  token_attributes.replica = 0;
+  ASSERT_TRUE(rig.session->schedule(*token, token_attributes).ok());
+  std::optional<Status> pinned;
+  rig.client_bus->ds_pin(token->uid, "coll", [&](Status s) { pinned = s; });
+  ASSERT_TRUE(pinned.has_value() && pinned->ok());
+  ASSERT_TRUE(collector->wait_for(token->uid, 15.0));
+
+  const core::Data input = rig.publish("chunk", 64 * 1024, 1, true);
+  ASSERT_TRUE(worker->wait_for(input.uid, 15.0));
+
+  jobs::JobSpec spec;
+  spec.uid = util::next_auid();
+  spec.name = "copy";
+  spec.argv = {"/bin/sh", "-c", "cat -- \"$0\" > \"$1\"", "{input}", "{output}"};
+  spec.timeout_s = 30;
+  spec.inputs = {input.uid};
+  spec.collector = token->uid;
+  std::optional<api::Expected<util::Auid>> submitted;
+  rig.client_bus->job_submit(
+      spec, [&](api::Expected<util::Auid> r) { submitted = std::move(r); });
+  ASSERT_TRUE(submitted.has_value() && submitted->ok());
+
+  // The runner claims, forks, reports; the job completes data-local.
+  jobs::JobStatusInfo status;
+  ASSERT_TRUE(wait_until(
+      [&] {
+        std::optional<api::Expected<jobs::JobStatusInfo>> reply;
+        rig.client_bus->job_status(
+            spec.uid, [&](api::Expected<jobs::JobStatusInfo> r) { reply = std::move(r); });
+        if (!reply.has_value() || !reply->ok()) return false;
+        status = **reply;
+        return status.complete();
+      },
+      30.0));
+  EXPECT_EQ(status.data_local, 1);
+  ASSERT_EQ(status.tasks.size(), 1u);
+  const util::Auid result = status.tasks[0].result;
+  ASSERT_FALSE(result.is_nil());
+
+  // The result follows the affinity chain to the collector node and is the
+  // input byte for byte (the job was `cat`).
+  ASSERT_TRUE(collector->wait_for(result, 30.0));
+  EXPECT_EQ(core::file_content(collector->replica_path(result)).checksum, input.checksum);
+  EXPECT_EQ(runner->stats().tasks_ok, 1u);
+  EXPECT_EQ(runner->stats().data_local, 1u);
+
+  runner->stop();
+  worker->stop();
+  collector->stop();
 }
 
 }  // namespace

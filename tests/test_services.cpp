@@ -695,6 +695,485 @@ TEST_F(SchedulerTest, UnknownOobProtocolIsRejectedAtScheduleTime) {
   EXPECT_TRUE(open_ds.schedule(data, attributes));
 }
 
+// --- Data Scheduler: pin-push + compute-to-data placement ---------------------
+
+/// A pin is a placement rule of its own: a replica=0 datum (no replica rule,
+/// no affinity) still reaches exactly its pinned host — this is how a job's
+/// collector token lands on the collector node.
+TEST_F(SchedulerTest, PinPushesReplicaZeroDatumToPinnedHostOnly) {
+  const Data token = make_data("collector-token", 0);
+  ASSERT_TRUE(ds_.schedule(token, attr(0)));
+  ASSERT_TRUE(ds_.pin(token.uid, "coll"));
+
+  EXPECT_TRUE(ds_.sync("other", {}).download.empty());
+  const SyncReply reply = ds_.sync("coll", {});
+  ASSERT_EQ(reply.download.size(), 1u);
+  EXPECT_EQ(reply.download[0].data.uid, token.uid);
+
+  // Confirmed, it is kept — pinned data is never dropped from its host.
+  const SyncReply again = ds_.sync("coll", {token.uid});
+  EXPECT_EQ(again.keep, std::vector<util::Auid>{token.uid});
+  EXPECT_TRUE(again.drop.empty());
+  EXPECT_TRUE(ds_.sync("other", {}).download.empty());
+}
+
+/// The job subsystem's result flow as pure Algorithm 1: a result scheduled
+/// {replica=0, affinity=collector} reaches the collector's host and nobody
+/// else — the affinity chain Result → Collector.
+TEST_F(SchedulerTest, AffinityChainRoutesResultToCollectorHolder) {
+  const Data token = make_data("collector-token", 0);
+  ASSERT_TRUE(ds_.schedule(token, attr(0)));
+  ASSERT_TRUE(ds_.pin(token.uid, "coll"));
+  ds_.sync("coll", {});
+  ds_.sync("coll", {token.uid});  // the collector holds its token
+
+  const Data result = make_data("result");
+  DataAttributes follows = attr(0);
+  follows.affinity = token.uid;
+  ASSERT_TRUE(ds_.schedule(result, follows));
+
+  EXPECT_TRUE(ds_.sync("w1", {}).download.empty());  // no token → no result
+  const SyncReply reply = ds_.sync("coll", {token.uid});
+  EXPECT_EQ(uids_of(reply.download), std::vector<util::Auid>{result.uid});
+}
+
+/// An affinity-placed task goes to a host whose CONFIRMED Δk holds the
+/// input, never to an empty host — replica-affinity task placement prefers
+/// the replica holder.
+TEST_F(SchedulerTest, AffinityPrefersConfirmedHolderOverEmptyHost) {
+  const Data input = make_data("input");
+  ASSERT_TRUE(ds_.schedule(input, attr(1, /*ft=*/true)));
+  ds_.sync("w1", {});          // w1 is assigned the input...
+  ds_.sync("w1", {input.uid});  // ...and confirms it
+  ds_.sync("w2", {});          // w2 is alive and empty
+
+  const Data task = make_data("task", 0);
+  DataAttributes placement = attr(0);
+  placement.affinity = input.uid;
+  ASSERT_TRUE(ds_.schedule(task, placement));
+
+  EXPECT_TRUE(ds_.sync("w2", {}).download.empty());
+  const SyncReply reply = ds_.sync("w1", {input.uid});
+  EXPECT_EQ(uids_of(reply.download), std::vector<util::Auid>{task.uid});
+  EXPECT_TRUE(ds_.sync("w2", {}).download.empty());
+}
+
+/// Affinity to a datum with ZERO live holders places the task nowhere until
+/// the replica rule re-homes the input and the new holder confirms it —
+/// then the task follows. (The JobService's fallback timer covers the case
+/// where that never happens.)
+TEST_F(SchedulerTest, AffinityToDatumWithNoLiveHolderWaitsForRehoming) {
+  const Data input = make_data("input");
+  ASSERT_TRUE(ds_.schedule(input, attr(1, /*ft=*/true)));
+  ds_.sync("w1", {});
+  ds_.sync("w1", {input.uid});
+
+  const Data task = make_data("task", 0);
+  DataAttributes placement = attr(0);
+  placement.affinity = input.uid;
+  ASSERT_TRUE(ds_.schedule(task, placement));
+
+  // The only holder dies before claiming the task.
+  clock_.advance(10.0);
+  ds_.detect_failures();
+  EXPECT_TRUE(ds_.owners(input.uid).empty());
+
+  // A fresh empty host gets the INPUT (replica rule re-homes it), not the
+  // task — affinity needs a confirmed holder.
+  const SyncReply first = ds_.sync("w2", {});
+  EXPECT_EQ(uids_of(first.download), std::vector<util::Auid>{input.uid});
+
+  // Once w2 confirms the input, the task follows it there.
+  const SyncReply second = ds_.sync("w2", {input.uid});
+  EXPECT_EQ(uids_of(second.download), std::vector<util::Auid>{task.uid});
+}
+
+// --- Data Scheduler: host-table GC -------------------------------------------
+
+TEST_F(SchedulerTest, DeadHostIsForgottenAfterConfiguredSweeps) {
+  SchedulerConfig config;
+  config.host_gc_sweeps = 2;
+  DataScheduler ds(clock_, config);
+  ds.sync("churned", {});
+
+  clock_.advance(10.0);  // > 3 heartbeats
+  EXPECT_EQ(ds.detect_failures(), std::vector<services::HostName>{"churned"});
+  ASSERT_EQ(ds.host_table().size(), 1u);   // dead 1 sweep: still listed...
+  EXPECT_FALSE(ds.host_table()[0].alive);
+  ds.detect_failures();
+  EXPECT_EQ(ds.host_table().size(), 1u);   // ...dead 2 sweeps: still listed...
+  ds.detect_failures();
+  EXPECT_TRUE(ds.host_table().empty());    // ...3rd sweep past the limit: forgotten
+  EXPECT_EQ(ds.stats().hosts_gcd, 1u);
+}
+
+TEST_F(SchedulerTest, DefaultConfigNeverForgetsDeadHosts) {
+  ds_.sync("churned", {});
+  clock_.advance(10.0);
+  for (int sweep = 0; sweep < 5; ++sweep) ds_.detect_failures();
+  ASSERT_EQ(ds_.host_table().size(), 1u);  // host_gc_sweeps=0: listed forever
+  EXPECT_FALSE(ds_.host_table()[0].alive);
+  EXPECT_EQ(ds_.stats().hosts_gcd, 0u);
+}
+
+TEST_F(SchedulerTest, ReturningHostRestartsItsGcCountdown) {
+  SchedulerConfig config;
+  config.host_gc_sweeps = 2;
+  DataScheduler ds(clock_, config);
+  ds.sync("flaky", {});
+  clock_.advance(10.0);
+  ds.detect_failures();
+  ds.detect_failures();  // dead 2 sweeps — one more would forget it
+
+  ds.sync("flaky", {});  // the host returns: countdown resets
+  clock_.advance(10.0);
+  ds.detect_failures();
+  ds.detect_failures();
+  EXPECT_EQ(ds.host_table().size(), 1u);  // 2 sweeps again, NOT 4
+  ds.detect_failures();
+  EXPECT_TRUE(ds.host_table().empty());
+  EXPECT_EQ(ds.stats().hosts_gcd, 1u);
+}
+
+// --- Job service: compute-to-data --------------------------------------------
+
+class JobServiceTest : public ::testing::Test {
+ protected:
+  JobServiceTest() : container_("server", clock_) {}
+
+  /// A DC-registered input scheduled into Θ and confirmed on `host`.
+  Data confirmed_input(const std::string& name, const std::string& host) {
+    const Data data = make_data(name);
+    EXPECT_TRUE(container_.dc().register_data(data));
+    DataAttributes attributes;
+    attributes.replica = 1;
+    attributes.fault_tolerant = true;
+    EXPECT_TRUE(container_.schedule_data(data, attributes));
+    container_.ds().sync(host, {});
+    container_.ds().sync(host, {data.uid});
+    return data;
+  }
+
+  /// A registered collector token, scheduled {replica=0}, pinned + held on
+  /// `host` — the demo/CLI collector pattern.
+  Data collector_on(const std::string& host) {
+    const Data token = make_data("collector", 0);
+    EXPECT_TRUE(container_.dc().register_data(token));
+    DataAttributes attributes;
+    attributes.replica = 0;
+    EXPECT_TRUE(container_.schedule_data(token, attributes));
+    EXPECT_TRUE(container_.ds().pin(token.uid, host));
+    container_.ds().sync(host, {});
+    container_.ds().sync(host, {token.uid});
+    return token;
+  }
+
+  jobs::JobSpec make_spec(const std::vector<util::Auid>& inputs,
+                          const util::Auid& collector) {
+    jobs::JobSpec spec;
+    spec.uid = util::next_auid();
+    spec.name = "grep";
+    spec.argv = {"/bin/sh", "-c", "true"};
+    spec.inputs = inputs;
+    spec.collector = collector;
+    return spec;
+  }
+
+  /// The task datum the job placed for `input`, as seen from `host`'s sync
+  /// (nil uid when none arrived).
+  util::Auid task_delivered_to(const std::string& host, const util::Auid& input) {
+    const SyncReply reply = container_.ds().sync(host, {input});
+    for (const ScheduledData& item : reply.download) {
+      if (item.attributes.name == jobs::kTaskAttributeName) return item.data.uid;
+    }
+    return {};
+  }
+
+  util::ManualClock clock_;
+  services::ServiceContainer container_;
+};
+
+TEST_F(JobServiceTest, SubmitValidatesTheSpec) {
+  const Data input = confirmed_input("chunk", "w1");
+  const Data token = collector_on("coll");
+  jobs::JobSpec good = make_spec({input.uid}, token.uid);
+
+  jobs::JobSpec spec = good;
+  spec.uid = {};
+  EXPECT_EQ(container_.jobs().submit(spec).code(), api::Errc::kInvalidArgument);
+
+  spec = good;
+  spec.argv.clear();
+  EXPECT_EQ(container_.jobs().submit(spec).code(), api::Errc::kInvalidArgument);
+
+  spec = good;
+  spec.inputs.clear();
+  EXPECT_EQ(container_.jobs().submit(spec).code(), api::Errc::kInvalidArgument);
+
+  spec = good;
+  spec.timeout_s = -1;
+  EXPECT_EQ(container_.jobs().submit(spec).code(), api::Errc::kInvalidArgument);
+
+  spec = good;
+  spec.inputs = {util::next_auid()};  // never registered
+  EXPECT_EQ(container_.jobs().submit(spec).code(), api::Errc::kNotFound);
+
+  spec = good;
+  spec.collector = util::next_auid();
+  EXPECT_EQ(container_.jobs().submit(spec).code(), api::Errc::kNotFound);
+
+  // A registered but UNSCHEDULED collector is rejected: results scheduled
+  // with affinity to it would never reach anyone.
+  const Data homeless = make_data("homeless", 0);
+  ASSERT_TRUE(container_.dc().register_data(homeless));
+  spec = good;
+  spec.collector = homeless.uid;
+  EXPECT_EQ(container_.jobs().submit(spec).code(), api::Errc::kRejected);
+
+  ASSERT_TRUE(container_.jobs().submit(good).ok());
+  EXPECT_EQ(container_.jobs().submit(good).code(), api::Errc::kDuplicate);
+}
+
+TEST_F(JobServiceTest, TasksArePlacedOnTheInputHolder) {
+  const Data input = confirmed_input("chunk", "w1");
+  const Data token = collector_on("coll");
+  ASSERT_TRUE(container_.jobs().submit(make_spec({input.uid}, token.uid)).ok());
+
+  // The task datum rides Algorithm 1: zero-size, affinity to the input,
+  // delivered exactly to the holder.
+  const SyncReply reply = container_.ds().sync("w1", {input.uid});
+  ASSERT_EQ(reply.download.size(), 1u);
+  EXPECT_EQ(reply.download[0].data.size, 0);
+  EXPECT_EQ(reply.download[0].attributes.name, jobs::kTaskAttributeName);
+  EXPECT_EQ(reply.download[0].attributes.affinity, input.uid);
+  EXPECT_EQ(reply.download[0].attributes.replica, 0);
+  EXPECT_TRUE(container_.ds().sync("w2", {}).download.empty());
+}
+
+TEST_F(JobServiceTest, FirstClaimWinsLaterClaimsAreRejected) {
+  const Data input = confirmed_input("chunk", "w1");
+  const Data token = collector_on("coll");
+  const auto job = container_.jobs().submit(make_spec({input.uid}, token.uid));
+  ASSERT_TRUE(job.ok());
+  const util::Auid task = task_delivered_to("w1", input.uid);
+  ASSERT_FALSE(task.is_nil());
+
+  const auto order = container_.jobs().claim(task, "w1");
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->job, *job);
+  EXPECT_EQ(order->input.uid, input.uid);
+  EXPECT_EQ(order->argv, (std::vector<std::string>{"/bin/sh", "-c", "true"}));
+
+  // The claim race: a second claimant stands down on kRejected.
+  EXPECT_EQ(container_.jobs().claim(task, "w2").code(), api::Errc::kRejected);
+  EXPECT_EQ(container_.jobs().claim(util::next_auid(), "w2").code(),
+            api::Errc::kNotFound);
+
+  const auto status = container_.jobs().status(*job);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->running, 1);
+  EXPECT_EQ(status->tasks[0].runner, "w1");
+}
+
+TEST_F(JobServiceTest, SuccessfulReportSchedulesResultOntoTheCollector) {
+  const Data input = confirmed_input("chunk", "w1");
+  const Data token = collector_on("coll");
+  const auto job = container_.jobs().submit(make_spec({input.uid}, token.uid));
+  ASSERT_TRUE(job.ok());
+  const util::Auid task = task_delivered_to("w1", input.uid);
+  ASSERT_TRUE(container_.jobs().claim(task, "w1").ok());
+
+  jobs::TaskReport report;
+  report.task = task;
+  report.runner = "w1";
+  report.ok = true;
+  report.data_local = true;
+  report.result = make_data("grep-result-0");
+  ASSERT_TRUE(container_.jobs().report(report).ok());
+
+  const auto status = container_.jobs().status(*job);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->complete());
+  EXPECT_EQ(status->data_local, 1);
+  EXPECT_EQ(status->tasks[0].result, report.result.uid);
+
+  // The result datum entered Θ with the affinity chain back to the
+  // collector and a lifetime that dies with it; the spent task datum left Θ.
+  const auto scheduled = container_.ds().scheduled(report.result.uid);
+  ASSERT_TRUE(scheduled.has_value());
+  EXPECT_EQ(scheduled->attributes.replica, 0);
+  EXPECT_EQ(scheduled->attributes.affinity, token.uid);
+  EXPECT_EQ(scheduled->attributes.lifetime.kind, core::Lifetime::Kind::kRelative);
+  EXPECT_EQ(scheduled->attributes.lifetime.reference, token.uid);
+  EXPECT_FALSE(container_.ds().scheduled(task).has_value());
+
+  // And it flows to the collector's node via pure Algorithm 1.
+  const SyncReply at_collector = container_.ds().sync("coll", {token.uid});
+  EXPECT_EQ(uids_of(at_collector.download),
+            std::vector<util::Auid>{report.result.uid});
+}
+
+TEST_F(JobServiceTest, FailedReportRequeuesUnderAFreshTaskDatum) {
+  const Data input = confirmed_input("chunk", "w1");
+  const Data token = collector_on("coll");
+  const auto job = container_.jobs().submit(make_spec({input.uid}, token.uid));
+  ASSERT_TRUE(job.ok());
+  const util::Auid task = task_delivered_to("w1", input.uid);
+  ASSERT_TRUE(container_.jobs().claim(task, "w1").ok());
+
+  jobs::TaskReport report;
+  report.task = task;
+  report.runner = "w1";
+  report.ok = false;
+  report.exit_code = 2;
+  ASSERT_TRUE(container_.jobs().report(report).ok());
+
+  const auto status = container_.jobs().status(*job);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->waiting, 1);
+  EXPECT_EQ(status->replaced, 1);
+  EXPECT_EQ(status->tasks[0].attempts, 2);
+
+  // A FRESH uid re-fires on_data_copy on every holder of the input; the old
+  // datum is retired so nobody claims a stale placement.
+  EXPECT_FALSE(container_.ds().scheduled(task).has_value());
+  const util::Auid fresh = task_delivered_to("w1", input.uid);
+  ASSERT_FALSE(fresh.is_nil());
+  EXPECT_NE(fresh, task);
+  EXPECT_EQ(container_.jobs().claim(task, "w1").code(), api::Errc::kNotFound);
+  EXPECT_TRUE(container_.jobs().claim(fresh, "w1").ok());
+}
+
+TEST_F(JobServiceTest, SweepRequeuesTasksWhoseRunnerDied) {
+  const Data input = confirmed_input("chunk", "w1");
+  const Data token = collector_on("coll");
+  const auto job = container_.jobs().submit(make_spec({input.uid}, token.uid));
+  ASSERT_TRUE(job.ok());
+  const util::Auid task = task_delivered_to("w1", input.uid);
+  ASSERT_TRUE(container_.jobs().claim(task, "w1").ok());
+
+  // Keep everyone else beating so only w1 times out.
+  clock_.advance(10.0);
+  container_.ds().sync("coll", {token.uid});
+  container_.ds().detect_failures();
+  EXPECT_FALSE(container_.ds().host_alive("w1"));
+
+  EXPECT_EQ(container_.jobs().sweep(), 1u);
+  const auto status = container_.jobs().status(*job);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->running, 0);
+  EXPECT_EQ(status->waiting, 1);
+  EXPECT_EQ(status->replaced, 1);
+  EXPECT_EQ(container_.jobs().sweep(), 0u);  // idempotent until something changes
+}
+
+TEST_F(JobServiceTest, UnclaimedTaskFallsBackToAnyHostAfterTimeout) {
+  const Data input = confirmed_input("chunk", "w1");
+  const Data token = collector_on("coll");
+  ASSERT_TRUE(container_.jobs().submit(make_spec({input.uid}, token.uid)).ok());
+
+  // Nobody claims; past fallback_after_s the sweep re-places the task with
+  // the affinity cleared so ANY live host can take it.
+  clock_.advance(container_.jobs().config().fallback_after_s + 1.0);
+  container_.ds().sync("w2", {});  // an empty host, alive
+  EXPECT_EQ(container_.jobs().sweep(), 1u);
+
+  const SyncReply reply = container_.ds().sync("w2", {});
+  bool task_arrived = false;
+  for (const ScheduledData& item : reply.download) {
+    if (item.attributes.name != jobs::kTaskAttributeName) continue;
+    task_arrived = true;
+    EXPECT_EQ(item.attributes.replica, 1);
+    EXPECT_TRUE(item.attributes.affinity.is_nil());
+  }
+  EXPECT_TRUE(task_arrived);
+}
+
+TEST_F(JobServiceTest, TaskIsAbandonedAfterMaxAttempts) {
+  const Data input = confirmed_input("chunk", "w1");
+  const Data token = collector_on("coll");
+  jobs::JobServiceConfig config;
+  config.max_attempts = 1;
+  container_.jobs().set_config(config);
+  const auto job = container_.jobs().submit(make_spec({input.uid}, token.uid));
+  ASSERT_TRUE(job.ok());
+  const util::Auid task = task_delivered_to("w1", input.uid);
+  ASSERT_TRUE(container_.jobs().claim(task, "w1").ok());
+
+  jobs::TaskReport report;
+  report.task = task;
+  report.runner = "w1";
+  report.ok = false;
+  ASSERT_TRUE(container_.jobs().report(report).ok());
+
+  const auto status = container_.jobs().status(*job);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->failed, 1);
+  EXPECT_FALSE(status->complete());
+  EXPECT_TRUE(task_delivered_to("w1", input.uid).is_nil());  // not re-placed
+}
+
+/// Jobs ride the container WAL: a restarted daemon still knows its jobs,
+/// their claimed tasks, and keeps serving claims against them.
+TEST_F(JobServiceTest, JobsSurviveContainerRestart) {
+  const auto wal = std::filesystem::temp_directory_path() /
+                   ("bitdew-jobs-wal-" + std::to_string(::getpid()));
+  std::filesystem::remove(wal);
+  util::ManualClock clock;
+  util::Auid job_uid;
+  util::Auid claimed;
+  util::Auid waiting;
+  {
+    services::ServiceContainer container("server", clock, wal.string());
+    const Data a = make_data("chunk-a");
+    const Data b = make_data("chunk-b");
+    const Data token = make_data("collector", 0);
+    for (const Data& d : {a, b, token}) ASSERT_TRUE(container.dc().register_data(d));
+    DataAttributes replicated;
+    replicated.replica = 1;
+    replicated.fault_tolerant = true;
+    ASSERT_TRUE(container.schedule_data(a, replicated));
+    ASSERT_TRUE(container.schedule_data(b, replicated));
+    DataAttributes pinned;
+    pinned.replica = 0;
+    ASSERT_TRUE(container.schedule_data(token, pinned));
+    ASSERT_TRUE(container.ds().pin(token.uid, "coll"));
+    container.ds().sync("w1", {});
+    container.ds().sync("w1", {a.uid, b.uid});
+
+    jobs::JobSpec spec;
+    spec.uid = util::next_auid();
+    spec.name = "grep";
+    spec.argv = {"/bin/sh", "-c", "true"};
+    spec.inputs = {a.uid, b.uid};
+    spec.collector = token.uid;
+    const auto submitted = container.jobs().submit(spec);
+    ASSERT_TRUE(submitted.ok());
+    job_uid = *submitted;
+
+    const SyncReply reply = container.ds().sync("w1", {a.uid, b.uid});
+    for (const ScheduledData& item : reply.download) {
+      if (item.attributes.affinity == a.uid) claimed = item.data.uid;
+      if (item.attributes.affinity == b.uid) waiting = item.data.uid;
+    }
+    ASSERT_FALSE(claimed.is_nil());
+    ASSERT_FALSE(waiting.is_nil());
+    ASSERT_TRUE(container.jobs().claim(claimed, "w1").ok());
+  }  // crash
+
+  services::ServiceContainer reopened("server", clock, wal.string());
+  EXPECT_EQ(reopened.jobs().job_count(), 1u);
+  const auto status = reopened.jobs().status(job_uid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->running, 1);
+  EXPECT_EQ(status->waiting, 1);
+  EXPECT_EQ(status->tasks[0].runner, "w1");
+  // The restored index still serves the claim race.
+  EXPECT_EQ(reopened.jobs().claim(claimed, "w2").code(), api::Errc::kRejected);
+  EXPECT_TRUE(reopened.jobs().claim(waiting, "w2").ok());
+  std::filesystem::remove(wal);
+}
+
 // --- container --------------------------------------------------------------------
 
 TEST(ServiceContainer, WiresAllServices) {
