@@ -1,0 +1,154 @@
+// Fleet-scale churn soak: an in-process bitdewd under a fleet of live
+// NodeRuntime workers marched through join -> steady -> kill-storm ->
+// rejoin-with-cache by testbed::ChurnHarness, reporting ds_sync latency
+// percentiles, beats/sec, bytes-per-beat and recovery lag per phase.
+//
+//   soak_churn --real [--nodes N] [--datums D] [--heartbeat S] [--steady S]
+//              [--kill-fraction F] [--workers N --worker-bin PATH]
+//              [--gate-p99-ms MS] [--gate-delta-bytes BYTES] [--json PATH]
+//
+// The two --gate-* flags turn the bench into a CI check: it exits non-zero
+// when the steady-state sync p99 exceeds the budget or when the mean
+// steady-state delta request exceeds the byte budget — the latter is the
+// O(Δ) guarantee of sync protocol v2 (an idle fleet's beats must not scale
+// with cache size). Without --real the bench prints a pointer and exits:
+// the simulated churn equivalents live in tests/test_soak.cpp.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "testbed/churn_harness.hpp"
+
+namespace bitdew {
+namespace {
+
+using bench::flag_value;
+using bench::has_flag;
+using bench::int_flag;
+
+double double_flag(int argc, char** argv, const char* flag, double fallback) {
+  const char* value = flag_value(argc, argv, flag);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+int run_real(int argc, char** argv) {
+  testbed::ChurnConfig config;
+  config.nodes = int_flag(argc, argv, "--nodes", 1000);
+  config.datums = int_flag(argc, argv, "--datums", 16);
+  config.heartbeat_period_s = double_flag(argc, argv, "--heartbeat", 1.0);
+  config.steady_s = double_flag(argc, argv, "--steady", 10.0);
+  config.kill_fraction = double_flag(argc, argv, "--kill-fraction", 0.25);
+  config.real_workers = int_flag(argc, argv, "--workers", 0);
+  if (const char* bin = flag_value(argc, argv, "--worker-bin")) config.worker_bin = bin;
+  if (config.real_workers > 0 && config.worker_bin.empty()) {
+    std::fprintf(stderr, "soak_churn: --workers needs --worker-bin PATH\n");
+    return 2;
+  }
+  config.join_timeout_s = double_flag(argc, argv, "--join-timeout", 300.0);
+  config.recovery_timeout_s = double_flag(argc, argv, "--recovery-timeout", 300.0);
+
+  bench::header("soak_churn --real", "fleet-scale churn soak over sync protocol v2");
+  std::printf("fleet: %d in-process nodes + %d worker processes, %d broadcast datums, "
+              "heartbeat %.2fs\n\n",
+              config.nodes, config.real_workers, config.datums, config.heartbeat_period_s);
+
+  testbed::ChurnHarness harness(config);
+  const api::Status started = harness.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "soak_churn: start failed: %s\n", started.error().to_string().c_str());
+    return 1;
+  }
+  const testbed::SoakReport report = harness.run();
+
+  bench::JsonEmitter json("soak_churn", argc, argv);
+  std::printf("%-8s %9s %9s %7s %7s %9s %9s %9s %10s %11s\n", "phase", "beats", "failed",
+              "full", "delta", "p50 ms", "p95 ms", "p99 ms", "beats/s", "B/beat(d)");
+  bench::rule(96);
+  for (const testbed::PhaseReport& phase : report.phases) {
+    std::printf("%-8s %9llu %9llu %7llu %7llu %9.1f %9.1f %9.1f %10.1f %11.1f\n",
+                phase.name.c_str(), static_cast<unsigned long long>(phase.beats_ok),
+                static_cast<unsigned long long>(phase.beats_failed),
+                static_cast<unsigned long long>(phase.full_beats),
+                static_cast<unsigned long long>(phase.delta_beats), phase.latency.p50_ms,
+                phase.latency.p95_ms, phase.latency.p99_ms, phase.beats_per_s,
+                phase.mean_delta_request_bytes);
+    json.row({{"row", "phase"},
+              {"phase", phase.name},
+              {"duration_s", phase.duration_s},
+              {"beats_ok", static_cast<double>(phase.beats_ok)},
+              {"beats_failed", static_cast<double>(phase.beats_failed)},
+              {"full_beats", static_cast<double>(phase.full_beats)},
+              {"delta_beats", static_cast<double>(phase.delta_beats)},
+              {"sync_p50_ms", phase.latency.p50_ms},
+              {"sync_p95_ms", phase.latency.p95_ms},
+              {"sync_p99_ms", phase.latency.p99_ms},
+              {"sync_max_ms", phase.latency.max_ms},
+              {"beats_per_s", phase.beats_per_s},
+              {"mean_request_bytes", phase.mean_request_bytes},
+              {"mean_delta_request_bytes", phase.mean_delta_request_bytes},
+              {"downloads", static_cast<double>(phase.downloads)},
+              {"drops", static_cast<double>(phase.drops)}});
+  }
+  std::printf("\njoin: %s in %.1fs   recovery: %s in %.1fs   restored replicas: %llu\n",
+              report.join_complete ? "complete" : "INCOMPLETE", report.join_complete_s,
+              report.recovered ? "complete" : "INCOMPLETE", report.recovery_lag_s,
+              static_cast<unsigned long long>(report.restored_replicas));
+  std::printf("scheduler: %llu full syncs, %llu delta syncs, %llu resyncs\n",
+              static_cast<unsigned long long>(report.scheduler_full_syncs),
+              static_cast<unsigned long long>(report.scheduler_delta_syncs),
+              static_cast<unsigned long long>(report.scheduler_resyncs));
+  json.row({{"row", "summary"},
+            {"nodes", report.nodes},
+            {"real_workers", report.real_workers},
+            {"datums", report.datums},
+            {"join_complete", report.join_complete ? 1 : 0},
+            {"join_complete_s", report.join_complete_s},
+            {"recovered", report.recovered ? 1 : 0},
+            {"recovery_lag_s", report.recovery_lag_s},
+            {"restored_replicas", static_cast<double>(report.restored_replicas)},
+            {"scheduler_full_syncs", static_cast<double>(report.scheduler_full_syncs)},
+            {"scheduler_delta_syncs", static_cast<double>(report.scheduler_delta_syncs)},
+            {"scheduler_resyncs", static_cast<double>(report.scheduler_resyncs)}});
+  json.flush();
+
+  // --- CI gates ---------------------------------------------------------------
+  int failures = 0;
+  if (!report.join_complete) {
+    std::fprintf(stderr, "GATE: join did not complete within %.0fs\n", config.join_timeout_s);
+    ++failures;
+  }
+  if (!report.recovered) {
+    std::fprintf(stderr, "GATE: fleet did not recover within %.0fs of the rejoin\n",
+                 config.recovery_timeout_s);
+    ++failures;
+  }
+  const testbed::PhaseReport* steady = report.phase("steady");
+  const double gate_p99_ms = double_flag(argc, argv, "--gate-p99-ms", 0);
+  if (gate_p99_ms > 0 && steady != nullptr && steady->latency.p99_ms > gate_p99_ms) {
+    std::fprintf(stderr, "GATE: steady-state sync p99 %.1fms exceeds budget %.1fms\n",
+                 steady->latency.p99_ms, gate_p99_ms);
+    ++failures;
+  }
+  const double gate_delta_bytes = double_flag(argc, argv, "--gate-delta-bytes", 0);
+  if (gate_delta_bytes > 0 && steady != nullptr &&
+      steady->mean_delta_request_bytes > gate_delta_bytes) {
+    std::fprintf(stderr,
+                 "GATE: steady-state delta request averages %.1f bytes, budget %.1f "
+                 "(sync traffic is not O(delta))\n",
+                 steady->mean_delta_request_bytes, gate_delta_bytes);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bitdew
+
+int main(int argc, char** argv) {
+  if (!bitdew::bench::has_flag(argc, argv, "--real")) {
+    std::printf("soak_churn is a live-fleet bench: run with --real.\n"
+                "The simulated churn equivalents run in ctest as test_soak.\n");
+    return 0;
+  }
+  return bitdew::run_real(argc, argv);
+}

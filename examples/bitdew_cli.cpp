@@ -363,9 +363,16 @@ struct RemoteCli {
     }
     std::printf("%zu worker(s) known to the scheduler\n", (*table)->size());
     for (const services::HostInfo& info : **table) {
-      std::printf("  %-16s %-5s last sync %6.1fs ago, %u cached, peer %s\n",
+      // Sync protocol v2 counters: full vs delta beats and the last delta's
+      // size — a healthy steady-state worker shows deltas climbing while
+      // fulls stay at the join/resync count.
+      std::printf("  %-16s %-5s last sync %6.1fs ago, %u cached, peer %s, "
+                  "sync %llu full / %llu delta (last delta %u item(s))\n",
                   info.name.c_str(), info.alive ? "alive" : "DEAD", info.last_sync_age_s,
-                  info.cached, info.endpoint.empty() ? "-" : info.endpoint.c_str());
+                  info.cached, info.endpoint.empty() ? "-" : info.endpoint.c_str(),
+                  static_cast<unsigned long long>(info.full_syncs),
+                  static_cast<unsigned long long>(info.delta_syncs),
+                  info.last_delta_items);
     }
     // Repository egress: how many content bytes the central store actually
     // shipped. The live-collective CI job asserts this stays ~one file copy

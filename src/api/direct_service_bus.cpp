@@ -130,12 +130,10 @@ void DirectServiceBus::ds_unschedule(const util::Auid& uid, Reply<Status> done) 
   done(ops::ds_unschedule(container_, uid));
 }
 
-void DirectServiceBus::ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
-                               const std::vector<util::Auid>& in_flight,
-                               const std::string& endpoint,
+void DirectServiceBus::ds_sync(const services::SyncRequest& request,
                                Reply<Expected<services::SyncReply>> done) {
   ++calls_;
-  done(ops::ds_sync(container_, host, cache, in_flight, endpoint));
+  done(ops::ds_sync(container_, request));
 }
 
 void DirectServiceBus::ds_hosts(Reply<Expected<std::vector<services::HostInfo>>> done) {

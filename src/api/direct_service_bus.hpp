@@ -51,8 +51,8 @@ class DirectServiceBus final : public ServiceBus {
                    Reply<Status> done) override;
   void ds_pin(const util::Auid& uid, const std::string& host, Reply<Status> done) override;
   void ds_unschedule(const util::Auid& uid, Reply<Status> done) override;
-  void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
-               const std::vector<util::Auid>& in_flight, const std::string& endpoint,
+  using ServiceBus::ds_sync;  // keep the legacy full-report overload visible
+  void ds_sync(const services::SyncRequest& request,
                Reply<Expected<services::SyncReply>> done) override;
   void ds_hosts(Reply<Expected<std::vector<services::HostInfo>>> done) override;
   void job_submit(const jobs::JobSpec& spec, Reply<Expected<util::Auid>> done) override;

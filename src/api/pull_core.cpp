@@ -1,11 +1,22 @@
 #include "api/pull_core.hpp"
 
+#include <algorithm>
+
 namespace bitdew::api {
+
+void PullCore::mark_added(const util::Auid& uid) {
+  if (dirty_removed_.erase(uid) == 0) dirty_added_.insert(uid);
+}
+
+void PullCore::mark_removed(const util::Auid& uid) {
+  if (dirty_added_.erase(uid) == 0) dirty_removed_.insert(uid);
+}
 
 std::vector<services::ScheduledData> PullCore::apply_drops(const services::SyncReply& reply) {
   std::vector<services::ScheduledData> dropped;
   for (const util::Auid& uid : reply.drop) {
     if (cache_.erase(uid) == 0) continue;
+    mark_removed(uid);
     const auto it = registry_.find(uid);
     if (it == registry_.end()) continue;
     events_.dispatch_delete(it->second.data, it->second.attributes);
@@ -22,6 +33,7 @@ PullCore::Admission PullCore::begin_download(const services::ScheduledData& item
   // Zero-size data (e.g. the Collector token) needs no transfer.
   if (item.data.size <= 0) {
     cache_.insert(uid);
+    mark_added(uid);
     events_.dispatch_copy(item.data, item.attributes);
     return Admission::kInstant;
   }
@@ -32,6 +44,7 @@ PullCore::Admission PullCore::begin_download(const services::ScheduledData& item
 std::optional<services::ScheduledData> PullCore::complete_download(const util::Auid& uid) {
   if (downloading_.erase(uid) == 0) return std::nullopt;
   cache_.insert(uid);
+  mark_added(uid);
   const auto it = registry_.find(uid);
   if (it == registry_.end()) return std::nullopt;
   events_.dispatch_copy(it->second.data, it->second.attributes);
@@ -42,13 +55,51 @@ void PullCore::fail_download(const util::Auid& uid) { downloading_.erase(uid); }
 
 void PullCore::adopt_local(const core::Data& data, const core::DataAttributes& attributes,
                            bool fire_event) {
-  cache_.insert(data.uid);
+  if (cache_.insert(data.uid).second) mark_added(data.uid);
   downloading_.erase(data.uid);
   services::ScheduledData item;
   item.data = data;
   item.attributes = attributes;
   registry_[data.uid] = std::move(item);
   if (fire_event) events_.dispatch_copy(data, attributes);
+}
+
+PullCore::SyncDelta PullCore::build_sync() const {
+  SyncDelta delta;
+  if (epoch_ == 0) {
+    // No acked epoch: announce the complete Δk (the dirty sets are
+    // recomputed from scratch when this full report is acked).
+    delta.full = true;
+    delta.added = cache_list();
+    return delta;
+  }
+  delta.epoch = epoch_;
+  delta.full = false;
+  delta.added.assign(dirty_added_.begin(), dirty_added_.end());
+  delta.removed.assign(dirty_removed_.begin(), dirty_removed_.end());
+  return delta;
+}
+
+void PullCore::ack_sync(const SyncDelta& sent, std::uint64_t acked_epoch) {
+  epoch_ = acked_epoch;
+  if (sent.full) {
+    // The scheduler now mirrors exactly `sent.added`. Anything cached that
+    // was not in the report arrived between build and ack (a transfer
+    // thread completed): it becomes the next delta. Removals cannot have
+    // happened in that window — they only occur on the sync thread itself.
+    const std::set<util::Auid> reported(sent.added.begin(), sent.added.end());
+    dirty_added_.clear();
+    dirty_removed_.clear();
+    for (const util::Auid& uid : cache_) {
+      if (!reported.contains(uid)) dirty_added_.insert(uid);
+    }
+    for (const util::Auid& uid : reported) {
+      if (!cache_.contains(uid)) dirty_removed_.insert(uid);  // defensive
+    }
+    return;
+  }
+  for (const util::Auid& uid : sent.added) dirty_added_.erase(uid);
+  for (const util::Auid& uid : sent.removed) dirty_removed_.erase(uid);
 }
 
 std::optional<services::ScheduledData> PullCore::info(const util::Auid& uid) const {

@@ -21,6 +21,7 @@
 // heartbeat thread and the transfer threads both mutate this state).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -35,6 +36,20 @@ class PullCore {
  public:
   /// Events are dispatched through `events` (the node's ActiveData).
   explicit PullCore(ActiveData& events) : events_(events) {}
+
+  /// One outgoing synchronization as built by build_sync(): either the full
+  /// Δk (`full`, after a restart or a scheduler-ordered resync) or the
+  /// cache delta since the last *acked* beat. The caller sends it, and on a
+  /// successful non-resync reply hands it back to ack_sync() so the dirty
+  /// sets shrink by exactly what the scheduler has now mirrored. A lost
+  /// reply is simply never acked: the same (idempotent) delta rides again
+  /// on the next beat.
+  struct SyncDelta {
+    std::uint64_t epoch = 0;  ///< scheduler-minted; 0 = none (forces full)
+    bool full = true;
+    std::vector<util::Auid> added;
+    std::vector<util::Auid> removed;
+  };
 
   /// Outcome of offering one newly assigned datum to the cache.
   enum class Admission {
@@ -69,6 +84,27 @@ class PullCore {
   void adopt_local(const core::Data& data, const core::DataAttributes& attributes,
                    bool fire_event);
 
+  // --- incremental sync (protocol v2) ----------------------------------------
+  /// The next sync to send. Full when the scheduler has never acked an
+  /// epoch (fresh start, restart, or after force_resync()); otherwise the
+  /// dirty-set delta. Does NOT mutate state: call ack_sync() with the
+  /// returned value once the scheduler's reply confirms it.
+  SyncDelta build_sync() const;
+
+  /// Confirms that the scheduler mirrored `sent` and advanced to
+  /// `acked_epoch`. After a full sync the dirty sets are recomputed against
+  /// the current cache (replicas adopted by a transfer thread between build
+  /// and ack land in the next delta); after a delta exactly the sent uids
+  /// are retired. Removals are only ever produced on the thread that runs
+  /// the sync loop, so a sent removal cannot have been superseded here.
+  void ack_sync(const SyncDelta& sent, std::uint64_t acked_epoch);
+
+  /// Drops the epoch so the next build_sync() is full — the scheduler
+  /// replied `resync` (epoch mismatch, scheduler restart, presumed death).
+  void force_resync() { epoch_ = 0; }
+
+  std::uint64_t epoch() const { return epoch_; }
+
   // --- introspection ---------------------------------------------------------
   bool has(const util::Auid& uid) const { return cache_.contains(uid); }
   bool downloading(const util::Auid& uid) const { return downloading_.contains(uid); }
@@ -85,10 +121,21 @@ class PullCore {
   std::optional<services::ScheduledData> info(const util::Auid& uid) const;
 
  private:
+  /// Cache mutation hooks maintaining the invariant
+  ///   scheduler_mirror == cache_ − dirty_added_ + dirty_removed_
+  /// (an add cancels a pending removal of the same uid and vice versa, so
+  /// an add/remove churn inside one beat nets out to no traffic).
+  void mark_added(const util::Auid& uid);
+  void mark_removed(const util::Auid& uid);
+
   ActiveData& events_;
   std::set<util::Auid> cache_;        // Δk: verified local replicas
   std::set<util::Auid> downloading_;  // in flight, reported via ds_sync
   std::map<util::Auid, services::ScheduledData> registry_;  // data+attrs we saw
+
+  std::uint64_t epoch_ = 0;            // scheduler sync epoch (0 = resync)
+  std::set<util::Auid> dirty_added_;   // cached, not yet acked by the scheduler
+  std::set<util::Auid> dirty_removed_; // dropped, not yet acked
 };
 
 }  // namespace bitdew::api

@@ -349,18 +349,11 @@ void RemoteServiceBus::ds_unschedule(const util::Auid& uid, Reply<Status> done) 
       std::move(done), [](rpc::Reader&) { return Unit{}; });
 }
 
-void RemoteServiceBus::ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
-                               const std::vector<util::Auid>& in_flight,
-                               const std::string& endpoint,
+void RemoteServiceBus::ds_sync(const services::SyncRequest& request,
                                Reply<Expected<services::SyncReply>> done) {
   invoke<services::SyncReply>(
       Endpoint::kDsSync,
-      [&](rpc::Writer& w) {
-        w.str(host);
-        wire::write_auid_list(w, cache);
-        wire::write_auid_list(w, in_flight);
-        w.str(endpoint);
-      },
+      [&](rpc::Writer& w) { wire::write_sync_request(w, request); },
       std::move(done), wire::read_sync_reply);
 }
 

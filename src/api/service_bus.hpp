@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/expected.hpp"
@@ -114,13 +115,29 @@ class ServiceBus {
                            Reply<Status> done) = 0;
   virtual void ds_pin(const util::Auid& uid, const std::string& host, Reply<Status> done) = 0;
   virtual void ds_unschedule(const util::Auid& uid, Reply<Status> done) = 0;
-  /// One reservoir synchronization. `endpoint` is the host's peer chunk
-  /// server address ("host:port", empty when the node does not serve): the
-  /// scheduler records it and mints it into the peer locators that ride
-  /// back in other hosts' SyncReply.sources.
-  virtual void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
-                       const std::vector<util::Auid>& in_flight, const std::string& endpoint,
+  /// One reservoir synchronization (sync protocol v2): the request carries
+  /// either the complete Δk or an {epoch, added, removed} delta since the
+  /// last acked beat, plus the in-flight download list and the host's peer
+  /// chunk-server endpoint ("host:port", empty when the node does not
+  /// serve — the scheduler records it and mints it into the peer locators
+  /// that ride back in other hosts' SyncReply.sources). A refused delta
+  /// comes back with `resync` set and the caller repeats the sync in full.
+  virtual void ds_sync(const services::SyncRequest& request,
                        Reply<Expected<services::SyncReply>> done) = 0;
+
+  /// Legacy full-report form: every beat ships the whole Δk. Sugar over
+  /// the v2 endpoint with `full = true`.
+  void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
+               const std::vector<util::Auid>& in_flight, const std::string& endpoint,
+               Reply<Expected<services::SyncReply>> done) {
+    services::SyncRequest request;
+    request.host = host;
+    request.full = true;
+    request.added = cache;
+    request.in_flight = in_flight;
+    request.endpoint = endpoint;
+    ds_sync(request, std::move(done));
+  }
   /// The scheduler's host table (name, seconds since last sync, alive/dead,
   /// cached count) — the failure detector made observable, so operators and
   /// CI watch liveness instead of inferring it from replica movement.

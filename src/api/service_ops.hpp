@@ -270,11 +270,8 @@ inline Expected<std::vector<services::HostInfo>> ds_hosts(services::ServiceConta
 }
 
 inline Expected<services::SyncReply> ds_sync(services::ServiceContainer& c,
-                                             const std::string& host,
-                                             const std::vector<util::Auid>& cache,
-                                             const std::vector<util::Auid>& in_flight,
-                                             const std::string& endpoint) {
-  return c.ds().sync(host, cache, in_flight, endpoint);
+                                             const services::SyncRequest& request) {
+  return c.ds().sync(request);
 }
 
 // --- Job service (compute-to-data) --------------------------------------------------

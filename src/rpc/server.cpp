@@ -445,12 +445,20 @@ std::string ServiceHost::dispatch_unlocked(wire::Endpoint endpoint, Reader& r) {
       wire::write_status(w, ops::ds_unschedule(container_, wire::read_auid(r)));
       break;
     case Endpoint::kDsSync: {
-      const std::string host = r.str();
-      const std::vector<util::Auid> cache = wire::read_auid_list(r);
-      const std::vector<util::Auid> in_flight = wire::read_auid_list(r);
-      const std::string endpoint = r.str();
-      wire::write_expected(w, ops::ds_sync(container_, host, cache, in_flight, endpoint),
-                           wire::write_sync_reply);
+      // A frame from a different sync-protocol generation (or a truncated
+      // one) gets a typed kRejected reply instead of a dropped connection:
+      // a mixed-version worker fails its beat cleanly and keeps retrying
+      // full syncs until upgraded, rather than flapping its transport.
+      try {
+        const services::SyncRequest request = wire::read_sync_request(r);
+        wire::write_expected(w, ops::ds_sync(container_, request), wire::write_sync_reply);
+      } catch (const CodecError& error) {
+        wire::write_expected(
+            w,
+            api::Expected<services::SyncReply>(
+                api::Error{api::Errc::kRejected, "ds", error.what()}),
+            wire::write_sync_reply);
+      }
       break;
     }
     case Endpoint::kDsHosts:

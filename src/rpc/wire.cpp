@@ -285,7 +285,36 @@ std::vector<std::vector<core::Locator>> read_source_lists(Reader& r) {
   return read_list<std::vector<core::Locator>>(r, read_locator_list);
 }
 
+void write_sync_request(Writer& w, const services::SyncRequest& request) {
+  w.u8(kSyncRequestWireVersion);
+  w.str(request.host);
+  w.u64(request.epoch);
+  w.boolean(request.full);
+  write_auid_list(w, request.added);
+  write_auid_list(w, request.removed);
+  write_auid_list(w, request.in_flight);
+  w.str(request.endpoint);
+}
+
+services::SyncRequest read_sync_request(Reader& r) {
+  const std::uint8_t version = r.u8();
+  if (version != kSyncRequestWireVersion) {
+    throw CodecError("unsupported ds_sync request version");
+  }
+  services::SyncRequest request;
+  request.host = r.str();
+  request.epoch = r.u64();
+  request.full = r.boolean();
+  request.added = read_auid_list(r);
+  request.removed = read_auid_list(r);
+  request.in_flight = read_auid_list(r);
+  request.endpoint = r.str();
+  return request;
+}
+
 void write_sync_reply(Writer& w, const services::SyncReply& reply) {
+  w.u64(reply.epoch);
+  w.boolean(reply.resync);
   write_auid_list(w, reply.keep);
   write_list(w, reply.download, write_scheduled_data);
   write_auid_list(w, reply.drop);
@@ -294,6 +323,8 @@ void write_sync_reply(Writer& w, const services::SyncReply& reply) {
 
 services::SyncReply read_sync_reply(Reader& r) {
   services::SyncReply reply;
+  reply.epoch = r.u64();
+  reply.resync = r.boolean();
   reply.keep = read_auid_list(r);
   reply.download = read_list<services::ScheduledData>(r, read_scheduled_data);
   reply.drop = read_auid_list(r);
@@ -312,6 +343,9 @@ void write_host_info(Writer& w, const services::HostInfo& info) {
   w.boolean(info.alive);
   w.u32(info.cached);
   w.str(info.endpoint);
+  w.u64(info.full_syncs);
+  w.u64(info.delta_syncs);
+  w.u32(info.last_delta_items);
 }
 
 services::HostInfo read_host_info(Reader& r) {
@@ -321,6 +355,9 @@ services::HostInfo read_host_info(Reader& r) {
   info.alive = r.boolean();
   info.cached = r.u32();
   info.endpoint = r.str();
+  info.full_syncs = r.u64();
+  info.delta_syncs = r.u64();
+  info.last_delta_items = r.u32();
   return info;
 }
 
@@ -724,6 +761,12 @@ std::int64_t publish_batch_bytes(
     const std::vector<std::pair<std::string, std::string>>& pairs) {
   Writer w;
   write_publish_batch(w, pairs);
+  return static_cast<std::int64_t>(w.size());
+}
+
+std::int64_t sync_request_bytes(const services::SyncRequest& request) {
+  Writer w;
+  write_sync_request(w, request);
   return static_cast<std::int64_t>(w.size());
 }
 

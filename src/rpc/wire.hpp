@@ -130,6 +130,16 @@ core::Content read_content(Reader& r);
 void write_scheduled_data(Writer& w, const services::ScheduledData& item);
 services::ScheduledData read_scheduled_data(Reader& r);
 
+/// Sync protocol v2: the request body starts with a version byte so a
+/// scheduler can reject frames from a foreign protocol generation with a
+/// typed error instead of silently misparsing them.
+inline constexpr std::uint8_t kSyncRequestWireVersion = 2;
+
+void write_sync_request(Writer& w, const services::SyncRequest& request);
+/// Throws CodecError when the leading version byte is not
+/// kSyncRequestWireVersion (mixed-version fleets fail typed, not corrupt).
+services::SyncRequest read_sync_request(Reader& r);
+
 void write_sync_reply(Writer& w, const services::SyncReply& reply);
 services::SyncReply read_sync_reply(Reader& r);
 
@@ -343,5 +353,8 @@ std::int64_t locators_batch_request_bytes(const std::vector<util::Auid>& uids);
 std::int64_t schedule_batch_bytes(
     const std::vector<std::pair<core::Data, core::DataAttributes>>& items);
 std::int64_t publish_batch_bytes(const std::vector<std::pair<std::string, std::string>>& pairs);
+/// Encoded size of a ds_sync request — O(Δ) for delta beats, which is what
+/// the soak bench's bytes-per-beat gate measures.
+std::int64_t sync_request_bytes(const services::SyncRequest& request);
 
 }  // namespace bitdew::rpc::wire

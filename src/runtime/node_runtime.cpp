@@ -457,34 +457,75 @@ void NodeRuntime::heartbeat_loop() {
 }
 
 void NodeRuntime::do_sync() {
-  std::vector<util::Auid> cache;
-  std::vector<util::Auid> in_flight;
-  {
-    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
-    cache = core_.cache_list();
-    in_flight = core_.downloading_list();
-  }
-  api::Expected<services::SyncReply> reply =
-      api::Error{api::Errc::kUnavailable, "worker", "no reply"};
-  {
-    const std::lock_guard control(control_mutex_);
-    control_bus_.ds_sync(config_.name, cache, in_flight, endpoint_,
-                         [&](api::Expected<services::SyncReply> r) { reply = std::move(r); });
-  }
-  if (!reply.ok()) {
-    // Lost sync (daemon restarting, network blip): the next beat retries,
-    // and RemoteServiceBus reconnects transparently.
-    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
-    ++stats_.syncs_failed;
-    logger().debug("%s: sync failed: %s", config_.name.c_str(),
-                   reply.error().to_string().c_str());
+  // Sync protocol v2: report {epoch, added, removed} since the last acked
+  // beat; the scheduler answers resync=true when it cannot trust the delta
+  // (restart, declared-dead revival, epoch skew), in which case we retry
+  // immediately with a full report. At most one retry per beat — a second
+  // resync order means the scheduler is flapping and the next beat retries.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    services::SyncRequest request;
+    api::PullCore::SyncDelta delta;
+    {
+      const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+      delta = core_.build_sync();
+      request.in_flight = core_.downloading_list();
+    }
+    request.host = config_.name;
+    request.epoch = delta.epoch;
+    request.full = delta.full;
+    request.added = delta.added;
+    request.removed = delta.removed;
+    request.endpoint = endpoint_;
+    const std::int64_t request_bytes = rpc::wire::sync_request_bytes(request);
+
+    api::Expected<services::SyncReply> reply =
+        api::Error{api::Errc::kUnavailable, "worker", "no reply"};
+    const auto started = std::chrono::steady_clock::now();
+    {
+      const std::lock_guard control(control_mutex_);
+      control_bus_.ds_sync(request,
+                           [&](api::Expected<services::SyncReply> r) { reply = std::move(r); });
+    }
+    const double latency_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+
+    if (!reply.ok()) {
+      // Lost sync (daemon restarting, network blip): the next beat retries,
+      // and RemoteServiceBus reconnects transparently. The dirty sets are
+      // untouched — deltas are cumulative until acked.
+      {
+        const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+        ++stats_.syncs_failed;
+        logger().debug("%s: sync failed: %s", config_.name.c_str(),
+                       reply.error().to_string().c_str());
+      }
+      if (config_.sync_observer) {
+        config_.sync_observer({latency_s, false, delta.full, request_bytes, 0, 0});
+      }
+      return;
+    }
+    if (reply->resync) {
+      {
+        const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+        ++stats_.resyncs;
+        core_.force_resync();
+      }
+      logger().debug("%s: scheduler ordered full resync", config_.name.c_str());
+      continue;
+    }
+    {
+      const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+      ++stats_.syncs_ok;
+      delta.full ? ++stats_.full_syncs : ++stats_.delta_syncs;
+      core_.ack_sync(delta, reply->epoch);
+    }
+    if (config_.sync_observer) {
+      config_.sync_observer({latency_s, true, delta.full, request_bytes,
+                             reply->download.size(), reply->drop.size()});
+    }
+    apply_reply(*reply);
     return;
   }
-  {
-    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
-    ++stats_.syncs_ok;
-  }
-  apply_reply(*reply);
 }
 
 void NodeRuntime::apply_reply(const services::SyncReply& reply) {

@@ -40,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -54,6 +55,18 @@
 #include "rpc/chunk_server.hpp"
 
 namespace bitdew::runtime {
+
+/// One completed (or failed) ds_sync beat, as observed by the heartbeat
+/// thread. The churn harness installs a `sync_observer` to collect latency
+/// percentiles and bytes-per-beat without touching runtime internals.
+struct SyncSample {
+  double latency_s = 0;        ///< wall-clock round-trip of the ds_sync RPC
+  bool ok = false;             ///< transport + service success
+  bool full = false;           ///< full report (epoch 0 / post-resync) vs delta
+  std::int64_t request_bytes = 0;  ///< encoded wire size of the request
+  std::size_t downloads = 0;   ///< download orders in the reply
+  std::size_t drops = 0;       ///< drop orders in the reply
+};
 
 struct NodeRuntimeConfig {
   std::string name = "worker";      ///< host name announced in ds_sync
@@ -72,11 +85,17 @@ struct NodeRuntimeConfig {
   /// Chunk-server upload cap in bytes/s (0 = unlimited); models this
   /// node's uplink.
   double peer_upload_Bps = 0;
+  /// Called after every sync attempt, from the heartbeat thread, outside
+  /// runtime locks. Must be fast and must not call back into the runtime.
+  std::function<void(const SyncSample&)> sync_observer;
 };
 
 struct NodeRuntimeStats {
   std::uint64_t syncs_ok = 0;
   std::uint64_t syncs_failed = 0;
+  std::uint64_t full_syncs = 0;   ///< beats that carried the whole cache list
+  std::uint64_t delta_syncs = 0;  ///< beats that carried only {added, removed}
+  std::uint64_t resyncs = 0;      ///< scheduler-ordered full-resync round-trips
   std::uint64_t downloads_completed = 0;
   std::uint64_t downloads_failed = 0;
   std::uint64_t drops = 0;

@@ -50,17 +50,44 @@ void SimNode::stop() {
   sync_timer_.stop();
 }
 
+void SimNode::restart() {
+  if (!stopped_) return;
+  stopped_ = false;
+  if (reservoir_) {
+    reservoir_ = false;  // re-arm start_reservoir's idempotence guard
+    start_reservoir();
+  }
+}
+
 void SimNode::do_sync() {
   if (stopped_ || !runtime_.network().alive(host_)) return;
   logger().trace("[%.2f] %s: sync (cache=%zu, inflight=%zu)", runtime_.simulator().now(),
                  name().c_str(), core_.cache().size(), core_.downloading_set().size());
+  // Sync protocol v2: deltas since the last acked beat. The sim node is
+  // single-threaded, so the build/ack pair brackets one bus callback.
+  const api::PullCore::SyncDelta delta = core_.build_sync();
+  services::SyncRequest request;
+  request.host = name();
+  request.epoch = delta.epoch;
+  request.full = delta.full;
+  request.added = delta.added;
+  request.removed = delta.removed;
+  request.in_flight = core_.downloading_list();
   // Sim nodes announce no chunk-server endpoint: the simulated swarm moves
   // through the modeled protocols (bittorrent.*), not the live peer plane.
-  bus_.ds_sync(name(), core_.cache_list(), core_.downloading_list(), /*endpoint=*/{},
-               [this](api::Expected<services::SyncReply> reply) {
-                 if (stopped_ || !reply.ok()) return;  // lost sync: next beat retries
-                 apply_reply(*reply);
-               });
+  bus_.ds_sync(request, [this, delta](api::Expected<services::SyncReply> reply) {
+    if (stopped_ || !reply.ok()) return;  // lost sync: next beat retries
+    if (reply->resync) {
+      // Scheduler cannot trust the delta (restart / declared-dead revival):
+      // fall back to a full report right away. A full request is always
+      // accepted, so this cannot loop.
+      core_.force_resync();
+      do_sync();
+      return;
+    }
+    core_.ack_sync(delta, reply->epoch);
+    apply_reply(*reply);
+  });
 }
 
 void SimNode::apply_reply(const services::SyncReply& reply) {
@@ -310,6 +337,13 @@ void SimRuntime::kill_node(net::HostId host) {
     if (ring_it != ring_nodes_.end()) ring_->fail(ring_it->second);
   }
   logger().debug("killed host %s", net_.host_name(host).c_str());
+}
+
+void SimRuntime::revive_node(net::HostId host) {
+  net_.revive_host(host);
+  const auto it = by_host_.find(host);
+  if (it != by_host_.end()) it->second->restart();
+  logger().debug("revived host %s", net_.host_name(host).c_str());
 }
 
 SimNode* SimRuntime::node_at(net::HostId host) {

@@ -57,6 +57,12 @@ class SimNode {
   /// Starts the periodic cache synchronization (reservoir role).
   void start_reservoir();
   void stop();
+  /// Restarts a stopped node's heartbeat (the rejoin half of a churn
+  /// storm). The pull state survives the outage — the sim analogue of the
+  /// live tier's WAL-restored cache — so the first beat is a stale-epoch
+  /// delta that the scheduler answers with a resync order, exercising the
+  /// revival path of sync protocol v2.
+  void restart();
 
   net::HostId host() const { return host_; }
   const std::string& name() const;
@@ -117,6 +123,10 @@ class SimRuntime {
   /// Kills a volatile host: flows fail, timers stop, the scheduler's
   /// heartbeat timeout will declare it dead.
   void kill_node(net::HostId host);
+
+  /// Revives a killed volatile host and restarts its reservoir heartbeat
+  /// (rejoin-with-cache; see SimNode::restart for the protocol flow).
+  void revive_node(net::HostId host);
 
   services::ServiceContainer& container() { return container_; }
   ServiceQueue& service_queue() { return queue_; }

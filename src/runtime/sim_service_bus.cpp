@@ -248,18 +248,18 @@ void SimServiceBus::ds_unschedule(const util::Auid& uid, api::Reply<Status> done
       transport_error("ds_unschedule flow failed"), std::move(done));
 }
 
-void SimServiceBus::ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
-                            const std::vector<util::Auid>& in_flight,
-                            const std::string& endpoint,
+void SimServiceBus::ds_sync(const services::SyncRequest& request,
                             api::Reply<Expected<services::SyncReply>> done) {
-  const auto cache_bytes =
-      static_cast<std::int64_t>(cache.size() + in_flight.size()) * config_.per_item_bytes +
-      static_cast<std::int64_t>(endpoint.size());
+  // A delta beat is charged for the delta it actually ships — the O(Δ)
+  // saving of sync protocol v2 shows up in the simulated byte counters.
+  const auto request_bytes =
+      static_cast<std::int64_t>(request.added.size() + request.removed.size() +
+                                request.in_flight.size()) *
+          config_.per_item_bytes +
+      static_cast<std::int64_t>(request.endpoint.size());
   rpc<Expected<services::SyncReply>>(
-      cache_bytes, config_.per_item_bytes,
-      [host, cache, in_flight, endpoint](services::ServiceContainer& c) {
-        return api::ops::ds_sync(c, host, cache, in_flight, endpoint);
-      },
+      request_bytes, config_.per_item_bytes,
+      [request](services::ServiceContainer& c) { return api::ops::ds_sync(c, request); },
       transport_error("ds_sync flow failed"), std::move(done));
 }
 

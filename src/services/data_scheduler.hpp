@@ -20,12 +20,15 @@
 // exactly the semantics of the `fault tolerance` attribute.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <queue>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/attributes.hpp"
@@ -73,9 +76,42 @@ struct ScheduledData {
   core::DataAttributes attributes;
 };
 
+/// One reservoir synchronization request (sync protocol v2, incremental).
+///
+/// A full sync carries the host's complete Δk in `added` (removed is
+/// ignored) and is always accepted; the reply mints a fresh epoch. A delta
+/// sync (`full == false`) carries only the cache changes since the last
+/// *acked* beat and is accepted only when `epoch` matches the scheduler's
+/// per-host epoch and the host is alive — otherwise the reply sets `resync`
+/// and the host must immediately repeat the sync in full. Deltas are
+/// idempotent (sets, not counters), so a host whose reply was lost simply
+/// re-sends the same delta on the next beat.
+struct SyncRequest {
+  HostName host;
+  std::uint64_t epoch = 0;  ///< scheduler-minted sync epoch; 0 = none yet
+  bool full = true;         ///< `added` is the complete Δk, not a delta
+  std::vector<util::Auid> added;    ///< full: Δk; delta: gained since ack
+  std::vector<util::Auid> removed;  ///< delta: dropped since ack
+  /// Downloads still running (keeps their provisional assignment alive).
+  std::vector<util::Auid> in_flight;
+  /// Chunk-server endpoint ("host:port", empty = not serving).
+  std::string endpoint;
+
+  friend bool operator==(const SyncRequest&, const SyncRequest&) = default;
+};
+
 /// Reply to one synchronization (the three Ψk partitions).
 struct SyncReply {
-  std::vector<util::Auid> keep;            ///< Δk ∩ Ψk
+  /// Sync epoch the host must echo in its next delta. A full sync mints a
+  /// fresh value; a delta reply repeats the current one.
+  std::uint64_t epoch = 0;
+  /// The request's delta was not accepted (epoch mismatch, scheduler
+  /// restart, or the host was presumed dead): every partition is empty and
+  /// the host must repeat the sync in full.
+  bool resync = false;
+  /// Confirmed cached data: the full Δk ∩ Ψk on a full sync, only the
+  /// newly confirmed (added ∩ Θ) uids on a delta sync.
+  std::vector<util::Auid> keep;
   std::vector<ScheduledData> download;     ///< Ψk \ Δk, with attributes
   std::vector<util::Auid> drop;            ///< Δk \ Ψk — safe to delete
   /// Peer locators for each download item (index-aligned with `download`):
@@ -92,16 +128,23 @@ struct HostInfo {
   HostName name;
   double last_sync_age_s = 0;  ///< seconds since the last ds_sync
   bool alive = true;
-  std::uint32_t cached = 0;    ///< size of the last reported Δk
+  std::uint32_t cached = 0;    ///< size of the mirrored Δk
   /// Chunk-server endpoint ("host:port") the node announced via ds_sync;
   /// empty when the node does not serve peers.
   std::string endpoint;
+  // Sync protocol v2 accounting: how much the incremental path is saving.
+  std::uint64_t full_syncs = 0;        ///< full Δk reports processed
+  std::uint64_t delta_syncs = 0;       ///< incremental beats processed
+  std::uint32_t last_delta_items = 0;  ///< |added| + |removed| of the last delta
 
   friend bool operator==(const HostInfo&, const HostInfo&) = default;
 };
 
 struct SchedulerStats {
   std::uint64_t syncs = 0;
+  std::uint64_t full_syncs = 0;    ///< syncs carrying the complete Δk
+  std::uint64_t delta_syncs = 0;   ///< incremental (v2) beats accepted
+  std::uint64_t resyncs = 0;       ///< deltas refused (epoch mismatch/revival)
   std::uint64_t orders = 0;        ///< download orders issued
   std::uint64_t drops = 0;         ///< deletion orders issued
   std::uint64_t failures = 0;      ///< hosts declared dead
@@ -140,15 +183,20 @@ class DataScheduler {
   bool unschedule(const util::Auid& uid);
 
   // --- reservoir protocol -----------------------------------------------------
-  /// One reservoir synchronization (Algorithm 1). `cache` is Δk;
-  /// `in_flight` lists downloads the host is still running, which keeps
-  /// their provisional assignment alive. An assignment that is neither
-  /// confirmed (appearing in Δk) nor refreshed (in_flight) expires after
-  /// the failure timeout and the datum is re-scheduled — a host that failed
-  /// a download cannot permanently absorb a replica. `endpoint` is the
-  /// host's chunk-server address ("host:port", empty = not serving): it is
-  /// recorded in the host table and minted into the peer locators other
-  /// hosts receive with their download orders.
+  /// One reservoir synchronization (Algorithm 1, sync protocol v2). The
+  /// request carries either the complete Δk (full) or the delta since the
+  /// last acked beat; `in_flight` lists downloads the host is still
+  /// running, which keeps their provisional assignment alive. An assignment
+  /// that is neither confirmed (appearing in Δk) nor refreshed (in_flight)
+  /// expires after the failure timeout and the datum is re-scheduled — a
+  /// host that failed a download cannot permanently absorb a replica.
+  /// A delta beat costs O(|added| + |removed| + |in_flight| + |demand|)
+  /// work, never O(|Θ|) or O(|Δk|): the scheduler mirrors each host's
+  /// reported cache and indexes Θ by demand, name and expiry.
+  SyncReply sync(const SyncRequest& request);
+
+  /// Legacy full-report form (sync protocol v1): every beat carries the
+  /// whole Δk. Equivalent to a SyncRequest with full = true.
   SyncReply sync(const HostName& host, const std::vector<util::Auid>& cache,
                  const std::vector<util::Auid>& in_flight = {},
                  const std::string& endpoint = {});
@@ -172,16 +220,26 @@ class DataScheduler {
   struct HostState {
     double last_sync = 0;
     bool alive = true;
-    std::set<util::Auid> cache;   // post-sync Ψk (what the host will hold)
-    std::size_t reported = 0;     // size of the last reported Δk (host_table)
+    std::uint64_t epoch = 0;      // current sync epoch (0 = never full-synced)
+    std::set<util::Auid> cache;   // mirror of the host's reported Δk
+    std::size_t reported = 0;     // mirror size after the last sync (host_table)
     std::string endpoint;         // announced chunk-server address ("" = none)
     int dead_sweeps = 0;          // failure sweeps survived while dead (GC)
+    std::set<util::Auid> owned;        // inverse Ω index: uids this host owns
+    std::set<util::Auid> pending_uids; // uids provisionally assigned here
+    /// Deletion orders not yet acked by a `removed` delta; re-emitted every
+    /// beat until the host confirms (a lost reply cannot strand a drop).
+    std::set<util::Auid> drop_queue;
+    std::uint64_t full_syncs = 0;
+    std::uint64_t delta_syncs = 0;
+    std::size_t last_delta_items = 0;
   };
 
   struct Entry {
     core::Data data;
     core::DataAttributes attributes;
-    std::set<HostName> owners;  // Ω(D): hosts that confirmed holding D
+    std::set<HostName> owners;   // Ω(D): hosts that confirmed holding D
+    std::set<HostName> holders;  // hosts whose mirrored Δk contains D
     std::map<HostName, double> pending;  // assigned, unconfirmed -> deadline
     std::set<HostName> pinned;
 
@@ -190,10 +248,35 @@ class DataScheduler {
   };
 
   /// Drops data whose absolute lifetime passed or whose relative reference
-  /// left Θ (iterates to a fixpoint for chains).
+  /// left Θ. O(expired), driven by the expiry min-heap and the relative-
+  /// lifetime dependency index, not a Θ scan.
   void reap(double now);
 
   bool lifetime_valid(const Entry& entry, double now) const;
+
+  /// Erases one datum from Θ with full index upkeep: queues drops to every
+  /// mirrored holder and cascades into its relative-lifetime dependents.
+  void erase_entry(const util::Auid& uid, bool count_reaped);
+
+  /// Recomputes the datum's membership in the step-2 demand index: a datum
+  /// is in demand when some host not holding it could still be assigned it
+  /// (broadcast, unmet replica count, affinity rule, or a pin).
+  void update_demand(const util::Auid& uid, const Entry& entry);
+
+  /// Registers `host` as a confirmed owner (Ω insert + inverse index).
+  void grant_owner(const util::Auid& uid, Entry& entry, const HostName& host,
+                   HostState& state);
+
+  /// Marks one reported uid as held: grants ownership when the datum is
+  /// scheduled and valid (confirming any pending assignment), queues a drop
+  /// otherwise. Appends confirmed uids to `reply.keep`.
+  void admit_reported(const util::Auid& uid, HostState& state, const HostName& host,
+                      double now, SyncReply& reply);
+
+  /// The per-beat Algorithm 1 step 2 over the demand index, and the re-
+  /// emission / cancellation of queued deletion orders.
+  void assign_and_drop(const HostName& host, HostState& state, double now,
+                       double pending_ttl, SyncReply& reply);
 
   /// Live peer locators for a datum, excluding `requester` (at most
   /// config_.max_peer_sources, deterministic order).
@@ -205,6 +288,25 @@ class DataScheduler {
   std::map<util::Auid, Entry> theta_;  // Θ, deterministic iteration order
   std::unordered_map<HostName, HostState> hosts_;
   SchedulerStats stats_;
+
+  std::uint64_t epoch_counter_ = 0;  ///< mints per-host sync epochs
+  /// Step-2 candidates: uids some host might still be assigned. Kept sorted
+  /// so assignment order (and thus MaxDataSchedule truncation) matches the
+  /// v1 full-Θ scan exactly.
+  std::set<util::Auid> demand_;
+  /// Θ by data name, for the affinity_name (class affinity) rule.
+  std::map<std::string, std::set<util::Auid>> name_index_;
+  /// Absolute-lifetime expiries, lazily deleted (re-schedules push a new
+  /// node; stale nodes are skipped on pop).
+  std::priority_queue<std::pair<double, util::Auid>,
+                      std::vector<std::pair<double, util::Auid>>,
+                      std::greater<>>
+      expiry_heap_;
+  /// reference uid -> datums whose relative lifetime hangs off it.
+  std::map<util::Auid, std::set<util::Auid>> lifetime_deps_;
+  /// Relative-lifetime datums scheduled before their reference: resolved
+  /// (or reaped) on the next reap pass.
+  std::set<util::Auid> dangling_;
 };
 
 }  // namespace bitdew::services

@@ -1,0 +1,357 @@
+#include "testbed/churn_harness.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <thread>
+
+#include "core/attributes.hpp"
+#include "core/data.hpp"
+#include "util/auid.hpp"
+
+namespace bitdew::testbed {
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_s(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Linear-interpolation percentile over a sorted sample vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+const PhaseReport* SoakReport::phase(const std::string& name) const {
+  for (const PhaseReport& report : phases) {
+    if (report.name == name) return &report;
+  }
+  return nullptr;
+}
+
+ChurnHarness::ChurnHarness(ChurnConfig config) : config_(std::move(config)) {}
+
+ChurnHarness::~ChurnHarness() {
+  for (Slot& slot : slots_) slot.node.reset();
+  for (const pid_t pid : real_pids_) {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+  if (host_) host_->stop();
+  if (owns_cache_root_) {
+    std::error_code ec;
+    std::filesystem::remove_all(cache_root_, ec);
+  }
+}
+
+std::uint16_t ChurnHarness::port() const { return endpoint_port_; }
+
+api::Status ChurnHarness::start() {
+  if (config_.service_host.empty()) {
+    services::SchedulerConfig scheduler;
+    scheduler.heartbeat_period_s = config_.heartbeat_period_s;
+    scheduler.failure_timeout_factor = 3.0;
+    container_ = std::make_unique<services::ServiceContainer>("bitdewd", clock_, scheduler);
+    rpc::ServiceHostConfig host_config;
+    host_config.loopback_only = true;
+    host_config.failure_sweep_period_s = std::min(0.5, config_.heartbeat_period_s);
+    host_ = std::make_unique<rpc::ServiceHost>(*container_, ddc_, host_config);
+    const api::Status started = host_->start();
+    if (!started.ok()) return started;
+    endpoint_host_ = "127.0.0.1";
+    endpoint_port_ = host_->port();
+  } else {
+    endpoint_host_ = config_.service_host;
+    endpoint_port_ = config_.service_port;
+  }
+
+  control_ = std::make_unique<api::RemoteServiceBus>(endpoint_host_, endpoint_port_);
+  const api::Status up = control_->ping();
+  if (!up.ok()) return up;
+
+  if (config_.cache_root.empty()) {
+    cache_root_ = (std::filesystem::temp_directory_path() /
+                   ("bitdew-soak-" + std::to_string(::getpid())))
+                      .string();
+    owns_cache_root_ = true;
+  } else {
+    cache_root_ = config_.cache_root;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(cache_root_, ec);
+  if (ec) return api::Error{api::Errc::kUnavailable, "soak", "cannot create " + cache_root_};
+
+  // Seed the broadcast datums: zero-size, so arrival is a control-plane
+  // event (kInstant adoption), never a transfer.
+  for (int i = 0; i < config_.datums; ++i) {
+    core::Data data;
+    data.uid = util::next_auid();
+    data.name = "soak-" + std::to_string(i);
+    data.size = 0;
+    data.checksum = core::synthetic_content(data.uid.lo, 0).checksum;
+    core::DataAttributes attributes;
+    attributes.replica = core::kReplicaAll;
+    attributes.fault_tolerant = true;
+    attributes.protocol = "tcp";
+    std::optional<api::Status> registered;
+    control_->dc_register(data, [&](api::Status s) { registered = std::move(s); });
+    if (!registered.has_value() || !registered->ok()) {
+      return api::Error{api::Errc::kUnavailable, "soak", "dc_register failed for " + data.name};
+    }
+    std::optional<api::Status> scheduled;
+    control_->ds_schedule(data, attributes, [&](api::Status s) { scheduled = std::move(s); });
+    if (!scheduled.has_value() || !scheduled->ok()) {
+      return api::Error{api::Errc::kUnavailable, "soak", "ds_schedule failed for " + data.name};
+    }
+  }
+
+  slots_.resize(static_cast<std::size_t>(config_.nodes));
+  for (int i = 0; i < config_.nodes; ++i) {
+    slots_[static_cast<std::size_t>(i)].name = "soak-w" + std::to_string(i);
+    slots_[static_cast<std::size_t>(i)].cache_dir =
+        cache_root_ + "/" + slots_[static_cast<std::size_t>(i)].name;
+  }
+  for (int i = 0; i < config_.real_workers; ++i) {
+    real_names_.push_back("soak-rw" + std::to_string(i));
+    real_caches_.push_back(cache_root_ + "/" + real_names_.back());
+  }
+  return api::Unit{};
+}
+
+std::unique_ptr<runtime::NodeRuntime> ChurnHarness::make_node(const Slot& slot) {
+  runtime::NodeRuntimeConfig config;
+  config.name = slot.name;
+  config.cache_dir = slot.cache_dir;
+  config.heartbeat_period_s = config_.heartbeat_period_s;
+  // No peer plane: the soak moves zero data bytes, and 1000 embedded chunk
+  // servers would triple the fleet's thread count for nothing.
+  config.serve_peers = false;
+  config.sync_observer = [this](const runtime::SyncSample& sample) {
+    const std::lock_guard<std::mutex> lock(samples_mutex_);
+    samples_.push_back(sample);
+  };
+  return std::make_unique<runtime::NodeRuntime>(endpoint_host_, endpoint_port_, config);
+}
+
+pid_t ChurnHarness::spawn_worker(const std::string& name, const std::string& cache_dir) const {
+  const std::string connect = endpoint_host_ + ":" + std::to_string(endpoint_port_);
+  const std::string heartbeat = std::to_string(config_.heartbeat_period_s);
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;  // parent (or fork failure, pid < 0)
+  ::execl(config_.worker_bin.c_str(), config_.worker_bin.c_str(), "--connect",
+          connect.c_str(), "--name", name.c_str(), "--cache", cache_dir.c_str(),
+          "--heartbeat", heartbeat.c_str(), "--no-peer", static_cast<char*>(nullptr));
+  std::perror("soak: exec bitdew_worker");
+  ::_exit(127);
+}
+
+PhaseReport ChurnHarness::close_phase(const std::string& name, double duration_s) {
+  std::vector<runtime::SyncSample> samples;
+  {
+    const std::lock_guard<std::mutex> lock(samples_mutex_);
+    samples.swap(samples_);
+  }
+  PhaseReport report;
+  report.name = name;
+  report.duration_s = duration_s;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(samples.size());
+  double bytes_total = 0;
+  double delta_bytes_total = 0;
+  for (const runtime::SyncSample& sample : samples) {
+    if (!sample.ok) {
+      ++report.beats_failed;
+      continue;
+    }
+    ++report.beats_ok;
+    sample.full ? ++report.full_beats : ++report.delta_beats;
+    latencies_ms.push_back(sample.latency_s * 1e3);
+    bytes_total += static_cast<double>(sample.request_bytes);
+    if (!sample.full) delta_bytes_total += static_cast<double>(sample.request_bytes);
+    report.downloads += sample.downloads;
+    report.drops += sample.drops;
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  report.latency.p50_ms = percentile(latencies_ms, 0.50);
+  report.latency.p95_ms = percentile(latencies_ms, 0.95);
+  report.latency.p99_ms = percentile(latencies_ms, 0.99);
+  report.latency.max_ms = latencies_ms.empty() ? 0 : latencies_ms.back();
+  if (duration_s > 0) report.beats_per_s = static_cast<double>(report.beats_ok) / duration_s;
+  if (report.beats_ok > 0) {
+    report.mean_request_bytes = bytes_total / static_cast<double>(report.beats_ok);
+  }
+  if (report.delta_beats > 0) {
+    report.mean_delta_request_bytes =
+        delta_bytes_total / static_cast<double>(report.delta_beats);
+  }
+  return report;
+}
+
+std::vector<services::HostInfo> ChurnHarness::host_table() {
+  std::optional<api::Expected<std::vector<services::HostInfo>>> table;
+  control_->ds_hosts([&](api::Expected<std::vector<services::HostInfo>> reply) {
+    table = std::move(reply);
+  });
+  if (!table.has_value() || !table->ok()) return {};
+  return std::move(**table);
+}
+
+bool ChurnHarness::fleet_settled(const std::vector<std::string>& names) {
+  const std::vector<services::HostInfo> table = host_table();
+  std::size_t settled = 0;
+  for (const services::HostInfo& row : table) {
+    if (std::find(names.begin(), names.end(), row.name) == names.end()) continue;
+    if (row.alive && row.cached == static_cast<std::uint32_t>(config_.datums)) ++settled;
+  }
+  return settled == names.size();
+}
+
+SoakReport ChurnHarness::run() {
+  SoakReport report;
+  report.nodes = config_.nodes;
+  report.real_workers = static_cast<int>(real_names_.size());
+  report.datums = config_.datums;
+
+  std::vector<std::string> everyone;
+  for (const Slot& slot : slots_) everyone.push_back(slot.name);
+  for (const std::string& name : real_names_) everyone.push_back(name);
+
+  // --- join: the whole fleet starts and pulls every broadcast datum ----------
+  const double join_started = now_s();
+  for (Slot& slot : slots_) {
+    slot.node = make_node(slot);
+    if (!slot.node->start().ok()) slot.node.reset();
+    sleep_s(config_.join_stagger_s);
+  }
+  for (std::size_t i = 0; i < real_names_.size(); ++i) {
+    real_pids_.push_back(spawn_worker(real_names_[i], real_caches_[i]));
+  }
+  const double join_deadline = join_started + config_.join_timeout_s;
+  while (now_s() < join_deadline) {
+    if (fleet_settled(everyone)) {
+      report.join_complete = true;
+      break;
+    }
+    sleep_s(std::min(0.25, config_.heartbeat_period_s));
+  }
+  report.join_complete_s = now_s() - join_started;
+  report.phases.push_back(close_phase("join", report.join_complete_s));
+
+  // --- steady state: every beat should be an empty delta ---------------------
+  const double steady_started = now_s();
+  sleep_s(config_.steady_s);
+  report.phases.push_back(close_phase("steady", now_s() - steady_started));
+
+  // --- kill storm: stop a fraction of the fleet abruptly ---------------------
+  const double storm_started = now_s();
+  const std::size_t victims =
+      std::min(slots_.size(),
+               static_cast<std::size_t>(std::ceil(static_cast<double>(slots_.size()) *
+                                                  config_.kill_fraction)));
+  std::vector<std::string> victim_names;
+  for (std::size_t i = 0; i < victims; ++i) {
+    // Destroying the runtime without clearing cache_dir models kill -9:
+    // heartbeats stop, the WAL manifest stays for the rejoin.
+    slots_[i].node.reset();
+    victim_names.push_back(slots_[i].name);
+  }
+  std::vector<std::size_t> real_victims;
+  for (std::size_t i = 0; i < real_pids_.size(); i += 2) {  // every other real worker
+    if (real_pids_[i] > 0) {
+      ::kill(real_pids_[i], SIGKILL);
+      ::waitpid(real_pids_[i], nullptr, 0);
+      real_pids_[i] = -1;
+      real_victims.push_back(i);
+      victim_names.push_back(real_names_[i]);
+    }
+  }
+  // Wait until the scheduler's failure timeout has declared every victim
+  // dead (3x heartbeat plus one sweep period of slack).
+  const double failure_timeout_s = 3.0 * config_.heartbeat_period_s + 1.0;
+  const double dead_deadline = now_s() + failure_timeout_s + config_.recovery_timeout_s;
+  while (now_s() < dead_deadline) {
+    const std::vector<services::HostInfo> table = host_table();
+    std::size_t dead = 0;
+    for (const services::HostInfo& row : table) {
+      if (!row.alive &&
+          std::find(victim_names.begin(), victim_names.end(), row.name) != victim_names.end()) {
+        ++dead;
+      }
+    }
+    if (dead == victim_names.size()) break;
+    sleep_s(std::min(0.25, config_.heartbeat_period_s));
+  }
+  sleep_s(config_.storm_dwell_s);
+  report.phases.push_back(close_phase("storm", now_s() - storm_started));
+
+  // --- rejoin-with-cache: victims return under the same name + cache dir ----
+  const double rejoin_started = now_s();
+  for (std::size_t i = 0; i < victims; ++i) {
+    slots_[i].node = make_node(slots_[i]);
+    if (!slots_[i].node->start().ok()) slots_[i].node.reset();
+  }
+  for (const std::size_t i : real_victims) {
+    real_pids_[i] = spawn_worker(real_names_[i], real_caches_[i]);
+  }
+  const double recovery_deadline = rejoin_started + config_.recovery_timeout_s;
+  while (now_s() < recovery_deadline) {
+    if (fleet_settled(everyone)) {
+      report.recovered = true;
+      break;
+    }
+    sleep_s(std::min(0.25, config_.heartbeat_period_s));
+  }
+  report.recovery_lag_s = now_s() - rejoin_started;
+  report.phases.push_back(close_phase("rejoin", report.recovery_lag_s));
+  for (std::size_t i = 0; i < victims; ++i) {
+    if (slots_[i].node) report.restored_replicas += slots_[i].node->stats().restored;
+  }
+
+  // --- scheduler-side counters (cover the real workers too) ------------------
+  for (const services::HostInfo& row : host_table()) {
+    report.scheduler_full_syncs += row.full_syncs;
+    report.scheduler_delta_syncs += row.delta_syncs;
+  }
+
+  // Orderly teardown: stop heartbeats before the report is returned so the
+  // caller's JSON write races nothing.
+  for (Slot& slot : slots_) slot.node.reset();
+  for (pid_t& pid : real_pids_) {
+    if (pid > 0) {
+      ::kill(pid, SIGTERM);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+  }
+  // The resync counter lives in SchedulerStats, which only the in-process
+  // container can expose — read it after the host has stopped so no server
+  // thread still touches the container. Zero when attached externally.
+  if (host_) {
+    host_->stop();
+    report.scheduler_resyncs = container_->ds().stats().resyncs;
+  }
+  return report;
+}
+
+}  // namespace bitdew::testbed

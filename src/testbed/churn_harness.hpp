@@ -1,0 +1,164 @@
+// ChurnHarness: the fleet-scale live soak driver. It stands up one
+// in-process bitdewd (rpc::ServiceHost on loopback) — or attaches to an
+// already-running daemon — and marches a fleet of runtime::NodeRuntime
+// instances (in-process heartbeat threads over real sockets, optionally
+// joined by a few real bitdew_worker child processes) through scripted
+// churn phases:
+//
+//   join    — every node starts (optionally staggered) and pulls the seeded
+//             broadcast datums through its first full sync;
+//   steady  — the fleet idles at its heartbeat period: every beat should be
+//             an empty delta, which is what the bytes-per-beat gate checks;
+//   storm   — a fraction of the fleet is killed (in-process nodes stopped,
+//             real workers SIGKILLed) and the scheduler's 3x-heartbeat
+//             failure timeout declares them dead;
+//   rejoin  — the victims come back under the same name and cache
+//             directory: WAL-restored replicas are re-announced through a
+//             full resync and the scheduler re-grants ownership.
+//
+// Every in-process beat is captured through NodeRuntimeConfig::sync_observer
+// (latency, full/delta, encoded request bytes) and aggregated per phase
+// into p50/p95/p99 percentiles, beats/sec and bytes-per-beat; scheduler-side
+// full/delta/resync counters and the recovery lag (storm rejoin until the
+// host table shows every victim alive with its cache restored) round out
+// the SoakReport. bench/soak_churn.cpp turns the report into the
+// BENCH_soak_churn.json trajectory document and enforces CI gates on it.
+//
+// Datums are zero-size broadcasts (replica = kReplicaAll): PullCore adopts
+// them instantly without a transfer, so the soak exercises the control
+// plane — ds_sync, failure detection, re-grant — at fleet scale without
+// moving data bytes.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/remote_service_bus.hpp"
+#include "dht/local_dht.hpp"
+#include "rpc/server.hpp"
+#include "runtime/node_runtime.hpp"
+#include "services/container.hpp"
+#include "util/clock.hpp"
+
+namespace bitdew::testbed {
+
+struct ChurnConfig {
+  int nodes = 100;              ///< in-process NodeRuntime fleet size
+  int real_workers = 0;         ///< bitdew_worker child processes (needs worker_bin)
+  std::string worker_bin;       ///< path to the bitdew_worker binary
+  int datums = 16;              ///< zero-size broadcast datums seeded before join
+  double heartbeat_period_s = 0.25;
+  double join_stagger_s = 0;    ///< delay between node starts (0 = thundering join)
+  double steady_s = 3.0;        ///< steady-state observation window
+  double kill_fraction = 0.25;  ///< share of the fleet killed in the storm
+  double storm_dwell_s = 0;     ///< extra wait after the storm before rejoin
+                                ///< (failure detection is awaited regardless)
+  double join_timeout_s = 120;  ///< join/recovery completion budgets
+  double recovery_timeout_s = 120;
+  /// Non-empty: attach to an already-running bitdewd at host:service_port
+  /// instead of standing one up in-process.
+  std::string service_host;
+  std::uint16_t service_port = 0;
+  std::string cache_root;  ///< worker cache parent dir ("" = temp dir)
+};
+
+struct LatencyPercentiles {
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+/// Aggregate of every in-process ds_sync beat observed during one phase.
+struct PhaseReport {
+  std::string name;
+  double duration_s = 0;
+  std::uint64_t beats_ok = 0;
+  std::uint64_t beats_failed = 0;
+  std::uint64_t full_beats = 0;   ///< beats that carried the whole cache list
+  std::uint64_t delta_beats = 0;  ///< beats that carried only {added, removed}
+  LatencyPercentiles latency;
+  double beats_per_s = 0;
+  double mean_request_bytes = 0;        ///< across every beat of the phase
+  double mean_delta_request_bytes = 0;  ///< across delta beats only
+  std::uint64_t downloads = 0;          ///< download orders received
+  std::uint64_t drops = 0;              ///< drop orders received
+};
+
+struct SoakReport {
+  int nodes = 0;
+  int real_workers = 0;
+  int datums = 0;
+  std::vector<PhaseReport> phases;
+  bool join_complete = false;    ///< every node reached |cache| == datums
+  double join_complete_s = 0;    ///< first start until join completion
+  bool recovered = false;        ///< every victim alive + cache restored
+  double recovery_lag_s = 0;     ///< rejoin start until recovery
+  std::uint64_t restored_replicas = 0;  ///< WAL-adopted at rejoin, fleet-wide
+  // Scheduler-side protocol counters (cover real workers too).
+  std::uint64_t scheduler_full_syncs = 0;
+  std::uint64_t scheduler_delta_syncs = 0;
+  std::uint64_t scheduler_resyncs = 0;
+
+  const PhaseReport* phase(const std::string& name) const;
+};
+
+class ChurnHarness {
+ public:
+  explicit ChurnHarness(ChurnConfig config);
+  ~ChurnHarness();
+  ChurnHarness(const ChurnHarness&) = delete;
+  ChurnHarness& operator=(const ChurnHarness&) = delete;
+
+  /// Stands up (or dials) the service node and seeds the broadcast datums.
+  api::Status start();
+
+  /// Runs the scripted churn phases. Call once, after start().
+  SoakReport run();
+
+  /// The service endpoint the fleet heartbeats against.
+  std::uint16_t port() const;
+
+ private:
+  struct Slot {
+    std::string name;
+    std::string cache_dir;
+    std::unique_ptr<runtime::NodeRuntime> node;
+  };
+
+  std::unique_ptr<runtime::NodeRuntime> make_node(const Slot& slot);
+  pid_t spawn_worker(const std::string& name, const std::string& cache_dir) const;
+  /// Collects the samples accumulated since the previous phase boundary
+  /// into one PhaseReport.
+  PhaseReport close_phase(const std::string& name, double duration_s);
+  /// Host-table rows by name, over the RPC surface.
+  std::vector<services::HostInfo> host_table();
+  /// True once every named host is alive with `datums` cached.
+  bool fleet_settled(const std::vector<std::string>& names);
+
+  ChurnConfig config_;
+  util::SystemClock clock_;
+  std::unique_ptr<services::ServiceContainer> container_;
+  dht::LocalDht ddc_;
+  std::unique_ptr<rpc::ServiceHost> host_;  ///< null when attaching
+  std::unique_ptr<api::RemoteServiceBus> control_;
+  std::string endpoint_host_;
+  std::uint16_t endpoint_port_ = 0;
+
+  std::string cache_root_;
+  bool owns_cache_root_ = false;
+  std::vector<Slot> slots_;
+  std::vector<std::string> real_names_;
+  std::vector<std::string> real_caches_;
+  std::vector<pid_t> real_pids_;
+
+  std::mutex samples_mutex_;
+  std::vector<runtime::SyncSample> samples_;  ///< since last phase boundary
+};
+
+}  // namespace bitdew::testbed

@@ -349,6 +349,106 @@ TEST(Wire, HostListRoundTrip) {
   EXPECT_TRUE(r.exhausted());
 }
 
+TEST(Wire, SyncRequestV2RoundTrip) {
+  services::SyncRequest request;
+  request.host = "w7";
+  request.epoch = 0x1122334455667788ULL;
+  request.full = false;
+  request.added = {util::Auid{1, 2}, util::Auid{3, 4}};
+  request.removed = {util::Auid{5, 6}};
+  request.in_flight = {util::Auid{7, 8}};
+  request.endpoint = "10.0.0.7:7100";
+  rpc::Writer w;
+  rpc::wire::write_sync_request(w, request);
+  rpc::Reader r(w.buffer());
+  EXPECT_EQ(rpc::wire::read_sync_request(r), request);
+  EXPECT_TRUE(r.exhausted());
+
+  // A full report (empty deltas, epoch 0) survives too.
+  services::SyncRequest full;
+  full.host = "w8";
+  full.full = true;
+  full.added = {util::Auid{9, 9}};
+  rpc::Writer wf;
+  rpc::wire::write_sync_request(wf, full);
+  rpc::Reader rf(wf.buffer());
+  EXPECT_EQ(rpc::wire::read_sync_request(rf), full);
+}
+
+TEST(Wire, SyncReplyCarriesEpochAndResync) {
+  services::SyncReply reply;
+  reply.epoch = 42;
+  reply.resync = true;
+  reply.keep = {util::Auid{1, 1}};
+  rpc::Writer w;
+  rpc::wire::write_sync_reply(w, reply);
+  rpc::Reader r(w.buffer());
+  const services::SyncReply decoded = rpc::wire::read_sync_reply(r);
+  EXPECT_EQ(decoded.epoch, 42u);
+  EXPECT_TRUE(decoded.resync);
+  EXPECT_EQ(decoded.keep, reply.keep);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, HostInfoCarriesSyncProtocolCounters) {
+  services::HostInfo info;
+  info.name = "w0";
+  info.last_sync_age_s = 0.5;
+  info.alive = true;
+  info.cached = 16;
+  info.endpoint = "10.0.0.2:7100";
+  info.full_syncs = 3;
+  info.delta_syncs = 1200;
+  info.last_delta_items = 7;
+  rpc::Writer w;
+  rpc::wire::write_host_info(w, info);
+  rpc::Reader r(w.buffer());
+  EXPECT_EQ(rpc::wire::read_host_info(r), info);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, MixedVersionSyncRequestRejectedTyped) {
+  // A v1-generation client's frame body (host, cache list, in-flight list,
+  // endpoint — no version byte) must be refused as CodecError, which the
+  // server dispatch converts into a typed kRejected reply. The first byte a
+  // v1 frame presents is the low byte of the host-string length prefix, so
+  // anything but kSyncRequestWireVersion throws before field parsing.
+  rpc::Writer legacy;
+  legacy.str("w1");
+  rpc::wire::write_auid_list(legacy, {util::Auid{1, 2}});
+  rpc::wire::write_auid_list(legacy, {});
+  legacy.str("10.0.0.1:7100");
+  rpc::Reader r(legacy.buffer());
+  EXPECT_THROW(rpc::wire::read_sync_request(r), rpc::CodecError);
+
+  // An explicit foreign version byte is refused the same way.
+  rpc::Writer future;
+  future.u8(rpc::wire::kSyncRequestWireVersion + 1);
+  future.str("w1");
+  rpc::Reader fr(future.buffer());
+  EXPECT_THROW(rpc::wire::read_sync_request(fr), rpc::CodecError);
+}
+
+TEST(Wire, SyncRequestTruncationThrowsAtEveryCut) {
+  services::SyncRequest request;
+  request.host = "worker-17";
+  request.epoch = 99;
+  request.full = false;
+  request.added = {util::Auid{1, 2}, util::Auid{3, 4}};
+  request.removed = {util::Auid{5, 6}};
+  request.in_flight = {util::Auid{7, 8}};
+  request.endpoint = "10.0.0.7:7100";
+  rpc::Writer w;
+  rpc::wire::write_sync_request(w, request);
+  const std::string& encoded = w.buffer();
+  // The decoder consumes the exact encoding, so every proper prefix must
+  // fail typed — never crash, never return a half-parsed request.
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    rpc::Reader r(std::string_view(encoded.data(), cut));
+    EXPECT_THROW(rpc::wire::read_sync_request(r), rpc::CodecError) << "cut=" << cut;
+  }
+}
+
 TEST(Wire, MisalignedSyncSourcesAreATypedDecodeError) {
   // sources is per-download-item; a count that disagrees with the download
   // partition must be rejected as malformed, not silently accepted.
@@ -439,7 +539,9 @@ TEST(Wire, FuzzedGarbageEitherDecodesOrThrowsTyped) {
     probe([](rpc::Reader& r) { rpc::wire::read_frame_header(r); });
     probe([](rpc::Reader& r) { rpc::wire::read_attributes(r); });
     probe([](rpc::Reader& r) { rpc::wire::read_status(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_sync_request(r); });
     probe([](rpc::Reader& r) { rpc::wire::read_sync_reply(r); });
+    probe([](rpc::Reader& r) { rpc::wire::read_host_info(r); });
     probe([](rpc::Reader& r) { rpc::wire::read_register_batch(r); });
     probe([](rpc::Reader& r) { rpc::wire::read_locators_batch_reply(r); });
     probe([](rpc::Reader& r) { rpc::wire::read_status_batch(r); });

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <optional>
 
 #include "core/attributes.hpp"
 #include "services/container.hpp"
@@ -1273,6 +1274,264 @@ TEST(ServiceContainer, RestartDoesNotExtendAnchoredLifetimes) {
     EXPECT_EQ(reopened.ds().scheduled_count(), 0u);  // reaped on the original deadline
   }
   std::filesystem::remove(wal);
+}
+
+// --- Incremental sync (protocol v2) ------------------------------------------
+// Delta beats {epoch, added, removed} must leave the scheduler in exactly
+// the state an equivalent stream of full reports would, and every path that
+// invalidates the scheduler's mirror (epoch skew, scheduler restart, a
+// declared-dead host reviving) must force a full resync.
+
+services::SyncRequest full_request(const std::string& host,
+                                   std::vector<util::Auid> cache,
+                                   std::vector<util::Auid> in_flight = {}) {
+  services::SyncRequest request;
+  request.host = host;
+  request.full = true;
+  request.added = std::move(cache);
+  request.in_flight = std::move(in_flight);
+  return request;
+}
+
+services::SyncRequest delta_request(const std::string& host, std::uint64_t epoch,
+                                    std::vector<util::Auid> added = {},
+                                    std::vector<util::Auid> removed = {},
+                                    std::vector<util::Auid> in_flight = {}) {
+  services::SyncRequest request;
+  request.host = host;
+  request.epoch = epoch;
+  request.full = false;
+  request.added = std::move(added);
+  request.removed = std::move(removed);
+  request.in_flight = std::move(in_flight);
+  return request;
+}
+
+std::optional<services::HostInfo> host_row(const DataScheduler& ds,
+                                           const std::string& name) {
+  for (const services::HostInfo& row : ds.host_table()) {
+    if (row.name == name) return row;
+  }
+  return std::nullopt;
+}
+
+TEST_F(SchedulerTest, DeltaStreamEquivalentToFullSyncStream) {
+  // Two schedulers see the same schedule/unschedule sequence; worker "w"
+  // reports to one with full syncs every beat and to the other with v2
+  // deltas. Their Omega sets and host mirrors must never diverge.
+  DataScheduler full_ds(clock_, SchedulerConfig{});
+  const Data d1 = make_data("d1");
+  const Data d2 = make_data("d2");
+  ds_.schedule(d1, attr(1));
+  full_ds.schedule(d1, attr(1));
+
+  // Beat 1: first contact (full on both), d1 assigned.
+  SyncReply delta_side = ds_.sync(full_request("w", {}));
+  SyncReply full_side = full_ds.sync(full_request("w", {}));
+  ASSERT_EQ(delta_side.download.size(), 1u);
+  ASSERT_EQ(full_side.download.size(), 1u);
+  ASSERT_GT(delta_side.epoch, 0u);
+
+  // Beat 2: d1 arrived. Delta side announces only the addition.
+  delta_side = ds_.sync(delta_request("w", delta_side.epoch, {d1.uid}));
+  full_side = full_ds.sync(full_request("w", {d1.uid}));
+  EXPECT_FALSE(delta_side.resync);
+  EXPECT_EQ(delta_side.keep, std::vector<util::Auid>{d1.uid});
+  EXPECT_EQ(full_side.keep, std::vector<util::Auid>{d1.uid});
+  EXPECT_EQ(ds_.owners(d1.uid), full_ds.owners(d1.uid));
+
+  // A second datum appears; both assign it on the next beat.
+  ds_.schedule(d2, attr(1));
+  full_ds.schedule(d2, attr(1));
+  delta_side = ds_.sync(delta_request("w", delta_side.epoch));
+  full_side = full_ds.sync(full_request("w", {d1.uid}));
+  ASSERT_EQ(delta_side.download.size(), 1u);
+  EXPECT_EQ(delta_side.download[0].data.uid, d2.uid);
+  ASSERT_EQ(full_side.download.size(), 1u);
+  // An empty delta's keep is empty (nothing newly confirmed); the full
+  // report re-confirms the whole intersection every beat.
+  EXPECT_TRUE(delta_side.keep.empty());
+  EXPECT_EQ(full_side.keep, std::vector<util::Auid>{d1.uid});
+
+  delta_side = ds_.sync(delta_request("w", delta_side.epoch, {d2.uid}));
+  full_side = full_ds.sync(full_request("w", {d1.uid, d2.uid}));
+  EXPECT_EQ(ds_.owners(d2.uid), full_ds.owners(d2.uid));
+
+  // Unschedule d1: both sides emit the drop; the delta side acks it with a
+  // `removed` entry, the full side by omitting d1 from its report.
+  ds_.unschedule(d1.uid);
+  full_ds.unschedule(d1.uid);
+  delta_side = ds_.sync(delta_request("w", delta_side.epoch));
+  full_side = full_ds.sync(full_request("w", {d1.uid, d2.uid}));
+  EXPECT_EQ(delta_side.drop, std::vector<util::Auid>{d1.uid});
+  EXPECT_EQ(full_side.drop, std::vector<util::Auid>{d1.uid});
+
+  delta_side = ds_.sync(delta_request("w", delta_side.epoch, {}, {d1.uid}));
+  full_side = full_ds.sync(full_request("w", {d2.uid}));
+  EXPECT_TRUE(delta_side.drop.empty());
+  EXPECT_TRUE(full_side.drop.empty());
+
+  // Mirrors agree, beat for beat.
+  const auto delta_row = host_row(ds_, "w");
+  const auto full_row = host_row(full_ds, "w");
+  ASSERT_TRUE(delta_row.has_value());
+  ASSERT_TRUE(full_row.has_value());
+  EXPECT_EQ(delta_row->cached, full_row->cached);
+  EXPECT_EQ(delta_row->cached, 1u);
+  EXPECT_GT(delta_row->delta_syncs, 0u);
+  EXPECT_EQ(full_row->delta_syncs, 0u);
+}
+
+TEST_F(SchedulerTest, EpochMismatchForcesResync) {
+  const Data data = make_data("d");
+  ds_.schedule(data, attr(1));
+  const SyncReply first = ds_.sync(full_request("w", {}));
+  ASSERT_GT(first.epoch, 0u);
+
+  // A delta with a foreign epoch is refused outright: no state changes, no
+  // assignments — just the resync order.
+  const std::uint64_t resyncs_before = ds_.stats().resyncs;
+  const SyncReply refused = ds_.sync(delta_request("w", first.epoch + 7, {data.uid}));
+  EXPECT_TRUE(refused.resync);
+  EXPECT_TRUE(refused.download.empty());
+  EXPECT_TRUE(refused.keep.empty());
+  EXPECT_EQ(ds_.stats().resyncs, resyncs_before + 1);
+  EXPECT_FALSE(ds_.owners(data.uid).contains("w"));
+
+  // The follow-up full report is accepted and re-mints the epoch.
+  const SyncReply recovered = ds_.sync(full_request("w", {data.uid}));
+  EXPECT_FALSE(recovered.resync);
+  EXPECT_GT(recovered.epoch, first.epoch);
+  EXPECT_TRUE(ds_.owners(data.uid).contains("w"));
+}
+
+TEST_F(SchedulerTest, DeltaFromUnknownHostForcesResync) {
+  const SyncReply reply = ds_.sync(delta_request("ghost", 3));
+  EXPECT_TRUE(reply.resync);
+  EXPECT_EQ(ds_.stats().resyncs, 1u);
+}
+
+TEST_F(SchedulerTest, SchedulerRestartForcesResyncAndRegrantsOwnership) {
+  const Data data = make_data("d");
+  std::uint64_t old_epoch = 0;
+  {
+    DataScheduler before(clock_, SchedulerConfig{});
+    before.schedule(data, attr(1));
+    before.sync(full_request("w", {}));
+    old_epoch = before.sync(full_request("w", {data.uid})).epoch;
+    ASSERT_GT(old_epoch, 0u);
+  }
+  // The replacement scheduler (same schedule state, fresh epochs — the
+  // bitdewd restart path) has never seen "w": the stale-epoch delta is
+  // refused, and the forced full report rebuilds mirror and Omega.
+  DataScheduler after(clock_, SchedulerConfig{});
+  after.schedule(data, attr(1));
+  const SyncReply refused = after.sync(delta_request("w", old_epoch));
+  EXPECT_TRUE(refused.resync);
+  const SyncReply recovered = after.sync(full_request("w", {data.uid}));
+  EXPECT_FALSE(recovered.resync);
+  EXPECT_EQ(recovered.keep, std::vector<util::Auid>{data.uid});
+  EXPECT_TRUE(after.owners(data.uid).contains("w"));
+}
+
+TEST_F(SchedulerTest, DeadHostRevivalResyncsAndRevocationStillFires) {
+  // PR-4 semantics on the v2 path: data unscheduled while a host was
+  // declared dead must still be revoked when the host rejoins — and the
+  // rejoin must go through the resync handshake, because death zeroed the
+  // host's epoch.
+  const Data keep = make_data("keep");
+  const Data revoked = make_data("revoked");
+  ds_.schedule(keep, attr(1, true));
+  ds_.schedule(revoked, attr(1, true));
+  ds_.sync(full_request("w", {}));
+  SyncReply reply = ds_.sync(full_request("w", {keep.uid, revoked.uid}));
+  const std::uint64_t live_epoch = reply.epoch;
+  ASSERT_TRUE(ds_.owners(revoked.uid).contains("w"));
+
+  clock_.set(10.0);  // > 3x heartbeat: declared dead, epoch zeroed
+  ds_.detect_failures();
+  ASSERT_FALSE(host_row(ds_, "w")->alive);
+  ds_.unschedule(revoked.uid);  // authoritative revocation while dead
+
+  // The surviving cache rides back: stale-epoch delta -> resync order.
+  const SyncReply refused = ds_.sync(delta_request("w", live_epoch));
+  EXPECT_TRUE(refused.resync);
+  // The full report re-grants `keep` and drops `revoked` (gone from Theta).
+  const SyncReply rejoined = ds_.sync(full_request("w", {keep.uid, revoked.uid}));
+  EXPECT_FALSE(rejoined.resync);
+  EXPECT_EQ(rejoined.keep, std::vector<util::Auid>{keep.uid});
+  EXPECT_EQ(rejoined.drop, std::vector<util::Auid>{revoked.uid});
+  EXPECT_TRUE(ds_.owners(keep.uid).contains("w"));
+  EXPECT_TRUE(host_row(ds_, "w")->alive);
+}
+
+TEST_F(SchedulerTest, DropOrderReemittedUntilAckedByRemovedDelta) {
+  const Data data = make_data("d");
+  ds_.schedule(data, attr(1));
+  ds_.sync(full_request("w", {}));
+  SyncReply reply = ds_.sync(full_request("w", {data.uid}));
+  const std::uint64_t epoch = reply.epoch;
+
+  ds_.unschedule(data.uid);
+  // The drop order rides every beat until the worker reports the removal —
+  // a lost reply must not orphan the replica on the worker.
+  reply = ds_.sync(delta_request("w", epoch));
+  EXPECT_EQ(reply.drop, std::vector<util::Auid>{data.uid});
+  reply = ds_.sync(delta_request("w", epoch));
+  EXPECT_EQ(reply.drop, std::vector<util::Auid>{data.uid});
+  // The `removed` entry acks it; subsequent beats are clean.
+  reply = ds_.sync(delta_request("w", epoch, {}, {data.uid}));
+  EXPECT_TRUE(reply.drop.empty());
+  reply = ds_.sync(delta_request("w", epoch));
+  EXPECT_TRUE(reply.drop.empty());
+}
+
+TEST_F(SchedulerTest, DeltaAddedConfirmsPendingAssignment) {
+  const Data data = make_data("d");
+  ds_.schedule(data, attr(2));
+  SyncReply reply = ds_.sync(full_request("w1", {}));
+  ASSERT_EQ(reply.download.size(), 1u);
+
+  // The arrival delta confirms the provisional assignment: keep lists
+  // exactly the newly confirmed datum, the pending slot clears, and the
+  // replica rule sees one live owner.
+  reply = ds_.sync(delta_request("w1", reply.epoch, {data.uid}));
+  EXPECT_EQ(reply.keep, std::vector<util::Auid>{data.uid});
+  EXPECT_TRUE(ds_.owners(data.uid).contains("w1"));
+  // Second replica still goes to the next host.
+  EXPECT_EQ(ds_.sync(full_request("w2", {})).download.size(), 1u);
+}
+
+TEST_F(SchedulerTest, DeltaRemovalRevokesOwnershipAndReschedules) {
+  const Data data = make_data("d");
+  ds_.schedule(data, attr(1, true));
+  ds_.sync(full_request("w1", {}));
+  SyncReply reply = ds_.sync(full_request("w1", {data.uid}));
+  ASSERT_TRUE(ds_.owners(data.uid).contains("w1"));
+
+  // The worker lost its replica (disk scrub): the `removed` delta revokes
+  // ownership, and the replica rule heals in the same beat by re-assigning
+  // the datum — exactly what a full report missing the datum would do.
+  reply = ds_.sync(delta_request("w1", reply.epoch, {}, {data.uid}));
+  EXPECT_FALSE(ds_.owners(data.uid).contains("w1"));
+  ASSERT_EQ(reply.download.size(), 1u);
+  EXPECT_EQ(reply.download[0].data.uid, data.uid);
+}
+
+TEST_F(SchedulerTest, HostTableReportsProtocolCounters) {
+  const Data data = make_data("d");
+  ds_.schedule(data, attr(1));
+  SyncReply reply = ds_.sync(full_request("w", {}));
+  ds_.sync(delta_request("w", reply.epoch, {data.uid}));
+  ds_.sync(delta_request("w", reply.epoch));
+
+  const auto row = host_row(ds_, "w");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->full_syncs, 1u);
+  EXPECT_EQ(row->delta_syncs, 2u);
+  EXPECT_EQ(row->last_delta_items, 0u);  // the last beat was an empty delta
+  EXPECT_EQ(ds_.stats().full_syncs, 1u);
+  EXPECT_EQ(ds_.stats().delta_syncs, 2u);
 }
 
 }  // namespace

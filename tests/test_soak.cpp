@@ -1,0 +1,176 @@
+// Churn-soak tests: fleet-scale kill/rejoin storms over sync protocol v2.
+//
+// The simulated half drives 100 reservoir nodes over SimServiceBus through
+// a kill storm and a rejoin-with-cache, asserting that the fleet recovers,
+// that revived nodes go through the resync handshake (stale-epoch delta ->
+// resync order -> full report), and that steady-state sync traffic is
+// O(delta) — bytes per beat must not scale with cache size. The live half
+// runs testbed::ChurnHarness at a small scale: real sockets, real
+// NodeRuntime heartbeat threads, WAL-restored rejoin.
+//
+// This suite binds real ports and spawns real threads in its live half;
+// CMake serializes it against the other live suites (RESOURCE_LOCK).
+#include <gtest/gtest.h>
+
+#include "runtime/sim_runtime.hpp"
+#include "testbed/churn_harness.hpp"
+#include "testbed/topologies.hpp"
+
+namespace bitdew {
+namespace {
+
+using runtime::SimNode;
+using runtime::SimRuntime;
+
+struct SimSoakRig {
+  explicit SimSoakRig(int nodes, std::uint64_t seed = 11) : sim(seed), net(sim) {
+    cluster = testbed::make_cluster(net, testbed::ClusterSpec{"soak", nodes + 1});
+    runtime = std::make_unique<SimRuntime>(sim, net, cluster.hosts[0]);
+    for (int i = 1; i <= nodes; ++i) {
+      nodes_.push_back(&runtime->add_node(cluster.hosts[static_cast<std::size_t>(i)]));
+    }
+  }
+
+  /// Seeds `count` zero-size broadcast datums: arrival is kInstant adoption,
+  /// so the soak is pure control plane.
+  void seed_broadcasts(int count) {
+    SimNode& origin = *nodes_[0];
+    for (int i = 0; i < count; ++i) {
+      const core::Content content = core::synthetic_content(100 + i, 0);
+      const core::Data data =
+          origin.bitdew().create_data("soak-" + std::to_string(i), content);
+      origin.bitdew().put(data, content);
+      core::DataAttributes attributes;
+      attributes.replica = core::kReplicaAll;
+      attributes.fault_tolerant = true;
+      origin.active_data().schedule(data, attributes);
+      datums.push_back(data);
+    }
+  }
+
+  /// Live nodes holding every seeded datum (a killed node keeps its
+  /// in-memory cache, but a dead reservoir doesn't count as a holder).
+  int nodes_holding_all() const {
+    int count = 0;
+    for (const SimNode* node : nodes_) {
+      if (!net.alive(node->host())) continue;
+      bool all = true;
+      for (const core::Data& data : datums) all = all && node->has(data.uid);
+      count += all ? 1 : 0;
+    }
+    return count;
+  }
+
+  void run_for(double seconds) { sim.run_until(sim.now() + seconds); }
+
+  sim::Simulator sim;
+  net::Network net;
+  testbed::Cluster cluster;
+  std::unique_ptr<SimRuntime> runtime;
+  std::vector<SimNode*> nodes_;
+  std::vector<core::Data> datums;
+};
+
+TEST(SoakSim, KillRejoinStormRecoversThroughResync) {
+  constexpr int kNodes = 100;
+  constexpr int kDatums = 8;
+  constexpr int kVictims = 30;
+  SimSoakRig rig(kNodes);
+  rig.seed_broadcasts(kDatums);
+  rig.run_for(20);
+  ASSERT_EQ(rig.nodes_holding_all(), kNodes);
+
+  // Steady state: every beat is an empty delta; no full syncs happen.
+  const services::SchedulerStats stats_before = rig.runtime->container().ds().stats();
+  rig.run_for(10);
+  const services::SchedulerStats stats_mid = rig.runtime->container().ds().stats();
+  EXPECT_EQ(stats_mid.full_syncs, stats_before.full_syncs);
+  EXPECT_GT(stats_mid.delta_syncs, stats_before.delta_syncs);
+
+  // Kill storm: 30 nodes die abruptly; the failure timeout declares them
+  // dead and zeroes their epochs.
+  for (int i = 0; i < kVictims; ++i) {
+    rig.runtime->kill_node(rig.nodes_[static_cast<std::size_t>(i)]->host());
+  }
+  rig.run_for(8);  // > 3x heartbeat + detector period
+  EXPECT_EQ(rig.nodes_holding_all(), kNodes - kVictims);
+
+  // Rejoin-with-cache: the pull state survived, so each revived node's
+  // first beat is a stale-epoch delta answered by a resync order.
+  const std::uint64_t resyncs_before = rig.runtime->container().ds().stats().resyncs;
+  for (int i = 0; i < kVictims; ++i) {
+    rig.runtime->revive_node(rig.nodes_[static_cast<std::size_t>(i)]->host());
+  }
+  rig.run_for(15);
+  EXPECT_EQ(rig.nodes_holding_all(), kNodes);
+  const auto& stats_after = rig.runtime->container().ds().stats();
+  EXPECT_GE(stats_after.resyncs, resyncs_before + kVictims);
+  // The resync full reports re-granted ownership: every broadcast datum is
+  // owned by the whole fleet again.
+  for (const core::Data& data : rig.datums) {
+    EXPECT_EQ(rig.runtime->container().ds().owners(data.uid).size(),
+              static_cast<std::size_t>(kNodes));
+  }
+}
+
+TEST(SoakSim, SteadyStateBytesPerBeatIndependentOfCacheSize) {
+  // Two fleets, identical except one caches 8x the datums. Under v1
+  // full-report syncs the bigger cache costs ~48 bytes per extra datum per
+  // beat; under v2 empty deltas both should pay only the fixed envelope.
+  auto steady_bytes_per_beat = [](int datums) {
+    SimSoakRig rig(40);
+    rig.seed_broadcasts(datums);
+    rig.run_for(20);
+    EXPECT_EQ(rig.nodes_holding_all(), 40);
+    const std::int64_t bytes_before = rig.net.delivered_bytes();
+    const std::uint64_t rpcs_before = rig.runtime->total_rpcs();
+    rig.run_for(30);
+    const double beats = static_cast<double>(rig.runtime->total_rpcs() - rpcs_before);
+    EXPECT_GT(beats, 0);
+    return static_cast<double>(rig.net.delivered_bytes() - bytes_before) / beats;
+  };
+  const double small_cache = steady_bytes_per_beat(4);
+  const double large_cache = steady_bytes_per_beat(32);
+  // 28 extra cached datums would cost ~1.3 KB/beat if syncs re-sent the
+  // whole cache list; O(delta) means the difference stays in the noise.
+  EXPECT_NEAR(large_cache, small_cache, 100.0);
+}
+
+TEST(SoakLive, SmallFleetChurnsAndRecovers) {
+  testbed::ChurnConfig config;
+  config.nodes = 12;
+  config.datums = 6;
+  config.heartbeat_period_s = 0.15;
+  config.steady_s = 1.5;
+  config.kill_fraction = 0.25;  // 3 victims
+  config.join_timeout_s = 60;
+  config.recovery_timeout_s = 60;
+  testbed::ChurnHarness harness(config);
+  ASSERT_TRUE(harness.start().ok());
+  const testbed::SoakReport report = harness.run();
+
+  EXPECT_TRUE(report.join_complete);
+  EXPECT_TRUE(report.recovered);
+  // Rejoined under the same cache dir: every victim re-adopted its replicas
+  // from the WAL manifest instead of re-downloading.
+  EXPECT_EQ(report.restored_replicas, 3u * 6u);
+
+  // Steady state is pure empty deltas, and a delta beat's encoded request
+  // must not scale with the 6-datum cache (version + host + epoch + flags +
+  // three empty lists + endpoint stays well under 128 bytes).
+  const testbed::PhaseReport* steady = report.phase("steady");
+  ASSERT_NE(steady, nullptr);
+  EXPECT_GT(steady->beats_ok, 0u);
+  EXPECT_EQ(steady->full_beats, 0u);
+  EXPECT_EQ(steady->beats_failed, 0u);
+  EXPECT_LT(steady->mean_delta_request_bytes, 128.0);
+
+  // The rejoin phase carried the victims' full reports.
+  const testbed::PhaseReport* rejoin = report.phase("rejoin");
+  ASSERT_NE(rejoin, nullptr);
+  EXPECT_GE(rejoin->full_beats, 3u);
+  EXPECT_GT(report.scheduler_delta_syncs, report.scheduler_full_syncs);
+}
+
+}  // namespace
+}  // namespace bitdew
