@@ -1,15 +1,29 @@
 // google-benchmark micro-benchmarks of the substrates: MD5, the binary
 // codec, RPC frame encode/decode (scalar vs batch envelopes), DewDB
-// operations (indexed vs scanned finds), the max-min solver and DHT key
-// hashing. These are the per-operation costs behind the macro-benches.
+// operations (indexed vs scanned finds), the max-min solver, DHT key
+// hashing, and live pipelined RPC over a loopback epoll ServiceHost. These
+// are the per-operation costs behind the macro-benches.
+//
+// `micro_substrate --pipeline-gate` runs the CI assertion instead of the
+// benchmarks: frames/s over one real loopback connection at pipeline depth
+// 8 must be >= 2x depth 1 on the same build. JSON on stdout, exit 1 on a
+// miss.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string_view>
+
+#include "api/remote_service_bus.hpp"
 #include "db/database.hpp"
 #include "dht/ring.hpp"
 #include "net/network.hpp"
 #include "rpc/codec.hpp"
+#include "rpc/server.hpp"
 #include "rpc/wire.hpp"
 #include "sim/simulator.hpp"
+#include "util/clock.hpp"
 #include "util/md5.hpp"
 #include "util/rng.hpp"
 
@@ -176,6 +190,108 @@ void BM_RingHash(benchmark::State& state) {
 }
 BENCHMARK(BM_RingHash);
 
+// --- live pipelined RPC over the epoll ServiceHost ----------------------------
+
+/// One loopback daemon + bus, a registered datum, and a frames/s probe.
+struct LoopbackRig {
+  LoopbackRig() : container("server", clock), host(container, ddc, {0, true, -1}) {
+    if (!host.start().ok()) std::abort();
+    bus = std::make_unique<api::RemoteServiceBus>("127.0.0.1", host.port(),
+                                                  api::RemoteBusConfig{2.0, 10.0});
+    datum.uid = util::next_auid();
+    datum.name = "bench";
+    datum.size = 1 << 20;
+    datum.checksum = "00112233445566778899aabbccddeeff";
+    bool ok = false;
+    bus->dc_register(datum, [&ok](api::Status s) { ok = s.ok(); });
+    if (!ok) std::abort();
+  }
+
+  /// Issues `calls` dc_get frames at the given pipeline depth and returns
+  /// the completed-frames-per-second over the wall clock.
+  double frames_per_s(int depth, int calls) {
+    bus->set_pipeline_depth(depth);
+    int completed = 0;
+    const auto begin = std::chrono::steady_clock::now();
+    for (int i = 0; i < calls; ++i) {
+      bus->dc_get(datum.uid, [&completed](api::Expected<core::Data> reply) {
+        if (reply.ok()) ++completed;
+      });
+    }
+    bus->drain();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+    if (completed != calls || elapsed <= 0) return 0;
+    return calls / elapsed;
+  }
+
+  util::ManualClock clock;
+  services::ServiceContainer container;
+  dht::LocalDht ddc;
+  rpc::ServiceHost host;
+  std::unique_ptr<api::RemoteServiceBus> bus;
+  core::Data datum;
+};
+
+// Real sockets, real epoll host: the per-call cost of a scalar RPC at
+// pipeline depth N. Depth 1 pays a full round trip (two context switches)
+// per frame; deeper windows amortize the wakeups across the in-flight
+// frames.
+void BM_RpcLoopbackScalar(benchmark::State& state) {
+  static LoopbackRig rig;  // one daemon for every depth arg
+  const int depth = static_cast<int>(state.range(0));
+  rig.bus->set_pipeline_depth(depth);
+  int completed = 0;
+  for (auto _ : state) {
+    rig.bus->dc_get(rig.datum.uid, [&completed](api::Expected<core::Data> reply) {
+      if (reply.ok()) ++completed;
+    });
+    if (rig.bus->in_flight() >= static_cast<std::size_t>(depth)) rig.bus->pump();
+  }
+  rig.bus->drain();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RpcLoopbackScalar)->Arg(1)->Arg(8);
+
+/// The CI gate: depth-8 pipelining must at least double depth-1 throughput
+/// on the same build. Three rounds, best ratio wins (one noisy round on a
+/// shared runner must not flake the gate).
+int run_pipeline_gate() {
+  constexpr int kCalls = 2000;
+  constexpr double kThreshold = 2.0;
+  LoopbackRig rig;
+  rig.frames_per_s(1, 200);  // warm up: connection, allocator, branch caches
+  double depth1 = 0;
+  double depth8 = 0;
+  double ratio = 0;
+  for (int round = 0; round < 3 && ratio < kThreshold; ++round) {
+    const double d1 = rig.frames_per_s(1, kCalls);
+    const double d8 = rig.frames_per_s(8, kCalls);
+    if (d1 <= 0 || d8 <= 0) continue;
+    if (d8 / d1 > ratio) {
+      ratio = d8 / d1;
+      depth1 = d1;
+      depth8 = d8;
+    }
+  }
+  const bool pass = ratio >= kThreshold;
+  std::printf(
+      "{\"bench\":\"micro_substrate_pipeline_gate\",\"calls\":%d,"
+      "\"depth1_frames_per_s\":%.0f,\"depth8_frames_per_s\":%.0f,"
+      "\"ratio\":%.2f,\"threshold\":%.1f,\"pass\":%s}\n",
+      kCalls, depth1, depth8, ratio, kThreshold, pass ? "true" : "false");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--pipeline-gate") return run_pipeline_gate();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -51,7 +51,6 @@ class DirectServiceBus final : public ServiceBus {
                    Reply<Status> done) override;
   void ds_pin(const util::Auid& uid, const std::string& host, Reply<Status> done) override;
   void ds_unschedule(const util::Auid& uid, Reply<Status> done) override;
-  using ServiceBus::ds_sync;  // keep the legacy full-report overload visible
   void ds_sync(const services::SyncRequest& request,
                Reply<Expected<services::SyncReply>> done) override;
   void ds_hosts(Reply<Expected<std::vector<services::HostInfo>>> done) override;

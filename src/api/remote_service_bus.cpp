@@ -51,8 +51,22 @@ rpc::ClientChannel* RemoteServiceBus::peer_channel(const std::string& endpoint) 
 
 Expected<std::string> RemoteServiceBus::call_routed(
     Endpoint endpoint, const std::function<void(rpc::Writer&)>& encode_body) {
+  rpc::Writer w;
+  encode_body(w);
+  const std::string body = w.take();
   ++rpcs_;
-  Expected<std::string> reply = channel_.call(endpoint, encode_body);
+  Expected<std::string> reply =
+      channel_.call(endpoint, [&body](rpc::Writer& frame) { frame.append_raw(body); });
+  return chase_redirects(endpoint, body, std::move(reply));
+}
+
+Expected<std::string> RemoteServiceBus::chase_redirects(Endpoint endpoint,
+                                                        const std::string& body,
+                                                        Expected<std::string> reply) {
+  const auto resend = [&](rpc::ClientChannel& channel) {
+    ++rpcs_;
+    return channel.call(endpoint, [&body](rpc::Writer& frame) { frame.append_raw(body); });
+  };
   for (int hop = 0; hop < config_.max_redirects; ++hop) {
     if (!reply.ok()) return reply;  // the home member itself is unreachable
     const std::optional<std::string> target = redirect_target(*reply);
@@ -60,8 +74,7 @@ Expected<std::string> RemoteServiceBus::call_routed(
     ++redirects_followed_;
     rpc::ClientChannel* peer = peer_channel(*target);
     if (peer == nullptr) return reply;  // malformed target: surface the redirect
-    ++rpcs_;
-    Expected<std::string> peer_reply = peer->call(endpoint, encode_body);
+    Expected<std::string> peer_reply = resend(*peer);
     if (peer_reply.ok()) {
       reply = std::move(peer_reply);
       continue;  // served, or a further (bounded) redirect
@@ -70,10 +83,31 @@ Expected<std::string> RemoteServiceBus::call_routed(
     // stabilized). The home member's tables reroute once its suspicion
     // kicks in — back off briefly and ask it again.
     std::this_thread::sleep_for(kRedirectRetryBackoff);
-    ++rpcs_;
-    reply = channel_.call(endpoint, encode_body);
+    reply = resend(channel_);
   }
   return reply;
+}
+
+void RemoteServiceBus::set_pipeline_depth(int depth) {
+  config_.pipeline_depth = depth < 1 ? 1 : depth;
+  while (static_cast<int>(deferred_.size()) >= config_.pipeline_depth && pump()) {
+  }
+}
+
+bool RemoteServiceBus::pump() {
+  if (deferred_.empty()) return false;
+  Deferred oldest = std::move(deferred_.front());
+  deferred_.pop_front();
+  // wait() demuxes by request id: replies for NEWER calls that arrive first
+  // are parked in their own futures, so completion order here is FIFO even
+  // though the host answers out of order.
+  oldest.complete(oldest.reply.wait());
+  return true;
+}
+
+void RemoteServiceBus::drain() {
+  while (pump()) {
+  }
 }
 
 Expected<wire::RingStatusInfo> RemoteServiceBus::ring_info() {
@@ -95,20 +129,52 @@ Expected<wire::RingStatusInfo> RemoteServiceBus::ring_info() {
 template <typename T, typename EncodeBody, typename ReadValue>
 void RemoteServiceBus::invoke(Endpoint endpoint, EncodeBody&& encode_body,
                               Reply<Expected<T>> done, ReadValue&& read_value) {
-  Expected<std::string> reply = call_routed(endpoint, encode_body);
-  if (!reply.ok()) {
-    done(reply.error());
+  const auto decode = [this, endpoint](const std::string& payload, auto& reader,
+                                       Reply<Expected<T>>& reply_cb) {
+    try {
+      rpc::Reader r(payload);
+      Expected<T> value = wire::read_expected<T>(r, reader);
+      if (!r.exhausted()) throw rpc::CodecError("trailing bytes in reply");
+      reply_cb(std::move(value));
+    } catch (const rpc::CodecError& error) {
+      channel_.close();
+      reply_cb(Error{Errc::kTransport, "bus",
+                     std::string(wire::endpoint_name(endpoint)) +
+                         " reply decode: " + error.what()});
+    }
+  };
+
+  if (config_.pipeline_depth <= 1) {
+    Expected<std::string> reply = call_routed(endpoint, encode_body);
+    if (!reply.ok()) {
+      done(reply.error());
+      return;
+    }
+    decode(*reply, read_value, done);
     return;
   }
-  try {
-    rpc::Reader r(*reply);
-    Expected<T> value = wire::read_expected<T>(r, read_value);
-    if (!r.exhausted()) throw rpc::CodecError("trailing bytes in reply");
-    done(std::move(value));
-  } catch (const rpc::CodecError& error) {
-    channel_.close();
-    done(Error{Errc::kTransport, "bus",
-               std::string(wire::endpoint_name(endpoint)) + " reply decode: " + error.what()});
+
+  // Pipelined: put the frame on the wire now, decode when the window pump
+  // reaches it. The encoded body is owned by the completion so a ring
+  // redirect can re-send it after the caller's arguments are gone.
+  rpc::Writer w;
+  encode_body(w);
+  std::string body = w.take();
+  ++rpcs_;
+  rpc::ClientChannel::PendingReply pending =
+      channel_.send(endpoint, [&body](rpc::Writer& frame) { frame.append_raw(body); });
+  deferred_.push_back(Deferred{
+      std::move(pending),
+      [this, endpoint, decode, body = std::move(body), done = std::move(done),
+       read_value = std::forward<ReadValue>(read_value)](Expected<std::string> reply) mutable {
+        reply = chase_redirects(endpoint, body, std::move(reply));
+        if (!reply.ok()) {
+          done(reply.error());
+          return;
+        }
+        decode(*reply, read_value, done);
+      }});
+  while (static_cast<int>(deferred_.size()) >= config_.pipeline_depth && pump()) {
   }
 }
 

@@ -1,11 +1,17 @@
 // RemoteServiceBus: the third ServiceBus implementation — every call is a
-// framed RPC over a real TCP connection to a ServiceHost (bitdewd). Replies
-// resolve synchronously before the call returns, like DirectServiceBus, so
-// the Session facade needs no pump. Socket loss, connection refusal, a
-// missed deadline or a malformed reply all surface as Errc::kTransport —
-// user code fails typed instead of hanging, and the next call transparently
-// reconnects. Batch endpoints are native: one frame carries the whole
-// batch, and an empty batch generates no traffic at all.
+// framed RPC over a real TCP connection to a ServiceHost (bitdewd). At the
+// default pipeline depth of 1 every reply resolves synchronously before the
+// call returns, like DirectServiceBus, so the Session facade needs no pump.
+// With set_pipeline_depth(N > 1) scalar calls become PIPELINED: up to N
+// requests ride in flight on the one connection (the epoll ServiceHost
+// executes them concurrently and replies out of order; ClientChannel's
+// request-id demux reorders), and the `done` callback fires from a later
+// pump()/drain()/wait — exactly the deferred-completion contract
+// SimServiceBus already trained every caller against. Socket loss,
+// connection refusal, a missed deadline or a malformed reply all surface as
+// Errc::kTransport — user code fails typed instead of hanging, and the next
+// call transparently reconnects. Batch endpoints are native: one frame
+// carries the whole batch, and an empty batch generates no traffic at all.
 // Against a ring of bitdewd members (ServiceHost::start_ring) the bus also
 // speaks the redirect protocol: any member answers a keyed dc_*/ddc_* call
 // either by serving it or with Errc::kRedirect naming the owner, and the
@@ -15,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -30,6 +37,11 @@ struct RemoteBusConfig {
   double connect_timeout_s = 5.0;  ///< TCP connect budget
   double call_deadline_s = 5.0;    ///< per-request reply deadline
   int max_redirects = 4;           ///< ring redirect-chase budget per call
+  /// Max scalar calls in flight on the connection. 1 = synchronous
+  /// (callbacks fire before the call returns); > 1 pipelines — callbacks
+  /// fire from pump()/drain() or when the window is full. Capped by the
+  /// host's max_in_flight_per_connection backpressure on the other side.
+  int pipeline_depth = 1;
 };
 
 class RemoteServiceBus final : public ServiceBus {
@@ -75,7 +87,6 @@ class RemoteServiceBus final : public ServiceBus {
                    Reply<Status> done) override;
   void ds_pin(const util::Auid& uid, const std::string& host, Reply<Status> done) override;
   void ds_unschedule(const util::Auid& uid, Reply<Status> done) override;
-  using ServiceBus::ds_sync;  // keep the legacy full-report overload visible
   void ds_sync(const services::SyncRequest& request,
                Reply<Expected<services::SyncReply>> done) override;
   void ds_hosts(Reply<Expected<std::vector<services::HostInfo>>> done) override;
@@ -101,12 +112,40 @@ class RemoteServiceBus final : public ServiceBus {
   /// Errc::kUnavailable when the host is not a ring member.
   Expected<rpc::wire::RingStatusInfo> ring_info();
 
+  // --- pipelining ------------------------------------------------------------
+
+  /// Changes the in-flight window at runtime (api::Session turns this on
+  /// for its *_async streams). Shrinking below the current in-flight count
+  /// drains the excess synchronously.
+  void set_pipeline_depth(int depth);
+  int pipeline_depth() const { return config_.pipeline_depth; }
+
+  /// Completes the OLDEST outstanding pipelined call (blocking for its
+  /// reply if needed) and fires its callback. false when nothing is
+  /// outstanding. Session's wait() pumps this.
+  bool pump();
+
+  /// Completes every outstanding pipelined call. Call before tearing down
+  /// request-scoped state the callbacks capture.
+  void drain();
+
+  /// Pipelined calls whose callbacks have not fired yet.
+  std::size_t in_flight() const { return deferred_.size(); }
+
   std::uint64_t rpc_count() const { return rpcs_; }
   /// Ring redirects chased across all calls so far.
   std::uint64_t redirects_followed() const { return redirects_followed_; }
   bool connected() const { return channel_.connected(); }
 
  private:
+  /// One pipelined call awaiting its reply: the future plus the decode/
+  /// redirect-chase completion. `body` owns the encoded request so the
+  /// chase can re-send it after the caller's arguments are gone.
+  struct Deferred {
+    rpc::ClientChannel::PendingReply reply;
+    std::function<void(Expected<std::string>)> complete;
+  };
+
   /// One call with ring-redirect chasing: a reply whose body is the
   /// uniform error encoding with Errc::kRedirect is retried at the member
   /// named in the error message, through a cached peer channel, up to
@@ -114,6 +153,11 @@ class RemoteServiceBus final : public ServiceBus {
   /// home member after a brief backoff (stabilization reroutes it).
   Expected<std::string> call_routed(rpc::wire::Endpoint endpoint,
                                     const std::function<void(rpc::Writer&)>& encode_body);
+  /// The redirect-chase tail of call_routed, shared with pipelined
+  /// completion: takes the home member's reply and follows kRedirect
+  /// answers through cached peer channels. `body` is the encoded request.
+  Expected<std::string> chase_redirects(rpc::wire::Endpoint endpoint, const std::string& body,
+                                        Expected<std::string> reply);
   rpc::ClientChannel* peer_channel(const std::string& endpoint);
   /// One round-trip whose reply body is a single Expected<T>; transport
   /// failures become Error{kTransport} under the same T.
@@ -131,6 +175,8 @@ class RemoteServiceBus final : public ServiceBus {
   rpc::ClientChannel channel_;
   /// Redirect targets, keyed "host:port"; bounded, reset when full.
   std::unordered_map<std::string, std::unique_ptr<rpc::ClientChannel>> peers_;
+  /// Outstanding pipelined calls, oldest first (completed FIFO).
+  std::deque<Deferred> deferred_;
   std::uint64_t rpcs_ = 0;
   std::uint64_t redirects_followed_ = 0;
 };

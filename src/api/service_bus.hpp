@@ -122,22 +122,12 @@ class ServiceBus {
   /// serve — the scheduler records it and mints it into the peer locators
   /// that ride back in other hosts' SyncReply.sources). A refused delta
   /// comes back with `resync` set and the caller repeats the sync in full.
+  /// The SyncRequest is the ONLY entry point (the legacy positional
+  /// full-report overload is retired): a full beat is SyncRequest{.full =
+  /// true, .added = cache}. Old v1 wire frames are still rejected typed
+  /// (Errc::kRejected) rather than dropped.
   virtual void ds_sync(const services::SyncRequest& request,
                        Reply<Expected<services::SyncReply>> done) = 0;
-
-  /// Legacy full-report form: every beat ships the whole Δk. Sugar over
-  /// the v2 endpoint with `full = true`.
-  void ds_sync(const std::string& host, const std::vector<util::Auid>& cache,
-               const std::vector<util::Auid>& in_flight, const std::string& endpoint,
-               Reply<Expected<services::SyncReply>> done) {
-    services::SyncRequest request;
-    request.host = host;
-    request.full = true;
-    request.added = cache;
-    request.in_flight = in_flight;
-    request.endpoint = endpoint;
-    ds_sync(request, std::move(done));
-  }
   /// The scheduler's host table (name, seconds since last sync, alive/dead,
   /// cached count) — the failure detector made observable, so operators and
   /// CI watch liveness instead of inferring it from replica movement.

@@ -188,6 +188,23 @@ inline Expected<std::string> dr_get_chunk(services::ServiceContainer& c, const u
   return std::move(*bytes);
 }
 
+/// The zero-copy variant (ServiceHost's kDrGetChunk fast path): same
+/// validation and error mapping as dr_get_chunk, but file-backed content
+/// comes back as an fd slice for sendfile instead of a std::string.
+inline Expected<rpc::ChunkRef> dr_get_chunk_ref(services::ServiceContainer& c,
+                                                const util::Auid& uid, std::int64_t offset,
+                                                std::int64_t max_bytes) {
+  if (max_bytes <= 0 || max_bytes > services::kMaxChunkBytes) {
+    return Error{Errc::kInvalidArgument, "dr", "bad chunk size " + std::to_string(max_bytes)};
+  }
+  auto chunk = c.dr().read_chunk_ref(uid, offset, max_bytes);
+  if (!chunk.has_value()) {
+    return Error{Errc::kNotFound, "dr",
+                 "no content bytes for " + uid.str() + " (metadata-only or unknown)"};
+  }
+  return std::move(*chunk);
+}
+
 // --- Data Transfer --------------------------------------------------------------
 
 inline Expected<services::TicketId> dt_register(services::ServiceContainer& c,

@@ -111,6 +111,34 @@ class Session {
     return future;
   }
 
+  // Read-side futures. Over a pipelined RemoteServiceBus
+  // (set_pipeline_depth > 1, pump = [&bus] { return bus.pump(); }) a burst
+  // of these rides N-deep on one connection — the epoll host answers out of
+  // order and the futures resolve as the replies demux.
+  SessionFuture<std::vector<core::Locator>> locate_async(const util::Auid& uid) {
+    SessionFuture<std::vector<core::Locator>> future;
+    bitdew_.locate(uid, future.resolver());
+    return future;
+  }
+
+  SessionFuture<core::Data> search_async(const std::string& name) {
+    SessionFuture<core::Data> future;
+    bitdew_.search(name, future.resolver());
+    return future;
+  }
+
+  SessionFuture<std::vector<std::string>> lookup_async(const std::string& key) {
+    SessionFuture<std::vector<std::string>> future;
+    bitdew_.lookup(key, future.resolver());
+    return future;
+  }
+
+  StatusFuture remove_async(const core::Data& data) {
+    StatusFuture future;
+    bitdew_.remove(data, future.resolver());
+    return future;
+  }
+
   // --- blocking operations ---------------------------------------------------
   Expected<core::Data> create_data(const std::string& name, const core::Content& content) {
     auto [data, future] = create_data_async(name, content);
@@ -135,22 +163,12 @@ class Session {
   }
 
   Expected<std::vector<core::Locator>> locate(const util::Auid& uid) {
-    SessionFuture<std::vector<core::Locator>> future;
-    bitdew_.locate(uid, future.resolver());
-    return wait(future);
+    return wait(locate_async(uid));
   }
 
-  Expected<core::Data> search(const std::string& name) {
-    SessionFuture<core::Data> future;
-    bitdew_.search(name, future.resolver());
-    return wait(future);
-  }
+  Expected<core::Data> search(const std::string& name) { return wait(search_async(name)); }
 
-  Status remove(const core::Data& data) {
-    StatusFuture future;
-    bitdew_.remove(data, future.resolver());
-    return wait(future);
-  }
+  Status remove(const core::Data& data) { return wait(remove_async(data)); }
 
   Status schedule(const core::Data& data, const core::DataAttributes& attributes) {
     return wait(schedule_async(data, attributes));
@@ -173,9 +191,7 @@ class Session {
   }
 
   Expected<std::vector<std::string>> lookup(const std::string& key) {
-    SessionFuture<std::vector<std::string>> future;
-    bitdew_.lookup(key, future.resolver());
-    return wait(future);
+    return wait(lookup_async(key));
   }
 
   /// Blocks until the datum's transfer on this node completes (requires a

@@ -1,9 +1,8 @@
 #include "rpc/chunk_server.hpp"
 
-#include <sys/socket.h>
-
 #include <utility>
 
+#include "rpc/wire.hpp"
 #include "services/data_repository.hpp"
 #include "util/log.hpp"
 
@@ -15,126 +14,101 @@ const util::Logger& logger() {
   return instance;
 }
 
+EpollServerConfig server_config(const ChunkServerConfig& config) {
+  EpollServerConfig out;
+  out.port = config.port;
+  out.loopback_only = config.loopback_only;
+  out.idle_timeout_s = config.idle_timeout_s;
+  out.write_timeout_s = config.write_timeout_s;
+  return out;
+}
+
 }  // namespace
 
 ChunkServer::ChunkServer(ReadFn read, ChunkServerConfig config)
-    : read_(std::move(read)), config_(config), shaper_(config.upload_Bps) {}
+    : read_(std::move(read)), config_(config),
+      server_(
+          [this](std::uint64_t id, const std::string& payload) {
+            return handle_frame(id, payload);
+          },
+          server_config(config)),
+      shaper_(config.upload_Bps) {}
 
 ChunkServer::~ChunkServer() { stop(); }
 
 api::Status ChunkServer::start() {
-  if (running_.load()) return api::ok_status();
-  auto listener = tcp_listen(config_.port, config_.loopback_only);
-  if (!listener.ok()) return listener.error();
-  listener_ = std::move(listener->fd);
-  port_ = listener->port;
-  running_.store(true);
-  acceptor_ = std::thread(&ChunkServer::accept_loop, this);
-  logger().debug("serving replica chunks on port %u", static_cast<unsigned>(port_));
-  return api::ok_status();
+  const api::Status started = server_.start();
+  if (started.ok()) {
+    logger().debug("serving replica chunks on port %u", static_cast<unsigned>(port()));
+  }
+  return started;
 }
 
-void ChunkServer::stop() {
-  if (!running_.exchange(false)) return;
-  if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
-  {
-    const std::lock_guard lock(connections_mutex_);
-    for (const auto& [id, fd] : live_connections_) ::shutdown(fd, SHUT_RDWR);
-  }
-  if (acceptor_.joinable()) acceptor_.join();
-  std::unordered_map<std::uint64_t, std::thread> workers;
-  {
-    const std::lock_guard lock(connections_mutex_);
-    workers.swap(workers_);
-    finished_workers_.clear();
-  }
-  for (auto& [id, worker] : workers) {
-    if (worker.joinable()) worker.join();
-  }
-  listener_.reset();
-}
+void ChunkServer::stop() { server_.stop(); }
 
-void ChunkServer::reap_finished_workers() {
-  std::vector<std::thread> finished;
-  {
-    const std::lock_guard lock(connections_mutex_);
-    for (const std::uint64_t id : finished_workers_) {
-      const auto it = workers_.find(id);
-      if (it == workers_.end()) continue;
-      finished.push_back(std::move(it->second));
-      workers_.erase(it);
+std::optional<ReplyFrame> ChunkServer::handle_frame(std::uint64_t id,
+                                                    const std::string& payload) {
+  try {
+    Reader r(payload);
+    const wire::FrameHeader header = wire::read_frame_header(r);
+    if (header.endpoint == wire::Endpoint::kPing) {
+      if (!r.exhausted()) return std::nullopt;
+      ReplyFrame reply;
+      Writer w;
+      wire::write_frame_header(w, header);  // empty body: liveness only
+      reply.bytes = w.take();
+      return reply;
     }
-    finished_workers_.clear();
-  }
-  for (std::thread& worker : finished) {
-    if (worker.joinable()) worker.join();
-  }
-}
-
-void ChunkServer::accept_loop() {
-  while (running_.load()) {
-    Fd accepted = tcp_accept(listener_.get(), 0.2);
-    reap_finished_workers();
-    if (!accepted.valid()) continue;
-    const std::lock_guard lock(connections_mutex_);
-    if (!running_.load()) break;
-    const std::uint64_t id = next_connection_id_++;
-    live_connections_.emplace(id, accepted.get());
-    workers_.emplace(id,
-                     std::thread(&ChunkServer::serve_connection, this, id, std::move(accepted)));
-  }
-}
-
-void ChunkServer::serve_connection(std::uint64_t id, Fd socket) {
-  while (running_.load()) {
-    RecvResult request = recv_frame(socket.get(), config_.idle_timeout_s);
-    if (request.status != IoStatus::kOk) break;
-
-    Writer reply;
-    try {
-      Reader r(request.payload);
-      const wire::FrameHeader header = wire::read_frame_header(r);
-      wire::write_frame_header(reply, header);
-      if (header.endpoint == wire::Endpoint::kPing) {
-        // empty body: liveness only
-      } else if (header.endpoint == wire::Endpoint::kDrGetChunk) {
-        const util::Auid uid = wire::read_auid(r);
-        const std::int64_t offset = r.i64();
-        const std::int64_t max_bytes = r.i64();
-        api::Expected<std::string> bytes =
-            api::Error{api::Errc::kInvalidArgument, "peer",
-                       "bad chunk size " + std::to_string(max_bytes)};
-        if (max_bytes > 0 && max_bytes <= services::kMaxChunkBytes) {
-          bytes = read_(uid, offset, max_bytes);
-        }
-        if (bytes.ok()) {
-          chunks_served_.fetch_add(1, std::memory_order_relaxed);
-          bytes_served_.fetch_add(static_cast<std::int64_t>(bytes->size()),
-                                  std::memory_order_relaxed);
-          shaper_.consume(static_cast<std::int64_t>(bytes->size()));  // uplink cap
-        }
-        wire::write_expected(reply, bytes,
-                             [](Writer& wr, const std::string& value) { wr.str(value); });
-      } else {
-        // A peer only serves chunk reads; anything else is a protocol
-        // violation and the connection is dropped (same policy as a
-        // malformed frame on a full ServiceHost).
-        break;
-      }
-      if (!r.exhausted()) break;  // trailing garbage behind the request
-    } catch (const std::exception& error) {
-      logger().debug("connection %llu: malformed frame (%s), dropping",
-                     static_cast<unsigned long long>(id), error.what());
-      break;
+    if (header.endpoint != wire::Endpoint::kDrGetChunk) {
+      // A peer only serves chunk reads; anything else is a protocol
+      // violation and the connection is dropped (same policy as a
+      // malformed frame on a full ServiceHost).
+      return std::nullopt;
     }
 
-    if (!send_frame(socket.get(), reply.buffer(), config_.write_timeout_s)) break;
-  }
+    const util::Auid uid = wire::read_auid(r);
+    const std::int64_t offset = r.i64();
+    const std::int64_t max_bytes = r.i64();
+    if (!r.exhausted()) return std::nullopt;  // trailing garbage
 
-  socket.reset();
-  const std::lock_guard lock(connections_mutex_);
-  live_connections_.erase(id);
-  finished_workers_.push_back(id);
+    api::Expected<ChunkRef> chunk =
+        api::Error{api::Errc::kInvalidArgument, "peer",
+                   "bad chunk size " + std::to_string(max_bytes)};
+    if (max_bytes > 0 && max_bytes <= services::kMaxChunkBytes) {
+      chunk = read_(uid, offset, max_bytes);
+    }
+
+    ReplyFrame reply;
+    Writer w;
+    wire::write_frame_header(w, header);
+    if (!chunk.ok()) {
+      wire::write_status(w, api::Status(chunk.error()));
+      reply.bytes = w.take();
+      return reply;
+    }
+    const std::int64_t size = chunk->size();
+    chunks_served_.fetch_add(1, std::memory_order_relaxed);
+    bytes_served_.fetch_add(size, std::memory_order_relaxed);
+    shaper_.consume(size);  // uplink cap, paid on the worker thread
+    // Byte-identical to write_expected(w, Expected<string>, str): success
+    // flag + length prefix, with the payload inline or as an fd slice the
+    // readiness loop sendfiles behind it.
+    w.boolean(true);
+    w.u32(static_cast<std::uint32_t>(size));
+    if (chunk->file_backed()) {
+      reply.file = std::move(chunk->file);
+      reply.file_offset = chunk->offset;
+      reply.file_length = chunk->length;
+    } else {
+      w.append_raw(chunk->bytes);
+    }
+    reply.bytes = w.take();
+    return reply;
+  } catch (const std::exception& error) {
+    logger().debug("connection %llu: malformed frame (%s), dropping",
+                   static_cast<unsigned long long>(id), error.what());
+    return std::nullopt;
+  }
 }
 
 }  // namespace bitdew::rpc

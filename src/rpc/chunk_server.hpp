@@ -7,6 +7,11 @@
 // malformed frames included, drops the connection; a worker must never be
 // wedged or crashed by a hostile peer.
 //
+// Built on the same epoll readiness loop as ServiceHost (rpc/reactor.hpp):
+// peers can pipeline chunk requests on one connection and the replies
+// complete out of order; a replica read returned as a ChunkRef fd slice is
+// shipped with sendfile, never copied through a std::string.
+//
 // transfer::PeerTransfer is the matching client: it stripes chunk ranges
 // across several of these (locators minted by the Data Scheduler from the
 // endpoints workers announce via ds_sync) and falls back to the central
@@ -16,14 +21,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <optional>
 #include <string>
-#include <thread>
-#include <unordered_map>
-#include <vector>
 
 #include "api/expected.hpp"
-#include "rpc/transport.hpp"
+#include "rpc/chunk_ref.hpp"
+#include "rpc/reactor.hpp"
 #include "util/auid.hpp"
 #include "util/shaper.hpp"
 
@@ -43,10 +46,12 @@ struct ChunkServerConfig {
 class ChunkServer {
  public:
   /// Serves one chunk read: up to `max_bytes` of the datum's verified
-  /// content at `offset` (empty string at/after end of content), or a typed
-  /// error (kNotFound when this node does not hold the datum). Called from
-  /// connection threads — must be thread-safe.
-  using ReadFn = std::function<api::Expected<std::string>(
+  /// content at `offset` as a ChunkRef — an fd slice for file-backed
+  /// replicas (zero-copy), inline bytes otherwise; an empty inline ref
+  /// at/after end of content — or a typed error (kNotFound when this node
+  /// does not hold the datum). Called from worker threads — must be
+  /// thread-safe.
+  using ReadFn = std::function<api::Expected<ChunkRef>(
       const util::Auid& uid, std::int64_t offset, std::int64_t max_bytes)>;
 
   ChunkServer(ReadFn read, ChunkServerConfig config = {});
@@ -54,38 +59,27 @@ class ChunkServer {
   ChunkServer(const ChunkServer&) = delete;
   ChunkServer& operator=(const ChunkServer&) = delete;
 
-  /// Binds, listens and spawns the accept thread. Errc::kTransport when the
-  /// port cannot be bound.
+  /// Binds, listens and spawns the readiness loop. Errc::kTransport when
+  /// the port cannot be bound.
   api::Status start();
 
   /// Stops accepting, tears down live connections, joins all threads.
   /// Idempotent; also called by the destructor.
   void stop();
 
-  bool running() const { return running_.load(); }
-  std::uint16_t port() const { return port_; }
+  bool running() const { return server_.running(); }
+  std::uint16_t port() const { return server_.port(); }
 
   std::uint64_t chunks_served() const { return chunks_served_.load(); }
   std::int64_t bytes_served() const { return bytes_served_.load(); }
 
  private:
-  void accept_loop();
-  void serve_connection(std::uint64_t id, Fd socket);
-  void reap_finished_workers();
+  std::optional<ReplyFrame> handle_frame(std::uint64_t connection_id,
+                                         const std::string& payload);
 
   ReadFn read_;
   ChunkServerConfig config_;
-
-  Fd listener_;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> running_{false};
-  std::thread acceptor_;
-
-  std::mutex connections_mutex_;
-  std::unordered_map<std::uint64_t, int> live_connections_;  ///< id -> raw fd
-  std::unordered_map<std::uint64_t, std::thread> workers_;   ///< id -> thread
-  std::vector<std::uint64_t> finished_workers_;              ///< ended, awaiting join
-  std::uint64_t next_connection_id_ = 0;
+  EpollServer server_;
 
   std::atomic<std::uint64_t> chunks_served_{0};
   std::atomic<std::int64_t> bytes_served_{0};

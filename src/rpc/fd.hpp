@@ -1,0 +1,43 @@
+// Fd: move-only owner of a POSIX file descriptor. Lives in its own header
+// so value types like ChunkRef can carry descriptors without dragging the
+// whole transport (and its wire-format dependencies) into every includer.
+#pragma once
+
+#include <unistd.h>
+
+namespace bitdew::rpc {
+
+/// Move-only owner of a POSIX file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace bitdew::rpc

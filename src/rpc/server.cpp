@@ -1,7 +1,5 @@
 #include "rpc/server.hpp"
 
-#include <sys/socket.h>
-
 #include <algorithm>
 #include <chrono>
 #include <utility>
@@ -17,27 +15,40 @@ const util::Logger& logger() {
   return instance;
 }
 
+EpollServerConfig server_config(const ServiceHostConfig& config) {
+  EpollServerConfig out;
+  out.port = config.port;
+  out.loopback_only = config.loopback_only;
+  out.idle_timeout_s = config.idle_timeout_s;
+  out.write_timeout_s = config.write_timeout_s;
+  out.worker_threads = config.worker_threads;
+  out.max_in_flight_per_connection = config.max_in_flight_per_connection;
+  return out;
+}
+
 }  // namespace
 
 ServiceHost::ServiceHost(services::ServiceContainer& container, dht::LocalDht& ddc,
                          ServiceHostConfig config)
     : container_(container), ddc_(ddc), config_(config),
+      server_(
+          [this](std::uint64_t id, const std::string& payload) {
+            return handle_frame(id, payload);
+          },
+          server_config(config)),
       data_shaper_(config.data_plane_upload_Bps) {}
 
 ServiceHost::~ServiceHost() { stop(); }
 
 api::Status ServiceHost::start() {
   if (running_.load()) return api::ok_status();
-  auto listener = tcp_listen(config_.port, config_.loopback_only);
-  if (!listener.ok()) return listener.error();
-  listener_ = std::move(listener->fd);
-  port_ = listener->port;
+  const api::Status started = server_.start();
+  if (!started.ok()) return started;
   running_.store(true);
-  acceptor_ = std::thread(&ServiceHost::accept_loop, this);
   if (config_.failure_sweep_period_s > 0) {
     sweeper_ = std::thread(&ServiceHost::sweep_loop, this);
   }
-  logger().debug("listening on port %u", static_cast<unsigned>(port_));
+  logger().debug("listening on port %u", static_cast<unsigned>(port()));
   return api::ok_status();
 }
 
@@ -107,7 +118,7 @@ api::Status ServiceHost::start_ring(const RingOptions& options) {
 
   dht::LiveRingConfig ring_config;
   ring_config.ring_id = options.ring_id;
-  ring_config.endpoint = options.advertise_host + ":" + std::to_string(port_);
+  ring_config.endpoint = options.advertise_host + ":" + std::to_string(port());
   ring_config.join_endpoint = options.join_endpoint;
   ring_config.arity = options.arity;
   ring_config.replication = options.replication_f;
@@ -151,108 +162,87 @@ void ServiceHost::stop() {
   }
   sweep_cv_.notify_all();
   if (sweeper_.joinable()) sweeper_.join();
-  // Wake the acceptor out of poll() and the workers out of recv().
-  if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
-  {
-    const std::lock_guard lock(connections_mutex_);
-    for (const auto& [id, fd] : live_connections_) ::shutdown(fd, SHUT_RDWR);
-  }
-  if (acceptor_.joinable()) acceptor_.join();
-  std::unordered_map<std::uint64_t, std::thread> workers;
-  {
-    const std::lock_guard lock(connections_mutex_);
-    workers.swap(workers_);
-    finished_workers_.clear();
-  }
-  for (auto& [id, worker] : workers) {
-    if (worker.joinable()) worker.join();
-  }
-  listener_.reset();
+  // The readiness loop closes the listener and every live connection before
+  // its thread exits; the worker pool is drained and joined after it. No
+  // thread can race a late accept.
+  server_.stop();
 }
 
-void ServiceHost::reap_finished_workers() {
-  std::vector<std::thread> finished;
-  {
-    const std::lock_guard lock(connections_mutex_);
-    for (const std::uint64_t id : finished_workers_) {
-      const auto it = workers_.find(id);
-      if (it == workers_.end()) continue;
-      finished.push_back(std::move(it->second));
-      workers_.erase(it);
+std::optional<ReplyFrame> ServiceHost::handle_frame(std::uint64_t id,
+                                                    const std::string& payload) {
+  try {
+    Reader r(payload);
+    const wire::FrameHeader header = wire::read_frame_header(r);
+    if (header.endpoint == wire::Endpoint::kDrGetChunk) {
+      // The data plane is never ring-routed (chunks live where the content
+      // lives), so the zero-copy fast path applies in ring mode too.
+      return chunk_reply(header, r);
     }
-    finished_workers_.clear();
-  }
-  // Join outside the lock: the worker announced itself finished as its
-  // last statement, so these joins return immediately.
-  for (std::thread& worker : finished) {
-    if (worker.joinable()) worker.join();
-  }
-}
-
-void ServiceHost::accept_loop() {
-  while (running_.load()) {
-    Fd accepted = tcp_accept(listener_.get(), 0.2);
-    reap_finished_workers();  // keep a long-lived daemon's thread set bounded
-    if (!accepted.valid()) continue;
-    // Register the fd and spawn the worker under the same lock stop() uses
-    // to sweep live connections, so a connection racing shutdown is either
-    // dropped here or reliably woken by stop().
-    const std::lock_guard lock(connections_mutex_);
-    if (!running_.load()) break;
-    ++connections_accepted_;
-    const std::uint64_t id = next_connection_id_++;
-    live_connections_.emplace(id, accepted.get());
-    workers_.emplace(id,
-                     std::thread(&ServiceHost::serve_connection, this, id, std::move(accepted)));
+    const std::string body = dispatch(header.endpoint, r);
+    if (!r.exhausted()) {
+      logger().debug("connection %llu: trailing garbage behind request, dropping",
+                     static_cast<unsigned long long>(id));
+      return std::nullopt;
+    }
+    ReplyFrame reply;
+    Writer w;
+    wire::write_frame_header(w, header);
+    w.append_raw(body);
+    reply.bytes = w.take();
+    if (header.endpoint == wire::Endpoint::kDrGetChunk) {
+      // Shape OUTSIDE dispatch (the container lock is released): only the
+      // data plane pays the uplink, control replies are never delayed.
+      data_shaper_.consume(static_cast<std::int64_t>(body.size()));
+    }
+    return reply;
+  } catch (const CodecError& error) {
+    logger().debug("connection %llu: malformed frame (%s), dropping",
+                   static_cast<unsigned long long>(id), error.what());
+    return std::nullopt;
+  } catch (const std::exception& error) {
+    logger().warn("connection %llu: dispatch failed (%s), dropping",
+                  static_cast<unsigned long long>(id), error.what());
+    return std::nullopt;
   }
 }
 
-void ServiceHost::serve_connection(std::uint64_t id, Fd socket) {
-  while (running_.load()) {
-    RecvResult request = recv_frame(socket.get(), config_.idle_timeout_s);
-    if (request.status != IoStatus::kOk) {
-      if (request.status == IoStatus::kOversize || request.status == IoStatus::kError) {
-        ++frames_rejected_;
-      }
-      break;
-    }
+std::optional<ReplyFrame> ServiceHost::chunk_reply(const wire::FrameHeader& header,
+                                                   Reader& r) {
+  // Zero-copy fast path: answer file-backed content as an fd slice the
+  // readiness loop ships with sendfile. The reply body is byte-identical to
+  // what write_expected(w, Expected<string>, str) would produce — the
+  // client's read_expected + r.str() cannot tell the difference.
+  const util::Auid uid = wire::read_auid(r);
+  const std::int64_t offset = r.i64();
+  const std::int64_t max_bytes = r.i64();
+  if (!r.exhausted()) return std::nullopt;
 
-    Writer reply;
-    try {
-      Reader r(request.payload);
-      const wire::FrameHeader header = wire::read_frame_header(r);
-      const std::string body = dispatch(header.endpoint, r);
-      if (!r.exhausted()) {
-        ++frames_rejected_;
-        break;  // trailing garbage behind the request: drop the connection
-      }
-      wire::write_frame_header(reply, header);
-      reply.append_raw(body);
-      if (header.endpoint == wire::Endpoint::kDrGetChunk) {
-        // Shape OUTSIDE dispatch (the container lock is released): only the
-        // data plane pays the uplink, control replies are never delayed.
-        data_shaper_.consume(static_cast<std::int64_t>(body.size()));
-      }
-    } catch (const CodecError& error) {
-      ++frames_rejected_;
-      logger().debug("connection %llu: malformed frame (%s), dropping",
-                     static_cast<unsigned long long>(id), error.what());
-      break;
-    } catch (const std::exception& error) {
-      ++frames_rejected_;
-      logger().warn("connection %llu: dispatch failed (%s), dropping",
-                    static_cast<unsigned long long>(id), error.what());
-      break;
-    }
+  api::Expected<ChunkRef> chunk = [&]() -> api::Expected<ChunkRef> {
+    const std::lock_guard lock(container_mutex_);
+    return api::ops::dr_get_chunk_ref(container_, uid, offset, max_bytes);
+  }();
 
-    if (!send_frame(socket.get(), reply.buffer(), config_.write_timeout_s)) break;
-    ++requests_served_;
+  ReplyFrame reply;
+  Writer w;
+  wire::write_frame_header(w, header);
+  if (!chunk.ok()) {
+    wire::write_status(w, api::Status(chunk.error()));
+    reply.bytes = w.take();
+    return reply;
   }
-
-  socket.reset();
-  const std::lock_guard lock(connections_mutex_);
-  live_connections_.erase(id);
-  finished_workers_.push_back(id);  // reaped by the acceptor (or stop())
+  const std::int64_t size = chunk->size();
+  w.boolean(true);  // Expected<string> success ...
+  w.u32(static_cast<std::uint32_t>(size));  // ... and the str() length prefix
+  if (chunk->file_backed()) {
+    reply.file = std::move(chunk->file);
+    reply.file_offset = chunk->offset;
+    reply.file_length = chunk->length;
+  } else {
+    w.append_raw(chunk->bytes);
+  }
+  reply.bytes = w.take();
+  data_shaper_.consume(size);
+  return reply;
 }
 
 std::string ServiceHost::dispatch(wire::Endpoint endpoint, Reader& r) {
@@ -383,6 +373,8 @@ std::string ServiceHost::dispatch_unlocked(wire::Endpoint endpoint, Reader& r) {
       break;
     }
     case Endpoint::kDrGetChunk: {
+      // Network traffic takes handle_frame's zero-copy chunk_reply instead;
+      // this arm keeps the endpoint dispatchable for in-process callers.
       const util::Auid uid = wire::read_auid(r);
       const std::int64_t offset = r.i64();
       const std::int64_t max_bytes = r.i64();

@@ -1,13 +1,21 @@
 // ServiceHost: the networked deployment of a ServiceContainer (paper
-// Fig. 1's stable service node, for real this time). It accepts TCP
-// connections on an accept thread, decodes rpc::wire frames, dispatches
-// scalar and batch endpoints into the container through the shared
-// api/service_ops.hpp outcome→Errc mapping — the same helpers
-// DirectServiceBus and SimServiceBus use, so every error code is identical
-// over the network — and encodes typed replies. A malformed or truncated
-// frame produces a typed decode failure and drops that connection; it never
-// crashes or wedges the server. bitdewd wraps one of these in a daemon;
-// RemoteServiceBus is the matching client.
+// Fig. 1's stable service node, for real this time). Since PR 9 it is built
+// on the epoll readiness loop in rpc/reactor.hpp instead of a
+// thread-per-connection pool: one loop thread owns every accepted socket
+// (nonblocking, per-connection read/write buffers), decoded frames execute
+// on a small worker pool, and replies complete OUT OF ORDER per connection
+// — clients pipeline any number of requests on one socket and match
+// replies by the frame header's request id (ClientChannel's demux). A
+// malformed or truncated frame still produces a typed decode failure and
+// drops only that connection.
+//
+// Dispatch goes through the shared api/service_ops.hpp outcome→Errc
+// mapping — the same helpers DirectServiceBus and SimServiceBus use, so
+// every error code is identical over the network. kDrGetChunk takes a
+// zero-copy fast path: file-backed repository content is answered as a
+// frame header + length prefix plus an fd slice the loop ships with
+// sendfile, never materializing the chunk in a std::string. bitdewd wraps
+// one of these in a daemon; RemoteServiceBus is the matching client.
 #pragma once
 
 #include <atomic>
@@ -18,12 +26,11 @@
 #include <optional>
 #include <string>
 #include <thread>
-#include <unordered_map>
-#include <vector>
 
 #include "api/expected.hpp"
 #include "dht/live_ring.hpp"
 #include "dht/local_dht.hpp"
+#include "rpc/reactor.hpp"
 #include "rpc/transport.hpp"
 #include "services/container.hpp"
 #include "services/ring_router.hpp"
@@ -34,9 +41,9 @@ namespace bitdew::rpc {
 struct ServiceHostConfig {
   std::uint16_t port = 0;       ///< 0 = ephemeral (read back via port())
   bool loopback_only = false;   ///< bind 127.0.0.1 instead of INADDR_ANY
-  double idle_timeout_s = -1;   ///< per-connection read timeout (<0 = none)
+  double idle_timeout_s = -1;   ///< per-connection read-idle cutoff (<0 = none)
   double write_timeout_s = 30;  ///< reply send budget: a client that stops
-                                ///< reading cannot park a worker forever
+                                ///< reading cannot park replies forever
   /// Period of the Data Scheduler failure-detector sweep (<= 0 disables).
   /// On the real path nobody pumps a simulator, so the host itself drives
   /// detect_failures() off the wall clock — dead workers are declared on
@@ -46,6 +53,12 @@ struct ServiceHostConfig {
   /// dr_get_chunk replies (0 = unlimited). Bounds what the repository
   /// ships, like a deployment's uplink; control traffic is never shaped.
   double data_plane_upload_Bps = 0;
+  /// Request-executor pool size (0 = auto). Handlers may block (container
+  /// lock, shaping) without stalling the readiness loop.
+  int worker_threads = 0;
+  /// Pipelining cap: a connection with this many requests executing has its
+  /// read interest paused until replies drain (backpressure).
+  int max_in_flight_per_connection = 32;
 };
 
 /// Live-ring membership knobs (start_ring). The host's bound port completes
@@ -69,16 +82,19 @@ class ServiceHost {
   ServiceHost(const ServiceHost&) = delete;
   ServiceHost& operator=(const ServiceHost&) = delete;
 
-  /// Binds, listens and spawns the accept thread. Errc::kTransport when the
-  /// port cannot be bound.
+  /// Binds, listens and spawns the readiness loop + worker pool.
+  /// Errc::kTransport when the port cannot be bound. Restartable after
+  /// stop().
   api::Status start();
 
-  /// Stops accepting, tears down every live connection and joins all
-  /// threads. Idempotent; also called by the destructor.
+  /// Deterministic shutdown: parks the sweeper, then the epoll loop (which
+  /// closes every live connection and the listener before exiting), then
+  /// drains and joins the worker pool. Idempotent; also called by the
+  /// destructor.
   void stop();
 
   bool running() const { return running_.load(); }
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const { return server_.port(); }
 
   /// Joins (or bootstraps) the live DHT ring, sharding the dc_*/ddc_*
   /// metadata plane across the membership. Must be called after start()
@@ -97,17 +113,22 @@ class ServiceHost {
   /// nullptr until start_ring() succeeds.
   dht::LiveRing* ring() { return ring_active() ? ring_.get() : nullptr; }
 
-  std::uint64_t requests_served() const { return requests_served_.load(); }
-  std::uint64_t connections_accepted() const { return connections_accepted_.load(); }
+  std::uint64_t requests_served() const { return server_.requests_served(); }
+  std::uint64_t connections_accepted() const { return server_.connections_accepted(); }
   /// Connections dropped because a frame failed to decode.
-  std::uint64_t frames_rejected() const { return frames_rejected_.load(); }
+  std::uint64_t frames_rejected() const { return server_.frames_rejected(); }
+  /// Currently open connections (idle ones included).
+  std::size_t connections_open() const { return server_.connections_open(); }
 
  private:
-  void accept_loop();
   void sweep_loop();
-  void serve_connection(std::uint64_t id, Fd socket);
-  /// Joins and discards workers whose connections have ended.
-  void reap_finished_workers();
+  /// The EpollServer handler: decodes one frame, dispatches, encodes the
+  /// reply. nullopt (malformed frame, trailing garbage) drops the
+  /// connection. Runs on a worker thread.
+  std::optional<ReplyFrame> handle_frame(std::uint64_t connection_id,
+                                         const std::string& payload);
+  /// kDrGetChunk fast path: file-backed content answers as an fd slice.
+  std::optional<ReplyFrame> chunk_reply(const wire::FrameHeader& header, Reader& body);
   /// Decodes `body`, runs the operation, and returns the encoded reply
   /// body. Malformed requests throw CodecError (the caller drops the
   /// connection). Layered: ring frames and ring-routed catalog ops peel
@@ -133,25 +154,14 @@ class ServiceHost {
   std::unique_ptr<dht::LiveRing> ring_;
   std::atomic<bool> ring_active_{false};
 
-  Fd listener_;
-  std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
-  std::thread acceptor_;
   std::thread sweeper_;
   std::mutex sweep_mutex_;
   std::condition_variable sweep_cv_;
 
   std::mutex container_mutex_;  ///< serializes container/ddc access
 
-  std::mutex connections_mutex_;
-  std::unordered_map<std::uint64_t, int> live_connections_;  ///< id -> raw fd
-  std::unordered_map<std::uint64_t, std::thread> workers_;   ///< id -> thread
-  std::vector<std::uint64_t> finished_workers_;  ///< ended, awaiting join
-  std::uint64_t next_connection_id_ = 0;
-
-  std::atomic<std::uint64_t> requests_served_{0};
-  std::atomic<std::uint64_t> connections_accepted_{0};
-  std::atomic<std::uint64_t> frames_rejected_{0};
+  EpollServer server_;
   util::RateShaper data_shaper_{0};
 };
 

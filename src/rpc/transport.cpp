@@ -50,11 +50,6 @@ api::Error transport_error(std::string message) {
 
 }  // namespace
 
-void Fd::reset() {
-  if (fd_ >= 0) ::close(fd_);
-  fd_ = -1;
-}
-
 const char* io_status_name(IoStatus status) {
   switch (status) {
     case IoStatus::kOk: return "ok";
@@ -237,33 +232,73 @@ api::Status ClientChannel::ensure_connected() {
   return api::ok_status();
 }
 
-api::Expected<std::string> ClientChannel::round_trip(wire::Endpoint endpoint,
-                                                     std::uint64_t request_id,
-                                                     std::string_view frame) {
-  const api::Status up = ensure_connected();
-  if (!up.ok()) return up.error();
+ClientChannel::PendingReply ClientChannel::send_raw(wire::Endpoint endpoint,
+                                                    std::uint64_t request_id,
+                                                    std::string_view frame) {
+  auto slot = std::make_shared<PendingReply::Slot>();
+  slot->endpoint = endpoint;
 
-  if (!send_frame(socket_.get(), frame, call_deadline_s_)) {
-    close();
-    return transport_error(std::string("send ") + wire::endpoint_name(endpoint) + " failed");
+  const api::Status up = ensure_connected();
+  if (!up.ok()) {
+    slot->result = api::Expected<std::string>(up.error());
+    return PendingReply(this, std::move(slot));
   }
-  RecvResult reply = recv_frame(socket_.get(), call_deadline_s_);
+  if (!send_frame(socket_.get(), frame, call_deadline_s_)) {
+    // The stream is dead mid-write: everything already in flight is lost
+    // along with this call.
+    fail_all(transport_error(std::string("send ") + wire::endpoint_name(endpoint) + " failed"));
+    slot->result =
+        api::Expected<std::string>(transport_error(std::string("send ") +
+                                                   wire::endpoint_name(endpoint) + " failed"));
+    return PendingReply(this, std::move(slot));
+  }
+  pending_.emplace(request_id, slot);
+  return PendingReply(this, std::move(slot));
+}
+
+bool ClientChannel::pump(double timeout_s) {
+  if (pending_.empty()) return false;
+  RecvResult reply = recv_frame(socket_.get(), timeout_s);
   if (reply.status != IoStatus::kOk) {
-    close();
-    return transport_error(std::string(wire::endpoint_name(endpoint)) + " reply: " +
-                           io_status_name(reply.status));
+    fail_all(transport_error(std::string("reply: ") + io_status_name(reply.status)));
+    return false;
   }
   try {
     Reader r(reply.payload);
     const wire::FrameHeader header = wire::read_frame_header(r);
-    if (header.endpoint != endpoint || header.request_id != request_id) {
-      throw CodecError("reply frame does not match request");
+    const auto it = pending_.find(header.request_id);
+    if (it == pending_.end() || it->second->endpoint != header.endpoint) {
+      throw CodecError("reply frame does not match any outstanding request");
     }
-    return reply.payload.substr(r.offset());
+    it->second->result = api::Expected<std::string>(reply.payload.substr(r.offset()));
+    pending_.erase(it);
+    return true;
   } catch (const CodecError& error) {
-    close();
-    return transport_error(std::string("malformed reply: ") + error.what());
+    fail_all(transport_error(std::string("malformed reply: ") + error.what()));
+    return false;
   }
+}
+
+void ClientChannel::fail_all(const api::Error& error) {
+  for (auto& [id, slot] : pending_) {
+    if (!slot->result.has_value()) slot->result = api::Expected<std::string>(error);
+  }
+  pending_.clear();
+  close();
+}
+
+api::Expected<std::string> ClientChannel::PendingReply::wait() {
+  if (slot_ == nullptr) {
+    return api::Error{api::Errc::kTransport, "bus", "wait on an empty reply future"};
+  }
+  while (!slot_->result.has_value()) {
+    // Each pump admits one reply frame within the call deadline; a timeout
+    // or stream failure resolves every outstanding slot (including ours).
+    channel_->pump(channel_->call_deadline_s_);
+  }
+  api::Expected<std::string> out = std::move(*slot_->result);
+  slot_.reset();
+  return out;
 }
 
 }  // namespace bitdew::rpc

@@ -9,10 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "api/expected.hpp"
+#include "rpc/fd.hpp"
 #include "rpc/wire.hpp"
 
 namespace bitdew::rpc {
@@ -20,36 +24,6 @@ namespace bitdew::rpc {
 /// Frames larger than this are rejected before allocation — a garbage or
 /// hostile length prefix must not let a peer OOM the process.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
-
-/// Move-only owner of a POSIX file descriptor.
-class Fd {
- public:
-  Fd() = default;
-  explicit Fd(int fd) : fd_(fd) {}
-  ~Fd() { reset(); }
-  Fd(Fd&& other) noexcept : fd_(other.release()) {}
-  Fd& operator=(Fd&& other) noexcept {
-    if (this != &other) {
-      reset();
-      fd_ = other.release();
-    }
-    return *this;
-  }
-  Fd(const Fd&) = delete;
-  Fd& operator=(const Fd&) = delete;
-
-  int get() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
-  int release() {
-    const int fd = fd_;
-    fd_ = -1;
-    return fd;
-  }
-  void reset();
-
- private:
-  int fd_ = -1;
-};
 
 enum class IoStatus : std::uint8_t {
   kOk = 0,
@@ -93,12 +67,46 @@ api::Expected<ListenerResult> tcp_listen(std::uint16_t port, bool loopback_only 
 Fd tcp_accept(int listen_fd, double timeout_s);
 
 /// The client side of one RPC connection: connects lazily, sends
-/// header+body frames with fresh request ids, and receives the matching
-/// reply within a per-call deadline. Strictly one outstanding call at a
-/// time (RemoteServiceBus is synchronous); any failure closes the socket so
-/// the next call reconnects.
+/// header+body frames with fresh request ids, and demultiplexes the replies
+/// by request id — so N calls can be IN FLIGHT on this one socket at once
+/// (the epoll ServiceHost executes them concurrently and answers out of
+/// order). send() returns a PendingReply future; call() is the sequential
+/// sugar (send + wait). Any transport failure fails every outstanding
+/// reply and closes the socket, so the next call reconnects. NOT
+/// thread-safe: one owner pumps the connection (RemoteServiceBus).
 class ClientChannel {
  public:
+  /// One outstanding call's reply slot. Resolved by the channel's demux
+  /// pump — possibly while waiting on a DIFFERENT PendingReply of the same
+  /// channel (out-of-order completion). Must not outlive the channel.
+  class PendingReply {
+   public:
+    PendingReply() = default;
+
+    /// Whether this future is attached to a sent request.
+    bool valid() const { return slot_ != nullptr; }
+    /// Already resolved (wait() would not block)?
+    bool ready() const { return slot_ != nullptr && slot_->result.has_value(); }
+
+    /// Blocks (pumping the channel) until this reply arrives; every
+    /// failure mode — connect refused, send error, deadline, peer close,
+    /// malformed reply header, unknown request id — is an
+    /// Error{Errc::kTransport}. Consumes the future.
+    api::Expected<std::string> wait();
+
+   private:
+    friend class ClientChannel;
+    struct Slot {
+      wire::Endpoint endpoint = wire::Endpoint::kPing;
+      std::optional<api::Expected<std::string>> result;
+    };
+    PendingReply(ClientChannel* channel, std::shared_ptr<Slot> slot)
+        : channel_(channel), slot_(std::move(slot)) {}
+
+    ClientChannel* channel_ = nullptr;
+    std::shared_ptr<Slot> slot_;
+  };
+
   ClientChannel(std::string host, std::uint16_t port, double connect_timeout_s,
                 double call_deadline_s)
       : host_(std::move(host)),
@@ -106,25 +114,42 @@ class ClientChannel {
         connect_timeout_s_(connect_timeout_s),
         call_deadline_s_(call_deadline_s) {}
 
-  /// One round-trip: encodes header || body (via `encode_body`), sends,
-  /// and returns the reply body bytes. Every failure mode — connect
-  /// refused, send error, deadline, peer close, malformed reply header,
-  /// request-id mismatch — is an Error{Errc::kTransport}.
+  /// Encodes header || body (via `encode_body`) and puts the frame on the
+  /// wire WITHOUT waiting for the reply. The returned future resolves when
+  /// a later pump (any PendingReply::wait on this channel) demuxes the
+  /// matching request id. A connect or send failure resolves the future
+  /// immediately with the error.
   template <typename EncodeBody>
-  api::Expected<std::string> call(wire::Endpoint endpoint, EncodeBody&& encode_body) {
+  PendingReply send(wire::Endpoint endpoint, EncodeBody&& encode_body) {
     Writer frame;
     wire::write_frame_header(frame, {endpoint, ++next_request_id_});
     encode_body(frame);
-    return round_trip(endpoint, next_request_id_, frame.buffer());
+    return send_raw(endpoint, next_request_id_, frame.buffer());
   }
+
+  /// One round-trip: send + wait. Every failure is Error{Errc::kTransport}.
+  template <typename EncodeBody>
+  api::Expected<std::string> call(wire::Endpoint endpoint, EncodeBody&& encode_body) {
+    return send(endpoint, static_cast<EncodeBody&&>(encode_body)).wait();
+  }
+
+  /// Receives and demuxes ONE reply frame (up to `timeout_s`); resolves the
+  /// matching future. false when nothing is outstanding or the transport
+  /// failed (all outstanding futures are then resolved with the error).
+  bool pump(double timeout_s);
+
+  /// Outstanding (sent, unresolved) calls on this connection.
+  std::size_t in_flight() const { return pending_.size(); }
 
   bool connected() const { return socket_.valid(); }
   void close() { socket_.reset(); }
 
  private:
   api::Status ensure_connected();
-  api::Expected<std::string> round_trip(wire::Endpoint endpoint, std::uint64_t request_id,
-                                        std::string_view frame);
+  PendingReply send_raw(wire::Endpoint endpoint, std::uint64_t request_id,
+                        std::string_view frame);
+  /// Resolves every outstanding future with `error` and closes the socket.
+  void fail_all(const api::Error& error);
 
   std::string host_;
   std::uint16_t port_;
@@ -132,6 +157,7 @@ class ClientChannel {
   double call_deadline_s_;
   std::uint64_t next_request_id_ = 0;
   Fd socket_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingReply::Slot>> pending_;
 };
 
 }  // namespace bitdew::rpc

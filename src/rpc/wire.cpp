@@ -374,6 +374,8 @@ void write_repo_stats(Writer& w, const services::RepoStats& stats) {
   w.i64(stats.stored_bytes);
   w.u64(stats.chunk_reads);
   w.i64(stats.chunk_read_bytes);
+  w.u64(stats.blob_copies);
+  w.u64(stats.slice_reads);
 }
 
 services::RepoStats read_repo_stats(Reader& r) {
@@ -382,6 +384,8 @@ services::RepoStats read_repo_stats(Reader& r) {
   stats.stored_bytes = r.i64();
   stats.chunk_reads = r.u64();
   stats.chunk_read_bytes = r.i64();
+  stats.blob_copies = r.u64();
+  stats.slice_reads = r.u64();
   return stats;
 }
 

@@ -1,5 +1,9 @@
 #include "runtime/node_runtime.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
@@ -387,9 +391,9 @@ void NodeRuntime::sweep_orphans() {
   }
 }
 
-api::Expected<std::string> NodeRuntime::read_replica_chunk(const util::Auid& uid,
-                                                           std::int64_t offset,
-                                                           std::int64_t max_bytes) const {
+api::Expected<rpc::ChunkRef> NodeRuntime::read_replica_chunk(const util::Auid& uid,
+                                                             std::int64_t offset,
+                                                             std::int64_t max_bytes) const {
   if (offset < 0) {
     return api::Error{api::Errc::kInvalidArgument, "peer", "negative offset"};
   }
@@ -403,21 +407,20 @@ api::Expected<std::string> NodeRuntime::read_replica_chunk(const util::Auid& uid
     const auto info = core_.info(uid);
     size = info.has_value() ? info->data.size : 0;
   }
-  if (offset >= size) return std::string{};  // end of content
+  if (offset >= size) return rpc::ChunkRef(std::string{});  // end of content
   // File IO outside the state lock: a concurrent drop turns into a read
-  // failure (typed), never a stalled heartbeat.
-  std::ifstream in(replica_path(uid), std::ios::binary);
-  if (!in) {
+  // failure (typed), never a stalled heartbeat. The returned fd slice stays
+  // valid even if the replica is unlinked while the reply is in flight.
+  rpc::Fd file{::open(replica_path(uid).c_str(), O_RDONLY | O_CLOEXEC)};
+  if (!file.valid()) {
     return api::Error{api::Errc::kNotFound, "peer", "replica file unreadable on " + config_.name};
   }
-  in.seekg(offset);
-  const std::int64_t want = std::min(max_bytes, size - offset);
-  std::string buffer(static_cast<std::size_t>(want), '\0');
-  in.read(buffer.data(), want);
-  if (in.gcount() != want) {
+  struct stat st{};
+  if (::fstat(file.get(), &st) != 0 || static_cast<std::int64_t>(st.st_size) < size) {
     return api::Error{api::Errc::kUnavailable, "peer", "replica truncated on " + config_.name};
   }
-  return buffer;
+  const std::int64_t want = std::min(max_bytes, size - offset);
+  return rpc::ChunkRef(std::move(file), offset, want);
 }
 
 void NodeRuntime::persist_replica(const services::ScheduledData& item) {

@@ -172,8 +172,8 @@ class NodeRuntime {
   /// disk or leave stale bytes where a re-assigned uid will land.
   void sweep_orphans();
   /// The chunk server's read callback: verified replicas only.
-  api::Expected<std::string> read_replica_chunk(const util::Auid& uid, std::int64_t offset,
-                                                std::int64_t max_bytes) const;
+  api::Expected<rpc::ChunkRef> read_replica_chunk(const util::Auid& uid, std::int64_t offset,
+                                                  std::int64_t max_bytes) const;
   void persist_replica(const services::ScheduledData& item);
   void forget_replica(const util::Auid& uid);
   void reap_finished_transfers();

@@ -138,7 +138,6 @@ class SimServiceBus final : public api::ServiceBus {
   void ds_pin(const util::Auid& uid, const std::string& host,
               api::Reply<api::Status> done) override;
   void ds_unschedule(const util::Auid& uid, api::Reply<api::Status> done) override;
-  using api::ServiceBus::ds_sync;  // keep the legacy full-report overload visible
   void ds_sync(const services::SyncRequest& request,
                api::Reply<api::Expected<services::SyncReply>> done) override;
   void ds_hosts(api::Reply<api::Expected<std::vector<services::HostInfo>>> done) override;

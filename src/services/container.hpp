@@ -49,12 +49,15 @@ class ServiceContainer {
   }
 
   /// WAL-backed persistence (the LocalRuntime, bitdewd). Replays the WAL
-  /// and restores the scheduler's Θ from the previous run.
+  /// and restores the scheduler's Θ from the previous run. Content rides
+  /// FILE-BACKED beside the WAL (`<wal_path>.content/`): uploads stream to
+  /// disk instead of through the database, and chunk reads serve fd slices
+  /// for the zero-copy data plane.
   ServiceContainer(std::string host_name, const util::Clock& clock, const std::string& wal_path,
                    SchedulerConfig scheduler_config = {})
       : database_(std::make_unique<db::Database>(wal_path)),
         catalog_(*database_),
-        repository_(*database_, host_name),
+        repository_(*database_, host_name, wal_path + ".content"),
         transfer_(*database_, clock),
         scheduler_(clock, scheduler_config),
         jobs_(catalog_, scheduler_, clock),

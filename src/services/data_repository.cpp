@@ -1,30 +1,88 @@
 #include "services/data_repository.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
+#include <system_error>
 #include <variant>
 
 #include "util/md5.hpp"
 
 namespace bitdew::services {
+
+using rpc::Fd;
+
 namespace {
 
 constexpr const char* kObjectTable = "dr_object";    // published descriptors
-constexpr const char* kContentTable = "dr_content";  // published content blobs
+constexpr const char* kContentTable = "dr_content";  // published content blobs / paths
 constexpr const char* kStageTable = "dr_stage";      // in-flight upload state
-constexpr const char* kChunkTable = "dr_chunk";      // in-flight upload chunks
+constexpr const char* kChunkTable = "dr_chunk";      // in-flight upload chunks (blob mode)
 
 std::string chunk_key(const std::string& uid_key, std::int64_t index) {
   return uid_key + "#" + std::to_string(index);
 }
 
+/// pread the exact range [offset, offset+length) into a string; shorter on
+/// EOF, empty optional on a read error.
+std::optional<std::string> pread_range(int fd, std::int64_t offset, std::int64_t length) {
+  std::string out;
+  out.resize(static_cast<std::size_t>(length));
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::pread(fd, out.data() + got, out.size() - got,
+                              static_cast<off_t>(offset + static_cast<std::int64_t>(got)));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<std::size_t>(n);
+  }
+  out.resize(got);
+  return out;
+}
+
+bool pwrite_all(int fd, const std::string& bytes, std::int64_t offset) {
+  std::size_t put = 0;
+  while (put < bytes.size()) {
+    const ssize_t n = ::pwrite(fd, bytes.data() + put, bytes.size() - put,
+                               static_cast<off_t>(offset + static_cast<std::int64_t>(put)));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    put += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
 }  // namespace
 
-DataRepository::DataRepository(db::Database& database, std::string host_name)
-    : database_(database), host_(std::move(host_name)) {
+DataRepository::DataRepository(db::Database& database, std::string host_name,
+                               std::string content_dir)
+    : database_(database), host_(std::move(host_name)), content_dir_(std::move(content_dir)) {
   database_.create_table(db::TableSchema{kObjectTable, "uid", {}});
   database_.create_table(db::TableSchema{kContentTable, "uid", {}});
   database_.create_table(db::TableSchema{kStageTable, "uid", {}});
   database_.create_table(db::TableSchema{kChunkTable, "key", {}});
+  if (file_backed()) {
+    std::error_code ec;
+    std::filesystem::create_directories(content_dir_, ec);
+    // A dead content dir degrades to blob mode rather than failing boot.
+    if (ec) content_dir_.clear();
+  }
+}
+
+std::string DataRepository::content_path(const std::string& uid_key) const {
+  return content_dir_ + "/" + uid_key;
+}
+
+std::string DataRepository::part_path(const std::string& uid_key) const {
+  return content_dir_ + "/" + uid_key + ".part";
 }
 
 core::Locator DataRepository::put(const core::Data& data, const core::Content& content,
@@ -81,13 +139,20 @@ bool DataRepository::exists(const util::Auid& uid) const {
 
 bool DataRepository::remove(const util::Auid& uid) {
   stage_discard(uid);
+  const std::string uid_key = uid.str();
   if (db::Table* content = database_.table(kContentTable)) {
-    if (const auto id = content->by_primary(db::Value{uid.str()})) {
+    if (const auto id = content->by_primary(db::Value{uid_key})) {
+      const db::Row& row = *content->get(*id);
+      const auto path = row.find("path");
+      if (path != row.end() && std::holds_alternative<std::string>(path->second)) {
+        std::error_code ec;
+        std::filesystem::remove(std::get<std::string>(path->second), ec);
+      }
       database_.erase(kContentTable, *id);
     }
   }
   db::Table* table = database_.table(kObjectTable);
-  const auto id = table->by_primary(db::Value{uid.str()});
+  const auto id = table->by_primary(db::Value{uid_key});
   if (!id.has_value()) return false;
   return database_.erase(kObjectTable, *id);
 }
@@ -101,11 +166,32 @@ std::int64_t DataRepository::stage_begin(const core::Data& data) {
     const db::Row& row = *table->get(*id);
     if (db::get_int(row, "size") == data.size &&
         db::get_text(row, "checksum") == data.checksum) {
-      return db::get_int(row, "received");  // resume
+      const std::int64_t received = db::get_int(row, "received");
+      if (file_backed()) {
+        // A crash can leave the .part file longer than the durable
+        // `received` watermark (bytes landed, row update didn't). Truncate
+        // back so the resumed sender's offsets line up with the file.
+        std::error_code ec;
+        std::filesystem::resize_file(part_path(uid_key),
+                                     static_cast<std::uintmax_t>(received), ec);
+        if (ec && received > 0) {
+          // .part vanished under a live stage: restart from scratch.
+          drop_stage_rows(uid_key, db::get_int(row, "chunks"));
+          database_.erase(kStageTable, *id);
+          stage_hashers_.erase(uid_key);
+          return stage_begin(data);
+        }
+      }
+      return received;  // resume
     }
     // The datum's content changed under the stage: restart from scratch.
     drop_stage_rows(uid_key, db::get_int(row, "chunks"));
     database_.erase(kStageTable, *id);
+  }
+  stage_hashers_.erase(uid_key);
+  if (file_backed()) {
+    std::error_code ec;
+    std::filesystem::remove(part_path(uid_key), ec);
   }
   db::Row row;
   row["uid"] = uid_key;
@@ -115,6 +201,27 @@ std::int64_t DataRepository::stage_begin(const core::Data& data) {
   row["checksum"] = data.checksum;
   database_.insert(kStageTable, std::move(row));
   return 0;
+}
+
+util::Md5& DataRepository::stage_hasher(const std::string& uid_key, std::int64_t hashed_bytes) {
+  StageHash& entry = stage_hashers_[uid_key];
+  if (entry.hashed == hashed_bytes) return entry.hasher;
+  // Restart (or resync): replay the durable .part bytes through a fresh
+  // hasher. This is the only place the staged content is ever re-read.
+  entry.hasher.reset();
+  entry.hashed = 0;
+  const Fd fd{::open(part_path(uid_key).c_str(), O_RDONLY | O_CLOEXEC)};
+  if (fd.valid()) {
+    std::string buffer;
+    while (entry.hashed < hashed_bytes) {
+      const std::int64_t want = std::min<std::int64_t>(hashed_bytes - entry.hashed, 1 << 20);
+      auto block = pread_range(fd.get(), entry.hashed, want);
+      if (!block.has_value() || block->empty()) break;
+      entry.hasher.update(*block);
+      entry.hashed += static_cast<std::int64_t>(block->size());
+    }
+  }
+  return entry.hasher;
 }
 
 ChunkResult DataRepository::stage_chunk(const util::Auid& uid, std::int64_t offset,
@@ -132,10 +239,20 @@ ChunkResult DataRepository::stage_chunk(const util::Auid& uid, std::int64_t offs
     return ChunkResult::kOversize;
   }
 
-  db::Row chunk;
-  chunk["key"] = chunk_key(uid_key, chunks);
-  chunk["bytes"] = bytes;
-  database_.insert(kChunkTable, std::move(chunk));
+  if (file_backed()) {
+    // Stream straight to disk: the chunk bytes never enter the database,
+    // and the content MD5 accumulates as they arrive.
+    const Fd fd{::open(part_path(uid_key).c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644)};
+    if (!fd.valid() || !pwrite_all(fd.get(), bytes, offset)) return ChunkResult::kNoStage;
+    util::Md5& hasher = stage_hasher(uid_key, received);
+    hasher.update(bytes);
+    stage_hashers_[uid_key].hashed = received + static_cast<std::int64_t>(bytes.size());
+  } else {
+    db::Row chunk;
+    chunk["key"] = chunk_key(uid_key, chunks);
+    chunk["bytes"] = bytes;
+    database_.insert(kChunkTable, std::move(chunk));
+  }
 
   db::Row updated = stage;
   updated["received"] = received + static_cast<std::int64_t>(bytes.size());
@@ -155,17 +272,26 @@ CommitResult DataRepository::stage_commit(const util::Auid& uid, const std::stri
   const std::int64_t chunks = db::get_int(stage, "chunks");
   if (db::get_int(stage, "received") < size) return CommitResult::kIncomplete;
 
-  // Assemble in arrival order, accumulating the MD5 over the whole content.
-  const db::Table* chunk_table = database_.table(kChunkTable);
-  util::Md5 hasher;
-  std::string content_bytes;
-  content_bytes.reserve(static_cast<std::size_t>(size));
-  for (std::int64_t i = 0; i < chunks; ++i) {
-    const auto chunk_id = chunk_table->by_primary(db::Value{chunk_key(uid_key, i)});
-    if (!chunk_id.has_value()) continue;  // lost chunk row surfaces as a bad MD5
-    const std::string bytes = db::get_text(*chunk_table->get(*chunk_id), "bytes");
-    hasher.update(bytes);
-    content_bytes += bytes;
+  std::string digest;
+  std::string content_bytes;  // blob mode only
+  if (file_backed()) {
+    // The MD5 already accumulated chunk by chunk (or replays the .part
+    // file once after a restart): commit never materializes the content.
+    digest = stage_hasher(uid_key, size).finish().hex();
+    stage_hashers_.erase(uid_key);
+  } else {
+    // Assemble in arrival order, accumulating the MD5 over the whole content.
+    const db::Table* chunk_table = database_.table(kChunkTable);
+    util::Md5 hasher;
+    content_bytes.reserve(static_cast<std::size_t>(size));
+    for (std::int64_t i = 0; i < chunks; ++i) {
+      const auto chunk_id = chunk_table->by_primary(db::Value{chunk_key(uid_key, i)});
+      if (!chunk_id.has_value()) continue;  // lost chunk row surfaces as a bad MD5
+      const std::string bytes = db::get_text(*chunk_table->get(*chunk_id), "bytes");
+      hasher.update(bytes);
+      content_bytes += bytes;
+    }
+    digest = hasher.finish().hex();
   }
 
   // The stage is consumed either way: a mismatch must not leave poisoned
@@ -173,7 +299,11 @@ CommitResult DataRepository::stage_commit(const util::Auid& uid, const std::stri
   drop_stage_rows(uid_key, chunks);
   database_.erase(kStageTable, *id);
 
-  if (hasher.finish().hex() != db::get_text(stage, "checksum")) {
+  if (digest != db::get_text(stage, "checksum")) {
+    if (file_backed()) {
+      std::error_code ec;
+      std::filesystem::remove(part_path(uid_key), ec);
+    }
     return CommitResult::kChecksumMismatch;
   }
 
@@ -187,7 +317,15 @@ CommitResult DataRepository::stage_commit(const util::Auid& uid, const std::stri
   db::Table* content_table = database_.table(kContentTable);
   db::Row content;
   content["uid"] = uid_key;
-  content["bytes"] = std::move(content_bytes);
+  if (file_backed()) {
+    const std::string published = content_path(uid_key);
+    std::error_code ec;
+    std::filesystem::rename(part_path(uid_key), published, ec);
+    if (ec) return CommitResult::kNoStage;  // staged bytes vanished underneath
+    content["path"] = published;
+  } else {
+    content["bytes"] = std::move(content_bytes);
+  }
   if (const auto existing = content_table->by_primary(db::Value{uid_key})) {
     database_.update(kContentTable, *existing, std::move(content));
   } else {
@@ -199,6 +337,11 @@ CommitResult DataRepository::stage_commit(const util::Auid& uid, const std::stri
 void DataRepository::stage_discard(const util::Auid& uid) {
   db::Table* table = database_.table(kStageTable);
   const std::string uid_key = uid.str();
+  stage_hashers_.erase(uid_key);
+  if (file_backed()) {
+    std::error_code ec;
+    std::filesystem::remove(part_path(uid_key), ec);
+  }
   const auto id = table->by_primary(db::Value{uid_key});
   if (!id.has_value()) return;
   drop_stage_rows(uid_key, db::get_int(*table->get(*id), "chunks"));
@@ -225,20 +368,55 @@ void DataRepository::drop_stage_rows(const std::string& uid_key, std::int64_t ch
 std::optional<std::string> DataRepository::read_bytes(const util::Auid& uid,
                                                       std::int64_t offset,
                                                       std::int64_t max_bytes) const {
+  auto chunk = read_chunk_ref(uid, offset, max_bytes);
+  if (!chunk.has_value()) return std::nullopt;
+  if (!chunk->file_backed()) return std::move(chunk->bytes);
+  // A string is what the caller asked for: materialize the slice (and
+  // account for the copy — this is the path the zero-copy plane bypasses).
+  auto bytes = pread_range(chunk->file.get(), chunk->offset, chunk->length);
+  if (!bytes.has_value()) return std::nullopt;
+  blob_copies_.fetch_add(1, std::memory_order_relaxed);
+  slice_reads_.fetch_sub(1, std::memory_order_relaxed);
+  return std::move(*bytes);
+}
+
+std::optional<rpc::ChunkRef> DataRepository::read_chunk_ref(const util::Auid& uid,
+                                                            std::int64_t offset,
+                                                            std::int64_t max_bytes) const {
   const db::Table* table = database_.table(kContentTable);
   const auto id = table->by_primary(db::Value{uid.str()});
   if (!id.has_value()) return std::nullopt;
   const db::Row& row = *table->get(*id);
+
+  const auto path_it = row.find("path");
+  if (path_it != row.end() && std::holds_alternative<std::string>(path_it->second)) {
+    Fd fd{::open(std::get<std::string>(path_it->second).c_str(), O_RDONLY | O_CLOEXEC)};
+    if (!fd.valid()) return std::nullopt;
+    struct stat st{};
+    if (::fstat(fd.get(), &st) != 0) return std::nullopt;
+    const auto size = static_cast<std::int64_t>(st.st_size);
+    if (offset < 0 || offset >= size) return rpc::ChunkRef(std::string{});
+    const std::int64_t take = std::min<std::int64_t>(max_bytes, size - offset);
+    chunk_reads_.fetch_add(1, std::memory_order_relaxed);
+    chunk_read_bytes_.fetch_add(take, std::memory_order_relaxed);
+    slice_reads_.fetch_add(1, std::memory_order_relaxed);
+    return rpc::ChunkRef(std::move(fd), offset, take);
+  }
+
   const auto it = row.find("bytes");
   if (it == row.end()) return std::nullopt;
   const std::string* bytes = std::get_if<std::string>(&it->second);
   if (bytes == nullptr) return std::nullopt;
-  if (offset < 0 || offset >= static_cast<std::int64_t>(bytes->size())) return std::string{};
+  if (offset < 0 || offset >= static_cast<std::int64_t>(bytes->size())) {
+    return rpc::ChunkRef(std::string{});
+  }
   const std::int64_t take =
       std::min<std::int64_t>(max_bytes, static_cast<std::int64_t>(bytes->size()) - offset);
   chunk_reads_.fetch_add(1, std::memory_order_relaxed);
   chunk_read_bytes_.fetch_add(take, std::memory_order_relaxed);
-  return bytes->substr(static_cast<std::size_t>(offset), static_cast<std::size_t>(take));
+  blob_copies_.fetch_add(1, std::memory_order_relaxed);
+  return rpc::ChunkRef(
+      bytes->substr(static_cast<std::size_t>(offset), static_cast<std::size_t>(take)));
 }
 
 bool DataRepository::has_bytes(const util::Auid& uid) const {
@@ -264,6 +442,8 @@ RepoStats DataRepository::stats() const {
   out.stored_bytes = stored_bytes();
   out.chunk_reads = chunk_reads_.load(std::memory_order_relaxed);
   out.chunk_read_bytes = chunk_read_bytes_.load(std::memory_order_relaxed);
+  out.blob_copies = blob_copies_.load(std::memory_order_relaxed);
+  out.slice_reads = slice_reads_.load(std::memory_order_relaxed);
   return out;
 }
 

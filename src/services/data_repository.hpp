@@ -18,10 +18,13 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "core/data.hpp"
 #include "core/locator.hpp"
 #include "db/database.hpp"
+#include "rpc/chunk_ref.hpp"
+#include "util/md5.hpp"
 
 namespace bitdew::services {
 
@@ -33,8 +36,15 @@ namespace bitdew::services {
 struct RepoStats {
   std::uint64_t objects = 0;          ///< stored content descriptors
   std::int64_t stored_bytes = 0;      ///< sum of descriptor sizes
-  std::uint64_t chunk_reads = 0;      ///< read_bytes() calls that served payload
+  std::uint64_t chunk_reads = 0;      ///< chunk reads that served payload
   std::int64_t chunk_read_bytes = 0;  ///< total content bytes served
+  // Zero-copy accounting (the acceptance check for the epoll data plane):
+  // every chunk read either materialized the payload in a std::string
+  // (blob_copies) or handed out an fd slice for sendfile (slice_reads). A
+  // file-backed repository serving dr_get_chunk over the wire must show
+  // slice_reads > 0 and blob_copies == 0.
+  std::uint64_t blob_copies = 0;  ///< reads answered via an in-memory copy
+  std::uint64_t slice_reads = 0;  ///< reads answered as a content-file slice
 
   friend bool operator==(const RepoStats&, const RepoStats&) = default;
 };
@@ -62,7 +72,15 @@ enum class CommitResult {
 class DataRepository {
  public:
   /// `host_name` is the service host this repository is reachable at.
-  DataRepository(db::Database& database, std::string host_name);
+  /// `content_dir` switches the repository into FILE-BACKED content mode:
+  /// staged uploads stream straight into `<content_dir>/<uid>.part` (chunk
+  /// bytes never pass through the database), the incremental MD5 runs as
+  /// chunks arrive, and commit is a rename — publishing stores only the
+  /// content path, so reads can be served as fd slices (read_chunk_ref)
+  /// with zero intermediate copies. Empty = legacy blob mode (content
+  /// bytes live in the dr_content table; in-memory containers).
+  DataRepository(db::Database& database, std::string host_name,
+                 std::string content_dir = "");
 
   /// Stores a content descriptor for a data slot; returns the locator
   /// clients should use with `protocol` to fetch it. Re-putting overwrites.
@@ -108,6 +126,14 @@ class DataRepository {
   std::optional<std::string> read_bytes(const util::Auid& uid, std::int64_t offset,
                                         std::int64_t max_bytes) const;
 
+  /// The zero-copy read: like read_bytes, but file-backed content is
+  /// returned as an owned fd + [offset, length) slice instead of a
+  /// std::string, so the transport can sendfile it straight into the
+  /// socket. Blob-backed content still rides inline (and counts as a blob
+  /// copy). nullopt when no bytes are stored here.
+  std::optional<rpc::ChunkRef> read_chunk_ref(const util::Auid& uid, std::int64_t offset,
+                                              std::int64_t max_bytes) const;
+
   /// Whether real content bytes (not just a descriptor) are stored.
   bool has_bytes(const util::Auid& uid) const;
 
@@ -120,12 +146,30 @@ class DataRepository {
 
  private:
   void drop_stage_rows(const std::string& uid_key, std::int64_t chunk_count);
+  bool file_backed() const { return !content_dir_.empty(); }
+  std::string content_path(const std::string& uid_key) const;
+  std::string part_path(const std::string& uid_key) const;
+  /// The streaming stage hasher for `uid_key`, positioned at `hashed_bytes`.
+  /// Rebuilt from the .part file after a restart (the hasher itself is
+  /// soft state; the bytes on disk are the durable record).
+  util::Md5& stage_hasher(const std::string& uid_key, std::int64_t hashed_bytes);
 
   db::Database& database_;
   std::string host_;
+  std::string content_dir_;  ///< empty = blob mode
+  /// In-flight upload hashers: MD5 accumulates as chunks arrive instead of
+  /// re-reading the whole content at commit. Keyed by uid, tagged with the
+  /// byte count hashed so far (stage resets/resumes invalidate cleanly).
+  struct StageHash {
+    util::Md5 hasher;
+    std::int64_t hashed = 0;
+  };
+  std::unordered_map<std::string, StageHash> stage_hashers_;
   // Counted in const read paths from concurrent ServiceHost workers.
   mutable std::atomic<std::uint64_t> chunk_reads_{0};
   mutable std::atomic<std::int64_t> chunk_read_bytes_{0};
+  mutable std::atomic<std::uint64_t> blob_copies_{0};
+  mutable std::atomic<std::uint64_t> slice_reads_{0};
 };
 
 }  // namespace bitdew::services

@@ -10,6 +10,7 @@
 
 #include "rpc/transport.hpp"
 #include "services/data_repository.hpp"
+#include "transfer/chunk_source.hpp"
 #include "util/log.hpp"
 #include "util/md5.hpp"
 
@@ -48,10 +49,12 @@ std::optional<std::pair<std::string, std::uint16_t>> parse_endpoint(const std::s
 }  // namespace
 
 /// One live peer in the stripe: a lazily-connected channel speaking
-/// kDrGetChunk frames at a worker's chunk server.
+/// kDrGetChunk frames at a worker's chunk server, read through the same
+/// ChunkSource API as the repository fallback.
 struct PeerTransfer::Source {
   std::string label;  ///< serving host's name (locator path), for logs
   std::unique_ptr<rpc::ClientChannel> channel;
+  std::unique_ptr<PeerChunkSource> source;  ///< reads over `channel`
   bool dead = false;
 };
 
@@ -78,6 +81,7 @@ Status PeerTransfer::get_file(const core::Data& data, const std::string& path,
     source.channel = std::make_unique<rpc::ClientChannel>(
         endpoint->first, endpoint->second, config_.peer_connect_timeout_s,
         config_.peer_call_deadline_s);
+    source.source = std::make_unique<PeerChunkSource>(*source.channel, source.label);
     peers.push_back(std::move(source));
   }
 
@@ -147,6 +151,10 @@ Status PeerTransfer::get_round(const core::Data& data, const std::string& part,
   std::ofstream out(part, offset > 0 ? std::ios::binary | std::ios::app : std::ios::binary);
   if (!out) return Error{Errc::kInvalidArgument, "p2p", "cannot write " + part};
 
+  // The fallback source: synchronous buses resolve before fetch() returns,
+  // so no pump is wired (a stalled engine fails typed instead of hanging).
+  BusChunkSource repository(bus_);
+
   // Start the stripe at a name-dependent slot so concurrent downloaders
   // spread across the swarm instead of all hammering the first peer.
   std::size_t stripe = peers.empty()
@@ -159,32 +167,20 @@ Status PeerTransfer::get_round(const core::Data& data, const std::string& part,
     std::optional<std::string> chunk;
 
     // --- the stripe: consecutive chunks rotate across live peers ----------
+    // Peers and the repository answer through the same ChunkSource API; a
+    // peer failure (refused, deadline, typed error, garbage — the source
+    // maps them all to an error or empty bytes) rotates the stripe.
     for (std::size_t tried = 0; tried < peers.size() && !chunk.has_value(); ++tried) {
       Source& peer = peers[(stripe + chunk_index + tried) % peers.size()];
       if (peer.dead) continue;
-      Expected<std::string> frame = peer.channel->call(
-          rpc::wire::Endpoint::kDrGetChunk, [&](rpc::Writer& w) {
-            rpc::wire::write_auid(w, data.uid);
-            w.i64(offset);
-            w.i64(want);
-          });
-      if (frame.ok()) {
-        try {
-          rpc::Reader r(*frame);
-          Expected<std::string> bytes = rpc::wire::read_expected<std::string>(
-              r, [](rpc::Reader& rd) { return rd.str(); });
-          if (!r.exhausted()) throw rpc::CodecError("trailing bytes in peer reply");
-          // A verified replica can always serve inside [0, size): an empty
-          // or failed reply means the peer no longer holds the datum.
-          if (bytes.ok() && !bytes->empty()) {
-            chunk = std::move(*bytes);
-            break;
-          }
-        } catch (const rpc::CodecError&) {
-          peer.channel->close();
-        }
+      Expected<std::string> bytes = peer.source->fetch(data.uid, offset, want).wait();
+      // A verified replica can always serve inside [0, size): an empty
+      // or failed reply means the peer no longer holds the datum.
+      if (bytes.ok() && !bytes->empty()) {
+        chunk = std::move(*bytes);
+        break;
       }
-      peer.dead = true;  // refused, deadline, typed error or garbage: rotate away
+      peer.dead = true;
       ++stats_.peers_dropped;
       logger().debug("peer %s dropped from the stripe for %s", peer.label.c_str(),
                      data.name.c_str());
@@ -193,21 +189,16 @@ Status PeerTransfer::get_round(const core::Data& data, const std::string& part,
     bool from_peer = chunk.has_value();
     if (!from_peer) {
       // --- repository fallback: always a correct source --------------------
-      auto slot = std::make_shared<std::optional<Expected<std::string>>>();
-      bus_.dr_get_chunk(data.uid, offset, want,
-                        [slot](Expected<std::string> reply) { *slot = std::move(reply); });
-      if (!slot->has_value()) {
-        return Error{Errc::kUnavailable, "p2p", "stalled waiting for a repository reply"};
-      }
-      if (!(*slot)->ok()) {
+      Expected<std::string> bytes = repository.fetch(data.uid, offset, want).wait();
+      if (!bytes.ok()) {
         out.flush();
-        return Status((*slot)->error());
+        return Status(bytes.error());
       }
-      if ((**slot)->empty()) {
+      if (bytes->empty()) {
         return Error{Errc::kUnavailable, "p2p",
                      "repository holds fewer bytes than the descriptor declares"};
       }
-      chunk = std::move(***slot);
+      chunk = std::move(*bytes);
     }
 
     out.write(chunk->data(), static_cast<std::streamsize>(chunk->size()));

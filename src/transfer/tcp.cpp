@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "services/data_repository.hpp"
+#include "transfer/chunk_source.hpp"
 #include "util/md5.hpp"
 
 namespace bitdew::transfer {
@@ -198,12 +199,25 @@ Status TcpTransfer::get_round(const core::Data& data, const std::string& part,
   std::ofstream out(part, offset > 0 ? std::ios::binary | std::ios::app : std::ios::binary);
   if (!out) return Error{Errc::kInvalidArgument, "tcp", "cannot write " + part};
 
+  // Depth-2 prefetch through the shared ChunkSource read API: chunk N+1 is
+  // issued before chunk N is consumed, so over a pipelined RemoteServiceBus
+  // the next chunk crosses the wire while this one is hashed and written.
+  // Reads are idempotent, so in-flight overlap is safe (uploads stay
+  // strictly sequential — the repository's stage offset is stateful).
+  BusChunkSource source(bus_, pump_);
+  ChunkFetch next;
+  std::int64_t next_offset = 0;
+  const auto issue = [&](std::int64_t at) {
+    next = source.fetch(data.uid, at, std::min(config_.chunk_bytes, data.size - at));
+    next_offset = at;
+  };
+
   while (offset < data.size) {
     const std::int64_t want = std::min(config_.chunk_bytes, data.size - offset);
-    const Expected<std::string> chunk =
-        wait<std::string>([&](api::Reply<Expected<std::string>> done) {
-          bus_.dr_get_chunk(data.uid, offset, want, std::move(done));
-        });
+    if (!next.valid() || next_offset != offset) issue(offset);
+    ChunkFetch current = std::move(next);
+    if (offset + want < data.size) issue(offset + want);
+    const Expected<std::string> chunk = current.wait();
     if (!chunk.ok()) {
       out.flush();
       return Status(chunk.error());

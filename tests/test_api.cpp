@@ -42,6 +42,18 @@ core::DataAttributes attr(int replica) {
   return attributes;
 }
 
+/// A full-report sync beat (the retired positional overload, spelled as the
+/// one SyncRequest entry point).
+services::SyncRequest full_sync(const std::string& host, std::vector<util::Auid> cache,
+                                const std::string& endpoint = "") {
+  services::SyncRequest request;
+  request.host = host;
+  request.full = true;
+  request.added = std::move(cache);
+  request.endpoint = endpoint;
+  return request;
+}
+
 /// The synchronous rig: replies resolve before the call returns.
 struct DirectRig {
   DirectRig() : container("server", clock), bus(container, ddc) {}
@@ -197,7 +209,7 @@ void check_ds_hosts() {
   EXPECT_TRUE((*empty)->empty());  // no worker has ever synced
 
   std::optional<api::Expected<services::SyncReply>> synced;
-  rig.bus.ds_sync("w1", {}, {}, "10.0.0.7:9000",
+  rig.bus.ds_sync(full_sync("w1", {}, "10.0.0.7:9000"),
                   [&](api::Expected<services::SyncReply> reply) { synced = std::move(reply); });
   rig.settle();
   ASSERT_TRUE(synced.has_value());
@@ -244,9 +256,9 @@ void check_job_endpoints() {
   ASSERT_TRUE(status_reply.has_value() && status_reply->ok());
 
   // w1 acquires and confirms the input; the collector holds its token.
-  rig.bus.ds_sync("w1", {}, {}, "", [&](auto) {});
-  rig.bus.ds_sync("w1", {input.uid}, {}, "", [&](auto) {});
-  rig.bus.ds_sync("coll", {token.uid}, {}, "", [&](auto) {});
+  rig.bus.ds_sync(full_sync("w1", {}), [&](auto) {});
+  rig.bus.ds_sync(full_sync("w1", {input.uid}), [&](auto) {});
+  rig.bus.ds_sync(full_sync("coll", {token.uid}), [&](auto) {});
   rig.settle();
 
   // A spec with no inputs is a typed rejection, not a hang or a crash.
@@ -283,7 +295,7 @@ void check_job_endpoints() {
 
   // The task datum is delivered to the holder on its next sync.
   std::optional<api::Expected<services::SyncReply>> synced;
-  rig.bus.ds_sync("w1", {input.uid}, {}, "",
+  rig.bus.ds_sync(full_sync("w1", {input.uid}),
                   [&](api::Expected<services::SyncReply> r) { synced = std::move(r); });
   rig.settle();
   ASSERT_TRUE(synced.has_value() && synced->ok());

@@ -701,13 +701,15 @@ class ServingPeer {
         fail_after_(fail_after),
         server_(
             [this](const util::Auid&, std::int64_t offset,
-                   std::int64_t max_bytes) -> api::Expected<std::string> {
+                   std::int64_t max_bytes) -> api::Expected<rpc::ChunkRef> {
               if (fail_after_ >= 0 && served_.fetch_add(1) >= fail_after_) {
                 return api::Error{api::Errc::kUnavailable, "peer", "synthetic peer death"};
               }
-              if (offset >= static_cast<std::int64_t>(payload_.size())) return std::string{};
-              return payload_.substr(static_cast<std::size_t>(offset),
-                                     static_cast<std::size_t>(max_bytes));
+              if (offset >= static_cast<std::int64_t>(payload_.size())) {
+                return rpc::ChunkRef(std::string{});
+              }
+              return rpc::ChunkRef(payload_.substr(static_cast<std::size_t>(offset),
+                                                   static_cast<std::size_t>(max_bytes)));
             },
             rpc::ChunkServerConfig{0, true, 5, 5}) {
     const Status started = server_.start();

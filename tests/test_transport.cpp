@@ -7,16 +7,20 @@
 // Everything runs on loopback sockets with ephemeral ports.
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
 #include <sys/socket.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 #include <thread>
+#include <vector>
 
 #include "api/remote_service_bus.hpp"
 #include "api/transfer_manager.hpp"
+#include "rpc/reactor.hpp"
 #include "rpc/server.hpp"
 #include "rpc/transport.hpp"
 #include "transfer/tcp.hpp"
@@ -103,6 +107,116 @@ TEST(Framing, OversizeLengthPrefixRejectedBeforeAllocation) {
   ::send(pair.client.get(), w.buffer().data(), w.size(), MSG_NOSIGNAL);
   const rpc::RecvResult received = rpc::recv_frame(pair.server.get(), 1.0);
   EXPECT_EQ(received.status, rpc::IoStatus::kOversize);
+}
+
+// --- EpollServer: the readiness-loop substrate -------------------------------
+
+/// An echo reactor; frames starting with "slow" stall their worker first.
+rpc::EpollServer make_echo_reactor(int workers = 4) {
+  return rpc::EpollServer(
+      [](std::uint64_t, const std::string& frame) -> std::optional<rpc::ReplyFrame> {
+        if (frame.rfind("slow", 0) == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        }
+        rpc::ReplyFrame reply;
+        reply.bytes = frame;
+        return reply;
+      },
+      rpc::EpollServerConfig{0, true, -1, 30, workers, 32});
+}
+
+TEST(EpollReactor, SlowHandlerDoesNotBlockOtherRequestsOnOneSocket) {
+  rpc::EpollServer server = make_echo_reactor();
+  ASSERT_TRUE(server.start().ok());
+  auto connected = rpc::tcp_connect("127.0.0.1", server.port(), 1.0);
+  ASSERT_TRUE(connected.ok());
+  // Both frames ride the SAME connection; the slow one is first on the
+  // wire. The fast reply must come back first — the loop hands frames to
+  // the worker pool and completes replies out of order.
+  ASSERT_TRUE(rpc::send_frame(connected->get(), "slow-one"));
+  ASSERT_TRUE(rpc::send_frame(connected->get(), "fast-two"));
+  const rpc::RecvResult first = rpc::recv_frame(connected->get(), 5.0);
+  ASSERT_EQ(first.status, rpc::IoStatus::kOk);
+  EXPECT_EQ(first.payload, "fast-two");
+  const rpc::RecvResult second = rpc::recv_frame(connected->get(), 5.0);
+  ASSERT_EQ(second.status, rpc::IoStatus::kOk);
+  EXPECT_EQ(second.payload, "slow-one");
+  EXPECT_EQ(server.requests_served(), 2u);
+  server.stop();
+}
+
+TEST(EpollReactor, StopStartFlapSurvivesRacingConnects) {
+  // stop() must drain the loop and join the workers deterministically even
+  // while a dialer races late accepts against it (run under TSan in CI).
+  rpc::EpollServer server = make_echo_reactor(2);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint16_t> port{0};
+  std::thread dialer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::uint16_t p = port.load(std::memory_order_acquire);
+      if (p == 0) continue;
+      auto c = rpc::tcp_connect("127.0.0.1", p, 0.2);
+      if (c.ok()) rpc::send_frame(c->get(), "hello", 0.2);
+    }
+  });
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(server.start().ok());
+    port.store(server.port(), std::memory_order_release);
+    auto probe = rpc::tcp_connect("127.0.0.1", server.port(), 1.0);
+    if (probe.ok() && rpc::send_frame(probe->get(), "probe")) {
+      EXPECT_EQ(rpc::recv_frame(probe->get(), 2.0).payload, "probe");
+    }
+    server.stop();
+    EXPECT_FALSE(server.running());
+  }
+  done.store(true, std::memory_order_release);
+  dialer.join();
+}
+
+TEST(EpollReactor, TenThousandIdleConnectionsSmoke) {
+  rlimit limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &limit), 0);
+  if (limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &limit);
+    ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &limit), 0);
+  }
+  // Each idle client costs two descriptors in this process (dialed side +
+  // accepted side); keep headroom for the suite's own files.
+  const std::size_t budget =
+      limit.rlim_cur > 600 ? (static_cast<std::size_t>(limit.rlim_cur) - 600) / 2 : 0;
+  const std::size_t target = std::min<std::size_t>(10000, budget);
+  if (target < 100) GTEST_SKIP() << "RLIMIT_NOFILE too low for an idle-connection smoke";
+
+  rpc::EpollServer server = make_echo_reactor(2);
+  ASSERT_TRUE(server.start().ok());
+  std::vector<rpc::Fd> idle;
+  idle.reserve(target);
+  for (std::size_t i = 0; i < target; ++i) {
+    auto connected = rpc::tcp_connect("127.0.0.1", server.port(), 5.0);
+    ASSERT_TRUE(connected.ok()) << "connection " << i << ": " << connected.error().to_string();
+    idle.push_back(std::move(*connected));
+    // Pace the dialing so the accept loop never falls a full backlog behind.
+    if (i % 512 == 0) {
+      while (i > server.connections_open() + 2048) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.connections_open() < target &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.connections_open(), target);
+
+  // The loop still serves requests with every slot occupied.
+  auto active = rpc::tcp_connect("127.0.0.1", server.port(), 5.0);
+  ASSERT_TRUE(active.ok());
+  ASSERT_TRUE(rpc::send_frame(active->get(), "still-alive"));
+  EXPECT_EQ(rpc::recv_frame(active->get(), 5.0).payload, "still-alive");
+  idle.clear();
+  server.stop();
 }
 
 // --- ServiceHost hardening ---------------------------------------------------
@@ -435,6 +549,111 @@ TEST(DataPlane, TransferManagerDrivesConcurrentStreams) {
     EXPECT_TRUE(tm.outcome(stream.data.uid).ok());
     EXPECT_EQ(rig.slurp(stream.out_path), rig.slurp(stream.in_path));
   }
+}
+
+TEST(DataPlane, PipelinedScalarAndChunkFramesInterleaveOnOneConnection) {
+  DataPlaneRig rig;
+  api::RemoteServiceBus bus("127.0.0.1", rig.host.port(), api::RemoteBusConfig{1.0, 5.0});
+  const std::string payload = rig.make_payload(64 * 1024);
+  const std::string in_path = rig.write_file("in.bin", payload);
+  const core::Data data = rig.register_data(bus, "payload", in_path);
+
+  // Upload sequentially — the repository's stage offset is stateful, so
+  // writes must not pipeline. Reads below are idempotent and do.
+  constexpr std::int64_t kChunk = 16 * 1024;
+  std::optional<api::Expected<std::int64_t>> started;
+  bus.dr_put_start(data, [&](auto reply) { started = std::move(reply); });
+  ASSERT_TRUE(started->ok());
+  for (std::int64_t at = 0; at < data.size; at += kChunk) {
+    std::optional<Status> sent;
+    bus.dr_put_chunk(data.uid, at, payload.substr(static_cast<std::size_t>(at), kChunk),
+                     [&](Status s) { sent = s; });
+    ASSERT_TRUE(sent->ok());
+  }
+  std::optional<api::Expected<core::Locator>> committed;
+  bus.dr_put_commit(data.uid, "tcp", [&](auto reply) { committed = std::move(reply); });
+  ASSERT_TRUE(committed->ok()) << committed->error().to_string();
+
+  // Eight calls in flight on the ONE connection: chunk reads (the zero-copy
+  // fast path) interleaved with scalar ddc_publish frames. Callbacks stay
+  // deferred until drain() — SimServiceBus's completion contract.
+  bus.set_pipeline_depth(16);
+  constexpr int kPairs = 4;
+  std::vector<std::optional<api::Expected<std::string>>> chunks(kPairs);
+  std::vector<std::optional<Status>> published(kPairs);
+  for (int i = 0; i < kPairs; ++i) {
+    bus.dr_get_chunk(data.uid, i * kChunk, kChunk,
+                     [&chunks, i](api::Expected<std::string> reply) {
+                       chunks[static_cast<std::size_t>(i)] = std::move(reply);
+                     });
+    bus.ddc_publish("pipelined-" + std::to_string(i), "v",
+                    [&published, i](Status s) { published[static_cast<std::size_t>(i)] = s; });
+  }
+  EXPECT_EQ(bus.in_flight(), 2u * kPairs);  // genuinely deferred, none resolved yet
+  bus.drain();
+  EXPECT_EQ(bus.in_flight(), 0u);
+  for (int i = 0; i < kPairs; ++i) {
+    ASSERT_TRUE(chunks[i].has_value());
+    ASSERT_TRUE(chunks[i]->ok()) << chunks[i]->error().to_string();
+    EXPECT_EQ(**chunks[i], payload.substr(static_cast<std::size_t>(i) * kChunk, kChunk));
+    ASSERT_TRUE(published[i].has_value());
+    EXPECT_TRUE(published[i]->ok());
+  }
+  bus.set_pipeline_depth(1);
+  EXPECT_TRUE(rig.alive());
+}
+
+TEST(DataPlane, FileBackedRemoteGetIsZeroCopy) {
+  // A WAL-backed container keeps content in files (<wal>.content/), so a
+  // remote get must serve every chunk as an fd slice straight onto the
+  // socket: slice_reads counts them, blob_copies must stay exactly zero.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("bitdew-zerocopy-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string wal = (dir / "bitdewd.wal").string();
+
+  util::ManualClock clock;
+  services::ServiceContainer container("server", clock, wal);
+  dht::LocalDht ddc;
+  rpc::ServiceHost host(container, ddc, {0, true, -1});
+  ASSERT_TRUE(host.start().ok());
+  api::RemoteServiceBus bus("127.0.0.1", host.port(), api::RemoteBusConfig{1.0, 5.0});
+
+  std::string payload(96 * 1024, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>((i * 131 + 7) & 0xff);
+  }
+  const std::string in_path = (dir / "in.bin").string();
+  std::ofstream(in_path, std::ios::binary) << payload;
+  core::Data data;
+  data.uid = util::next_auid();
+  data.name = "filebacked";
+  const core::Content descriptor = core::file_content(in_path);
+  data.size = descriptor.size;
+  data.checksum = descriptor.checksum;
+  std::optional<Status> registered;
+  bus.dc_register(data, [&](Status s) { registered = s; });
+  ASSERT_TRUE(registered->ok());
+
+  transfer::TcpTransfer tcp(bus, transfer::TcpConfig{16 * 1024, 3, false});
+  const Status put = tcp.put_file(data, in_path);
+  ASSERT_TRUE(put.ok()) << put.error().to_string();
+  const std::string out_path = (dir / "out.bin").string();
+  const Status got = tcp.get_file(data, out_path);
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  std::ifstream round(out_path, std::ios::binary);
+  const std::string roundtripped{std::istreambuf_iterator<char>(round),
+                                 std::istreambuf_iterator<char>()};
+  EXPECT_EQ(roundtripped, payload);
+
+  std::optional<api::Expected<services::RepoStats>> stats;
+  bus.dr_stats([&](api::Expected<services::RepoStats> reply) { stats = std::move(reply); });
+  ASSERT_TRUE(stats.has_value() && stats->ok());
+  EXPECT_GT((*stats)->slice_reads, 0u);   // every chunk left as an fd slice
+  EXPECT_EQ((*stats)->blob_copies, 0u);   // no read materialized a blob
+  host.stop();
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ServiceHostHardening, ManyConcurrentClients) {
