@@ -6,7 +6,7 @@ namespace bitdew::api {
 
 void TransferManager::admit(std::function<void()> run) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     if (max_concurrent_ > 0 && active_ + admitting_ >= max_concurrent_) {
       pending_.push_back(std::move(run));
       return;
@@ -19,7 +19,7 @@ void TransferManager::admit(std::function<void()> run) {
 }
 
 void TransferManager::begin(const util::Auid& uid) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   if (admitting_ > 0) --admitting_;
   ++active_;
   states_[uid] = TransferProbe::kActive;
@@ -29,7 +29,7 @@ void TransferManager::finish(const util::Auid& uid, Status outcome) {
   std::vector<std::function<void(Status)>> callbacks;
   std::vector<std::function<void()>> admitted;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     --active_;
     states_[uid] = outcome.ok() ? TransferProbe::kDone : TransferProbe::kFailed;
     outcomes_.insert_or_assign(uid, outcome);
@@ -57,13 +57,13 @@ void TransferManager::finish(const util::Auid& uid, Status outcome) {
 }
 
 TransferProbe TransferManager::probe(const util::Auid& uid) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto it = states_.find(uid);
   return it != states_.end() ? it->second : TransferProbe::kUnknown;
 }
 
 Status TransferManager::outcome(const util::Auid& uid) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto it = outcomes_.find(uid);
   if (it == outcomes_.end()) {
     return Error{Errc::kUnavailable, "tm", "no finished transfer for " + uid.str()};
@@ -74,7 +74,7 @@ Status TransferManager::outcome(const util::Auid& uid) const {
 void TransferManager::when_done(const util::Auid& uid, std::function<void(Status)> done) {
   std::optional<Status> ready;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     const auto it = states_.find(uid);
     const TransferProbe state = it != states_.end() ? it->second : TransferProbe::kUnknown;
     if (state == TransferProbe::kDone || state == TransferProbe::kFailed) {
@@ -92,7 +92,7 @@ void TransferManager::when_done(const util::Auid& uid, std::function<void(Status
 
 void TransferManager::barrier(std::function<void()> done) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     if (active_ != 0 || admitting_ != 0 || !pending_.empty()) {
       barriers_.push_back(std::move(done));
       return;
@@ -104,7 +104,7 @@ void TransferManager::barrier(std::function<void()> done) {
 void TransferManager::maybe_release_barriers() {
   std::vector<std::function<void()>> ready;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     if (active_ != 0 || admitting_ != 0 || !pending_.empty()) return;
     ready = std::move(barriers_);
     barriers_.clear();

@@ -16,11 +16,11 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "api/expected.hpp"
 #include "core/data.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::api {
 
@@ -29,62 +29,65 @@ enum class TransferProbe { kUnknown, kActive, kDone, kFailed };
 class TransferManager {
  public:
   /// Limits simultaneously running transfers on this node (0 == unlimited).
-  void set_max_concurrent(int limit) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void set_max_concurrent(int limit) EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
     max_concurrent_ = limit;
   }
-  int max_concurrent() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  int max_concurrent() const EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
     return max_concurrent_;
   }
 
   /// Queues work under the concurrency cap; `run` is invoked when a slot is
-  /// free. The runtime wraps protocol starts with this.
-  void admit(std::function<void()> run);
+  /// free. The runtime wraps protocol starts with this. The admitted job
+  /// runs with the lock released — it may block, and may call back in.
+  void admit(std::function<void()> run) EXCLUDES(mutex_);
 
   /// Marks a transfer of `uid` started (runtime side).
-  void begin(const util::Auid& uid);
+  void begin(const util::Auid& uid) EXCLUDES(mutex_);
 
   /// Marks it finished with its outcome — ok, or the Error saying why the
   /// download died (no source, transport loss, checksum exhaustion).
-  /// Releases the slot and fires waiters (runtime side).
-  void finish(const util::Auid& uid, Status outcome);
+  /// Releases the slot and fires waiters (runtime side). Every callback —
+  /// waiters, admitted jobs, barriers — fires OUTSIDE the lock.
+  void finish(const util::Auid& uid, Status outcome) EXCLUDES(mutex_);
 
   /// Non-blocking probe of the paper's API.
-  TransferProbe probe(const util::Auid& uid) const;
+  TransferProbe probe(const util::Auid& uid) const EXCLUDES(mutex_);
 
   /// Outcome of a finished transfer (Errc::kUnavailable while unknown or
   /// still active).
-  Status outcome(const util::Auid& uid) const;
+  Status outcome(const util::Auid& uid) const EXCLUDES(mutex_);
 
   /// The async waitFor: runs `done(outcome)` when the datum's transfer
   /// completes; immediate if it already has.
-  void when_done(const util::Auid& uid, std::function<void(Status)> done);
+  void when_done(const util::Auid& uid, std::function<void(Status)> done) EXCLUDES(mutex_);
 
   /// Barrier: fires once no transfer is active or queued.
-  void barrier(std::function<void()> done);
+  void barrier(std::function<void()> done) EXCLUDES(mutex_);
 
-  int active_count() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  int active_count() const EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
     return active_;
   }
-  int queued_count() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  int queued_count() const EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
     return static_cast<int>(pending_.size());
   }
 
  private:
-  void maybe_release_barriers();
+  void maybe_release_barriers() EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  int max_concurrent_ = 0;
-  int admitting_ = 0;  ///< slots reserved by admit(), not yet begin()-ed
-  int active_ = 0;
-  std::deque<std::function<void()>> pending_;
-  std::map<util::Auid, TransferProbe> states_;
-  std::map<util::Auid, Status> outcomes_;
-  std::map<util::Auid, std::vector<std::function<void(Status)>>> waiters_;
-  std::vector<std::function<void()>> barriers_;
+  mutable util::Mutex mutex_;
+  int max_concurrent_ GUARDED_BY(mutex_) = 0;
+  /// Slots reserved by admit(), not yet begin()-ed.
+  int admitting_ GUARDED_BY(mutex_) = 0;
+  int active_ GUARDED_BY(mutex_) = 0;
+  std::deque<std::function<void()>> pending_ GUARDED_BY(mutex_);
+  std::map<util::Auid, TransferProbe> states_ GUARDED_BY(mutex_);
+  std::map<util::Auid, Status> outcomes_ GUARDED_BY(mutex_);
+  std::map<util::Auid, std::vector<std::function<void(Status)>>> waiters_ GUARDED_BY(mutex_);
+  std::vector<std::function<void()>> barriers_ GUARDED_BY(mutex_);
 };
 
 }  // namespace bitdew::api

@@ -12,7 +12,7 @@ class EmbeddedConnection final : public Connection {
       : engine_(engine), session_token_(std::move(session_token)) {}
 
   Response execute(const Command& command) override {
-    const std::lock_guard lock(engine_.mutex());
+    const util::LockGuard lock(engine_.mutex());
     return apply_command(engine_.database(), command);
   }
 

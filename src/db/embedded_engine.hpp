@@ -5,9 +5,9 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 
 #include "db/engine.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::db {
 
@@ -23,12 +23,13 @@ class EmbeddedEngine final : public Engine {
   }
 
   /// Serializes access for connections (in-process engine lock).
-  std::mutex& mutex() { return mutex_; }
-  Database& database() { return database_; }
+  util::Mutex& mutex() RETURN_CAPABILITY(mutex_) { return mutex_; }
+  /// The shared store; take mutex() around every command.
+  Database& database() REQUIRES(mutex_) { return database_; }
 
  private:
   Database& database_;
-  std::mutex mutex_;
+  util::Mutex mutex_;
   std::atomic<std::uint64_t> connections_opened_{0};
 };
 

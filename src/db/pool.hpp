@@ -3,12 +3,11 @@
 // when `capacity` connections are all leased.
 #pragma once
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "db/engine.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::db {
 
@@ -58,8 +57,8 @@ class ConnectionPool {
     std::unique_ptr<Connection> connection_;
   };
 
-  Lease acquire() {
-    std::unique_lock lock(mutex_);
+  Lease acquire() EXCLUDES(mutex_) {
+    util::UniqueLock lock(mutex_);
     while (true) {
       if (!idle_.empty()) {
         std::unique_ptr<Connection> connection = std::move(idle_.back());
@@ -82,15 +81,15 @@ class ConnectionPool {
     }
   }
 
-  std::size_t idle_count() const {
-    const std::lock_guard lock(mutex_);
+  std::size_t idle_count() const EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
     return idle_.size();
   }
 
  private:
-  void give_back(std::unique_ptr<Connection> connection) {
+  void give_back(std::unique_ptr<Connection> connection) EXCLUDES(mutex_) {
     {
-      const std::lock_guard lock(mutex_);
+      const util::LockGuard lock(mutex_);
       idle_.push_back(std::move(connection));
     }
     available_.notify_one();
@@ -98,10 +97,11 @@ class ConnectionPool {
 
   Engine& engine_;
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable available_;
-  std::size_t outstanding_ = 0;  // connections created and not yet destroyed
-  std::vector<std::unique_ptr<Connection>> idle_;
+  mutable util::Mutex mutex_;
+  util::CondVar available_;
+  /// Connections created and not yet destroyed.
+  std::size_t outstanding_ GUARDED_BY(mutex_) = 0;
+  std::vector<std::unique_ptr<Connection>> idle_ GUARDED_BY(mutex_);
 };
 
 }  // namespace bitdew::db

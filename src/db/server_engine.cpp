@@ -127,7 +127,7 @@ std::unique_ptr<Connection> ServerEngine::connect() {
     throw std::runtime_error("ServerEngine: socketpair() failed");
   }
   {
-    const std::lock_guard lock(pending_mutex_);
+    const util::LockGuard lock(pending_mutex_);
     pending_fds_.push_back(fds[0]);
   }
   const char byte = 'n';
@@ -201,7 +201,7 @@ void ServerEngine::server_loop() {
       char drain[64];
       (void)::read(wake_pipe_[0], drain, sizeof(drain));
       if (stopping_.load()) break;
-      const std::lock_guard lock(pending_mutex_);
+      const util::LockGuard lock(pending_mutex_);
       for (const int fd : pending_fds_) sessions.push_back(Session{fd, false});
       pending_fds_.clear();
     }

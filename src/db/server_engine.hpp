@@ -10,11 +10,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "db/engine.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::db {
 
@@ -47,8 +47,8 @@ class ServerEngine final : public Engine {
   Database& database_;
   const int auth_rounds_;
   int wake_pipe_[2] = {-1, -1};
-  std::mutex pending_mutex_;
-  std::vector<int> pending_fds_;
+  util::Mutex pending_mutex_;
+  std::vector<int> pending_fds_ GUARDED_BY(pending_mutex_);
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> connections_opened_{0};
   std::thread thread_;

@@ -68,7 +68,7 @@ LiveRing::LiveRing(LiveRingConfig config, OpsSource ops_in_range, OpsSink apply_
 }
 
 std::shared_ptr<LiveRing::Link> LiveRing::link_for(const std::string& endpoint) {
-  const std::lock_guard lock(links_mutex_);
+  const util::LockGuard lock(links_mutex_);
   const auto it = links_.find(endpoint);
   if (it != links_.end()) return it->second;
   std::string host;
@@ -86,11 +86,11 @@ api::Expected<std::string> LiveRing::call(const std::string& endpoint, Endpoint 
     return api::Error{api::Errc::kTransport, "ring", "malformed member endpoint " + endpoint};
   }
   api::Expected<std::string> reply = [&] {
-    const std::lock_guard lock(link->mutex);
+    const util::LockGuard lock(link->mutex);
     return link->channel.call(ep, encode);
   }();
   {
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     if (reply.ok()) {
       suspects_.erase(endpoint);
     } else {
@@ -114,23 +114,27 @@ wire::RingNode LiveRing::first_live_successor_locked() const {
 wire::RingNode LiveRing::closest_preceding_locked(std::uint64_t hash) const {
   wire::RingNode best;
   std::uint64_t best_distance = ~0ULL;
-  auto consider = [&](const wire::RingNode& candidate) {
-    if (candidate.endpoint.empty() || candidate.id == self_.id) return;
-    if (suspect_locked(candidate.endpoint)) return;
-    if (!ring_in_open(candidate.id, self_.id, hash)) return;
-    const std::uint64_t distance = hash - candidate.id;  // clockwise to the key
-    if (distance < best_distance) {
-      best_distance = distance;
-      best = candidate;
+  // Plain loops, not a considered-candidate lambda: a lambda body does not
+  // inherit the held capability, so guarded reads inside one trip the
+  // analysis.
+  const std::vector<wire::RingNode>* tables[] = {&fingers_, &successors_};
+  for (const auto* table : tables) {
+    for (const wire::RingNode& candidate : *table) {
+      if (candidate.endpoint.empty() || candidate.id == self_.id) continue;
+      if (suspect_locked(candidate.endpoint)) continue;
+      if (!ring_in_open(candidate.id, self_.id, hash)) continue;
+      const std::uint64_t distance = hash - candidate.id;  // clockwise to the key
+      if (distance < best_distance) {
+        best_distance = distance;
+        best = candidate;
+      }
     }
-  };
-  for (const wire::RingNode& f : fingers_) consider(f);
-  for (const wire::RingNode& s : successors_) consider(s);
+  }
   return best;
 }
 
 bool LiveRing::owns(std::uint64_t hash) const {
-  const std::lock_guard lock(mutex_);
+  const util::LockGuard lock(mutex_);
   if (has_pred_ && !suspect_locked(pred_.endpoint)) {
     return ring_in_half_open(hash, pred_.id, self_.id);
   }
@@ -139,7 +143,7 @@ bool LiveRing::owns(std::uint64_t hash) const {
 }
 
 wire::RingLookupReply LiveRing::handle_lookup(std::uint64_t hash) {
-  const std::lock_guard lock(mutex_);
+  const util::LockGuard lock(mutex_);
   if (has_pred_ && !suspect_locked(pred_.endpoint) &&
       ring_in_half_open(hash, pred_.id, self_.id)) {
     return {true, self_};
@@ -187,7 +191,7 @@ api::Expected<wire::RingNode> LiveRing::resolve_owner(std::uint64_t hash) {
 }
 
 std::vector<wire::RingNode> LiveRing::successors() const {
-  const std::lock_guard lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return successors_;
 }
 
@@ -196,7 +200,7 @@ std::vector<wire::RingNode> LiveRing::collect_members(std::size_t cap) {
   std::unordered_set<std::uint64_t> seen{self_.id};
   wire::RingNode cursor;
   {
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     cursor = first_live_successor_locked();
   }
   while (!cursor.endpoint.empty() && seen.insert(cursor.id).second && members.size() < cap) {
@@ -210,7 +214,7 @@ std::vector<wire::RingNode> LiveRing::collect_members(std::size_t cap) {
       const api::Expected<wire::RingStabilizeReply> decoded =
           wire::read_expected<wire::RingStabilizeReply>(r, wire::read_ring_stabilize_reply);
       if (!decoded.ok()) break;
-      const std::lock_guard lock(mutex_);
+      const util::LockGuard lock(mutex_);
       for (const wire::RingNode& s : decoded->successors) {
         if (!suspect_locked(s.endpoint)) {
           next = s;
@@ -307,7 +311,7 @@ api::Status LiveRing::start() {
   }
 
   {
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     successors_.assign(1, successor);
     for (const wire::RingNode& s : admitted.successors) {
       if (successors_.size() >= static_cast<std::size_t>(config_.replication)) break;
@@ -328,7 +332,7 @@ api::Status LiveRing::start() {
 
 void LiveRing::leave() {
   {
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     if (left_) return;
     left_ = true;
   }
@@ -336,7 +340,7 @@ void LiveRing::leave() {
   wire::RingLeaveRequest request;
   request.leaver = self_;
   {
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     request.has_pred = has_pred_ && !suspect_locked(pred_.endpoint);
     request.pred = pred_;
   }
@@ -371,7 +375,7 @@ api::Expected<wire::RingJoinReply> LiveRing::handle_join(const wire::RingNode& j
   wire::RingJoinReply reply;
   std::uint64_t from = 0;
   {
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     reply.self = self_;
     reply.has_pred = has_pred_;
     reply.pred = pred_;
@@ -399,12 +403,12 @@ void LiveRing::adopt_pred_locked(const wire::RingNode& candidate) {
 }
 
 void LiveRing::handle_notify(const wire::RingNode& candidate) {
-  const std::lock_guard lock(mutex_);
+  const util::LockGuard lock(mutex_);
   adopt_pred_locked(candidate);
 }
 
 wire::RingStabilizeReply LiveRing::handle_stabilize() {
-  const std::lock_guard lock(mutex_);
+  const util::LockGuard lock(mutex_);
   wire::RingStabilizeReply reply;
   reply.has_pred = has_pred_;
   reply.pred = pred_;
@@ -413,7 +417,7 @@ wire::RingStabilizeReply LiveRing::handle_stabilize() {
 }
 
 void LiveRing::handle_leave(const wire::RingLeaveRequest& request) {
-  const std::lock_guard lock(mutex_);
+  const util::LockGuard lock(mutex_);
   suspects_[request.leaver.endpoint] = std::chrono::steady_clock::now();
   if (has_pred_ && pred_.id == request.leaver.id) {
     if (request.has_pred && request.pred.id != self_.id) {
@@ -430,7 +434,7 @@ void LiveRing::handle_leave(const wire::RingLeaveRequest& request) {
 }
 
 wire::RingStatusInfo LiveRing::status() const {
-  const std::lock_guard lock(mutex_);
+  const util::LockGuard lock(mutex_);
   wire::RingStatusInfo info;
   info.self = self_;
   info.has_pred = has_pred_ && !suspect_locked(pred_.endpoint);
@@ -452,7 +456,7 @@ void LiveRing::tick() {
   wire::RingNode pred;
   bool ping_pred = false;
   {
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     std::erase_if(suspects_, [&](const auto& entry) {
       return now - entry.second > revive_after;
     });
@@ -470,9 +474,12 @@ void LiveRing::tick() {
   // closer predecessor, rebuild the list, notify).
   wire::RingNode succ;
   {
-    const std::lock_guard lock(mutex_);
-    std::erase_if(successors_,
-                  [&](const wire::RingNode& s) { return suspect_locked(s.endpoint); });
+    const util::LockGuard lock(mutex_);
+    // Manual erase loop: suspect_locked requires the capability, which a
+    // lambda body handed to std::erase_if would not inherit.
+    for (auto it = successors_.begin(); it != successors_.end();) {
+      it = suspect_locked(it->endpoint) ? successors_.erase(it) : it + 1;
+    }
     if (successors_.empty()) {
       // Fall back to any live finger, then to the predecessor: a two-node
       // ring must survive its successor entry going suspect.
@@ -499,7 +506,7 @@ void LiveRing::tick() {
         if (decoded.ok()) {
           wire::RingNode notify_target;
           {
-            const std::lock_guard lock(mutex_);
+            const util::LockGuard lock(mutex_);
             wire::RingNode new_succ = succ;
             if (decoded->has_pred && decoded->pred.id != self_.id &&
                 !decoded->pred.endpoint.empty() && !suspect_locked(decoded->pred.endpoint) &&
@@ -525,7 +532,7 @@ void LiveRing::tick() {
         // Malformed reply: treat like a failed round; next tick retries.
       }
     } else {
-      const std::lock_guard lock(mutex_);
+      const util::LockGuard lock(mutex_);
       if (!successors_.empty() && successors_.front().id == succ.id) {
         successors_.erase(successors_.begin());
       }
@@ -537,12 +544,12 @@ void LiveRing::tick() {
     std::size_t slot = 0;
     std::uint64_t target = 0;
     {
-      const std::lock_guard lock(mutex_);
+      const util::LockGuard lock(mutex_);
       slot = next_finger_++ % finger_targets_.size();
       target = finger_targets_[slot];
     }
     const api::Expected<wire::RingNode> owner = resolve_owner(target);
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     fingers_[slot] = owner.ok() ? *owner : wire::RingNode{};
   }
 }

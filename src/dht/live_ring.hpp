@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +30,7 @@
 #include "rpc/transport.hpp"
 #include "rpc/wire.hpp"
 #include "util/md5.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::dht {
 
@@ -136,38 +136,39 @@ class LiveRing {
 
  private:
   struct Link {
-    std::mutex mutex;  ///< ClientChannel is strictly one call at a time
-    rpc::ClientChannel channel;
+    util::Mutex mutex;  ///< ClientChannel is strictly one call at a time
+    rpc::ClientChannel channel GUARDED_BY(mutex);
     Link(std::string host, std::uint16_t port, double timeout_s)
         : channel(std::move(host), port, timeout_s, timeout_s) {}
   };
 
-  std::shared_ptr<Link> link_for(const std::string& endpoint);
-  // The *_locked helpers require mutex_ to be held.
-  bool suspect_locked(const std::string& endpoint) const;
-  rpc::wire::RingNode first_live_successor_locked() const;
-  rpc::wire::RingNode closest_preceding_locked(std::uint64_t hash) const;
-  void adopt_pred_locked(const rpc::wire::RingNode& candidate);
+  std::shared_ptr<Link> link_for(const std::string& endpoint) EXCLUDES(links_mutex_);
+  bool suspect_locked(const std::string& endpoint) const REQUIRES(mutex_);
+  rpc::wire::RingNode first_live_successor_locked() const REQUIRES(mutex_);
+  rpc::wire::RingNode closest_preceding_locked(std::uint64_t hash) const REQUIRES(mutex_);
+  void adopt_pred_locked(const rpc::wire::RingNode& candidate) REQUIRES(mutex_);
 
   LiveRingConfig config_;
   rpc::wire::RingNode self_;
   OpsSource ops_in_range_;
   OpsSink apply_handoff_;
 
-  mutable std::mutex mutex_;
-  bool has_pred_ = false;
-  rpc::wire::RingNode pred_;
-  std::vector<rpc::wire::RingNode> successors_;
-  std::vector<std::uint64_t> finger_targets_;
-  std::vector<rpc::wire::RingNode> fingers_;  ///< empty endpoint = unresolved
-  std::size_t next_finger_ = 0;
-  bool left_ = false;
+  mutable util::Mutex mutex_;
+  bool has_pred_ GUARDED_BY(mutex_) = false;
+  rpc::wire::RingNode pred_ GUARDED_BY(mutex_);
+  std::vector<rpc::wire::RingNode> successors_ GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> finger_targets_ GUARDED_BY(mutex_);
+  /// Finger table; empty endpoint = unresolved.
+  std::vector<rpc::wire::RingNode> fingers_ GUARDED_BY(mutex_);
+  std::size_t next_finger_ GUARDED_BY(mutex_) = 0;
+  bool left_ GUARDED_BY(mutex_) = false;
   /// Members that failed an RPC, with the time of suspicion; skipped by
   /// routing until revived (re-probed) after ~10 stabilization periods.
-  std::unordered_map<std::string, std::chrono::steady_clock::time_point> suspects_;
+  std::unordered_map<std::string, std::chrono::steady_clock::time_point> suspects_
+      GUARDED_BY(mutex_);
 
-  std::mutex links_mutex_;
-  std::unordered_map<std::string, std::shared_ptr<Link>> links_;
+  util::Mutex links_mutex_ ACQUIRED_AFTER(mutex_);
+  std::unordered_map<std::string, std::shared_ptr<Link>> links_ GUARDED_BY(links_mutex_);
 };
 
 }  // namespace bitdew::dht

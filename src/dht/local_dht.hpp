@@ -4,41 +4,43 @@
 // the ring implementation must agree with.
 #pragma once
 
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace bitdew::dht {
 
 class LocalDht {
  public:
   /// Associates `value` with `key` (idempotent per pair).
-  void put(const std::string& key, const std::string& value) {
-    const std::lock_guard lock(mutex_);
+  void put(const std::string& key, const std::string& value) EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
     store_[key].insert(value);
   }
 
   /// Bulk publish: one lock acquisition for N pairs (the fallback back-end
   /// of the bus's ddc_publish_batch endpoint).
-  void put_batch(const std::vector<std::pair<std::string, std::string>>& pairs) {
-    const std::lock_guard lock(mutex_);
+  void put_batch(const std::vector<std::pair<std::string, std::string>>& pairs)
+      EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
     for (const auto& [key, value] : pairs) store_[key].insert(value);
   }
 
   /// All values published under `key`, sorted.
-  std::vector<std::string> get(const std::string& key) const {
-    const std::lock_guard lock(mutex_);
+  std::vector<std::string> get(const std::string& key) const EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
     const auto it = store_.find(key);
     if (it == store_.end()) return {};
     return {it->second.begin(), it->second.end()};
   }
 
   /// Removes one (key, value) pair; returns whether it existed.
-  bool remove(const std::string& key, const std::string& value) {
-    const std::lock_guard lock(mutex_);
+  bool remove(const std::string& key, const std::string& value) EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
     const auto it = store_.find(key);
     if (it == store_.end()) return false;
     const bool erased = it->second.erase(value) > 0;
@@ -46,14 +48,14 @@ class LocalDht {
     return erased;
   }
 
-  std::size_t key_count() const {
-    const std::lock_guard lock(mutex_);
+  std::size_t key_count() const EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
     return store_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::set<std::string>> store_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::string, std::set<std::string>> store_ GUARDED_BY(mutex_);
 };
 
 }  // namespace bitdew::dht

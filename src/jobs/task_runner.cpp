@@ -68,7 +68,7 @@ api::Status TaskRunner::start() {
 void TaskRunner::stop() {
   if (!running_.exchange(false)) return;
   {
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     // Children are their own process groups: one kill takes the whole tree.
     for (const int pid : children_) kill(-pid, SIGKILL);
   }
@@ -83,14 +83,14 @@ void TaskRunner::on_data_copy(const core::Data& data, const core::DataAttributes
   if (attributes.name != kTaskAttributeName) return;
   if (!running_.load()) return;
   {
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     queue_.push_back(data.uid);
   }
   queue_cv_.notify_one();
 }
 
 TaskRunnerStats TaskRunner::stats() const {
-  const std::lock_guard lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return stats_;
 }
 
@@ -101,8 +101,8 @@ void TaskRunner::exec_loop() {
   for (;;) {
     util::Auid task_uid;
     {
-      std::unique_lock lock(mutex_);
-      queue_cv_.wait(lock, [this] { return !queue_.empty() || !running_.load(); });
+      util::UniqueLock lock(mutex_);
+      while (queue_.empty() && running_.load()) queue_cv_.wait(lock);
       if (!running_.load()) return;
       task_uid = queue_.front();
       queue_.pop_front();
@@ -141,13 +141,13 @@ void TaskRunner::run_task(api::RemoteServiceBus& bus, const util::Auid& task_uid
     // kRejected: another holder won the race — the normal outcome on every
     // replica of the input but one. kNotFound: the placement went stale
     // (re-queued or done). Either way, stand down quietly.
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     ++stats_.claims_lost;
     return;
   }
   const TaskOrder& order = *claimed;
   {
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     ++stats_.claims_won;
   }
 
@@ -232,7 +232,7 @@ void TaskRunner::run_task(api::RemoteServiceBus& bus, const util::Auid& task_uid
                     node_.name().c_str(), task_uid.str().c_str(),
                     adopted.error().to_string().c_str());
     }
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     ++stats_.tasks_ok;
     if (data_local) ++stats_.data_local;
   } else {
@@ -241,7 +241,7 @@ void TaskRunner::run_task(api::RemoteServiceBus& bus, const util::Auid& task_uid
                     task_uid.str().c_str(), published.error().to_string().c_str());
     }
     report(bus, task_uid, /*ok=*/false, exit_code, timed_out, data_local, {});
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     ++stats_.tasks_failed;
     if (timed_out) ++stats_.tasks_timed_out;
   }
@@ -276,7 +276,7 @@ bool TaskRunner::run_command(const std::vector<std::string>& argv,
   }
   setpgid(pid, pid);  // parent side of the race; EACCES after exec is fine
   {
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     children_.push_back(pid);
   }
 
@@ -301,7 +301,7 @@ bool TaskRunner::run_command(const std::vector<std::string>& argv,
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   {
-    const std::lock_guard lock(mutex_);
+    const util::LockGuard lock(mutex_);
     children_.erase(std::remove(children_.begin(), children_.end(), pid), children_.end());
   }
   if (status == -1) return false;

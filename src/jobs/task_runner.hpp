@@ -27,10 +27,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +36,7 @@
 #include "api/remote_service_bus.hpp"
 #include "core/events.hpp"
 #include "jobs/job_types.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::runtime {
 class NodeRuntime;
@@ -101,11 +100,12 @@ class TaskRunner final : public core::ActiveDataEventHandler {
 
   std::atomic<bool> running_{false};
   std::vector<std::thread> executors_;
-  mutable std::mutex mutex_;  ///< guards queue_, children_, stats_
-  std::condition_variable queue_cv_;
-  std::deque<util::Auid> queue_;
-  std::vector<int> children_;  ///< live child pids (killed on stop)
-  TaskRunnerStats stats_;
+  mutable util::Mutex mutex_;
+  util::CondVar queue_cv_;
+  std::deque<util::Auid> queue_ GUARDED_BY(mutex_);
+  /// Live child pids (killed on stop).
+  std::vector<int> children_ GUARDED_BY(mutex_);
+  TaskRunnerStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace bitdew::jobs

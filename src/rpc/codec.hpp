@@ -52,6 +52,12 @@ class Writer {
 class Reader {
  public:
   explicit Reader(std::string_view data) : data_(data) {}
+  // A Reader only views its buffer; constructing one over a temporary
+  // string (w.take(), s.substr(...)) leaves it reading freed stack the
+  // moment the full-expression ends. Reject that at compile time — bind
+  // the buffer to a named local first.
+  explicit Reader(std::string&&) = delete;
+  explicit Reader(const std::string&&) = delete;
 
   std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
   std::uint16_t u16() { return scalar<std::uint16_t>(); }

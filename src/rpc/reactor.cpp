@@ -90,12 +90,12 @@ api::Status EpollServer::start() {
   ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wakeup_.get(), &ev);
 
   {
-    const std::lock_guard lock(queue_mutex_);
+    const util::LockGuard lock(queue_mutex_);
     workers_stop_ = false;
     queue_.clear();
   }
   {
-    const std::lock_guard lock(completions_mutex_);
+    const util::LockGuard lock(completions_mutex_);
     completions_.clear();
   }
   running_.store(true, std::memory_order_release);
@@ -113,7 +113,7 @@ void EpollServer::stop() {
   wake();
   if (loop_thread_.joinable()) loop_thread_.join();
   {
-    const std::lock_guard lock(queue_mutex_);
+    const util::LockGuard lock(queue_mutex_);
     workers_stop_ = true;
     queue_.clear();  // connections are gone; their requests have no reader
   }
@@ -123,7 +123,7 @@ void EpollServer::stop() {
   }
   workers_.clear();
   {
-    const std::lock_guard lock(completions_mutex_);
+    const util::LockGuard lock(completions_mutex_);
     completions_.clear();
   }
   wakeup_.reset();
@@ -141,8 +141,8 @@ void EpollServer::worker() {
   for (;;) {
     std::pair<std::uint64_t, std::string> job;
     {
-      std::unique_lock lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return workers_stop_ || !queue_.empty(); });
+      util::UniqueLock lock(queue_mutex_);
+      while (!workers_stop_ && queue_.empty()) queue_cv_.wait(lock);
       if (workers_stop_) return;
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -157,7 +157,7 @@ void EpollServer::worker() {
       completion.reply = std::nullopt;
     }
     {
-      const std::lock_guard lock(completions_mutex_);
+      const util::LockGuard lock(completions_mutex_);
       completions_.push_back(std::move(completion));
     }
     wake();
@@ -276,7 +276,7 @@ void EpollServer::parse_frames(std::uint64_t id, Connection& connection) {
     consumed += sizeof(length) + length;
     ++connection.in_flight;
     {
-      const std::lock_guard lock(queue_mutex_);
+      const util::LockGuard lock(queue_mutex_);
       queue_.emplace_back(id, std::move(frame));
     }
     submitted = true;
@@ -293,7 +293,7 @@ void EpollServer::parse_frames(std::uint64_t id, Connection& connection) {
 void EpollServer::drain_completions() {
   std::vector<Completion> batch;
   {
-    const std::lock_guard lock(completions_mutex_);
+    const util::LockGuard lock(completions_mutex_);
     batch.swap(completions_);
   }
   for (Completion& completion : batch) apply_completion(completion);

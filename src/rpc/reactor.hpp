@@ -21,11 +21,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -34,6 +32,7 @@
 
 #include "api/expected.hpp"
 #include "rpc/transport.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::rpc {
 
@@ -143,16 +142,20 @@ class EpollServer {
   std::thread loop_thread_;
   std::vector<std::thread> workers_;
 
+  // Loop-thread state: connections_ and next_connection_id_ are owned by
+  // the single loop thread (created before it starts, torn down after it
+  // joins) — single-owner by construction, so no capability guards them.
   std::unordered_map<std::uint64_t, Connection> connections_;
   std::uint64_t next_connection_id_ = 0;
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::pair<std::uint64_t, std::string>> queue_;  ///< conn id, frame
-  bool workers_stop_ = false;
+  util::Mutex queue_mutex_;
+  util::CondVar queue_cv_;
+  /// (connection id, frame) pairs awaiting a worker.
+  std::deque<std::pair<std::uint64_t, std::string>> queue_ GUARDED_BY(queue_mutex_);
+  bool workers_stop_ GUARDED_BY(queue_mutex_) = false;
 
-  std::mutex completions_mutex_;
-  std::vector<Completion> completions_;
+  util::Mutex completions_mutex_ ACQUIRED_AFTER(queue_mutex_);
+  std::vector<Completion> completions_ GUARDED_BY(completions_mutex_);
 
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> requests_served_{0};

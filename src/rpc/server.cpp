@@ -56,7 +56,7 @@ void ServiceHost::sweep_loop() {
   using clock_t = std::chrono::steady_clock;
   auto last_sweep = clock_t::now();
   auto last_tick = last_sweep;
-  std::unique_lock lock(sweep_mutex_);
+  util::UniqueLock lock(sweep_mutex_);
   while (running_.load()) {
     const bool ring = ring_active_.load(std::memory_order_acquire);
     const double sweep_s = config_.failure_sweep_period_s;
@@ -64,8 +64,12 @@ void ServiceHost::sweep_loop() {
     double wait_s = 3600;
     if (sweep_s > 0) wait_s = std::min(wait_s, sweep_s);
     if (ring_s > 0) wait_s = std::min(wait_s, ring_s);
-    sweep_cv_.wait_for(lock, std::chrono::duration<double>(wait_s),
-                       [this] { return !running_.load(); });
+    const auto wake_at =
+        clock_t::now() +
+        std::chrono::duration_cast<clock_t::duration>(std::chrono::duration<double>(wait_s));
+    while (running_.load() &&
+           sweep_cv_.wait_until(lock, wake_at) != std::cv_status::timeout) {
+    }
     if (!running_.load()) break;
     const auto now = clock_t::now();
     if (sweep_s > 0 &&
@@ -74,7 +78,7 @@ void ServiceHost::sweep_loop() {
       std::vector<services::HostName> dead;
       std::size_t requeued = 0;
       {
-        const std::lock_guard container_lock(container_mutex_);
+        const util::LockGuard container_lock(container_mutex_);
         dead = container_.ds().detect_failures();
         // Job sweep rides the same beat: tasks whose runner just died (or
         // whose claim went overdue) are re-queued, and stale waiting tasks
@@ -108,10 +112,14 @@ api::Status ServiceHost::start_ring(const RingOptions& options) {
 
   services::RingRouter::Hooks hooks;
   hooks.with_store = [this](const std::function<void()>& fn) {
-    const std::lock_guard lock(container_mutex_);
+    const util::LockGuard lock(container_mutex_);
     fn();
   };
   hooks.apply = [this](wire::Endpoint endpoint, Reader& r) {
+    // Contract: the router only invokes apply inside with_store — the
+    // capability is genuinely held, just through a std::function the
+    // analysis cannot see into.
+    container_mutex_.assert_held();
     return dispatch_unlocked(endpoint, r);
   };
   router_ = std::make_unique<services::RingRouter>(container_, ddc_, std::move(hooks));
@@ -158,7 +166,7 @@ void ServiceHost::stop() {
     // Pair with the sweeper's CV wait: without this the notify can land
     // between its predicate check and the park, costing a full sweep
     // period of shutdown latency.
-    const std::lock_guard lock(sweep_mutex_);
+    const util::LockGuard lock(sweep_mutex_);
   }
   sweep_cv_.notify_all();
   if (sweeper_.joinable()) sweeper_.join();
@@ -218,7 +226,7 @@ std::optional<ReplyFrame> ServiceHost::chunk_reply(const wire::FrameHeader& head
   if (!r.exhausted()) return std::nullopt;
 
   api::Expected<ChunkRef> chunk = [&]() -> api::Expected<ChunkRef> {
-    const std::lock_guard lock(container_mutex_);
+    const util::LockGuard lock(container_mutex_);
     return api::ops::dr_get_chunk_ref(container_, uid, offset, max_bytes);
   }();
 
@@ -304,7 +312,7 @@ std::optional<std::string> ServiceHost::ring_dispatch(wire::Endpoint endpoint, R
 }
 
 std::string ServiceHost::local_dispatch(wire::Endpoint endpoint, Reader& r) {
-  const std::lock_guard lock(container_mutex_);
+  const util::LockGuard lock(container_mutex_);
   return dispatch_unlocked(endpoint, r);
 }
 

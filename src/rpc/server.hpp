@@ -19,10 +19,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -35,6 +33,7 @@
 #include "services/container.hpp"
 #include "services/ring_router.hpp"
 #include "util/shaper.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::rpc {
 
@@ -138,9 +137,11 @@ class ServiceHost {
   /// Ring server-side frames (kRing*). nullopt = not a ring frame.
   std::optional<std::string> ring_dispatch(wire::Endpoint endpoint, Reader& body);
   /// Takes the container lock and runs the plain single-node operation.
-  std::string local_dispatch(wire::Endpoint endpoint, Reader& body);
-  /// The endpoint switch itself; requires container_mutex_ held.
-  std::string dispatch_unlocked(wire::Endpoint endpoint, Reader& body);
+  std::string local_dispatch(wire::Endpoint endpoint, Reader& body)
+      EXCLUDES(container_mutex_);
+  /// The endpoint switch itself.
+  std::string dispatch_unlocked(wire::Endpoint endpoint, Reader& body)
+      REQUIRES(container_mutex_);
 
   services::ServiceContainer& container_;
   dht::LocalDht& ddc_;
@@ -156,10 +157,10 @@ class ServiceHost {
 
   std::atomic<bool> running_{false};
   std::thread sweeper_;
-  std::mutex sweep_mutex_;
-  std::condition_variable sweep_cv_;
+  util::Mutex sweep_mutex_;
+  util::CondVar sweep_cv_;
 
-  std::mutex container_mutex_;  ///< serializes container/ddc access
+  util::Mutex container_mutex_;  ///< serializes container/ddc access
 
   EpollServer server_;
   util::RateShaper data_shaper_{0};

@@ -82,7 +82,7 @@ api::Status NodeRuntime::start() {
   {
     // Fail fast (typed) when the daemon is unreachable instead of silently
     // heartbeating into the void.
-    const std::lock_guard control(control_mutex_);
+    const util::LockGuard control(control_mutex_);
     const api::Status up = control_bus_.ping();
     if (!up.ok()) return up;
   }
@@ -104,11 +104,11 @@ api::Status NodeRuntime::start() {
     endpoint_ = config_.advertise_host + ":" + std::to_string(peer_server_->port());
   }
   {
-    const std::lock_guard lock(transfers_mutex_);
+    const util::LockGuard lock(transfers_mutex_);
     accepting_transfers_ = true;
   }
   {
-    const std::lock_guard events(events_mutex_);
+    const util::LockGuard events(events_mutex_);
     callbacks_open_ = true;
   }
   running_.store(true);
@@ -126,7 +126,7 @@ api::Status NodeRuntime::start() {
 void NodeRuntime::stop() {
   if (!running_.exchange(false)) return;
   {
-    const std::lock_guard beat(beat_mutex_);
+    const util::LockGuard beat(beat_mutex_);
     beat_requested_ = true;
   }
   beat_cv_.notify_all();
@@ -134,13 +134,13 @@ void NodeRuntime::stop() {
     // Pair with wait_for's predicate check: running_ is not mutated under
     // state_mutex_, so without this a waiter can park right after checking
     // it and miss the wakeup until its full deadline.
-    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    const util::RecursiveLockGuard lock(state_mutex_);
   }
   arrival_cv_.notify_all();
   if (heartbeat_.joinable()) heartbeat_.join();
   std::vector<std::thread> transfers;
   {
-    const std::lock_guard lock(transfers_mutex_);
+    const util::LockGuard lock(transfers_mutex_);
     accepting_transfers_ = false;  // late admit jobs become no-ops
     transfers.swap(transfers_);
     finished_transfers_.clear();
@@ -151,7 +151,7 @@ void NodeRuntime::stop() {
   // Close the executor after the producers are gone: events already queued
   // are still delivered, then the thread exits.
   {
-    const std::lock_guard events(events_mutex_);
+    const util::LockGuard events(events_mutex_);
     callbacks_open_ = false;
   }
   events_cv_.notify_all();
@@ -162,7 +162,7 @@ void NodeRuntime::stop() {
 void NodeRuntime::enqueue_event(core::DataEventKind kind, const core::Data& data,
                                 const core::DataAttributes& attributes) {
   {
-    const std::lock_guard events(events_mutex_);
+    const util::LockGuard events(events_mutex_);
     if (!callbacks_open_) return;
     events_.push_back(PendingEvent{kind, data, attributes});
   }
@@ -173,8 +173,8 @@ void NodeRuntime::callback_loop() {
   for (;;) {
     PendingEvent event;
     {
-      std::unique_lock events(events_mutex_);
-      events_cv_.wait(events, [this] { return !events_.empty() || !callbacks_open_; });
+      util::UniqueLock events(events_mutex_);
+      while (events_.empty() && callbacks_open_) events_cv_.wait(events);
       if (events_.empty()) return;  // closed and drained
       event = std::move(events_.front());
       events_.pop_front();
@@ -193,33 +193,33 @@ void NodeRuntime::callback_loop() {
         active_data_.dispatch_delete(event.data, event.attributes);
         break;
     }
-    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    const util::RecursiveLockGuard lock(state_mutex_);
     ++stats_.events_dispatched;
   }
 }
 
 void NodeRuntime::sync_now() {
   {
-    const std::lock_guard beat(beat_mutex_);
+    const util::LockGuard beat(beat_mutex_);
     beat_requested_ = true;
   }
   beat_cv_.notify_all();
 }
 
 bool NodeRuntime::has(const util::Auid& uid) const {
-  const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+  const util::RecursiveLockGuard lock(state_mutex_);
   return core_.has(uid);
 }
 
 std::vector<util::Auid> NodeRuntime::cache_list() const {
-  const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+  const util::RecursiveLockGuard lock(state_mutex_);
   return core_.cache_list();
 }
 
 NodeRuntimeStats NodeRuntime::stats() const {
   NodeRuntimeStats out;
   {
-    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    const util::RecursiveLockGuard lock(state_mutex_);
     out = stats_;
   }
   if (peer_server_) {
@@ -233,7 +233,7 @@ bool NodeRuntime::wait_for(const util::Auid& uid, double timeout_s) const {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                             std::chrono::duration<double>(timeout_s));
-  std::unique_lock<std::recursive_mutex> lock(state_mutex_);
+  util::RecursiveUniqueLock lock(state_mutex_);
   while (!core_.has(uid)) {
     if (!running_.load()) return false;
     if (arrival_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
@@ -272,7 +272,7 @@ api::Status NodeRuntime::adopt_replica(const core::Data& data,
   item.data = data;
   item.attributes = attributes;
   {
-    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    const util::RecursiveLockGuard lock(state_mutex_);
     // The producer already knows the bytes exist — no on_data_copy.
     core_.adopt_local(item.data, item.attributes, /*fire_event=*/false);
     persist_replica(item);
@@ -280,7 +280,7 @@ api::Status NodeRuntime::adopt_replica(const core::Data& data,
   }
   arrival_cv_.notify_all();
   {
-    const std::lock_guard control(control_mutex_);
+    const util::LockGuard control(control_mutex_);
     control_bus_.ddc_publish(data.uid.str(), config_.name, [](api::Status) {});
   }
   // Announce the replica now: the scheduler's next collector-affinity pass
@@ -292,6 +292,10 @@ api::Status NodeRuntime::adopt_replica(const core::Data& data,
 // --- durable replica manifest -------------------------------------------------
 
 void NodeRuntime::restore_cache() {
+  // Runs before the heartbeat/callback threads exist, but the manifest is a
+  // guarded field: hold the (uncontended) state lock for the whole restore
+  // so the locking contract has no pre-start exception.
+  const util::RecursiveLockGuard state(state_mutex_);
   const std::string wal_path =
       (std::filesystem::path(config_.cache_dir) / "cache.wal").string();
   manifest_ = std::make_unique<db::Database>(wal_path);
@@ -335,7 +339,6 @@ void NodeRuntime::restore_cache() {
     return true;
   });
 
-  const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
   for (const services::ScheduledData& item : intact) {
     core_.adopt_local(item.data, item.attributes, /*fire_event=*/false);
     ++stats_.restored;
@@ -373,7 +376,7 @@ void NodeRuntime::sweep_orphans() {
       const util::Auid uid = util::Auid::parse(base);
       bool held = false;
       if (!uid.is_nil()) {
-        const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+        const util::RecursiveLockGuard lock(state_mutex_);
         held = core_.has(uid);
       }
       if (!held) orphans.push_back(entry.path());
@@ -386,7 +389,7 @@ void NodeRuntime::sweep_orphans() {
     logger().warn("%s: removing orphaned cache file %s (no manifest row)",
                   config_.name.c_str(), orphan.filename().string().c_str());
     std::filesystem::remove(orphan, ec);
-    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    const util::RecursiveLockGuard lock(state_mutex_);
     ++stats_.orphans_swept;
   }
 }
@@ -399,7 +402,7 @@ api::Expected<rpc::ChunkRef> NodeRuntime::read_replica_chunk(const util::Auid& u
   }
   std::int64_t size = 0;
   {
-    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    const util::RecursiveLockGuard lock(state_mutex_);
     if (!core_.has(uid)) {
       return api::Error{api::Errc::kNotFound, "peer",
                         "no verified replica of " + uid.str() + " on " + config_.name};
@@ -453,8 +456,12 @@ void NodeRuntime::heartbeat_loop() {
   while (running_.load()) {
     do_sync();
     reap_finished_transfers();
-    std::unique_lock beat(beat_mutex_);
-    beat_cv_.wait_for(beat, period, [this] { return beat_requested_ || !running_.load(); });
+    util::UniqueLock beat(beat_mutex_);
+    const auto wake_at = std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(period);
+    while (!beat_requested_ && running_.load() &&
+           beat_cv_.wait_until(beat, wake_at) != std::cv_status::timeout) {
+    }
     beat_requested_ = false;
   }
 }
@@ -469,7 +476,7 @@ void NodeRuntime::do_sync() {
     services::SyncRequest request;
     api::PullCore::SyncDelta delta;
     {
-      const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+      const util::RecursiveLockGuard lock(state_mutex_);
       delta = core_.build_sync();
       request.in_flight = core_.downloading_list();
     }
@@ -485,7 +492,7 @@ void NodeRuntime::do_sync() {
         api::Error{api::Errc::kUnavailable, "worker", "no reply"};
     const auto started = std::chrono::steady_clock::now();
     {
-      const std::lock_guard control(control_mutex_);
+      const util::LockGuard control(control_mutex_);
       control_bus_.ds_sync(request,
                            [&](api::Expected<services::SyncReply> r) { reply = std::move(r); });
     }
@@ -497,7 +504,7 @@ void NodeRuntime::do_sync() {
       // and RemoteServiceBus reconnects transparently. The dirty sets are
       // untouched — deltas are cumulative until acked.
       {
-        const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+        const util::RecursiveLockGuard lock(state_mutex_);
         ++stats_.syncs_failed;
         logger().debug("%s: sync failed: %s", config_.name.c_str(),
                        reply.error().to_string().c_str());
@@ -509,7 +516,7 @@ void NodeRuntime::do_sync() {
     }
     if (reply->resync) {
       {
-        const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+        const util::RecursiveLockGuard lock(state_mutex_);
         ++stats_.resyncs;
         core_.force_resync();
       }
@@ -517,7 +524,7 @@ void NodeRuntime::do_sync() {
       continue;
     }
     {
-      const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+      const util::RecursiveLockGuard lock(state_mutex_);
       ++stats_.syncs_ok;
       delta.full ? ++stats_.full_syncs : ++stats_.delta_syncs;
       core_.ack_sync(delta, reply->epoch);
@@ -534,7 +541,7 @@ void NodeRuntime::do_sync() {
 void NodeRuntime::apply_reply(const services::SyncReply& reply) {
   std::vector<services::ScheduledData> dropped;
   {
-    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    const util::RecursiveLockGuard lock(state_mutex_);
     dropped = core_.apply_drops(reply);  // fires on_data_delete
     for (const services::ScheduledData& item : dropped) {
       forget_replica(item.data.uid);
@@ -561,13 +568,13 @@ void NodeRuntime::start_download(const services::ScheduledData& item,
                                  std::vector<core::Locator> sources) {
   api::PullCore::Admission admission;
   {
-    const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+    const util::RecursiveLockGuard lock(state_mutex_);
     admission = core_.begin_download(item);  // kInstant fires on_data_copy
     if (admission == api::PullCore::Admission::kInstant) persist_replica(item);
   }
   if (admission == api::PullCore::Admission::kInstant) {
     arrival_cv_.notify_all();
-    const std::lock_guard control(control_mutex_);
+    const util::LockGuard control(control_mutex_);
     control_bus_.ddc_publish(item.data.uid.str(), config_.name, [](api::Status) {});
     return;
   }
@@ -580,7 +587,7 @@ void NodeRuntime::start_download(const services::ScheduledData& item,
   // respects the concurrency cap, the heartbeat thread never blocks on a
   // byte stream.
   tm_.admit([this, item, sources = std::move(sources)] {
-    const std::lock_guard lock(transfers_mutex_);
+    const util::LockGuard lock(transfers_mutex_);
     // A queued job can fire from tm_.finish() on a transfer thread while
     // stop() is joining; once accepting_transfers_ is off, spawning would
     // leak a thread past the join loop.
@@ -618,7 +625,7 @@ void NodeRuntime::run_download(const services::ScheduledData& item,
 
   if (outcome.ok()) {
     {
-      const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+      const util::RecursiveLockGuard lock(state_mutex_);
       core_.complete_download(uid);  // fires on_data_copy
       persist_replica(item);
       ++stats_.downloads_completed;
@@ -628,7 +635,7 @@ void NodeRuntime::run_download(const services::ScheduledData& item,
     logger().info("%s: replica %s verified (md5 %s)", config_.name.c_str(),
                   item.data.name.c_str(), item.data.checksum.c_str());
     {
-      const std::lock_guard control(control_mutex_);
+      const util::LockGuard control(control_mutex_);
       control_bus_.ddc_publish(uid.str(), config_.name, [](api::Status) {});
     }
     // Confirm the new replica to the scheduler NOW instead of up to a full
@@ -637,7 +644,7 @@ void NodeRuntime::run_download(const services::ScheduledData& item,
     sync_now();
   } else {
     {
-      const std::lock_guard<std::recursive_mutex> lock(state_mutex_);
+      const util::RecursiveLockGuard lock(state_mutex_);
       core_.fail_download(uid);
       ++stats_.downloads_failed;
     }
@@ -646,14 +653,14 @@ void NodeRuntime::run_download(const services::ScheduledData& item,
                   item.data.name.c_str(), outcome.error().to_string().c_str());
   }
 
-  const std::lock_guard lock(transfers_mutex_);
+  const util::LockGuard lock(transfers_mutex_);
   finished_transfers_.push_back(std::this_thread::get_id());
 }
 
 void NodeRuntime::reap_finished_transfers() {
   std::vector<std::thread> finished;
   {
-    const std::lock_guard lock(transfers_mutex_);
+    const util::LockGuard lock(transfers_mutex_);
     for (const std::thread::id id : finished_transfers_) {
       const auto it = std::find_if(transfers_.begin(), transfers_.end(),
                                    [id](const std::thread& t) { return t.get_id() == id; });

@@ -37,12 +37,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +51,7 @@
 #include "api/transfer_manager.hpp"
 #include "db/database.hpp"
 #include "rpc/chunk_server.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::runtime {
 
@@ -166,7 +165,7 @@ class NodeRuntime {
                       std::vector<core::Locator> sources);
   void run_download(const services::ScheduledData& item,
                     const std::vector<core::Locator>& sources);
-  void restore_cache();
+  void restore_cache() EXCLUDES(state_mutex_);
   /// Removes cache files (and `.part`s) whose uid has no manifest row — a
   /// crash between the verified rename and persist_replica() must not leak
   /// disk or leave stale bytes where a re-assigned uid will land.
@@ -174,8 +173,8 @@ class NodeRuntime {
   /// The chunk server's read callback: verified replicas only.
   api::Expected<rpc::ChunkRef> read_replica_chunk(const util::Auid& uid, std::int64_t offset,
                                                   std::int64_t max_bytes) const;
-  void persist_replica(const services::ScheduledData& item);
-  void forget_replica(const util::Auid& uid);
+  void persist_replica(const services::ScheduledData& item) REQUIRES(state_mutex_);
+  void forget_replica(const util::Auid& uid) REQUIRES(state_mutex_);
   void reap_finished_transfers();
   /// Queues one life-cycle event for the callback executor.
   void enqueue_event(core::DataEventKind kind, const core::Data& data,
@@ -188,8 +187,10 @@ class NodeRuntime {
   std::uint16_t service_port_;
   NodeRuntimeConfig config_;
 
-  api::RemoteServiceBus control_bus_;  ///< heartbeat + bookkeeping RPCs
-  std::mutex control_mutex_;           ///< one control call at a time
+  util::Mutex control_mutex_;  ///< one control call at a time
+  /// Heartbeat + bookkeeping RPCs. Direct calls go under control_mutex_;
+  /// active_data_/internal_events_ hold a reference bound at construction.
+  api::RemoteServiceBus control_bus_ GUARDED_BY(control_mutex_);
   api::ActiveData active_data_;
   /// PullCore fires into THIS ActiveData (on the heartbeat/transfer thread
   /// that drove the transition, under state_mutex_); its only handler
@@ -203,16 +204,16 @@ class NodeRuntime {
   /// Guards core_, manifest_, stats_. Recursive because PullCore fires
   /// ActiveData callbacks at its transition points, and user handlers may
   /// call back into has()/cache_list().
-  mutable std::recursive_mutex state_mutex_;
-  api::PullCore core_;
-  std::unique_ptr<db::Database> manifest_;
-  NodeRuntimeStats stats_;
+  mutable util::RecursiveMutex state_mutex_;
+  api::PullCore core_ GUARDED_BY(state_mutex_);
+  std::unique_ptr<db::Database> manifest_ GUARDED_BY(state_mutex_);
+  NodeRuntimeStats stats_ GUARDED_BY(state_mutex_);
 
   std::atomic<bool> running_{false};
   std::thread heartbeat_;
-  std::mutex beat_mutex_;
-  std::condition_variable beat_cv_;
-  bool beat_requested_ = false;
+  util::Mutex beat_mutex_;
+  util::CondVar beat_cv_;
+  bool beat_requested_ GUARDED_BY(beat_mutex_) = false;
 
   // --- callback executor (never the heartbeat or a transfer thread) ----------
   struct PendingEvent {
@@ -221,19 +222,19 @@ class NodeRuntime {
     core::DataAttributes attributes;
   };
   std::thread callback_thread_;
-  std::mutex events_mutex_;
-  std::condition_variable events_cv_;
-  std::deque<PendingEvent> events_;
-  bool callbacks_open_ = false;  ///< guarded by events_mutex_
-  mutable std::condition_variable_any arrival_cv_;  ///< signaled on cache change
+  util::Mutex events_mutex_;
+  util::CondVar events_cv_;
+  std::deque<PendingEvent> events_ GUARDED_BY(events_mutex_);
+  bool callbacks_open_ GUARDED_BY(events_mutex_) = false;
+  mutable util::CondVarAny arrival_cv_;  ///< signaled on cache change
 
-  std::mutex transfers_mutex_;
+  util::Mutex transfers_mutex_;
   /// Cleared (under transfers_mutex_) before stop() swaps transfers_ out:
   /// a queued admit job pumped by a finishing transfer's tm_.finish() must
   /// not spawn a thread the join loop will never see.
-  bool accepting_transfers_ = false;
-  std::vector<std::thread> transfers_;
-  std::vector<std::thread::id> finished_transfers_;
+  bool accepting_transfers_ GUARDED_BY(transfers_mutex_) = false;
+  std::vector<std::thread> transfers_ GUARDED_BY(transfers_mutex_);
+  std::vector<std::thread::id> finished_transfers_ GUARDED_BY(transfers_mutex_);
 };
 
 }  // namespace bitdew::runtime

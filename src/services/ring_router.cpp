@@ -60,7 +60,7 @@ void RingRouter::restore_persisted_state() {
         [&](const std::string& key, const std::string& value) { ddc_.put(key, value); });
   });
   {
-    const std::lock_guard lock(index_mutex_);
+    const util::LockGuard lock(index_mutex_);
     for (const std::string& key : keys) {
       index_[dht::live_ring_hash(key)].insert(key);
     }
@@ -71,12 +71,12 @@ void RingRouter::restore_persisted_state() {
 }
 
 void RingRouter::index_add(const std::string& key) {
-  const std::lock_guard lock(index_mutex_);
+  const util::LockGuard lock(index_mutex_);
   index_[dht::live_ring_hash(key)].insert(key);
 }
 
 void RingRouter::index_remove(const std::string& key) {
-  const std::lock_guard lock(index_mutex_);
+  const util::LockGuard lock(index_mutex_);
   const auto it = index_.find(dht::live_ring_hash(key));
   if (it == index_.end()) return;
   it->second.erase(key);
@@ -84,7 +84,7 @@ void RingRouter::index_remove(const std::string& key) {
 }
 
 void RingRouter::fill_counts(wire::RingStatusInfo& info) const {
-  const std::lock_guard lock(index_mutex_);
+  const util::LockGuard lock(index_mutex_);
   for (const auto& [hash, keys] : index_) {
     for (const std::string& key : keys) {
       if (key.compare(0, 3, "dc:") == 0) {
@@ -99,7 +99,7 @@ void RingRouter::fill_counts(wire::RingStatusInfo& info) const {
 std::vector<std::string> RingRouter::keys_in_range(std::uint64_t from_excl,
                                                   std::uint64_t to_incl) const {
   std::vector<std::string> keys;
-  const std::lock_guard lock(index_mutex_);
+  const util::LockGuard lock(index_mutex_);
   for (const auto& [hash, bucket] : index_) {
     if (!dht::ring_in_half_open(hash, from_excl, to_incl)) continue;
     keys.insert(keys.end(), bucket.begin(), bucket.end());
@@ -266,7 +266,7 @@ void RingRouter::repair() {
   if (ring_ == nullptr) return;
   std::vector<std::string> window;
   {
-    const std::lock_guard lock(index_mutex_);
+    const util::LockGuard lock(index_mutex_);
     if (index_.empty()) return;
     std::vector<std::string> all;
     for (const auto& [hash, bucket] : index_) {

@@ -21,7 +21,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -31,6 +30,7 @@
 #include "dht/local_dht.hpp"
 #include "rpc/wire.hpp"
 #include "services/container.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::services {
 
@@ -87,16 +87,21 @@ class RingRouter {
   std::string locators_batch(rpc::Reader& r);
 
   /// Updates index + WAL after a locally applied write. Requires the
-  /// container lock (call inside with_store).
+  /// container lock (call inside with_store) — the host's capability,
+  /// reachable only through the with_store std::function, so the contract
+  /// stays prose here and is enforced as REQUIRES(container_mutex_) on the
+  /// host's side of the hook.
   void note_write_locked(rpc::wire::Endpoint endpoint, const std::string& key,
-                         const std::string& body, const std::string& reply);
+                         const std::string& body, const std::string& reply)
+      EXCLUDES(index_mutex_);
   /// True when the applied status warrants replication to successors
   /// (success, or idempotent-echo codes like duplicate/not_found).
   static bool should_replicate(const std::string& reply);
   void replicate(const std::vector<rpc::wire::RingOp>& ops);
-  void index_add(const std::string& key);
-  void index_remove(const std::string& key);
-  std::vector<std::string> keys_in_range(std::uint64_t from_excl, std::uint64_t to_incl) const;
+  void index_add(const std::string& key) EXCLUDES(index_mutex_);
+  void index_remove(const std::string& key) EXCLUDES(index_mutex_);
+  std::vector<std::string> keys_in_range(std::uint64_t from_excl, std::uint64_t to_incl) const
+      EXCLUDES(index_mutex_);
   std::vector<rpc::wire::RingOp> assemble_ops(const std::vector<std::string>& keys);
 
   ServiceContainer& container_;
@@ -104,9 +109,10 @@ class RingRouter {
   Hooks hooks_;
   dht::LiveRing* ring_ = nullptr;
 
-  mutable std::mutex index_mutex_;
-  std::map<std::uint64_t, std::set<std::string>> index_;  ///< hash → key strings
-  std::size_t repair_cursor_ = 0;
+  mutable util::Mutex index_mutex_;
+  /// hash → key strings
+  std::map<std::uint64_t, std::set<std::string>> index_ GUARDED_BY(index_mutex_);
+  std::size_t repair_cursor_ GUARDED_BY(index_mutex_) = 0;
 };
 
 }  // namespace bitdew::services

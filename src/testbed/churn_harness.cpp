@@ -148,7 +148,7 @@ std::unique_ptr<runtime::NodeRuntime> ChurnHarness::make_node(const Slot& slot) 
   // servers would triple the fleet's thread count for nothing.
   config.serve_peers = false;
   config.sync_observer = [this](const runtime::SyncSample& sample) {
-    const std::lock_guard<std::mutex> lock(samples_mutex_);
+    const util::LockGuard lock(samples_mutex_);
     samples_.push_back(sample);
   };
   return std::make_unique<runtime::NodeRuntime>(endpoint_host_, endpoint_port_, config);
@@ -169,7 +169,7 @@ pid_t ChurnHarness::spawn_worker(const std::string& name, const std::string& cac
 PhaseReport ChurnHarness::close_phase(const std::string& name, double duration_s) {
   std::vector<runtime::SyncSample> samples;
   {
-    const std::lock_guard<std::mutex> lock(samples_mutex_);
+    const util::LockGuard lock(samples_mutex_);
     samples.swap(samples_);
   }
   PhaseReport report;

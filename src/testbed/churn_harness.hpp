@@ -34,7 +34,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +43,7 @@
 #include "runtime/node_runtime.hpp"
 #include "services/container.hpp"
 #include "util/clock.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::testbed {
 
@@ -157,8 +157,9 @@ class ChurnHarness {
   std::vector<std::string> real_caches_;
   std::vector<pid_t> real_pids_;
 
-  std::mutex samples_mutex_;
-  std::vector<runtime::SyncSample> samples_;  ///< since last phase boundary
+  util::Mutex samples_mutex_;
+  /// Samples since the last phase boundary.
+  std::vector<runtime::SyncSample> samples_ GUARDED_BY(samples_mutex_);
 };
 
 }  // namespace bitdew::testbed

@@ -4,7 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::util {
 namespace {
@@ -14,7 +15,7 @@ std::atomic<LogLevel> g_level{[] {
   return env != nullptr ? parse_log_level(env) : LogLevel::kWarn;
 }()};
 
-std::mutex g_sink_mutex;
+Mutex g_sink_mutex;
 
 constexpr const char* level_name(LogLevel level) {
   switch (level) {
@@ -45,7 +46,7 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
-  const std::lock_guard lock(g_sink_mutex);
+  const LockGuard lock(g_sink_mutex);
   std::fprintf(stderr, "[%s] [%.*s] %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

@@ -13,8 +13,9 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <thread>
+
+#include "util/thread_annotations.hpp"
 
 namespace bitdew::util {
 
@@ -25,24 +26,26 @@ class RateShaper {
   double rate() const { return rate_; }
 
   /// Blocks until `bytes` may leave the link. No-op when unshaped.
-  void consume(std::int64_t bytes) {
+  void consume(std::int64_t bytes) EXCLUDES(mutex_) {
     if (rate_ <= 0 || bytes <= 0) return;
     std::chrono::steady_clock::time_point drained;
     {
-      const std::lock_guard lock(mutex_);
+      const LockGuard lock(mutex_);
       const auto now = std::chrono::steady_clock::now();
       const auto start = next_free_ > now ? next_free_ : now;
       next_free_ = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                                std::chrono::duration<double>(bytes / rate_));
       drained = next_free_;
     }
+    // Sleep outside the lock: the link reservation is serialized, the wait
+    // for one's own reservation to drain is not.
     std::this_thread::sleep_until(drained);
   }
 
  private:
-  std::mutex mutex_;
-  double rate_;  ///< bytes per second; <= 0 disables
-  std::chrono::steady_clock::time_point next_free_{};
+  Mutex mutex_;
+  const double rate_;  ///< bytes per second; <= 0 disables
+  std::chrono::steady_clock::time_point next_free_ GUARDED_BY(mutex_){};
 };
 
 }  // namespace bitdew::util

@@ -1,0 +1,287 @@
+// Compile-time concurrency contracts: Clang Thread Safety Analysis macros
+// and the annotated mutex/lock wrappers every lock-holding class in src/
+// uses. Under Clang, building with -Wthread-safety turns the locking
+// discipline documented in comments ("guarded by mutex_", "_locked()
+// requires the lock", "callbacks fire outside the lock") into compiler
+// errors; under GCC (and any compiler without the attributes) every macro
+// expands to nothing and the wrappers are zero-cost shims over the std
+// primitives.
+//
+// Conventions (docs/static-analysis.md):
+//  * shared fields:          T field_ GUARDED_BY(mutex_);
+//  * lock-requiring helpers: void f_locked() REQUIRES(mutex_);
+//  * "call without my lock": void f() EXCLUDES(mutex_);
+//  * scoped locking only — LockGuard / UniqueLock / SharedLockGuard; bare
+//    lock()/unlock() pairs outside wrapper types are a review smell.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define BITDEW_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define BITDEW_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) BITDEW_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY BITDEW_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) BITDEW_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) BITDEW_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) BITDEW_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) BITDEW_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) BITDEW_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  BITDEW_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) BITDEW_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  BITDEW_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) BITDEW_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  BITDEW_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_GENERIC
+#define RELEASE_GENERIC(...) \
+  BITDEW_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) BITDEW_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE_SHARED
+#define TRY_ACQUIRE_SHARED(...) \
+  BITDEW_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) BITDEW_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) BITDEW_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) BITDEW_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS BITDEW_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+#endif
+
+namespace bitdew::util {
+
+/// Annotated std::mutex. The capability every GUARDED_BY field names.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// Statically assume the capability is held. For call paths where the
+  /// lock is provably taken by an opaque caller — e.g. a std::function
+  /// hook whose contract is "fn runs under the lock" — which the
+  /// intraprocedural analysis cannot see. Use sparingly; every call site
+  /// is a claim the sanitizer matrix must back up.
+  void assert_held() ASSERT_CAPABILITY(this) {}
+
+  /// The wrapped primitive, for condition-variable waits (util::CondVar).
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Annotated std::recursive_mutex. The analysis cannot model reentrancy,
+/// but GUARDED_BY/REQUIRES contracts on the non-reentrant entry points
+/// still hold (re-acquisition happens only through opaque callbacks).
+class CAPABILITY("recursive_mutex") RecursiveMutex {
+ public:
+  RecursiveMutex() = default;
+  RecursiveMutex(const RecursiveMutex&) = delete;
+  RecursiveMutex& operator=(const RecursiveMutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  std::recursive_mutex& native() { return mutex_; }
+
+ private:
+  std::recursive_mutex mutex_;
+};
+
+/// Annotated std::shared_mutex: exclusive writers, shared readers.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  void lock_shared() ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mutex_.unlock_shared(); }
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) { return mutex_.try_lock_shared(); }
+
+  std::shared_mutex& native() { return mutex_; }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// RAII exclusive lock over any of the annotated mutexes (the
+/// std::lock_guard shape: locked for the full scope, no unlock).
+template <typename MutexType>
+class SCOPED_CAPABILITY BasicLockGuard {
+ public:
+  explicit BasicLockGuard(MutexType& mutex) ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~BasicLockGuard() RELEASE() { mutex_.unlock(); }
+
+  BasicLockGuard(const BasicLockGuard&) = delete;
+  BasicLockGuard& operator=(const BasicLockGuard&) = delete;
+
+ private:
+  MutexType& mutex_;
+};
+
+using LockGuard = BasicLockGuard<Mutex>;
+using RecursiveLockGuard = BasicLockGuard<RecursiveMutex>;
+
+/// RAII exclusive lock with manual unlock()/lock() and condition-variable
+/// support (the std::unique_lock shape). Always owns on construction.
+template <typename MutexType>
+class SCOPED_CAPABILITY BasicUniqueLock {
+ public:
+  explicit BasicUniqueLock(MutexType& mutex) ACQUIRE(mutex) : lock_(mutex.native()) {}
+  /// Releases the capability if still held.
+  ~BasicUniqueLock() RELEASE() {}
+
+  BasicUniqueLock(const BasicUniqueLock&) = delete;
+  BasicUniqueLock& operator=(const BasicUniqueLock&) = delete;
+
+  void lock() ACQUIRE() { lock_.lock(); }
+  void unlock() RELEASE() { lock_.unlock(); }
+  bool owns_lock() const { return lock_.owns_lock(); }
+
+  /// The wrapped lock, for condition-variable waits.
+  auto& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::decay_t<decltype(std::declval<MutexType>().native())>> lock_;
+};
+
+using UniqueLock = BasicUniqueLock<Mutex>;
+using RecursiveUniqueLock = BasicUniqueLock<RecursiveMutex>;
+
+/// RAII shared (reader) lock over SharedMutex.
+class SCOPED_CAPABILITY SharedLockGuard {
+ public:
+  explicit SharedLockGuard(SharedMutex& mutex) ACQUIRE_SHARED(mutex) : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~SharedLockGuard() RELEASE_GENERIC() { mutex_.unlock_shared(); }
+
+  SharedLockGuard(const SharedLockGuard&) = delete;
+  SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// std::condition_variable over util::Mutex via UniqueLock. Predicate waits
+/// are deliberately absent: a lambda body is opaque to the analysis, so
+/// guarded reads inside one would need escape hatches. Write the loop —
+///   while (!ready_) cv_.wait(lock);
+/// — and the analysis checks `ready_` against the held capability. (The
+/// "lock must be held" precondition itself is std::condition_variable's —
+/// violating it is UB the sanitizer matrix catches.)
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock, const std::chrono::duration<Rep, Period>& duration) {
+    return cv_.wait_for(lock.native(), duration);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(UniqueLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.native(), deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// std::condition_variable_any over any BasicUniqueLock (NodeRuntime waits
+/// on the recursive state mutex).
+class CondVarAny {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  template <typename MutexType>
+  void wait(BasicUniqueLock<MutexType>& lock) {
+    cv_.wait(lock.native());
+  }
+
+  template <typename MutexType, typename Clock, typename Duration>
+  std::cv_status wait_until(BasicUniqueLock<MutexType>& lock,
+                            const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.native(), deadline);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace bitdew::util

@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under clang -Werror -Wthread-safety: reads and writes a
+// GUARDED_BY field without holding its mutex. The compile-fail harness
+// (tests/compile_fail/run_compile_fail.sh) asserts the compiler rejects
+// this translation unit — if it ever compiles, the annotations have gone
+// soft and every contract in src/ is decorative.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add_unlocked(int delta) { value_ += delta; }   // BAD: no lock held
+  int read_unlocked() const { return value_; }        // BAD: no lock held
+
+ private:
+  mutable bitdew::util::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.add_unlocked(1);
+  return counter.read_unlocked();
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE under ANY compiler: util::LockGuard is scope-bound
+// (deleted copy), so a guard cannot escape its critical section by value.
+#include "util/thread_annotations.hpp"
+
+int main() {
+  bitdew::util::Mutex mutex;
+  const bitdew::util::LockGuard guard(mutex);
+  const bitdew::util::LockGuard escaped = guard;  // deleted copy constructor
+  (void)escaped;
+  return 0;
+}

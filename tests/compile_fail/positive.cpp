@@ -1,0 +1,58 @@
+// MUST COMPILE with the exact flags the negative cases are rejected under.
+// Proves the harness rejects the violations, not the includes or flags:
+// correct lock discipline over every wrapper shape the codebase uses —
+// LockGuard, UniqueLock + CondVar explicit wait loop, REQUIRES helper,
+// EXCLUDES entry points, SharedMutex readers.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int delta) EXCLUDES(mutex_) {
+    const bitdew::util::LockGuard lock(mutex_);
+    value_ += delta;
+    ready_ = true;
+    cv_.notify_all();
+  }
+
+  int wait_nonzero() EXCLUDES(mutex_) {
+    bitdew::util::UniqueLock lock(mutex_);
+    while (!ready_) cv_.wait(lock);
+    return read_locked();
+  }
+
+ private:
+  int read_locked() const REQUIRES(mutex_) { return value_; }
+
+  mutable bitdew::util::Mutex mutex_;
+  bitdew::util::CondVar cv_;
+  int value_ GUARDED_BY(mutex_) = 0;
+  bool ready_ GUARDED_BY(mutex_) = false;
+};
+
+class Registry {
+ public:
+  void put(int v) EXCLUDES(mutex_) {
+    const bitdew::util::BasicLockGuard<bitdew::util::SharedMutex> lock(mutex_);
+    value_ = v;
+  }
+  int get() const EXCLUDES(mutex_) {
+    const bitdew::util::SharedLockGuard lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable bitdew::util::SharedMutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.add(1);
+  Registry registry;
+  registry.put(counter.wait_nonzero());
+  return registry.get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// MUST NOT COMPILE under clang -Werror -Wthread-safety: calls a
+// REQUIRES(mutex_) helper without the capability — the `_locked()` calling
+// convention the migrated classes (LiveRing, ServiceHost, PullCore users)
+// rely on.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Table {
+ public:
+  int lookup() EXCLUDES(mutex_) {
+    return lookup_locked();  // BAD: capability not held
+  }
+
+ private:
+  int lookup_locked() REQUIRES(mutex_) { return rows_; }
+
+  bitdew::util::Mutex mutex_;
+  int rows_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table table;
+  return table.lookup();
+}

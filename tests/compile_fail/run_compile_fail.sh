@@ -1,0 +1,66 @@
+#!/bin/sh
+# Compile-fail harness for the thread-annotation wrappers.
+#
+# Usage: run_compile_fail.sh <mode> <src-include-root> <snippet-dir> <cxx>
+#   mode = generic  — compiler-agnostic cases (deleted-copy escape); runs
+#                     with the build's own compiler, always executed.
+#   mode = tsa      — Clang Thread Safety cases; needs clang++. Exits 77
+#                     (ctest SKIP_RETURN_CODE) when no clang++ is found.
+#
+# Each negative snippet must FAIL to compile and the positive control must
+# SUCCEED under the exact same flags, so a broken include path or bad flag
+# cannot masquerade as a detected violation.
+set -u
+
+MODE=${1:?mode}
+SRC=${2:?src include root}
+DIR=${3:?snippet dir}
+CXX=${4:-c++}
+
+BASE_FLAGS="-std=c++20 -I${SRC} -fsyntax-only"
+WORK=$(mktemp -d)
+trap 'rm -rf "${WORK}"' EXIT
+fail=0
+
+expect_ok() {
+  if ! "$@" >"${WORK}/out" 2>&1; then
+    echo "FAIL: positive control did not compile: $*"
+    cat "${WORK}/out"
+    fail=1
+  fi
+}
+
+expect_reject() {
+  if "$@" >"${WORK}/out" 2>&1; then
+    echo "FAIL: negative case compiled cleanly: $*"
+    fail=1
+  fi
+}
+
+case "${MODE}" in
+  generic)
+    expect_ok     "${CXX}" ${BASE_FLAGS} "${DIR}/positive.cpp"
+    expect_reject "${CXX}" ${BASE_FLAGS} "${DIR}/lockguard_copy.cpp"
+    ;;
+  tsa)
+    CLANG=${CLANGXX:-clang++}
+    if ! command -v "${CLANG}" >/dev/null 2>&1; then
+      echo "SKIP: ${CLANG} not found; thread-safety compile-fail cases need clang"
+      exit 77
+    fi
+    TSA_FLAGS="${BASE_FLAGS} -Werror -Wthread-safety -Wthread-safety-beta"
+    expect_ok     "${CLANG}" ${TSA_FLAGS} "${DIR}/positive.cpp"
+    expect_reject "${CLANG}" ${TSA_FLAGS} "${DIR}/guarded_by_violation.cpp"
+    expect_reject "${CLANG}" ${TSA_FLAGS} "${DIR}/requires_violation.cpp"
+    expect_reject "${CLANG}" ${TSA_FLAGS} "${DIR}/lockguard_copy.cpp"
+    ;;
+  *)
+    echo "unknown mode: ${MODE}" >&2
+    exit 2
+    ;;
+esac
+
+if [ "${fail}" -ne 0 ]; then
+  exit 1
+fi
+echo "compile-fail (${MODE}): all cases behaved as expected"

@@ -2,6 +2,9 @@
 // malformed-input behaviour (the wire protocols rely on CodecError).
 #include <gtest/gtest.h>
 
+#include <string_view>
+#include <type_traits>
+
 #include "rpc/codec.hpp"
 #include "rpc/wire.hpp"
 #include "util/rng.hpp"
@@ -681,10 +684,24 @@ TEST(Wire, RingFramesTruncationThrows) {
   const std::string full = w.buffer();
   // Every strict prefix must fail typed — never crash, never misdecode.
   for (std::size_t cut = 0; cut < full.size(); ++cut) {
-    rpc::Reader r(full.substr(0, cut));
+    // string_view-of-lvalue, NOT full.substr() — a temporary string would
+    // dangle under the Reader (caught by ASan, now rejected at compile
+    // time; see the deleted Reader(std::string&&) overloads).
+    rpc::Reader r(std::string_view(full).substr(0, cut));
     EXPECT_THROW(wire::read_ring_join_reply(r), rpc::CodecError) << "prefix " << cut;
   }
 }
+
+// Regression for a stack-use-after-scope ASan caught in the test above:
+// Reader(full.substr(0, cut)) compiled silently and read a dead temporary.
+// The rvalue constructors are deleted so the dangling pattern no longer
+// compiles — for any string temporary, named or via take().
+static_assert(!std::is_constructible_v<rpc::Reader, std::string&&>,
+              "Reader over a temporary string must not compile (dangling view)");
+static_assert(!std::is_constructible_v<rpc::Reader, const std::string&&>,
+              "Reader over a const temporary string must not compile (dangling view)");
+static_assert(std::is_constructible_v<rpc::Reader, const std::string&>,
+              "Reader over a named string stays allowed (converts via string_view)");
 
 TEST(Wire, RingFuzzedGarbageEitherDecodesOrThrowsTyped) {
   util::Rng rng(0x516e6);

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Wire-invariant linter: every rpc::Endpoint member must be fully wired.
+
+The wire protocol spreads one endpoint across five places that no compiler
+cross-checks: the enum (wire.hpp), the name table (wire.cpp), the server
+dispatch switch (server.cpp), a client-side codec, and the protocol docs.
+The kEndpointNames static_assert catches a missing *name*, but nothing
+catches a registered endpoint nobody dispatches, nobody can call, nobody
+fuzzes, or nobody documented. This linter closes that gap textually:
+
+  1. name      -- kEndpointNames (wire.cpp) holds the snake_case literal at
+                  the member's wire index (kDcRegister -> "dc_register")
+  2. dispatch  -- src/rpc/server.cpp has a `case Endpoint::kX:` label
+  3. client    -- some client-side codec file references Endpoint::kX
+  4. fuzz      -- tests/test_transport.cpp lists Endpoint::kX (the
+                  kFuzzProbeEndpoints garbage-body probe table)
+  5. docs      -- docs/api.md has a wire-endpoints table row for the name
+
+Also enforced: wire values are contiguous from 0, kEndpointCount is the
+last member, and the name table matches the naming convention exactly.
+
+Exit 0 when clean; prints one line per violation and exits 1 otherwise.
+`--self-test` proves the linter still bites: it injects a phantom endpoint
+and asserts every per-endpoint check fails for it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+WIRE_HPP = ROOT / "src" / "rpc" / "wire.hpp"
+WIRE_CPP = ROOT / "src" / "rpc" / "wire.cpp"
+SERVER_CPP = ROOT / "src" / "rpc" / "server.cpp"
+FUZZ_FILE = ROOT / "tests" / "test_transport.cpp"
+DOCS_FILE = ROOT / "docs" / "api.md"
+
+# Files that may legitimately hold an endpoint's client-side codec (the
+# request encoder / reply decoder a caller uses).
+CLIENT_FILES = [
+    ROOT / "src" / "api" / "remote_service_bus.cpp",
+    ROOT / "src" / "dht" / "live_ring.cpp",
+    ROOT / "src" / "services" / "ring_router.cpp",
+    ROOT / "src" / "rpc" / "chunk_server.cpp",
+    ROOT / "src" / "rpc" / "transport.hpp",
+    ROOT / "src" / "transfer" / "chunk_source.cpp",
+    ROOT / "src" / "jobs" / "task_runner.cpp",
+]
+
+SENTINEL = "kEndpointCount"
+
+
+def camel_to_snake(member: str) -> str:
+    """kDcAddLocator -> dc_add_locator (the wire naming convention)."""
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", member[1:]).lower()
+
+
+def parse_enum(text: str) -> tuple[list[tuple[str, int]], list[str]]:
+    """Returns ([(member, value), ...] in declaration order, errors)."""
+    errors: list[str] = []
+    match = re.search(r"enum class Endpoint[^{]*\{(.*?)\};", text, re.DOTALL)
+    if not match:
+        return [], ["wire.hpp: cannot find `enum class Endpoint`"]
+    body = match.group(1)
+    members = [(m.group(1), int(m.group(2)))
+               for m in re.finditer(r"\b(k[A-Za-z0-9]+)\s*=\s*(\d+)", body)]
+    tail = re.findall(r"\b(k[A-Za-z0-9]+)\b(?!\s*=)", body)
+    if SENTINEL not in tail:
+        errors.append(f"wire.hpp: enum must end with the {SENTINEL} sentinel")
+    for index, (member, value) in enumerate(members):
+        if value != index:
+            errors.append(
+                f"wire.hpp: {member} = {value}, expected {index} "
+                "(wire values must be contiguous from 0)")
+    return members, errors
+
+
+def parse_name_table(text: str) -> list[str]:
+    match = re.search(r"kEndpointNames\[\]\s*=\s*\{(.*?)\};", text, re.DOTALL)
+    if not match:
+        return []
+    return re.findall(r'"([a-z0-9_]+)"', match.group(1))
+
+
+def lint(sources: dict[str, str]) -> list[str]:
+    """Pure check over file contents; returns the violation list."""
+    members, errors = parse_enum(sources["wire.hpp"])
+    if not members:
+        return errors or ["wire.hpp: no Endpoint members found"]
+
+    names = parse_name_table(sources["wire.cpp"])
+    client_blob = "\n".join(sources[f] for f in sources if f.startswith("client:"))
+
+    for index, (member, _value) in enumerate(members):
+        snake = camel_to_snake(member)
+        ref = re.compile(rf"Endpoint::{member}\b")
+
+        if index >= len(names):
+            errors.append(f"wire.cpp: kEndpointNames has no entry for {member}")
+        elif names[index] != snake:
+            errors.append(
+                f'wire.cpp: kEndpointNames[{index}] is "{names[index]}", '
+                f'expected "{snake}" for {member}')
+
+        if not re.search(rf"case Endpoint::{member}:", sources["server.cpp"]):
+            errors.append(
+                f"server.cpp: no dispatch case for {member} "
+                "(ServiceHost cannot serve it)")
+
+        if not ref.search(client_blob):
+            errors.append(
+                f"client codecs: no reference to {member} "
+                f"(no caller can encode it; looked in "
+                f"{', '.join(sorted(f[7:] for f in sources if f.startswith('client:')))})")
+
+        if not ref.search(sources["fuzz"]):
+            errors.append(
+                f"tests/test_transport.cpp: {member} missing from the "
+                "kFuzzProbeEndpoints garbage-body probe table")
+
+        if not re.search(rf"\|\s*`{snake}`\s*\|", sources["docs"]):
+            errors.append(
+                f"docs/api.md: no wire-endpoints table row for `{snake}` "
+                f"({member})")
+
+    return errors
+
+
+def load_sources() -> dict[str, str]:
+    sources = {
+        "wire.hpp": WIRE_HPP.read_text(),
+        "wire.cpp": WIRE_CPP.read_text(),
+        "server.cpp": SERVER_CPP.read_text(),
+        "fuzz": FUZZ_FILE.read_text(),
+        "docs": DOCS_FILE.read_text(),
+    }
+    for path in CLIENT_FILES:
+        sources[f"client:{path.relative_to(ROOT)}"] = path.read_text()
+    return sources
+
+
+def self_test(sources: dict[str, str]) -> int:
+    """Inject a phantom endpoint; the linter must flag all five gaps."""
+    baseline = lint(sources)
+    if baseline:
+        print("self-test: tree must be clean first; current violations:")
+        for error in baseline:
+            print(f"  {error}")
+        return 1
+
+    doctored = dict(sources)
+    doctored["wire.hpp"] = sources["wire.hpp"].replace(
+        f"  {SENTINEL},",
+        f"  kZzLintSelfTest = {len(parse_enum(sources['wire.hpp'])[0])},"
+        f"\n  {SENTINEL},")
+    errors = lint(doctored)
+    hits = [e for e in errors if "ZzLintSelfTest" in e or "zz_lint_self_test" in e]
+    expected = {"wire.cpp:", "server.cpp:", "client codecs:",
+                "tests/test_transport.cpp:", "docs/api.md:"}
+    seen = {prefix for prefix in expected for e in hits if e.startswith(prefix)}
+    missing = expected - seen
+    if missing:
+        print(f"self-test FAILED: phantom endpoint not flagged by: {sorted(missing)}")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"self-test ok: phantom endpoint tripped all {len(expected)} checks")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    sources = load_sources()
+    if "--self-test" in argv:
+        return self_test(sources)
+    errors = lint(sources)
+    if errors:
+        print(f"lint_wire: {len(errors)} violation(s)")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    members, _ = parse_enum(sources["wire.hpp"])
+    print(f"lint_wire: {len(members)} endpoints fully wired "
+          "(name, dispatch, client codec, fuzz probe, docs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
